@@ -1,0 +1,19 @@
+//! Build script: materialize the raw-CGI baseline's source from its artifact
+//! constant so the "authored artifact" measured by the ease-of-construction
+//! experiment is byte-identical to the code that actually runs.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    println!("cargo:rerun-if-changed=src/rawcgi.rs");
+    let src = fs::read_to_string("src/rawcgi.rs").expect("read rawcgi.rs");
+    // Extract the artifact between the r#" after RAWCGI_SOURCE and its "#.
+    let start_marker = "pub const RAWCGI_SOURCE: &str = r#\"";
+    let start = src.find(start_marker).expect("artifact marker") + start_marker.len();
+    let end = src[start..].find("\"#;").expect("artifact end") + start;
+    let artifact = &src[start..end];
+    let out = PathBuf::from(env::var("OUT_DIR").unwrap()).join("rawcgi_impl.rs");
+    fs::write(out, artifact).expect("write generated impl");
+}

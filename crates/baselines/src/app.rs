@@ -1,0 +1,113 @@
+//! The common application interface every stack implements, plus the
+//! capability matrix the paper argues in prose (§6).
+//!
+//! All five stacks implement the *same* application — the URL-query directory
+//! of Figures 2/3/7/8 — so the end-to-end benchmark compares like with like:
+//! serve the input form, accept the §2.2 variable submission, query the
+//! database, render a report.
+
+use dbgw_cgi::QueryString;
+
+/// One web-DBMS stack serving the URL-query application.
+pub trait UrlQueryApp {
+    /// Stack name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The HTML fill-in form (input mode).
+    fn input_page(&self) -> String;
+
+    /// Process a submission and render the report (report mode).
+    fn report_page(&self, inputs: &QueryString) -> String;
+
+    /// The artifact the application developer had to author for this stack
+    /// (macro text, proc file, source code, …) — used by the
+    /// ease-of-construction experiment (E8).
+    fn authored_artifact(&self) -> Artifact;
+
+    /// What this architecture can express (§6's qualitative comparison).
+    fn capabilities(&self) -> Capabilities;
+}
+
+/// The developer-authored artifact for one stack.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// What kind of thing the developer writes.
+    pub kind: &'static str,
+    /// The artifact text.
+    pub text: &'static str,
+}
+
+impl Artifact {
+    /// Non-blank lines (comment lines count — the developer wrote them).
+    pub fn lines(&self) -> usize {
+        self.text.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Bytes.
+    pub fn bytes(&self) -> usize {
+        self.text.len()
+    }
+}
+
+/// The qualitative comparison of §6, made checkable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Full native HTML available for input forms (visual editors usable).
+    pub native_html_forms: bool,
+    /// Full native SQL available (arbitrary statements, not a fixed shape).
+    pub native_sql: bool,
+    /// Custom layout of query reports (the paper's GSQL criticism).
+    pub custom_report_layout: bool,
+    /// WHERE clauses that appear/disappear based on which inputs are filled
+    /// (the §3.1.3 conditional/list mechanism).
+    pub conditional_where: bool,
+    /// Several SQL statements per interaction.
+    pub multi_statement: bool,
+    /// Building the app requires no general-purpose-language code.
+    pub no_procedural_code: bool,
+}
+
+impl Capabilities {
+    /// How many capabilities are present (for ranking in reports).
+    pub fn score(&self) -> u32 {
+        [
+            self.native_html_forms,
+            self.native_sql,
+            self.custom_report_layout,
+            self.conditional_where,
+            self.multi_statement,
+            self.no_procedural_code,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_counts_nonblank_lines() {
+        let a = Artifact {
+            kind: "macro",
+            text: "line one\n\n  \nline two\n",
+        };
+        assert_eq!(a.lines(), 2);
+        assert_eq!(a.bytes(), 22);
+    }
+
+    #[test]
+    fn capability_score() {
+        let all = Capabilities {
+            native_html_forms: true,
+            native_sql: true,
+            custom_report_layout: true,
+            conditional_where: true,
+            multi_statement: true,
+            no_procedural_code: true,
+        };
+        assert_eq!(all.score(), 6);
+    }
+}

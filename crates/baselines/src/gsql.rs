@@ -1,0 +1,302 @@
+//! Baseline 2 — a mini-GSQL gateway (Eng, NCSA 1994).
+//!
+//! GSQL used "an intermediate declarative language which is a hybrid of SQL
+//! and HTML" (§6). The paper's criticisms, reproduced faithfully here as
+//! *restrictions* of this implementation:
+//!
+//! * the language is "quite restrictive": a proc file describes exactly one
+//!   SELECT with fixed clauses and simple `$var` placeholders;
+//! * "its method of variable substitution does not allow full use of SQL and
+//!   HTML capabilities": no conditionals, no lists, no recursion — a
+//!   placeholder is replaced by the raw input value or the empty string, and
+//!   every WHERE line is always present;
+//! * "there is no mechanism defined for custom layout of query reports":
+//!   results always render as the built-in table.
+//!
+//! Proc-file format (one directive per line):
+//!
+//! ```text
+//! SQL     SELECT url, title FROM urldb
+//! WHERE   title LIKE '%$SEARCH%'
+//! ORDER   title
+//! SHOW    text SEARCH Please enter a search string
+//! SHOW    checkbox USE_TITLE Search titles too
+//! HEADING URL Query (GSQL)
+//! ```
+
+use crate::app::{Artifact, Capabilities, UrlQueryApp};
+use dbgw_cgi::QueryString;
+use dbgw_core::security::escape_sql_literal;
+use dbgw_html::{escape_attr, escape_text, TableBuilder};
+use minisql::ExecResult;
+
+/// One form field directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShowField {
+    /// `text` or `checkbox`.
+    pub kind: String,
+    /// Variable name.
+    pub name: String,
+    /// Label text.
+    pub label: String,
+}
+
+/// A parsed GSQL proc file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcFile {
+    /// Page heading.
+    pub heading: String,
+    /// The fixed SELECT head (`SELECT … FROM …`).
+    pub sql: String,
+    /// WHERE lines, ANDed together, each always present.
+    pub where_lines: Vec<String>,
+    /// ORDER BY column.
+    pub order: Option<String>,
+    /// Form fields.
+    pub fields: Vec<ShowField>,
+}
+
+impl ProcFile {
+    /// Parse the line-oriented proc format. Unknown directives error — GSQL
+    /// had no extension mechanism.
+    pub fn parse(src: &str) -> Result<ProcFile, String> {
+        let mut proc = ProcFile::default();
+        for (lineno, line) in src.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (directive, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            let rest = rest.trim();
+            match directive.to_ascii_uppercase().as_str() {
+                "SQL" => proc.sql = rest.to_owned(),
+                "WHERE" => proc.where_lines.push(rest.to_owned()),
+                "ORDER" => proc.order = Some(rest.to_owned()),
+                "HEADING" => proc.heading = rest.to_owned(),
+                "SHOW" => {
+                    let mut parts = rest.splitn(3, char::is_whitespace);
+                    let kind = parts.next().unwrap_or("").to_owned();
+                    let name = parts.next().unwrap_or("").to_owned();
+                    let label = parts.next().unwrap_or("").trim().to_owned();
+                    if kind.is_empty() || name.is_empty() {
+                        return Err(format!("line {}: SHOW needs kind and name", lineno + 1));
+                    }
+                    proc.fields.push(ShowField { kind, name, label });
+                }
+                other => return Err(format!("line {}: unknown directive {other}", lineno + 1)),
+            }
+        }
+        if proc.sql.is_empty() {
+            return Err("proc file has no SQL directive".into());
+        }
+        Ok(proc)
+    }
+
+    /// Substitute `$var` placeholders (GSQL-style: flat, non-recursive).
+    fn substitute(&self, template: &str, inputs: &QueryString) -> String {
+        let mut out = String::with_capacity(template.len());
+        let mut rest = template;
+        while let Some(at) = rest.find('$') {
+            out.push_str(&rest[..at]);
+            let tail = &rest[at + 1..];
+            let end = tail
+                .char_indices()
+                .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_'))
+                .map(|(i, _)| i)
+                .unwrap_or(tail.len());
+            if end == 0 {
+                out.push('$');
+                rest = tail;
+                continue;
+            }
+            let name = &tail[..end];
+            let value = inputs.get(name).unwrap_or("");
+            out.push_str(&escape_sql_literal(value));
+            rest = &tail[end..];
+        }
+        out.push_str(rest);
+        out
+    }
+
+    /// Assemble the full statement for a submission.
+    pub fn build_sql(&self, inputs: &QueryString) -> String {
+        let mut sql = self.substitute(&self.sql, inputs);
+        if !self.where_lines.is_empty() {
+            sql.push_str(" WHERE ");
+            let conds: Vec<String> = self
+                .where_lines
+                .iter()
+                .map(|w| self.substitute(w, inputs))
+                .collect();
+            sql.push_str(&conds.join(" AND "));
+        }
+        if let Some(order) = &self.order {
+            sql.push_str(" ORDER BY ");
+            sql.push_str(order);
+        }
+        sql
+    }
+}
+
+/// The proc file for the URL-query application — note what it *cannot* say:
+/// no conditional URL/description search, no hyperlinked report.
+pub const URLQUERY_PROC: &str = "\
+HEADING URL Query (GSQL)
+SQL SELECT url, title FROM urldb
+WHERE title LIKE '%$SEARCH%'
+ORDER title
+SHOW text SEARCH Please enter a search string
+";
+
+/// The GSQL stack's URL-query app.
+pub struct GsqlUrlQuery {
+    db: minisql::Database,
+    proc: ProcFile,
+}
+
+impl GsqlUrlQuery {
+    /// Over a loaded database.
+    pub fn new(db: minisql::Database) -> GsqlUrlQuery {
+        GsqlUrlQuery {
+            db,
+            proc: ProcFile::parse(URLQUERY_PROC).expect("reference proc parses"),
+        }
+    }
+}
+
+impl UrlQueryApp for GsqlUrlQuery {
+    fn name(&self) -> &'static str {
+        "gsql"
+    }
+
+    fn input_page(&self) -> String {
+        let mut page = format!(
+            "<TITLE>{0}</TITLE>\n<H1>{0}</H1>\n<FORM METHOD=\"post\" ACTION=\"/cgi-bin/gsql/report\">\n",
+            escape_text(&self.proc.heading)
+        );
+        for field in &self.proc.fields {
+            match field.kind.as_str() {
+                "checkbox" => page.push_str(&format!(
+                    "<INPUT TYPE=\"checkbox\" NAME=\"{}\" VALUE=\"yes\"> {}<BR>\n",
+                    escape_attr(&field.name),
+                    escape_text(&field.label)
+                )),
+                _ => page.push_str(&format!(
+                    "{}: <INPUT TYPE=\"text\" NAME=\"{}\"><BR>\n",
+                    escape_text(&field.label),
+                    escape_attr(&field.name)
+                )),
+            }
+        }
+        page.push_str("<INPUT TYPE=\"submit\" VALUE=\"Submit\">\n</FORM>\n");
+        page
+    }
+
+    fn report_page(&self, inputs: &QueryString) -> String {
+        let sql = self.proc.build_sql(inputs);
+        let mut page = format!("<H1>{} — Result</H1>\n", escape_text(&self.proc.heading));
+        let mut conn = self.db.connect();
+        match conn.execute(&sql) {
+            Ok(ExecResult::Rows(rs)) => {
+                // Fixed tabular output: GSQL had no report layout mechanism.
+                let mut table = TableBuilder::new(&rs.columns);
+                for row in &rs.rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_display_string()).collect();
+                    table.push_row(&cells);
+                }
+                page.push_str(&table.finish());
+            }
+            Ok(_) => page.push_str("<P>OK</P>\n"),
+            Err(e) => page.push_str(&format!(
+                "<P><B>SQL error {}</B>: {}</P>\n",
+                e.code.0,
+                escape_text(&e.message)
+            )),
+        }
+        page
+    }
+
+    fn authored_artifact(&self) -> Artifact {
+        Artifact {
+            kind: "GSQL proc file (restricted declarative hybrid)",
+            text: URLQUERY_PROC,
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            native_html_forms: false, // forms are generated, not authored
+            native_sql: false,        // one fixed-shape SELECT
+            custom_report_layout: false,
+            conditional_where: false,
+            multi_statement: false,
+            no_procedural_code: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgw_workload::UrlDirectory;
+
+    fn app() -> GsqlUrlQuery {
+        GsqlUrlQuery::new(UrlDirectory::generate(100, 11).into_database())
+    }
+
+    #[test]
+    fn proc_file_parses() {
+        let p = ProcFile::parse(URLQUERY_PROC).unwrap();
+        assert_eq!(p.where_lines.len(), 1);
+        assert_eq!(p.fields.len(), 1);
+        assert_eq!(p.order.as_deref(), Some("title"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(ProcFile::parse("FROB x").is_err());
+        assert!(ProcFile::parse("# comment only").is_err()); // no SQL
+    }
+
+    #[test]
+    fn builds_fixed_shape_sql() {
+        let p = ProcFile::parse(URLQUERY_PROC).unwrap();
+        let q = QueryString::from_pairs([("SEARCH", "ib")]);
+        assert_eq!(
+            p.build_sql(&q),
+            "SELECT url, title FROM urldb WHERE title LIKE '%ib%' ORDER BY title"
+        );
+        // Empty input: the WHERE is STILL present (no conditional mechanism) —
+        // it degenerates to match-everything instead of disappearing.
+        let q = QueryString::new();
+        assert_eq!(
+            p.build_sql(&q),
+            "SELECT url, title FROM urldb WHERE title LIKE '%%' ORDER BY title"
+        );
+    }
+
+    #[test]
+    fn substitution_is_flat_not_recursive() {
+        let p = ProcFile::parse("SQL SELECT $A FROM t").unwrap();
+        let q = QueryString::from_pairs([("A", "$B"), ("B", "nope")]);
+        // GSQL replaces $A with the literal input, never chasing $B — but the
+        // inner '$B' then survives as text.
+        assert_eq!(p.build_sql(&q), "SELECT $B FROM t");
+    }
+
+    #[test]
+    fn report_is_always_a_table() {
+        let app = app();
+        let page = app.report_page(&QueryString::from_pairs([("SEARCH", "ib")]));
+        assert!(page.contains("<TABLE BORDER=1>"));
+        assert!(!page.contains("<LI>")); // no custom hyperlink layout possible
+        assert!(dbgw_html::check_balanced(&page).is_ok());
+    }
+
+    #[test]
+    fn quotes_in_input_escaped() {
+        let app = app();
+        let page = app.report_page(&QueryString::from_pairs([("SEARCH", "o'brien")]));
+        assert!(!page.contains("SQL error"), "page: {page}");
+    }
+}

@@ -1,0 +1,174 @@
+//! The URL-query application on the *paper's* stack: a DB2WWW-style macro.
+//!
+//! This is the Appendix A application, modernized only in table/column
+//! spelling. It is the reference implementation the baselines are compared
+//! against: authored entirely in native HTML + SQL + substitution, with the
+//! conditional WHERE construction and a custom hyperlinked report.
+
+use crate::app::{Artifact, Capabilities, UrlQueryApp};
+use dbgw_cgi::{MiniSqlDatabase, QueryString};
+use dbgw_core::{parse_macro, Engine, MacroFile, Mode};
+
+/// The Appendix A macro (modern spelling of the same application).
+pub const URLQUERY_MACRO: &str = r#"%DEFINE{
+  DATABASE = "CELDIAL"
+  dbtbl = "urldb"
+  %LIST " OR " L_INFO
+  L_INFO = USE_URL ? "$(dbtbl).url LIKE '%$(SEARCH)%'" : ""
+  L_INFO = USE_TITLE ? "$(dbtbl).title LIKE '%$(SEARCH)%'" : ""
+  L_INFO = USE_DESC ? "$(dbtbl).description LIKE '%$(SEARCH)%'" : ""
+  WHERELIST = ? "WHERE $(L_INFO)"
+  %LIST " , " DBFIELDS
+  D2 = ? "<br>$(V2)"
+  D3 = ? "<br>$(V3)"
+%}
+%SQL{
+SELECT url, $(DBFIELDS)
+FROM $(dbtbl) $(WHERELIST) ORDER BY title
+%SQL_REPORT{
+Select any of the following to go to the specified URL:
+<UL>
+%ROW{<LI><A HREF="$(V1)">$(V1)</A> $(D2) $(D3)
+%}</UL>
+%}
+%}
+%HTML_INPUT{<TITLE>DB2 WWW URL Query</TITLE>
+<H1>Query URL Information</H1>
+<P>Enter a search string to query URLs.
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/urlquery.d2w/report">
+Search String: <INPUT NAME="SEARCH" VALUE="ib">
+<P>Use the above search string in which of the following:
+<INPUT TYPE="checkbox" NAME="USE_URL" VALUE="yes" CHECKED> URL<BR>
+<INPUT TYPE="checkbox" NAME="USE_TITLE" VALUE="yes" CHECKED> Title<BR>
+<INPUT TYPE="checkbox" NAME="USE_DESC" VALUE="yes"> Description
+<P>Please select what additional field(s) to see in the report:<BR>
+<SELECT NAME="DBFIELDS" SIZE=2 MULTIPLE>
+<OPTION VALUE="$$(hidden_a)" SELECTED> Title
+<OPTION VALUE="$$(hidden_b)"> Description
+</SELECT> <P> <HR>
+Show SQL statement on output?
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="YES"> Yes
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="" CHECKED> No
+<INPUT TYPE="submit" VALUE="Submit Query">
+<INPUT TYPE="reset" VALUE="Reset Input">
+</FORM> <HR>
+%}
+%DEFINE{
+  hidden_a = "title"
+  hidden_b = "description"
+%}
+%HTML_REPORT{<TITLE>DB2 WWW URL Query Result</TITLE>
+<H1>URL Query Result</H1>
+<HR>
+%EXEC_SQL
+<HR>
+%}"#;
+
+/// The macro stack's URL-query app.
+pub struct MacroUrlQuery {
+    db: minisql::Database,
+    mac: MacroFile,
+}
+
+impl MacroUrlQuery {
+    /// Over a database that already has `urldb` loaded.
+    pub fn new(db: minisql::Database) -> MacroUrlQuery {
+        MacroUrlQuery {
+            db,
+            mac: parse_macro(URLQUERY_MACRO).expect("reference macro parses"),
+        }
+    }
+}
+
+impl UrlQueryApp for MacroUrlQuery {
+    fn name(&self) -> &'static str {
+        "db2www-macro"
+    }
+
+    fn input_page(&self) -> String {
+        Engine::new()
+            .process_input(&self.mac, &[])
+            .expect("input mode")
+    }
+
+    fn report_page(&self, inputs: &QueryString) -> String {
+        let vars: Vec<(String, String)> = inputs.pairs().to_vec();
+        let mut conn = MiniSqlDatabase::connect(&self.db);
+        Engine::new()
+            .process(&self.mac, Mode::Report, &vars, &mut conn)
+            .expect("report mode")
+    }
+
+    fn authored_artifact(&self) -> Artifact {
+        Artifact {
+            kind: "macro file (HTML + SQL + substitution)",
+            text: URLQUERY_MACRO,
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            native_html_forms: true,
+            native_sql: true,
+            custom_report_layout: true,
+            conditional_where: true,
+            multi_statement: true,
+            no_procedural_code: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgw_workload::UrlDirectory;
+
+    fn app() -> MacroUrlQuery {
+        MacroUrlQuery::new(UrlDirectory::generate(100, 11).into_database())
+    }
+
+    #[test]
+    fn input_page_contains_form_with_hidden_names() {
+        let page = app().input_page();
+        assert!(page.contains("<INPUT NAME=\"SEARCH\" VALUE=\"ib\">"));
+        // $$(hidden_a) must appear as the literal $(hidden_a) per §4.1.
+        assert!(page.contains("VALUE=\"$(hidden_a)\""));
+        assert!(dbgw_html::check_balanced(&page).is_ok());
+    }
+
+    #[test]
+    fn report_builds_conditional_where_and_links() {
+        let app = app();
+        let inputs = QueryString::from_pairs([
+            ("SEARCH", "ib"),
+            ("USE_URL", "yes"),
+            ("USE_TITLE", "yes"),
+            ("USE_DESC", ""),
+            ("DBFIELDS", "title"),
+            ("SHOWSQL", "YES"),
+        ]);
+        let page = app.report_page(&inputs);
+        assert!(page.contains("URL Query Result"));
+        // SHOWSQL echo proves the statement shape.
+        assert!(page.contains(
+            "SELECT url, title\nFROM urldb WHERE urldb.url LIKE '%ib%' OR urldb.title LIKE '%ib%' ORDER BY title"
+        ), "page: {page}");
+        assert!(page.contains("<LI><A HREF="));
+    }
+
+    #[test]
+    fn no_checkboxes_means_no_where_clause() {
+        let app = app();
+        let inputs =
+            QueryString::from_pairs([("SEARCH", "ib"), ("DBFIELDS", "title"), ("SHOWSQL", "YES")]);
+        let page = app.report_page(&inputs);
+        assert!(page.contains("FROM urldb  ORDER BY title"), "page: {page}");
+    }
+
+    #[test]
+    fn artifact_is_the_macro() {
+        let a = app().authored_artifact();
+        assert!(a.lines() > 30);
+        assert_eq!(a.kind, "macro file (HTML + SQL + substitution)");
+    }
+}

@@ -1,0 +1,324 @@
+//! Baseline 4 — an Oracle-PL/SQL-Web-toolkit-style gateway (§6).
+//!
+//! Oracle's approach gave stored procedures an `htp` package whose calls
+//! append HTML to the CGI output stream. "For the programmer who is already
+//! familiar with PL/SQL, the new library routines provide a simple way to
+//! output results into HTML pages ... However, building applications
+//! require\[s\] extensive programming." We reproduce the architecture: an
+//! [`Htp`] output buffer with the toolkit's print helpers, and the URL-query
+//! application written as a "stored procedure" against it.
+
+use crate::app::{Artifact, Capabilities, UrlQueryApp};
+use dbgw_cgi::QueryString;
+use dbgw_core::security::escape_sql_literal;
+use dbgw_html::escape_text;
+use minisql::ExecResult;
+
+/// The `htp` package: procedural HTML emission.
+#[derive(Debug, Default)]
+pub struct Htp {
+    buf: String,
+}
+
+impl Htp {
+    /// Fresh output stream.
+    pub fn new() -> Htp {
+        Htp::default()
+    }
+
+    /// `htp.print` — raw line.
+    pub fn print(&mut self, s: &str) {
+        self.buf.push_str(s);
+        self.buf.push('\n');
+    }
+
+    /// `htp.header(n, text)`.
+    pub fn header(&mut self, level: u8, text: &str) {
+        self.buf
+            .push_str(&format!("<H{level}>{}</H{level}>\n", escape_text(text)));
+    }
+
+    /// `htp.anchor(url, text)`.
+    pub fn anchor(&mut self, url: &str, text: &str) {
+        self.buf.push_str(&format!(
+            "<A HREF=\"{}\">{}</A>",
+            escape_text(url),
+            escape_text(text)
+        ));
+    }
+
+    /// `htp.para`.
+    pub fn para(&mut self) {
+        self.buf.push_str("<P>\n");
+    }
+
+    /// `htp.listItem` open.
+    pub fn list_item(&mut self) {
+        self.buf.push_str("<LI>");
+    }
+
+    /// `htp.ulistOpen` / `htp.ulistClose`.
+    pub fn ulist_open(&mut self) {
+        self.buf.push_str("<UL>\n");
+    }
+
+    /// Close the list.
+    pub fn ulist_close(&mut self) {
+        self.buf.push_str("</UL>\n");
+    }
+
+    /// Take the page.
+    pub fn into_page(self) -> String {
+        self.buf
+    }
+}
+
+/// For E8: the "stored procedure" source, verbatim (kept honest by the
+/// `artifact_matches_behaviour` test exercising the same logic).
+pub const PLSQL_SOURCE: &str = r#"
+PROCEDURE url_query_input IS
+BEGIN
+  htp.header(1, 'Query URL Information (PL/SQL toolkit)');
+  htp.print('<FORM METHOD="post" ACTION="/owa/url_query_report">');
+  htp.print('Search String: <INPUT NAME="SEARCH" VALUE="ib">');
+  htp.para;
+  htp.print('Use the above search string in which of the following:');
+  htp.print('<INPUT TYPE="checkbox" NAME="USE_URL" VALUE="yes" CHECKED> URL<BR>');
+  htp.print('<INPUT TYPE="checkbox" NAME="USE_TITLE" VALUE="yes" CHECKED> Title<BR>');
+  htp.print('<INPUT TYPE="checkbox" NAME="USE_DESC" VALUE="yes"> Description');
+  htp.para;
+  htp.print('Please select what additional field(s) to see in the report:<BR>');
+  htp.print('<SELECT NAME="DBFIELDS" SIZE=2 MULTIPLE>');
+  htp.print('<OPTION VALUE="title" SELECTED> Title');
+  htp.print('<OPTION VALUE="description"> Description');
+  htp.print('</SELECT>');
+  htp.para;
+  htp.print('Show SQL statement on output?');
+  htp.print('<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="YES"> Yes');
+  htp.print('<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="" CHECKED> No');
+  htp.print('<INPUT TYPE="submit" VALUE="Submit Query">');
+  htp.print('<INPUT TYPE="reset" VALUE="Reset Input">');
+  htp.print('</FORM>');
+END;
+
+PROCEDURE url_query_report(search VARCHAR2, use_url VARCHAR2,
+                           use_title VARCHAR2, use_desc VARCHAR2,
+                           dbfields OWA_UTIL.ident_arr,
+                           showsql VARCHAR2) IS
+  conds  VARCHAR2(2000) := '';
+  fields VARCHAR2(2000) := '';
+  stmt   VARCHAR2(4000);
+  CURSOR c IS ...; -- OPEN stmt FOR dynamic SQL
+BEGIN
+  htp.header(1, 'URL Query Result');
+  IF use_url IS NOT NULL THEN
+    conds := conds || ' OR url LIKE ''%' || search || '%''';
+  END IF;
+  IF use_title IS NOT NULL THEN
+    conds := conds || ' OR title LIKE ''%' || search || '%''';
+  END IF;
+  IF use_desc IS NOT NULL THEN
+    conds := conds || ' OR description LIKE ''%' || search || '%''';
+  END IF;
+  FOR i IN 1 .. dbfields.COUNT LOOP
+    fields := fields || ' , ' || dbfields(i);
+  END LOOP;
+  IF fields IS NULL THEN
+    fields := ' , title';
+  END IF;
+  stmt := 'SELECT url' || fields || ' FROM urldb';
+  IF conds IS NOT NULL THEN
+    stmt := stmt || ' WHERE' || SUBSTR(conds, 4);
+  END IF;
+  stmt := stmt || ' ORDER BY title';
+  IF showsql IS NOT NULL THEN
+    htp.print('<P><CODE>' || stmt || '</CODE></P>');
+  END IF;
+  htp.ulistOpen;
+  FOR row IN EXECUTE stmt LOOP
+    htp.listItem;
+    htp.anchor(row.url, row.url);
+    FOR i IN 2 .. row.COUNT LOOP
+      IF row(i) IS NOT NULL THEN
+        htp.print(' <br>' || row(i));
+      END IF;
+    END LOOP;
+  END LOOP;
+  htp.ulistClose;
+END;
+"#;
+
+/// The PL/SQL-toolkit stack's URL-query app.
+pub struct PlsqlUrlQuery {
+    db: minisql::Database,
+}
+
+impl PlsqlUrlQuery {
+    /// Over a loaded database.
+    pub fn new(db: minisql::Database) -> PlsqlUrlQuery {
+        PlsqlUrlQuery { db }
+    }
+}
+
+impl UrlQueryApp for PlsqlUrlQuery {
+    fn name(&self) -> &'static str {
+        "plsql-toolkit"
+    }
+
+    fn input_page(&self) -> String {
+        // The Rust rendering of url_query_input above.
+        let mut htp = Htp::new();
+        htp.header(1, "Query URL Information (PL/SQL toolkit)");
+        htp.print("<FORM METHOD=\"post\" ACTION=\"/owa/url_query_report\">");
+        htp.print("Search String: <INPUT NAME=\"SEARCH\" VALUE=\"ib\">");
+        htp.para();
+        htp.print("Use the above search string in which of the following:");
+        htp.print("<INPUT TYPE=\"checkbox\" NAME=\"USE_URL\" VALUE=\"yes\" CHECKED> URL<BR>");
+        htp.print("<INPUT TYPE=\"checkbox\" NAME=\"USE_TITLE\" VALUE=\"yes\" CHECKED> Title<BR>");
+        htp.print("<INPUT TYPE=\"checkbox\" NAME=\"USE_DESC\" VALUE=\"yes\"> Description");
+        htp.para();
+        htp.print("Please select what additional field(s) to see in the report:<BR>");
+        htp.print("<SELECT NAME=\"DBFIELDS\" SIZE=2 MULTIPLE>");
+        htp.print("<OPTION VALUE=\"title\" SELECTED> Title");
+        htp.print("<OPTION VALUE=\"description\"> Description");
+        htp.print("</SELECT>");
+        htp.para();
+        htp.print("Show SQL statement on output?");
+        htp.print("<INPUT TYPE=\"radio\" NAME=\"SHOWSQL\" VALUE=\"YES\"> Yes");
+        htp.print("<INPUT TYPE=\"radio\" NAME=\"SHOWSQL\" VALUE=\"\" CHECKED> No");
+        htp.print("<INPUT TYPE=\"submit\" VALUE=\"Submit Query\">");
+        htp.print("<INPUT TYPE=\"reset\" VALUE=\"Reset Input\">");
+        htp.print("</FORM>");
+        htp.into_page()
+    }
+
+    fn report_page(&self, inputs: &QueryString) -> String {
+        // The Rust rendering of url_query_report above.
+        let search = escape_sql_literal(inputs.get("SEARCH").unwrap_or(""));
+        let mut htp = Htp::new();
+        htp.header(1, "URL Query Result");
+        let mut conds = String::new();
+        let set = |name: &str| inputs.get(name).is_some_and(|v| !v.is_empty());
+        if set("USE_URL") {
+            conds.push_str(&format!(" OR url LIKE '%{search}%'"));
+        }
+        if set("USE_TITLE") {
+            conds.push_str(&format!(" OR title LIKE '%{search}%'"));
+        }
+        if set("USE_DESC") {
+            conds.push_str(&format!(" OR description LIKE '%{search}%'"));
+        }
+        let mut fields = String::new();
+        for f in inputs.get_all("DBFIELDS") {
+            fields.push_str(" , ");
+            fields.push_str(f);
+        }
+        if fields.is_empty() {
+            fields.push_str(" , title");
+        }
+        let mut stmt = format!("SELECT url{fields} FROM urldb");
+        if !conds.is_empty() {
+            stmt.push_str(" WHERE");
+            stmt.push_str(&conds[3..]);
+        }
+        stmt.push_str(" ORDER BY title");
+        if set("SHOWSQL") {
+            htp.print(&format!("<P><CODE>{}</CODE></P>", escape_text(&stmt)));
+        }
+        let mut conn = self.db.connect();
+        match conn.execute(&stmt) {
+            Ok(ExecResult::Rows(rs)) => {
+                htp.ulist_open();
+                for row in &rs.rows {
+                    htp.list_item();
+                    let url = row[0].to_display_string();
+                    htp.anchor(&url, &url);
+                    for extra in &row[1..] {
+                        let text = extra.to_display_string();
+                        if !text.is_empty() {
+                            htp.print(&format!(" <br>{}", escape_text(&text)));
+                        }
+                    }
+                }
+                htp.ulist_close();
+            }
+            Ok(_) => htp.print("<P>OK</P>"),
+            Err(e) => htp.print(&format!(
+                "<P><B>SQL error {}</B>: {}</P>",
+                e.code.0,
+                escape_text(&e.message)
+            )),
+        }
+        htp.into_page()
+    }
+
+    fn authored_artifact(&self) -> Artifact {
+        Artifact {
+            kind: "stored-procedure source (htp toolkit calls)",
+            text: PLSQL_SOURCE,
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            native_html_forms: false, // HTML arrives via print calls
+            native_sql: true,
+            custom_report_layout: true,
+            conditional_where: true,
+            multi_statement: true,
+            no_procedural_code: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgw_workload::UrlDirectory;
+
+    fn app() -> PlsqlUrlQuery {
+        PlsqlUrlQuery::new(UrlDirectory::generate(100, 11).into_database())
+    }
+
+    #[test]
+    fn htp_builds_pages() {
+        let mut htp = Htp::new();
+        htp.header(1, "Hi & bye");
+        htp.ulist_open();
+        htp.list_item();
+        htp.anchor("http://x", "link");
+        htp.ulist_close();
+        let page = htp.into_page();
+        assert!(page.contains("<H1>Hi &amp; bye</H1>"));
+        assert!(dbgw_html::check_balanced(&page).is_ok());
+    }
+
+    #[test]
+    fn artifact_matches_behaviour() {
+        // The documented PL/SQL builds the same statement our Rust port does.
+        let app = app();
+        let page = app.report_page(&QueryString::from_pairs([
+            ("SEARCH", "ib"),
+            ("USE_URL", "yes"),
+            ("USE_TITLE", "yes"),
+        ]));
+        assert!(page.contains("<UL>"));
+        assert!(page.contains("<LI><A HREF="));
+        assert!(PLSQL_SOURCE.contains("' OR url LIKE ''%'"));
+    }
+
+    #[test]
+    fn conditional_where_works_like_macro_stack() {
+        let app = app();
+        // No boxes checked: full listing.
+        let all = app.report_page(&QueryString::from_pairs([("SEARCH", "zzz")]));
+        let all_items = all.matches("<LI>").count();
+        assert_eq!(all_items, 100);
+        // Title search narrows.
+        let some = app.report_page(&QueryString::from_pairs([
+            ("SEARCH", "zzz"),
+            ("USE_TITLE", "yes"),
+        ]));
+        assert_eq!(some.matches("<LI>").count(), 0);
+    }
+}

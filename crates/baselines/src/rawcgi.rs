@@ -1,0 +1,187 @@
+//! Baseline 1 — the stand-alone CGI program of the paper's introduction.
+//!
+//! §1 lists this approach's drawbacks: the programmer must know the CGI
+//! protocol and the DBMS API, HTML is intermixed with program logic, and any
+//! output change means changing code. It is also the *fastest possible*
+//! implementation — no macro parsing, no substitution — so it bounds the
+//! gateway's overhead from below in the end-to-end benchmark.
+
+use crate::app::{Artifact, Capabilities, UrlQueryApp};
+use dbgw_cgi::QueryString;
+use dbgw_core::security::escape_sql_literal;
+use dbgw_html::escape_text;
+use minisql::ExecResult;
+
+/// For the ease-of-construction comparison: the application code below,
+/// verbatim (kept in sync by the `artifact_matches_source` test).
+pub const RAWCGI_SOURCE: &str = r#"
+pub fn input_page() -> String {
+    let mut page = String::new();
+    page.push_str("<TITLE>URL Query (raw CGI)</TITLE>\n<H1>Query URL Information</H1>\n");
+    page.push_str("<FORM METHOD=\"post\" ACTION=\"/cgi-bin/rawcgi/report\">\n");
+    page.push_str("Search String: <INPUT NAME=\"SEARCH\" VALUE=\"ib\">\n<P>\n");
+    page.push_str("<INPUT TYPE=\"checkbox\" NAME=\"USE_URL\" VALUE=\"yes\" CHECKED> URL<BR>\n");
+    page.push_str("<INPUT TYPE=\"checkbox\" NAME=\"USE_TITLE\" VALUE=\"yes\" CHECKED> Title<BR>\n");
+    page.push_str("<INPUT TYPE=\"checkbox\" NAME=\"USE_DESC\" VALUE=\"yes\"> Description\n<P>\n");
+    page.push_str("<SELECT NAME=\"DBFIELDS\" SIZE=2 MULTIPLE>\n");
+    page.push_str("<OPTION VALUE=\"title\" SELECTED> Title\n");
+    page.push_str("<OPTION VALUE=\"description\"> Description\n</SELECT>\n");
+    page.push_str("<INPUT TYPE=\"submit\" VALUE=\"Submit Query\">\n</FORM>\n");
+    page
+}
+
+pub fn report_page(db: &minisql::Database, inputs: &QueryString) -> String {
+    let search = escape_sql_literal(inputs.get("SEARCH").unwrap_or(""));
+    let mut conditions: Vec<String> = Vec::new();
+    if inputs.get("USE_URL").is_some_and(|v| !v.is_empty()) {
+        conditions.push(format!("urldb.url LIKE '%{search}%'"));
+    }
+    if inputs.get("USE_TITLE").is_some_and(|v| !v.is_empty()) {
+        conditions.push(format!("urldb.title LIKE '%{search}%'"));
+    }
+    if inputs.get("USE_DESC").is_some_and(|v| !v.is_empty()) {
+        conditions.push(format!("urldb.description LIKE '%{search}%'"));
+    }
+    let mut fields: Vec<&str> = inputs.get_all("DBFIELDS");
+    if fields.is_empty() {
+        fields.push("title");
+    }
+    let mut sql = format!("SELECT url, {} FROM urldb", fields.join(" , "));
+    if !conditions.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conditions.join(" OR "));
+    }
+    sql.push_str(" ORDER BY title");
+
+    let mut page = String::new();
+    page.push_str("<TITLE>URL Query Result</TITLE>\n<H1>URL Query Result</H1>\n<HR>\n");
+    let mut conn = db.connect();
+    match conn.execute(&sql) {
+        Ok(ExecResult::Rows(rs)) => {
+            page.push_str("Select any of the following to go to the specified URL:\n<UL>\n");
+            for row in &rs.rows {
+                let url = row[0].to_display_string();
+                page.push_str("<LI><A HREF=\"");
+                page.push_str(&escape_text(&url));
+                page.push_str("\">");
+                page.push_str(&escape_text(&url));
+                page.push_str("</A>");
+                for extra in &row[1..] {
+                    let text = extra.to_display_string();
+                    if !text.is_empty() {
+                        page.push_str(" <br>");
+                        page.push_str(&escape_text(&text));
+                    }
+                }
+                page.push('\n');
+            }
+            page.push_str("</UL>\n");
+        }
+        Ok(_) => page.push_str("<P>OK</P>\n"),
+        Err(e) => {
+            page.push_str(&format!(
+                "<P><B>SQL error {}</B>: {}</P>\n",
+                e.code.0,
+                escape_text(&e.message)
+            ));
+        }
+    }
+    page.push_str("<HR>\n");
+    page
+}
+"#;
+
+mod generated {
+    //! The artifact above, compiled verbatim (see `build.rs`).
+    #![allow(missing_docs)]
+    use super::*;
+    include!(concat!(env!("OUT_DIR"), "/rawcgi_impl.rs"));
+}
+use generated::{input_page, report_page};
+
+/// The raw-CGI stack's URL-query app.
+pub struct RawCgiUrlQuery {
+    db: minisql::Database,
+}
+
+impl RawCgiUrlQuery {
+    /// Over a loaded database.
+    pub fn new(db: minisql::Database) -> RawCgiUrlQuery {
+        RawCgiUrlQuery { db }
+    }
+}
+
+impl UrlQueryApp for RawCgiUrlQuery {
+    fn name(&self) -> &'static str {
+        "raw-cgi"
+    }
+
+    fn input_page(&self) -> String {
+        input_page()
+    }
+
+    fn report_page(&self, inputs: &QueryString) -> String {
+        report_page(&self.db, inputs)
+    }
+
+    fn authored_artifact(&self) -> Artifact {
+        Artifact {
+            kind: "general-purpose-language source (CGI + DBMS API)",
+            text: RAWCGI_SOURCE,
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            native_html_forms: true, // embedded in code, but full HTML
+            native_sql: true,
+            custom_report_layout: true,
+            conditional_where: true,
+            multi_statement: true,
+            no_procedural_code: false, // everything is procedural code
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgw_workload::UrlDirectory;
+
+    fn app() -> RawCgiUrlQuery {
+        RawCgiUrlQuery::new(UrlDirectory::generate(100, 11).into_database())
+    }
+
+    #[test]
+    fn serves_same_application_shape() {
+        let app = app();
+        assert!(app.input_page().contains("NAME=\"SEARCH\""));
+        let inputs = QueryString::from_pairs([
+            ("SEARCH", "ib"),
+            ("USE_URL", "yes"),
+            ("USE_TITLE", "yes"),
+            ("DBFIELDS", "title"),
+        ]);
+        let page = app.report_page(&inputs);
+        assert!(page.contains("<LI><A HREF="));
+        assert!(dbgw_html::check_balanced(&page).is_ok());
+    }
+
+    #[test]
+    fn escapes_hostile_search_input() {
+        let app = app();
+        let inputs =
+            QueryString::from_pairs([("SEARCH", "'; DROP TABLE urldb; --"), ("USE_TITLE", "yes")]);
+        let page = app.report_page(&inputs);
+        // The quote is escaped, so the statement executes (matching nothing).
+        assert!(!page.contains("SQL error"), "page: {page}");
+        assert_eq!(app.db.table_len("urldb").unwrap(), 100);
+    }
+
+    #[test]
+    fn artifact_matches_source() {
+        // The artifact string must be exactly what is compiled in.
+        let built = include_str!(concat!(env!("OUT_DIR"), "/rawcgi_impl.rs"));
+        assert_eq!(built, RAWCGI_SOURCE);
+    }
+}

@@ -1,0 +1,126 @@
+//! E9 — ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Macro caching**: the gateway parses each macro once and reuses the
+//!   AST; the 1996 CGI model re-read and re-parsed the file per request
+//!   (each request was a fresh process). How much does the cache buy?
+//! * **Value escaping**: HTML-escaping the system report variables is our
+//!   deliberate modernization. What does it cost?
+//! * **Index ablation**: the same gateway request with and without the
+//!   title index behind the LIKE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbgw_baselines::URLQUERY_MACRO;
+use dbgw_cgi::MiniSqlDatabase;
+use dbgw_core::{parse_macro, Engine, EngineConfig, Mode};
+use dbgw_workload::UrlDirectory;
+use std::hint::black_box;
+
+fn inputs() -> Vec<(String, String)> {
+    [
+        ("SEARCH", "ib"),
+        ("USE_URL", "yes"),
+        ("USE_TITLE", "yes"),
+        ("DBFIELDS", "title"),
+    ]
+    .iter()
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .collect()
+}
+
+fn bench_macro_cache(c: &mut Criterion) {
+    let db = UrlDirectory::generate(1_000, 1996).into_database();
+    let engine = Engine::new();
+    let vars = inputs();
+    let cached = parse_macro(URLQUERY_MACRO).unwrap();
+    let mut group = c.benchmark_group("E9_macro_cache");
+    group.sample_size(30);
+    group.bench_function("cached_ast", |b| {
+        b.iter(|| {
+            let mut conn = MiniSqlDatabase::connect(&db);
+            black_box(
+                engine
+                    .process(&cached, Mode::Report, &vars, &mut conn)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("parse_per_request", |b| {
+        b.iter(|| {
+            // The CGI fork/exec model: read + parse + process per request.
+            let mac = parse_macro(black_box(URLQUERY_MACRO)).unwrap();
+            let mut conn = MiniSqlDatabase::connect(&db);
+            black_box(
+                engine
+                    .process(&mac, Mode::Report, &vars, &mut conn)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_escaping(c: &mut Criterion) {
+    let db = UrlDirectory::generate(5_000, 1996).into_database();
+    let mac = parse_macro(URLQUERY_MACRO).unwrap();
+    let vars = inputs();
+    let mut group = c.benchmark_group("E9_value_escaping");
+    group.sample_size(30);
+    for (label, escape) in [("escaped", true), ("raw_1996", false)] {
+        let engine = Engine::with_config(EngineConfig {
+            escape_values: escape,
+            ..EngineConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, engine| {
+            b.iter(|| {
+                let mut conn = MiniSqlDatabase::connect(&db);
+                black_box(
+                    engine
+                        .process(&mac, Mode::Report, &vars, &mut conn)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_ablation(c: &mut Criterion) {
+    // The urlquery WHERE is '%ib%' (contains): index can't help there, so
+    // probe the prefix-searchable variant the shop app uses.
+    let mac = parse_macro(
+        "%SQL{ SELECT product_name FROM orders WHERE product_name LIKE '$(P)%' %}\n\
+         %HTML_REPORT{%EXEC_SQL%}",
+    )
+    .unwrap();
+    let vars = vec![("P".to_string(), "bike".to_string())];
+    let engine = Engine::new();
+    let mut group = c.benchmark_group("E9_index_on_off");
+    group.sample_size(30);
+    for (label, indexed) in [("indexed", true), ("no_index", false)] {
+        let shop = dbgw_workload::shop::Shop::generate(500, 6, 3);
+        let db = shop.into_database();
+        if !indexed {
+            let mut conn = db.connect();
+            conn.execute("DROP INDEX orders_product").unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(label), &db, |b, db| {
+            b.iter(|| {
+                let mut conn = MiniSqlDatabase::connect(db);
+                black_box(
+                    engine
+                        .process(&mac, Mode::Report, &vars, &mut conn)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_macro_cache,
+    bench_escaping,
+    bench_index_ablation
+);
+criterion_main!(benches);

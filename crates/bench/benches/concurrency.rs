@@ -1,0 +1,83 @@
+//! E7 — gateway throughput under concurrency.
+//!
+//! The paper motivates the system with the Web's "tens of millions of users";
+//! the 1996 deployment scaled by forking a CGI process per request. Our
+//! in-process gateway handles requests on threads against the shared
+//! catalog RwLock. Series: requests/second with 1–8 worker threads over a
+//! Zipf-skewed mix of 90% report (read) and 10% guestbook-style writes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbgw_baselines::URLQUERY_MACRO;
+use dbgw_cgi::{CgiRequest, Gateway};
+use dbgw_workload::{UrlDirectory, Zipf};
+use rand::Rng;
+use std::sync::Arc;
+
+const REQUESTS_PER_ITER: usize = 200;
+
+fn build_gateway() -> Arc<Gateway> {
+    let db = minisql::Database::new();
+    UrlDirectory::generate(2_000, 1996).load(&db).unwrap();
+    db.run_script("CREATE TABLE guest (name VARCHAR(40) NOT NULL, message VARCHAR(200))")
+        .unwrap();
+    let gw = Gateway::new(db);
+    gw.add_macro("urlquery.d2w", URLQUERY_MACRO).unwrap();
+    gw.add_macro(
+        "sign.d2w",
+        "%SQL{ INSERT INTO guest (name, message) VALUES ('$(NAME)', 'hi') %}\n\
+         %HTML_REPORT{signed%EXEC_SQL%}",
+    )
+    .unwrap();
+    Arc::new(gw)
+}
+
+/// The request mix: mostly searches with Zipf-popular terms, some writes.
+fn request(rng: &mut impl Rng, zipf: &Zipf, terms: &[&str]) -> CgiRequest {
+    if rng.gen_bool(0.9) {
+        let term = terms[zipf.sample(rng) % terms.len()];
+        CgiRequest::get(
+            "/urlquery.d2w/report",
+            &format!("SEARCH={term}&USE_TITLE=yes&DBFIELDS=title"),
+        )
+    } else {
+        CgiRequest::get("/sign.d2w/report", &format!("NAME=u{}", rng.gen::<u16>()))
+    }
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let gateway = build_gateway();
+    let terms = ["ib", "web", "net", "lab", "arch", "zzz"];
+    let mut group = c.benchmark_group("E7_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS_PER_ITER as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let per_thread = REQUESTS_PER_ITER / threads;
+                    crossbeam::scope(|scope| {
+                        for t in 0..threads {
+                            let gw = Arc::clone(&gateway);
+                            scope.spawn(move |_| {
+                                let mut rng = dbgw_workload::rng(t as u64 + 1);
+                                let zipf = Zipf::new(terms.len(), 1.0);
+                                for _ in 0..per_thread {
+                                    let req = request(&mut rng, &zipf, &terms);
+                                    let resp = gw.handle(&req);
+                                    assert_eq!(resp.status, 200);
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E5 — report generation: custom `%SQL_REPORT` vs the default table, row
+//! and column scaling, and `RPT_MAX_ROWS` truncation.
+//!
+//! Uses a canned database (FnDatabase) so only rendering is measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbgw_core::db::{DbRows, FnDatabase};
+use dbgw_core::{parse_macro, Engine, MacroFile, Mode};
+use std::hint::black_box;
+
+fn canned(rows: usize, cols: usize) -> DbRows {
+    DbRows {
+        columns: (0..cols).map(|c| format!("col{c}")).collect(),
+        rows: (0..rows)
+            .map(|r| (0..cols).map(|c| format!("value-{r}-{c}")).collect())
+            .collect(),
+        affected: 0,
+    }
+}
+
+fn custom_macro(cols: usize) -> MacroFile {
+    let cells: String = (1..=cols).map(|i| format!("<TD>$(V{i})</TD>")).collect();
+    parse_macro(&format!(
+        "%SQL{{ Q\n%SQL_REPORT{{<TABLE>\n%ROW{{<TR>{cells}</TR>\n%}}</TABLE>\n$(ROW_NUM) rows\n%}}\n%}}\n%HTML_REPORT{{%EXEC_SQL%}}"
+    ))
+    .unwrap()
+}
+
+fn default_macro() -> MacroFile {
+    parse_macro("%SQL{ Q %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap()
+}
+
+fn render(mac: &MacroFile, data: &DbRows, inputs: &[(String, String)]) -> String {
+    let mut db = FnDatabase(|_: &str| Ok(data.clone()));
+    Engine::new()
+        .process(mac, Mode::Report, inputs, &mut db)
+        .unwrap()
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_rows_4cols");
+    group.sample_size(20);
+    for rows in [10usize, 100, 1_000, 10_000] {
+        let data = canned(rows, 4);
+        let custom = custom_macro(4);
+        let default = default_macro();
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("custom_row_block", rows), &data, |b, d| {
+            b.iter(|| black_box(render(&custom, d, &[])));
+        });
+        group.bench_with_input(BenchmarkId::new("default_table", rows), &data, |b, d| {
+            b.iter(|| black_box(render(&default, d, &[])));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_cols_1000rows");
+    group.sample_size(20);
+    for cols in [2usize, 8, 16] {
+        let data = canned(1000, cols);
+        let custom = custom_macro(cols);
+        group.throughput(Throughput::Elements((1000 * cols) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(cols), &data, |b, d| {
+            b.iter(|| black_box(render(&custom, d, &[])));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rpt_max_rows(c: &mut Criterion) {
+    // 10k rows fetched; printing truncated at RPT_MAX_ROWS. ROW_NUM must
+    // still report 10000, so the fetch loop runs fully — cost should drop
+    // with the cap but not to zero.
+    let data = canned(10_000, 4);
+    let custom = custom_macro(4);
+    let mut group = c.benchmark_group("E5_rpt_max_rows_of_10k");
+    group.sample_size(20);
+    for cap in [10usize, 100, 1_000, 10_000] {
+        let inputs = vec![("RPT_MAX_ROWS".to_string(), cap.to_string())];
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &inputs, |b, inputs| {
+            b.iter(|| black_box(render(&custom, &data, inputs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows, bench_cols, bench_rpt_max_rows);
+criterion_main!(benches);

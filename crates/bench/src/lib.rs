@@ -1,0 +1,61 @@
+//! Shared helpers for the benchmark harness (see `EXPERIMENTS.md` at the
+//! repository root for the experiment index E1–E8).
+
+#![warn(missing_docs)]
+
+use dbgw_core::MacroFile;
+
+/// Build a synthetic macro with `sections` SQL sections and HTML sections of
+/// roughly `html_bytes` bytes, for the parser benchmarks (E1).
+pub fn synthetic_macro(sections: usize, html_bytes: usize) -> String {
+    let mut src = String::new();
+    src.push_str("%DEFINE{\n  dbtbl = \"urldb\"\n  %LIST \" OR \" conds\n");
+    for i in 0..sections.max(1) {
+        src.push_str(&format!(
+            "  conds = F{i} ? \"c{i} LIKE '%$(F{i})%'\" : \"\"\n"
+        ));
+    }
+    src.push_str("  where_clause = ? \"WHERE $(conds)\"\n%}\n");
+    for i in 0..sections.max(1) {
+        src.push_str(&format!(
+            "%SQL(s{i}){{ SELECT c{i} FROM $(dbtbl) $(where_clause)\n\
+             %SQL_REPORT{{<UL>\n%ROW{{<LI>$(V1)\n%}}</UL>\n%}}\n%}}\n"
+        ));
+    }
+    let filler_line = "<P>Lorem ipsum filler for the nineties web $(dbtbl) page.</P>\n";
+    let repeats = html_bytes / filler_line.len() + 1;
+    src.push_str("%HTML_INPUT{<FORM ACTION=\"x\"><INPUT NAME=\"F0\"></FORM>\n");
+    for _ in 0..repeats / 2 {
+        src.push_str(filler_line);
+    }
+    src.push_str("%}\n%HTML_REPORT{<H1>R</H1>\n");
+    for _ in 0..repeats / 2 {
+        src.push_str(filler_line);
+    }
+    for i in 0..sections.max(1) {
+        src.push_str(&format!("%EXEC_SQL(s{i})\n"));
+    }
+    src.push_str("%}\n");
+    src
+}
+
+/// Parse or panic (bench setup).
+pub fn parsed(src: &str) -> MacroFile {
+    dbgw_core::parse_macro(src).expect("synthetic macro parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_macros_parse_at_all_sizes() {
+        for sections in [1, 4, 16, 64] {
+            for bytes in [256, 4096, 65536] {
+                let src = synthetic_macro(sections, bytes);
+                let mac = parsed(&src);
+                assert!(mac.sql_sections().count() >= sections);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! HTTP Basic authentication (§5: the system "works with ... the Web server
+//! and the firewall products to provide secure data access").
+//!
+//! In 1996 the web server, not the gateway, owned authentication: httpd's
+//! `.htaccess` guarded `/cgi-bin/db2www/...` paths with Basic auth and the
+//! gateway trusted `REMOTE_USER`. This module reproduces that split: the
+//! HTTP server checks credentials per protected path prefix and the gateway
+//! never sees passwords.
+//!
+//! Includes a from-scratch base64 codec (RFC 2045 alphabet) since external
+//! crates are out of scope.
+
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// base64
+// ---------------------------------------------------------------------------
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as base64 with `=` padding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode base64 (strict alphabet, `=` padding, whitespace ignored).
+pub fn base64_decode(text: &str) -> Option<Vec<u8>> {
+    let mut values = Vec::with_capacity(text.len());
+    for ch in text.bytes() {
+        match ch {
+            b'A'..=b'Z' => values.push(ch - b'A'),
+            b'a'..=b'z' => values.push(ch - b'a' + 26),
+            b'0'..=b'9' => values.push(ch - b'0' + 52),
+            b'+' => values.push(62),
+            b'/' => values.push(63),
+            b'=' => break,
+            b' ' | b'\t' | b'\r' | b'\n' => continue,
+            _ => return None,
+        }
+    }
+    if values.len() % 4 == 1 {
+        return None; // impossible length
+    }
+    let mut out = Vec::with_capacity(values.len() * 3 / 4);
+    for chunk in values.chunks(4) {
+        let mut n: u32 = 0;
+        for (i, &v) in chunk.iter().enumerate() {
+            n |= (v as u32) << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((n >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Basic auth
+// ---------------------------------------------------------------------------
+
+/// A password table guarding path prefixes.
+#[derive(Debug, Clone, Default)]
+pub struct BasicAuth {
+    realm: String,
+    users: HashMap<String, String>,
+    protected: Vec<String>,
+}
+
+/// Outcome of an authentication check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthDecision {
+    /// The path is not protected.
+    Open,
+    /// Valid credentials; the user name becomes `REMOTE_USER`.
+    Allow(String),
+    /// Missing or wrong credentials; challenge with this realm.
+    Challenge(String),
+}
+
+impl BasicAuth {
+    /// A guard with a realm name.
+    pub fn new(realm: &str) -> BasicAuth {
+        BasicAuth {
+            realm: realm.to_owned(),
+            ..BasicAuth::default()
+        }
+    }
+
+    /// Register a user.
+    pub fn with_user(mut self, name: &str, password: &str) -> BasicAuth {
+        self.users.insert(name.to_owned(), password.to_owned());
+        self
+    }
+
+    /// Protect every path starting with `prefix`.
+    pub fn protect_prefix(mut self, prefix: &str) -> BasicAuth {
+        self.protected.push(prefix.to_owned());
+        self
+    }
+
+    /// Check a request path + optional `Authorization` header value.
+    pub fn check(&self, path: &str, authorization: Option<&str>) -> AuthDecision {
+        if !self.protected.iter().any(|p| path.starts_with(p.as_str())) {
+            return AuthDecision::Open;
+        }
+        let Some(header) = authorization else {
+            return AuthDecision::Challenge(self.realm.clone());
+        };
+        let Some(encoded) = header
+            .trim()
+            .strip_prefix("Basic ")
+            .or_else(|| header.trim().strip_prefix("basic "))
+        else {
+            return AuthDecision::Challenge(self.realm.clone());
+        };
+        let Some(decoded) = base64_decode(encoded.trim()) else {
+            return AuthDecision::Challenge(self.realm.clone());
+        };
+        let Ok(text) = String::from_utf8(decoded) else {
+            return AuthDecision::Challenge(self.realm.clone());
+        };
+        let Some((user, password)) = text.split_once(':') else {
+            return AuthDecision::Challenge(self.realm.clone());
+        };
+        match self.users.get(user) {
+            Some(expected) if constant_time_eq(expected.as_bytes(), password.as_bytes()) => {
+                AuthDecision::Allow(user.to_owned())
+            }
+            _ => AuthDecision::Challenge(self.realm.clone()),
+        }
+    }
+
+    /// Build the `Authorization` header value for credentials (client side).
+    pub fn header_value(user: &str, password: &str) -> String {
+        format!(
+            "Basic {}",
+            base64_encode(format!("{user}:{password}").as_bytes())
+        )
+    }
+}
+
+/// Length-constant comparison so password checks don't leak prefix length
+/// timing (overkill for a reproduction; cheap to do right).
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Zg==").unwrap(), b"f");
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64_decode("!!!").is_none());
+        assert!(base64_decode("A").is_none());
+    }
+
+    #[test]
+    fn base64_ignores_whitespace() {
+        assert_eq!(base64_decode("Zm9v\nYmFy").unwrap(), b"foobar");
+    }
+
+    proptest! {
+        #[test]
+        fn base64_round_trips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        }
+    }
+
+    fn guard() -> BasicAuth {
+        BasicAuth::new("DB2WWW")
+            .with_user("tam", "secret")
+            .protect_prefix("/cgi-bin/db2www/admin")
+    }
+
+    #[test]
+    fn open_paths_pass() {
+        assert_eq!(
+            guard().check("/cgi-bin/db2www/urlquery.d2w/input", None),
+            AuthDecision::Open
+        );
+    }
+
+    #[test]
+    fn protected_path_challenges_without_credentials() {
+        assert_eq!(
+            guard().check("/cgi-bin/db2www/admin.d2w/report", None),
+            AuthDecision::Challenge("DB2WWW".into())
+        );
+    }
+
+    #[test]
+    fn valid_credentials_allow() {
+        let header = BasicAuth::header_value("tam", "secret");
+        assert_eq!(
+            guard().check("/cgi-bin/db2www/admin.d2w/report", Some(&header)),
+            AuthDecision::Allow("tam".into())
+        );
+    }
+
+    #[test]
+    fn wrong_password_challenges() {
+        let header = BasicAuth::header_value("tam", "wrong");
+        assert!(matches!(
+            guard().check("/cgi-bin/db2www/admin.d2w/report", Some(&header)),
+            AuthDecision::Challenge(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_header_challenges() {
+        for header in ["Bearer xyz", "Basic !!!", "Basic Zm9v"] {
+            assert!(matches!(
+                guard().check("/cgi-bin/db2www/admin.d2w/report", Some(header)),
+                AuthDecision::Challenge(_)
+            ));
+        }
+    }
+}

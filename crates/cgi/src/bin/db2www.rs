@@ -1,0 +1,114 @@
+//! `db2www` — the CGI executable of the paper, as a real program.
+//!
+//! A CGI-speaking web server (or the test harness) invokes this binary per
+//! request with the standard environment (Figure 4):
+//!
+//! * `REQUEST_METHOD` — GET or POST,
+//! * `PATH_INFO` — `/{macro-file}/{input|report}`,
+//! * `QUERY_STRING` — GET variables,
+//! * `CONTENT_LENGTH` + standard input — POST variables.
+//!
+//! Configuration comes from two more variables, mirroring the product's
+//! initialization file:
+//!
+//! * `DTW_MACRO_DIR` — directory holding `.d2w` macro files (default
+//!   `./macros`),
+//! * `DTW_DB_SCRIPT` — path to a SQL script that builds the database.
+//!
+//! Because the DBMS substrate is in-process, each invocation rebuilds the
+//! database from the script — fine for demonstrating the protocol (the
+//! paper's DB2 connection cost per CGI process was likewise per-request);
+//! the long-running [`dbgw_cgi::HttpServer`] is the performant path.
+//!
+//! Output is a CGI response on stdout: `Content-Type` header, blank line,
+//! page. Errors still produce a page (status is in the `Status:` header, as
+//! CGI prescribes).
+
+use dbgw_cgi::{CgiRequest, CgiResponse, Gateway, Method};
+use std::io::Read;
+
+fn main() {
+    let response = run();
+    print!(
+        "Status: {} {}\r\nContent-Type: {}; charset=utf-8\r\n\r\n{}",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body
+    );
+}
+
+fn run() -> CgiResponse {
+    let env = |name: &str| std::env::var(name).unwrap_or_default();
+
+    let method = match env("REQUEST_METHOD").to_ascii_uppercase().as_str() {
+        "POST" => Method::Post,
+        _ => Method::Get,
+    };
+    let body = if method == Method::Post {
+        let length: usize = env("CONTENT_LENGTH").parse().unwrap_or(0);
+        let mut buf = vec![0u8; length];
+        if std::io::stdin().read_exact(&mut buf).is_err() {
+            return CgiResponse::error(400, "short request body");
+        }
+        String::from_utf8_lossy(&buf).into_owned()
+    } else {
+        String::new()
+    };
+    let request = CgiRequest {
+        method,
+        path_info: env("PATH_INFO"),
+        query_string: env("QUERY_STRING"),
+        body,
+    };
+
+    // Build the database from the configured script.
+    let db = minisql::Database::new();
+    let script_path = env("DTW_DB_SCRIPT");
+    if !script_path.is_empty() {
+        let script = match std::fs::read_to_string(&script_path) {
+            Ok(s) => s,
+            Err(e) => {
+                return CgiResponse::error(
+                    500,
+                    &format!("cannot read DTW_DB_SCRIPT {script_path}: {e}"),
+                )
+            }
+        };
+        if let Err(e) = db.run_script(&script) {
+            return CgiResponse::error(500, &format!("DTW_DB_SCRIPT failed: {e}"));
+        }
+    }
+
+    // Load the requested macro from the macro directory. The gateway
+    // re-validates the name; we only read the one file being asked for.
+    let macro_dir = {
+        let dir = env("DTW_MACRO_DIR");
+        if dir.is_empty() {
+            "./macros".to_owned()
+        } else {
+            dir
+        }
+    };
+    let macro_name = request
+        .path_info
+        .trim_start_matches('/')
+        .split('/')
+        .next()
+        .unwrap_or("")
+        .to_owned();
+    if !dbgw_core::security::safe_macro_name(&macro_name) {
+        return CgiResponse::error(400, "invalid macro file name");
+    }
+    let gateway = Gateway::new(db);
+    let macro_path = std::path::Path::new(&macro_dir).join(&macro_name);
+    match std::fs::read_to_string(&macro_path) {
+        Ok(source) => {
+            if let Err(e) = gateway.add_macro(&macro_name, &source) {
+                return CgiResponse::error(500, &format!("macro parse error: {e}"));
+            }
+        }
+        Err(_) => return CgiResponse::error(404, &format!("no macro named {macro_name}")),
+    }
+    gateway.handle(&request)
+}

@@ -1,0 +1,132 @@
+//! Adapter: drive [`minisql`] through the engine's [`dbgw_core::Database`]
+//! trait.
+//!
+//! Values cross the boundary as display strings (NULL → empty string), which
+//! is exactly how the substitution mechanism consumes them.
+
+use dbgw_core::db::{Database, DbError, DbRows};
+use minisql::{Connection, ExecResult};
+
+/// A `dbgw_core::Database` backed by one MiniSQL connection.
+pub struct MiniSqlDatabase {
+    conn: Connection,
+}
+
+impl MiniSqlDatabase {
+    /// Wrap a connection.
+    pub fn new(conn: Connection) -> MiniSqlDatabase {
+        MiniSqlDatabase { conn }
+    }
+
+    /// Open a fresh connection on `db` and wrap it.
+    pub fn connect(db: &minisql::Database) -> MiniSqlDatabase {
+        MiniSqlDatabase::new(db.connect())
+    }
+}
+
+fn convert_err(e: minisql::SqlError) -> DbError {
+    DbError {
+        code: e.code.0,
+        message: e.message,
+    }
+}
+
+impl Database for MiniSqlDatabase {
+    fn execute(&mut self, sql: &str) -> Result<DbRows, DbError> {
+        match self.conn.execute(sql).map_err(convert_err)? {
+            ExecResult::Rows(rs) => Ok(DbRows {
+                columns: rs.columns,
+                rows: rs
+                    .rows
+                    .into_iter()
+                    .map(|row| row.iter().map(|v| v.to_display_string()).collect())
+                    .collect(),
+                affected: 0,
+            }),
+            ExecResult::Count(n) => Ok(DbRows {
+                affected: n,
+                ..DbRows::default()
+            }),
+            ExecResult::Ddl | ExecResult::TxnControl => Ok(DbRows {
+                affected: 1,
+                ..DbRows::default()
+            }),
+        }
+    }
+
+    fn begin(&mut self) -> Result<(), DbError> {
+        self.conn.execute("BEGIN").map(|_| ()).map_err(convert_err)
+    }
+
+    fn commit(&mut self) -> Result<(), DbError> {
+        self.conn.execute("COMMIT").map(|_| ()).map_err(convert_err)
+    }
+
+    fn rollback(&mut self) -> Result<(), DbError> {
+        self.conn
+            .execute("ROLLBACK")
+            .map(|_| ())
+            .map_err(convert_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> minisql::Database {
+        let db = minisql::Database::new();
+        db.run_script(
+            "CREATE TABLE urldb (url VARCHAR(255), title VARCHAR(80), description VARCHAR(200));
+             INSERT INTO urldb VALUES ('http://www.ibm.com', 'IBM', 'Big Blue'),
+                                      ('http://www.eso.org', 'ESO', NULL);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn query_converts_to_strings_with_null_as_empty() {
+        let mut bridge = MiniSqlDatabase::connect(&db());
+        let rows = bridge
+            .execute("SELECT title, description FROM urldb ORDER BY title")
+            .unwrap();
+        assert_eq!(rows.columns, vec!["title", "description"]);
+        assert_eq!(rows.rows[0], vec!["ESO".to_owned(), String::new()]);
+        assert_eq!(rows.sqlcode(), 0);
+    }
+
+    #[test]
+    fn dml_reports_affected() {
+        let mut bridge = MiniSqlDatabase::connect(&db());
+        let r = bridge
+            .execute("DELETE FROM urldb WHERE title = 'IBM'")
+            .unwrap();
+        assert_eq!(r.affected, 1);
+        let none = bridge
+            .execute("DELETE FROM urldb WHERE title = 'IBM'")
+            .unwrap();
+        assert_eq!(none.sqlcode(), 100);
+    }
+
+    #[test]
+    fn errors_carry_db2_codes() {
+        let mut bridge = MiniSqlDatabase::connect(&db());
+        let err = bridge.execute("SELECT * FROM nope").unwrap_err();
+        assert_eq!(err.code, -204);
+        let err = bridge.execute("SELEC").unwrap_err();
+        assert_eq!(err.code, -104);
+    }
+
+    #[test]
+    fn transactions_round_trip() {
+        let base = db();
+        let mut bridge = MiniSqlDatabase::connect(&base);
+        bridge.begin().unwrap();
+        bridge
+            .execute("INSERT INTO urldb VALUES ('http://x', 'X', NULL)")
+            .unwrap();
+        bridge.rollback().unwrap();
+        assert_eq!(base.table_len("urldb").unwrap(), 2);
+    }
+}

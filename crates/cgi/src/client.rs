@@ -1,0 +1,302 @@
+//! The programmatic "Web browser": an HTTP client plus a form-filling layer.
+//!
+//! The paper's end user "fills out the forms, points and clicks to navigate"
+//! (§1). Tests and benchmarks reproduce that with [`FormFill`], which parses
+//! a served `%HTML_INPUT` page, applies the user's selections, and produces
+//! exactly the `name=value&…` submission of §2.2 — including checkbox
+//! drop-when-unchecked and multi-valued SELECT semantics.
+
+use crate::query::QueryString;
+use crate::request::CgiResponse;
+use dbgw_html::{Form, FormControl, FormMethod};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A tiny HTTP/1.0 client.
+pub struct HttpClient {
+    addr: SocketAddr,
+}
+
+impl HttpClient {
+    /// Client for a server address.
+    pub fn new(addr: SocketAddr) -> HttpClient {
+        HttpClient { addr }
+    }
+
+    /// Send raw bytes, return the raw response text.
+    pub fn raw(&self, request: &str) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.write_all(request.as_bytes())?;
+        stream.flush()?;
+        let mut out = String::new();
+        stream.read_to_string(&mut out)?;
+        Ok(out)
+    }
+
+    /// GET a path.
+    pub fn get(&self, path: &str) -> std::io::Result<CgiResponse> {
+        let raw = self.raw(&format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n"))?;
+        Ok(parse_response(&raw))
+    }
+
+    /// POST a form body to a path.
+    pub fn post(&self, path: &str, body: &str) -> std::io::Result<CgiResponse> {
+        let raw = self.raw(&format!(
+            "POST {path} HTTP/1.0\r\nHost: localhost\r\n\
+             Content-Type: application/x-www-form-urlencoded\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ))?;
+        Ok(parse_response(&raw))
+    }
+
+    /// Fetch a form page and submit it with the given fill, following the
+    /// form's own ACTION and METHOD — one full §2.1 interaction.
+    pub fn submit_form(&self, form_path: &str, fill: &FormFill) -> std::io::Result<CgiResponse> {
+        let page = self.get(form_path)?;
+        let form = Form::parse_first(&page.body).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "page has no form")
+        })?;
+        let wire = fill.submission(&form).to_wire();
+        match form.method {
+            FormMethod::Post => self.post(&form.action, &wire),
+            FormMethod::Get => self.get(&format!("{}?{}", form.action, wire)),
+        }
+    }
+}
+
+fn parse_response(raw: &str) -> CgiResponse {
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw, ""));
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut content_type = String::from("text/html");
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.trim().to_owned();
+            }
+        }
+    }
+    CgiResponse {
+        status,
+        content_type,
+        body: body.to_owned(),
+    }
+}
+
+/// The user's interactions with a form before clicking Submit.
+#[derive(Debug, Clone, Default)]
+pub struct FormFill {
+    texts: Vec<(String, String)>,
+    checks: Vec<(String, String, bool)>, // (name, value, checked)
+    radios: Vec<(String, String)>,       // (name, chosen value)
+    selections: Vec<(String, Vec<String>)>,
+}
+
+impl FormFill {
+    /// No interactions: submit the form's default state.
+    pub fn defaults() -> FormFill {
+        FormFill::default()
+    }
+
+    /// Type into a text field.
+    pub fn text(mut self, name: &str, value: &str) -> FormFill {
+        self.texts.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Check or uncheck the checkbox `name` whose VALUE is `value`.
+    pub fn check(mut self, name: &str, value: &str, checked: bool) -> FormFill {
+        self.checks
+            .push((name.to_owned(), value.to_owned(), checked));
+        self
+    }
+
+    /// Pick the radio button of group `name` with VALUE `value`.
+    pub fn radio(mut self, name: &str, value: &str) -> FormFill {
+        self.radios.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Select exactly these option values in the SELECT named `name`.
+    pub fn select(mut self, name: &str, values: &[&str]) -> FormFill {
+        self.selections.push((
+            name.to_owned(),
+            values.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Compute the submission pairs for `form` in document order, per §2.2.
+    pub fn submission(&self, form: &Form) -> QueryString {
+        let mut q = QueryString::new();
+        for control in &form.controls {
+            match control {
+                FormControl::Input {
+                    kind,
+                    name,
+                    value,
+                    checked,
+                } => match kind.as_str() {
+                    "checkbox" => {
+                        let ctl_value = value.clone().unwrap_or_else(|| "on".into());
+                        let state = self
+                            .checks
+                            .iter()
+                            .rev()
+                            .find(|(n, v, _)| n == name && *v == ctl_value)
+                            .map(|(_, _, c)| *c)
+                            .unwrap_or(*checked);
+                        if state {
+                            q.push(name.clone(), ctl_value);
+                        }
+                    }
+                    "radio" => {
+                        let ctl_value = value.clone().unwrap_or_default();
+                        let chosen = self
+                            .radios
+                            .iter()
+                            .rev()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, v)| v.as_str());
+                        let on = match chosen {
+                            Some(v) => v == ctl_value,
+                            None => *checked,
+                        };
+                        if on {
+                            q.push(name.clone(), ctl_value);
+                        }
+                    }
+                    "submit" | "reset" | "button" | "image" => {}
+                    _ => {
+                        // text, hidden, password, ...
+                        let typed = self
+                            .texts
+                            .iter()
+                            .rev()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, v)| v.clone());
+                        q.push(
+                            name.clone(),
+                            typed.unwrap_or_else(|| value.clone().unwrap_or_default()),
+                        );
+                    }
+                },
+                FormControl::Select { name, options, .. } => {
+                    let chosen = self
+                        .selections
+                        .iter()
+                        .rev()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v.clone());
+                    match chosen {
+                        Some(values) => {
+                            // Submit in option (document) order, like a browser.
+                            for (value, _) in options {
+                                if values.iter().any(|v| v == value) {
+                                    q.push(name.clone(), value.clone());
+                                }
+                            }
+                        }
+                        None => {
+                            for (value, selected) in options {
+                                if *selected {
+                                    q.push(name.clone(), value.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                FormControl::TextArea { name, value } => {
+                    let typed = self
+                        .texts
+                        .iter()
+                        .rev()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v.clone());
+                    q.push(name.clone(), typed.unwrap_or_else(|| value.clone()));
+                }
+            }
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE2: &str = r#"
+<FORM METHOD="post" ACTION="/cgi-bin/db2www.exe/urlquery.d2w/report">
+<INPUT TYPE="text" NAME="SEARCH" SIZE=20>
+<INPUT TYPE="checkbox" NAME="USE_URL" VALUE="yes" CHECKED> URL<br>
+<INPUT TYPE="checkbox" NAME="USE_TITLE" VALUE="yes" CHECKED> Title<br>
+<INPUT TYPE="checkbox" NAME="USE_DESC" VALUE="yes">Description
+<SELECT NAME="DBFIELD" SIZE=3 MULTIPLE>
+<OPTION VALUE="url">URL
+<OPTION VALUE="title" SELECTED> Title
+<OPTION VALUE="desc">Description
+</SELECT>
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="YES"> Yes
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="" CHECKED> No
+<INPUT TYPE="submit" VALUE="Submit Query">
+</FORM>"#;
+
+    #[test]
+    fn default_submission_matches_paper_figure3() {
+        // §2.2 lists the exact variable set for the Figure 3 default state,
+        // with the user having additionally selected desc in the SELECT:
+        //   SEARCH="" USE_URL="yes" USE_TITLE="yes" USE_DESC=""
+        //   DBFIELD="title" DBFIELD="desc" SHOWSQL=""
+        let form = Form::parse_first(FIGURE2).unwrap();
+        let fill = FormFill::defaults().select("DBFIELD", &["title", "desc"]);
+        let q = fill.submission(&form);
+        assert_eq!(
+            q.to_wire(),
+            "SEARCH=&USE_URL=yes&USE_TITLE=yes&DBFIELD=title&DBFIELD=desc&SHOWSQL="
+        );
+    }
+
+    #[test]
+    fn typing_and_unchecking() {
+        let form = Form::parse_first(FIGURE2).unwrap();
+        let fill = FormFill::defaults()
+            .text("SEARCH", "ib")
+            .check("USE_TITLE", "yes", false)
+            .check("USE_DESC", "yes", true)
+            .radio("SHOWSQL", "YES");
+        let q = fill.submission(&form);
+        assert_eq!(q.get("SEARCH"), Some("ib"));
+        assert_eq!(q.get("USE_TITLE"), None); // unchecked sends nothing
+        assert_eq!(q.get("USE_DESC"), Some("yes"));
+        assert_eq!(q.get("SHOWSQL"), Some("YES"));
+    }
+
+    #[test]
+    fn radio_group_single_value() {
+        let form = Form::parse_first(FIGURE2).unwrap();
+        let q = FormFill::defaults().submission(&form);
+        assert_eq!(q.get_all("SHOWSQL"), vec![""]);
+    }
+
+    #[test]
+    fn select_respects_document_order() {
+        let form = Form::parse_first(FIGURE2).unwrap();
+        let q = FormFill::defaults()
+            .select("DBFIELD", &["desc", "url"]) // user clicks in any order
+            .submission(&form);
+        assert_eq!(q.get_all("DBFIELD"), vec!["url", "desc"]);
+    }
+
+    #[test]
+    fn parse_response_splits_head_body() {
+        let r = parse_response("HTTP/1.0 200 OK\r\nContent-Type: text/html\r\n\r\n<p>hi");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "<p>hi");
+    }
+}

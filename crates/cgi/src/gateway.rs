@@ -1,0 +1,340 @@
+//! The gateway program itself: the `db2www` CGI application of §4.
+//!
+//! Invoked as `/cgi-bin/db2www/{macro-file}/{cmd}[?name=val&…]`, it loads the
+//! named macro, processes it in `input` or `report` mode with the HTML input
+//! variables from the request, and returns the generated page.
+
+use crate::bridge::MiniSqlDatabase;
+use crate::request::{CgiRequest, CgiResponse};
+use crate::session::{SessionManager, END_VAR, SESSION_ID_VAR, SESSION_VAR};
+use dbgw_core::db::Database;
+use dbgw_core::security::safe_macro_name;
+use dbgw_core::{parse_macro, Engine, EngineConfig, MacroError, MacroFile, Mode, TxnMode};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Supplies a fresh DBMS connection per request, the way the CGI model
+/// re-connected in every process.
+pub trait ConnectionSource: Send + Sync {
+    /// Open a connection.
+    fn connect(&self) -> Box<dyn Database + Send>;
+}
+
+impl ConnectionSource for minisql::Database {
+    fn connect(&self) -> Box<dyn Database + Send> {
+        Box::new(MiniSqlDatabase::connect(self))
+    }
+}
+
+/// Closure-based source for tests.
+pub struct FnSource<F>(pub F);
+
+impl<F> ConnectionSource for FnSource<F>
+where
+    F: Fn() -> Box<dyn Database + Send> + Send + Sync,
+{
+    fn connect(&self) -> Box<dyn Database + Send> {
+        (self.0)()
+    }
+}
+
+/// The macro store + engine: one of these serves all requests.
+pub struct Gateway {
+    macros: RwLock<HashMap<String, Arc<MacroFile>>>,
+    config: EngineConfig,
+    source: Box<dyn ConnectionSource>,
+    sessions: Option<SessionManager>,
+}
+
+impl Gateway {
+    /// Gateway over a connection source with default engine config.
+    pub fn new(source: impl ConnectionSource + 'static) -> Gateway {
+        Gateway::with_config(source, EngineConfig::default())
+    }
+
+    /// Gateway with explicit engine configuration.
+    pub fn with_config(source: impl ConnectionSource + 'static, config: EngineConfig) -> Gateway {
+        Gateway {
+            macros: RwLock::new(HashMap::new()),
+            config,
+            source: Box::new(source),
+            sessions: None,
+        }
+    }
+
+    /// Enable conversational transactions (§5's future work): requests may
+    /// open a cross-request transaction with `DTW_SESSION=new`, continue it
+    /// with `DTW_SESSION=<id>`, and finish with `DTW_END=commit|abort`.
+    /// Idle sessions roll back after `ttl`.
+    pub fn enable_sessions(mut self, ttl: Duration) -> Gateway {
+        self.sessions = Some(SessionManager::new(ttl));
+        self
+    }
+
+    /// The session manager, when conversations are enabled.
+    pub fn sessions(&self) -> Option<&SessionManager> {
+        self.sessions.as_ref()
+    }
+
+    /// Install (or replace) a macro under `name` — the application developer
+    /// "stores them in files (called macros) at the Web server".
+    pub fn add_macro(&self, name: &str, source: &str) -> Result<(), MacroError> {
+        let parsed = parse_macro(source)?;
+        self.macros
+            .write()
+            .insert(name.to_owned(), Arc::new(parsed));
+        Ok(())
+    }
+
+    /// Names of installed macros, sorted.
+    pub fn macro_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.macros.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Load every `*.d2w` file in a directory as a macro, with `%INCLUDE`
+    /// fragments resolved against the `*.hti` files in the same directory —
+    /// the product's macro-directory deployment model. Returns the macro
+    /// names loaded (sorted).
+    pub fn load_macro_dir(&self, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
+        use dbgw_core::MapResolver;
+        let mut resolver = MapResolver::new();
+        let mut macro_files = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+                continue;
+            };
+            if name.ends_with(".hti") {
+                resolver.insert(&name, &std::fs::read_to_string(&path)?);
+            } else if name.ends_with(".d2w") {
+                macro_files.push((name, std::fs::read_to_string(&path)?));
+            }
+        }
+        let mut loaded = Vec::new();
+        for (name, source) in macro_files {
+            let parsed = dbgw_core::parse_macro_with_includes(&source, &resolver).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{name}: {e}"))
+            })?;
+            self.macros.write().insert(name.clone(), Arc::new(parsed));
+            loaded.push(name);
+        }
+        loaded.sort();
+        Ok(loaded)
+    }
+
+    /// Handle one CGI invocation.
+    pub fn handle(&self, req: &CgiRequest) -> CgiResponse {
+        // PATH_INFO = /{macro-file}/{cmd}
+        let mut parts = req.path_info.trim_start_matches('/').splitn(2, '/');
+        let macro_name = parts.next().unwrap_or("");
+        let cmd = parts.next().unwrap_or("");
+        if !safe_macro_name(macro_name) {
+            return CgiResponse::error(400, "invalid macro file name");
+        }
+        let Some(mode) = Mode::from_command(cmd) else {
+            return CgiResponse::error(
+                400,
+                &format!("unknown command {cmd:?}: expected input or report"),
+            );
+        };
+        let Some(mac) = self.macros.read().get(macro_name).cloned() else {
+            return CgiResponse::error(404, &format!("no macro named {macro_name}"));
+        };
+        let mut inputs: Vec<(String, String)> = req
+            .variables()
+            .pairs()
+            .iter()
+            .map(|(a, b)| (a.clone(), b.clone()))
+            .collect();
+
+        // Conversational transactions (reserved DTW_* variables).
+        let session_request = inputs
+            .iter()
+            .find(|(n, _)| n == SESSION_VAR)
+            .map(|(_, v)| v.clone())
+            .filter(|v| !v.is_empty());
+        if let (Some(mgr), Some(session)) = (self.sessions.as_ref(), session_request) {
+            // Inside a conversation the engine must not open its own
+            // transaction — the session holds the open one.
+            let config = EngineConfig {
+                txn_mode: TxnMode::AutoCommit,
+                ..self.config.clone()
+            };
+            let engine = Engine::with_config(config);
+            let id = if session == "new" {
+                match mgr.start(self.source.connect()) {
+                    Ok(id) => id,
+                    Err(e) => return CgiResponse::error(500, &e.to_string()),
+                }
+            } else {
+                session
+            };
+            inputs.push((SESSION_ID_VAR.to_owned(), id.clone()));
+            let outcome = mgr.with_session(&id, |conn| engine.process(&mac, mode, &inputs, conn));
+            let Some(result) = outcome else {
+                return CgiResponse::error(400, &format!("unknown or expired session {id}"));
+            };
+            let mut response = match result {
+                Ok(body) => CgiResponse::html(body),
+                Err(e) => {
+                    // A failed request aborts the whole conversation.
+                    let _ = mgr.end(&id, false);
+                    return CgiResponse::error(500, &e.to_string());
+                }
+            };
+            let end = inputs
+                .iter()
+                .find(|(n, _)| n == END_VAR)
+                .map(|(_, v)| v.to_ascii_lowercase());
+            match end.as_deref() {
+                Some("commit") => {
+                    if let Some(Err(e)) = mgr.end(&id, true) {
+                        response = CgiResponse::error(500, &e.to_string());
+                    }
+                }
+                Some("abort") => {
+                    let _ = mgr.end(&id, false);
+                }
+                _ => {}
+            }
+            return response;
+        }
+
+        let engine = Engine::with_config(self.config.clone());
+        let mut conn = self.source.connect();
+        match engine.process(&mac, mode, &inputs, conn.as_mut()) {
+            Ok(body) => CgiResponse::html(body),
+            Err(e) => CgiResponse::error(500, &e.to_string()),
+        }
+    }
+
+    /// Convenience for tests and benches: handle a GET.
+    pub fn get(&self, macro_name: &str, cmd: &str, query: &str) -> CgiResponse {
+        self.handle(&CgiRequest::get(&format!("/{macro_name}/{cmd}"), query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gateway() -> Gateway {
+        let db = minisql::Database::new();
+        db.run_script(
+            "CREATE TABLE urldb (url VARCHAR(255), title VARCHAR(80), description VARCHAR(200));
+             INSERT INTO urldb VALUES ('http://www.ibm.com', 'IBM', 'Big Blue'),
+                                      ('http://www.eso.org', 'ESO', 'Observatory');",
+        )
+        .unwrap();
+        let gw = Gateway::new(db);
+        gw.add_macro(
+            "urlquery.d2w",
+            r#"%DEFINE dbtbl = "urldb"
+%SQL{ SELECT url, title FROM $(dbtbl) WHERE title LIKE '%$(SEARCH)%' ORDER BY title
+%SQL_REPORT{<UL>
+%ROW{<LI><A HREF="$(V1)">$(V2)</A>
+%}</UL>
+%}
+%}
+%HTML_INPUT{<FORM METHOD="post" ACTION="/cgi-bin/db2www/urlquery.d2w/report">
+<INPUT TYPE="text" NAME="SEARCH">
+<INPUT TYPE="submit" VALUE="Submit Query">
+</FORM>%}
+%HTML_REPORT{<H1>URL Query Result</H1>
+%EXEC_SQL
+%}"#,
+        )
+        .unwrap();
+        gw
+    }
+
+    #[test]
+    fn input_mode_serves_form() {
+        let gw = gateway();
+        let resp = gw.get("urlquery.d2w", "input", "");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("<INPUT TYPE=\"text\" NAME=\"SEARCH\">"));
+        assert!(dbgw_html::check_balanced(&resp.body).is_ok());
+    }
+
+    #[test]
+    fn report_mode_runs_query_end_to_end() {
+        let gw = gateway();
+        let resp = gw.get("urlquery.d2w", "report", "SEARCH=IB");
+        assert_eq!(resp.status, 200);
+        assert!(resp
+            .body
+            .contains(r#"<A HREF="http://www.ibm.com">IBM</A>"#));
+        assert!(!resp.body.contains("eso"));
+    }
+
+    #[test]
+    fn post_body_variables_work() {
+        let gw = gateway();
+        let resp = gw.handle(&CgiRequest::post("/urlquery.d2w/report", "SEARCH=ESO"));
+        assert!(resp.body.contains("eso.org"));
+    }
+
+    #[test]
+    fn unknown_macro_404() {
+        let gw = gateway();
+        assert_eq!(gw.get("nope.d2w", "input", "").status, 404);
+    }
+
+    #[test]
+    fn bad_command_400() {
+        let gw = gateway();
+        assert_eq!(gw.get("urlquery.d2w", "destroy", "").status, 400);
+    }
+
+    #[test]
+    fn path_traversal_rejected() {
+        let gw = gateway();
+        let resp = gw.handle(&CgiRequest::get("/../etc/passwd/input", ""));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn sql_injection_attempt_is_contained() {
+        // A hostile SEARCH value cannot escape the LIKE literal thanks to the
+        // engine passing it through one string context; a quote breaks the
+        // statement and surfaces as a SQL error page, not data loss.
+        let gw = gateway();
+        let resp = gw.get(
+            "urlquery.d2w",
+            "report",
+            "SEARCH=%27%3B%20DROP%20TABLE%20urldb%3B%20--",
+        );
+        assert_eq!(resp.status, 200); // error rendered inside the report page
+        assert!(resp.body.contains("SQL error"));
+    }
+
+    #[test]
+    fn macro_names_listed() {
+        let gw = gateway();
+        assert_eq!(gw.macro_names(), vec!["urlquery.d2w"]);
+    }
+
+    #[test]
+    fn load_macro_dir_resolves_hti_includes() {
+        let dir = std::env::temp_dir().join(format!("dbgw-macro-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("header.hti"), "<TITLE>Shared</TITLE>").unwrap();
+        std::fs::write(
+            dir.join("app.d2w"),
+            "%HTML_INPUT{\n%INCLUDE \"header.hti\"\n<FORM ACTION=\"x\"></FORM>%}\n%SQL{ SELECT 1 %}\n%HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let gw = Gateway::new(minisql::Database::new());
+        let loaded = gw.load_macro_dir(&dir).unwrap();
+        assert_eq!(loaded, vec!["app.d2w"]);
+        let resp = gw.get("app.d2w", "input", "");
+        assert!(resp.body.contains("<TITLE>Shared</TITLE>"), "{}", resp.body);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

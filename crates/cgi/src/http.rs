@@ -1,0 +1,381 @@
+//! A minimal threaded HTTP/1.0 server fronting the gateway.
+//!
+//! Stands in for the NCSA/IBM httpd of Figure 1: it accepts connections,
+//! parses one request each (HTTP/1.0 close-per-request, as in 1996), routes
+//! `/cgi-bin/db2www/…` to the [`Gateway`], serves registered static pages
+//! (the "home page" of §1), and closes.
+
+use crate::auth::{AuthDecision, BasicAuth};
+use crate::gateway::Gateway;
+use crate::log::{AccessLog, LogEntry};
+use crate::request::{CgiRequest, CgiResponse, Method};
+use bytes::BytesMut;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The CGI program mount point, as in the paper's URLs.
+pub const CGI_PREFIX: &str = "/cgi-bin/db2www";
+
+/// A running server.
+pub struct HttpServer {
+    inner: Arc<ServerInner>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+struct ServerInner {
+    gateway: Gateway,
+    static_pages: RwLock<HashMap<String, String>>,
+    auth: RwLock<Option<BasicAuth>>,
+    log: AccessLog,
+    stop: AtomicBool,
+}
+
+impl HttpServer {
+    /// Bind to `127.0.0.1:port` (0 picks a free port) and start accepting.
+    pub fn start(gateway: Gateway, port: u16) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(ServerInner {
+            gateway,
+            static_pages: RwLock::new(HashMap::new()),
+            auth: RwLock::new(None),
+            log: AccessLog::new(),
+            stop: AtomicBool::new(false),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_inner.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_inner = Arc::clone(&accept_inner);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&conn_inner, stream);
+                });
+            }
+        });
+        Ok(HttpServer {
+            inner,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Register a static page at `path` (must start with `/`).
+    pub fn add_static_page(&self, path: &str, html: &str) {
+        self.inner
+            .static_pages
+            .write()
+            .insert(path.to_owned(), html.to_owned());
+    }
+
+    /// The gateway being served.
+    pub fn gateway(&self) -> &Gateway {
+        &self.inner.gateway
+    }
+
+    /// Install HTTP Basic authentication (httpd-style path protection, §5).
+    pub fn set_auth(&self, auth: BasicAuth) {
+        *self.inner.auth.write() = Some(auth);
+    }
+
+    /// The shared access log (Common Log Format entries).
+    pub fn access_log(&self) -> AccessLog {
+        self.inner.log.clone()
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Kick the blocked accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection(inner: &ServerInner, mut stream: TcpStream) -> std::io::Result<()> {
+    let remote = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "-".into());
+    let request = read_request(&mut stream)?;
+    let (response, user, realm, request_line) = match request {
+        Some(req) => {
+            let line = format!("{} {} HTTP/1.0", req.method, req.target);
+            let (resp, user, realm) = dispatch(inner, req);
+            (resp, user, realm, line)
+        }
+        None => (
+            CgiResponse::error(400, "malformed request"),
+            "-".to_owned(),
+            None,
+            "- - -".to_owned(),
+        ),
+    };
+    inner.log.record(LogEntry {
+        remote,
+        user,
+        request_line,
+        status: response.status,
+        bytes: response.body.len(),
+    });
+    write_response(&mut stream, &response, realm.as_deref())
+}
+
+/// A parsed HTTP request.
+struct HttpRequest {
+    method: String,
+    target: String,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl HttpRequest {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
+    let mut buf = BytesMut::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    // Read until we have the full header block.
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 1 << 20 {
+            return Ok(None); // header flood
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let header_text = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = header_text.lines();
+    let request_line = lines.next().unwrap_or_default().to_owned();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let target = parts.next().unwrap_or("").to_owned();
+    let mut content_length = 0usize;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+    }
+    // Body bytes already buffered, plus whatever remains on the wire.
+    let body_start = header_end + 4;
+    let mut body: Vec<u8> = buf.get(body_start.min(buf.len())..).unwrap_or(&[]).to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Some(HttpRequest {
+        method,
+        target,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    }))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Returns (response, authenticated user for the log, challenge realm).
+fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Option<String>) {
+    let (path, query) = match req.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.target.as_str(), ""),
+    };
+    // Authentication before anything else, like httpd's access checks.
+    let mut user = "-".to_owned();
+    if let Some(guard) = inner.auth.read().as_ref() {
+        match guard.check(path, req.header("authorization")) {
+            AuthDecision::Open => {}
+            AuthDecision::Allow(name) => user = name,
+            AuthDecision::Challenge(realm) => {
+                return (
+                    CgiResponse::error(401, "authorization required"),
+                    user,
+                    Some(realm),
+                );
+            }
+        }
+    }
+    let method = match req.method.as_str() {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => {
+            return (
+                CgiResponse::error(405, "only GET and POST are supported"),
+                user,
+                None,
+            )
+        }
+    };
+    // CGI dispatch (also accept the paper's db2www.exe spelling; the longer
+    // prefix must be tried first, and the remainder must be a real subpath).
+    for prefix in ["/cgi-bin/db2www.exe", CGI_PREFIX] {
+        if let Some(path_info) = path.strip_prefix(prefix).filter(|p| p.starts_with('/')) {
+            let cgi = CgiRequest {
+                method,
+                path_info: path_info.to_owned(),
+                query_string: query.to_owned(),
+                body: req.body,
+            };
+            return (inner.gateway.handle(&cgi), user, None);
+        }
+    }
+    if let Some(page) = inner.static_pages.read().get(path) {
+        return (CgiResponse::html(page.clone()), user, None);
+    }
+    (
+        CgiResponse::error(404, &format!("no page at {path}")),
+        user,
+        None,
+    )
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    resp: &CgiResponse,
+    challenge_realm: Option<&str>,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        resp.reason(),
+        resp.content_type,
+        resp.body.len()
+    );
+    if let Some(realm) = challenge_realm {
+        head.push_str(&format!("WWW-Authenticate: Basic realm=\"{realm}\"\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn server() -> HttpServer {
+        let db = minisql::Database::new();
+        db.run_script(
+            "CREATE TABLE urldb (url VARCHAR(255), title VARCHAR(80));
+             INSERT INTO urldb VALUES ('http://www.ibm.com', 'IBM');",
+        )
+        .unwrap();
+        let gw = Gateway::new(db);
+        gw.add_macro(
+            "q.d2w",
+            "%SQL{ SELECT url, title FROM urldb %}\n\
+             %HTML_INPUT{<FORM METHOD=\"post\" ACTION=\"/cgi-bin/db2www/q.d2w/report\">\
+             <INPUT NAME=\"SEARCH\"></FORM>%}\n\
+             %HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        let server = HttpServer::start(gw, 0).unwrap();
+        server.add_static_page("/", "<HTML><BODY>home</BODY></HTML>");
+        server
+    }
+
+    #[test]
+    fn serves_static_and_cgi() {
+        let server = server();
+        let client = HttpClient::new(server.addr());
+        let home = client.get("/").unwrap();
+        assert_eq!(home.status, 200);
+        assert!(home.body.contains("home"));
+
+        let form = client.get("/cgi-bin/db2www/q.d2w/input").unwrap();
+        assert!(form.body.contains("NAME=\"SEARCH\""));
+
+        let report = client
+            .post("/cgi-bin/db2www/q.d2w/report", "SEARCH=ib")
+            .unwrap();
+        assert!(report.body.contains("http://www.ibm.com"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn missing_page_404_and_bad_method() {
+        let server = server();
+        let client = HttpClient::new(server.addr());
+        assert_eq!(client.get("/nowhere").unwrap().status, 404);
+        let raw = client
+            .raw("PUT /cgi-bin/db2www/q.d2w/input HTTP/1.0\r\n\r\n")
+            .unwrap();
+        assert!(raw.starts_with("HTTP/1.0 405"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn exe_spelling_accepted() {
+        let server = server();
+        let client = HttpClient::new(server.addr());
+        let resp = client.get("/cgi-bin/db2www.exe/q.d2w/input").unwrap();
+        assert_eq!(resp.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = server();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                let resp = client.get("/cgi-bin/db2www/q.d2w/report").unwrap();
+                assert_eq!(resp.status, 200);
+                assert!(resp.body.contains("IBM"));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,34 @@
+//! **dbgw-cgi** — the Web substrate of the gateway reproduction.
+//!
+//! Everything between the end user's browser and the macro engine:
+//!
+//! * [`urlencode`] — `application/x-www-form-urlencoded` percent coding,
+//! * [`query`] — `QUERY_STRING` multimap parsing (§2.2/§2.3 of the paper),
+//! * [`request`] — the CGI request/response boundary (Figure 4),
+//! * [`bridge`] — the [`minisql`] adapter behind [`dbgw_core::Database`],
+//! * [`gateway`] — the `db2www` program: macro store + dispatch (§4),
+//! * [`http`] — a threaded HTTP/1.0 server standing in for httpd,
+//! * [`client`] — a programmatic browser with §2.2-faithful form submission.
+
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod bridge;
+pub mod client;
+pub mod gateway;
+pub mod http;
+pub mod log;
+pub mod query;
+pub mod request;
+pub mod session;
+pub mod urlencode;
+
+pub use auth::{base64_decode, base64_encode, AuthDecision, BasicAuth};
+pub use bridge::MiniSqlDatabase;
+pub use client::{FormFill, HttpClient};
+pub use gateway::{ConnectionSource, Gateway};
+pub use http::{HttpServer, CGI_PREFIX};
+pub use log::{AccessLog, LogEntry};
+pub use query::QueryString;
+pub use request::{CgiRequest, CgiResponse, Method};
+pub use session::SessionManager;

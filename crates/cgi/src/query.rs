@@ -1,0 +1,167 @@
+//! `QUERY_STRING` parsing: the CGI variable-passing format of §2.2–2.3.
+//!
+//! The Web client packages form variables as `name=value&name=value&…`; the
+//! server hands that string to the CGI program via the `QUERY_STRING`
+//! environment variable (GET) or standard input (POST). Repeated names make a
+//! *list variable*. A variable sent with an empty value is, per the paper,
+//! indistinguishable from one not sent at all — but we preserve it so the
+//! engine's own null/undefined unification does the equating.
+
+use crate::urlencode::{decode, encode};
+
+/// An ordered multi-map of form variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryString {
+    pairs: Vec<(String, String)>,
+}
+
+impl QueryString {
+    /// Empty.
+    pub fn new() -> QueryString {
+        QueryString::default()
+    }
+
+    /// Parse the `name=value&…` wire format (also accepts `;` separators,
+    /// which some 90s clients emitted).
+    pub fn parse(raw: &str) -> QueryString {
+        let mut pairs = Vec::new();
+        for chunk in raw.split(['&', ';']) {
+            if chunk.is_empty() {
+                continue;
+            }
+            match chunk.split_once('=') {
+                Some((name, value)) => pairs.push((decode(name), decode(value))),
+                // An ISINDEX-style bare word is a name with a null value.
+                None => pairs.push((decode(chunk), String::new())),
+            }
+        }
+        QueryString { pairs }
+    }
+
+    /// Build from pairs (test client side).
+    pub fn from_pairs<I, S1, S2>(pairs: I) -> QueryString
+    where
+        I: IntoIterator<Item = (S1, S2)>,
+        S1: Into<String>,
+        S2: Into<String>,
+    {
+        QueryString {
+            pairs: pairs
+                .into_iter()
+                .map(|(a, b)| (a.into(), b.into()))
+                .collect(),
+        }
+    }
+
+    /// Append one pair.
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.pairs.push((name.into(), value.into()));
+    }
+
+    /// Serialize to the wire format.
+    pub fn to_wire(&self) -> String {
+        self.pairs
+            .iter()
+            .map(|(n, v)| format!("{}={}", encode(n), encode(v)))
+            .collect::<Vec<_>>()
+            .join("&")
+    }
+
+    /// All pairs in arrival order.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+
+    /// First value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value for `name`, in order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_paper_example() {
+        // The §2.2 submission for Figure 3's selections.
+        let q = QueryString::parse(
+            "SEARCH=&USE_URL=yes&USE_TITLE=yes&USE_DESC=&DBFIELD=title&DBFIELD=desc&SHOWSQL=",
+        );
+        assert_eq!(q.get("SEARCH"), Some(""));
+        assert_eq!(q.get("USE_URL"), Some("yes"));
+        assert_eq!(q.get_all("DBFIELD"), vec!["title", "desc"]);
+        assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn decodes_values() {
+        let q = QueryString::parse("a=x+y&b=%26%3D");
+        assert_eq!(q.get("a"), Some("x y"));
+        assert_eq!(q.get("b"), Some("&="));
+    }
+
+    #[test]
+    fn bare_word_is_null_value() {
+        let q = QueryString::parse("flag&x=1");
+        assert_eq!(q.get("flag"), Some(""));
+    }
+
+    #[test]
+    fn semicolon_separator_accepted() {
+        let q = QueryString::parse("a=1;b=2");
+        assert_eq!(q.get("b"), Some("2"));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let q = QueryString::from_pairs([("name", "a b"), ("x&y", "=")]);
+        let wire = q.to_wire();
+        assert_eq!(QueryString::parse(&wire), q);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(QueryString::parse("").is_empty());
+        assert!(QueryString::parse("&&").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary_pairs(pairs in proptest::collection::vec(("\\PC*", "\\PC*"), 0..8)) {
+            let q = QueryString::from_pairs(pairs.clone());
+            let parsed = QueryString::parse(&q.to_wire());
+            // Empty-named chunks vanish on the wire (they serialize to "=v"
+            // which parses back to an empty name, so equality holds — except
+            // a completely empty pair list).
+            prop_assert_eq!(parsed.pairs().len(), pairs.len());
+            for ((n1, v1), (n2, v2)) in parsed.pairs().iter().zip(&pairs) {
+                prop_assert_eq!(n1, n2);
+                prop_assert_eq!(v1, v2);
+            }
+        }
+    }
+}

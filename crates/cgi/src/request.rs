@@ -1,0 +1,178 @@
+//! The CGI request/response model (§2.3, Figure 4).
+//!
+//! A Web server that receives a URL naming a CGI application starts the
+//! program and passes it: the extra path (`PATH_INFO`), the query string
+//! (`QUERY_STRING`), and — for POST — the form body on standard input. The
+//! program writes headers and a page to standard output. [`CgiRequest`] and
+//! [`CgiResponse`] model exactly that boundary, so the gateway logic is
+//! testable without sockets and the HTTP server is a thin shell.
+
+use crate::query::QueryString;
+
+/// HTTP request method (the two the 1996 forms used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET — variables in the URL.
+    Get,
+    /// POST — variables in the body.
+    Post,
+}
+
+/// What the Web server hands the CGI program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgiRequest {
+    /// Request method.
+    pub method: Method,
+    /// Extra path after the program name, e.g. `/urlquery.d2w/report`.
+    pub path_info: String,
+    /// Raw query string (GET variables, also allowed on POST).
+    pub query_string: String,
+    /// Request body (POST form data).
+    pub body: String,
+}
+
+impl CgiRequest {
+    /// A GET request.
+    pub fn get(path_info: &str, query_string: &str) -> CgiRequest {
+        CgiRequest {
+            method: Method::Get,
+            path_info: path_info.to_owned(),
+            query_string: query_string.to_owned(),
+            body: String::new(),
+        }
+    }
+
+    /// A POST request with a form body.
+    pub fn post(path_info: &str, body: &str) -> CgiRequest {
+        CgiRequest {
+            method: Method::Post,
+            path_info: path_info.to_owned(),
+            query_string: String::new(),
+            body: body.to_owned(),
+        }
+    }
+
+    /// All form variables, URL query string first then POST body, preserving
+    /// arrival order (repeats become list variables).
+    pub fn variables(&self) -> QueryString {
+        let mut q = QueryString::parse(&self.query_string);
+        if self.method == Method::Post {
+            for (name, value) in QueryString::parse(&self.body).pairs() {
+                q.push(name.clone(), value.clone());
+            }
+        }
+        q
+    }
+
+    /// The CGI environment pairs a fork/exec server would set — exposed for
+    /// documentation/tests and the ease-of-construction comparison.
+    pub fn environment(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "REQUEST_METHOD".into(),
+                match self.method {
+                    Method::Get => "GET".into(),
+                    Method::Post => "POST".into(),
+                },
+            ),
+            ("PATH_INFO".into(), self.path_info.clone()),
+            ("QUERY_STRING".into(), self.query_string.clone()),
+            ("CONTENT_LENGTH".into(), self.body.len().to_string()),
+            ("GATEWAY_INTERFACE".into(), "CGI/1.1".into()),
+            ("SERVER_PROTOCOL".into(), "HTTP/1.0".into()),
+        ]
+    }
+}
+
+/// What the CGI program sends back through the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Content type (the gateway always produces `text/html`).
+    pub content_type: String,
+    /// Page body.
+    pub body: String,
+}
+
+impl CgiResponse {
+    /// 200 OK with an HTML body.
+    pub fn html(body: String) -> CgiResponse {
+        CgiResponse {
+            status: 200,
+            content_type: "text/html".into(),
+            body,
+        }
+    }
+
+    /// An error page.
+    pub fn error(status: u16, message: &str) -> CgiResponse {
+        CgiResponse {
+            status,
+            content_type: "text/html".into(),
+            body: format!(
+                "<HTML><HEAD><TITLE>Error {status}</TITLE></HEAD>\n\
+                 <BODY><H1>Error {status}</H1>\n<P>{}</P></BODY></HTML>\n",
+                dbgw_html::escape_text(message)
+            ),
+        }
+    }
+
+    /// The reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_variables_from_query_string() {
+        let req = CgiRequest::get("/m.d2w/report", "a=1&a=2&b=x");
+        let vars = req.variables();
+        assert_eq!(vars.get_all("a"), vec!["1", "2"]);
+        assert_eq!(vars.get("b"), Some("x"));
+    }
+
+    #[test]
+    fn post_merges_url_and_body() {
+        let mut req = CgiRequest::post("/m.d2w/report", "c=3");
+        req.query_string = "a=1".into();
+        let vars = req.variables();
+        assert_eq!(vars.get("a"), Some("1"));
+        assert_eq!(vars.get("c"), Some("3"));
+    }
+
+    #[test]
+    fn get_ignores_body() {
+        let mut req = CgiRequest::get("/m.d2w/input", "");
+        req.body = "x=1".into();
+        assert!(req.variables().is_empty());
+    }
+
+    #[test]
+    fn environment_shape() {
+        let req = CgiRequest::get("/m.d2w/input", "q=1");
+        let env = req.environment();
+        assert!(env.contains(&("PATH_INFO".into(), "/m.d2w/input".into())));
+        assert!(env.contains(&("QUERY_STRING".into(), "q=1".into())));
+        assert!(env.contains(&("GATEWAY_INTERFACE".into(), "CGI/1.1".into())));
+    }
+
+    #[test]
+    fn error_page_escapes_message() {
+        let r = CgiResponse::error(400, "<bad>");
+        assert!(r.body.contains("&lt;bad&gt;"));
+        assert_eq!(r.reason(), "Bad Request");
+    }
+}

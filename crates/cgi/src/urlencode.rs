@@ -1,0 +1,129 @@
+//! `application/x-www-form-urlencoded` percent coding.
+//!
+//! The encoding every 90s browser used for form submission (§2.2 of the
+//! paper): spaces become `+`, reserved/non-ASCII bytes become `%XX`, and the
+//! decoder is forgiving about malformed escapes (passing them through
+//! literally, as NCSA httpd did).
+
+/// Percent-encode a form field name or value.
+///
+/// Unreserved characters (`A-Z a-z 0-9 - _ . * `) pass through; space becomes
+/// `+`; everything else is `%XX` per UTF-8 byte.
+///
+/// ```
+/// use dbgw_cgi::urlencode::encode;
+/// assert_eq!(encode("a b&c=d"), "a+b%26c%3Dd");
+/// ```
+pub fn encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'*' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            other => {
+                out.push('%');
+                out.push(hex_digit(other >> 4));
+                out.push(hex_digit(other & 0xF));
+            }
+        }
+    }
+    out
+}
+
+fn hex_digit(nibble: u8) -> char {
+    char::from_digit(nibble as u32, 16)
+        .expect("nibble < 16")
+        .to_ascii_uppercase()
+}
+
+/// Decode a percent-encoded form field.
+///
+/// `+` becomes space; `%XX` decodes bytewise; invalid UTF-8 sequences are
+/// replaced with U+FFFD; malformed escapes pass through literally.
+///
+/// ```
+/// use dbgw_cgi::urlencode::decode;
+/// assert_eq!(decode("a+b%26c"), "a b&c");
+/// assert_eq!(decode("100%"), "100%");
+/// ```
+pub fn decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 => {
+                let hi = bytes.get(i + 1).and_then(|&c| (c as char).to_digit(16));
+                let lo = bytes.get(i + 2).and_then(|&c| (c as char).to_digit(16));
+                match (hi, lo) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(((hi << 4) | lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_basics() {
+        assert_eq!(encode("hello"), "hello");
+        assert_eq!(encode("a b"), "a+b");
+        assert_eq!(encode("50%"), "50%25");
+        assert_eq!(encode("key=val&x"), "key%3Dval%26x");
+        assert_eq!(encode("café"), "caf%C3%A9");
+    }
+
+    #[test]
+    fn decode_basics() {
+        assert_eq!(decode("a+b"), "a b");
+        assert_eq!(decode("caf%C3%A9"), "café");
+        assert_eq!(decode("%3D%26"), "=&");
+    }
+
+    #[test]
+    fn decode_tolerates_malformed() {
+        assert_eq!(decode("%"), "%");
+        assert_eq!(decode("%z9"), "%z9");
+        assert_eq!(decode("%4"), "%4");
+        assert_eq!(decode("abc%"), "abc%");
+    }
+
+    #[test]
+    fn decode_invalid_utf8_replaced() {
+        assert_eq!(decode("%FF"), "\u{FFFD}");
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(s in "\\PC*") {
+            prop_assert_eq!(decode(&encode(&s)), s);
+        }
+
+        #[test]
+        fn decode_never_panics(s in "[ -~]*") {
+            let _ = decode(&s);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! `dtwlint` — static checks for macro files.
+//!
+//! ```sh
+//! dtwlint macros/*.d2w       # lint files; exit 1 if any finding
+//! echo '%HTML_INPUT{$(x)%}' | dtwlint -   # lint stdin
+//! ```
+//!
+//! See [`mod@dbgw_core::lint`] for the checks (W001–W006).
+
+use dbgw_core::{lint, parse_macro};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: dtwlint <macro-file>... | dtwlint -");
+        std::process::exit(2);
+    }
+    let mut total_findings = 0usize;
+    let mut failed_parses = 0usize;
+    for arg in &args {
+        let (name, source) = if arg == "-" {
+            let mut text = String::new();
+            if std::io::stdin().read_to_string(&mut text).is_err() {
+                eprintln!("dtwlint: cannot read stdin");
+                std::process::exit(2);
+            }
+            ("<stdin>".to_owned(), text)
+        } else {
+            match std::fs::read_to_string(arg) {
+                Ok(text) => (arg.clone(), text),
+                Err(e) => {
+                    eprintln!("dtwlint: {arg}: {e}");
+                    failed_parses += 1;
+                    continue;
+                }
+            }
+        };
+        match parse_macro(&source) {
+            Ok(mac) => {
+                let findings = lint(&mac);
+                for finding in &findings {
+                    println!("{name}: {finding}");
+                }
+                if findings.is_empty() {
+                    println!("{name}: clean");
+                }
+                total_findings += findings.len();
+            }
+            Err(e) => {
+                println!("{name}: PARSE ERROR: {e}");
+                failed_parses += 1;
+            }
+        }
+    }
+    if total_findings > 0 || failed_parses > 0 {
+        std::process::exit(1);
+    }
+}

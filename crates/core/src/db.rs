@@ -1,0 +1,164 @@
+//! The DBMS abstraction the engine drives.
+//!
+//! The paper stresses that the gateway "can be used to access IBM DB2
+//! databases on a wide variety of IBM and non-IBM platforms as well as other
+//! non-IBM DBMS" (§4): the engine only needs dynamic SQL over strings. This
+//! trait is that seam. Values cross it as *display strings* — the report
+//! substitution mechanism is purely textual, like the original.
+
+/// A result from the DBMS.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DbRows {
+    /// Column names, empty for DML.
+    pub columns: Vec<String>,
+    /// Rows of display-formatted values (NULL renders as the empty string,
+    /// which the variable model equates with undefined).
+    pub rows: Vec<Vec<String>>,
+    /// Rows affected, for DML.
+    pub affected: usize,
+}
+
+impl DbRows {
+    /// The SQLCODE this result reports: `+100` when a query returned no rows
+    /// or DML touched none, else `0`.
+    pub fn sqlcode(&self) -> i32 {
+        if self.columns.is_empty() {
+            if self.affected == 0 {
+                100
+            } else {
+                0
+            }
+        } else if self.rows.is_empty() {
+            100
+        } else {
+            0
+        }
+    }
+}
+
+/// A DBMS error, in DB2 SQLCODE convention (negative codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbError {
+    /// The SQLCODE.
+    pub code: i32,
+    /// The DBMS message text.
+    pub message: String,
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQLCODE {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// A dynamic-SQL connection.
+pub trait Database {
+    /// Prepare and execute one SQL statement.
+    fn execute(&mut self, sql: &str) -> Result<DbRows, DbError>;
+
+    /// Start an explicit transaction (single-transaction macro mode, §5).
+    fn begin(&mut self) -> Result<(), DbError>;
+
+    /// Commit the open transaction.
+    fn commit(&mut self) -> Result<(), DbError>;
+
+    /// Roll back the open transaction.
+    fn rollback(&mut self) -> Result<(), DbError>;
+}
+
+/// Adapter turning any `FnMut(&str) -> Result<DbRows, DbError>` into a
+/// [`Database`], for tests and for baselines that fake transaction support.
+/// `begin`/`commit`/`rollback` are forwarded as the statements `BEGIN` /
+/// `COMMIT` / `ROLLBACK`.
+pub struct FnDatabase<F>(pub F);
+
+impl<F> Database for FnDatabase<F>
+where
+    F: FnMut(&str) -> Result<DbRows, DbError>,
+{
+    fn execute(&mut self, sql: &str) -> Result<DbRows, DbError> {
+        (self.0)(sql)
+    }
+
+    fn begin(&mut self) -> Result<(), DbError> {
+        (self.0)("BEGIN").map(|_| ())
+    }
+
+    fn commit(&mut self) -> Result<(), DbError> {
+        (self.0)("COMMIT").map(|_| ())
+    }
+
+    fn rollback(&mut self) -> Result<(), DbError> {
+        (self.0)("ROLLBACK").map(|_| ())
+    }
+}
+
+/// A [`Database`] that rejects every statement — for input-mode processing
+/// where the paper guarantees no SQL runs at all.
+pub struct NoDatabase;
+
+impl Database for NoDatabase {
+    fn execute(&mut self, sql: &str) -> Result<DbRows, DbError> {
+        Err(DbError {
+            code: -99999,
+            message: format!("no database attached (statement was {sql:?})"),
+        })
+    }
+
+    fn begin(&mut self) -> Result<(), DbError> {
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<(), DbError> {
+        Ok(())
+    }
+
+    fn rollback(&mut self) -> Result<(), DbError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqlcode_rules() {
+        let q = DbRows {
+            columns: vec!["a".into()],
+            rows: vec![],
+            affected: 0,
+        };
+        assert_eq!(q.sqlcode(), 100);
+        let q2 = DbRows {
+            columns: vec!["a".into()],
+            rows: vec![vec!["1".into()]],
+            affected: 0,
+        };
+        assert_eq!(q2.sqlcode(), 0);
+        let dml0 = DbRows::default();
+        assert_eq!(dml0.sqlcode(), 100);
+        let dml = DbRows {
+            affected: 3,
+            ..DbRows::default()
+        };
+        assert_eq!(dml.sqlcode(), 0);
+    }
+
+    #[test]
+    fn fn_database_adapts() {
+        let mut db = FnDatabase(|sql: &str| {
+            Ok(DbRows {
+                columns: vec!["echo".into()],
+                rows: vec![vec![sql.to_owned()]],
+                affected: 0,
+            })
+        });
+        let r = db.execute("SELECT 1").unwrap();
+        assert_eq!(r.rows[0][0], "SELECT 1");
+        db.begin().unwrap();
+        db.commit().unwrap();
+    }
+}

@@ -1,0 +1,773 @@
+//! The macro run-time engine: input-mode and report-mode processing (§4).
+//!
+//! * **Input mode** processes DEFINE sections and the `%HTML_INPUT` section;
+//!   SQL sections and the report section are skipped entirely (§4.1).
+//! * **Report mode** processes DEFINE sections and the `%HTML_REPORT`
+//!   section, executing SQL sections when `%EXEC_SQL` directives are reached
+//!   and splicing their (custom or default) report output at the directive's
+//!   position (§4.2).
+//!
+//! Macros are processed top to bottom; a `%DEFINE` after the section being
+//! rendered is invisible to it (the paper's lazy-evaluation example, §4.3.1).
+
+use crate::ast::{MacroFile, MessageAction, ReportPart, Section, SqlSection};
+use crate::db::{Database, DbRows, NoDatabase};
+use crate::env::Env;
+use crate::error::{MacroError, MacroResult};
+use crate::exec::{CommandRunner, DenyRunner};
+use crate::nls::{message, Language, Message};
+use crate::subst::Evaluator;
+use dbgw_html::{escape_text, TableBuilder};
+use std::collections::HashMap;
+
+/// Which half of the macro to process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Render the `%HTML_INPUT` form.
+    Input,
+    /// Render the `%HTML_REPORT`, executing SQL.
+    Report,
+}
+
+impl Mode {
+    /// Parse the `{cmd}` path component of a gateway URL (§4).
+    pub fn from_command(cmd: &str) -> Option<Mode> {
+        if cmd.eq_ignore_ascii_case("input") {
+            Some(Mode::Input)
+        } else if cmd.eq_ignore_ascii_case("report") {
+            Some(Mode::Report)
+        } else {
+            None
+        }
+    }
+}
+
+/// Transaction handling across the SQL statements of one macro run (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxnMode {
+    /// Every SQL statement is its own transaction.
+    #[default]
+    AutoCommit,
+    /// All SQL statements form one transaction; any failure rolls back all of
+    /// them.
+    SingleTransaction,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Transaction mode.
+    pub txn_mode: TxnMode,
+    /// HTML-escape the values of system report variables (`Vi`, `VLIST`, …)
+    /// before substitution. The 1996 product spliced raw database text into
+    /// pages; escaping is the modern default, switchable off for fidelity.
+    pub escape_values: bool,
+    /// Honor the product's built-in `SHOWSQL` input variable: when it is
+    /// non-null, each executed statement is echoed into the report.
+    pub honor_showsql: bool,
+    /// Hard cap on rows printed per SQL report even without `RPT_MAX_ROWS`.
+    pub max_rows_hard_limit: usize,
+    /// Language for the engine's own user-visible strings (§5 NLS).
+    pub language: Language,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            txn_mode: TxnMode::AutoCommit,
+            escape_values: true,
+            honor_showsql: true,
+            max_rows_hard_limit: 100_000,
+            language: Language::English,
+        }
+    }
+}
+
+/// The macro processor.
+pub struct Engine<'r> {
+    config: EngineConfig,
+    runner: &'r dyn CommandRunner,
+}
+
+impl Default for Engine<'static> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine<'static> {
+    /// Engine with default config and executable variables disabled.
+    pub fn new() -> Engine<'static> {
+        static DENY: DenyRunner = DenyRunner;
+        Engine {
+            config: EngineConfig::default(),
+            runner: &DENY,
+        }
+    }
+
+    /// Engine with a custom config, executable variables disabled.
+    pub fn with_config(config: EngineConfig) -> Engine<'static> {
+        static DENY: DenyRunner = DenyRunner;
+        Engine {
+            config,
+            runner: &DENY,
+        }
+    }
+}
+
+impl<'r> Engine<'r> {
+    /// Engine with a custom command runner for `%EXEC` variables.
+    pub fn with_runner(config: EngineConfig, runner: &'r dyn CommandRunner) -> Engine<'r> {
+        Engine { config, runner }
+    }
+
+    /// Process `mac` in `mode` with the given HTML input variables, against
+    /// `db`. Returns the generated page body.
+    pub fn process(
+        &self,
+        mac: &MacroFile,
+        mode: Mode,
+        inputs: &[(String, String)],
+        db: &mut dyn Database,
+    ) -> MacroResult<String> {
+        let mut env = Env::new();
+        for (name, value) in inputs {
+            env.push_input(name, value);
+        }
+        let mut out = String::new();
+        let mut rendered_target = false;
+        let mut failed = false;
+
+        let single_txn = mode == Mode::Report && self.config.txn_mode == TxnMode::SingleTransaction;
+        if single_txn {
+            db.begin().map_err(|e| MacroError::Sql {
+                code: e.code,
+                message: e.message,
+                statement: "BEGIN".into(),
+            })?;
+        }
+
+        'sections: for section in &mac.sections {
+            match section {
+                Section::Define(stmts) => {
+                    for s in stmts {
+                        env.apply(s);
+                    }
+                }
+                Section::Comment(_) => {}
+                Section::HtmlInput(body) => {
+                    if mode == Mode::Input {
+                        let mut ev = Evaluator::new(&env, self.runner);
+                        out.push_str(&ev.substitute(body)?);
+                        rendered_target = true;
+                    }
+                }
+                Section::HtmlReport(parts) => {
+                    if mode != Mode::Report {
+                        continue;
+                    }
+                    rendered_target = true;
+                    for part in parts {
+                        match part {
+                            ReportPart::Html(text) => {
+                                let mut ev = Evaluator::new(&env, self.runner);
+                                out.push_str(&ev.substitute(text)?);
+                            }
+                            ReportPart::ExecSqlAll => {
+                                let unnamed: Vec<&SqlSection> =
+                                    mac.sql_sections().filter(|s| s.name.is_none()).collect();
+                                if unnamed.is_empty() {
+                                    return Err(MacroError::NoSqlSections);
+                                }
+                                for section in unnamed {
+                                    match self.exec_sql(section, &mut env, db, &mut out)? {
+                                        Flow::Continue => {}
+                                        Flow::Stop { error } => {
+                                            failed = error;
+                                            break 'sections;
+                                        }
+                                    }
+                                }
+                            }
+                            ReportPart::ExecSqlNamed(operand) => {
+                                let name = {
+                                    let mut ev = Evaluator::new(&env, self.runner);
+                                    ev.substitute(operand)?
+                                };
+                                let name = name.trim();
+                                let section = mac.named_sql(name).ok_or_else(|| {
+                                    MacroError::UnknownSqlSection {
+                                        name: name.to_owned(),
+                                    }
+                                })?;
+                                match self.exec_sql(section, &mut env, db, &mut out)? {
+                                    Flow::Continue => {}
+                                    Flow::Stop { error } => {
+                                        failed = error;
+                                        break 'sections;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Section::Sql(_) => {} // executed only via %EXEC_SQL
+            }
+        }
+
+        if single_txn {
+            let end = if failed { db.rollback() } else { db.commit() };
+            end.map_err(|e| MacroError::Sql {
+                code: e.code,
+                message: e.message,
+                statement: if failed { "ROLLBACK" } else { "COMMIT" }.into(),
+            })?;
+        }
+
+        if !rendered_target {
+            return Err(MacroError::MissingSection {
+                section: match mode {
+                    Mode::Input => "%HTML_INPUT",
+                    Mode::Report => "%HTML_REPORT",
+                },
+            });
+        }
+        Ok(out)
+    }
+
+    /// Convenience: input mode needs no database (the paper guarantees no SQL
+    /// executes in input mode).
+    pub fn process_input(
+        &self,
+        mac: &MacroFile,
+        inputs: &[(String, String)],
+    ) -> MacroResult<String> {
+        self.process(mac, Mode::Input, inputs, &mut NoDatabase)
+    }
+
+    fn exec_sql(
+        &self,
+        section: &SqlSection,
+        env: &mut Env,
+        db: &mut dyn Database,
+        out: &mut String,
+    ) -> MacroResult<Flow> {
+        let sql = {
+            let mut ev = Evaluator::new(env, self.runner);
+            ev.substitute(&section.command)?.trim().to_owned()
+        };
+        if self.config.honor_showsql {
+            let show = {
+                let mut ev = Evaluator::new(env, self.runner);
+                ev.is_nonnull("SHOWSQL")?
+            };
+            if show {
+                out.push_str("<P><CODE>");
+                out.push_str(&escape_text(&sql));
+                out.push_str("</CODE></P>\n");
+            }
+        }
+        match db.execute(&sql) {
+            Ok(rows) => {
+                self.render_result(section, &rows, env, out)?;
+                if rows.sqlcode() == 100 {
+                    if let Some(msg) = find_message(section, 100) {
+                        let mut ev = Evaluator::new(env, self.runner);
+                        out.push_str(&ev.substitute(&msg.text)?);
+                        if msg.action == MessageAction::Exit {
+                            return Ok(Flow::Stop { error: false });
+                        }
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Err(e) => {
+                match find_message(section, e.code) {
+                    Some(msg) => {
+                        let mut ev = Evaluator::new(env, self.runner);
+                        out.push_str(&ev.substitute(&msg.text)?);
+                        match msg.action {
+                            MessageAction::Continue => Ok(Flow::Continue),
+                            MessageAction::Exit => Ok(Flow::Stop { error: true }),
+                        }
+                    }
+                    None => {
+                        // "...or by printing the DBMS error message" (§4.2).
+                        out.push_str(&format!(
+                            "<P><B>{} {}</B>: {}</P>\n",
+                            message(self.config.language, Message::SqlErrorBanner),
+                            e.code,
+                            escape_text(&e.message)
+                        ));
+                        Ok(Flow::Stop { error: true })
+                    }
+                }
+            }
+        }
+    }
+
+    fn render_result(
+        &self,
+        section: &SqlSection,
+        rows: &DbRows,
+        env: &mut Env,
+        out: &mut String,
+    ) -> MacroResult<()> {
+        // DML with no report block prints nothing.
+        if rows.columns.is_empty() && section.report.is_none() {
+            return Ok(());
+        }
+        let max_rows = {
+            let mut ev = Evaluator::new(env, self.runner);
+            ev.value_of("RPT_MAX_ROWS")?
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .unwrap_or(self.config.max_rows_hard_limit)
+                .min(self.config.max_rows_hard_limit)
+        };
+        let escape = |s: &str| -> String {
+            if self.config.escape_values {
+                escape_text(s).into_owned()
+            } else {
+                s.to_owned()
+            }
+        };
+
+        let Some(report) = &section.report else {
+            // Default table format (§3.4).
+            let mut table = TableBuilder::new(&rows.columns);
+            for row in rows.rows.iter().take(max_rows) {
+                table.push_row(row);
+            }
+            out.push_str(&table.finish());
+            return Ok(());
+        };
+
+        // Custom report: header frame with column-name variables (§3.2.1).
+        let mut header_vars: HashMap<String, String> = HashMap::new();
+        for (i, name) in rows.columns.iter().enumerate() {
+            header_vars.insert(format!("N{}", i + 1), escape(name));
+            header_vars.insert(format!("N_{name}"), escape(name));
+        }
+        header_vars.insert("NLIST".into(), escape(&rows.columns.join(", ")));
+        header_vars.insert("ROW_NUM".into(), "0".into());
+        env.push_frame(header_vars);
+
+        {
+            let mut ev = Evaluator::new(env, self.runner);
+            let header = ev.substitute(&report.header)?;
+            out.push_str(&header);
+        }
+
+        if let Some(row_template) = &report.row {
+            for (row_index, row) in rows.rows.iter().enumerate().take(max_rows) {
+                let mut row_vars: HashMap<String, String> = HashMap::new();
+                row_vars.insert("ROW_NUM".into(), (row_index + 1).to_string());
+                for (i, value) in row.iter().enumerate() {
+                    row_vars.insert(format!("V{}", i + 1), escape(value));
+                    if let Some(name) = rows.columns.get(i) {
+                        row_vars.insert(format!("V_{name}"), escape(value));
+                    }
+                }
+                row_vars.insert("VLIST".into(), escape(&row.join(", ")));
+                env.push_frame(row_vars);
+                let rendered = {
+                    let mut ev = Evaluator::new(env, self.runner);
+                    ev.substitute(row_template)?
+                };
+                out.push_str(&rendered);
+                env.pop_frame();
+            }
+        }
+
+        // "After all rows have been fetched ... ROW_NUM contains the total
+        // number of rows that result from the query, regardless of whether
+        // all rows were printed" (§3.2.1).
+        env.set_system("ROW_NUM", rows.rows.len().to_string());
+        {
+            let mut ev = Evaluator::new(env, self.runner);
+            let footer = ev.substitute(&report.footer)?;
+            out.push_str(&footer);
+        }
+        env.pop_frame();
+        Ok(())
+    }
+}
+
+enum Flow {
+    Continue,
+    Stop { error: bool },
+}
+
+fn find_message(section: &SqlSection, code: i32) -> Option<&crate::ast::SqlMessage> {
+    section
+        .messages
+        .iter()
+        .find(|m| m.code == Some(code))
+        .or_else(|| section.messages.iter().find(|m| m.code.is_none()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{DbError, FnDatabase};
+    use crate::parser::parse_macro;
+
+    fn ok_rows(columns: &[&str], rows: &[&[&str]]) -> DbRows {
+        DbRows {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: rows
+                .iter()
+                .map(|r| r.iter().map(|s| s.to_string()).collect())
+                .collect(),
+            affected: 0,
+        }
+    }
+
+    fn inputs(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lazy_evaluation_paper_example() {
+        // §4.3.1: X sees Y but not the later-defined Z.
+        let mac = parse_macro(
+            "%define X = \"One$(Y)$(Z)\"\n\
+             %define Y = \" Two\"\n\
+             %HTML_INPUT{$(X)%}\n\
+             %define Z = \" Three\"",
+        )
+        .unwrap();
+        let out = Engine::new().process_input(&mac, &[]).unwrap();
+        assert_eq!(out, "One Two");
+    }
+
+    #[test]
+    fn input_mode_skips_sql_entirely() {
+        let mac = parse_macro("%SQL{ SELECT boom %}\n%HTML_INPUT{form%}\n%HTML_REPORT{%EXEC_SQL%}")
+            .unwrap();
+        // NoDatabase errors on any execute; input mode must not touch it.
+        let out = Engine::new().process_input(&mac, &[]).unwrap();
+        assert_eq!(out, "form");
+    }
+
+    #[test]
+    fn report_mode_executes_and_splices_default_table() {
+        let mac =
+            parse_macro("%SQL{ SELECT * FROM t %}\n%HTML_REPORT{<H1>R</H1>\n%EXEC_SQL\n<HR>%}")
+                .unwrap();
+        let mut db = FnDatabase(|sql: &str| {
+            assert_eq!(sql, "SELECT * FROM t");
+            Ok(ok_rows(&["a"], &[&["1"], &["2"]]))
+        });
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert!(out.starts_with("<H1>R</H1>"));
+        assert!(out.contains("<TABLE BORDER=1>"));
+        assert!(out.contains("<TD>2</TD>"));
+        assert!(out.trim_end().ends_with("<HR>"));
+    }
+
+    #[test]
+    fn custom_report_with_row_variables() {
+        let mac = parse_macro(
+            "%SQL{ SELECT url, title FROM t\n\
+             %SQL_REPORT{Columns: $(NLIST)<UL>\n\
+             %ROW{<LI>#$(ROW_NUM) <A HREF=\"$(V1)\">$(V_title)</A>\n%}\
+             </UL>Total $(ROW_NUM) rows.%}\n%}\n\
+             %HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        let mut db = FnDatabase(|_: &str| {
+            Ok(ok_rows(
+                &["url", "title"],
+                &[&["http://a", "A"], &["http://b", "B"]],
+            ))
+        });
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert!(out.contains("Columns: url, title"));
+        assert!(out.contains("#1 <A HREF=\"http://a\">A</A>"));
+        assert!(out.contains("#2 <A HREF=\"http://b\">B</A>"));
+        assert!(out.contains("Total 2 rows."));
+    }
+
+    #[test]
+    fn rpt_max_rows_limits_printing_but_not_row_num() {
+        let mac = parse_macro(
+            "%define RPT_MAX_ROWS = \"2\"\n\
+             %SQL{ SELECT a FROM t\n%SQL_REPORT{%ROW{[$(V1)]%}Total=$(ROW_NUM)%}\n%}\n\
+             %HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["a"], &[&["1"], &["2"], &["3"], &["4"]])));
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert_eq!(out, "[1][2]Total=4");
+    }
+
+    #[test]
+    fn inputs_flow_into_sql() {
+        let mac =
+            parse_macro("%SQL{ SELECT * FROM t WHERE x = '$(SEARCH)' %}\n%HTML_REPORT{%EXEC_SQL%}")
+                .unwrap();
+        let mut seen = String::new();
+        let mut db = FnDatabase(|sql: &str| {
+            seen = sql.to_owned();
+            Ok(ok_rows(&["x"], &[]))
+        });
+        Engine::new()
+            .process(&mac, Mode::Report, &inputs(&[("SEARCH", "ib")]), &mut db)
+            .unwrap();
+        assert_eq!(seen, "SELECT * FROM t WHERE x = 'ib'");
+    }
+
+    #[test]
+    fn named_sections_and_variable_dispatch() {
+        let mac = parse_macro(
+            "%SQL(one){ SELECT 1 %}\n%SQL(two){ SELECT 2 %}\n\
+             %HTML_REPORT{%EXEC_SQL($(which))%}",
+        )
+        .unwrap();
+        let mut executed = Vec::new();
+        let mut db = FnDatabase(|sql: &str| {
+            executed.push(sql.to_owned());
+            Ok(ok_rows(&["n"], &[&["x"]]))
+        });
+        Engine::new()
+            .process(&mac, Mode::Report, &inputs(&[("which", "two")]), &mut db)
+            .unwrap();
+        assert_eq!(executed, vec!["SELECT 2"]);
+    }
+
+    #[test]
+    fn unknown_named_section_errors() {
+        let mac = parse_macro("%SQL(a){ SELECT 1 %}\n%HTML_REPORT{%EXEC_SQL(b)%}").unwrap();
+        let mut db = FnDatabase(|_: &str| Ok(DbRows::default()));
+        let err = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap_err();
+        assert!(matches!(err, MacroError::UnknownSqlSection { name } if name == "b"));
+    }
+
+    #[test]
+    fn unnamed_exec_runs_all_unnamed_in_order() {
+        let mac = parse_macro(
+            "%SQL{ FIRST %}\n%SQL(named){ NAMED %}\n%SQL{ SECOND %}\n\
+             %HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        let mut executed = Vec::new();
+        let mut db = FnDatabase(|sql: &str| {
+            executed.push(sql.to_owned());
+            Ok(DbRows {
+                affected: 1,
+                ..DbRows::default()
+            })
+        });
+        Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert_eq!(executed, vec!["FIRST", "SECOND"]);
+    }
+
+    #[test]
+    fn sql_error_without_handler_prints_dbms_message_and_stops() {
+        let mac =
+            parse_macro("%SQL{ BAD %}\n%SQL{ NEVER %}\n%HTML_REPORT{%EXEC_SQL\ntail%}").unwrap();
+        let mut calls = 0;
+        let mut db = FnDatabase(|_: &str| {
+            calls += 1;
+            Err(DbError {
+                code: -204,
+                message: "table missing".into(),
+            })
+        });
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert!(out.contains("SQL error -204"));
+        assert!(out.contains("table missing"));
+        assert!(!out.contains("tail"), "processing must stop");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn sql_message_handler_continue() {
+        let mac = parse_macro(
+            "%SQL{ BAD\n%SQL_MESSAGE{ -204 : \"<P>no table, moving on</P>\" : continue %}\n%}\n\
+             %HTML_REPORT{%EXEC_SQL\ntail%}",
+        )
+        .unwrap();
+        let mut db = FnDatabase(|_: &str| {
+            Err(DbError {
+                code: -204,
+                message: "x".into(),
+            })
+        });
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert!(out.contains("no table, moving on"));
+        assert!(out.contains("tail"));
+    }
+
+    #[test]
+    fn sql_message_default_handler() {
+        let mac = parse_macro(
+            "%SQL{ BAD\n%SQL_MESSAGE{ default : \"custom: $(oops)\" %}\n%}\n\
+             %define oops = \"broken\"\n%HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        let mut db = FnDatabase(|_: &str| {
+            Err(DbError {
+                code: -803,
+                message: "dup".into(),
+            })
+        });
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        // NOTE: the %define appears *before* %HTML_REPORT, so it is visible.
+        assert_eq!(out, "custom: broken");
+    }
+
+    #[test]
+    fn code_100_message_on_empty_result() {
+        let mac = parse_macro(
+            "%SQL{ Q\n%SQL_REPORT{%ROW{[$(V1)]%}%}\n\
+             %SQL_MESSAGE{ 100 : \"<P>Nothing matched.</P>\" : continue %}\n%}\n\
+             %HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["a"], &[])));
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert!(out.contains("Nothing matched."));
+    }
+
+    #[test]
+    fn single_transaction_commits_on_success() {
+        let mac =
+            parse_macro("%SQL{ INSERT 1 %}\n%SQL{ INSERT 2 %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+        let mut log: Vec<String> = Vec::new();
+        let mut db = FnDatabase(|sql: &str| {
+            log.push(sql.to_owned());
+            Ok(DbRows {
+                affected: 1,
+                ..DbRows::default()
+            })
+        });
+        let engine = Engine::with_config(EngineConfig {
+            txn_mode: TxnMode::SingleTransaction,
+            ..EngineConfig::default()
+        });
+        engine.process(&mac, Mode::Report, &[], &mut db).unwrap();
+        assert_eq!(log, vec!["BEGIN", "INSERT 1", "INSERT 2", "COMMIT"]);
+    }
+
+    #[test]
+    fn single_transaction_rolls_back_on_failure() {
+        let mac = parse_macro("%SQL{ INSERT 1 %}\n%SQL{ BAD %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+        let mut log: Vec<String> = Vec::new();
+        let mut db = FnDatabase(|sql: &str| {
+            log.push(sql.to_owned());
+            if sql == "BAD" {
+                Err(DbError {
+                    code: -204,
+                    message: "boom".into(),
+                })
+            } else {
+                Ok(DbRows {
+                    affected: 1,
+                    ..DbRows::default()
+                })
+            }
+        });
+        let engine = Engine::with_config(EngineConfig {
+            txn_mode: TxnMode::SingleTransaction,
+            ..EngineConfig::default()
+        });
+        engine.process(&mac, Mode::Report, &[], &mut db).unwrap();
+        assert_eq!(log, vec!["BEGIN", "INSERT 1", "BAD", "ROLLBACK"]);
+    }
+
+    #[test]
+    fn showsql_echoes_statement() {
+        let mac = parse_macro("%SQL{ SELECT 1 %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+        let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["n"], &[&["1"]])));
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &inputs(&[("SHOWSQL", "YES")]), &mut db)
+            .unwrap();
+        assert!(out.contains("<CODE>SELECT 1</CODE>"));
+        // And absent when SHOWSQL is null (the CHECKED "No" radio sends "").
+        let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["n"], &[&["1"]])));
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &inputs(&[("SHOWSQL", "")]), &mut db)
+            .unwrap();
+        assert!(!out.contains("<CODE>"));
+    }
+
+    #[test]
+    fn values_html_escaped_by_default() {
+        let mac = parse_macro("%SQL{ Q\n%SQL_REPORT{%ROW{$(V1)%}%}\n%}\n%HTML_REPORT{%EXEC_SQL%}")
+            .unwrap();
+        let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["a"], &[&["<script>alert(1)</script>"]])));
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert!(out.contains("&lt;script&gt;"));
+        // Fidelity mode: raw.
+        let engine = Engine::with_config(EngineConfig {
+            escape_values: false,
+            ..EngineConfig::default()
+        });
+        let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["a"], &[&["<b>"]])));
+        let out = engine.process(&mac, Mode::Report, &[], &mut db).unwrap();
+        assert!(out.contains("<b>"));
+    }
+
+    #[test]
+    fn missing_sections_error() {
+        let mac = parse_macro("%HTML_REPORT{x%}").unwrap();
+        assert!(matches!(
+            Engine::new().process_input(&mac, &[]).unwrap_err(),
+            MacroError::MissingSection {
+                section: "%HTML_INPUT"
+            }
+        ));
+        let mac2 = parse_macro("%HTML_INPUT{x%}").unwrap();
+        let mut db = FnDatabase(|_: &str| Ok(DbRows::default()));
+        assert!(matches!(
+            Engine::new()
+                .process(&mac2, Mode::Report, &[], &mut db)
+                .unwrap_err(),
+            MacroError::MissingSection {
+                section: "%HTML_REPORT"
+            }
+        ));
+    }
+
+    #[test]
+    fn dollar_escape_stripped_in_output() {
+        // §4.1: $$(varname) appears as $(varname) in the output.
+        let mac = parse_macro("%HTML_INPUT{<OPTION VALUE=\"$$(hidden_a)\">%}").unwrap();
+        let out = Engine::new().process_input(&mac, &[]).unwrap();
+        assert_eq!(out, "<OPTION VALUE=\"$(hidden_a)\">");
+    }
+
+    #[test]
+    fn mode_from_command() {
+        assert_eq!(Mode::from_command("input"), Some(Mode::Input));
+        assert_eq!(Mode::from_command("REPORT"), Some(Mode::Report));
+        assert_eq!(Mode::from_command("bogus"), None);
+    }
+}

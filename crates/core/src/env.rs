@@ -1,0 +1,224 @@
+//! The variable environment: macro defines, HTML input variables, and
+//! system-supplied report variables, with the paper's priority rules.
+//!
+//! §4.3: the name space of HTML input variables is unified with the macro's
+//! own variables, but "the HTML input variable values from the Web client
+//! \[have\] higher priority than the variable values defined in the macro
+//! itself using DEFINE sections". On top of both sit the *system* variables
+//! the engine instantiates while rendering a SQL report (`Ni`, `Vi`,
+//! `ROW_NUM`, ...), which live in scoped frames.
+
+use crate::ast::DefineStatement;
+use std::collections::HashMap;
+
+/// One accumulated assignment for a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Assign {
+    /// Simple value string.
+    Simple(String),
+    /// Two-armed conditional.
+    CondBinary {
+        /// Tested variable.
+        test: String,
+        /// Value when defined & non-null.
+        then_value: String,
+        /// Value otherwise.
+        else_value: String,
+    },
+    /// One-armed conditional (null if any referenced variable is null).
+    CondUnary(String),
+    /// Executable: the command string, run at each reference.
+    Exec(String),
+}
+
+/// Everything known about one defined variable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VarEntry {
+    /// `%LIST` separator, if declared. Presence makes this a list variable:
+    /// assignments accumulate instead of replacing.
+    pub separator: Option<String>,
+    /// Assignments in order. Non-list variables keep only the latest.
+    pub assigns: Vec<Assign>,
+}
+
+/// The variable environment.
+#[derive(Default)]
+pub struct Env {
+    defines: HashMap<String, VarEntry>,
+    /// HTML input variables (multi-valued, in arrival order).
+    inputs: HashMap<String, Vec<String>>,
+    /// System variable frames, innermost last. Keys stored uppercased —
+    /// lookup is case-insensitive, matching the paper's carve-out for
+    /// "implicit variables that represent database column names".
+    frames: Vec<HashMap<String, String>>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Apply one `%DEFINE` statement (top-to-bottom processing order).
+    pub fn apply(&mut self, stmt: &DefineStatement) {
+        match stmt {
+            DefineStatement::ListDecl { name, separator } => {
+                let entry = self.defines.entry(name.clone()).or_default();
+                entry.separator = Some(separator.clone());
+            }
+            other => {
+                let assign = match other {
+                    DefineStatement::Simple { value, .. } => Assign::Simple(value.clone()),
+                    DefineStatement::CondBinary {
+                        test,
+                        then_value,
+                        else_value,
+                        ..
+                    } => Assign::CondBinary {
+                        test: test.clone(),
+                        then_value: then_value.clone(),
+                        else_value: else_value.clone(),
+                    },
+                    DefineStatement::CondUnary { value, .. } => Assign::CondUnary(value.clone()),
+                    DefineStatement::Exec { command, .. } => Assign::Exec(command.clone()),
+                    DefineStatement::ListDecl { .. } => unreachable!(),
+                };
+                let entry = self.defines.entry(other.name().to_owned()).or_default();
+                if entry.separator.is_some() {
+                    // List variable: assignments accumulate (§3.1.3).
+                    entry.assigns.push(assign);
+                } else {
+                    // Plain variable: redefinition replaces.
+                    entry.assigns = vec![assign];
+                }
+            }
+        }
+    }
+
+    /// Record one HTML input variable value (CGI `name=value`). Repeats make
+    /// the variable multi-valued (a list variable, §2.2).
+    pub fn push_input(&mut self, name: &str, value: &str) {
+        self.inputs
+            .entry(name.to_owned())
+            .or_default()
+            .push(value.to_owned());
+    }
+
+    /// Look up a macro-defined variable entry.
+    pub fn define(&self, name: &str) -> Option<&VarEntry> {
+        self.defines.get(name)
+    }
+
+    /// Look up HTML input values for a variable (exact-case, like defines).
+    pub fn input(&self, name: &str) -> Option<&[String]> {
+        self.inputs.get(name).map(|v| v.as_slice())
+    }
+
+    /// The `%LIST` separator declared for `name`, if any.
+    pub fn separator_of(&self, name: &str) -> Option<&str> {
+        self.defines.get(name).and_then(|e| e.separator.as_deref())
+    }
+
+    /// Push a system-variable frame (entering a report header/row scope).
+    pub fn push_frame(&mut self, vars: HashMap<String, String>) {
+        let normalized = vars
+            .into_iter()
+            .map(|(k, v)| (k.to_ascii_uppercase(), v))
+            .collect();
+        self.frames.push(normalized);
+    }
+
+    /// Pop the innermost system frame.
+    pub fn pop_frame(&mut self) {
+        self.frames.pop();
+    }
+
+    /// Case-insensitive lookup in the system frames, innermost first.
+    pub fn system(&self, name: &str) -> Option<&str> {
+        let key = name.to_ascii_uppercase();
+        self.frames
+            .iter()
+            .rev()
+            .find_map(|f| f.get(&key).map(String::as_str))
+    }
+
+    /// Set a single variable in the innermost frame (ROW_NUM updates).
+    pub fn set_system(&mut self, name: &str, value: String) {
+        if let Some(frame) = self.frames.last_mut() {
+            frame.insert(name.to_ascii_uppercase(), value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_redefinition_replaces() {
+        let mut env = Env::new();
+        env.apply(&DefineStatement::Simple {
+            name: "a".into(),
+            value: "1".into(),
+        });
+        env.apply(&DefineStatement::Simple {
+            name: "a".into(),
+            value: "2".into(),
+        });
+        assert_eq!(env.define("a").unwrap().assigns.len(), 1);
+        assert_eq!(
+            env.define("a").unwrap().assigns[0],
+            Assign::Simple("2".into())
+        );
+    }
+
+    #[test]
+    fn list_assignments_accumulate() {
+        let mut env = Env::new();
+        env.apply(&DefineStatement::ListDecl {
+            name: "L".into(),
+            separator: " OR ".into(),
+        });
+        env.apply(&DefineStatement::CondUnary {
+            name: "L".into(),
+            value: "x = $(a)".into(),
+        });
+        env.apply(&DefineStatement::CondUnary {
+            name: "L".into(),
+            value: "y = $(b)".into(),
+        });
+        let entry = env.define("L").unwrap();
+        assert_eq!(entry.separator.as_deref(), Some(" OR "));
+        assert_eq!(entry.assigns.len(), 2);
+    }
+
+    #[test]
+    fn inputs_multi_valued() {
+        let mut env = Env::new();
+        env.push_input("DBFIELD", "title");
+        env.push_input("DBFIELD", "desc");
+        assert_eq!(env.input("DBFIELD").unwrap().len(), 2);
+        // Exact-case lookup.
+        assert!(env.input("dbfield").is_none());
+    }
+
+    #[test]
+    fn system_frames_shadow_and_pop() {
+        let mut env = Env::new();
+        env.push_frame(HashMap::from([("N1".to_owned(), "url".to_owned())]));
+        env.push_frame(HashMap::from([("V1".to_owned(), "http://x".to_owned())]));
+        assert_eq!(env.system("n1"), Some("url"));
+        assert_eq!(env.system("v1"), Some("http://x"));
+        env.pop_frame();
+        assert_eq!(env.system("V1"), None);
+        assert_eq!(env.system("N1"), Some("url"));
+    }
+
+    #[test]
+    fn system_lookup_case_insensitive() {
+        let mut env = Env::new();
+        env.push_frame(HashMap::from([("V_TITLE".to_owned(), "IBM".to_owned())]));
+        assert_eq!(env.system("V_title"), Some("IBM"));
+        assert_eq!(env.system("v_Title"), Some("IBM"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for macro parsing and processing.
+
+use std::fmt;
+
+/// Location of an error in a macro file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Errors raised while parsing or processing a macro.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacroError {
+    /// The macro text violated the section/statement grammar.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Where.
+        location: Location,
+    },
+    /// A variable's value string references itself, directly or transitively.
+    /// The paper: "Circular references among variables are not allowed and
+    /// result in an error."
+    CircularReference {
+        /// The variable that closed the cycle.
+        variable: String,
+        /// The evaluation chain that led there.
+        chain: Vec<String>,
+    },
+    /// `%EXEC_SQL(name)` named a SQL section that does not exist.
+    UnknownSqlSection {
+        /// The requested section name.
+        name: String,
+    },
+    /// `%EXEC_SQL` with no name, but the macro has no unnamed SQL sections.
+    NoSqlSections,
+    /// The database rejected a SQL statement and no `%SQL_MESSAGE` handler
+    /// chose to continue.
+    Sql {
+        /// The DBMS error code (DB2 SQLCODE convention).
+        code: i32,
+        /// The DBMS message.
+        message: String,
+        /// The statement that failed, post-substitution.
+        statement: String,
+    },
+    /// An executable variable's command failed to launch.
+    Exec {
+        /// The variable being evaluated.
+        variable: String,
+        /// Description of the launch failure.
+        message: String,
+    },
+    /// The requested processing mode needs a section the macro lacks
+    /// (e.g. input mode with no `%HTML_INPUT`).
+    MissingSection {
+        /// The section keyword that was needed.
+        section: &'static str,
+    },
+    /// Substitution nesting exceeded the engine's depth limit (guards against
+    /// pathological non-circular chains).
+    DepthExceeded {
+        /// The variable whose evaluation blew the limit.
+        variable: String,
+    },
+}
+
+impl fmt::Display for MacroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacroError::Parse { message, location } => {
+                write!(f, "macro parse error at {location}: {message}")
+            }
+            MacroError::CircularReference { variable, chain } => write!(
+                f,
+                "circular variable reference on {variable} (chain: {})",
+                chain.join(" -> ")
+            ),
+            MacroError::UnknownSqlSection { name } => {
+                write!(f, "no SQL section named {name}")
+            }
+            MacroError::NoSqlSections => write!(f, "%EXEC_SQL but the macro has no SQL sections"),
+            MacroError::Sql {
+                code,
+                message,
+                statement,
+            } => write!(f, "SQL error {code}: {message} (statement: {statement})"),
+            MacroError::Exec { variable, message } => {
+                write!(f, "executable variable {variable} failed: {message}")
+            }
+            MacroError::MissingSection { section } => {
+                write!(f, "macro has no {section} section")
+            }
+            MacroError::DepthExceeded { variable } => {
+                write!(f, "substitution depth limit exceeded evaluating {variable}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MacroError {}
+
+/// Result alias.
+pub type MacroResult<T> = Result<T, MacroError>;
+
+impl MacroError {
+    /// Parse-error helper.
+    pub fn parse(message: impl Into<String>, line: usize, column: usize) -> MacroError {
+        MacroError::Parse {
+            message: message.into(),
+            location: Location { line, column },
+        }
+    }
+}

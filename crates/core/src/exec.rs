@@ -1,0 +1,100 @@
+//! Executable variables (§3.1.4): pluggable command execution.
+//!
+//! `varname = %EXEC "command"` runs `command` every time `$(varname)` is
+//! referenced in an HTML section; the process exit code lands in the
+//! variable (NULL — i.e. the empty string — on success), which composes with
+//! conditional variables to print error messages.
+//!
+//! The 1996 product shelled out directly. A gateway that runs arbitrary shell
+//! commands from macro files is a footgun, so command execution is behind the
+//! [`CommandRunner`] trait: the engine defaults to [`DenyRunner`] and callers
+//! opt in to [`SystemRunner`] (real processes) or supply a test double.
+
+use std::collections::HashMap;
+
+/// Executes an `%EXEC` command string, returning its exit code.
+pub trait CommandRunner {
+    /// Run `command`; `Ok(code)` is the process exit code, `Err` a launch
+    /// failure (command not found, policy denial, ...).
+    fn run(&self, command: &str) -> Result<i32, String>;
+}
+
+/// Refuses every command. The safe default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenyRunner;
+
+impl CommandRunner for DenyRunner {
+    fn run(&self, command: &str) -> Result<i32, String> {
+        Err(format!(
+            "executable variables are disabled by policy (command was {command:?})"
+        ))
+    }
+}
+
+/// Runs commands through `sh -c`, like the original product's `system()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemRunner;
+
+impl CommandRunner for SystemRunner {
+    fn run(&self, command: &str) -> Result<i32, String> {
+        let status = std::process::Command::new("sh")
+            .arg("-c")
+            .arg(command)
+            .status()
+            .map_err(|e| format!("failed to launch {command:?}: {e}"))?;
+        Ok(status.code().unwrap_or(-1))
+    }
+}
+
+/// Maps exact command strings to fixed exit codes; unknown commands fail to
+/// launch. Deterministic stand-in for tests and benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct StaticRunner {
+    codes: HashMap<String, i32>,
+}
+
+impl StaticRunner {
+    /// Empty table.
+    pub fn new() -> StaticRunner {
+        StaticRunner::default()
+    }
+
+    /// Register `command` to exit with `code`.
+    pub fn with(mut self, command: &str, code: i32) -> StaticRunner {
+        self.codes.insert(command.to_owned(), code);
+        self
+    }
+}
+
+impl CommandRunner for StaticRunner {
+    fn run(&self, command: &str) -> Result<i32, String> {
+        self.codes
+            .get(command)
+            .copied()
+            .ok_or_else(|| format!("unknown command {command:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_runner_always_errs() {
+        assert!(DenyRunner.run("echo hi").is_err());
+    }
+
+    #[test]
+    fn static_runner_lookup() {
+        let r = StaticRunner::new().with("check", 0).with("fail", 3);
+        assert_eq!(r.run("check"), Ok(0));
+        assert_eq!(r.run("fail"), Ok(3));
+        assert!(r.run("other").is_err());
+    }
+
+    #[test]
+    fn system_runner_exit_codes() {
+        assert_eq!(SystemRunner.run("exit 0"), Ok(0));
+        assert_eq!(SystemRunner.run("exit 7"), Ok(7));
+    }
+}

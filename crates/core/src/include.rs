@@ -1,0 +1,237 @@
+//! `%INCLUDE` — macro library support.
+//!
+//! The shipped product let macros splice shared fragments (site-wide headers,
+//! common DEFINE blocks) from the server's macro directory with
+//! `%INCLUDE "name"`. The paper only alludes to this ("applications are
+//! already being built ... by scores of application developers"), so the
+//! feature is reconstructed from the product documentation: textual splicing
+//! *before* section parsing, so an included file may contribute whole
+//! sections or just lines inside a `%DEFINE{` block.
+//!
+//! Inclusion is resolved through a caller-supplied [`IncludeResolver`] —
+//! never the process filesystem directly — and is depth- and cycle-limited.
+
+use crate::error::{MacroError, MacroResult};
+use std::collections::HashMap;
+
+/// Maximum include nesting.
+const MAX_DEPTH: usize = 16;
+
+/// Supplies the text of named include fragments.
+pub trait IncludeResolver {
+    /// The fragment's source text, or `None` if unknown.
+    fn resolve(&self, name: &str) -> Option<String>;
+}
+
+/// A resolver over an in-memory map (the gateway's macro library).
+#[derive(Debug, Clone, Default)]
+pub struct MapResolver {
+    fragments: HashMap<String, String>,
+}
+
+impl MapResolver {
+    /// Empty library.
+    pub fn new() -> MapResolver {
+        MapResolver::default()
+    }
+
+    /// Add a fragment.
+    pub fn with(mut self, name: &str, text: &str) -> MapResolver {
+        self.fragments.insert(name.to_owned(), text.to_owned());
+        self
+    }
+
+    /// Add a fragment in place.
+    pub fn insert(&mut self, name: &str, text: &str) {
+        self.fragments.insert(name.to_owned(), text.to_owned());
+    }
+}
+
+impl IncludeResolver for MapResolver {
+    fn resolve(&self, name: &str) -> Option<String> {
+        self.fragments.get(name).cloned()
+    }
+}
+
+/// A resolver that knows nothing — `%INCLUDE` always errors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoIncludes;
+
+impl IncludeResolver for NoIncludes {
+    fn resolve(&self, _name: &str) -> Option<String> {
+        None
+    }
+}
+
+/// Expand every `%INCLUDE "name"` directive in `src`, recursively.
+///
+/// The directive must sit on its own line (leading whitespace allowed); the
+/// rest of the line after the closing quote is discarded, like the product's
+/// comment-to-end-of-line behaviour.
+pub fn expand_includes(src: &str, resolver: &dyn IncludeResolver) -> MacroResult<String> {
+    expand_depth(src, resolver, &mut Vec::new())
+}
+
+fn expand_depth(
+    src: &str,
+    resolver: &dyn IncludeResolver,
+    stack: &mut Vec<String>,
+) -> MacroResult<String> {
+    if stack.len() >= MAX_DEPTH {
+        return Err(MacroError::Parse {
+            message: format!(
+                "%INCLUDE nesting deeper than {MAX_DEPTH} (chain: {})",
+                stack.join(" -> ")
+            ),
+            location: crate::error::Location { line: 0, column: 0 },
+        });
+    }
+    let mut out = String::with_capacity(src.len());
+    for (lineno, line) in src.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let Some(rest) = strip_directive(trimmed) else {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        };
+        let name = parse_quoted_name(rest).ok_or_else(|| {
+            MacroError::parse(
+                "%INCLUDE requires a \"quoted\" fragment name",
+                lineno + 1,
+                1,
+            )
+        })?;
+        if stack.iter().any(|n| n == &name) {
+            return Err(MacroError::Parse {
+                message: format!(
+                    "circular %INCLUDE of {name:?} (chain: {})",
+                    stack.join(" -> ")
+                ),
+                location: crate::error::Location {
+                    line: lineno + 1,
+                    column: 1,
+                },
+            });
+        }
+        let fragment = resolver.resolve(&name).ok_or_else(|| {
+            MacroError::parse(format!("unknown %INCLUDE fragment {name:?}"), lineno + 1, 1)
+        })?;
+        stack.push(name);
+        let expanded = expand_depth(&fragment, resolver, stack)?;
+        stack.pop();
+        out.push_str(&expanded);
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    // Expansion normalizes the text to newline-terminated lines (it is about
+    // to be parsed, where trailing whitespace is immaterial).
+    Ok(out)
+}
+
+fn strip_directive(line: &str) -> Option<&str> {
+    if line.len() >= 8 && line[..8].eq_ignore_ascii_case("%INCLUDE") {
+        Some(line[8..].trim_start())
+    } else {
+        None
+    }
+}
+
+fn parse_quoted_name(rest: &str) -> Option<String> {
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    let name = &rest[..end];
+    if name.is_empty() {
+        None
+    } else {
+        Some(name.to_owned())
+    }
+}
+
+/// Expand includes then parse: the full front end.
+pub fn parse_macro_with_includes(
+    src: &str,
+    resolver: &dyn IncludeResolver,
+) -> MacroResult<crate::MacroFile> {
+    let expanded = expand_includes(src, resolver)?;
+    crate::parse_macro(&expanded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Section};
+
+    #[test]
+    fn splices_fragment_text() {
+        let lib = MapResolver::new().with("header.hti", "<H1>Site header</H1>");
+        let src = "%HTML_INPUT{\n%INCLUDE \"header.hti\"\n<P>body%}";
+        let expanded = expand_includes(src, &lib).unwrap();
+        assert!(expanded.contains("<H1>Site header</H1>"));
+        let mac = crate::parse_macro(&expanded).unwrap();
+        let out = Engine::new().process_input(&mac, &[]).unwrap();
+        assert!(out.contains("Site header"));
+        assert!(out.contains("<P>body"));
+    }
+
+    #[test]
+    fn fragment_can_contribute_whole_sections() {
+        let lib = MapResolver::new().with("defs.hti", "%DEFINE{ shared = \"42\" %}");
+        let src = "%INCLUDE \"defs.hti\"\n%HTML_INPUT{$(shared)%}";
+        let mac = parse_macro_with_includes(src, &lib).unwrap();
+        assert!(matches!(mac.sections[0], Section::Define(_)));
+        let out = Engine::new().process_input(&mac, &[]).unwrap();
+        assert_eq!(out, "42");
+    }
+
+    #[test]
+    fn nested_includes() {
+        let lib = MapResolver::new()
+            .with("outer", "A\n%INCLUDE \"inner\"\nC")
+            .with("inner", "B");
+        let out = expand_includes("%INCLUDE \"outer\"", &lib).unwrap();
+        assert_eq!(out, "A\nB\nC\n");
+    }
+
+    #[test]
+    fn circular_include_is_an_error() {
+        let lib = MapResolver::new()
+            .with("a", "%INCLUDE \"b\"")
+            .with("b", "%INCLUDE \"a\"");
+        let err = expand_includes("%INCLUDE \"a\"", &lib).unwrap_err();
+        assert!(err.to_string().contains("circular %INCLUDE"));
+    }
+
+    #[test]
+    fn unknown_fragment_is_an_error_with_line() {
+        let err = expand_includes("x\n%INCLUDE \"nope\"", &NoIncludes).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("nope"));
+        assert!(text.contains("line 2"));
+    }
+
+    #[test]
+    fn unquoted_name_rejected() {
+        let lib = MapResolver::new().with("f", "x");
+        assert!(expand_includes("%INCLUDE f", &lib).is_err());
+    }
+
+    #[test]
+    fn directive_must_start_line() {
+        // Mid-line %INCLUDE is plain text (the product was line-oriented).
+        // Expansion normalizes output to newline-terminated lines.
+        let out = expand_includes("price %INCLUDE \"x\" tail", &NoIncludes).unwrap();
+        assert_eq!(out, "price %INCLUDE \"x\" tail\n");
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut lib = MapResolver::new();
+        for i in 0..20 {
+            lib.insert(&format!("f{i}"), &format!("%INCLUDE \"f{}\"", i + 1));
+        }
+        lib.insert("f20", "bottom");
+        let err = expand_includes("%INCLUDE \"f0\"", &lib).unwrap_err();
+        assert!(err.to_string().contains("nesting deeper"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Static analysis of macro files.
+//!
+//! The paper's pitch is that application developers "use existing HTML and
+//! SQL development tools" and glue them with variables — which makes typos in
+//! variable names the dominant failure mode (an undefined variable silently
+//! becomes the null string, §4.1). This linter catches, before deployment:
+//!
+//! * references to variables that are neither defined, form inputs, nor
+//!   system report variables (`W001`),
+//! * DEFINEd variables that nothing ever references (`W002`),
+//! * SQL sections that no `%EXEC_SQL` can ever execute (`W003`),
+//! * row variables (`Vi` / `V_col` / `VLIST` / `ROW_NUM`) referenced outside
+//!   a `%SQL_REPORT` block (`W004`),
+//! * a report mode with no SQL at all (`W005`),
+//! * conditional tests on variables that can never be set (`W006`).
+
+use crate::ast::{DefineStatement, MacroFile, ReportPart, Section, SqlSection};
+use dbgw_html::Form;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable code, `W001`–`W006`.
+    pub code: &'static str,
+    /// Human message.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Variables the engine itself defines at run time.
+fn is_system_variable(name: &str) -> bool {
+    let upper = name.to_ascii_uppercase();
+    let positional = |prefix: char| {
+        upper
+            .strip_prefix(prefix)
+            .is_some_and(|rest| !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()))
+    };
+    upper == "NLIST"
+        || upper == "VLIST"
+        || upper == "ROW_NUM"
+        || upper == "RPT_MAX_ROWS"
+        || upper == "SHOWSQL"
+        || upper == "SESSION_ID" // injected by the gateway's conversation layer
+        || upper.starts_with("N_")
+        || upper.starts_with("V_")
+        || positional('N')
+        || positional('V')
+}
+
+/// Extract `$(name)` references from a raw value string (ignoring `$$()`).
+fn references(raw: &str, out: &mut BTreeSet<String>) {
+    let mut rest = raw;
+    while let Some(at) = rest.find('$') {
+        let tail = &rest[at..];
+        if let Some(after_escape) = tail.strip_prefix("$$(") {
+            rest = after_escape;
+            continue;
+        }
+        if let Some(after) = tail.strip_prefix("$(") {
+            if let Some(end) = after.find(')') {
+                let name = &after[..end];
+                if !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && name
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                {
+                    out.insert(name.to_owned());
+                }
+                rest = &after[end + 1..];
+                continue;
+            }
+        }
+        rest = &tail[1..];
+    }
+}
+
+/// Collect `?name=` / `&name=` parameters from hyperlinks in HTML text —
+/// the scrollable-cursor and conversation idioms pass next-request inputs
+/// through URLs, not forms.
+fn hyperlink_parameters(html: &str, out: &mut BTreeSet<String>) {
+    for (i, c) in html.char_indices() {
+        if c != '?' && c != '&' {
+            continue;
+        }
+        let rest = &html[i + 1..];
+        let end = rest
+            .char_indices()
+            .find(|&(_, ch)| !(ch.is_ascii_alphanumeric() || ch == '_'))
+            .map(|(j, _)| j)
+            .unwrap_or(rest.len());
+        if end > 0 && rest[end..].starts_with('=') {
+            let name = &rest[..end];
+            if name
+                .chars()
+                .next()
+                .is_some_and(|ch| ch.is_ascii_alphabetic() || ch == '_')
+            {
+                out.insert(name.to_owned());
+            }
+        }
+    }
+}
+
+/// Run all checks over a parsed macro.
+pub fn lint(mac: &MacroFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Gather definitions, inputs, and references per context.
+    let mut defined: BTreeSet<String> = BTreeSet::new();
+    let mut tests: BTreeSet<String> = BTreeSet::new();
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    let mut row_scope_refs: BTreeSet<String> = BTreeSet::new(); // refs inside %ROW
+    let mut nonrow_refs: BTreeSet<String> = BTreeSet::new();
+    let mut form_inputs: BTreeSet<String> = BTreeSet::new();
+    let mut has_report_section = false;
+    let mut any_exec_all = false;
+    let mut named_execs: BTreeSet<String> = BTreeSet::new();
+
+    for section in &mac.sections {
+        match section {
+            Section::Define(stmts) => {
+                for stmt in stmts {
+                    defined.insert(stmt.name().to_owned());
+                    match stmt {
+                        DefineStatement::Simple { value, .. }
+                        | DefineStatement::CondUnary { name: _, value } => {
+                            references(value, &mut referenced);
+                            references(value, &mut nonrow_refs);
+                        }
+                        DefineStatement::CondBinary {
+                            test,
+                            then_value,
+                            else_value,
+                            ..
+                        } => {
+                            tests.insert(test.clone());
+                            references(then_value, &mut referenced);
+                            references(else_value, &mut referenced);
+                            references(then_value, &mut nonrow_refs);
+                            references(else_value, &mut nonrow_refs);
+                        }
+                        DefineStatement::ListDecl { separator, .. } => {
+                            references(separator, &mut referenced);
+                        }
+                        DefineStatement::Exec { command, .. } => {
+                            references(command, &mut referenced);
+                        }
+                    }
+                }
+            }
+            Section::Sql(sql) => {
+                references(&sql.command, &mut referenced);
+                references(&sql.command, &mut nonrow_refs);
+                if let Some(report) = &sql.report {
+                    references(&report.header, &mut referenced);
+                    references(&report.footer, &mut referenced);
+                    if let Some(row) = &report.row {
+                        references(row, &mut referenced);
+                        references(row, &mut row_scope_refs);
+                    }
+                }
+                for msg in &sql.messages {
+                    references(&msg.text, &mut referenced);
+                }
+            }
+            Section::HtmlInput(body) => {
+                references(body, &mut referenced);
+                references(body, &mut nonrow_refs);
+                for form in Form::parse_all(body) {
+                    for control in &form.controls {
+                        form_inputs.insert(control.name().to_owned());
+                    }
+                }
+                hyperlink_parameters(body, &mut form_inputs);
+            }
+            Section::HtmlReport(parts) => {
+                has_report_section = true;
+                for part in parts {
+                    match part {
+                        ReportPart::Html(text) => {
+                            references(text, &mut referenced);
+                            references(text, &mut nonrow_refs);
+                            // Hyperlinks back into the gateway carry inputs
+                            // for the *next* request; those names are part of
+                            // the application's input vocabulary.
+                            hyperlink_parameters(text, &mut form_inputs);
+                        }
+                        ReportPart::ExecSqlAll => any_exec_all = true,
+                        ReportPart::ExecSqlNamed(op) => {
+                            if op.starts_with("$(") {
+                                references(op, &mut referenced);
+                            } else {
+                                named_execs.insert(op.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            Section::Comment(_) => {}
+        }
+    }
+
+    let known = |name: &str| {
+        defined.contains(name) || form_inputs.contains(name) || is_system_variable(name)
+    };
+
+    // W001 — references to nothing.
+    for name in &referenced {
+        if !known(name) {
+            findings.push(Finding {
+                code: "W001",
+                message: format!(
+                    "$({name}) is referenced but never defined and no form input provides it \
+                     (it will silently evaluate to the null string)"
+                ),
+            });
+        }
+    }
+
+    // W002 — unused defines. (Conditional tests count as uses.)
+    for name in &defined {
+        if !referenced.contains(name) && !tests.contains(name) {
+            findings.push(Finding {
+                code: "W002",
+                message: format!("variable {name} is defined but never referenced"),
+            });
+        }
+    }
+
+    // W003 — unreachable SQL sections.
+    let sql_sections: Vec<&SqlSection> = mac.sql_sections().collect();
+    for sql in &sql_sections {
+        let reachable = match &sql.name {
+            None => any_exec_all,
+            Some(name) => {
+                named_execs.contains(name)
+                    // A variable-dispatched %EXEC_SQL($(v)) may reach any
+                    // named section; treat those macros as fully reachable.
+                    || mac.sections.iter().any(|s| matches!(s, Section::HtmlReport(parts)
+                        if parts.iter().any(|p| matches!(p, ReportPart::ExecSqlNamed(op) if op.starts_with("$(")))))
+            }
+        };
+        if has_report_section && !reachable {
+            findings.push(Finding {
+                code: "W003",
+                message: format!(
+                    "SQL section {} can never be executed by the report section",
+                    sql.name.as_deref().unwrap_or("(unnamed)")
+                ),
+            });
+        }
+    }
+
+    // W004 — row variables outside a %ROW scope.
+    for name in &nonrow_refs {
+        let upper = name.to_ascii_uppercase();
+        let is_row_var = upper.starts_with("V_")
+            || upper == "VLIST"
+            || (upper.len() > 1
+                && upper.starts_with('V')
+                && upper[1..].chars().all(|c| c.is_ascii_digit()));
+        if is_row_var && !defined.contains(name) && !form_inputs.contains(name) {
+            findings.push(Finding {
+                code: "W004",
+                message: format!(
+                    "row variable $({name}) referenced outside a %SQL_REPORT row scope \
+                     will be null"
+                ),
+            });
+        }
+    }
+
+    // W005 — report mode with no SQL.
+    if has_report_section && sql_sections.is_empty() {
+        findings.push(Finding {
+            code: "W005",
+            message: "the macro has an %HTML_REPORT but no %SQL sections".into(),
+        });
+    }
+
+    // W006 — conditional tests that can never be non-null.
+    for test in &tests {
+        if !known(test) {
+            findings.push(Finding {
+                code: "W006",
+                message: format!(
+                    "conditional tests variable {test}, which is never defined and has no \
+                     form input — the else-branch always wins"
+                ),
+            });
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_macro;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let mac = parse_macro(src).unwrap();
+        let mut codes: Vec<&'static str> = lint(&mac).into_iter().map(|f| f.code).collect();
+        codes.sort();
+        codes.dedup();
+        codes
+    }
+
+    #[test]
+    fn clean_macro_has_no_findings() {
+        let src = r#"%DEFINE cond = SEARCH ? "WHERE t LIKE '%$(SEARCH)%'" : ""
+%SQL{ SELECT a FROM t $(cond)
+%SQL_REPORT{%ROW{$(V1)%}%}
+%}
+%HTML_INPUT{<FORM ACTION="r"><INPUT NAME="SEARCH"></FORM>%}
+%HTML_REPORT{%EXEC_SQL%}"#;
+        assert!(
+            codes(src).is_empty(),
+            "{:?}",
+            lint(&parse_macro(src).unwrap())
+        );
+    }
+
+    #[test]
+    fn undefined_reference_w001() {
+        let src = "%HTML_INPUT{$(typo_here)%}";
+        assert_eq!(codes(src), vec!["W001"]);
+    }
+
+    #[test]
+    fn form_inputs_count_as_definitions() {
+        let src = "%HTML_INPUT{<FORM ACTION=\"r\"><INPUT NAME=\"X\"></FORM>%}\n%HTML_REPORT{$(X)%}\n%SQL{ S %}";
+        // W003 fires (the SQL section is unreachable) but not W001.
+        assert!(!codes(src).contains(&"W001"));
+    }
+
+    #[test]
+    fn unused_define_w002() {
+        let src = "%DEFINE never = \"x\"\n%HTML_INPUT{hello%}";
+        assert_eq!(codes(src), vec!["W002"]);
+    }
+
+    #[test]
+    fn unreachable_sql_w003() {
+        let src = "%SQL(a){ S %}\n%SQL(b){ T %}\n%HTML_REPORT{%EXEC_SQL(a)%}";
+        let mac = parse_macro(src).unwrap();
+        let findings = lint(&mac);
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "W003" && f.message.contains('b')));
+        assert!(!findings
+            .iter()
+            .any(|f| f.code == "W003" && f.message.contains("(a)")));
+    }
+
+    #[test]
+    fn variable_dispatch_suppresses_w003() {
+        let src = "%SQL(a){ S %}\n%SQL(b){ T %}\n%HTML_REPORT{%EXEC_SQL($(pick))%}\n";
+        // $(pick) may name either section; and pick itself is W001.
+        let found = codes(src);
+        assert!(!found.contains(&"W003"), "{found:?}");
+    }
+
+    #[test]
+    fn row_variable_outside_row_w004() {
+        let src = "%SQL{ S %}\n%HTML_REPORT{Value: $(V1)\n%EXEC_SQL%}";
+        assert!(codes(src).contains(&"W004"));
+    }
+
+    #[test]
+    fn report_without_sql_w005() {
+        let src = "%HTML_REPORT{static only%}";
+        assert_eq!(codes(src), vec!["W005"]);
+    }
+
+    #[test]
+    fn impossible_test_w006() {
+        let src = "%DEFINE a = NEVER_SET ? \"x\" : \"y\"\n%HTML_INPUT{$(a)%}";
+        assert_eq!(codes(src), vec!["W006"]);
+    }
+
+    #[test]
+    fn system_variables_are_known() {
+        let src = "%SQL{ S\n%SQL_REPORT{$(NLIST)$(N_title)%ROW{$(V2)$(ROW_NUM)%}$(ROW_NUM)%}\n%}\n%HTML_REPORT{%EXEC_SQL%}";
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn appendix_a_macro_lints_clean_of_w001() {
+        // The reference application must not have typo-class findings.
+        let mac = parse_macro(test_macros::APPENDIX_A_EQUIVALENT).unwrap();
+        let findings = lint(&mac);
+        assert!(!findings.iter().any(|f| f.code == "W001"), "{findings:?}");
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_macros {
+    /// A compact equivalent of the Appendix A application for linting.
+    pub const APPENDIX_A_EQUIVALENT: &str = r#"%DEFINE{
+  dbtbl = "urldb"
+  %LIST " OR " L_INFO
+  L_INFO = USE_URL ? "$(dbtbl).url LIKE '%$(SEARCH)%'" : ""
+  L_INFO = USE_TITLE ? "$(dbtbl).title LIKE '%$(SEARCH)%'" : ""
+  WHERELIST = ? "WHERE $(L_INFO)"
+  D2 = ? "<br>$(V2)"
+%}
+%SQL{ SELECT url, $(DBFIELDS) FROM $(dbtbl) $(WHERELIST) ORDER BY title
+%SQL_REPORT{<UL>
+%ROW{<LI><A HREF="$(V1)">$(V1)</A> $(D2)
+%}</UL>
+%}
+%}
+%HTML_INPUT{<FORM METHOD="post" ACTION="/cgi-bin/db2www/u/report">
+<INPUT NAME="SEARCH" VALUE="ib">
+<INPUT TYPE="checkbox" NAME="USE_URL" VALUE="yes" CHECKED>
+<INPUT TYPE="checkbox" NAME="USE_TITLE" VALUE="yes" CHECKED>
+<SELECT NAME="DBFIELDS" MULTIPLE><OPTION VALUE="title" SELECTED>T</SELECT>
+<INPUT TYPE="submit" VALUE="Go">
+</FORM>%}
+%HTML_REPORT{<H1>Result</H1>
+%EXEC_SQL
+%}"#;
+}

@@ -1,0 +1,140 @@
+//! National language support (§5: "multi-byte character support for
+//! international languages").
+//!
+//! Two concerns from the paper's practical-issues section:
+//!
+//! 1. **Multi-byte data.** All engine strings are UTF-8 `String`s end to
+//!    end — substitution, SQL, and report rendering are tested with CJK and
+//!    accented text (see the multibyte tests across the crates).
+//! 2. **Localized gateway messages.** The engine's own user-visible strings
+//!    (error banners, empty-result notices) come from a message catalog so a
+//!    deployment can serve them in the end user's language, like the
+//!    product's NLS builds did.
+
+use std::fmt;
+
+/// Languages shipped in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Language {
+    /// English (default).
+    #[default]
+    English,
+    /// French.
+    French,
+    /// German.
+    German,
+    /// Spanish.
+    Spanish,
+}
+
+impl Language {
+    /// Parse an HTTP `Accept-Language`-style tag (primary subtag only).
+    pub fn from_tag(tag: &str) -> Option<Language> {
+        let primary = tag.split(['-', '_', ';']).next()?.trim();
+        match primary.to_ascii_lowercase().as_str() {
+            "en" => Some(Language::English),
+            "fr" => Some(Language::French),
+            "de" => Some(Language::German),
+            "es" => Some(Language::Spanish),
+            _ => None,
+        }
+    }
+
+    /// The IANA tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Language::English => "en",
+            Language::French => "fr",
+            Language::German => "de",
+            Language::Spanish => "es",
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.tag())
+    }
+}
+
+/// Keys of localizable engine messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Message {
+    /// Prefix of the DBMS error banner, before "code: message".
+    SqlErrorBanner,
+    /// Shown when a query matched nothing and no %SQL_MESSAGE handles 100.
+    NoRows,
+    /// Error-page title.
+    ErrorPageTitle,
+    /// "macro not found" body.
+    MacroNotFound,
+    /// "bad command" body.
+    BadCommand,
+}
+
+/// Look up a message in the catalog.
+pub fn message(lang: Language, key: Message) -> &'static str {
+    use Language::*;
+    use Message::*;
+    match (lang, key) {
+        (English, SqlErrorBanner) => "SQL error",
+        (French, SqlErrorBanner) => "Erreur SQL",
+        (German, SqlErrorBanner) => "SQL-Fehler",
+        (Spanish, SqlErrorBanner) => "Error de SQL",
+
+        (English, NoRows) => "No rows matched the query.",
+        (French, NoRows) => "Aucune ligne ne correspond à la requête.",
+        (German, NoRows) => "Keine Zeilen entsprachen der Abfrage.",
+        (Spanish, NoRows) => "Ninguna fila coincidió con la consulta.",
+
+        (English, ErrorPageTitle) => "Error",
+        (French, ErrorPageTitle) => "Erreur",
+        (German, ErrorPageTitle) => "Fehler",
+        (Spanish, ErrorPageTitle) => "Error",
+
+        (English, MacroNotFound) => "no such macro",
+        (French, MacroNotFound) => "macro introuvable",
+        (German, MacroNotFound) => "Makro nicht gefunden",
+        (Spanish, MacroNotFound) => "macro no encontrada",
+
+        (English, BadCommand) => "unknown command: expected input or report",
+        (French, BadCommand) => "commande inconnue : attendu input ou report",
+        (German, BadCommand) => "unbekannter Befehl: input oder report erwartet",
+        (Spanish, BadCommand) => "comando desconocido: se esperaba input o report",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trip() {
+        for lang in [
+            Language::English,
+            Language::French,
+            Language::German,
+            Language::Spanish,
+        ] {
+            assert_eq!(Language::from_tag(lang.tag()), Some(lang));
+        }
+    }
+
+    #[test]
+    fn accept_language_style_tags() {
+        assert_eq!(Language::from_tag("fr-CA"), Some(Language::French));
+        assert_eq!(Language::from_tag("de_AT"), Some(Language::German));
+        assert_eq!(Language::from_tag("en;q=0.8"), Some(Language::English));
+        assert_eq!(Language::from_tag("zz"), None);
+    }
+
+    #[test]
+    fn every_language_has_every_message() {
+        // The match is exhaustive by construction; spot-check distinctness.
+        assert_ne!(
+            message(Language::English, Message::SqlErrorBanner),
+            message(Language::German, Message::SqlErrorBanner)
+        );
+        assert!(message(Language::French, Message::NoRows).contains('à'));
+    }
+}

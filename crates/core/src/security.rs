@@ -1,0 +1,93 @@
+//! Security helpers (§5 of the paper).
+//!
+//! The original system "works with the DB2 database, the Web server, and the
+//! firewall products to provide secure data access" — i.e. it delegated.
+//! Three gaps still had to be handled at the gateway layer, and this module
+//! provides the corresponding helpers:
+//!
+//! * **SQL string literals built from user input.** The macro language
+//!   splices `$(SEARCH)` textually into SQL; a value containing `'` changes
+//!   the statement (today we call this SQL injection). [`escape_sql_literal`]
+//!   doubles quotes so a value is always one literal.
+//! * **Macro-file path traversal.** The `{macro-file}` URL component must not
+//!   escape the macro directory; [`safe_macro_name`] validates it.
+//! * **Hidden-variable tampering.** The `$$(name)` escape hides variable
+//!   *names* from end users (Appendix A); nothing hides values, so
+//!   applications must treat all inputs as untrusted — see `DESIGN.md`.
+
+/// Escape a string for inclusion inside a single-quoted SQL literal by
+/// doubling `'` characters.
+///
+/// ```
+/// use dbgw_core::security::escape_sql_literal;
+/// assert_eq!(escape_sql_literal("O'Leary"), "O''Leary");
+/// assert_eq!(escape_sql_literal("plain"), "plain");
+/// ```
+pub fn escape_sql_literal(value: &str) -> String {
+    if !value.contains('\'') {
+        return value.to_owned();
+    }
+    value.replace('\'', "''")
+}
+
+/// Validate a macro-file name from a URL: a single path component, no parent
+/// references, only `[A-Za-z0-9._-]`, not starting with a dot, non-empty.
+///
+/// ```
+/// use dbgw_core::security::safe_macro_name;
+/// assert!(safe_macro_name("urlquery.d2w"));
+/// assert!(!safe_macro_name("../etc/passwd"));
+/// assert!(!safe_macro_name(".hidden"));
+/// assert!(!safe_macro_name("a/b.d2w"));
+/// ```
+pub fn safe_macro_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-')
+        && !name.contains("..")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_escape_doubles_quotes() {
+        assert_eq!(escape_sql_literal("a'b'c"), "a''b''c");
+        assert_eq!(escape_sql_literal(""), "");
+        assert_eq!(escape_sql_literal("''"), "''''");
+    }
+
+    #[test]
+    fn escaped_literal_survives_round_trip() {
+        // Embedding the escaped value in a statement yields exactly one SQL
+        // string literal carrying the original (hostile) text.
+        let hostile = "x' OR '1'='1";
+        let stmt = format!(
+            "SELECT a FROM t WHERE a = '{}'",
+            escape_sql_literal(hostile)
+        );
+        let tokens = minisql::token::tokenize(&stmt).unwrap();
+        let strings: Vec<&str> = tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                minisql::token::TokenKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strings, vec![hostile]);
+    }
+
+    #[test]
+    fn macro_name_validation() {
+        assert!(safe_macro_name("guestbook.d2w"));
+        assert!(safe_macro_name("order_entry-2.d2w"));
+        assert!(!safe_macro_name(""));
+        assert!(!safe_macro_name("a b"));
+        assert!(!safe_macro_name("a..b"));
+        assert!(!safe_macro_name("dir/mac.d2w"));
+        assert!(!safe_macro_name("..\\win"));
+    }
+}

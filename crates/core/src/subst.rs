@@ -1,0 +1,516 @@
+//! The cross-language variable substitution engine (§3, §4.3).
+//!
+//! This is the paper's core mechanism. Properties implemented here:
+//!
+//! * **Lazy evaluation** — right-hand sides are stored raw and only resolved
+//!   when a variable is referenced from an HTML input/report section (or a
+//!   SQL command being executed); see the paper's `One Two` example (§4.3.1).
+//! * **Recursive dereferencing** — `$(a)` inside a value string evaluates
+//!   `a`, which may reference further variables.
+//! * **`$$(name)` escape** — yields the literal text `$(name)` (§3.1.1).
+//! * **Undefined = null = empty string** — never an error (§4.1).
+//! * **Cycle detection** — circular references are an error (§3.1.1).
+//! * **Priority** — system report variables ≻ HTML input variables ≻ macro
+//!   DEFINEs (§4.3).
+//! * **List variables** — multi-valued inputs and multiply-assigned `%LIST`
+//!   variables concatenate their *non-null* values with the (itself
+//!   substitutable) separator (§3.1.3).
+//! * **Conditional variables** — two-armed (`test ?`) and one-armed
+//!   (`= ?`, null if any directly referenced variable is null) (§3.1.2).
+//! * **Executable variables** — the command runs at *each* reference; its
+//!   exit code becomes the value, success becoming null (§3.1.4).
+
+use crate::env::{Assign, Env};
+use crate::error::{MacroError, MacroResult};
+use crate::exec::CommandRunner;
+
+/// Hard limit on variable-chain depth; cycles are caught exactly, this guards
+/// only pathological acyclic chains built from adversarial CGI input.
+const MAX_DEPTH: usize = 100;
+
+/// A substitution session over one environment.
+///
+/// Holds the evaluation stack for cycle detection; create one per rendering
+/// pass (they are cheap).
+pub struct Evaluator<'a> {
+    env: &'a Env,
+    runner: &'a dyn CommandRunner,
+    stack: Vec<String>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// New session.
+    pub fn new(env: &'a Env, runner: &'a dyn CommandRunner) -> Evaluator<'a> {
+        Evaluator {
+            env,
+            runner,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Substitute every `$(var)` / `$$(var)` pattern in `raw`.
+    pub fn substitute(&mut self, raw: &str) -> MacroResult<String> {
+        Ok(self.substitute_tracking(raw)?.0)
+    }
+
+    /// Substitute, also reporting whether any *directly referenced* variable
+    /// evaluated to null — the trigger for one-armed conditional nulling.
+    pub fn substitute_tracking(&mut self, raw: &str) -> MacroResult<(String, bool)> {
+        let mut out = String::with_capacity(raw.len());
+        let mut saw_null = false;
+        let mut rest = raw;
+        while let Some(at) = rest.find('$') {
+            out.push_str(&rest[..at]);
+            let tail = &rest[at..];
+            if let Some(after) = tail.strip_prefix("$$(") {
+                // Escape: $$(name) -> literal $(name)
+                match after.find(')') {
+                    Some(end) => {
+                        out.push_str("$(");
+                        out.push_str(&after[..=end]);
+                        rest = &after[end + 1..];
+                    }
+                    None => {
+                        out.push_str(tail);
+                        rest = "";
+                    }
+                }
+                continue;
+            }
+            if let Some(after) = tail.strip_prefix("$(") {
+                if let Some((name, remainder)) = take_name(after) {
+                    let value = self.value_of(name)?;
+                    if value.is_empty() {
+                        saw_null = true;
+                    }
+                    out.push_str(&value);
+                    rest = remainder;
+                    continue;
+                }
+            }
+            // A lone '$' (or malformed reference): literal.
+            out.push('$');
+            rest = &tail[1..];
+        }
+        out.push_str(rest);
+        Ok((out, saw_null))
+    }
+
+    /// The run-time value of a variable; the empty string *is* null.
+    pub fn value_of(&mut self, name: &str) -> MacroResult<String> {
+        // 1. System report variables (literal, no recursion, case-insensitive).
+        if let Some(v) = self.env.system(name) {
+            return Ok(v.to_owned());
+        }
+        if self.stack.iter().any(|n| n == name) {
+            return Err(MacroError::CircularReference {
+                variable: name.to_owned(),
+                chain: self.stack.clone(),
+            });
+        }
+        if self.stack.len() >= MAX_DEPTH {
+            return Err(MacroError::DepthExceeded {
+                variable: name.to_owned(),
+            });
+        }
+        self.stack.push(name.to_owned());
+        let result = self.value_uncached(name);
+        self.stack.pop();
+        result
+    }
+
+    /// Is the variable defined *and* non-null right now?
+    pub fn is_nonnull(&mut self, name: &str) -> MacroResult<bool> {
+        Ok(!self.value_of(name)?.is_empty())
+    }
+
+    fn value_uncached(&mut self, name: &str) -> MacroResult<String> {
+        // 2. HTML input variables override macro DEFINEs (§4.3).
+        if let Some(values) = self.env.input(name) {
+            let values = values.to_vec();
+            let sep_raw = self.env.separator_of(name).unwrap_or(",").to_owned();
+            let separator = self.substitute(&sep_raw)?;
+            let mut parts = Vec::with_capacity(values.len());
+            for raw in &values {
+                // Input values are parsed like simple assignments (§4.3.2).
+                let v = self.substitute(raw)?;
+                if !v.is_empty() {
+                    parts.push(v);
+                }
+            }
+            return Ok(parts.join(&separator));
+        }
+        // 3. Macro DEFINEs.
+        let Some(entry) = self.env.define(name) else {
+            // 4. Undefined evaluates to null, never an error (§4.1).
+            return Ok(String::new());
+        };
+        let entry = entry.clone();
+        if entry.separator.is_some() {
+            let separator = self.substitute(entry.separator.as_deref().unwrap_or(","))?;
+            let mut parts = Vec::with_capacity(entry.assigns.len());
+            for assign in &entry.assigns {
+                // "The list variable evaluation is intelligent enough to add
+                // delimiters only if the individual value strings are not
+                // null" (§3.1.3).
+                let v = self.eval_assign(name, assign)?;
+                if !v.is_empty() {
+                    parts.push(v);
+                }
+            }
+            return Ok(parts.join(&separator));
+        }
+        match entry.assigns.last() {
+            Some(assign) => self.eval_assign(name, assign),
+            None => Ok(String::new()), // %LIST-declared but never assigned
+        }
+    }
+
+    fn eval_assign(&mut self, name: &str, assign: &Assign) -> MacroResult<String> {
+        match assign {
+            Assign::Simple(raw) => self.substitute(raw),
+            Assign::CondBinary {
+                test,
+                then_value,
+                else_value,
+            } => {
+                if self.is_nonnull(test)? {
+                    self.substitute(then_value)
+                } else {
+                    self.substitute(else_value)
+                }
+            }
+            Assign::CondUnary(raw) => {
+                let (value, saw_null) = self.substitute_tracking(raw)?;
+                if saw_null {
+                    Ok(String::new())
+                } else {
+                    Ok(value)
+                }
+            }
+            Assign::Exec(raw) => {
+                let command = self.substitute(raw)?;
+                match self.runner.run(&command) {
+                    Ok(0) => Ok(String::new()), // success == null (§3.1.4)
+                    Ok(code) => Ok(code.to_string()),
+                    Err(message) => Err(MacroError::Exec {
+                        variable: name.to_owned(),
+                        message,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Split `name)rest` into the variable name and the text after `)`.
+fn take_name(after_paren: &str) -> Option<(&str, &str)> {
+    let mut chars = after_paren.char_indices();
+    let (_, first) = chars.next()?;
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return None;
+    }
+    for (i, c) in chars {
+        if c == ')' {
+            return Some((&after_paren[..i], &after_paren[i + 1..]));
+        }
+        if !(c.is_ascii_alphanumeric() || c == '_') {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DefineStatement;
+    use crate::exec::{DenyRunner, StaticRunner};
+    use std::collections::HashMap;
+
+    fn env_of(stmts: &[DefineStatement]) -> Env {
+        let mut env = Env::new();
+        for s in stmts {
+            env.apply(s);
+        }
+        env
+    }
+
+    fn simple(name: &str, value: &str) -> DefineStatement {
+        DefineStatement::Simple {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+
+    #[test]
+    fn basic_reference_and_undefined() {
+        let env = env_of(&[simple("a", "hello")]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.substitute("[$(a)][$(missing)]").unwrap(), "[hello][]");
+    }
+
+    #[test]
+    fn recursive_dereference() {
+        // %DEFINE var1 = "$(var2).abc" from §3.1.1.
+        let env = env_of(&[simple("var1", "$(var2).abc"), simple("var2", "xyz")]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("var1").unwrap(), "xyz.abc");
+    }
+
+    #[test]
+    fn dollar_dollar_escape() {
+        // %DEFINE a = "$$(b)" evaluates to the string "$(b)" (§3.1.1).
+        let env = env_of(&[simple("a", "$$(b)"), simple("b", "SHOULD NOT APPEAR")]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("a").unwrap(), "$(b)");
+    }
+
+    #[test]
+    fn lone_dollar_is_literal() {
+        let env = env_of(&[]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(
+            ev.substitute("cost: $5 and $ (x) and $()").unwrap(),
+            "cost: $5 and $ (x) and $()"
+        );
+    }
+
+    #[test]
+    fn circular_reference_is_error() {
+        let env = env_of(&[simple("a", "$(b)"), simple("b", "$(a)")]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        let err = ev.value_of("a").unwrap_err();
+        assert!(
+            matches!(err, MacroError::CircularReference { ref variable, .. } if variable == "a")
+        );
+    }
+
+    #[test]
+    fn self_reference_is_error() {
+        let env = env_of(&[simple("a", "x$(a)")]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert!(ev.value_of("a").is_err());
+    }
+
+    #[test]
+    fn case_sensitive_names() {
+        let env = env_of(&[simple("Var", "upper")]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("Var").unwrap(), "upper");
+        assert_eq!(ev.value_of("var").unwrap(), "");
+    }
+
+    #[test]
+    fn inputs_override_defines() {
+        let mut env = env_of(&[simple("SEARCH", "default")]);
+        env.push_input("SEARCH", "user-typed");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("SEARCH").unwrap(), "user-typed");
+    }
+
+    #[test]
+    fn system_frames_override_everything() {
+        let mut env = env_of(&[simple("V1", "define")]);
+        env.push_input("V1", "input");
+        env.push_frame(HashMap::from([("V1".to_owned(), "system".to_owned())]));
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("V1").unwrap(), "system");
+        assert_eq!(ev.value_of("v1").unwrap(), "system"); // case-insensitive
+    }
+
+    #[test]
+    fn multi_valued_input_is_comma_list() {
+        // §2.2: DBFIELD selected twice.
+        let mut env = Env::new();
+        env.push_input("DBFIELD", "title");
+        env.push_input("DBFIELD", "desc");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("DBFIELD").unwrap(), "title,desc");
+    }
+
+    #[test]
+    fn list_separator_overrides_input_join() {
+        let mut env = env_of(&[DefineStatement::ListDecl {
+            name: "DBFIELD".into(),
+            separator: " | ".into(),
+        }]);
+        env.push_input("DBFIELD", "title");
+        env.push_input("DBFIELD", "desc");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("DBFIELD").unwrap(), "title | desc");
+    }
+
+    #[test]
+    fn empty_input_values_skipped_in_lists() {
+        let mut env = Env::new();
+        env.push_input("F", "a");
+        env.push_input("F", "");
+        env.push_input("F", "b");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("F").unwrap(), "a,b");
+    }
+
+    #[test]
+    fn paper_where_clause_example_full() {
+        // The §3.1.3 worked example, all three input scenarios.
+        let defs = [
+            DefineStatement::ListDecl {
+                name: "where_list".into(),
+                separator: " AND ".into(),
+            },
+            DefineStatement::CondUnary {
+                name: "where_list".into(),
+                value: "custid = $(cust_inp)".into(),
+            },
+            DefineStatement::CondUnary {
+                name: "where_list".into(),
+                value: "product_name LIKE '$(prod_inp)%'".into(),
+            },
+            DefineStatement::CondUnary {
+                name: "where_clause".into(),
+                value: "WHERE $(where_list)".into(),
+            },
+        ];
+        // Scenario 1: both inputs present.
+        let mut env = env_of(&defs);
+        env.push_input("cust_inp", "10100");
+        env.push_input("prod_inp", "bikes");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(
+            ev.value_of("where_clause").unwrap(),
+            "WHERE custid = 10100 AND product_name LIKE 'bikes%'"
+        );
+        // Scenario 2: cust_inp empty.
+        let mut env = env_of(&defs);
+        env.push_input("cust_inp", "");
+        env.push_input("prod_inp", "bikes");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(
+            ev.value_of("where_clause").unwrap(),
+            "WHERE product_name LIKE 'bikes%'"
+        );
+        // Scenario 3: both null -> no WHERE clause at all.
+        let env = env_of(&defs);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("where_clause").unwrap(), "");
+    }
+
+    #[test]
+    fn cond_binary_arms() {
+        let defs = [DefineStatement::CondBinary {
+            name: "flag".into(),
+            test: "USE_URL".into(),
+            then_value: "url LIKE '%$(S)%'".into(),
+            else_value: "".into(),
+        }];
+        let mut env = env_of(&defs);
+        env.push_input("USE_URL", "yes");
+        env.push_input("S", "ib");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("flag").unwrap(), "url LIKE '%ib%'");
+        // Unchecked box: USE_URL sent as "" (or absent) -> else arm.
+        let mut env = env_of(&defs);
+        env.push_input("USE_URL", "");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("flag").unwrap(), "");
+    }
+
+    #[test]
+    fn exec_variable_success_is_null_failure_is_code() {
+        let runner = StaticRunner::new().with("check ok", 0).with("check bad", 4);
+        let env = env_of(&[
+            DefineStatement::Exec {
+                name: "ok".into(),
+                command: "check ok".into(),
+            },
+            DefineStatement::Exec {
+                name: "bad".into(),
+                command: "check bad".into(),
+            },
+        ]);
+        let mut ev = Evaluator::new(&env, &runner);
+        assert_eq!(ev.value_of("ok").unwrap(), "");
+        assert_eq!(ev.value_of("bad").unwrap(), "4");
+    }
+
+    #[test]
+    fn exec_launch_failure_is_error() {
+        let env = env_of(&[DefineStatement::Exec {
+            name: "x".into(),
+            command: "anything".into(),
+        }]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert!(matches!(
+            ev.value_of("x").unwrap_err(),
+            MacroError::Exec { .. }
+        ));
+    }
+
+    #[test]
+    fn exec_command_is_substituted_per_reference() {
+        let runner = StaticRunner::new().with("notify ada", 1);
+        let mut env = env_of(&[DefineStatement::Exec {
+            name: "e".into(),
+            command: "notify $(user)".into(),
+        }]);
+        env.push_input("user", "ada");
+        let mut ev = Evaluator::new(&env, &runner);
+        assert_eq!(ev.value_of("e").unwrap(), "1");
+    }
+
+    #[test]
+    fn dynamic_separator_from_user() {
+        // "An example is to get the delimiter from the user for AND or OR
+        // conditions" (§3.1.3).
+        let defs = [
+            DefineStatement::ListDecl {
+                name: "conds".into(),
+                separator: " $(CONNECTIVE) ".into(),
+            },
+            DefineStatement::Simple {
+                name: "conds".into(),
+                value: "a = 1".into(),
+            },
+            DefineStatement::Simple {
+                name: "conds".into(),
+                value: "b = 2".into(),
+            },
+        ];
+        let mut env = env_of(&defs);
+        env.push_input("CONNECTIVE", "OR");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("conds").unwrap(), "a = 1 OR b = 2");
+    }
+
+    #[test]
+    fn depth_limit_reports_cleanly() {
+        // A 200-deep chain, no cycle.
+        let mut stmts = Vec::new();
+        for i in 0..200 {
+            stmts.push(simple(&format!("v{i}"), &format!("$(v{})", i + 1)));
+        }
+        let env = env_of(&stmts);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert!(matches!(
+            ev.value_of("v0").unwrap_err(),
+            MacroError::DepthExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn multibyte_text_survives_substitution() {
+        let env = env_of(&[simple("greeting", "héllo ☃")]);
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.substitute("«$(greeting)»").unwrap(), "«héllo ☃»");
+    }
+
+    #[test]
+    fn input_value_containing_reference_is_parsed() {
+        // §4.3.2: input variable values can reference other variables.
+        let mut env = env_of(&[simple("inner", "42")]);
+        env.push_input("outer", "val=$(inner)");
+        let mut ev = Evaluator::new(&env, &DenyRunner);
+        assert_eq!(ev.value_of("outer").unwrap(), "val=42");
+    }
+}

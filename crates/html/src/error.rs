@@ -1,0 +1,64 @@
+//! Error type for HTML processing.
+
+use std::fmt;
+
+/// Errors produced while tokenizing or validating HTML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlError {
+    /// A closing tag appeared with no matching opening tag.
+    UnmatchedClose {
+        /// The tag name that was closed.
+        tag: String,
+        /// Byte offset of the offending close tag.
+        offset: usize,
+    },
+    /// An opening tag was never closed before end of input.
+    UnclosedTag {
+        /// The tag name left open.
+        tag: String,
+        /// Byte offset where the tag was opened.
+        offset: usize,
+    },
+    /// Tags were closed in the wrong order (e.g. `<b><i></b></i>`).
+    MisnestedTag {
+        /// The tag that was expected to close next.
+        expected: String,
+        /// The tag that actually closed.
+        found: String,
+        /// Byte offset of the offending close tag.
+        offset: usize,
+    },
+    /// The tokenizer hit end-of-input in the middle of a construct.
+    TruncatedInput {
+        /// Human description of what was being parsed.
+        context: &'static str,
+        /// Byte offset where the construct began.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for HtmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HtmlError::UnmatchedClose { tag, offset } => {
+                write!(f, "unmatched closing tag </{tag}> at byte {offset}")
+            }
+            HtmlError::UnclosedTag { tag, offset } => {
+                write!(f, "tag <{tag}> opened at byte {offset} is never closed")
+            }
+            HtmlError::MisnestedTag {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "misnested tags: expected </{expected}> but found </{found}> at byte {offset}"
+            ),
+            HtmlError::TruncatedInput { context, offset } => {
+                write!(f, "input ended inside {context} starting at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HtmlError {}

@@ -1,0 +1,192 @@
+//! HTML escaping and unescaping.
+//!
+//! Database values substituted into report pages must be escaped so that a
+//! stored string like `<script>` or `Fish & Chips` renders as text instead of
+//! markup. The gateway escapes *values*, never the application developer's own
+//! HTML, mirroring how the original system passed macro HTML through verbatim.
+
+use std::borrow::Cow;
+
+/// Escape a string for use as HTML text content.
+///
+/// Replaces `&`, `<` and `>`. Returns a borrowed `Cow` when no replacement is
+/// needed, so the common all-clean case allocates nothing.
+///
+/// ```
+/// use dbgw_html::escape_text;
+/// assert_eq!(escape_text("Fish & Chips"), "Fish &amp; Chips");
+/// assert_eq!(escape_text("plain"), "plain");
+/// ```
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escape a string for use inside a double-quoted HTML attribute value.
+///
+/// Replaces `&`, `<`, `>` and `"`.
+///
+/// ```
+/// use dbgw_html::escape_attr;
+/// assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+/// ```
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| b == b'&' || b == b'<' || b == b'>' || (attr && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Undo HTML entity escaping for the five named entities plus decimal and
+/// hexadecimal numeric character references.
+///
+/// Unknown or malformed entities are passed through unchanged, which is what
+/// 1990s browsers did.
+///
+/// ```
+/// use dbgw_html::unescape;
+/// assert_eq!(unescape("a &amp; b"), "a & b");
+/// assert_eq!(unescape("&#65;&#x42;"), "AB");
+/// assert_eq!(unescape("&bogus;"), "&bogus;");
+/// ```
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find the terminating ';' within a reasonable window.
+        let end = bytes[i + 1..]
+            .iter()
+            .take(12)
+            .position(|&b| b == b';')
+            .map(|p| i + 1 + p);
+        let Some(end) = end else {
+            out.push('&');
+            i += 1;
+            continue;
+        };
+        let entity = &s[i + 1..end];
+        let replacement = match entity {
+            "amp" => Some('&'),
+            "lt" => Some('<'),
+            "gt" => Some('>'),
+            "quot" => Some('"'),
+            "apos" => Some('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+            }
+            _ if entity.starts_with('#') => {
+                entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+            }
+            _ => None,
+        };
+        match replacement {
+            Some(ch) => {
+                out.push(ch);
+                i = end + 1;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escapes_core_three() {
+        assert_eq!(escape_text("<a href=x>"), "&lt;a href=x&gt;");
+        assert_eq!(escape_text("a&b"), "a&amp;b");
+    }
+
+    #[test]
+    fn text_leaves_quote_alone() {
+        assert_eq!(escape_text("say \"hi\""), "say \"hi\"");
+    }
+
+    #[test]
+    fn attr_escapes_quote() {
+        assert_eq!(escape_attr("\""), "&quot;");
+    }
+
+    #[test]
+    fn clean_string_borrows() {
+        assert!(matches!(escape_text("hello"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("hello"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_round_trips_escape() {
+        let original = "x < y & y > \"z\"";
+        assert_eq!(unescape(&escape_attr(original)), original);
+    }
+
+    #[test]
+    fn unescape_numeric_forms() {
+        assert_eq!(unescape("&#60;&#x3E;"), "<>");
+    }
+
+    #[test]
+    fn unescape_handles_multibyte_passthrough() {
+        assert_eq!(unescape("héllo ☃"), "héllo ☃");
+    }
+
+    #[test]
+    fn unescape_dangling_ampersand() {
+        assert_eq!(unescape("AT&T"), "AT&T");
+        assert_eq!(unescape("x &"), "x &");
+    }
+
+    #[test]
+    fn unescape_ignores_overlong_entity() {
+        // No ';' within the window: treated as literal.
+        assert_eq!(
+            unescape("&thisistoolongtobeanentity;"),
+            "&thisistoolongtobeanentity;"
+        );
+    }
+
+    #[test]
+    fn unescape_rejects_invalid_codepoint() {
+        assert_eq!(unescape("&#xD800;"), "&#xD800;");
+    }
+}

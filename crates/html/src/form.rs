@@ -1,0 +1,393 @@
+//! Extraction of HTML form controls.
+//!
+//! Section 2.2 of the paper describes how a browser packages the values of
+//! `INPUT` and `SELECT` controls into `name=value` pairs on submission. This
+//! module recovers the form model from a page so the test client (our stand-in
+//! for Mosaic/Netscape) can reproduce that behaviour exactly, including
+//! checkbox semantics (unchecked boxes send *nothing*) and multi-valued
+//! `SELECT MULTIPLE` lists.
+
+use crate::token::{Token, Tokenizer};
+
+/// HTTP method declared by a `<FORM METHOD=...>` tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormMethod {
+    /// `METHOD="get"` — variables travel in the URL query string.
+    #[default]
+    Get,
+    /// `METHOD="post"` — variables travel in the request body.
+    Post,
+}
+
+/// One interactive control inside a form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormControl {
+    /// `<INPUT TYPE=text|hidden|password|radio|checkbox|submit|reset>`.
+    Input {
+        /// `TYPE` attribute, lowercased; defaults to `text`.
+        kind: String,
+        /// `NAME` attribute (controls without a name submit nothing).
+        name: String,
+        /// `VALUE` attribute.
+        value: Option<String>,
+        /// Whether `CHECKED` was present (radio / checkbox).
+        checked: bool,
+    },
+    /// `<SELECT>` with its options.
+    Select {
+        /// `NAME` attribute.
+        name: String,
+        /// Whether `MULTIPLE` was present.
+        multiple: bool,
+        /// `(value, selected)` for each `<OPTION>`; value falls back to the
+        /// option's text when no `VALUE` attribute is given.
+        options: Vec<(String, bool)>,
+    },
+    /// `<TEXTAREA>` with its default text.
+    TextArea {
+        /// `NAME` attribute.
+        name: String,
+        /// Initial content between the tags.
+        value: String,
+    },
+}
+
+impl FormControl {
+    /// The control's submission name.
+    pub fn name(&self) -> &str {
+        match self {
+            FormControl::Input { name, .. } => name,
+            FormControl::Select { name, .. } => name,
+            FormControl::TextArea { name, .. } => name,
+        }
+    }
+}
+
+/// A parsed `<FORM>` element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Form {
+    /// The `ACTION` URL the form submits to.
+    pub action: String,
+    /// Submission method.
+    pub method: FormMethod,
+    /// Controls in document order.
+    pub controls: Vec<FormControl>,
+}
+
+/// In-flight `<SELECT>` state: `(name, multiple, options)`.
+type PendingSelect = (String, bool, Vec<(String, bool)>);
+/// In-flight `<OPTION>` state: `(value attr, selected, text)`.
+type PendingOption = (Option<String>, bool, String);
+
+impl Form {
+    /// Parse every `<FORM>` in `html`, in document order.
+    ///
+    /// Controls that appear outside any form are ignored, as browsers do.
+    pub fn parse_all(html: &str) -> Vec<Form> {
+        let mut forms = Vec::new();
+        let mut current: Option<Form> = None;
+        let mut pending_select: Option<PendingSelect> = None;
+        let mut pending_option: Option<PendingOption> = None;
+        let mut pending_textarea: Option<(String, String)> = None;
+
+        for tok in Tokenizer::new(html) {
+            match tok {
+                Token::Open { name, attrs, .. } => {
+                    let attr = |want: &str| -> Option<String> {
+                        attrs
+                            .iter()
+                            .find(|a| a.name == want)
+                            .and_then(|a| a.value.clone())
+                    };
+                    let has = |want: &str| attrs.iter().any(|a| a.name == want);
+                    match name.as_str() {
+                        "form" => {
+                            // An unclosed previous form is implicitly ended.
+                            if let Some(done) = current.take() {
+                                forms.push(done);
+                            }
+                            current = Some(Form {
+                                action: attr("action").unwrap_or_default(),
+                                method: match attr("method").as_deref() {
+                                    Some(m) if m.eq_ignore_ascii_case("post") => FormMethod::Post,
+                                    _ => FormMethod::Get,
+                                },
+                                controls: Vec::new(),
+                            });
+                        }
+                        "input" => {
+                            if let (Some(form), Some(ctl_name)) = (current.as_mut(), attr("name")) {
+                                form.controls.push(FormControl::Input {
+                                    kind: attr("type").unwrap_or_else(|| "text".into()),
+                                    name: ctl_name,
+                                    value: attr("value"),
+                                    checked: has("checked"),
+                                });
+                            }
+                        }
+                        "select" => {
+                            if let Some(ctl_name) = attr("name") {
+                                pending_select = Some((ctl_name, has("multiple"), Vec::new()));
+                            }
+                        }
+                        "option" => {
+                            // An <option> implicitly closes the previous one.
+                            finish_option(&mut pending_option, &mut pending_select);
+                            pending_option = Some((attr("value"), has("selected"), String::new()));
+                        }
+                        "textarea" => {
+                            if let Some(ctl_name) = attr("name") {
+                                pending_textarea = Some((ctl_name, String::new()));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Token::Close { name } => match name.as_str() {
+                    "form" => {
+                        if let Some(done) = current.take() {
+                            forms.push(done);
+                        }
+                    }
+                    "select" => {
+                        finish_option(&mut pending_option, &mut pending_select);
+                        if let (Some(form), Some((sel_name, multiple, options))) =
+                            (current.as_mut(), pending_select.take())
+                        {
+                            form.controls.push(FormControl::Select {
+                                name: sel_name,
+                                multiple,
+                                options,
+                            });
+                        }
+                    }
+                    "option" => finish_option(&mut pending_option, &mut pending_select),
+                    "textarea" => {
+                        if let (Some(form), Some((ta_name, value))) =
+                            (current.as_mut(), pending_textarea.take())
+                        {
+                            form.controls.push(FormControl::TextArea {
+                                name: ta_name,
+                                value,
+                            });
+                        }
+                    }
+                    _ => {}
+                },
+                Token::Text(text) => {
+                    if let Some((_, _, body)) = pending_option.as_mut() {
+                        body.push_str(&text);
+                    } else if let Some((_, body)) = pending_textarea.as_mut() {
+                        body.push_str(&text);
+                    }
+                }
+                Token::Comment(_) | Token::Declaration(_) => {}
+            }
+        }
+        if let Some(done) = current.take() {
+            forms.push(done);
+        }
+        forms
+    }
+
+    /// Parse and return the first form, if any.
+    pub fn parse_first(html: &str) -> Option<Form> {
+        Form::parse_all(html).into_iter().next()
+    }
+
+    /// The set of `(name, value)` pairs a browser would submit given this
+    /// form's *default* state (checked boxes, selected options, initial text),
+    /// per the packaging rules of §2.2 of the paper.
+    ///
+    /// Unchecked checkboxes/radios contribute nothing; `submit`/`reset`
+    /// buttons contribute nothing (we model clicking the lone submit button,
+    /// whose value the original examples never referenced).
+    pub fn default_submission(&self) -> Vec<(String, String)> {
+        let mut pairs = Vec::new();
+        for ctl in &self.controls {
+            match ctl {
+                FormControl::Input {
+                    kind,
+                    name,
+                    value,
+                    checked,
+                } => match kind.as_str() {
+                    "checkbox" | "radio" => {
+                        if *checked {
+                            pairs
+                                .push((name.clone(), value.clone().unwrap_or_else(|| "on".into())));
+                        }
+                    }
+                    "submit" | "reset" | "button" | "image" => {}
+                    _ => pairs.push((name.clone(), value.clone().unwrap_or_default())),
+                },
+                FormControl::Select { name, options, .. } => {
+                    for (value, selected) in options {
+                        if *selected {
+                            pairs.push((name.clone(), value.clone()));
+                        }
+                    }
+                }
+                FormControl::TextArea { name, value } => {
+                    pairs.push((name.clone(), value.clone()));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+fn finish_option(
+    pending_option: &mut Option<PendingOption>,
+    pending_select: &mut Option<PendingSelect>,
+) {
+    if let Some((value, selected, text)) = pending_option.take() {
+        if let Some((_, _, options)) = pending_select.as_mut() {
+            let value = value.unwrap_or_else(|| text.trim().to_owned());
+            options.push((value, selected));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The HTML input form of Figure 2 in the paper, abbreviated.
+    const FIGURE2: &str = r#"
+<TITLE>DB2 WWW URL Query</TITLE>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www.exe/urlquery.d2w/report">
+Please enter a search string:
+<INPUT TYPE="text" NAME="SEARCH" SIZE=20>
+<INPUT TYPE="checkbox" NAME="USE_URL" VALUE="yes" CHECKED> URL<br>
+<INPUT TYPE="checkbox" NAME="USE_TITLE" VALUE="yes" CHECKED> Title<br>
+<INPUT TYPE="checkbox" NAME="USE_DESC" VALUE="yes">Description
+<SELECT NAME="DBFIELD" SIZE=3 MULTIPLE>
+<OPTION VALUE="url">URL
+<OPTION VALUE="title" SELECTED> Title
+<OPTION VALUE="desc">Description
+</SELECT>
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="YES"> Yes
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="" CHECKED> No
+<INPUT TYPE="submit" VALUE="Submit Query">
+<INPUT TYPE="reset" VALUE="Reset Input">
+</FORM>"#;
+
+    #[test]
+    fn parses_figure2_form() {
+        let form = Form::parse_first(FIGURE2).expect("form");
+        assert_eq!(form.method, FormMethod::Post);
+        assert_eq!(form.action, "/cgi-bin/db2www.exe/urlquery.d2w/report");
+        // submit/reset carry no NAME attribute, so they are not controls.
+        assert_eq!(form.controls.len(), 7);
+        let names: Vec<&str> = form.controls.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "SEARCH",
+                "USE_URL",
+                "USE_TITLE",
+                "USE_DESC",
+                "DBFIELD",
+                "SHOWSQL",
+                "SHOWSQL"
+            ]
+        );
+    }
+
+    #[test]
+    fn figure2_default_submission_matches_paper() {
+        // §2.2 shows the variable set the client sends for the default state.
+        let form = Form::parse_first(FIGURE2).unwrap();
+        let pairs = form.default_submission();
+        assert_eq!(
+            pairs,
+            vec![
+                ("SEARCH".to_owned(), String::new()),
+                ("USE_URL".to_owned(), "yes".to_owned()),
+                ("USE_TITLE".to_owned(), "yes".to_owned()),
+                ("DBFIELD".to_owned(), "title".to_owned()),
+                ("SHOWSQL".to_owned(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn multiple_select_sends_every_selected_option() {
+        let html = r#"<form action="/a"><select name="F" multiple>
+            <option value="1" selected>one
+            <option value="2">two
+            <option value="3" selected>three
+            </select></form>"#;
+        let form = Form::parse_first(html).unwrap();
+        let pairs = form.default_submission();
+        assert_eq!(
+            pairs,
+            vec![
+                ("F".to_owned(), "1".to_owned()),
+                ("F".to_owned(), "3".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn option_without_value_uses_text() {
+        let html = "<form><select name=S><option selected>Hello</option></select></form>";
+        let form = Form::parse_first(html).unwrap();
+        assert_eq!(
+            form.default_submission(),
+            vec![("S".into(), "Hello".into())]
+        );
+    }
+
+    #[test]
+    fn textarea_contributes_content() {
+        let html = "<form><textarea name=msg>dear sirs</textarea></form>";
+        let form = Form::parse_first(html).unwrap();
+        assert_eq!(
+            form.default_submission(),
+            vec![("msg".into(), "dear sirs".into())]
+        );
+    }
+
+    #[test]
+    fn controls_outside_forms_ignored() {
+        let html = "<input name=stray><form action=x></form>";
+        let forms = Form::parse_all(html);
+        assert_eq!(forms.len(), 1);
+        assert!(forms[0].controls.is_empty());
+    }
+
+    #[test]
+    fn two_forms_parsed_in_order() {
+        let html = "<form action=a></form><form action=b></form>";
+        let forms = Form::parse_all(html);
+        assert_eq!(forms.len(), 2);
+        assert_eq!(forms[0].action, "a");
+        assert_eq!(forms[1].action, "b");
+    }
+
+    #[test]
+    fn hidden_input_submitted() {
+        let html = r#"<form><input type="hidden" name="h" value="secret"></form>"#;
+        let form = Form::parse_first(html).unwrap();
+        assert_eq!(
+            form.default_submission(),
+            vec![("h".into(), "secret".into())]
+        );
+    }
+
+    #[test]
+    fn method_defaults_to_get() {
+        let form = Form::parse_first("<form action=x></form>").unwrap();
+        assert_eq!(form.method, FormMethod::Get);
+    }
+
+    #[test]
+    fn unclosed_form_still_returned() {
+        let html = "<form action=z><input name=a value=1>";
+        let forms = Form::parse_all(html);
+        assert_eq!(forms.len(), 1);
+        assert_eq!(forms[0].controls.len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! HTML tooling substrate for the Web-DBMS gateway.
+//!
+//! The 1996 system relied on browsers (Mosaic, Netscape) to render HTML and on
+//! visual HTML editors to author forms. This crate provides the minimum HTML
+//! machinery the reproduction needs in their place:
+//!
+//! * [`escape`] — text and attribute escaping for safely embedding SQL result
+//!   values inside generated pages,
+//! * [`token`] — a small, forgiving HTML tokenizer (tags, attributes, text,
+//!   comments) in the spirit of mid-90s parsers,
+//! * [`form`] — extraction of form controls (`INPUT`, `SELECT`/`OPTION`,
+//!   `TEXTAREA`) from a page, used by the programmatic "browser" client to fill
+//!   out and submit `%HTML_INPUT` forms,
+//! * [`table`] — the default `<table>` report renderer used when a `%SQL`
+//!   section has no custom `%SQL_REPORT` block,
+//! * [`validate`] — a tag-balance checker used in tests to assert generated
+//!   reports are well-formed.
+
+pub mod error;
+pub mod escape;
+pub mod form;
+pub mod table;
+pub mod token;
+pub mod validate;
+
+pub use error::HtmlError;
+pub use escape::{escape_attr, escape_text, unescape};
+pub use form::{Form, FormControl, FormMethod};
+pub use table::TableBuilder;
+pub use token::{Attribute, Token, Tokenizer};
+pub use validate::check_balanced;

@@ -1,0 +1,119 @@
+//! Default tabular report rendering.
+//!
+//! When a `%SQL` section has no `%SQL_REPORT` block, the gateway prints the
+//! query result "in a default table format" (§3.4). This builder produces that
+//! format: a bordered HTML 3.0 table with a header row of column names and one
+//! row per fetched tuple, all cell values HTML-escaped.
+
+use crate::escape::escape_text;
+
+/// Incremental builder for the default `<table>` report.
+///
+/// ```
+/// use dbgw_html::TableBuilder;
+/// let mut t = TableBuilder::new(&["NAME", "AGE"]);
+/// t.push_row(&["O'Leary <jr>", "41"]);
+/// let html = t.finish();
+/// assert!(html.contains("<TABLE BORDER=1>"));
+/// assert!(html.contains("O'Leary &lt;jr&gt;"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    out: String,
+    columns: usize,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Begin a table with the given header row (column names are escaped).
+    pub fn new<S: AsRef<str>>(columns: &[S]) -> Self {
+        let mut out = String::with_capacity(128 + columns.len() * 16);
+        out.push_str("<TABLE BORDER=1>\n<TR>");
+        for c in columns {
+            out.push_str("<TH>");
+            out.push_str(&escape_text(c.as_ref()));
+            out.push_str("</TH>");
+        }
+        out.push_str("</TR>\n");
+        TableBuilder {
+            out,
+            columns: columns.len(),
+            rows: 0,
+        }
+    }
+
+    /// Append a data row. Missing trailing cells render as empty; extra cells
+    /// are still rendered (the 90s engine trusted the DBMS row width).
+    pub fn push_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        self.out.push_str("<TR>");
+        for i in 0..self.columns.max(cells.len()) {
+            self.out.push_str("<TD>");
+            if let Some(cell) = cells.get(i) {
+                self.out.push_str(&escape_text(cell.as_ref()));
+            }
+            self.out.push_str("</TD>");
+        }
+        self.out.push_str("</TR>\n");
+        self.rows += 1;
+    }
+
+    /// Number of data rows appended so far.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Close the table and return the HTML.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("</TABLE>\n");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_balanced;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = TableBuilder::new(&["URL", "TITLE"]);
+        t.push_row(&["http://x", "X site"]);
+        t.push_row(&["http://y", "Y site"]);
+        let html = t.finish();
+        assert!(html.contains("<TH>URL</TH><TH>TITLE</TH>"));
+        assert!(html.contains("<TD>http://x</TD><TD>X site</TD>"));
+        assert_eq!(html.matches("<TR>").count(), 3);
+    }
+
+    #[test]
+    fn escapes_cells() {
+        let mut t = TableBuilder::new(&["a&b"]);
+        t.push_row(&["<tag>"]);
+        let html = t.finish();
+        assert!(html.contains("a&amp;b"));
+        assert!(html.contains("&lt;tag&gt;"));
+    }
+
+    #[test]
+    fn short_row_padded() {
+        let mut t = TableBuilder::new(&["A", "B", "C"]);
+        t.push_row(&["only"]);
+        let html = t.finish();
+        assert_eq!(html.matches("<TD>").count(), 3);
+    }
+
+    #[test]
+    fn output_is_balanced_html() {
+        let mut t = TableBuilder::new(&["A"]);
+        t.push_row(&["1"]);
+        t.push_row(&["2"]);
+        assert!(check_balanced(&t.finish()).is_ok());
+    }
+
+    #[test]
+    fn empty_table_valid() {
+        let t = TableBuilder::new(&["A"]);
+        assert_eq!(t.row_count(), 0);
+        assert!(check_balanced(&t.finish()).is_ok());
+    }
+}

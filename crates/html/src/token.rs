@@ -1,0 +1,416 @@
+//! A small, forgiving HTML tokenizer.
+//!
+//! This models the permissive parsing of mid-90s browsers: attribute values
+//! may be double-quoted, single-quoted or bare; tag and attribute names are
+//! case-insensitive (normalized to lowercase); unknown constructs degrade to
+//! text rather than failing. It is deliberately *not* an HTML5 parser — the
+//! pages the gateway generates and consumes are HTML 2.0/3.0 era.
+
+use std::fmt;
+
+/// A single `name[=value]` attribute inside a tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, lowercased.
+    pub name: String,
+    /// Attribute value with entities resolved; `None` for bare boolean
+    /// attributes such as `CHECKED` or `MULTIPLE`.
+    pub value: Option<String>,
+}
+
+impl Attribute {
+    /// Construct an attribute (test/builder convenience).
+    pub fn new(name: &str, value: Option<&str>) -> Self {
+        Attribute {
+            name: name.to_ascii_lowercase(),
+            value: value.map(str::to_owned),
+        }
+    }
+}
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An opening tag like `<input type="text">`. `self_closing` records a
+    /// trailing `/` (XHTML style), which 90s HTML rarely used but we accept.
+    Open {
+        /// Tag name, lowercased.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attribute>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// A closing tag like `</form>`.
+    Close {
+        /// Tag name, lowercased.
+        name: String,
+    },
+    /// A run of character data between tags, entities *not* resolved (the
+    /// gateway must pass the developer's HTML through verbatim).
+    Text(String),
+    /// An HTML comment, contents between `<!--` and `-->`.
+    Comment(String),
+    /// A declaration such as `<!DOCTYPE html>`, contents after `<!`.
+    Declaration(String),
+}
+
+impl Token {
+    /// The tag name if this token is an opening tag.
+    pub fn open_name(&self) -> Option<&str> {
+        match self {
+            Token::Open { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Open {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                write!(f, "<{name}")?;
+                for a in attrs {
+                    match &a.value {
+                        Some(v) => write!(f, " {}=\"{}\"", a.name, v)?,
+                        None => write!(f, " {}", a.name)?,
+                    }
+                }
+                if *self_closing {
+                    write!(f, " /")?;
+                }
+                write!(f, ">")
+            }
+            Token::Close { name } => write!(f, "</{name}>"),
+            Token::Text(t) => write!(f, "{t}"),
+            Token::Comment(c) => write!(f, "<!--{c}-->"),
+            Token::Declaration(d) => write!(f, "<!{d}>"),
+        }
+    }
+}
+
+/// Streaming tokenizer over an HTML source string.
+///
+/// ```
+/// use dbgw_html::{Token, Tokenizer};
+/// let tokens: Vec<Token> = Tokenizer::new("<b>hi</b>").collect();
+/// assert_eq!(tokens.len(), 3);
+/// assert_eq!(tokens[0].open_name(), Some("b"));
+/// ```
+pub struct Tokenizer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Tokenizer { src, pos: 0 }
+    }
+
+    /// Current byte offset into the source.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn read_text(&mut self) -> Token {
+        let rest = self.rest();
+        let end = rest.find('<').unwrap_or(rest.len());
+        let text = &rest[..end];
+        self.bump(end);
+        Token::Text(text.to_owned())
+    }
+
+    fn read_comment(&mut self) -> Token {
+        // self.rest() starts with "<!--"
+        self.bump(4);
+        let rest = self.rest();
+        match rest.find("-->") {
+            Some(end) => {
+                let body = &rest[..end];
+                self.bump(end + 3);
+                Token::Comment(body.to_owned())
+            }
+            None => {
+                let body = rest;
+                self.bump(rest.len());
+                Token::Comment(body.to_owned())
+            }
+        }
+    }
+
+    fn read_declaration(&mut self) -> Token {
+        // self.rest() starts with "<!"
+        self.bump(2);
+        let rest = self.rest();
+        let end = rest.find('>').unwrap_or(rest.len());
+        let body = &rest[..end];
+        self.bump(end.min(rest.len()) + usize::from(end < rest.len()));
+        Token::Declaration(body.to_owned())
+    }
+
+    fn read_tag(&mut self) -> Token {
+        // self.rest() starts with '<'
+        let start = self.pos;
+        self.bump(1);
+        let closing = self.rest().starts_with('/');
+        if closing {
+            self.bump(1);
+        }
+        let name = self.read_name();
+        if name.is_empty() {
+            // A lone '<' that does not begin a tag: emit as text, browsers did.
+            self.pos = start + 1;
+            return Token::Text("<".to_owned());
+        }
+        if closing {
+            self.skip_to_gt();
+            return Token::Close { name };
+        }
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_ws();
+            let rest = self.rest();
+            if rest.is_empty() {
+                break;
+            }
+            if let Some(stripped) = rest.strip_prefix("/>") {
+                let _ = stripped;
+                self.bump(2);
+                self_closing = true;
+                break;
+            }
+            if rest.starts_with('>') {
+                self.bump(1);
+                break;
+            }
+            let attr_name = self.read_name();
+            if attr_name.is_empty() {
+                // Junk character inside a tag; skip the whole (possibly
+                // multi-byte) character to guarantee progress on a boundary.
+                let skip = self.rest().chars().next().map_or(1, char::len_utf8);
+                self.bump(skip);
+                continue;
+            }
+            self.skip_ws();
+            let value = if self.rest().starts_with('=') {
+                self.bump(1);
+                self.skip_ws();
+                Some(self.read_attr_value())
+            } else {
+                None
+            };
+            attrs.push(Attribute {
+                name: attr_name,
+                value: value.map(|v| crate::escape::unescape(&v)),
+            });
+        }
+        Token::Open {
+            name,
+            attrs,
+            self_closing,
+        }
+    }
+
+    fn read_name(&mut self) -> String {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| {
+                !(c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == ':' || c == '.')
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let name = rest[..end].to_ascii_lowercase();
+        self.bump(end);
+        name
+    }
+
+    fn read_attr_value(&mut self) -> String {
+        let rest = self.rest();
+        if let Some(quote) = rest.chars().next().filter(|&c| c == '"' || c == '\'') {
+            let inner = &rest[1..];
+            let end = inner.find(quote).unwrap_or(inner.len());
+            let value = inner[..end].to_owned();
+            self.bump(1 + end + usize::from(end < inner.len()));
+            value
+        } else {
+            let end = rest
+                .char_indices()
+                .find(|&(_, c)| c.is_ascii_whitespace() || c == '>')
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let value = rest[..end].to_owned();
+            self.bump(end);
+            value
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| !c.is_ascii_whitespace())
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        self.bump(end);
+    }
+
+    fn skip_to_gt(&mut self) {
+        let rest = self.rest();
+        match rest.find('>') {
+            Some(i) => self.bump(i + 1),
+            None => self.bump(rest.len()),
+        }
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        let rest = self.rest();
+        if rest.is_empty() {
+            return None;
+        }
+        if rest.starts_with("<!--") {
+            return Some(self.read_comment());
+        }
+        if rest.starts_with("<!") {
+            return Some(self.read_declaration());
+        }
+        if rest.starts_with('<') {
+            return Some(self.read_tag());
+        }
+        Some(self.read_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        Tokenizer::new(s).collect()
+    }
+
+    #[test]
+    fn simple_open_close() {
+        let t = toks("<B>hello</B>");
+        assert_eq!(
+            t,
+            vec![
+                Token::Open {
+                    name: "b".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
+                Token::Text("hello".into()),
+                Token::Close { name: "b".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_bare() {
+        let t = toks(r#"<INPUT TYPE="checkbox" NAME='USE_URL' VALUE=yes CHECKED>"#);
+        let Token::Open { name, attrs, .. } = &t[0] else {
+            panic!("expected open tag")
+        };
+        assert_eq!(name, "input");
+        assert_eq!(attrs[0], Attribute::new("type", Some("checkbox")));
+        assert_eq!(attrs[1], Attribute::new("name", Some("USE_URL")));
+        assert_eq!(attrs[2], Attribute::new("value", Some("yes")));
+        assert_eq!(attrs[3], Attribute::new("checked", None));
+    }
+
+    #[test]
+    fn attribute_value_case_preserved() {
+        let t = toks(r#"<input name="MixedCase">"#);
+        let Token::Open { attrs, .. } = &t[0] else {
+            panic!()
+        };
+        assert_eq!(attrs[0].value.as_deref(), Some("MixedCase"));
+    }
+
+    #[test]
+    fn entities_in_attr_values_resolved() {
+        let t = toks(r#"<option value="a &amp; b">"#);
+        let Token::Open { attrs, .. } = &t[0] else {
+            panic!()
+        };
+        assert_eq!(attrs[0].value.as_deref(), Some("a & b"));
+    }
+
+    #[test]
+    fn comment_and_declaration() {
+        let t = toks("<!-- note --><!DOCTYPE html><p>");
+        assert_eq!(t[0], Token::Comment(" note ".into()));
+        assert_eq!(t[1], Token::Declaration("DOCTYPE html".into()));
+        assert!(matches!(&t[2], Token::Open { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn stray_less_than_is_text() {
+        let t = toks("a < b");
+        assert_eq!(
+            t,
+            vec![
+                Token::Text("a ".into()),
+                Token::Text("<".into()),
+                Token::Text(" b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_accepted() {
+        let t = toks("<br/>");
+        assert!(matches!(
+            &t[0],
+            Token::Open {
+                name,
+                self_closing: true,
+                ..
+            } if name == "br"
+        ));
+    }
+
+    #[test]
+    fn unterminated_tag_does_not_loop() {
+        let t = toks("<input name=");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_comment_consumes_rest() {
+        let t = toks("<!-- never ends");
+        assert_eq!(t, vec![Token::Comment(" never ends".into())]);
+    }
+
+    #[test]
+    fn display_round_trip_simple() {
+        let src = "<a href=\"x\">link</a>";
+        let rendered: String = toks(src).iter().map(|t| t.to_string()).collect();
+        assert_eq!(rendered, src);
+    }
+
+    #[test]
+    fn multibyte_text_survives() {
+        let t = toks("<p>héllo ☃</p>");
+        assert_eq!(t[1], Token::Text("héllo ☃".into()));
+    }
+}

@@ -1,0 +1,153 @@
+//! Structural validation of generated HTML.
+//!
+//! Used by the test suite to assert that every page the gateway emits is
+//! well-formed enough for a browser: close tags match open tags in LIFO order,
+//! modulo the *void* elements (`<br>`, `<input>`, …) and the optional-close
+//! elements (`<p>`, `<li>`, `<option>`, `<tr>`, `<td>`, `<th>`) that HTML 2.0
+//! let authors leave open.
+
+use crate::error::HtmlError;
+use crate::token::{Token, Tokenizer};
+
+/// Elements that never take a closing tag.
+const VOID: &[&str] = &[
+    "br", "hr", "img", "input", "meta", "link", "base", "area", "col", "isindex",
+];
+
+/// Elements whose closing tag is optional in HTML 2.0/3.2; an unclosed one is
+/// implicitly ended by a sibling or parent close.
+const OPTIONAL_CLOSE: &[&str] = &["p", "li", "option", "tr", "td", "th", "dt", "dd"];
+
+/// Check that `html` has balanced tags.
+///
+/// Returns `Ok(())` for well-formed input, or the first structural error.
+///
+/// ```
+/// use dbgw_html::check_balanced;
+/// assert!(check_balanced("<ul><li>a<li>b</ul>").is_ok());
+/// assert!(check_balanced("<b><i>x</b></i>").is_err());
+/// ```
+pub fn check_balanced(html: &str) -> Result<(), HtmlError> {
+    let mut stack: Vec<(String, usize)> = Vec::new();
+    let mut tokenizer = Tokenizer::new(html);
+    loop {
+        let offset = tokenizer.offset();
+        let Some(token) = tokenizer.next() else { break };
+        match token {
+            Token::Open {
+                name, self_closing, ..
+            } => {
+                if self_closing || VOID.contains(&name.as_str()) {
+                    continue;
+                }
+                // An optional-close element is implicitly closed by a sibling
+                // of the same name (e.g. <li>a<li>b).
+                if OPTIONAL_CLOSE.contains(&name.as_str())
+                    && stack.last().map(|(n, _)| n.as_str()) == Some(name.as_str())
+                {
+                    stack.pop();
+                }
+                stack.push((name, offset));
+            }
+            Token::Close { name } => {
+                // Pop implicitly-closable elements until we find the match.
+                while let Some((top, _)) = stack.last() {
+                    if *top == name {
+                        break;
+                    }
+                    if OPTIONAL_CLOSE.contains(&top.as_str()) {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                match stack.pop() {
+                    Some((top, _)) if top == name => {}
+                    Some((top, _)) => {
+                        return Err(HtmlError::MisnestedTag {
+                            expected: top,
+                            found: name,
+                            offset,
+                        })
+                    }
+                    None => return Err(HtmlError::UnmatchedClose { tag: name, offset }),
+                }
+            }
+            _ => {}
+        }
+    }
+    // Whatever remains must all be optional-close elements.
+    for (tag, offset) in stack {
+        if !OPTIONAL_CLOSE.contains(&tag.as_str()) {
+            return Err(HtmlError::UnclosedTag { tag, offset });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_simple_nesting() {
+        assert!(check_balanced("<html><body><b>x</b></body></html>").is_ok());
+    }
+
+    #[test]
+    fn accepts_void_elements() {
+        assert!(check_balanced("a<br>b<hr><input name=x>").is_ok());
+    }
+
+    #[test]
+    fn accepts_unclosed_li_and_option() {
+        let html = "<select name=s><option value=1>one<option value=2>two</select>";
+        assert!(check_balanced(html).is_ok());
+    }
+
+    #[test]
+    fn accepts_unclosed_trailing_p() {
+        assert!(check_balanced("<p>one<p>two").is_ok());
+    }
+
+    #[test]
+    fn rejects_misnesting() {
+        let err = check_balanced("<b><i>x</b></i>").unwrap_err();
+        assert!(matches!(err, HtmlError::MisnestedTag { .. }));
+    }
+
+    #[test]
+    fn rejects_unmatched_close() {
+        let err = check_balanced("x</div>").unwrap_err();
+        assert_eq!(
+            err,
+            HtmlError::UnmatchedClose {
+                tag: "div".into(),
+                offset: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unclosed_table() {
+        let err = check_balanced("<table><tr><td>x").unwrap_err();
+        assert!(matches!(err, HtmlError::UnclosedTag { ref tag, .. } if tag == "table"));
+    }
+
+    #[test]
+    fn implicit_close_of_td_by_tr() {
+        assert!(check_balanced("<table><tr><td>a<td>b<tr><td>c</table>").is_ok());
+    }
+
+    #[test]
+    fn figure2_form_is_balanced() {
+        let html = r#"<FORM METHOD="post" ACTION="/x">
+            <INPUT TYPE="text" NAME="SEARCH" SIZE=20>
+            <SELECT NAME="DBFIELD" SIZE=3 MULTIPLE>
+            <OPTION VALUE="url">URL
+            <OPTION VALUE="title" SELECTED>Title
+            </SELECT>
+            </FORM>"#;
+        assert!(check_balanced(html).is_ok());
+    }
+}

@@ -1,0 +1,524 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use crate::types::{SqlType, Value};
+
+/// A column reference, possibly qualified (`table.column`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Optional table or alias qualifier.
+    pub table: Option<String>,
+    /// Column name as written.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (modulo; DB2 spelled it MOD())
+    Mod,
+    /// `||`
+    Concat,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)`
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl AggFunc {
+    /// Function name for result-column labelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference.
+    Column(ColumnRef),
+    /// `?` positional parameter (1-based index assigned during parse).
+    Param(usize),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `expr [NOT] LIKE pattern [ESCAPE ch]`.
+    Like {
+        /// Value being matched.
+        expr: Box<Expr>,
+        /// Pattern expression (usually a literal).
+        pattern: Box<Expr>,
+        /// Optional escape character.
+        escape: Option<char>,
+        /// Whether NOT was present.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Whether NOT was present.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// Whether NOT was present.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// Whether NOT was present.
+        negated: bool,
+    },
+    /// Scalar function call (`UPPER`, `LOWER`, `LENGTH`, `ABS`, `COALESCE`,
+    /// `SUBSTR`, `TRIM`).
+    Func {
+        /// Uppercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Aggregate call; only legal in SELECT/HAVING/ORDER BY.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument; `None` for `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+        /// Whether DISTINCT was present (`COUNT(DISTINCT x)`).
+        distinct: bool,
+    },
+    /// Scalar subquery `(SELECT ...)` — must yield one column; zero rows is
+    /// NULL, more than one row is an error. Uncorrelated only.
+    Subquery(Box<Select>),
+    /// `expr [NOT] IN (SELECT ...)`. Uncorrelated only.
+    InSelect {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery (must yield one column).
+        select: Box<Select>,
+        /// Whether NOT was present.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`. Uncorrelated only.
+    Exists {
+        /// The subquery.
+        select: Box<Select>,
+        /// Whether NOT was present.
+        negated: bool,
+    },
+    /// `CASE [operand] WHEN ... THEN ... [ELSE ...] END`.
+    Case {
+        /// Simple-CASE operand; `None` for searched CASE.
+        operand: Option<Box<Expr>>,
+        /// `(when, then)` arms in order.
+        arms: Vec<(Expr, Expr)>,
+        /// ELSE result; NULL when absent.
+        otherwise: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        /// The value.
+        expr: Box<Expr>,
+        /// Target type.
+        ty: SqlType,
+    },
+}
+
+impl Expr {
+    /// Convenience: `lhs op rhs`.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Does this expression tree contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => false,
+            Expr::Neg(e) | Expr::Not(e) => e.contains_aggregate(),
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
+            // A subquery's own aggregates are its own business.
+            Expr::Subquery(_) | Expr::Exists { .. } => false,
+            Expr::InSelect { expr, .. } => expr.contains_aggregate(),
+            Expr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => {
+                operand.as_ref().is_some_and(|o| o.contains_aggregate())
+                    || arms
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || otherwise.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+            Expr::Cast { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+
+    /// Does this expression tree contain a subquery?
+    pub fn contains_subquery(&self) -> bool {
+        match self {
+            Expr::Subquery(_) | Expr::InSelect { .. } | Expr::Exists { .. } => true,
+            Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => false,
+            Expr::Neg(e) | Expr::Not(e) => e.contains_subquery(),
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_subquery() || rhs.contains_subquery(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_subquery() || pattern.contains_subquery()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_subquery(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_subquery() || list.iter().any(Expr::contains_subquery)
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_subquery() || lo.contains_subquery() || hi.contains_subquery()
+            }
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_subquery),
+            Expr::Agg { arg, .. } => arg.as_ref().is_some_and(|a| a.contains_subquery()),
+            Expr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => {
+                operand.as_ref().is_some_and(|o| o.contains_subquery())
+                    || arms
+                        .iter()
+                        .any(|(w, t)| w.contains_subquery() || t.contains_subquery())
+                    || otherwise.as_ref().is_some_and(|e| e.contains_subquery())
+            }
+            Expr::Cast { expr, .. } => expr.contains_subquery(),
+        }
+    }
+}
+
+/// One item in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `table.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS alias`.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Output column alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is referred to by in the query.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// A join clause (`JOIN t ON cond`; comma joins become cross joins with the
+/// condition folded into WHERE by the parser).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// The ON condition; `None` for a cross join.
+    pub on: Option<Expr>,
+    /// True for LEFT OUTER JOIN.
+    pub left_outer: bool,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortDir {
+    /// ASC (default).
+    #[default]
+    Asc,
+    /// DESC.
+    Desc,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Key expression; an integer literal N means "the Nth output column"
+    /// (SQL-92 positional sort, which the Appendix A macro relies on).
+    pub expr: Expr,
+    /// Direction.
+    pub dir: SortDir,
+}
+
+/// A set operation combining SELECT branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `UNION` (duplicate-eliminating) or `UNION ALL`.
+    Union {
+        /// Whether ALL was present (keep duplicates).
+        all: bool,
+    },
+    /// `EXCEPT` — rows of the left not in the right (always distinct).
+    Except,
+    /// `INTERSECT` — rows in both (always distinct).
+    Intersect,
+}
+
+/// A full SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Whether DISTINCT was present.
+    pub distinct: bool,
+    /// Output columns.
+    pub items: Vec<SelectItem>,
+    /// First FROM table; `None` for table-less `SELECT 1+1`.
+    pub from: Option<TableRef>,
+    /// Subsequent joins.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY keys.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count (`FETCH FIRST n ROWS ONLY` also accepted).
+    pub limit: Option<usize>,
+    /// OFFSET row count.
+    pub offset: Option<usize>,
+    /// Further branches combined with set operations. ORDER BY/LIMIT on the
+    /// *first* branch apply to the combined result (and later branches may
+    /// not carry their own).
+    pub set_ops: Vec<(SetOp, Select)>,
+}
+
+/// A column definition inside CREATE TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+    /// PRIMARY KEY constraint (implies NOT NULL and a unique index).
+    pub primary_key: bool,
+    /// UNIQUE constraint.
+    pub unique: bool,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Select is big; statements are transient
+pub enum Statement {
+    /// SELECT query.
+    Select(Select),
+    /// INSERT.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, empty = all columns in schema order.
+        columns: Vec<String>,
+        /// One or more VALUES tuples (empty when `select` is used).
+        values: Vec<Vec<Expr>>,
+        /// `INSERT INTO t SELECT ...` source, instead of VALUES.
+        select: Option<Box<Select>>,
+    },
+    /// UPDATE.
+    Update {
+        /// Target table.
+        table: String,
+        /// `SET col = expr` assignments.
+        assignments: Vec<(String, Expr)>,
+        /// Optional WHERE.
+        where_clause: Option<Expr>,
+    },
+    /// DELETE.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional WHERE.
+        where_clause: Option<Expr>,
+    },
+    /// CREATE TABLE.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+        /// IF NOT EXISTS given.
+        if_not_exists: bool,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// IF EXISTS given.
+        if_exists: bool,
+    },
+    /// CREATE \[UNIQUE\] INDEX.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// UNIQUE given.
+        unique: bool,
+    },
+    /// DROP INDEX.
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
+    /// EXPLAIN — describe the plan of the wrapped statement without
+    /// executing it.
+    Explain(Box<Statement>),
+    /// BEGIN / BEGIN WORK / BEGIN TRANSACTION.
+    Begin,
+    /// COMMIT.
+    Commit,
+    /// ROLLBACK.
+    Rollback,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let agg = Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        };
+        let nested = Expr::binary(BinOp::Add, Expr::Literal(Value::Int(1)), agg);
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::Literal(Value::Int(1)).contains_aggregate());
+    }
+
+    #[test]
+    fn table_ref_effective_name() {
+        let t = TableRef {
+            name: "urldb".into(),
+            alias: Some("u".into()),
+        };
+        assert_eq!(t.effective_name(), "u");
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("x").to_string(), "x");
+        assert_eq!(
+            ColumnRef {
+                table: Some("t".into()),
+                column: "x".into()
+            }
+            .to_string(),
+            "t.x"
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! CSV import/export for tables.
+//!
+//! The 1996 workflow for populating a web-facing DB2 table was a bulk load
+//! from flat files; this module is the equivalent for the substrate, and the
+//! benchmark harness uses it to snapshot generated datasets. The dialect is
+//! RFC-4180-ish: comma separator, `"` quoting with `""` escaping, first row
+//! is the header. NULL is an *unquoted* empty field; an empty string must be
+//! quoted (`""`), so the round trip is lossless.
+
+use crate::db::Database;
+use crate::error::{SqlError, SqlResult};
+use crate::types::Value;
+
+/// Serialize one field.
+fn write_field(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => {} // unquoted empty == NULL
+        other => {
+            let text = other.to_display_string();
+            // Text must be quoted when it could be mistaken for something
+            // else on import: empty (NULL ambiguity), separators/quotes, or
+            // numeric-looking content (type-guess ambiguity).
+            let needs_quotes = matches!(other, Value::Text(_))
+                && (text.is_empty()
+                    || text.contains(',')
+                    || text.contains('"')
+                    || text.contains('\n')
+                    || text.contains('\r')
+                    || text.trim() != text
+                    || text.parse::<f64>().is_ok()
+                    || text.parse::<i64>().is_ok()
+                    || crate::date::parse_date(&text).is_some());
+            if needs_quotes {
+                out.push('"');
+                for ch in text.chars() {
+                    if ch == '"' {
+                        out.push('"');
+                    }
+                    out.push(ch);
+                }
+                out.push('"');
+            } else {
+                out.push_str(&text);
+            }
+        }
+    }
+}
+
+/// Export a whole table (header + rows, `\n` line endings).
+pub fn export_table(db: &Database, table: &str) -> SqlResult<String> {
+    let mut conn = db.connect();
+    let result = conn.execute(&format!("SELECT * FROM {table}"))?;
+    let rs = result
+        .rows()
+        .ok_or_else(|| SqlError::syntax("export expected a result set"))?;
+    let mut out = String::new();
+    out.push_str(&rs.columns.join(","));
+    out.push('\n');
+    for row in &rs.rows {
+        for (i, value) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, value);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// One parsed field: `None` is NULL (unquoted empty); otherwise the text and
+/// whether it was quoted (quoted fields are always imported as text).
+type Field = Option<(String, bool)>;
+/// One parsed CSV record.
+type Record = Vec<Field>;
+
+/// Parse CSV text into records.
+fn parse_csv(text: &str) -> SqlResult<Vec<Record>> {
+    let mut records = Vec::new();
+    let mut record: Record = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false; // the *current* field was opened with a quote
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    loop {
+        let ch = chars.next();
+        match ch {
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if field.is_empty() && !quoted => {
+                quoted = true;
+                in_quotes = true;
+            }
+            Some('"') => {
+                return Err(SqlError::syntax("stray quote inside unquoted CSV field"));
+            }
+            Some(',') if !in_quotes => {
+                record.push(finish_field(&mut field, &mut quoted));
+            }
+            Some('\r') if !in_quotes => {} // tolerate CRLF
+            Some('\n') if !in_quotes => {
+                record.push(finish_field(&mut field, &mut quoted));
+                records.push(std::mem::take(&mut record));
+            }
+            Some(c) => field.push(c),
+            None => {
+                if in_quotes {
+                    return Err(SqlError::syntax("unterminated quoted CSV field"));
+                }
+                if !field.is_empty() || quoted || !record.is_empty() {
+                    record.push(finish_field(&mut field, &mut quoted));
+                    records.push(record);
+                }
+                return Ok(records);
+            }
+        }
+    }
+}
+
+fn finish_field(field: &mut String, quoted: &mut bool) -> Field {
+    let text = std::mem::take(field);
+    let was_quoted = std::mem::take(quoted);
+    if text.is_empty() && !was_quoted {
+        None // unquoted empty == NULL
+    } else {
+        Some((text, was_quoted))
+    }
+}
+
+/// Import CSV into an existing table.
+///
+/// The header row must name a subset of the table's columns (any order);
+/// values are coerced per column type — numeric columns parse their text,
+/// everything loads inside one transaction (all-or-nothing).
+pub fn import_table(db: &Database, table: &str, csv: &str) -> SqlResult<usize> {
+    let records = parse_csv(csv)?;
+    let Some((header, data)) = records.split_first() else {
+        return Ok(0);
+    };
+    let columns: Vec<String> = header
+        .iter()
+        .map(|f| {
+            f.clone()
+                .map(|(name, _)| name)
+                .ok_or_else(|| SqlError::syntax("CSV header may not contain empty names"))
+        })
+        .collect::<SqlResult<_>>()?;
+    let column_list = columns.join(", ");
+    let markers = vec!["?"; columns.len()].join(", ");
+    let insert = format!("INSERT INTO {table} ({column_list}) VALUES ({markers})");
+
+    // Column types for coercion, from a zero-row probe.
+    let mut conn = db.connect();
+    conn.execute("BEGIN")?;
+    let mut loaded = 0usize;
+    for (line_no, record) in data.iter().enumerate() {
+        if record.len() != columns.len() {
+            conn.execute("ROLLBACK")?;
+            return Err(SqlError::syntax(format!(
+                "CSV row {} has {} fields, header has {}",
+                line_no + 2,
+                record.len(),
+                columns.len()
+            )));
+        }
+        let params: Vec<Value> = record
+            .iter()
+            .map(|f| match f {
+                None => Value::Null,
+                // Quoted fields are literal text; only bare fields get the
+                // numeric type guess.
+                Some((text, true)) => Value::Text(text.clone()),
+                Some((text, false)) => coerce(text),
+            })
+            .collect();
+        if let Err(e) = conn.execute_with_params(&insert, &params) {
+            conn.execute("ROLLBACK")?;
+            return Err(e);
+        }
+        loaded += 1;
+    }
+    conn.execute("COMMIT")?;
+    Ok(loaded)
+}
+
+/// Guess an *unquoted* field's type from its text: integer, then float, then
+/// date, else text. Export quotes any text that would round-trip wrong, so
+/// the guess is only ever applied to fields that genuinely carry numbers,
+/// dates, or plain words.
+fn coerce(text: &str) -> Value {
+    if let Ok(i) = text.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(d) = text.parse::<f64>() {
+        if text.chars().any(|c| c.is_ascii_digit()) {
+            return Value::Double(d);
+        }
+    }
+    if let Some(days) = crate::date::parse_date(text) {
+        return Value::Date(days);
+    }
+    Value::Text(text.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.run_script(
+            "CREATE TABLE t (id INTEGER, name VARCHAR(40), score DOUBLE);
+             INSERT INTO t VALUES (1, 'plain', 1.5),
+                                  (2, 'comma, quoted', NULL),
+                                  (3, NULL, -2.0),
+                                  (4, 'say ''\"hi\"''', 0.25),
+                                  (5, '', 9.0);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn export_shape() {
+        let csv = export_table(&db(), "t").unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("id,name,score"));
+        assert_eq!(lines.next(), Some("1,plain,1.5"));
+        assert_eq!(lines.next(), Some("2,\"comma, quoted\","));
+        assert_eq!(lines.next(), Some("3,,-2.0"));
+        assert_eq!(lines.next(), Some("4,\"say '\"\"hi\"\"'\",0.25"));
+        assert_eq!(lines.next(), Some("5,\"\",9.0"));
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_including_null_vs_empty() {
+        let source = db();
+        let csv = export_table(&source, "t").unwrap();
+        let dest = Database::new();
+        dest.run_script("CREATE TABLE t (id INTEGER, name VARCHAR(40), score DOUBLE)")
+            .unwrap();
+        assert_eq!(import_table(&dest, "t", &csv).unwrap(), 5);
+        assert_eq!(export_table(&dest, "t").unwrap(), csv);
+    }
+
+    #[test]
+    fn import_subset_of_columns_any_order() {
+        let dest = Database::new();
+        dest.run_script("CREATE TABLE t (id INTEGER, name VARCHAR(40), score DOUBLE)")
+            .unwrap();
+        let n = import_table(&dest, "t", "name,id\nAda,1\nBob,2\n").unwrap();
+        assert_eq!(n, 2);
+        let mut conn = dest.connect();
+        let r = conn.execute("SELECT score FROM t").unwrap();
+        assert!(r.rows().unwrap().rows.iter().all(|row| row[0].is_null()));
+    }
+
+    #[test]
+    fn import_is_atomic_on_failure() {
+        let dest = Database::new();
+        dest.run_script("CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(40))")
+            .unwrap();
+        let err = import_table(&dest, "t", "id,name\n1,a\n1,dup\n").unwrap_err();
+        assert_eq!(err.code, crate::error::SqlCode::DUPLICATE_KEY);
+        assert_eq!(dest.table_len("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        let dest = Database::new();
+        dest.run_script("CREATE TABLE t (id INTEGER)").unwrap();
+        assert!(import_table(&dest, "t", "id\n\"unterminated").is_err());
+        assert!(import_table(&dest, "t", "id\n1,2\n").is_err()); // arity
+    }
+
+    #[test]
+    fn numeric_and_date_looking_text_round_trips_as_text() {
+        let db = Database::new();
+        db.run_script("CREATE TABLE t (v VARCHAR(20))").unwrap();
+        let mut conn = db.connect();
+        for s in ["42", "3.5", "1996-06-04", "-7"] {
+            conn.execute_with_params("INSERT INTO t VALUES (?)", &[Value::Text(s.into())])
+                .unwrap();
+        }
+        let csv = export_table(&db, "t").unwrap();
+        assert!(csv.contains("\"42\""), "{csv}");
+        let dest = Database::new();
+        dest.run_script("CREATE TABLE t (v VARCHAR(20))").unwrap();
+        import_table(&dest, "t", &csv).unwrap();
+        assert!(crate::dump::databases_equal(&db, &dest).unwrap());
+    }
+
+    #[test]
+    fn unquoted_dates_import_as_dates() {
+        let db = Database::new();
+        db.run_script("CREATE TABLE e (d DATE)").unwrap();
+        assert_eq!(import_table(&db, "e", "d\n1996-06-04\n").unwrap(), 1);
+        let mut conn = db.connect();
+        let r = conn.execute("SELECT YEAR(d) FROM e").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(1996));
+    }
+
+    #[test]
+    fn crlf_accepted() {
+        let dest = Database::new();
+        dest.run_script("CREATE TABLE t (id INTEGER)").unwrap();
+        assert_eq!(import_table(&dest, "t", "id\r\n7\r\n").unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_csv_loads_nothing() {
+        let dest = Database::new();
+        dest.run_script("CREATE TABLE t (id INTEGER)").unwrap();
+        assert_eq!(import_table(&dest, "t", "").unwrap(), 0);
+    }
+}

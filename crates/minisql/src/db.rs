@@ -1,0 +1,839 @@
+//! The database façade: connections, statement execution, transactions.
+//!
+//! Mirrors what the gateway needed from DB2's dynamic SQL interface:
+//! PREPARE/EXECUTE of arbitrary SQL strings, result sets with named columns,
+//! SQLCODEs, and two transaction modes —
+//!
+//! * **auto-commit** (each statement its own transaction), and
+//! * **explicit** (`BEGIN` … `COMMIT`/`ROLLBACK`, everything undone on
+//!   rollback) — the paper's "all SQL statements in a macro are executed as a
+//!   single transaction (i.e., a rollback will occur if any SQL statement
+//!   fails)" mode (§5).
+//!
+//! Every statement is *statement-atomic* in both modes: a multi-row INSERT
+//! that fails on row 3 leaves no trace of rows 1–2.
+//!
+//! Concurrency: the catalog sits behind a `parking_lot::RwLock`; queries take
+//! the read lock, DML/DDL the write lock. Transactions provide atomicity via
+//! an undo log, not snapshot isolation — faithful to the original system,
+//! where each CGI request was a short single-threaded process.
+
+use crate::ast::Statement;
+use crate::error::{SqlCode, SqlError, SqlResult};
+use crate::eval::{eval, eval_truth, Bindings, NoAggregates};
+use crate::exec::{run_select, ResultSet};
+use crate::index::Index;
+use crate::parser::{parse, parse_script};
+use crate::schema::TableSchema;
+use crate::state::{DbState, TableData};
+use crate::storage::{Heap, Row, RowId};
+use crate::types::Value;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// A SELECT produced a result set.
+    Rows(ResultSet),
+    /// DML touched this many rows.
+    Count(usize),
+    /// DDL succeeded.
+    Ddl,
+    /// BEGIN/COMMIT/ROLLBACK processed.
+    TxnControl,
+}
+
+impl ExecResult {
+    /// The SQLCODE this outcome reports to `%SQL_MESSAGE` handlers: `+100`
+    /// for empty results / zero-row DML, `0` otherwise.
+    pub fn sqlcode(&self) -> SqlCode {
+        match self {
+            ExecResult::Rows(r) if r.is_empty() => SqlCode::NO_DATA,
+            ExecResult::Count(0) => SqlCode::NO_DATA,
+            _ => SqlCode::SUCCESS,
+        }
+    }
+
+    /// The result set, if this was a query.
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match self {
+            ExecResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One undo record; applied in reverse on rollback.
+#[derive(Debug)]
+enum Undo {
+    Insert {
+        table: String,
+        id: RowId,
+    },
+    Update {
+        table: String,
+        id: RowId,
+        old: Row,
+    },
+    Delete {
+        table: String,
+        id: RowId,
+        old: Row,
+    },
+    CreateTable {
+        name: String,
+    },
+    DropTable {
+        name: String,
+        data: TableData,
+        indexes: Vec<Index>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+    },
+    DropIndex {
+        index: Index,
+    },
+}
+
+/// A shared in-memory database.
+#[derive(Clone, Default)]
+pub struct Database {
+    inner: Arc<RwLock<DbState>>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Open a connection.
+    pub fn connect(&self) -> Connection {
+        Connection {
+            db: Arc::clone(&self.inner),
+            txn: None,
+        }
+    }
+
+    /// Convenience: run a `;`-separated setup script on a fresh connection,
+    /// auto-commit, failing on the first error.
+    pub fn run_script(&self, sql: &str) -> SqlResult<Vec<ExecResult>> {
+        let mut conn = self.connect();
+        let stmts = parse_script(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            out.push(conn.execute_statement(stmt, &[])?);
+        }
+        Ok(out)
+    }
+
+    /// Live row count of a table (testing/benchmark helper).
+    pub fn table_len(&self, name: &str) -> SqlResult<usize> {
+        Ok(self.inner.read().table(name)?.heap.len())
+    }
+
+    /// A deep snapshot of the whole state (dump/inspection; O(data)).
+    pub fn snapshot(&self) -> crate::state::DbState {
+        self.inner.read().clone()
+    }
+}
+
+/// A session against a [`Database`].
+pub struct Connection {
+    db: Arc<RwLock<DbState>>,
+    /// Open explicit transaction's undo log, if any.
+    txn: Option<Vec<Undo>>,
+}
+
+impl Connection {
+    /// Is an explicit transaction open?
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> SqlResult<ExecResult> {
+        self.execute_with_params(sql, &[])
+    }
+
+    /// Parse and execute with positional `?` parameters.
+    pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> SqlResult<ExecResult> {
+        let stmt = parse(sql)?;
+        self.execute_statement(stmt, params)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute_statement(
+        &mut self,
+        stmt: Statement,
+        params: &[Value],
+    ) -> SqlResult<ExecResult> {
+        match stmt {
+            Statement::Select(sel) => {
+                let state = self.db.read();
+                Ok(ExecResult::Rows(run_select(&state, &sel, params)?))
+            }
+            Statement::Explain(inner) => {
+                let state = self.db.read();
+                let lines = match &*inner {
+                    Statement::Select(sel) => crate::exec::explain_select(&state, sel, params)?,
+                    Statement::Insert {
+                        table,
+                        values,
+                        select,
+                        ..
+                    } => {
+                        if select.is_some() {
+                            vec![format!("INSERT INTO {table} (from SELECT)")]
+                        } else {
+                            vec![format!("INSERT INTO {table} ({} row(s))", values.len())]
+                        }
+                    }
+                    Statement::Update {
+                        table,
+                        where_clause,
+                        ..
+                    } => vec![format!(
+                        "UPDATE {table} via FULL SCAN{}",
+                        if where_clause.is_some() {
+                            " + FILTER"
+                        } else {
+                            ""
+                        }
+                    )],
+                    Statement::Delete {
+                        table,
+                        where_clause,
+                    } => vec![format!(
+                        "DELETE FROM {table} via FULL SCAN{}",
+                        if where_clause.is_some() {
+                            " + FILTER"
+                        } else {
+                            ""
+                        }
+                    )],
+                    other => vec![format!("{other:?}")],
+                };
+                Ok(ExecResult::Rows(ResultSet {
+                    columns: vec!["plan".to_owned()],
+                    rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                }))
+            }
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(SqlError::new(
+                        SqlCode::TXN_STATE,
+                        "a transaction is already open",
+                    ));
+                }
+                self.txn = Some(Vec::new());
+                Ok(ExecResult::TxnControl)
+            }
+            Statement::Commit => {
+                self.commit()?;
+                Ok(ExecResult::TxnControl)
+            }
+            Statement::Rollback => {
+                self.rollback()?;
+                Ok(ExecResult::TxnControl)
+            }
+            other => {
+                // All mutating statements run under a statement-local undo log
+                // so a mid-statement failure backs out cleanly.
+                let mut state = self.db.write();
+                let mut undo: Vec<Undo> = Vec::new();
+                let result = apply_mutation(&mut state, other, params, &mut undo);
+                match result {
+                    Ok(res) => {
+                        // Explicit transaction: keep the records for a
+                        // possible ROLLBACK later. Auto-commit: the statement
+                        // is durable now and the undo log is discarded.
+                        if let Some(log) = self.txn.as_mut() {
+                            log.extend(undo);
+                        }
+                        Ok(res)
+                    }
+                    Err(e) => {
+                        apply_undo(&mut state, undo);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Commit the open transaction (no-op error if none).
+    pub fn commit(&mut self) -> SqlResult<()> {
+        match self.txn.take() {
+            Some(_) => Ok(()),
+            None => Err(SqlError::new(SqlCode::TXN_STATE, "no transaction is open")),
+        }
+    }
+
+    /// Roll back the open transaction (no-op error if none).
+    pub fn rollback(&mut self) -> SqlResult<()> {
+        match self.txn.take() {
+            Some(undo) => {
+                let mut state = self.db.write();
+                apply_undo(&mut state, undo);
+                Ok(())
+            }
+            None => Err(SqlError::new(SqlCode::TXN_STATE, "no transaction is open")),
+        }
+    }
+}
+
+impl Drop for Connection {
+    /// An abandoned open transaction rolls back, as DB2 connections did.
+    fn drop(&mut self) {
+        if self.txn.is_some() {
+            let _ = self.rollback();
+        }
+    }
+}
+
+fn apply_undo(state: &mut DbState, undo: Vec<Undo>) {
+    for record in undo.into_iter().rev() {
+        match record {
+            Undo::Insert { table, id } => {
+                let _ = state.delete_row(&table, id);
+            }
+            Undo::Update { table, id, old } => {
+                let _ = state.update_row(&table, id, old);
+            }
+            Undo::Delete { table, id, old } => {
+                let _ = state.restore_row(&table, id, old);
+            }
+            Undo::CreateTable { name } => {
+                if let Some(t) = state.tables.remove(&name) {
+                    for idx in t.index_names {
+                        state.indexes.remove(&idx);
+                    }
+                }
+            }
+            Undo::DropTable {
+                name,
+                data,
+                indexes,
+            } => {
+                state.tables.insert(name, data);
+                for idx in indexes {
+                    state.indexes.insert(idx.name.to_ascii_lowercase(), idx);
+                }
+            }
+            Undo::CreateIndex { name, table } => {
+                state.indexes.remove(&name);
+                if let Ok(t) = state.table_mut(&table) {
+                    t.index_names.retain(|n| *n != name);
+                }
+            }
+            Undo::DropIndex { index } => {
+                let key = index.name.to_ascii_lowercase();
+                if let Ok(t) = state.table_mut(&index.table.clone()) {
+                    t.index_names.push(key.clone());
+                }
+                state.indexes.insert(key, index);
+            }
+        }
+    }
+}
+
+fn apply_mutation(
+    state: &mut DbState,
+    stmt: Statement,
+    params: &[Value],
+    undo: &mut Vec<Undo>,
+) -> SqlResult<ExecResult> {
+    match stmt {
+        Statement::Insert {
+            table,
+            columns,
+            values,
+            select,
+        } => {
+            let (schema, width) = {
+                let t = state.table(&table)?;
+                (t.schema.clone(), t.schema.width())
+            };
+            // Map the written column list to ordinals.
+            let ordinals: Vec<usize> = if columns.is_empty() {
+                (0..width).collect()
+            } else {
+                columns
+                    .iter()
+                    .map(|c| schema.require_column(c))
+                    .collect::<SqlResult<_>>()?
+            };
+            // INSERT ... SELECT: evaluate the query first, then insert its
+            // rows (fully materialized, so self-insertion cannot loop).
+            if let Some(select) = select {
+                let rs = run_select(state, &select, params)?;
+                if rs.columns.len() != ordinals.len() {
+                    return Err(SqlError::syntax(format!(
+                        "INSERT target has {} columns but SELECT produced {}",
+                        ordinals.len(),
+                        rs.columns.len()
+                    )));
+                }
+                let mut inserted = 0usize;
+                for src_row in rs.rows {
+                    let mut row = vec![Value::Null; width];
+                    for (value, &ordinal) in src_row.into_iter().zip(&ordinals) {
+                        row[ordinal] = value;
+                    }
+                    let row = schema.check_row(row)?;
+                    let id = state.insert_row(&table, row)?;
+                    undo.push(Undo::Insert {
+                        table: table.clone(),
+                        id,
+                    });
+                    inserted += 1;
+                }
+                return Ok(ExecResult::Count(inserted));
+            }
+            let mut inserted = 0usize;
+            for tuple in values {
+                if tuple.len() != ordinals.len() {
+                    return Err(SqlError::syntax(format!(
+                        "INSERT supplies {} values for {} columns",
+                        tuple.len(),
+                        ordinals.len()
+                    )));
+                }
+                let mut row = vec![Value::Null; width];
+                for (expr, &ordinal) in tuple.iter().zip(&ordinals) {
+                    let expr = crate::exec::rewrite_expr_subqueries(state, expr, params)?;
+                    row[ordinal] = eval(&expr, &Bindings::empty(), &[], params, &NoAggregates)?;
+                }
+                let row = schema.check_row(row)?;
+                let id = state.insert_row(&table, row)?;
+                undo.push(Undo::Insert {
+                    table: table.clone(),
+                    id,
+                });
+                inserted += 1;
+            }
+            Ok(ExecResult::Count(inserted))
+        }
+        Statement::Update {
+            table,
+            assignments,
+            where_clause,
+        } => {
+            let (schema, bindings, targets) =
+                collect_targets(state, &table, where_clause.as_ref(), params)?;
+            let ordinals: Vec<usize> = assignments
+                .iter()
+                .map(|(c, _)| schema.require_column(c))
+                .collect::<SqlResult<_>>()?;
+            let mut updated = 0usize;
+            for (id, old_row) in targets {
+                let mut new_row = old_row.clone();
+                for ((_, expr), &ordinal) in assignments.iter().zip(&ordinals) {
+                    let expr = crate::exec::rewrite_expr_subqueries(state, expr, params)?;
+                    new_row[ordinal] = eval(&expr, &bindings, &old_row, params, &NoAggregates)?;
+                }
+                let new_row = schema.check_row(new_row)?;
+                let old = state.update_row(&table, id, new_row)?;
+                undo.push(Undo::Update {
+                    table: table.clone(),
+                    id,
+                    old,
+                });
+                updated += 1;
+            }
+            Ok(ExecResult::Count(updated))
+        }
+        Statement::Delete {
+            table,
+            where_clause,
+        } => {
+            let (_, _, targets) = collect_targets(state, &table, where_clause.as_ref(), params)?;
+            let mut deleted = 0usize;
+            for (id, _) in targets {
+                if let Some(old) = state.delete_row(&table, id)? {
+                    undo.push(Undo::Delete {
+                        table: table.clone(),
+                        id,
+                        old,
+                    });
+                    deleted += 1;
+                }
+            }
+            Ok(ExecResult::Count(deleted))
+        }
+        Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } => {
+            let key = name.to_ascii_lowercase();
+            if state.tables.contains_key(&key) {
+                if if_not_exists {
+                    return Ok(ExecResult::Ddl);
+                }
+                return Err(SqlError::new(
+                    SqlCode::DUPLICATE_OBJECT,
+                    format!("table {name} already exists"),
+                ));
+            }
+            let schema = TableSchema::from_defs(&name, &columns)?;
+            // Unique columns get system indexes enforcing them.
+            let mut index_names = Vec::new();
+            for (ordinal, col) in schema.columns.iter().enumerate() {
+                if col.unique {
+                    let idx_name = format!("{key}_{}_unique", col.name.to_ascii_lowercase());
+                    state
+                        .indexes
+                        .insert(idx_name.clone(), Index::new(&idx_name, &key, ordinal, true));
+                    index_names.push(idx_name);
+                }
+            }
+            state.tables.insert(
+                key.clone(),
+                TableData {
+                    schema,
+                    heap: Heap::new(),
+                    index_names,
+                },
+            );
+            undo.push(Undo::CreateTable { name: key });
+            Ok(ExecResult::Ddl)
+        }
+        Statement::DropTable { name, if_exists } => {
+            let key = name.to_ascii_lowercase();
+            match state.tables.remove(&key) {
+                Some(data) => {
+                    let mut indexes = Vec::new();
+                    for idx_name in &data.index_names {
+                        if let Some(idx) = state.indexes.remove(idx_name) {
+                            indexes.push(idx);
+                        }
+                    }
+                    undo.push(Undo::DropTable {
+                        name: key,
+                        data,
+                        indexes,
+                    });
+                    Ok(ExecResult::Ddl)
+                }
+                None if if_exists => Ok(ExecResult::Ddl),
+                None => Err(SqlError::no_such_table(&name)),
+            }
+        }
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+            unique,
+        } => {
+            let key = name.to_ascii_lowercase();
+            if state.indexes.contains_key(&key) {
+                return Err(SqlError::new(
+                    SqlCode::DUPLICATE_OBJECT,
+                    format!("index {name} already exists"),
+                ));
+            }
+            let table_key = table.to_ascii_lowercase();
+            let ordinal = {
+                let t = state.table(&table)?;
+                t.schema.require_column(&column)?
+            };
+            let mut index = Index::new(&key, &table_key, ordinal, unique);
+            // Populate from existing rows; uniqueness can fail here.
+            {
+                let t = state.table(&table)?;
+                for (id, row) in t.heap.iter() {
+                    let v = row.get(ordinal).cloned().unwrap_or(Value::Null);
+                    index.insert(&v, id)?;
+                }
+            }
+            state.indexes.insert(key.clone(), index);
+            state.table_mut(&table)?.index_names.push(key.clone());
+            undo.push(Undo::CreateIndex {
+                name: key,
+                table: table_key,
+            });
+            Ok(ExecResult::Ddl)
+        }
+        Statement::DropIndex { name } => {
+            let key = name.to_ascii_lowercase();
+            let index = state.indexes.remove(&key).ok_or_else(|| {
+                SqlError::new(
+                    SqlCode::UNDEFINED_OBJECT,
+                    format!("index {name} does not exist"),
+                )
+            })?;
+            if let Ok(t) = state.table_mut(&index.table.clone()) {
+                t.index_names.retain(|n| *n != key);
+            }
+            undo.push(Undo::DropIndex { index });
+            Ok(ExecResult::Ddl)
+        }
+        Statement::Select(_)
+        | Statement::Explain(_)
+        | Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback => {
+            unreachable!("handled by execute_statement")
+        }
+    }
+}
+
+/// Rows of `table` matching the predicate, as `(id, row)` pairs, plus the
+/// schema and single-table bindings used to evaluate per-row expressions.
+#[allow(clippy::type_complexity)]
+fn collect_targets(
+    state: &DbState,
+    table: &str,
+    predicate: Option<&crate::ast::Expr>,
+    params: &[Value],
+) -> SqlResult<(TableSchema, Bindings, Vec<(RowId, Row)>)> {
+    let t = state.table(table)?;
+    let schema = t.schema.clone();
+    let bindings = Bindings::single(
+        table,
+        schema.columns.iter().map(|c| c.name.clone()).collect(),
+    );
+    let predicate = match predicate {
+        Some(p) => Some(crate::exec::rewrite_expr_subqueries(state, p, params)?),
+        None => None,
+    };
+    let mut targets = Vec::new();
+    for (id, row) in t.heap.iter() {
+        let keep = match &predicate {
+            Some(p) => eval_truth(p, &bindings, row, params, &NoAggregates)?.passes(),
+            None => true,
+        };
+        if keep {
+            targets.push((id, row.clone()));
+        }
+    }
+    Ok((schema, bindings, targets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> (Database, Connection) {
+        let db = Database::new();
+        db.run_script(
+            "CREATE TABLE guest (id INTEGER PRIMARY KEY, name VARCHAR(40) NOT NULL, note VARCHAR(200));",
+        )
+        .unwrap();
+        let conn = db.connect();
+        (db, conn)
+    }
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let (_db, mut conn) = fresh();
+        let r = conn
+            .execute("INSERT INTO guest VALUES (1, 'Ada', 'hello'), (2, 'Bob', NULL)")
+            .unwrap();
+        assert_eq!(r, ExecResult::Count(2));
+        let rows = conn.execute("SELECT name FROM guest ORDER BY id").unwrap();
+        let ExecResult::Rows(rs) = rows else { panic!() };
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.columns, vec!["name"]);
+    }
+
+    #[test]
+    fn sqlcode_100_on_empty() {
+        let (_db, mut conn) = fresh();
+        let r = conn.execute("SELECT * FROM guest").unwrap();
+        assert_eq!(r.sqlcode(), SqlCode::NO_DATA);
+        let r = conn.execute("DELETE FROM guest WHERE id = 99").unwrap();
+        assert_eq!(r.sqlcode(), SqlCode::NO_DATA);
+    }
+
+    #[test]
+    fn statement_atomicity_multi_row_insert() {
+        let (db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        // Second tuple violates the PK; the whole statement must back out.
+        let err = conn
+            .execute("INSERT INTO guest VALUES (2, 'Bob', NULL), (1, 'Dup', NULL)")
+            .unwrap_err();
+        assert_eq!(err.code, SqlCode::DUPLICATE_KEY);
+        assert_eq!(db.table_len("guest").unwrap(), 1);
+    }
+
+    #[test]
+    fn explicit_transaction_rollback() {
+        let (db, mut conn) = fresh();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        conn.execute("INSERT INTO guest VALUES (2, 'Bob', NULL)")
+            .unwrap();
+        conn.execute("UPDATE guest SET name = 'Eve' WHERE id = 1")
+            .unwrap();
+        conn.execute("ROLLBACK").unwrap();
+        assert_eq!(db.table_len("guest").unwrap(), 0);
+        assert!(!conn.in_transaction());
+    }
+
+    #[test]
+    fn explicit_transaction_commit_is_durable() {
+        let (db, mut conn) = fresh();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        conn.execute("COMMIT").unwrap();
+        assert_eq!(db.table_len("guest").unwrap(), 1);
+        // Another connection sees it.
+        let mut c2 = db.connect();
+        let r = c2.execute("SELECT COUNT(*) FROM guest").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn failed_statement_in_txn_keeps_txn_open() {
+        let (db, mut conn) = fresh();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        assert!(conn
+            .execute("INSERT INTO guest VALUES (1, 'Dup', NULL)")
+            .is_err());
+        assert!(conn.in_transaction());
+        conn.execute("COMMIT").unwrap();
+        assert_eq!(db.table_len("guest").unwrap(), 1);
+    }
+
+    #[test]
+    fn rollback_restores_deleted_rows_and_updates() {
+        let (db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', 'x'), (2, 'Bob', 'y')")
+            .unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("DELETE FROM guest WHERE id = 1").unwrap();
+        conn.execute("UPDATE guest SET note = 'z' WHERE id = 2")
+            .unwrap();
+        conn.execute("ROLLBACK").unwrap();
+        let mut c2 = db.connect();
+        let r = c2.execute("SELECT note FROM guest ORDER BY id").unwrap();
+        assert_eq!(
+            r.rows().unwrap().rows,
+            vec![vec![Value::Text("x".into())], vec![Value::Text("y".into())]]
+        );
+    }
+
+    #[test]
+    fn ddl_rolls_back_too() {
+        let (db, mut conn) = fresh();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("CREATE TABLE extra (a INTEGER)").unwrap();
+        conn.execute("INSERT INTO extra VALUES (1)").unwrap();
+        conn.execute("ROLLBACK").unwrap();
+        assert!(db.table_len("extra").is_err());
+        // Drop + rollback restores data.
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("DROP TABLE guest").unwrap();
+        conn.execute("ROLLBACK").unwrap();
+        assert_eq!(db.table_len("guest").unwrap(), 1);
+        // The PK index must be back as well: duplicate insert still fails.
+        assert!(conn
+            .execute("INSERT INTO guest VALUES (1, 'Dup', NULL)")
+            .is_err());
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let (_db, mut conn) = fresh();
+        conn.execute("BEGIN").unwrap();
+        let err = conn.execute("BEGIN").unwrap_err();
+        assert_eq!(err.code, SqlCode::TXN_STATE);
+    }
+
+    #[test]
+    fn commit_without_begin_rejected() {
+        let (_db, mut conn) = fresh();
+        assert!(conn.execute("COMMIT").is_err());
+        assert!(conn.execute("ROLLBACK").is_err());
+    }
+
+    #[test]
+    fn dropped_connection_rolls_back() {
+        let db = Database::new();
+        db.run_script("CREATE TABLE t (a INTEGER)").unwrap();
+        {
+            let mut conn = db.connect();
+            conn.execute("BEGIN").unwrap();
+            conn.execute("INSERT INTO t VALUES (1)").unwrap();
+            // conn dropped here without COMMIT.
+        }
+        assert_eq!(db.table_len("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn create_index_on_populated_table_enforces_unique() {
+        let (_db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL), (2, 'Ada', NULL)")
+            .unwrap();
+        let err = conn
+            .execute("CREATE UNIQUE INDEX guest_name ON guest (name)")
+            .unwrap_err();
+        assert_eq!(err.code, SqlCode::DUPLICATE_KEY);
+        // Non-unique index is fine and then used by queries.
+        conn.execute("CREATE INDEX guest_name ON guest (name)")
+            .unwrap();
+        let r = conn
+            .execute("SELECT id FROM guest WHERE name = 'Ada' ORDER BY 1")
+            .unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn update_with_expression_assignment() {
+        let (_db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', 'a')")
+            .unwrap();
+        conn.execute("UPDATE guest SET note = name || '!' WHERE id = 1")
+            .unwrap();
+        let r = conn.execute("SELECT note FROM guest").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Text("Ada!".into()));
+    }
+
+    #[test]
+    fn insert_with_column_list_defaults_null() {
+        let (_db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest (id, name) VALUES (1, 'Ada')")
+            .unwrap();
+        let r = conn.execute("SELECT note FROM guest").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Null);
+        // Omitting a NOT NULL column fails.
+        assert!(conn.execute("INSERT INTO guest (id) VALUES (2)").is_err());
+    }
+
+    #[test]
+    fn params_flow_through_dml() {
+        let (_db, mut conn) = fresh();
+        conn.execute_with_params(
+            "INSERT INTO guest VALUES (?, ?, ?)",
+            &[Value::Int(1), Value::Text("Ada".into()), Value::Null],
+        )
+        .unwrap();
+        let r = conn
+            .execute_with_params("SELECT name FROM guest WHERE id = ?", &[Value::Int(1)])
+            .unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Text("Ada".into()));
+    }
+
+    #[test]
+    fn if_exists_variants() {
+        let (_db, mut conn) = fresh();
+        conn.execute("CREATE TABLE IF NOT EXISTS guest (id INTEGER)")
+            .unwrap();
+        conn.execute("DROP TABLE IF EXISTS nothere").unwrap();
+        assert!(conn.execute("DROP TABLE nothere").is_err());
+    }
+}

@@ -1,0 +1,1767 @@
+//! SELECT execution: scan → join → filter → group/aggregate → project →
+//! distinct → sort → limit.
+//!
+//! The executor materializes intermediate row sets (the gateway's result sets
+//! are small web reports, not OLAP scans) but picks access paths through the
+//! planner in `choose_access_path`: an equality, range, `IN`, or
+//! `LIKE 'prefix%'` conjunct over an indexed base-table column turns the base
+//! scan into an index probe. Every candidate row is still checked against the
+//! full WHERE clause, so access-path choice can only change performance,
+//! never results — a property the proptest suite exercises.
+
+use crate::ast::{AggFunc, BinOp, ColumnRef, Expr, OrderKey, Select, SelectItem, SetOp, SortDir};
+use crate::error::{SqlError, SqlResult};
+use crate::eval::{eval, eval_truth, AggSource, Bindings, NoAggregates};
+use crate::like::{is_exact, literal_prefix};
+use crate::state::DbState;
+use crate::storage::Row;
+use crate::types::Value;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// A query result: column labels plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Execute a SELECT against the state.
+pub fn run_select(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<ResultSet> {
+    if !sel.set_ops.is_empty() {
+        return run_compound(state, sel, params);
+    }
+    run_single(state, sel, params)
+}
+
+/// Execute a compound SELECT (UNION / EXCEPT / INTERSECT).
+fn run_compound(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<ResultSet> {
+    // The root's ORDER BY / LIMIT were hoisted by the parser to apply to the
+    // combined result; run the root branch without them.
+    let mut first = sel.clone();
+    first.set_ops = Vec::new();
+    first.order_by = Vec::new();
+    first.limit = None;
+    first.offset = None;
+    let base = run_single(state, &first, params)?;
+    let width = base.columns.len();
+    let mut rows = base.rows;
+    for (op, branch) in &sel.set_ops {
+        let rhs = run_select(state, branch, params)?;
+        if rhs.columns.len() != width {
+            return Err(SqlError::syntax(format!(
+                "set operation branches have {width} and {} columns",
+                rhs.columns.len()
+            )));
+        }
+        match op {
+            SetOp::Union { all: true } => rows.extend(rhs.rows),
+            SetOp::Union { all: false } => {
+                rows.extend(rhs.rows);
+                dedup_rows(&mut rows);
+            }
+            SetOp::Except => {
+                dedup_rows(&mut rows);
+                rows.retain(|r| !rhs.rows.contains(r));
+            }
+            SetOp::Intersect => {
+                dedup_rows(&mut rows);
+                rows.retain(|r| rhs.rows.contains(r));
+            }
+        }
+    }
+    // Hoisted ORDER BY: positional or output-column keys only — there is no
+    // single source row to evaluate arbitrary expressions against.
+    if !sel.order_by.is_empty() {
+        let key_positions: Vec<(usize, SortDir)> = sel
+            .order_by
+            .iter()
+            .map(|k| match &k.expr {
+                Expr::Literal(Value::Int(n)) if *n >= 1 && (*n as usize) <= width => {
+                    Ok(((*n as usize) - 1, k.dir))
+                }
+                Expr::Column(c) if c.table.is_none() => base
+                    .columns
+                    .iter()
+                    .position(|l| l.eq_ignore_ascii_case(&c.column))
+                    .map(|p| (p, k.dir))
+                    .ok_or_else(|| SqlError::no_such_column(&c.column)),
+                _ => Err(SqlError::syntax(
+                    "ORDER BY on a set operation must use output column names or positions",
+                )),
+            })
+            .collect::<SqlResult<_>>()?;
+        rows.sort_by(|a, b| {
+            for &(pos, dir) in &key_positions {
+                let ord = a[pos].order_key(&b[pos]);
+                let ord = match dir {
+                    SortDir::Asc => ord,
+                    SortDir::Desc => ord.reverse(),
+                };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let offset = sel.offset.unwrap_or(0);
+    let rows: Vec<Row> = rows
+        .into_iter()
+        .skip(offset)
+        .take(sel.limit.unwrap_or(usize::MAX))
+        .collect();
+    Ok(ResultSet {
+        columns: base.columns,
+        rows,
+    })
+}
+
+fn dedup_rows(rows: &mut Vec<Row>) {
+    let mut seen: Vec<Row> = Vec::with_capacity(rows.len());
+    rows.retain(|r| {
+        if seen.contains(r) {
+            false
+        } else {
+            seen.push(r.clone());
+            true
+        }
+    });
+}
+
+fn run_single(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<ResultSet> {
+    // Pre-execute any (uncorrelated) subqueries, replacing them with literal
+    // lists/values, so the scalar evaluator never needs database access.
+    let rewritten;
+    let sel = if select_has_subqueries(sel) {
+        rewritten = rewrite_select_subqueries(state, sel, params)?;
+        &rewritten
+    } else {
+        sel
+    };
+
+    // 1. Build the source relation and its bindings.
+    let (bindings, mut rows) = build_source(state, sel, params)?;
+
+    // 1b. Bind-time column validation: unknown columns must error even when
+    // the table is empty (DB2 validated names at PREPARE).
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            validate_columns(expr, &bindings)?;
+        }
+    }
+    if let Some(w) = &sel.where_clause {
+        validate_columns(w, &bindings)?;
+    }
+    for g in &sel.group_by {
+        validate_columns(g, &bindings)?;
+    }
+    if let Some(h) = &sel.having {
+        validate_columns(h, &bindings)?;
+    }
+
+    // 2. WHERE.
+    if let Some(pred) = &sel.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval_truth(pred, &bindings, &row, params, &NoAggregates)?.passes() {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    let grouped = !sel.group_by.is_empty()
+        || sel.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+        || sel.having.as_ref().is_some_and(Expr::contains_aggregate)
+        || sel.order_by.iter().any(|k| k.expr.contains_aggregate());
+
+    if grouped {
+        run_grouped(sel, &bindings, rows, params)
+    } else {
+        run_plain(sel, &bindings, rows, params)
+    }
+}
+
+/// Resolve every column reference in `expr`, erroring on unknown names —
+/// independent of how many rows will flow.
+fn validate_columns(expr: &Expr, bindings: &Bindings) -> SqlResult<()> {
+    match expr {
+        Expr::Column(c) => bindings.resolve(c).map(|_| ()),
+        Expr::Literal(_) | Expr::Param(_) => Ok(()),
+        Expr::Neg(i) | Expr::Not(i) => validate_columns(i, bindings),
+        Expr::Binary { lhs, rhs, .. } => {
+            validate_columns(lhs, bindings)?;
+            validate_columns(rhs, bindings)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            validate_columns(expr, bindings)?;
+            validate_columns(pattern, bindings)
+        }
+        Expr::IsNull { expr, .. } => validate_columns(expr, bindings),
+        Expr::InList { expr, list, .. } => {
+            validate_columns(expr, bindings)?;
+            list.iter().try_for_each(|e| validate_columns(e, bindings))
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            validate_columns(expr, bindings)?;
+            validate_columns(lo, bindings)?;
+            validate_columns(hi, bindings)
+        }
+        Expr::Func { args, .. } => args.iter().try_for_each(|e| validate_columns(e, bindings)),
+        Expr::Agg { arg, .. } => match arg {
+            Some(a) => validate_columns(a, bindings),
+            None => Ok(()),
+        },
+        Expr::Case {
+            operand,
+            arms,
+            otherwise,
+        } => {
+            if let Some(o) = operand {
+                validate_columns(o, bindings)?;
+            }
+            for (w, t) in arms {
+                validate_columns(w, bindings)?;
+                validate_columns(t, bindings)?;
+            }
+            if let Some(e) = otherwise {
+                validate_columns(e, bindings)?;
+            }
+            Ok(())
+        }
+        Expr::Cast { expr, .. } => validate_columns(expr, bindings),
+        // Subqueries validate their own scopes when they execute.
+        Expr::Subquery(_) | Expr::Exists { .. } => Ok(()),
+        Expr::InSelect { expr, .. } => validate_columns(expr, bindings),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source construction (FROM + JOIN), with access-path selection.
+// ---------------------------------------------------------------------------
+
+fn build_source(
+    state: &DbState,
+    sel: &Select,
+    params: &[Value],
+) -> SqlResult<(Bindings, Vec<Row>)> {
+    let Some(base) = &sel.from else {
+        // Table-less SELECT evaluates items once against an empty row.
+        return Ok((Bindings::empty(), vec![Vec::new()]));
+    };
+    let base_table = state.table(&base.name)?;
+    let base_cols: Vec<String> = base_table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let mut bindings = Bindings::single(base.effective_name(), base_cols);
+
+    // Access-path selection applies when the query has no joins (a probe on
+    // the base of a join would also be sound, but joins in gateway macros are
+    // rare enough that the simple rule keeps the planner obviously correct).
+    let mut rows: Vec<Row> = if sel.joins.is_empty() {
+        match sel.where_clause.as_ref().and_then(|w| {
+            choose_access_path(
+                state,
+                base.effective_name(),
+                &base.name,
+                &bindings,
+                w,
+                params,
+            )
+        }) {
+            Some(ids) => ids
+                .into_iter()
+                .filter_map(|id| base_table.heap.get(id).cloned())
+                .collect(),
+            None => base_table.heap.iter().map(|(_, r)| r.clone()).collect(),
+        }
+    } else {
+        base_table.heap.iter().map(|(_, r)| r.clone()).collect()
+    };
+
+    for join in &sel.joins {
+        let right = state.table(&join.table.name)?;
+        let right_cols: Vec<String> = right
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let right_width = right_cols.len();
+        bindings.push_table(join.table.effective_name(), right_cols);
+        let right_rows: Vec<Row> = right.heap.iter().map(|(_, r)| r.clone()).collect();
+        let mut joined = Vec::new();
+        for left_row in rows {
+            let mut matched = false;
+            for right_row in &right_rows {
+                let mut combined = left_row.clone();
+                combined.extend(right_row.iter().cloned());
+                let ok = match &join.on {
+                    Some(on) => {
+                        eval_truth(on, &bindings, &combined, params, &NoAggregates)?.passes()
+                    }
+                    None => true,
+                };
+                if ok {
+                    matched = true;
+                    joined.push(combined);
+                }
+            }
+            if join.left_outer && !matched {
+                let mut combined = left_row;
+                combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                joined.push(combined);
+            }
+        }
+        rows = joined;
+    }
+    Ok((bindings, rows))
+}
+
+/// Inspect the WHERE conjuncts for one that an index can serve; return the
+/// candidate row ids if so.
+fn choose_access_path(
+    state: &DbState,
+    effective: &str,
+    table_name: &str,
+    bindings: &Bindings,
+    where_clause: &Expr,
+    params: &[Value],
+) -> Option<Vec<crate::storage::RowId>> {
+    let mut conjuncts = Vec::new();
+    flatten_and(where_clause, &mut conjuncts);
+    for conj in conjuncts {
+        if let Some(ids) = probe_conjunct(state, effective, table_name, bindings, conj, params) {
+            return Some(ids);
+        }
+    }
+    None
+}
+
+fn flatten_and<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => {
+            flatten_and(lhs, out);
+            flatten_and(rhs, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Constant-fold an expression with no column references.
+fn const_value(expr: &Expr, params: &[Value]) -> Option<Value> {
+    fn has_column(e: &Expr) -> bool {
+        match e {
+            Expr::Column(_) => true,
+            Expr::Literal(_) | Expr::Param(_) => false,
+            Expr::Neg(i) | Expr::Not(i) => has_column(i),
+            Expr::Binary { lhs, rhs, .. } => has_column(lhs) || has_column(rhs),
+            Expr::Like { expr, pattern, .. } => has_column(expr) || has_column(pattern),
+            Expr::IsNull { expr, .. } => has_column(expr),
+            Expr::InList { expr, list, .. } => has_column(expr) || list.iter().any(has_column),
+            Expr::Between { expr, lo, hi, .. } => {
+                has_column(expr) || has_column(lo) || has_column(hi)
+            }
+            Expr::Func { args, .. } => args.iter().any(has_column),
+            Expr::Agg { .. } => true,
+            // Unrewritten subqueries cannot be constant-folded here.
+            Expr::Subquery(_) | Expr::InSelect { .. } | Expr::Exists { .. } => true,
+            Expr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => {
+                operand.as_ref().is_some_and(|o| has_column(o))
+                    || arms.iter().any(|(w, t)| has_column(w) || has_column(t))
+                    || otherwise.as_ref().is_some_and(|e| has_column(e))
+            }
+            Expr::Cast { expr, .. } => has_column(expr),
+        }
+    }
+    if has_column(expr) {
+        return None;
+    }
+    eval(expr, &Bindings::empty(), &[], params, &NoAggregates).ok()
+}
+
+fn column_of<'a>(expr: &'a Expr, effective: &str) -> Option<&'a ColumnRef> {
+    match expr {
+        Expr::Column(c)
+            if c.table
+                .as_ref()
+                .is_none_or(|t| t.eq_ignore_ascii_case(effective)) =>
+        {
+            Some(c)
+        }
+        _ => None,
+    }
+}
+
+fn probe_conjunct(
+    state: &DbState,
+    effective: &str,
+    table_name: &str,
+    bindings: &Bindings,
+    conj: &Expr,
+    params: &[Value],
+) -> Option<Vec<crate::storage::RowId>> {
+    let table = state.table(table_name).ok()?;
+    let col_ordinal = |c: &ColumnRef| -> Option<usize> {
+        // Ensure the reference resolves (catches ambiguity) and then map to
+        // the table-local ordinal.
+        bindings.resolve(c).ok()?;
+        table.schema.column_index(&c.column)
+    };
+    match conj {
+        Expr::Binary { op, lhs, rhs }
+            if matches!(
+                op,
+                BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            ) =>
+        {
+            // Normalize to "column op constant".
+            let (col, val, op) = if let (Some(c), Some(v)) =
+                (column_of(lhs, effective), const_value(rhs, params))
+            {
+                (c, v, *op)
+            } else if let (Some(c), Some(v)) = (column_of(rhs, effective), const_value(lhs, params))
+            {
+                let flipped = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::Le => BinOp::Ge,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::Ge => BinOp::Le,
+                    other => *other,
+                };
+                (c, v, flipped)
+            } else {
+                return None;
+            };
+            if val.is_null() {
+                return Some(Vec::new()); // col op NULL selects nothing
+            }
+            let ordinal = col_ordinal(col)?;
+            let index = state.index_on(table_name, ordinal)?;
+            Some(match op {
+                BinOp::Eq => index.lookup(&val),
+                BinOp::Lt => index.range(Bound::Unbounded, Bound::Excluded(&val)),
+                BinOp::Le => index.range(Bound::Unbounded, Bound::Included(&val)),
+                BinOp::Gt => index.range(Bound::Excluded(&val), Bound::Unbounded),
+                BinOp::Ge => index.range(Bound::Included(&val), Bound::Unbounded),
+                _ => unreachable!(),
+            })
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            escape,
+            negated: false,
+        } => {
+            let col = column_of(expr, effective)?;
+            let pat = match const_value(pattern, params)? {
+                Value::Text(t) => t,
+                _ => return None,
+            };
+            let ordinal = col_ordinal(col)?;
+            let index = state.index_on(table_name, ordinal)?;
+            if is_exact(&pat, *escape) {
+                let literal = literal_prefix(&pat, *escape);
+                return Some(index.lookup(&Value::Text(literal)));
+            }
+            let prefix = literal_prefix(&pat, *escape);
+            if prefix.is_empty() {
+                return None; // '%...' gives the index nothing to narrow
+            }
+            Some(index.prefix_scan(&prefix))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            let col = column_of(expr, effective)?;
+            let ordinal = col_ordinal(col)?;
+            let index = state.index_on(table_name, ordinal)?;
+            let mut ids = Vec::new();
+            for item in list {
+                let v = const_value(item, params)?;
+                if !v.is_null() {
+                    ids.extend(index.lookup(&v));
+                }
+            }
+            ids.sort();
+            ids.dedup();
+            Some(ids)
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated: false,
+        } => {
+            let col = column_of(expr, effective)?;
+            let lo = const_value(lo, params)?;
+            let hi = const_value(hi, params)?;
+            if lo.is_null() || hi.is_null() {
+                return Some(Vec::new());
+            }
+            let ordinal = col_ordinal(col)?;
+            let index = state.index_on(table_name, ordinal)?;
+            Some(index.range(Bound::Included(&lo), Bound::Included(&hi)))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain (non-aggregate) pipeline.
+// ---------------------------------------------------------------------------
+
+/// Expand SELECT items into `(label, expr-or-position)` output columns.
+enum OutCol {
+    /// Direct tuple position (wildcards).
+    Position(usize),
+    /// Computed expression.
+    Expr(Expr),
+}
+
+fn expand_items(sel: &Select, bindings: &Bindings) -> SqlResult<(Vec<String>, Vec<OutCol>)> {
+    let mut labels = Vec::new();
+    let mut cols = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, name) in bindings.all_columns().into_iter().enumerate() {
+                    labels.push(name);
+                    cols.push(OutCol::Position(i));
+                }
+            }
+            SelectItem::QualifiedWildcard(table) => {
+                let (start, end) = bindings
+                    .table_span(table)
+                    .ok_or_else(|| SqlError::no_such_table(table))?;
+                let names = bindings.table_columns(table).expect("span implies columns");
+                for (offset, name) in names.iter().enumerate() {
+                    labels.push(name.clone());
+                    cols.push(OutCol::Position(start + offset));
+                    debug_assert!(start + offset < end);
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let label = match alias {
+                    Some(a) => a.clone(),
+                    None => default_label(expr, labels.len()),
+                };
+                labels.push(label);
+                cols.push(OutCol::Expr(expr.clone()));
+            }
+        }
+    }
+    Ok((labels, cols))
+}
+
+/// DB2-style output column label for an unaliased expression.
+fn default_label(expr: &Expr, position: usize) -> String {
+    match expr {
+        Expr::Column(c) => c.column.clone(),
+        Expr::Agg {
+            func, arg: None, ..
+        } => format!("{}(*)", func.name()),
+        Expr::Agg {
+            func,
+            arg: Some(arg),
+            ..
+        } => match arg.as_ref() {
+            Expr::Column(c) => format!("{}({})", func.name(), c.column),
+            _ => func.name().to_string(),
+        },
+        Expr::Func { name, .. } => name.clone(),
+        _ => (position + 1).to_string(),
+    }
+}
+
+fn project(
+    cols: &[OutCol],
+    bindings: &Bindings,
+    row: &[Value],
+    params: &[Value],
+    aggs: &dyn AggSource,
+) -> SqlResult<Row> {
+    let mut out = Vec::with_capacity(cols.len());
+    for col in cols {
+        out.push(match col {
+            OutCol::Position(i) => row.get(*i).cloned().unwrap_or(Value::Null),
+            OutCol::Expr(e) => eval(e, bindings, row, params, aggs)?,
+        });
+    }
+    Ok(out)
+}
+
+fn run_plain(
+    sel: &Select,
+    bindings: &Bindings,
+    rows: Vec<Row>,
+    params: &[Value],
+) -> SqlResult<ResultSet> {
+    if sel.having.is_some() {
+        return Err(SqlError::syntax("HAVING requires GROUP BY or aggregates"));
+    }
+    let (labels, cols) = expand_items(sel, bindings)?;
+    let mut pairs: Vec<(Row, Row)> = Vec::with_capacity(rows.len()); // (src, out)
+    for src in rows {
+        let out = project(&cols, bindings, &src, params, &NoAggregates)?;
+        pairs.push((src, out));
+    }
+    finish_pipeline(sel, bindings, &labels, pairs, params, None)
+}
+
+// ---------------------------------------------------------------------------
+// Grouped / aggregate pipeline.
+// ---------------------------------------------------------------------------
+
+/// Pre-computed aggregate values for one group.
+struct GroupAggs(Vec<(Expr, Value)>);
+
+impl AggSource for GroupAggs {
+    fn agg_value(&self, expr: &Expr) -> Option<Value> {
+        self.0
+            .iter()
+            .find(|(e, _)| e == expr)
+            .map(|(_, v)| v.clone())
+    }
+}
+
+fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Agg { .. } => {
+            if !out.contains(expr) {
+                out.push(expr.clone());
+            }
+        }
+        Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => {}
+        Expr::Neg(i) | Expr::Not(i) => collect_aggs(i, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_aggs(lhs, out);
+            collect_aggs(rhs, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_aggs(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for e in list {
+                collect_aggs(e, out);
+            }
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(lo, out);
+            collect_aggs(hi, out);
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_aggs(a, out);
+            }
+        }
+        // Subqueries were rewritten to literals before grouping runs.
+        Expr::Subquery(_) | Expr::InSelect { .. } | Expr::Exists { .. } => {}
+        Expr::Case {
+            operand,
+            arms,
+            otherwise,
+        } => {
+            if let Some(op) = operand {
+                collect_aggs(op, out);
+            }
+            for (w, t) in arms {
+                collect_aggs(w, out);
+                collect_aggs(t, out);
+            }
+            if let Some(e) = otherwise {
+                collect_aggs(e, out);
+            }
+        }
+        Expr::Cast { expr, .. } => collect_aggs(expr, out),
+    }
+}
+
+fn compute_agg(
+    agg: &Expr,
+    bindings: &Bindings,
+    rows: &[Row],
+    params: &[Value],
+) -> SqlResult<Value> {
+    let Expr::Agg {
+        func,
+        arg,
+        distinct,
+    } = agg
+    else {
+        unreachable!("compute_agg called on non-aggregate")
+    };
+    // Gather the argument values over the group, skipping NULLs per SQL.
+    let mut values: Vec<Value> = Vec::with_capacity(rows.len());
+    match arg {
+        None => {
+            // COUNT(*): every row counts.
+            return Ok(Value::Int(rows.len() as i64));
+        }
+        Some(arg) => {
+            for row in rows {
+                let v = eval(arg, bindings, row, params, &NoAggregates)?;
+                if !v.is_null() {
+                    values.push(v);
+                }
+            }
+        }
+    }
+    if *distinct {
+        let mut seen: Vec<Value> = Vec::new();
+        values.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(v.clone());
+                true
+            }
+        });
+    }
+    match func {
+        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Min => Ok(values
+            .into_iter()
+            .reduce(|a, b| if a.order_key(&b).is_le() { a } else { b })
+            .unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(values
+            .into_iter()
+            .reduce(|a, b| if a.order_key(&b).is_ge() { a } else { b })
+            .unwrap_or(Value::Null)),
+        AggFunc::Sum | AggFunc::Avg => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let n = values.len();
+            let mut int_sum: i64 = 0;
+            let mut float_sum: f64 = 0.0;
+            let mut all_int = true;
+            for v in values {
+                match v {
+                    Value::Int(i) => {
+                        int_sum = int_sum.wrapping_add(i);
+                        float_sum += i as f64;
+                    }
+                    Value::Double(d) => {
+                        all_int = false;
+                        float_sum += d;
+                    }
+                    other => {
+                        return Err(SqlError::type_mismatch(format!(
+                            "{} over non-numeric value {other}",
+                            func.name()
+                        )))
+                    }
+                }
+            }
+            Ok(match func {
+                AggFunc::Sum if all_int => Value::Int(int_sum),
+                AggFunc::Sum => Value::Double(float_sum),
+                AggFunc::Avg => Value::Double(float_sum / n as f64),
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+fn run_grouped(
+    sel: &Select,
+    bindings: &Bindings,
+    rows: Vec<Row>,
+    params: &[Value],
+) -> SqlResult<ResultSet> {
+    let (labels, cols) = expand_items(sel, bindings)?;
+
+    // Partition rows into groups, preserving first-seen order.
+    let mut group_order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    if sel.group_by.is_empty() {
+        group_order.push(Vec::new());
+        groups.insert(Vec::new(), rows);
+    } else {
+        for row in rows {
+            let mut key = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                key.push(eval(g, bindings, &row, params, &NoAggregates)?);
+            }
+            if !groups.contains_key(&key) {
+                group_order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(row);
+        }
+    }
+
+    // The distinct aggregate expressions appearing anywhere downstream.
+    let mut agg_exprs: Vec<Expr> = Vec::new();
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr, &mut agg_exprs);
+        }
+    }
+    if let Some(h) = &sel.having {
+        collect_aggs(h, &mut agg_exprs);
+    }
+    for k in &sel.order_by {
+        collect_aggs(&k.expr, &mut agg_exprs);
+    }
+
+    let width = bindings.width();
+    let mut pairs: Vec<(Row, Row)> = Vec::new(); // (representative src, out)
+    let mut agg_sources: Vec<GroupAggs> = Vec::new();
+    for key in group_order {
+        let group_rows = groups.remove(&key).expect("group key recorded");
+        let mut computed = Vec::with_capacity(agg_exprs.len());
+        for agg in &agg_exprs {
+            computed.push((
+                agg.clone(),
+                compute_agg(agg, bindings, &group_rows, params)?,
+            ));
+        }
+        let aggs = GroupAggs(computed);
+        // Representative row: the first row of the group, or all-NULL for the
+        // empty global group (COUNT(*) over zero rows).
+        let rep = group_rows
+            .first()
+            .cloned()
+            .unwrap_or_else(|| vec![Value::Null; width]);
+        if let Some(h) = &sel.having {
+            if !eval_truth(h, bindings, &rep, params, &aggs)?.passes() {
+                continue;
+            }
+        }
+        let out = project(&cols, bindings, &rep, params, &aggs)?;
+        pairs.push((rep, out));
+        agg_sources.push(aggs);
+    }
+    finish_pipeline(sel, bindings, &labels, pairs, params, Some(agg_sources))
+}
+
+// ---------------------------------------------------------------------------
+// Shared tail: DISTINCT → ORDER BY → OFFSET/LIMIT.
+// ---------------------------------------------------------------------------
+
+fn finish_pipeline(
+    sel: &Select,
+    bindings: &Bindings,
+    labels: &[String],
+    mut pairs: Vec<(Row, Row)>,
+    params: &[Value],
+    agg_sources: Option<Vec<GroupAggs>>,
+) -> SqlResult<ResultSet> {
+    // DISTINCT over output rows.
+    if sel.distinct {
+        let mut seen: Vec<Row> = Vec::new();
+        let mut kept_sources = agg_sources.as_ref().map(|_| Vec::new());
+        let mut kept = Vec::with_capacity(pairs.len());
+        for (i, (src, out)) in pairs.into_iter().enumerate() {
+            if !seen.contains(&out) {
+                seen.push(out.clone());
+                if let (Some(kept_sources), Some(sources)) =
+                    (kept_sources.as_mut(), agg_sources.as_ref())
+                {
+                    kept_sources.push(i);
+                    let _ = sources;
+                }
+                kept.push((src, out));
+            }
+        }
+        pairs = kept;
+        // Note: after DISTINCT the agg sources for dropped rows are unneeded;
+        // ORDER BY keys below re-evaluate only against kept pairs' own keys,
+        // computed eagerly next, so we can discard the mapping safely.
+    }
+
+    // ORDER BY: compute sort keys eagerly for each row.
+    if !sel.order_by.is_empty() {
+        let keys: Vec<Vec<Value>> = pairs
+            .iter()
+            .enumerate()
+            .map(|(row_idx, (src, out))| {
+                sel.order_by
+                    .iter()
+                    .map(|k| {
+                        order_key_value(
+                            k,
+                            bindings,
+                            labels,
+                            src,
+                            out,
+                            params,
+                            row_idx,
+                            &agg_sources,
+                        )
+                    })
+                    .collect::<SqlResult<Vec<Value>>>()
+            })
+            .collect::<SqlResult<Vec<_>>>()?;
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_by(|&a, &b| {
+            for (i, k) in sel.order_by.iter().enumerate() {
+                let ord = keys[a][i].order_key(&keys[b][i]);
+                let ord = match k.dir {
+                    SortDir::Asc => ord,
+                    SortDir::Desc => ord.reverse(),
+                };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut sorted = Vec::with_capacity(pairs.len());
+        let mut taken: Vec<Option<(Row, Row)>> = pairs.into_iter().map(Some).collect();
+        for idx in order {
+            sorted.push(taken[idx].take().expect("permutation"));
+        }
+        pairs = sorted;
+    }
+
+    let offset = sel.offset.unwrap_or(0);
+    let rows: Vec<Row> = pairs
+        .into_iter()
+        .map(|(_, out)| out)
+        .skip(offset)
+        .take(sel.limit.unwrap_or(usize::MAX))
+        .collect();
+    Ok(ResultSet {
+        columns: labels.to_vec(),
+        rows,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn order_key_value(
+    key: &OrderKey,
+    bindings: &Bindings,
+    labels: &[String],
+    src: &[Value],
+    out: &[Value],
+    params: &[Value],
+    row_idx: usize,
+    agg_sources: &Option<Vec<GroupAggs>>,
+) -> SqlResult<Value> {
+    // SQL-92 positional sort: ORDER BY 2.
+    if let Expr::Literal(Value::Int(n)) = &key.expr {
+        let n = *n;
+        if n >= 1 && (n as usize) <= out.len() {
+            return Ok(out[n as usize - 1].clone());
+        }
+        return Err(SqlError::syntax(format!(
+            "ORDER BY position {n} is out of range"
+        )));
+    }
+    // An output label (alias) takes priority over a source column, per SQL.
+    if let Expr::Column(c) = &key.expr {
+        if c.table.is_none() {
+            if let Some(pos) = labels
+                .iter()
+                .position(|l| l.eq_ignore_ascii_case(&c.column))
+            {
+                return Ok(out[pos].clone());
+            }
+        }
+    }
+    let aggs: &dyn AggSource = match agg_sources {
+        Some(sources) => &sources[row_idx],
+        None => &NoAggregates,
+    };
+    eval(&key.expr, bindings, src, params, aggs)
+}
+
+// ---------------------------------------------------------------------------
+// Subquery pre-execution.
+// ---------------------------------------------------------------------------
+
+fn select_has_subqueries(sel: &Select) -> bool {
+    sel.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_subquery(),
+        _ => false,
+    }) || sel
+        .where_clause
+        .as_ref()
+        .is_some_and(Expr::contains_subquery)
+        || sel.having.as_ref().is_some_and(Expr::contains_subquery)
+        || sel.group_by.iter().any(Expr::contains_subquery)
+        || sel.order_by.iter().any(|k| k.expr.contains_subquery())
+        || sel
+            .joins
+            .iter()
+            .any(|j| j.on.as_ref().is_some_and(Expr::contains_subquery))
+}
+
+fn rewrite_select_subqueries(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<Select> {
+    let mut out = sel.clone();
+    for item in &mut out.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            *expr = rewrite_expr_subqueries(state, expr, params)?;
+        }
+    }
+    if let Some(w) = &mut out.where_clause {
+        *w = rewrite_expr_subqueries(state, w, params)?;
+    }
+    if let Some(h) = &mut out.having {
+        *h = rewrite_expr_subqueries(state, h, params)?;
+    }
+    for g in &mut out.group_by {
+        *g = rewrite_expr_subqueries(state, g, params)?;
+    }
+    for k in &mut out.order_by {
+        k.expr = rewrite_expr_subqueries(state, &k.expr, params)?;
+    }
+    for j in &mut out.joins {
+        if let Some(on) = &mut j.on {
+            *on = rewrite_expr_subqueries(state, on, params)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Replace subquery nodes in `expr` by executing them against `state`.
+///
+/// Only *uncorrelated* subqueries are supported, matching the era (the web
+/// workloads used them for pick-lists). A correlated reference surfaces as an
+/// "unknown column" error from the inner query.
+pub(crate) fn rewrite_expr_subqueries(
+    state: &DbState,
+    expr: &Expr,
+    params: &[Value],
+) -> SqlResult<Expr> {
+    if !expr.contains_subquery() {
+        return Ok(expr.clone());
+    }
+    let walk = |e: &Expr| rewrite_expr_subqueries(state, e, params);
+    Ok(match expr {
+        Expr::Subquery(select) => {
+            let rs = run_select(state, select, params)?;
+            if rs.columns.len() != 1 {
+                return Err(SqlError::syntax(
+                    "a scalar subquery must return exactly one column",
+                ));
+            }
+            match rs.rows.len() {
+                0 => Expr::Literal(Value::Null),
+                1 => Expr::Literal(rs.rows[0][0].clone()),
+                n => {
+                    return Err(SqlError::syntax(format!(
+                        "scalar subquery returned {n} rows"
+                    )))
+                }
+            }
+        }
+        Expr::InSelect {
+            expr,
+            select,
+            negated,
+        } => {
+            let rs = run_select(state, select, params)?;
+            if rs.columns.len() != 1 {
+                return Err(SqlError::syntax(
+                    "an IN subquery must return exactly one column",
+                ));
+            }
+            Expr::InList {
+                expr: Box::new(walk(expr)?),
+                list: rs
+                    .rows
+                    .into_iter()
+                    .map(|mut r| Expr::Literal(r.remove(0)))
+                    .collect(),
+                negated: *negated,
+            }
+        }
+        Expr::Exists { select, negated } => {
+            // LIMIT 1 short-circuit: existence needs one row.
+            let mut probe = (**select).clone();
+            if probe.set_ops.is_empty() && probe.limit.is_none() {
+                probe.limit = Some(1);
+            }
+            let rs = run_select(state, &probe, params)?;
+            Expr::Literal(Value::Int(i64::from(rs.rows.is_empty() == *negated)))
+        }
+        Expr::Neg(i) => Expr::Neg(Box::new(walk(i)?)),
+        Expr::Not(i) => Expr::Not(Box::new(walk(i)?)),
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(walk(lhs)?),
+            rhs: Box::new(walk(rhs)?),
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            escape,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(walk(expr)?),
+            pattern: Box::new(walk(pattern)?),
+            escape: *escape,
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(walk(expr)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(walk(expr)?),
+            list: list.iter().map(walk).collect::<SqlResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(walk(expr)?),
+            lo: Box::new(walk(lo)?),
+            hi: Box::new(walk(hi)?),
+            negated: *negated,
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(walk).collect::<SqlResult<_>>()?,
+        },
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => Expr::Agg {
+            func: *func,
+            arg: match arg {
+                Some(a) => Some(Box::new(walk(a)?)),
+                None => None,
+            },
+            distinct: *distinct,
+        },
+        Expr::Case {
+            operand,
+            arms,
+            otherwise,
+        } => Expr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(walk(o)?)),
+                None => None,
+            },
+            arms: arms
+                .iter()
+                .map(|(w, t)| Ok((walk(w)?, walk(t)?)))
+                .collect::<SqlResult<_>>()?,
+            otherwise: match otherwise {
+                Some(e) => Some(Box::new(walk(e)?)),
+                None => None,
+            },
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(walk(expr)?),
+            ty: *ty,
+        },
+        Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => expr.clone(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN.
+// ---------------------------------------------------------------------------
+
+/// Produce a plan description for a SELECT without running it.
+pub fn explain_select(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<Vec<String>> {
+    let mut lines = Vec::new();
+    explain_into(state, sel, params, 0, &mut lines)?;
+    Ok(lines)
+}
+
+fn explain_into(
+    state: &DbState,
+    sel: &Select,
+    params: &[Value],
+    indent: usize,
+    lines: &mut Vec<String>,
+) -> SqlResult<()> {
+    let pad = "  ".repeat(indent);
+    if !sel.set_ops.is_empty() {
+        lines.push(format!(
+            "{pad}SET OPERATION ({} branches)",
+            sel.set_ops.len() + 1
+        ));
+        let mut first = sel.clone();
+        first.set_ops = Vec::new();
+        explain_into(state, &first, params, indent + 1, lines)?;
+        for (op, branch) in &sel.set_ops {
+            lines.push(format!("{pad}  {op:?}"));
+            explain_into(state, branch, params, indent + 1, lines)?;
+        }
+        return Ok(());
+    }
+    match &sel.from {
+        None => lines.push(format!("{pad}VALUES (table-less SELECT)")),
+        Some(base) => {
+            let table = state.table(&base.name)?;
+            let base_cols: Vec<String> = table
+                .schema
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect();
+            let bindings = Bindings::single(base.effective_name(), base_cols);
+            let access = if sel.joins.is_empty() {
+                sel.where_clause.as_ref().and_then(|w| {
+                    describe_access_path(
+                        state,
+                        base.effective_name(),
+                        &base.name,
+                        &bindings,
+                        w,
+                        params,
+                    )
+                })
+            } else {
+                None
+            };
+            match access {
+                Some(desc) => lines.push(format!("{pad}{desc}")),
+                None => lines.push(format!(
+                    "{pad}FULL SCAN {} ({} rows)",
+                    base.name,
+                    table.heap.len()
+                )),
+            }
+            for join in &sel.joins {
+                lines.push(format!(
+                    "{pad}NESTED LOOP {}JOIN {}{}",
+                    if join.left_outer { "LEFT OUTER " } else { "" },
+                    join.table.name,
+                    if join.on.is_some() {
+                        " ON <cond>"
+                    } else {
+                        " (cross)"
+                    },
+                ));
+            }
+        }
+    }
+    if sel.where_clause.is_some() {
+        lines.push(format!("{pad}FILTER <where>"));
+    }
+    if !sel.group_by.is_empty()
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+    {
+        lines.push(format!(
+            "{pad}AGGREGATE (group keys: {})",
+            sel.group_by.len()
+        ));
+    }
+    if sel.having.is_some() {
+        lines.push(format!("{pad}FILTER <having>"));
+    }
+    if sel.distinct {
+        lines.push(format!("{pad}DISTINCT"));
+    }
+    if !sel.order_by.is_empty() {
+        lines.push(format!("{pad}SORT ({} keys)", sel.order_by.len()));
+    }
+    if sel.limit.is_some() || sel.offset.is_some() {
+        lines.push(format!(
+            "{pad}LIMIT {}{}",
+            sel.limit
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "ALL".into()),
+            sel.offset
+                .map(|o| format!(" OFFSET {o}"))
+                .unwrap_or_default()
+        ));
+    }
+    Ok(())
+}
+
+/// Like [`choose_access_path`] but returning a human description instead of
+/// row ids (used by EXPLAIN; never touches the heap).
+fn describe_access_path(
+    state: &DbState,
+    effective: &str,
+    table_name: &str,
+    bindings: &Bindings,
+    where_clause: &Expr,
+    params: &[Value],
+) -> Option<String> {
+    let mut conjuncts = Vec::new();
+    flatten_and(where_clause, &mut conjuncts);
+    let table = state.table(table_name).ok()?;
+    for conj in conjuncts {
+        let described = match conj {
+            Expr::Binary { op, lhs, rhs }
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                ) =>
+            {
+                let col = column_of(lhs, effective)
+                    .filter(|_| const_value(rhs, params).is_some())
+                    .or_else(|| {
+                        column_of(rhs, effective).filter(|_| const_value(lhs, params).is_some())
+                    });
+                col.and_then(|c| {
+                    bindings.resolve(c).ok()?;
+                    let ordinal = table.schema.column_index(&c.column)?;
+                    let index = state.index_on(table_name, ordinal)?;
+                    let kind = if *op == BinOp::Eq {
+                        "equality"
+                    } else {
+                        "range"
+                    };
+                    Some(format!("INDEX {kind} PROBE {} ({})", index.name, c))
+                })
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                escape,
+                negated: false,
+            } => column_of(expr, effective).and_then(|c| {
+                let pat = match const_value(pattern, params)? {
+                    Value::Text(t) => t,
+                    _ => return None,
+                };
+                bindings.resolve(c).ok()?;
+                let ordinal = table.schema.column_index(&c.column)?;
+                let index = state.index_on(table_name, ordinal)?;
+                let prefix = literal_prefix(&pat, *escape);
+                if prefix.is_empty() {
+                    return None;
+                }
+                Some(format!(
+                    "INDEX prefix PROBE {} ({} LIKE '{}%…')",
+                    index.name, c, prefix
+                ))
+            }),
+            Expr::InList {
+                expr,
+                list,
+                negated: false,
+            } => column_of(expr, effective).and_then(|c| {
+                if !list.iter().all(|e| const_value(e, params).is_some()) {
+                    return None;
+                }
+                bindings.resolve(c).ok()?;
+                let ordinal = table.schema.column_index(&c.column)?;
+                let index = state.index_on(table_name, ordinal)?;
+                Some(format!(
+                    "INDEX IN-list PROBE {} ({}, {} keys)",
+                    index.name,
+                    c,
+                    list.len()
+                ))
+            }),
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated: false,
+            } => column_of(expr, effective).and_then(|c| {
+                const_value(lo, params)?;
+                const_value(hi, params)?;
+                bindings.resolve(c).ok()?;
+                let ordinal = table.schema.column_index(&c.column)?;
+                let index = state.index_on(table_name, ordinal)?;
+                Some(format!("INDEX range PROBE {} ({} BETWEEN)", index.name, c))
+            }),
+            _ => None,
+        };
+        if described.is_some() {
+            return described;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnDef;
+    use crate::ast::Statement;
+    use crate::index::Index;
+    use crate::parser::parse;
+    use crate::schema::TableSchema;
+    use crate::state::TableData;
+    use crate::storage::Heap;
+    use crate::types::SqlType;
+
+    fn shop_state() -> DbState {
+        let mut st = DbState::default();
+        let defs = [
+            ColumnDef {
+                name: "custid".into(),
+                ty: SqlType::Integer,
+                not_null: true,
+                primary_key: false,
+                unique: false,
+            },
+            ColumnDef {
+                name: "product_name".into(),
+                ty: SqlType::Varchar,
+                not_null: false,
+                primary_key: false,
+                unique: false,
+            },
+            ColumnDef {
+                name: "price".into(),
+                ty: SqlType::Double,
+                not_null: false,
+                primary_key: false,
+                unique: false,
+            },
+        ];
+        let schema = TableSchema::from_defs("orders", &defs).unwrap();
+        st.tables.insert(
+            "orders".into(),
+            TableData {
+                schema,
+                heap: Heap::new(),
+                index_names: vec!["orders_cust".into()],
+            },
+        );
+        st.indexes.insert(
+            "orders_cust".into(),
+            Index::new("orders_cust", "orders", 0, false),
+        );
+        let data: &[(i64, &str, f64)] = &[
+            (10100, "bikes", 120.0),
+            (10100, "bike bells", 4.5),
+            (10200, "skates", 45.0),
+            (10100, "helmets", 30.0),
+            (10300, "bikes", 119.0),
+        ];
+        for (c, p, pr) in data {
+            let row = vec![Value::Int(*c), Value::Text((*p).into()), Value::Double(*pr)];
+            st.insert_row("orders", row).unwrap();
+        }
+        st
+    }
+
+    fn q(state: &DbState, sql: &str) -> ResultSet {
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        run_select(state, &sel, &[]).unwrap()
+    }
+
+    #[test]
+    fn paper_conditional_where_query() {
+        // §3.1.3: WHERE custid = 10100 AND product_name LIKE 'bikes%'
+        let st = shop_state();
+        let r = q(
+            &st,
+            "SELECT product_name FROM orders WHERE custid = 10100 AND product_name LIKE 'bikes%'",
+        );
+        assert_eq!(r.rows, vec![vec![Value::Text("bikes".into())]]);
+    }
+
+    #[test]
+    fn index_probe_equals_full_scan() {
+        let st = shop_state();
+        let with_index = q(
+            &st,
+            "SELECT product_name FROM orders WHERE custid = 10100 ORDER BY 1",
+        );
+        // Same query phrased so the planner cannot use the index.
+        let no_index = q(
+            &st,
+            "SELECT product_name FROM orders WHERE custid + 0 = 10100 ORDER BY 1",
+        );
+        assert_eq!(with_index, no_index);
+        assert_eq!(with_index.rows.len(), 3);
+    }
+
+    #[test]
+    fn order_by_desc_and_positional() {
+        let st = shop_state();
+        let r = q(
+            &st,
+            "SELECT product_name, price FROM orders ORDER BY 2 DESC LIMIT 2",
+        );
+        assert_eq!(r.rows[0][0], Value::Text("bikes".into()));
+        assert_eq!(r.rows[1][1], Value::Double(119.0));
+    }
+
+    #[test]
+    fn order_by_alias() {
+        let st = shop_state();
+        let r = q(
+            &st,
+            "SELECT price * 2 AS doubled FROM orders ORDER BY doubled",
+        );
+        assert_eq!(r.columns, vec!["doubled"]);
+        assert_eq!(r.rows[0][0], Value::Double(9.0));
+    }
+
+    #[test]
+    fn wildcard_and_qualified_wildcard() {
+        let st = shop_state();
+        let r = q(&st, "SELECT * FROM orders LIMIT 1");
+        assert_eq!(r.columns, vec!["custid", "product_name", "price"]);
+        let r2 = q(&st, "SELECT o.* FROM orders o LIMIT 1");
+        assert_eq!(r2.columns, r.columns);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let st = shop_state();
+        let r = q(&st, "SELECT DISTINCT custid FROM orders ORDER BY 1");
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(10100)],
+                vec![Value::Int(10200)],
+                vec![Value::Int(10300)]
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_with_having() {
+        let st = shop_state();
+        let r = q(
+            &st,
+            "SELECT custid, COUNT(*) AS n, SUM(price) FROM orders \
+             GROUP BY custid HAVING COUNT(*) > 1 ORDER BY 1",
+        );
+        assert_eq!(r.columns, vec!["custid", "n", "SUM(price)"]);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(10100));
+        assert_eq!(r.rows[0][1], Value::Int(3));
+        assert_eq!(r.rows[0][2], Value::Double(154.5));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_set() {
+        let st = shop_state();
+        let r = q(
+            &st,
+            "SELECT COUNT(*), SUM(price) FROM orders WHERE custid = 999",
+        );
+        assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let st = shop_state();
+        let r = q(&st, "SELECT COUNT(DISTINCT product_name) FROM orders");
+        assert_eq!(r.rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let st = shop_state();
+        let r = q(
+            &st,
+            "SELECT MIN(price), MAX(price), AVG(price) FROM orders WHERE custid = 10100",
+        );
+        assert_eq!(r.rows[0][0], Value::Double(4.5));
+        assert_eq!(r.rows[0][1], Value::Double(120.0));
+        assert_eq!(r.rows[0][2], Value::Double((120.0 + 4.5 + 30.0) / 3.0));
+    }
+
+    #[test]
+    fn tableless_select() {
+        let st = DbState::default();
+        let r = q(&st, "SELECT 1 + 1, 'x' || 'y'");
+        assert_eq!(r.rows, vec![vec![Value::Int(2), Value::Text("xy".into())]]);
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let mut st = shop_state();
+        let defs = [
+            ColumnDef {
+                name: "custid".into(),
+                ty: SqlType::Integer,
+                not_null: true,
+                primary_key: true,
+                unique: false,
+            },
+            ColumnDef {
+                name: "name".into(),
+                ty: SqlType::Varchar,
+                not_null: false,
+                primary_key: false,
+                unique: false,
+            },
+        ];
+        let schema = TableSchema::from_defs("customers", &defs).unwrap();
+        st.tables.insert(
+            "customers".into(),
+            TableData {
+                schema,
+                heap: Heap::new(),
+                index_names: vec![],
+            },
+        );
+        for (id, name) in [(10100, "Ada"), (10200, "Bob")] {
+            st.insert_row("customers", vec![Value::Int(id), Value::Text(name.into())])
+                .unwrap();
+        }
+        let r = q(
+            &st,
+            "SELECT c.name, COUNT(*) FROM orders o JOIN customers c ON o.custid = c.custid \
+             GROUP BY c.name ORDER BY 2 DESC",
+        );
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Text("Ada".into()));
+        assert_eq!(r.rows[0][1], Value::Int(3));
+        // LEFT JOIN keeps the customer with no orders.
+        let r2 = q(
+            &st,
+            "SELECT c.name FROM customers c LEFT JOIN orders o ON c.custid = o.custid \
+             WHERE o.custid IS NULL",
+        );
+        assert!(r2.rows.is_empty()); // both customers have orders
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let mut st = DbState::default();
+        for (t, cols) in [("a", vec!["x"]), ("b", vec!["x"])] {
+            let defs: Vec<ColumnDef> = cols
+                .iter()
+                .map(|c| ColumnDef {
+                    name: (*c).into(),
+                    ty: SqlType::Integer,
+                    not_null: false,
+                    primary_key: false,
+                    unique: false,
+                })
+                .collect();
+            st.tables.insert(
+                t.into(),
+                TableData {
+                    schema: TableSchema::from_defs(t, &defs).unwrap(),
+                    heap: Heap::new(),
+                    index_names: vec![],
+                },
+            );
+        }
+        st.insert_row("a", vec![Value::Int(1)]).unwrap();
+        st.insert_row("a", vec![Value::Int(2)]).unwrap();
+        st.insert_row("b", vec![Value::Int(1)]).unwrap();
+        let r = q(
+            &st,
+            "SELECT a.x, b.x FROM a LEFT JOIN b ON a.x = b.x ORDER BY 1",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(2), Value::Null]
+            ]
+        );
+    }
+
+    #[test]
+    fn like_prefix_uses_index_same_result() {
+        let mut st = shop_state();
+        // Index product_name too.
+        st.indexes.insert(
+            "orders_prod".into(),
+            Index::new("orders_prod", "orders", 1, false),
+        );
+        let names: Vec<Value> = st
+            .table("orders")
+            .unwrap()
+            .heap
+            .iter()
+            .map(|(id, r)| (id, r[1].clone()))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|(id, v)| {
+                st.indexes
+                    .get_mut("orders_prod")
+                    .unwrap()
+                    .insert(&v, id)
+                    .unwrap();
+                v
+            })
+            .collect();
+        assert_eq!(names.len(), 5);
+        st.tables
+            .get_mut("orders")
+            .unwrap()
+            .index_names
+            .push("orders_prod".into());
+        let r = q(
+            &st,
+            "SELECT custid FROM orders WHERE product_name LIKE 'bike%' ORDER BY 1",
+        );
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn where_with_unknown_filters_out() {
+        let mut st = shop_state();
+        st.insert_row("orders", vec![Value::Int(10400), Value::Null, Value::Null])
+            .unwrap();
+        // NULL product_name: LIKE is unknown, row filtered.
+        let r = q(&st, "SELECT custid FROM orders WHERE product_name LIKE '%'");
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn offset_pagination() {
+        let st = shop_state();
+        let all = q(&st, "SELECT product_name FROM orders ORDER BY 1");
+        let page2 = q(
+            &st,
+            "SELECT product_name FROM orders ORDER BY 1 LIMIT 2 OFFSET 2",
+        );
+        assert_eq!(page2.rows.as_slice(), &all.rows[2..4]);
+    }
+
+    #[test]
+    fn error_on_unknown_column() {
+        let st = shop_state();
+        let Statement::Select(sel) = parse("SELECT bogus FROM orders").unwrap() else {
+            panic!()
+        };
+        let err = run_select(&st, &sel, &[]).unwrap_err();
+        assert_eq!(err.code, crate::error::SqlCode::UNDEFINED_COLUMN);
+    }
+}

@@ -1,0 +1,208 @@
+//! Secondary indexes: ordered (B-tree) and unique enforcement.
+//!
+//! An index maps a single column's values to the set of row ids holding each
+//! value. The ordered variant supports the range scans the planner generates
+//! for `col LIKE 'prefix%'` and comparison predicates; every index supports
+//! point lookups. NULLs are indexed (sorting first) but never participate in
+//! uniqueness, per SQL-92.
+
+use crate::error::{SqlCode, SqlError, SqlResult};
+use crate::storage::RowId;
+use crate::types::Value;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// `Value` wrapper with the total order of [`Value::order_key`], usable as a
+/// `BTreeMap` key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrdValue(pub Value);
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.order_key(&other.0)
+    }
+}
+
+/// A single-column index.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Index name (unique per database).
+    pub name: String,
+    /// Table it belongs to.
+    pub table: String,
+    /// Ordinal of the indexed column.
+    pub column: usize,
+    /// Whether duplicate non-NULL keys are rejected.
+    pub unique: bool,
+    map: BTreeMap<OrdValue, Vec<RowId>>,
+}
+
+impl Index {
+    /// Create an empty index.
+    pub fn new(name: &str, table: &str, column: usize, unique: bool) -> Index {
+        Index {
+            name: name.to_owned(),
+            table: table.to_owned(),
+            column,
+            unique,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Insert a `(key, row)` pair, enforcing uniqueness for non-NULL keys.
+    pub fn insert(&mut self, key: &Value, row: RowId) -> SqlResult<()> {
+        let entry = self.map.entry(OrdValue(key.clone())).or_default();
+        if self.unique && !key.is_null() && !entry.is_empty() {
+            return Err(SqlError::new(
+                SqlCode::DUPLICATE_KEY,
+                format!("duplicate key {key} in unique index {}", self.name),
+            ));
+        }
+        entry.push(row);
+        Ok(())
+    }
+
+    /// Remove a `(key, row)` pair (no-op if absent).
+    pub fn remove(&mut self, key: &Value, row: RowId) {
+        if let Some(entry) = self.map.get_mut(&OrdValue(key.clone())) {
+            entry.retain(|&r| r != row);
+            if entry.is_empty() {
+                self.map.remove(&OrdValue(key.clone()));
+            }
+        }
+    }
+
+    /// Row ids with exactly this key.
+    pub fn lookup(&self, key: &Value) -> Vec<RowId> {
+        self.map
+            .get(&OrdValue(key.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Row ids with keys in `[lo, hi]` under the given bound kinds.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
+        let conv = |b: Bound<&Value>| match b {
+            Bound::Included(v) => Bound::Included(OrdValue(v.clone())),
+            Bound::Excluded(v) => Bound::Excluded(OrdValue(v.clone())),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (_, rows) in self.map.range((conv(lo), conv(hi))) {
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    /// Row ids whose text key starts with `prefix` (for LIKE 'p%').
+    pub fn prefix_scan(&self, prefix: &str) -> Vec<RowId> {
+        if prefix.is_empty() {
+            return self
+                .map
+                .values()
+                .flat_map(|rows| rows.iter().copied())
+                .collect();
+        }
+        let lo = Value::Text(prefix.to_owned());
+        let mut out = Vec::new();
+        for (key, rows) in self
+            .map
+            .range((Bound::Included(OrdValue(lo)), Bound::Unbounded))
+        {
+            match &key.0 {
+                Value::Text(t) if t.starts_with(prefix) => out.extend_from_slice(rows),
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(unique: bool) -> Index {
+        Index::new("i", "t", 0, unique)
+    }
+
+    #[test]
+    fn point_lookup() {
+        let mut i = idx(false);
+        i.insert(&Value::Int(5), RowId(1)).unwrap();
+        i.insert(&Value::Int(5), RowId(2)).unwrap();
+        i.insert(&Value::Int(9), RowId(3)).unwrap();
+        assert_eq!(i.lookup(&Value::Int(5)), vec![RowId(1), RowId(2)]);
+        assert!(i.lookup(&Value::Int(7)).is_empty());
+    }
+
+    #[test]
+    fn unique_rejects_duplicates_but_not_nulls() {
+        let mut i = idx(true);
+        i.insert(&Value::Int(5), RowId(1)).unwrap();
+        let err = i.insert(&Value::Int(5), RowId(2)).unwrap_err();
+        assert_eq!(err.code, SqlCode::DUPLICATE_KEY);
+        // NULL keys never collide.
+        i.insert(&Value::Null, RowId(3)).unwrap();
+        i.insert(&Value::Null, RowId(4)).unwrap();
+    }
+
+    #[test]
+    fn remove_cleans_up_key() {
+        let mut i = idx(false);
+        i.insert(&Value::Int(5), RowId(1)).unwrap();
+        i.remove(&Value::Int(5), RowId(1));
+        assert_eq!(i.key_count(), 0);
+        // Removing a non-existent pair is fine.
+        i.remove(&Value::Int(5), RowId(1));
+    }
+
+    #[test]
+    fn range_scan_inclusive_exclusive() {
+        let mut i = idx(false);
+        for n in 1..=5 {
+            i.insert(&Value::Int(n), RowId(n as u32)).unwrap();
+        }
+        let rows = i.range(
+            Bound::Included(&Value::Int(2)),
+            Bound::Excluded(&Value::Int(5)),
+        );
+        assert_eq!(rows, vec![RowId(2), RowId(3), RowId(4)]);
+    }
+
+    #[test]
+    fn prefix_scan_finds_only_matching_text() {
+        let mut i = idx(false);
+        i.insert(&Value::Text("apple".into()), RowId(1)).unwrap();
+        i.insert(&Value::Text("apricot".into()), RowId(2)).unwrap();
+        i.insert(&Value::Text("banana".into()), RowId(3)).unwrap();
+        i.insert(&Value::Int(1), RowId(4)).unwrap();
+        let mut rows = i.prefix_scan("ap");
+        rows.sort();
+        assert_eq!(rows, vec![RowId(1), RowId(2)]);
+        assert_eq!(i.prefix_scan("").len(), 4);
+        assert!(i.prefix_scan("z").is_empty());
+    }
+
+    #[test]
+    fn mixed_type_keys_ordered_stably() {
+        let mut i = idx(false);
+        i.insert(&Value::Text("a".into()), RowId(1)).unwrap();
+        i.insert(&Value::Int(10), RowId(2)).unwrap();
+        i.insert(&Value::Null, RowId(3)).unwrap();
+        let all = i.range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all, vec![RowId(3), RowId(2), RowId(1)]); // null, number, text
+    }
+}

@@ -1,0 +1,196 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! `%` matches any run of characters (including empty), `_` matches exactly
+//! one character, and an optional `ESCAPE` character makes the next pattern
+//! character literal. Matching is case-sensitive, as in DB2 with default
+//! collation. The matcher runs in O(text × pattern) worst case using the
+//! classic two-pointer backtracking algorithm (no allocation).
+
+/// Does `text` match the LIKE `pattern`?
+///
+/// ```
+/// use minisql::like::like_match;
+/// assert!(like_match("bikes and more", "bikes%", None));
+/// assert!(like_match("abc", "a_c", None));
+/// assert!(like_match("50% off", "50!% %", Some('!')));
+/// assert!(!like_match("Bikes", "bikes%", None));
+/// ```
+pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<PatTok> = compile(pattern, escape);
+    matches(&t, &p)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PatTok {
+    AnyRun, // %
+    AnyOne, // _
+    Lit(char),
+}
+
+fn compile(pattern: &str, escape: Option<char>) -> Vec<PatTok> {
+    let mut out = Vec::with_capacity(pattern.len());
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        if Some(c) == escape {
+            // Escaped character is literal; a trailing escape is itself literal
+            // (DB2 raised an error; being lenient here only loosens tests we
+            // never rely on).
+            match chars.next() {
+                Some(next) => out.push(PatTok::Lit(next)),
+                None => out.push(PatTok::Lit(c)),
+            }
+        } else if c == '%' {
+            // Collapse consecutive % runs.
+            if out.last() != Some(&PatTok::AnyRun) {
+                out.push(PatTok::AnyRun);
+            }
+        } else if c == '_' {
+            out.push(PatTok::AnyOne);
+        } else {
+            out.push(PatTok::Lit(c));
+        }
+    }
+    out
+}
+
+fn matches(text: &[char], pat: &[PatTok]) -> bool {
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pat idx after %, text idx at %)
+    while ti < text.len() {
+        match pat.get(pi) {
+            Some(PatTok::Lit(c)) if *c == text[ti] => {
+                ti += 1;
+                pi += 1;
+            }
+            Some(PatTok::AnyOne) => {
+                ti += 1;
+                pi += 1;
+            }
+            Some(PatTok::AnyRun) => {
+                star = Some((pi + 1, ti));
+                pi += 1;
+            }
+            _ => match star {
+                // Backtrack: let the last % swallow one more character.
+                Some((sp, st)) => {
+                    pi = sp;
+                    ti = st + 1;
+                    star = Some((sp, st + 1));
+                }
+                None => return false,
+            },
+        }
+    }
+    while pat.get(pi) == Some(&PatTok::AnyRun) {
+        pi += 1;
+    }
+    pi == pat.len()
+}
+
+/// If the pattern has a non-empty literal prefix before any wildcard, return
+/// it. The planner uses this to turn `col LIKE 'abc%'` into a B-tree range
+/// scan.
+pub fn literal_prefix(pattern: &str, escape: Option<char>) -> String {
+    let mut prefix = String::new();
+    for tok in compile(pattern, escape) {
+        match tok {
+            PatTok::Lit(c) => prefix.push(c),
+            _ => break,
+        }
+    }
+    prefix
+}
+
+/// True when the pattern contains no wildcards at all (so LIKE degenerates to
+/// equality against the unescaped literal).
+pub fn is_exact(pattern: &str, escape: Option<char>) -> bool {
+    compile(pattern, escape)
+        .iter()
+        .all(|t| matches!(t, PatTok::Lit(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_wildcards() {
+        assert!(like_match("hello", "hello", None));
+        assert!(like_match("hello", "h%", None));
+        assert!(like_match("hello", "%o", None));
+        assert!(like_match("hello", "%ell%", None));
+        assert!(like_match("hello", "h_llo", None));
+        assert!(!like_match("hello", "h_lo", None));
+        assert!(!like_match("hello", "hello!", None));
+    }
+
+    #[test]
+    fn percent_matches_empty() {
+        assert!(like_match("", "%", None));
+        assert!(like_match("a", "%a%", None));
+        assert!(like_match("a", "a%", None));
+    }
+
+    #[test]
+    fn underscore_needs_exactly_one() {
+        assert!(!like_match("", "_", None));
+        assert!(like_match("ab", "__", None));
+        assert!(!like_match("a", "__", None));
+    }
+
+    #[test]
+    fn paper_examples() {
+        // From §3.1.3: product_name LIKE 'bikes%'
+        assert!(like_match("bikes", "bikes%", None));
+        assert!(like_match("bikes for kids", "bikes%", None));
+        assert!(!like_match("mountain bikes", "bikes%", None));
+        // From Appendix A: url LIKE '%ib%'
+        assert!(like_match("http://www.ibm.com", "%ib%", None));
+        assert!(!like_match("http://www.example.com", "%ib%", None));
+    }
+
+    #[test]
+    fn escape_character() {
+        assert!(like_match("100%", "100!%", Some('!')));
+        assert!(!like_match("100x", "100!%", Some('!')));
+        assert!(like_match("a_b", "a!_b", Some('!')));
+        assert!(!like_match("axb", "a!_b", Some('!')));
+        // Escaped escape char.
+        assert!(like_match("a!b", "a!!b", Some('!')));
+    }
+
+    #[test]
+    fn backtracking_torture() {
+        let text = "a".repeat(64) + "b";
+        assert!(like_match(&text, "%a%a%a%b", None));
+        assert!(!like_match(&"a".repeat(64), "%a%a%a%b", None));
+    }
+
+    #[test]
+    fn consecutive_percents_collapse() {
+        assert!(like_match("xy", "x%%%%y", None));
+    }
+
+    #[test]
+    fn multibyte_chars_count_as_one() {
+        assert!(like_match("héllo", "h_llo", None));
+        assert!(like_match("☃", "_", None));
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        assert_eq!(literal_prefix("bikes%", None), "bikes");
+        assert_eq!(literal_prefix("%ib%", None), "");
+        assert_eq!(literal_prefix("a!%b%", Some('!')), "a%b");
+        assert_eq!(literal_prefix("plain", None), "plain");
+    }
+
+    #[test]
+    fn exactness() {
+        assert!(is_exact("plain", None));
+        assert!(is_exact("100!%", Some('!')));
+        assert!(!is_exact("a%", None));
+        assert!(!is_exact("a_", None));
+    }
+}

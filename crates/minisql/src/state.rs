@@ -1,0 +1,279 @@
+//! Shared database state: tables, heaps and indexes.
+//!
+//! One [`DbState`] is the unit the catalog lock protects. Statements execute
+//! against a `&DbState` (queries) or `&mut DbState` (DML/DDL); the
+//! [`crate::db`] layer handles locking and transactions on top.
+
+use crate::error::{SqlCode, SqlError, SqlResult};
+use crate::index::Index;
+use crate::schema::TableSchema;
+use crate::storage::{Heap, Row, RowId};
+use std::collections::HashMap;
+
+/// A table: schema, heap and the names of its indexes.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// The table schema.
+    pub schema: TableSchema,
+    /// Row storage.
+    pub heap: Heap,
+    /// Names (lowercased) of indexes over this table.
+    pub index_names: Vec<String>,
+}
+
+/// Every table and index in the database.
+#[derive(Debug, Default, Clone)]
+pub struct DbState {
+    /// Tables keyed by lowercased name.
+    pub tables: HashMap<String, TableData>,
+    /// Indexes keyed by lowercased name.
+    pub indexes: HashMap<String, Index>,
+}
+
+impl DbState {
+    /// Case-insensitive table lookup.
+    pub fn table(&self, name: &str) -> SqlResult<&TableData> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::no_such_table(name))
+    }
+
+    /// Case-insensitive mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut TableData> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::no_such_table(name))
+    }
+
+    /// The first index over `table` whose column ordinal is `column`.
+    pub fn index_on(&self, table: &str, column: usize) -> Option<&Index> {
+        let t = self.tables.get(&table.to_ascii_lowercase())?;
+        t.index_names
+            .iter()
+            .filter_map(|n| self.indexes.get(n))
+            .find(|i| i.column == column)
+    }
+
+    /// Insert a validated row into `table`, maintaining every index.
+    ///
+    /// On a uniqueness violation the row and any partial index entries are
+    /// backed out, leaving the state unchanged.
+    pub fn insert_row(&mut self, table: &str, row: Row) -> SqlResult<RowId> {
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| SqlError::no_such_table(table))?;
+        let index_names = t.index_names.clone();
+        let id = t.heap.insert(row);
+        let row_ref = t.heap.get(id).expect("just inserted").clone();
+        let mut done: Vec<String> = Vec::new();
+        for name in &index_names {
+            let idx = self.indexes.get_mut(name).expect("catalog consistency");
+            let value = row_ref.get(idx.column).cloned().unwrap_or_default_null();
+            if let Err(e) = idx.insert(&value, id) {
+                // Back out.
+                for undo_name in &done {
+                    let undo_idx = self.indexes.get_mut(undo_name).unwrap();
+                    let v = row_ref
+                        .get(undo_idx.column)
+                        .cloned()
+                        .unwrap_or_default_null();
+                    undo_idx.remove(&v, id);
+                }
+                self.tables.get_mut(&key).unwrap().heap.delete(id);
+                return Err(e);
+            }
+            done.push(name.clone());
+        }
+        Ok(id)
+    }
+
+    /// Delete a row by id, maintaining indexes. Returns the old image.
+    pub fn delete_row(&mut self, table: &str, id: RowId) -> SqlResult<Option<Row>> {
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| SqlError::no_such_table(table))?;
+        let index_names = t.index_names.clone();
+        let Some(old) = t.heap.delete(id) else {
+            return Ok(None);
+        };
+        for name in &index_names {
+            let idx = self.indexes.get_mut(name).expect("catalog consistency");
+            let value = old.get(idx.column).cloned().unwrap_or_default_null();
+            idx.remove(&value, id);
+        }
+        Ok(Some(old))
+    }
+
+    /// Replace a row in place, maintaining indexes. Returns the old image.
+    ///
+    /// On a uniqueness violation the old row is restored.
+    pub fn update_row(&mut self, table: &str, id: RowId, new: Row) -> SqlResult<Row> {
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| SqlError::no_such_table(table))?;
+        let index_names = t.index_names.clone();
+        let old = t.heap.update(id, new.clone()).ok_or_else(|| {
+            SqlError::new(SqlCode::UNDEFINED_OBJECT, "row vanished during update")
+        })?;
+        // Re-key each index whose column changed.
+        let mut rekeyed: Vec<String> = Vec::new();
+        for name in &index_names {
+            let idx = self.indexes.get_mut(name).expect("catalog consistency");
+            let old_v = old.get(idx.column).cloned().unwrap_or_default_null();
+            let new_v = new.get(idx.column).cloned().unwrap_or_default_null();
+            if old_v == new_v {
+                continue;
+            }
+            idx.remove(&old_v, id);
+            if let Err(e) = idx.insert(&new_v, id) {
+                // Restore this index and all previously rekeyed ones.
+                idx.insert(&old_v, id).expect("restore old key");
+                for undo_name in &rekeyed {
+                    let undo_idx = self.indexes.get_mut(undo_name).unwrap();
+                    let o = old.get(undo_idx.column).cloned().unwrap_or_default_null();
+                    let n = new.get(undo_idx.column).cloned().unwrap_or_default_null();
+                    undo_idx.remove(&n, id);
+                    undo_idx.insert(&o, id).expect("restore old key");
+                }
+                self.tables
+                    .get_mut(&key)
+                    .unwrap()
+                    .heap
+                    .update(id, old.clone());
+                return Err(e);
+            }
+            rekeyed.push(name.clone());
+        }
+        Ok(old)
+    }
+
+    /// Restore a previously deleted row at its original id (rollback path).
+    pub fn restore_row(&mut self, table: &str, id: RowId, row: Row) -> SqlResult<()> {
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| SqlError::no_such_table(table))?;
+        let index_names = t.index_names.clone();
+        t.heap.restore(id, row.clone());
+        for name in &index_names {
+            let idx = self.indexes.get_mut(name).expect("catalog consistency");
+            let value = row.get(idx.column).cloned().unwrap_or_default_null();
+            idx.insert(&value, id)
+                .expect("restored row cannot violate uniqueness");
+        }
+        Ok(())
+    }
+}
+
+/// `Option<Value>` → `Value` treating absence as NULL (short rows never occur
+/// in practice; this keeps index maintenance total).
+trait OrNull {
+    fn unwrap_or_default_null(self) -> crate::types::Value;
+}
+
+impl OrNull for Option<crate::types::Value> {
+    fn unwrap_or_default_null(self) -> crate::types::Value {
+        self.unwrap_or(crate::types::Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnDef;
+    use crate::types::{SqlType, Value};
+
+    fn state_with_table() -> DbState {
+        let mut st = DbState::default();
+        let schema = TableSchema::from_defs(
+            "t",
+            &[
+                ColumnDef {
+                    name: "id".into(),
+                    ty: SqlType::Integer,
+                    not_null: true,
+                    primary_key: true,
+                    unique: false,
+                },
+                ColumnDef {
+                    name: "name".into(),
+                    ty: SqlType::Varchar,
+                    not_null: false,
+                    primary_key: false,
+                    unique: false,
+                },
+            ],
+        )
+        .unwrap();
+        st.tables.insert(
+            "t".into(),
+            TableData {
+                schema,
+                heap: Heap::new(),
+                index_names: vec!["t_pk".into()],
+            },
+        );
+        st.indexes
+            .insert("t_pk".into(), Index::new("t_pk", "t", 0, true));
+        st
+    }
+
+    fn row(id: i64, name: &str) -> Row {
+        vec![Value::Int(id), Value::Text(name.into())]
+    }
+
+    #[test]
+    fn insert_maintains_unique_index() {
+        let mut st = state_with_table();
+        st.insert_row("t", row(1, "a")).unwrap();
+        let err = st.insert_row("t", row(1, "b")).unwrap_err();
+        assert_eq!(err.code, SqlCode::DUPLICATE_KEY);
+        // The failed insert must not leave a ghost row.
+        assert_eq!(st.table("t").unwrap().heap.len(), 1);
+    }
+
+    #[test]
+    fn update_rekeys_index_and_rolls_back_on_conflict() {
+        let mut st = state_with_table();
+        let a = st.insert_row("t", row(1, "a")).unwrap();
+        st.insert_row("t", row(2, "b")).unwrap();
+        // Rekey 1 -> 3 is fine.
+        st.update_row("t", a, row(3, "a")).unwrap();
+        assert_eq!(st.index_on("t", 0).unwrap().lookup(&Value::Int(3)), vec![a]);
+        // Rekey 3 -> 2 collides; state must be unchanged.
+        let err = st.update_row("t", a, row(2, "a")).unwrap_err();
+        assert_eq!(err.code, SqlCode::DUPLICATE_KEY);
+        assert_eq!(st.index_on("t", 0).unwrap().lookup(&Value::Int(3)), vec![a]);
+        assert_eq!(st.table("t").unwrap().heap.get(a), Some(&row(3, "a")));
+    }
+
+    #[test]
+    fn delete_and_restore_round_trip() {
+        let mut st = state_with_table();
+        let a = st.insert_row("t", row(1, "a")).unwrap();
+        let old = st.delete_row("t", a).unwrap().unwrap();
+        assert!(st
+            .index_on("t", 0)
+            .unwrap()
+            .lookup(&Value::Int(1))
+            .is_empty());
+        st.restore_row("t", a, old).unwrap();
+        assert_eq!(st.index_on("t", 0).unwrap().lookup(&Value::Int(1)), vec![a]);
+    }
+
+    #[test]
+    fn missing_table_is_sqlcode_204() {
+        let st = DbState::default();
+        assert_eq!(
+            st.table("nope").unwrap_err().code,
+            SqlCode::UNDEFINED_OBJECT
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Row storage: a slotted in-memory heap per table.
+//!
+//! Rows live in a `Vec<Option<Row>>`; deletion leaves a tombstone so row ids
+//! stay stable for the lifetime of a table (indexes and the transaction undo
+//! log both key on [`RowId`]). A free list recycles tombstoned slots.
+
+use crate::types::Value;
+
+/// Stable identifier of a row slot within one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+/// A stored tuple.
+pub type Row = Vec<Value>;
+
+/// The heap of one table.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    slots: Vec<Option<Row>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Heap {
+    /// Empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a row, returning its id. Recycles tombstoned slots.
+    pub fn insert(&mut self, row: Row) -> RowId {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = Some(row);
+            return RowId(slot);
+        }
+        let id = self.slots.len() as u32;
+        self.slots.push(Some(row));
+        RowId(id)
+    }
+
+    /// Re-insert a row at a specific id (transaction rollback of a delete).
+    /// Panics if the slot is occupied — that would be an engine bug.
+    pub fn restore(&mut self, id: RowId, row: Row) {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        assert!(
+            self.slots[idx].is_none(),
+            "restore into occupied slot {id:?}"
+        );
+        // Remove from the free list if it was recycled there.
+        self.free.retain(|&f| f != id.0);
+        self.slots[idx] = Some(row);
+        self.live += 1;
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Replace a row, returning the old image. `None` if the slot is dead.
+    pub fn update(&mut self, id: RowId, row: Row) -> Option<Row> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        slot.as_mut().map(|r| std::mem::replace(r, row))
+    }
+
+    /// Delete a row, returning its last image.
+    pub fn delete(&mut self, id: RowId) -> Option<Row> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        let old = slot.take();
+        if old.is_some() {
+            self.live -= 1;
+            self.free.push(id.0);
+        }
+        old
+    }
+
+    /// Iterate `(RowId, &Row)` over live rows in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u32), r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: i64) -> Row {
+        vec![Value::Int(i)]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        let b = h.insert(row(2));
+        assert_ne!(a, b);
+        assert_eq!(h.get(a), Some(&row(1)));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_and_recycles() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        let _b = h.insert(row(2));
+        assert_eq!(h.delete(a), Some(row(1)));
+        assert_eq!(h.get(a), None);
+        assert_eq!(h.len(), 1);
+        // Recycled slot gets the same physical id.
+        let c = h.insert(row(3));
+        assert_eq!(c, a);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn double_delete_is_noop() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        assert!(h.delete(a).is_some());
+        assert!(h.delete(a).is_none());
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn update_returns_old_image() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        assert_eq!(h.update(a, row(9)), Some(row(1)));
+        assert_eq!(h.get(a), Some(&row(9)));
+    }
+
+    #[test]
+    fn restore_after_delete() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        h.delete(a);
+        h.restore(a, row(1));
+        assert_eq!(h.get(a), Some(&row(1)));
+        assert_eq!(h.len(), 1);
+        // The restored slot must not be handed out again by the free list.
+        let b = h.insert(row(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        h.insert(row(2));
+        h.delete(a);
+        let got: Vec<i64> = h
+            .iter()
+            .map(|(_, r)| match r[0] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![2]);
+    }
+}

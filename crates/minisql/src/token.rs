@@ -1,0 +1,425 @@
+//! SQL lexer.
+//!
+//! Tokenizes the SQL-92 subset the gateway generates: identifiers (optionally
+//! `"quoted"`), single-quoted string literals with `''` escaping, numeric
+//! literals, operators and punctuation. Keywords are recognized case-
+//! insensitively but identifiers preserve their spelling (matching is
+//! case-insensitive at the schema layer, as in DB2).
+
+use crate::error::{SqlError, SqlResult};
+use std::fmt;
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the original SQL text.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are detected by the parser).
+    Ident(String),
+    /// `"quoted identifier"` — never a keyword.
+    QuotedIdent(String),
+    /// String literal, quotes stripped and `''` unescaped.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Num(f64),
+    /// `?` positional parameter marker.
+    Param,
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Operator and punctuation symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `||` string concatenation
+    Concat,
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::Comma => ",",
+            Sym::Dot => ".",
+            Sym::Semi => ";",
+            Sym::Star => "*",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Slash => "/",
+            Sym::Percent => "%",
+            Sym::Eq => "=",
+            Sym::Ne => "<>",
+            Sym::Lt => "<",
+            Sym::Le => "<=",
+            Sym::Gt => ">",
+            Sym::Ge => ">=",
+            Sym::Concat => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Tokenize a full SQL string.
+pub fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (text, next) = lex_string(sql, i)?;
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    offset: start,
+                });
+                i = next;
+            }
+            b'"' => {
+                let (text, next) = lex_quoted_ident(sql, i)?;
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(text),
+                    offset: start,
+                });
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let (kind, next) = lex_number(sql, i)?;
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i = next;
+            }
+            b'.' if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                let (kind, next) = lex_number(sql, i)?;
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i = next;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'$')
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(sql[i..j].to_owned()),
+                    offset: start,
+                });
+                i = j;
+            }
+            b'?' => {
+                tokens.push(Token {
+                    kind: TokenKind::Param,
+                    offset: start,
+                });
+                i += 1;
+            }
+            _ => {
+                let (sym, len) = match (b, bytes.get(i + 1).copied()) {
+                    (b'<', Some(b'=')) => (Sym::Le, 2),
+                    (b'<', Some(b'>')) => (Sym::Ne, 2),
+                    (b'>', Some(b'=')) => (Sym::Ge, 2),
+                    (b'!', Some(b'=')) => (Sym::Ne, 2),
+                    (b'|', Some(b'|')) => (Sym::Concat, 2),
+                    (b'(', _) => (Sym::LParen, 1),
+                    (b')', _) => (Sym::RParen, 1),
+                    (b',', _) => (Sym::Comma, 1),
+                    (b'.', _) => (Sym::Dot, 1),
+                    (b';', _) => (Sym::Semi, 1),
+                    (b'*', _) => (Sym::Star, 1),
+                    (b'+', _) => (Sym::Plus, 1),
+                    (b'-', _) => (Sym::Minus, 1),
+                    (b'/', _) => (Sym::Slash, 1),
+                    (b'%', _) => (Sym::Percent, 1),
+                    (b'=', _) => (Sym::Eq, 1),
+                    (b'<', _) => (Sym::Lt, 1),
+                    (b'>', _) => (Sym::Gt, 1),
+                    _ => {
+                        return Err(SqlError::syntax(format!(
+                            "unexpected character {:?} at byte {i}",
+                            sql[i..].chars().next().unwrap_or('?')
+                        )))
+                    }
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Sym(sym),
+                    offset: start,
+                });
+                i += len;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(sql: &str, start: usize) -> SqlResult<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= bytes.len() {
+            return Err(SqlError::syntax(format!(
+                "unterminated string literal starting at byte {start}"
+            )));
+        }
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Copy the whole UTF-8 character.
+            let ch = sql[i..].chars().next().expect("valid utf8");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+}
+
+fn lex_quoted_ident(sql: &str, start: usize) -> SqlResult<(String, usize)> {
+    let rest = &sql[start + 1..];
+    match rest.find('"') {
+        Some(end) => Ok((rest[..end].to_owned(), start + 1 + end + 1)),
+        None => Err(SqlError::syntax(format!(
+            "unterminated quoted identifier at byte {start}"
+        ))),
+    }
+}
+
+fn lex_number(sql: &str, start: usize) -> SqlResult<(TokenKind, usize)> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !saw_dot && !saw_exp => {
+                // A trailing dot followed by non-digit ends the number
+                // (supports `tbl.col` after an integer, not that SQL allows it).
+                if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    saw_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            b'e' | b'E' if !saw_exp => {
+                let next = bytes.get(i + 1).copied();
+                let next2 = bytes.get(i + 2).copied();
+                let exp_ok = matches!(next, Some(c) if c.is_ascii_digit())
+                    || (matches!(next, Some(b'+') | Some(b'-'))
+                        && matches!(next2, Some(c) if c.is_ascii_digit()));
+                if exp_ok {
+                    saw_exp = true;
+                    i += if matches!(next, Some(b'+') | Some(b'-')) {
+                        2
+                    } else {
+                        1
+                    };
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &sql[start..i];
+    if saw_dot || saw_exp {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| SqlError::syntax(format!("bad numeric literal {text}")))?;
+        Ok((TokenKind::Num(v), i))
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Ok((TokenKind::Int(v), i)),
+            // Overflowing integers fall back to double, as DB2 DECIMAL would.
+            Err(_) => {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| SqlError::syntax(format!("bad numeric literal {text}")))?;
+                Ok((TokenKind::Num(v), i))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_select() {
+        let k = kinds("SELECT url FROM urldb WHERE title LIKE 'a%'");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(k[5], TokenKind::Ident("title".into()));
+        assert_eq!(k[7], TokenKind::Str("a%".into()));
+    }
+
+    #[test]
+    fn string_escape_doubling() {
+        assert_eq!(kinds("'O''Leary'"), vec![TokenKind::Str("O'Leary".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn numbers_int_float_exp() {
+        assert_eq!(
+            kinds("1 2.5 3e2 4.5E-1 .25"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Num(2.5),
+                TokenKind::Num(300.0),
+                TokenKind::Num(0.45),
+                TokenKind::Num(0.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_integer_becomes_double() {
+        assert_eq!(kinds("99999999999999999999").len(), 1);
+        assert!(matches!(
+            kinds("99999999999999999999")[0],
+            TokenKind::Num(_)
+        ));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= <> != ||"),
+            vec![
+                TokenKind::Sym(Sym::Le),
+                TokenKind::Sym(Sym::Ge),
+                TokenKind::Sym(Sym::Ne),
+                TokenKind::Sym(Sym::Ne),
+                TokenKind::Sym(Sym::Concat),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- everything\n 1"),
+            vec![TokenKind::Ident("SELECT".into()), TokenKind::Int(1)]
+        );
+    }
+
+    #[test]
+    fn qualified_name_tokens() {
+        assert_eq!(
+            kinds("urldb.title"),
+            vec![
+                TokenKind::Ident("urldb".into()),
+                TokenKind::Sym(Sym::Dot),
+                TokenKind::Ident("title".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(
+            kinds(r#""Select""#),
+            vec![TokenKind::QuotedIdent("Select".into())]
+        );
+    }
+
+    #[test]
+    fn param_marker() {
+        assert_eq!(
+            kinds("id = ?"),
+            vec![
+                TokenKind::Ident("id".into()),
+                TokenKind::Sym(Sym::Eq),
+                TokenKind::Param
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT ^").is_err());
+    }
+
+    #[test]
+    fn utf8_in_strings() {
+        assert_eq!(kinds("'héllo ☃'"), vec![TokenKind::Str("héllo ☃".into())]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Integration tests for the richer SQL surface: subqueries, set operations,
+//! EXPLAIN, and the extended scalar function library — everything exercised
+//! through the full text → parse → plan → execute path.
+
+use minisql::{Database, ExecResult, SqlCode, Value};
+
+fn db() -> Database {
+    let db = Database::new();
+    db.run_script(
+        "CREATE TABLE customers (custid INTEGER PRIMARY KEY, name VARCHAR(60), region VARCHAR(10));
+         CREATE TABLE orders (orderid INTEGER PRIMARY KEY, custid INTEGER, amount DOUBLE);
+         CREATE INDEX orders_cust ON orders (custid);
+         INSERT INTO customers VALUES
+           (1, 'Ada', 'west'), (2, 'Bob', 'east'), (3, 'Cyn', 'west'), (4, 'Dee', 'north');
+         INSERT INTO orders VALUES
+           (100, 1, 25.0), (101, 1, 75.0), (102, 2, 10.0), (103, 3, 300.0);",
+    )
+    .unwrap();
+    db
+}
+
+fn rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    let mut conn = db.connect();
+    match conn.execute(sql).unwrap() {
+        ExecResult::Rows(rs) => rs.rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+fn texts(db: &Database, sql: &str) -> Vec<String> {
+    rows(db, sql)
+        .into_iter()
+        .map(|r| r[0].to_display_string())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Subqueries
+// ---------------------------------------------------------------------------
+
+#[test]
+fn in_subquery() {
+    let db = db();
+    assert_eq!(
+        texts(
+            &db,
+            "SELECT name FROM customers WHERE custid IN (SELECT custid FROM orders) ORDER BY name"
+        ),
+        vec!["Ada", "Bob", "Cyn"]
+    );
+    assert_eq!(
+        texts(
+            &db,
+            "SELECT name FROM customers WHERE custid NOT IN (SELECT custid FROM orders)"
+        ),
+        vec!["Dee"]
+    );
+}
+
+#[test]
+fn scalar_subquery() {
+    let db = db();
+    assert_eq!(
+        rows(&db, "SELECT (SELECT MAX(amount) FROM orders)"),
+        vec![vec![Value::Double(300.0)]]
+    );
+    // Zero rows -> NULL.
+    assert_eq!(
+        rows(
+            &db,
+            "SELECT (SELECT amount FROM orders WHERE orderid = 999)"
+        ),
+        vec![vec![Value::Null]]
+    );
+    // Comparison against a scalar subquery in WHERE.
+    assert_eq!(
+        texts(
+            &db,
+            "SELECT name FROM customers WHERE custid = (SELECT custid FROM orders WHERE amount = 300.0)"
+        ),
+        vec!["Cyn"]
+    );
+}
+
+#[test]
+fn scalar_subquery_multi_row_is_error() {
+    let db = db();
+    let mut conn = db.connect();
+    let err = conn
+        .execute("SELECT (SELECT custid FROM orders)")
+        .unwrap_err();
+    assert_eq!(err.code, SqlCode::SYNTAX);
+    assert!(err.message.contains("scalar subquery returned"));
+}
+
+#[test]
+fn exists_and_not_exists() {
+    let db = db();
+    assert_eq!(
+        rows(
+            &db,
+            "SELECT 1 FROM customers WHERE EXISTS (SELECT 1 FROM orders) LIMIT 1"
+        )
+        .len(),
+        1
+    );
+    assert!(rows(
+        &db,
+        "SELECT 1 FROM customers WHERE NOT EXISTS (SELECT 1 FROM orders)"
+    )
+    .is_empty());
+    assert!(rows(
+        &db,
+        "SELECT 1 WHERE EXISTS (SELECT 1 FROM orders WHERE amount > 1000)"
+    )
+    .is_empty());
+}
+
+#[test]
+fn correlated_subquery_rejected_cleanly() {
+    let db = db();
+    let mut conn = db.connect();
+    let err = conn
+        .execute(
+            "SELECT name FROM customers c \
+             WHERE EXISTS (SELECT 1 FROM orders o WHERE o.custid = c.custid)",
+        )
+        .unwrap_err();
+    // The inner query cannot resolve c.custid: surfaced as unknown column.
+    assert_eq!(err.code, SqlCode::UNDEFINED_COLUMN);
+}
+
+#[test]
+fn subquery_in_dml() {
+    let db = db();
+    let mut conn = db.connect();
+    // DELETE customers with no orders.
+    let r = conn
+        .execute("DELETE FROM customers WHERE custid NOT IN (SELECT custid FROM orders)")
+        .unwrap();
+    assert_eq!(r, ExecResult::Count(1));
+    // UPDATE using a scalar subquery on the right-hand side.
+    conn.execute("UPDATE orders SET amount = (SELECT MAX(amount) FROM orders) WHERE orderid = 102")
+        .unwrap();
+    assert_eq!(
+        rows(&db, "SELECT amount FROM orders WHERE orderid = 102"),
+        vec![vec![Value::Double(300.0)]]
+    );
+    // INSERT with a scalar subquery value.
+    conn.execute("INSERT INTO orders VALUES (200, 1, (SELECT MIN(amount) FROM orders))")
+        .unwrap();
+    assert_eq!(
+        rows(&db, "SELECT amount FROM orders WHERE orderid = 200"),
+        vec![vec![Value::Double(25.0)]]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Set operations
+// ---------------------------------------------------------------------------
+
+#[test]
+fn union_dedups_union_all_does_not() {
+    let db = db();
+    let distinct = texts(
+        &db,
+        "SELECT region FROM customers UNION SELECT region FROM customers ORDER BY 1",
+    );
+    assert_eq!(distinct, vec!["east", "north", "west"]);
+    let all = texts(
+        &db,
+        "SELECT region FROM customers UNION ALL SELECT region FROM customers",
+    );
+    assert_eq!(all.len(), 8);
+}
+
+#[test]
+fn except_and_intersect() {
+    let db = db();
+    assert_eq!(
+        texts(
+            &db,
+            "SELECT custid FROM customers EXCEPT SELECT custid FROM orders ORDER BY 1"
+        ),
+        vec!["4"]
+    );
+    assert_eq!(
+        texts(
+            &db,
+            "SELECT custid FROM customers INTERSECT SELECT custid FROM orders ORDER BY 1"
+        ),
+        vec!["1", "2", "3"]
+    );
+}
+
+#[test]
+fn union_order_by_applies_to_whole() {
+    let db = db();
+    let got = texts(
+        &db,
+        "SELECT name FROM customers WHERE region = 'west' \
+         UNION SELECT name FROM customers WHERE region = 'east' \
+         ORDER BY name DESC LIMIT 2",
+    );
+    assert_eq!(got, vec!["Cyn", "Bob"]);
+}
+
+#[test]
+fn union_column_count_mismatch_errors() {
+    let db = db();
+    let mut conn = db.connect();
+    assert!(conn
+        .execute("SELECT custid FROM customers UNION SELECT custid, name FROM customers")
+        .is_err());
+}
+
+#[test]
+fn interior_order_by_rejected() {
+    let db = db();
+    let mut conn = db.connect();
+    assert!(conn
+        .execute("SELECT name FROM customers ORDER BY 1 UNION SELECT name FROM customers")
+        .is_err());
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explain_shows_index_probe_vs_scan() {
+    let db = db();
+    let probe = texts(&db, "EXPLAIN SELECT * FROM orders WHERE custid = 1");
+    assert!(
+        probe[0].contains("INDEX equality PROBE orders_cust"),
+        "{probe:?}"
+    );
+    let scan = texts(&db, "EXPLAIN SELECT * FROM orders WHERE amount > 50");
+    assert!(scan[0].contains("FULL SCAN orders (4 rows)"), "{scan:?}");
+}
+
+#[test]
+fn explain_like_prefix_probe() {
+    let db = db();
+    db.run_script("CREATE INDEX cust_name ON customers (name)")
+        .unwrap();
+    let probe = texts(&db, "EXPLAIN SELECT * FROM customers WHERE name LIKE 'A%'");
+    assert!(
+        probe[0].contains("INDEX prefix PROBE cust_name"),
+        "{probe:?}"
+    );
+    // Leading wildcard: no probe possible.
+    let scan = texts(&db, "EXPLAIN SELECT * FROM customers WHERE name LIKE '%a%'");
+    assert!(scan[0].contains("FULL SCAN"), "{scan:?}");
+}
+
+#[test]
+fn explain_describes_operators() {
+    let db = db();
+    let plan = texts(
+        &db,
+        "EXPLAIN SELECT region, COUNT(*) FROM customers c JOIN orders o ON c.custid = o.custid \
+         WHERE amount > 1 GROUP BY region HAVING COUNT(*) > 0 ORDER BY 2 LIMIT 3",
+    );
+    let joined = plan.join("\n");
+    assert!(joined.contains("NESTED LOOP JOIN orders"), "{joined}");
+    assert!(joined.contains("FILTER <where>"), "{joined}");
+    assert!(joined.contains("AGGREGATE (group keys: 1)"), "{joined}");
+    assert!(joined.contains("FILTER <having>"), "{joined}");
+    assert!(joined.contains("SORT (1 keys)"), "{joined}");
+    assert!(joined.contains("LIMIT 3"), "{joined}");
+}
+
+#[test]
+fn explain_does_not_execute_dml() {
+    let db = db();
+    let plan = texts(&db, "EXPLAIN DELETE FROM orders WHERE amount > 0");
+    assert!(plan[0].contains("DELETE FROM orders"), "{plan:?}");
+    assert_eq!(db.table_len("orders").unwrap(), 4); // nothing deleted
+}
+
+#[test]
+fn explain_set_operation() {
+    let db = db();
+    let plan = texts(
+        &db,
+        "EXPLAIN SELECT custid FROM customers UNION SELECT custid FROM orders",
+    );
+    assert!(plan[0].contains("SET OPERATION (2 branches)"), "{plan:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Extended scalar functions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn string_function_library() {
+    let db = db();
+    assert_eq!(
+        rows(&db, "SELECT REPLACE('banana', 'an', 'AN')"),
+        vec![vec![Value::Text("bANANa".into())]]
+    );
+    assert_eq!(
+        rows(
+            &db,
+            "SELECT POSITION('na', 'banana'), POSITION('x', 'banana')"
+        ),
+        vec![vec![Value::Int(3), Value::Int(0)]]
+    );
+    assert_eq!(
+        rows(&db, "SELECT LEFT('banana', 3), RIGHT('banana', 2)"),
+        vec![vec![Value::Text("ban".into()), Value::Text("na".into())]]
+    );
+    assert_eq!(
+        rows(&db, "SELECT CONCAT('a', 1, 'b')"),
+        vec![vec![Value::Text("a1b".into())]]
+    );
+    assert_eq!(
+        rows(&db, "SELECT CONCAT('a', NULL)"),
+        vec![vec![Value::Null]]
+    );
+}
+
+#[test]
+fn numeric_function_library() {
+    let db = db();
+    assert_eq!(
+        rows(&db, "SELECT SIGN(-9), SIGN(0), SIGN(2.5)"),
+        vec![vec![Value::Int(-1), Value::Int(0), Value::Int(1)]]
+    );
+    assert_eq!(
+        rows(&db, "SELECT FLOOR(2.7), CEIL(2.1)"),
+        vec![vec![Value::Double(2.0), Value::Double(3.0)]]
+    );
+}
+
+#[test]
+fn functions_usable_in_where_and_order() {
+    let db = db();
+    assert_eq!(
+        texts(
+            &db,
+            "SELECT name FROM customers WHERE POSITION('e', name) > 0 ORDER BY RIGHT(name, 1)"
+        ),
+        vec!["Dee"]
+    );
+}
+
+#[test]
+fn multibyte_position_is_character_based() {
+    let db = db();
+    assert_eq!(
+        rows(&db, "SELECT POSITION('llo', 'héllo')"),
+        vec![vec![Value::Int(3)]]
+    );
+}

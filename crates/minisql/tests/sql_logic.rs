@@ -1,0 +1,149 @@
+//! A sqllogictest-style golden corpus runner.
+//!
+//! Each `tests/data/*.slt` file is a sequence of records separated by blank
+//! lines, executed on one connection in order:
+//!
+//! ```text
+//! statement ok          # must succeed
+//! CREATE TABLE t (a INT)
+//!
+//! statement error       # must fail (optionally: statement error -204)
+//! CREATE TABLE t (a INT)
+//!
+//! statement count 2     # DML touching exactly 2 rows
+//! UPDATE t SET a = 0
+//!
+//! query                 # rows below ---- must match exactly, in order;
+//! SELECT a FROM t       # cells joined with |, NULL spelled NULL
+//! ----
+//! 1
+//! 2
+//! ```
+//!
+//! Lines starting with `#` are comments. The corpus is the behavioural
+//! contract of the SQL substrate; grow it whenever a bug is fixed.
+
+use minisql::{Database, ExecResult};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn run_file(name: &str, content: &str) {
+    let db = Database::new();
+    let mut conn = db.connect();
+    let mut failures = String::new();
+
+    for (record_no, record) in split_records(content).into_iter().enumerate() {
+        let mut lines = record.lines().peekable();
+        let directive = lines.next().expect("records are non-empty").trim();
+        let rest: Vec<&str> = lines.collect();
+        let (sql_lines, expected): (Vec<&str>, Option<Vec<&str>>) =
+            match rest.iter().position(|l| l.trim() == "----") {
+                Some(split) => (rest[..split].to_vec(), Some(rest[split + 1..].to_vec())),
+                None => (rest, None),
+            };
+        let sql = sql_lines.join("\n");
+        let label = format!("{name} record #{0} ({directive}): {sql}", record_no + 1);
+
+        if directive == "statement ok" {
+            if let Err(e) = conn.execute(&sql) {
+                writeln!(failures, "{label}\n  expected success, got {e}").unwrap();
+            }
+        } else if let Some(code_text) = directive.strip_prefix("statement error") {
+            // Optional SQLCODE: `statement error -204` pins the exact code.
+            let want_code: Option<i32> = code_text.trim().parse().ok();
+            match (conn.execute(&sql), want_code) {
+                (Ok(_), _) => {
+                    writeln!(failures, "{label}\n  expected an error, got success").unwrap();
+                }
+                (Err(e), Some(want)) if e.code.0 != want => {
+                    writeln!(
+                        failures,
+                        "{label}\n  expected SQLCODE {want}, got {} ({})",
+                        e.code.0, e.message
+                    )
+                    .unwrap();
+                }
+                (Err(_), _) => {}
+            }
+        } else if let Some(n) = directive.strip_prefix("statement count ") {
+            let want: usize = n.trim().parse().expect("count directive");
+            match conn.execute(&sql) {
+                Ok(ExecResult::Count(got)) if got == want => {}
+                Ok(other) => {
+                    writeln!(failures, "{label}\n  expected Count({want}), got {other:?}").unwrap();
+                }
+                Err(e) => writeln!(failures, "{label}\n  expected Count({want}), got {e}").unwrap(),
+            }
+        } else if directive == "query" {
+            let expected = expected.unwrap_or_default();
+            match conn.execute(&sql) {
+                Ok(ExecResult::Rows(rs)) => {
+                    let got: Vec<String> = rs
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .map(|v| {
+                                    if v.is_null() {
+                                        "NULL".to_owned()
+                                    } else {
+                                        v.to_display_string()
+                                    }
+                                })
+                                .collect::<Vec<_>>()
+                                .join("|")
+                        })
+                        .collect();
+                    let want: Vec<String> = expected.iter().map(|l| l.to_string()).collect();
+                    if got != want {
+                        writeln!(failures, "{label}\n  expected {want:?}\n  got      {got:?}")
+                            .unwrap();
+                    }
+                }
+                Ok(other) => writeln!(failures, "{label}\n  expected rows, got {other:?}").unwrap(),
+                Err(e) => writeln!(failures, "{label}\n  query failed: {e}").unwrap(),
+            }
+        } else {
+            panic!("{name}: unknown directive {directive:?}");
+        }
+    }
+    assert!(failures.is_empty(), "\n{failures}");
+}
+
+fn split_records(content: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    for line in content.lines() {
+        let is_comment = line.trim_start().starts_with('#');
+        if line.trim().is_empty() {
+            if !current.trim().is_empty() {
+                records.push(std::mem::take(&mut current));
+            }
+            current.clear();
+        } else if !is_comment {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    if !current.trim().is_empty() {
+        records.push(current);
+    }
+    records
+}
+
+#[test]
+fn corpus() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/data exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "slt"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .slt files in {dir:?}");
+    for file in files {
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        let content = std::fs::read_to_string(&file).expect("readable corpus file");
+        run_file(&name, &content);
+    }
+}

@@ -1,0 +1,134 @@
+//! Synthetic text generation from a fixed 1996-flavoured vocabulary.
+
+use rand::Rng;
+
+/// Word pool used for titles and descriptions. Deliberately includes the
+/// substrings the paper's examples search for (`ib`, `bikes`).
+pub const WORDS: &[&str] = &[
+    "ibm",
+    "library",
+    "internet",
+    "gateway",
+    "database",
+    "server",
+    "mosaic",
+    "netscape",
+    "research",
+    "webcrawler",
+    "archive",
+    "bikes",
+    "helmets",
+    "skates",
+    "catalog",
+    "order",
+    "product",
+    "support",
+    "software",
+    "download",
+    "university",
+    "observatory",
+    "systems",
+    "pages",
+    "index",
+    "home",
+    "public",
+    "information",
+    "network",
+    "technology",
+    "science",
+    "laboratory",
+    "engineering",
+    "press",
+    "news",
+    "weather",
+    "travel",
+    "music",
+    "games",
+    "fibre",
+    "exhibit",
+];
+
+/// Top-level domains of the era.
+pub const TLDS: &[&str] = &["com", "edu", "org", "gov", "net", "mil"];
+
+/// A random word from the pool.
+pub fn word<R: Rng>(rng: &mut R) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// A capitalized title of `n` words.
+pub fn title<R: Rng>(rng: &mut R, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        let w = word(rng);
+        let mut chars = w.chars();
+        if let Some(first) = chars.next() {
+            out.extend(first.to_uppercase());
+            out.push_str(chars.as_str());
+        }
+    }
+    out
+}
+
+/// A sentence of `n` lowercase words ending with a period.
+pub fn sentence<R: Rng>(rng: &mut R, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(word(rng));
+    }
+    out.push('.');
+    out
+}
+
+/// A plausible 1996 URL, unique per `serial`.
+pub fn url<R: Rng>(rng: &mut R, serial: usize) -> String {
+    let host = word(rng);
+    let tld = TLDS[rng.gen_range(0..TLDS.len())];
+    match rng.gen_range(0..3) {
+        0 => format!("http://www.{host}{serial}.{tld}"),
+        1 => format!("http://www.{host}{serial}.{tld}/{}", word(rng)),
+        _ => format!("http://{host}{serial}.{tld}/~{}/index.html", word(rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::rng;
+
+    #[test]
+    fn title_capitalized_with_n_words() {
+        let mut r = rng(7);
+        let t = title(&mut r, 3);
+        assert_eq!(t.split(' ').count(), 3);
+        assert!(t.chars().next().unwrap().is_uppercase());
+    }
+
+    #[test]
+    fn sentence_ends_with_period() {
+        let mut r = rng(7);
+        assert!(sentence(&mut r, 5).ends_with('.'));
+    }
+
+    #[test]
+    fn urls_unique_by_serial() {
+        let mut r = rng(7);
+        let a = url(&mut r, 1);
+        let b = url(&mut r, 2);
+        assert_ne!(a, b);
+        assert!(a.starts_with("http://"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = title(&mut rng(3), 4);
+        let b = title(&mut rng(3), 4);
+        assert_eq!(a, b);
+    }
+}

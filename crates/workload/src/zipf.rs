@@ -1,0 +1,98 @@
+//! Zipf-distributed sampling for skewed access patterns.
+//!
+//! Web directory lookups are famously skewed — a few popular pages draw most
+//! traffic. The concurrency and end-to-end benches use this sampler to pick
+//! search keys.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n` via inverse-CDF table lookup.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build for `n` items with exponent `alpha` (α = 0 is uniform; α ≈ 1 is
+    /// classic Zipf). Panics if `n == 0`.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating rounding at the top end.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Sample a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty (constructor asserts), but provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::rng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = rng(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_alpha_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng(2);
+        let mut head = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        // Top 10 of 100 ranks draw well over half the traffic at α=1.
+        assert!(head > N / 2, "head draws {head}/{N}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(3, 1.5);
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

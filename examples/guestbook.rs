@@ -1,0 +1,89 @@
+//! A read-write application: a guestbook with the §5 transaction modes.
+//!
+//! ```sh
+//! cargo run --example guestbook
+//! ```
+//!
+//! The macro INSERTs two rows per signing (the entry plus an audit record)
+//! and then lists the book. The example signs it twice, then submits a bad
+//! signing (missing name) under each transaction mode to show the observable
+//! difference: auto-commit keeps the audit row, single-transaction rolls
+//! both statements back.
+
+use dbgw_cgi::{CgiRequest, Gateway};
+use dbgw_core::{EngineConfig, TxnMode};
+
+const MACRO: &str = r#"%DEFINE nm = NAME ? "'$(NAME)'" : "NULL"
+%SQL{ INSERT INTO audit (note) VALUES ('signed by $(NAME)') %}
+%SQL{ INSERT INTO guest (name, message) VALUES ($(nm), '$(MESSAGE)') %}
+%SQL(list){ SELECT name, message FROM guest ORDER BY name
+%SQL_REPORT{<H2>The book so far</H2><UL>
+%ROW{<LI><B>$(V_name)</B> wrote: $(V_message)
+%}</UL>
+%}
+%SQL_MESSAGE{ 100 : "<P>The book is empty.</P>" : continue %}
+%}
+%HTML_INPUT{<H1>Guestbook</H1>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/guestbook.d2w/report">
+Name: <INPUT NAME="NAME">
+Message: <INPUT NAME="MESSAGE" SIZE=40>
+<INPUT TYPE="submit" VALUE="Sign">
+</FORM>
+%}
+%HTML_REPORT{<H1>Thanks for signing!</H1>
+%EXEC_SQL
+%EXEC_SQL(list)
+%}"#;
+
+fn database() -> minisql::Database {
+    let db = minisql::Database::new();
+    db.run_script(
+        "CREATE TABLE guest (name VARCHAR(40) NOT NULL, message VARCHAR(200));
+         CREATE TABLE audit (note VARCHAR(250));",
+    )
+    .expect("schema");
+    db
+}
+
+fn sign(gw: &Gateway, body: &str) -> String {
+    gw.handle(&CgiRequest::post("/guestbook.d2w/report", body))
+        .body
+}
+
+fn main() {
+    for mode in [TxnMode::AutoCommit, TxnMode::SingleTransaction] {
+        println!("==================== {mode:?} ====================");
+        let db = database();
+        let gw = Gateway::with_config(
+            db.clone(),
+            EngineConfig {
+                txn_mode: mode,
+                ..EngineConfig::default()
+            },
+        );
+        gw.add_macro("guestbook.d2w", MACRO).expect("macro parses");
+
+        // Two good signings.
+        sign(&gw, "NAME=Ada&MESSAGE=lovely+gateway");
+        let page = sign(&gw, "NAME=Tam&MESSAGE=macros+ftw");
+        println!("{page}");
+
+        // A bad signing: no NAME, so the second INSERT violates NOT NULL.
+        let page = sign(&gw, "MESSAGE=anonymous+grumbling");
+        let error_line = page
+            .lines()
+            .find(|l| l.contains("SQL error"))
+            .unwrap_or("(no error?)");
+        println!("bad signing -> {error_line}");
+        println!(
+            "after failure: {} guest rows, {} audit rows  ({})",
+            db.table_len("guest").unwrap(),
+            db.table_len("audit").unwrap(),
+            match mode {
+                TxnMode::AutoCommit => "audit kept: each statement its own txn",
+                TxnMode::SingleTransaction => "audit rolled back with the failure",
+            }
+        );
+        println!();
+    }
+}

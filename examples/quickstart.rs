@@ -1,0 +1,78 @@
+//! Quickstart: parse a macro, process it in both modes, print the pages.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Demonstrates the complete pipeline on one screen of code: an in-memory
+//! database, a macro with all four section kinds, input mode (the form) and
+//! report mode (substitution + SQL + custom report).
+
+use dbgw_cgi::MiniSqlDatabase;
+use dbgw_core::{parse_macro, Engine, Mode};
+
+const MACRO: &str = r#"%DEFINE{
+  dbtbl = "parts"
+  %LIST " AND " conds
+  conds = PART ? "name LIKE '$(PART)%'" : ""
+  conds = MAXPRICE ? "price <= $(MAXPRICE)" : ""
+  where_clause = ? "WHERE $(conds)"
+%}
+%SQL{
+SELECT name, price FROM $(dbtbl) $(where_clause) ORDER BY price
+%SQL_REPORT{
+<H2>Matching parts ($(NLIST))</H2>
+<OL>
+%ROW{<LI>$(V_name) at $(V_price)
+%}</OL>
+<P>$(ROW_NUM) part(s) found.</P>
+%}
+%}
+%HTML_INPUT{<H1>Part search</H1>
+<FORM METHOD="get" ACTION="/cgi-bin/db2www/parts.d2w/report">
+Name prefix: <INPUT NAME="PART">
+Max price: <INPUT NAME="MAXPRICE">
+<INPUT TYPE="submit" VALUE="Search">
+</FORM>
+%}
+%HTML_REPORT{%EXEC_SQL%}"#;
+
+fn main() {
+    // 1. A database — MiniSQL stands in for DB2.
+    let db = minisql::Database::new();
+    db.run_script(
+        "CREATE TABLE parts (name VARCHAR(40), price DOUBLE);
+         INSERT INTO parts VALUES
+            ('bolt', 0.10), ('bearing', 2.50), ('belt', 7.95),
+            ('bracket', 1.25), ('gear', 12.00);",
+    )
+    .expect("schema + data");
+
+    // 2. The macro.
+    let mac = parse_macro(MACRO).expect("macro parses");
+    let engine = Engine::new();
+
+    // 3. Input mode: render the fill-in form (no SQL executes).
+    let form = engine.process_input(&mac, &[]).expect("input mode");
+    println!("=== input mode (the fill-in form) ===\n{form}");
+
+    // 4. Report mode: the user typed PART=b, MAXPRICE=5 — watch the
+    //    conditional WHERE assemble, and the custom report render.
+    let inputs = vec![
+        ("PART".to_string(), "b".to_string()),
+        ("MAXPRICE".to_string(), "5".to_string()),
+        ("SHOWSQL".to_string(), "YES".to_string()),
+    ];
+    let mut conn = MiniSqlDatabase::connect(&db);
+    let report = engine
+        .process(&mac, Mode::Report, &inputs, &mut conn)
+        .expect("report mode");
+    println!("\n=== report mode (PART=b, MAXPRICE=5) ===\n{report}");
+
+    // 5. And with no inputs at all: the WHERE clause vanishes entirely.
+    let mut conn = MiniSqlDatabase::connect(&db);
+    let all = engine
+        .process(&mac, Mode::Report, &[], &mut conn)
+        .expect("report mode, no inputs");
+    println!("\n=== report mode (no inputs: WHERE disappears) ===\n{all}");
+}

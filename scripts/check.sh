@@ -1,0 +1,25 @@
+#!/bin/sh
+# Full verification: what CI runs, runnable locally.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== shipped macros lint clean =="
+cargo run -q -p dbgw-core --bin dtwlint -- macros/*.d2w
+
+echo "== examples build =="
+cargo build --examples
+
+echo "All checks passed."

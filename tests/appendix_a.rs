@@ -1,0 +1,145 @@
+//! F7/F8 — the complete Appendix A application, end to end.
+//!
+//! Figure 7 is the application's input form (input mode); Figure 8 its
+//! hyperlinked report (report mode). We run the verbatim-semantics macro
+//! against a small directory whose content matches the paper's screenshots
+//! (IBM pages found by the default search string "ib"), asserting:
+//!
+//! * the `$$(hidden_a)` escape hides the real column names from the end user
+//!   but round-trips through submission into the projection list,
+//! * the `%LIST " OR "` conditional WHERE assembles exactly the statement
+//!   printed in §3.1.3's style,
+//! * the custom `%SQL_REPORT` renders each row as a hyperlink with the
+//!   conditional `<br>` fields D2/D3.
+
+use dbgw_baselines::URLQUERY_MACRO;
+use dbgw_cgi::{CgiRequest, Gateway};
+
+fn paper_database() -> minisql::Database {
+    let db = minisql::Database::new();
+    db.run_script(
+        "CREATE TABLE urldb (url VARCHAR(255) NOT NULL,
+                             title VARCHAR(120),
+                             description VARCHAR(400));
+         INSERT INTO urldb VALUES
+           ('http://www.ibm.com', 'IBM Corporation', 'Products and services'),
+           ('http://www.ibm.com/java', 'IBM Java', NULL),
+           ('http://www.eso.org', 'European Southern Observatory', 'Astronomy archive'),
+           ('http://www.ncsa.uiuc.edu', 'NCSA', 'Home of Mosaic and GSQL');",
+    )
+    .unwrap();
+    db
+}
+
+fn gateway() -> Gateway {
+    let gw = Gateway::new(paper_database());
+    gw.add_macro("urlquery.d2w", URLQUERY_MACRO).unwrap();
+    gw
+}
+
+#[test]
+fn figure7_input_form() {
+    let resp = gateway().get("urlquery.d2w", "input", "");
+    assert_eq!(resp.status, 200);
+    let body = &resp.body;
+    assert!(body.contains("<H1>Query URL Information</H1>"));
+    assert!(body.contains("Search String: <INPUT NAME=\"SEARCH\" VALUE=\"ib\">"));
+    // The hidden-variable trick: users see $(hidden_a), never "title".
+    assert!(body.contains("<OPTION VALUE=\"$(hidden_a)\" SELECTED> Title"));
+    assert!(body.contains("<OPTION VALUE=\"$(hidden_b)\"> Description"));
+    assert!(!body.contains("$$(hidden_a)"));
+    assert!(dbgw_html::check_balanced(body).is_ok());
+}
+
+#[test]
+fn figure8_report_with_hyperlinks() {
+    // Submit the form's default state: SEARCH=ib, URL+Title checked,
+    // DBFIELDS=$(hidden_a) (the escaped name, dereferenced at report time).
+    let gw = gateway();
+    let resp = gw.handle(&CgiRequest::post(
+        "/urlquery.d2w/report",
+        "SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=%24%28hidden_a%29&SHOWSQL=",
+    ));
+    assert_eq!(resp.status, 200);
+    let body = &resp.body;
+    assert!(body.contains("<H1>URL Query Result</H1>"));
+    assert!(body.contains("Select any of the following to go to the specified URL:"));
+    // Both IBM pages match "%ib%"; ESO and NCSA do not.
+    assert!(body
+        .contains("<LI><A HREF=\"http://www.ibm.com\">http://www.ibm.com</A> <br>IBM Corporation"));
+    assert!(body.contains(
+        "<LI><A HREF=\"http://www.ibm.com/java\">http://www.ibm.com/java</A> <br>IBM Java"
+    ));
+    assert!(!body.contains("eso.org"));
+    assert!(!body.contains("ncsa"));
+    assert!(dbgw_html::check_balanced(body).is_ok());
+}
+
+#[test]
+fn hidden_variable_round_trip_selects_columns() {
+    // DBFIELDS arrives as the literal "$(hidden_a)"; the macro defines
+    // hidden_a = "title" AFTER the input section but BEFORE the report, so
+    // report-mode dereferencing turns it into the projection column.
+    let gw = gateway();
+    let with_title = gw.handle(&CgiRequest::post(
+        "/urlquery.d2w/report",
+        "SEARCH=ib&USE_TITLE=yes&DBFIELDS=%24%28hidden_a%29&SHOWSQL=YES",
+    ));
+    assert!(
+        with_title.body.contains("SELECT url, title"),
+        "{}",
+        with_title.body
+    );
+    let with_both = gw.handle(&CgiRequest::post(
+        "/urlquery.d2w/report",
+        "SEARCH=ib&USE_TITLE=yes&DBFIELDS=%24%28hidden_a%29&DBFIELDS=%24%28hidden_b%29&SHOWSQL=YES",
+    ));
+    assert!(
+        with_both.body.contains("SELECT url, title , description"),
+        "{}",
+        with_both.body
+    );
+}
+
+#[test]
+fn conditional_where_disappears_when_nothing_checked() {
+    let gw = gateway();
+    let resp = gw.handle(&CgiRequest::post(
+        "/urlquery.d2w/report",
+        "SEARCH=ib&DBFIELDS=%24%28hidden_a%29&SHOWSQL=YES",
+    ));
+    // "If you unselect all of the above checkboxes all of the URLs in the
+    // database will be displayed" (Figure 7's caption text).
+    assert!(resp.body.contains("FROM urldb  ORDER BY title"));
+    assert_eq!(resp.body.matches("<LI>").count(), 4);
+}
+
+#[test]
+fn null_description_renders_nothing_not_blank_br() {
+    // D3 = ? "<br>$(V3)" — the one-armed conditional nulls out for the row
+    // whose description is NULL, so no dangling <br> appears for IBM Java.
+    let gw = gateway();
+    let resp = gw.handle(&CgiRequest::post(
+        "/urlquery.d2w/report",
+        "SEARCH=java&USE_URL=yes&DBFIELDS=%24%28hidden_a%29&DBFIELDS=%24%28hidden_b%29",
+    ));
+    let line = resp
+        .body
+        .lines()
+        .find(|l| l.contains("ibm.com/java"))
+        .expect("java row present");
+    // V2 (title) is present, V3 (description) is NULL: exactly one <br>.
+    assert_eq!(line.matches("<br>").count(), 1, "line: {line}");
+}
+
+#[test]
+fn search_string_override() {
+    // Typing a different search string narrows to the observatory.
+    let gw = gateway();
+    let resp = gw.handle(&CgiRequest::post(
+        "/urlquery.d2w/report",
+        "SEARCH=eso&USE_URL=yes&DBFIELDS=%24%28hidden_a%29",
+    ));
+    assert!(resp.body.contains("http://www.eso.org"));
+    assert!(!resp.body.contains("ibm.com"));
+}

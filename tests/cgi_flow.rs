@@ -1,0 +1,106 @@
+//! F4/F6 — the CGI data flow (Figure 4) and the two-call runtime flow
+//! (Figure 6), over a real socket.
+//!
+//! Figure 4 shows two invocations of the gateway: a GET whose variables ride
+//! in `QUERY_STRING`, and a POST whose variables arrive on standard input.
+//! Figure 6 shows the full runtime: browser → httpd → DB2WWW(input) →
+//! browser → httpd → DB2WWW(report) → dynamic SQL → HTML. This test drives
+//! both hops through the HTTP server with the form-filling client.
+
+use dbgw_baselines::URLQUERY_MACRO;
+use dbgw_cgi::{CgiRequest, FormFill, Gateway, HttpClient, HttpServer};
+
+fn server() -> HttpServer {
+    let db = minisql::Database::new();
+    db.run_script(
+        "CREATE TABLE urldb (url VARCHAR(255), title VARCHAR(120), description VARCHAR(400));
+         INSERT INTO urldb VALUES
+           ('http://www.ibm.com', 'IBM Corporation', 'Products and services'),
+           ('http://www.eso.org', 'European Southern Observatory', 'Astronomy');",
+    )
+    .unwrap();
+    let gw = Gateway::new(db);
+    gw.add_macro("urlquery.d2w", URLQUERY_MACRO).unwrap();
+    HttpServer::start(gw, 0).expect("bind")
+}
+
+#[test]
+fn figure4_get_and_post_paths_deliver_same_variables() {
+    let server = server();
+    let gw = server.gateway();
+    // GET: URL=/cgi-bin/db2www/<macro>/report?var1=val1&var2=val2
+    let get = gw.handle(&CgiRequest::get(
+        "/urlquery.d2w/report",
+        "SEARCH=ib&USE_TITLE=yes&DBFIELDS=title",
+    ));
+    // POST: same variables on standard input.
+    let post = gw.handle(&CgiRequest::post(
+        "/urlquery.d2w/report",
+        "SEARCH=ib&USE_TITLE=yes&DBFIELDS=title",
+    ));
+    assert_eq!(get.status, 200);
+    assert_eq!(get.body, post.body);
+    server.shutdown();
+}
+
+#[test]
+fn figure6_full_two_call_flow_over_http() {
+    let server = server();
+    let client = HttpClient::new(server.addr());
+
+    // Hop 1: the user requests the input form.
+    let form_page = client
+        .get("/cgi-bin/db2www/urlquery.d2w/input")
+        .expect("input page");
+    assert_eq!(form_page.status, 200);
+    assert!(form_page.body.contains("Query URL Information"));
+
+    // Hop 2: the user fills it out and clicks Submit Query; the client
+    // follows the form's own ACTION/METHOD (POST, per the macro).
+    let fill = FormFill::defaults()
+        .text("SEARCH", "ibm")
+        .check("USE_URL", "yes", true)
+        .check("USE_TITLE", "yes", false)
+        .radio("SHOWSQL", "YES");
+    let report = client
+        .submit_form("/cgi-bin/db2www/urlquery.d2w/input", &fill)
+        .expect("report page");
+    assert_eq!(report.status, 200);
+    assert!(report.body.contains("URL Query Result"));
+    assert!(report.body.contains("http://www.ibm.com"));
+    assert!(!report.body.contains("eso.org"));
+    // SHOWSQL=YES echoes the dynamically generated statement, proving the
+    // flow went user input -> variable substitution -> dynamic SQL.
+    assert!(report.body.contains("LIKE '%ibm%'"));
+    server.shutdown();
+}
+
+#[test]
+fn cgi_environment_matches_protocol() {
+    // Figure 4's annotations: PATH_INFO carries /<macro>/<cmd>, QUERY_STRING
+    // carries the variables.
+    let req = CgiRequest::get("/urlquery.d2w/report", "var1=val1&var2=val2");
+    let env = req.environment();
+    let lookup = |k: &str| {
+        env.iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v.as_str())
+            .unwrap()
+    };
+    assert_eq!(lookup("PATH_INFO"), "/urlquery.d2w/report");
+    assert_eq!(lookup("QUERY_STRING"), "var1=val1&var2=val2");
+    assert_eq!(lookup("REQUEST_METHOD"), "GET");
+    assert_eq!(lookup("GATEWAY_INTERFACE"), "CGI/1.1");
+}
+
+#[test]
+fn input_mode_touches_no_sql_even_with_bad_statement() {
+    // §4.1: "The HTML report section and any SQL sections ... are completely
+    // ignored by DB2WWW in the input mode."
+    let db = minisql::Database::new(); // urldb doesn't even exist
+    let gw = Gateway::new(db);
+    gw.add_macro("urlquery.d2w", URLQUERY_MACRO).unwrap();
+    let resp = gw.get("urlquery.d2w", "input", "");
+    assert_eq!(resp.status, 200);
+    assert!(!resp.body.contains("SQL error"));
+}

@@ -1,0 +1,121 @@
+//! Robustness: the public parsers must be total — any input yields
+//! `Ok` or a structured error, never a panic, hang, or bad slice. Gateways
+//! face the open internet; the paper's system crashed CGI processes on bad
+//! input, ours must not.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn macro_parser_total(input in "\\PC{0,300}") {
+        let _ = dbgw_core::parse_macro(&input);
+    }
+
+    #[test]
+    fn macro_parser_total_on_section_shaped_input(
+        input in "(%[A-Za-z_{}()]{0,12}[ \\n]?)*\\PC{0,80}"
+    ) {
+        let _ = dbgw_core::parse_macro(&input);
+    }
+
+    #[test]
+    fn sql_parser_total(input in "\\PC{0,300}") {
+        let _ = minisql::parse(&input);
+    }
+
+    #[test]
+    fn sql_parser_total_on_sql_shaped_input(
+        input in "(SELECT|INSERT|UPDATE|CREATE|%|'|\\(|\\)|,|\\*| |[a-z0-9])+"
+    ) {
+        let _ = minisql::parse(&input);
+    }
+
+    #[test]
+    fn html_tokenizer_total(input in "\\PC{0,300}") {
+        let tokens: Vec<_> = dbgw_html::Tokenizer::new(&input).collect();
+        // Tokenization must also terminate with bounded output.
+        prop_assert!(tokens.len() <= input.len() + 1);
+    }
+
+    #[test]
+    fn form_parser_total(input in "(<[a-z =\"/]{0,20}>|\\PC{0,10})*") {
+        let _ = dbgw_html::Form::parse_all(&input);
+    }
+
+    #[test]
+    fn query_string_parser_total(input in "\\PC{0,300}") {
+        let _ = dbgw_cgi::QueryString::parse(&input);
+    }
+
+    #[test]
+    fn csv_import_total(input in "\\PC{0,200}") {
+        let db = minisql::Database::new();
+        db.run_script("CREATE TABLE t (a VARCHAR(50), b VARCHAR(50))").unwrap();
+        let _ = minisql::csv::import_table(&db, "t", &input);
+    }
+
+    #[test]
+    fn substitution_total(template in "\\PC{0,200}") {
+        let env = dbgw_core::Env::new();
+        let mut ev = dbgw_core::Evaluator::new(&env, &dbgw_core::DenyRunner);
+        let out = ev.substitute(&template).unwrap();
+        // With an empty environment, every $(ref) vanishes and everything
+        // else survives; output can never be longer than input + escapes.
+        prop_assert!(out.len() <= template.len() + 8);
+    }
+
+    #[test]
+    fn base64_decode_total(input in "\\PC{0,100}") {
+        let _ = dbgw_cgi::base64_decode(&input);
+    }
+}
+
+/// Hand-picked crashers: inputs that have broken parsers of this shape before.
+#[test]
+fn known_nasty_inputs() {
+    let nasties = [
+        "%",
+        "%}",
+        "%{",
+        "%{%}",
+        "%DEFINE",
+        "%DEFINE{",
+        "%DEFINE a =",
+        "%DEFINE a = \"",
+        "%SQL",
+        "%SQL{",
+        "%SQL(){ x %}",
+        "%SQL_REPORT{",
+        "%HTML_INPUT",
+        "%HTML_INPUT{$($($(",
+        "%HTML_INPUT{$()%}",
+        "%HTML_INPUT{$$%}",
+        "%HTML_INPUT{$%}",
+        "\u{0}",
+        "%HTML_INPUT{\u{FFFD}%}",
+    ];
+    for input in nasties {
+        let _ = dbgw_core::parse_macro(input);
+    }
+    let sql_nasties = [
+        "'",
+        "''",
+        "\"",
+        "SELECT",
+        "SELECT (",
+        "SELECT ((((((((((1))))))))))",
+        "SELECT * FROM",
+        "INSERT INTO t VALUES",
+        "SELECT 1 UNION",
+        "CASE",
+        "SELECT CASE WHEN",
+        "SELECT CAST(1 AS",
+        "-9223372036854775808",
+        "SELECT --",
+    ];
+    for input in sql_nasties {
+        let _ = minisql::parse(input);
+    }
+}

@@ -1,0 +1,224 @@
+//! Additional macro-language semantics at the integration level — the
+//! corners the paper specifies in passing.
+
+use dbgw_core::db::{DbError, DbRows, FnDatabase};
+use dbgw_core::{parse_macro, Engine, Mode};
+
+fn ok_rows(columns: &[&str], rows: &[&[&str]]) -> DbRows {
+    DbRows {
+        columns: columns.iter().map(|s| s.to_string()).collect(),
+        rows: rows
+            .iter()
+            .map(|r| r.iter().map(|s| s.to_string()).collect())
+            .collect(),
+        affected: 0,
+    }
+}
+
+#[test]
+fn report_block_without_row_template() {
+    // §3.2.1 syntax allows a report with header text only — useful for
+    // "summary" reports that only use ROW_NUM and the N-variables.
+    let mac = parse_macro(
+        "%SQL{ Q\n%SQL_REPORT{Found $(ROW_NUM) of columns $(NLIST).%}\n%}\n\
+         %HTML_REPORT{%EXEC_SQL%}",
+    )
+    .unwrap();
+    let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["a", "b"], &[&["1", "2"], &["3", "4"]])));
+    let out = Engine::new()
+        .process(&mac, Mode::Report, &[], &mut db)
+        .unwrap();
+    // Without a %ROW block the header is the whole report; ROW_NUM is 0
+    // there (no rows fetched *yet* at header time, per §3.2.1's ordering).
+    assert_eq!(out, "Found 0 of columns a, b.");
+}
+
+#[test]
+fn header_sees_column_names_before_rows() {
+    let mac = parse_macro(
+        "%SQL{ Q\n%SQL_REPORT{<TR><TH>$(N1)</TH><TH>$(N2)</TH></TR>\n\
+         %ROW{<TD>$(V1)</TD>%}done=$(ROW_NUM)%}\n%}\n%HTML_REPORT{%EXEC_SQL%}",
+    )
+    .unwrap();
+    let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["url", "title"], &[&["u", "t"]])));
+    let out = Engine::new()
+        .process(&mac, Mode::Report, &[], &mut db)
+        .unwrap();
+    assert!(out.contains("<TH>url</TH><TH>title</TH>"));
+    assert!(out.contains("done=1"));
+}
+
+#[test]
+fn n_and_v_column_name_variables_case_insensitive() {
+    // "variable names are case sensitive except in certain special cases
+    // like implicit variables that represent database column names" (§3).
+    let mac = parse_macro(
+        "%SQL{ Q\n%SQL_REPORT{%ROW{$(v_TITLE)/$(V_title)/$(n_TiTlE)%}%}\n%}\n\
+         %HTML_REPORT{%EXEC_SQL%}",
+    )
+    .unwrap();
+    let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["title"], &[&["IBM"]])));
+    let out = Engine::new()
+        .process(&mac, Mode::Report, &[], &mut db)
+        .unwrap();
+    assert_eq!(out, "IBM/IBM/title");
+}
+
+#[test]
+fn vlist_and_nlist_concatenate() {
+    let mac = parse_macro(
+        "%SQL{ Q\n%SQL_REPORT{[$(NLIST)]\n%ROW{[$(VLIST)]\n%}%}\n%}\n%HTML_REPORT{%EXEC_SQL%}",
+    )
+    .unwrap();
+    let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["a", "b", "c"], &[&["1", "2", "3"]])));
+    let out = Engine::new()
+        .process(&mac, Mode::Report, &[], &mut db)
+        .unwrap();
+    assert!(out.contains("[a, b, c]"));
+    assert!(out.contains("[1, 2, 3]"));
+}
+
+#[test]
+fn comment_sections_render_nothing() {
+    let mac = parse_macro("%{ top comment %}\n%HTML_INPUT{A%}\n%{ middle %}\n").unwrap();
+    let out = Engine::new().process_input(&mac, &[]).unwrap();
+    assert_eq!(out, "A");
+}
+
+#[test]
+fn multiple_html_input_sections_concatenate_in_order() {
+    // The grammar says "An HTML input section" (singular); the engine, like
+    // the product, tolerates several and emits them in document order with
+    // defines taking effect between them.
+    let mac =
+        parse_macro("%HTML_INPUT{[$(x)]%}\n%DEFINE x = \"later\"\n%HTML_INPUT{[$(x)]%}").unwrap();
+    let out = Engine::new().process_input(&mac, &[]).unwrap();
+    assert_eq!(out, "[][later]");
+}
+
+#[test]
+fn rpt_max_rows_can_come_from_the_client() {
+    // RPT_MAX_ROWS is an ordinary variable: a form (or URL) can set it.
+    let mac = parse_macro("%SQL{ Q\n%SQL_REPORT{%ROW{x%}%}\n%}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+    let mut db =
+        FnDatabase(|_: &str| Ok(ok_rows(&["a"], &[&["1"], &["2"], &["3"], &["4"], &["5"]])));
+    let out = Engine::new()
+        .process(
+            &mac,
+            Mode::Report,
+            &[("RPT_MAX_ROWS".into(), "2".into())],
+            &mut db,
+        )
+        .unwrap();
+    assert_eq!(out.matches('x').count(), 2);
+}
+
+#[test]
+fn line_format_sql_sections_execute() {
+    let mac =
+        parse_macro("%SQL SELECT a FROM t WHERE k = '$(K)'\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+    let mut seen = String::new();
+    let mut db = FnDatabase(|sql: &str| {
+        seen = sql.to_owned();
+        Ok(ok_rows(&["a"], &[&["v"]]))
+    });
+    Engine::new()
+        .process(&mac, Mode::Report, &[("K".into(), "key".into())], &mut db)
+        .unwrap();
+    assert_eq!(seen, "SELECT a FROM t WHERE k = 'key'");
+}
+
+#[test]
+fn sql_error_in_second_section_keeps_first_sections_output() {
+    let mac =
+        parse_macro("%SQL{ GOOD %}\n%SQL{ BAD %}\n%HTML_REPORT{start|%EXEC_SQL|end%}").unwrap();
+    let mut db = FnDatabase(|sql: &str| {
+        if sql == "GOOD" {
+            Ok(ok_rows(&["a"], &[&["1"]]))
+        } else {
+            Err(DbError {
+                code: -204,
+                message: "nope".into(),
+            })
+        }
+    });
+    let out = Engine::new()
+        .process(&mac, Mode::Report, &[], &mut db)
+        .unwrap();
+    assert!(out.starts_with("start|"));
+    assert!(out.contains("<TD>1</TD>")); // first section's default table
+    assert!(out.contains("SQL error -204"));
+    assert!(!out.contains("|end")); // processing stopped at the failure
+}
+
+#[test]
+fn define_between_exec_sql_directives_is_honored() {
+    // Top-to-bottom processing applies inside the report section too: text
+    // before a directive can be emitted with one variable state, and SQL
+    // sections dereference variables at execution time.
+    let mac = parse_macro(
+        "%DEFINE t = \"first\"\n%SQL(a){ USE $(t) %}\n\
+         %HTML_REPORT{%EXEC_SQL(a)%}",
+    )
+    .unwrap();
+    let mut seen = Vec::new();
+    let mut db = FnDatabase(|sql: &str| {
+        seen.push(sql.to_owned());
+        Ok(DbRows {
+            affected: 1,
+            ..DbRows::default()
+        })
+    });
+    Engine::new()
+        .process(&mac, Mode::Report, &[], &mut db)
+        .unwrap();
+    assert_eq!(seen, vec!["USE first"]);
+}
+
+#[test]
+fn nls_localizes_the_error_banner() {
+    use dbgw_core::{EngineConfig, Language};
+    let mac = parse_macro("%SQL{ BAD %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+    let engine = Engine::with_config(EngineConfig {
+        language: Language::German,
+        ..EngineConfig::default()
+    });
+    let mut db = FnDatabase(|_: &str| {
+        Err(DbError {
+            code: -104,
+            message: "kaputt".into(),
+        })
+    });
+    let out = engine.process(&mac, Mode::Report, &[], &mut db).unwrap();
+    assert!(out.contains("SQL-Fehler -104"), "{out}");
+}
+
+#[test]
+fn lint_understands_hyperlink_parameters_and_session_id() {
+    // The conversation/scrollable-cursor idioms pass inputs via hyperlink
+    // query strings; the linter must treat those names as provided.
+    let mac = parse_macro(
+        "%SQL(s){ SELECT a FROM t WHERE id = $(NEXT_ID) %}\n\
+         %HTML_REPORT{session $(SESSION_ID)\n\
+         <A HREF=\"/cgi-bin/db2www/m.d2w/report?NEXT_ID=7&DTW_END=commit\">next</A>\n\
+         %EXEC_SQL(s)%}",
+    )
+    .unwrap();
+    let findings = dbgw_core::lint(&mac);
+    assert!(!findings.iter().any(|f| f.code == "W001"), "{findings:?}");
+}
+
+#[test]
+fn duplicate_sql_section_names_rejected_at_parse() {
+    // §3.2: section names must be unique within a macro.
+    let err = parse_macro("%SQL(a){ X %}\n%SQL(a){ Y %}\n%HTML_REPORT{%EXEC_SQL(a)%}").unwrap_err();
+    assert!(
+        err.to_string().contains("duplicate SQL section name a"),
+        "{err}"
+    );
+    // Distinct names and multiple unnamed sections remain fine.
+    assert!(parse_macro(
+        "%SQL(a){ X %}\n%SQL(b){ Y %}\n%SQL{ Z %}\n%SQL{ W %}\n%HTML_REPORT{%EXEC_SQL%}"
+    )
+    .is_ok());
+}

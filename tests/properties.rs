@@ -1,0 +1,244 @@
+//! Property-based tests on cross-crate invariants.
+
+use dbgw_cgi::{CgiRequest, Gateway, QueryString};
+use dbgw_core::db::{DbRows, FnDatabase};
+use dbgw_core::{parse_macro, Engine, Mode};
+use proptest::prelude::*;
+
+fn gateway() -> Gateway {
+    let db = minisql::Database::new();
+    db.run_script(
+        "CREATE TABLE urldb (url VARCHAR(255), title VARCHAR(120), description VARCHAR(400));
+         INSERT INTO urldb VALUES ('http://a', 'Alpha', 'first'), ('http://b', 'Beta', NULL);",
+    )
+    .unwrap();
+    let gw = Gateway::new(db);
+    gw.add_macro("urlquery.d2w", dbgw_baselines::URLQUERY_MACRO)
+        .unwrap();
+    gw
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The gateway never panics and never 500s on arbitrary user input —
+    /// hostile variables surface as SQL-error text inside a 200 page.
+    #[test]
+    fn gateway_total_on_arbitrary_input(
+        pairs in proptest::collection::vec(("[A-Za-z_][A-Za-z0-9_]{0,8}", "\\PC{0,20}"), 0..6)
+    ) {
+        let gw = gateway();
+        let q = QueryString::from_pairs(pairs);
+        let resp = gw.handle(&CgiRequest::get("/urlquery.d2w/report", &q.to_wire()));
+        prop_assert!(resp.status == 200, "status {} body {}", resp.status, resp.body);
+    }
+
+    /// Input mode is a pure text transform: structurally balanced in,
+    /// balanced out (with value escaping on, which is the default).
+    #[test]
+    fn input_mode_preserves_balance(
+        pairs in proptest::collection::vec(("[A-Z]{1,6}", "[a-z0-9 ]{0,12}"), 0..4)
+    ) {
+        let gw = gateway();
+        let q = QueryString::from_pairs(pairs);
+        let resp = gw.handle(&CgiRequest::get("/urlquery.d2w/input", &q.to_wire()));
+        prop_assert_eq!(resp.status, 200);
+        prop_assert!(dbgw_html::check_balanced(&resp.body).is_ok());
+    }
+
+    /// Substitution with no $ characters is the identity.
+    #[test]
+    fn substitution_identity_without_dollars(text in "[^$]{0,200}") {
+        let mac = parse_macro(&format!("%HTML_INPUT{{{}%}}",
+            text.replace("%}", ""))).unwrap();
+        let body = text.replace("%}", "");
+        let out = Engine::new().process_input(&mac, &[]).unwrap();
+        prop_assert_eq!(out, body);
+    }
+
+    /// An undefined variable always substitutes to the null string: output
+    /// equals input with references removed.
+    #[test]
+    fn undefined_vars_vanish(name in "[A-Za-z][A-Za-z0-9_]{0,10}") {
+        let mac = parse_macro(&format!("%HTML_INPUT{{[$({name})]%}}")).unwrap();
+        let out = Engine::new().process_input(&mac, &[]).unwrap();
+        prop_assert_eq!(out, "[]");
+    }
+
+    /// HTML input values always win over DEFINE defaults, whatever they are.
+    #[test]
+    fn inputs_override_defines(default_v in "[a-z]{1,10}", input_v in "[A-Z]{1,10}") {
+        let mac = parse_macro(&format!(
+            "%DEFINE X = \"{default_v}\"\n%HTML_INPUT{{$(X)%}}"
+        )).unwrap();
+        let out = Engine::new()
+            .process_input(&mac, &[("X".into(), input_v.clone())])
+            .unwrap();
+        prop_assert_eq!(out, input_v);
+    }
+
+    /// Report rendering emits the row template exactly once per row,
+    /// regardless of content.
+    #[test]
+    fn row_template_count_matches_rows(n in 0usize..50) {
+        let mac = parse_macro(
+            "%SQL{ Q\n%SQL_REPORT{%ROW{<ROW>%}TOTAL=$(ROW_NUM)%}\n%}\n%HTML_REPORT{%EXEC_SQL%}"
+        ).unwrap();
+        let mut db = FnDatabase(|_: &str| Ok(DbRows {
+            columns: vec!["a".into()],
+            rows: (0..n).map(|i| vec![i.to_string()]).collect(),
+            affected: 0,
+        }));
+        let out = Engine::new().process(&mac, Mode::Report, &[], &mut db).unwrap();
+        prop_assert_eq!(out.matches("<ROW>").count(), n);
+        let marker = format!("TOTAL={n}");
+        prop_assert!(out.contains(&marker));
+    }
+
+    /// MiniSQL: inserting k rows then SELECT COUNT(*) always agrees, through
+    /// the full SQL text path.
+    #[test]
+    fn insert_count_agree(values in proptest::collection::vec(0i64..1000, 0..30)) {
+        let db = minisql::Database::new();
+        db.run_script("CREATE TABLE t (v INTEGER)").unwrap();
+        let mut conn = db.connect();
+        for v in &values {
+            conn.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let r = conn.execute("SELECT COUNT(*) FROM t").unwrap();
+        let minisql::ExecResult::Rows(rs) = r else { panic!() };
+        prop_assert_eq!(rs.rows[0][0].clone(), minisql::Value::Int(values.len() as i64));
+    }
+
+    /// MiniSQL: ORDER BY really sorts (non-null integer column).
+    #[test]
+    fn order_by_sorts(values in proptest::collection::vec(-100i64..100, 1..40)) {
+        let db = minisql::Database::new();
+        db.run_script("CREATE TABLE t (v INTEGER)").unwrap();
+        let mut conn = db.connect();
+        for v in &values {
+            conn.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let r = conn.execute("SELECT v FROM t ORDER BY v DESC").unwrap();
+        let minisql::ExecResult::Rows(rs) = r else { panic!() };
+        let got: Vec<i64> = rs.rows.iter().map(|r| match r[0] {
+            minisql::Value::Int(i) => i,
+            _ => unreachable!(),
+        }).collect();
+        let mut want = values.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(got, want);
+    }
+
+    /// MiniSQL: a LIKE predicate evaluated by the engine agrees with the
+    /// standalone matcher on stored data.
+    #[test]
+    fn engine_like_agrees_with_matcher(
+        texts in proptest::collection::vec("[a-c]{0,6}", 1..20),
+        pattern in "[a-c%_]{0,6}"
+    ) {
+        let db = minisql::Database::new();
+        db.run_script("CREATE TABLE t (s VARCHAR(20))").unwrap();
+        let mut conn = db.connect();
+        for t in &texts {
+            conn.execute_with_params("INSERT INTO t VALUES (?)",
+                &[minisql::Value::Text(t.clone())]).unwrap();
+        }
+        let r = conn.execute_with_params(
+            "SELECT COUNT(*) FROM t WHERE s LIKE ?",
+            &[minisql::Value::Text(pattern.clone())]).unwrap();
+        let minisql::ExecResult::Rows(rs) = r else { panic!() };
+        let expected = texts.iter()
+            .filter(|t| minisql::like::like_match(t, &pattern, None))
+            .count() as i64;
+        prop_assert_eq!(rs.rows[0][0].clone(), minisql::Value::Int(expected));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The default-table report is balanced HTML for ANY database content —
+    /// the escaping path can never be broken by stored data.
+    #[test]
+    fn default_report_always_balanced(
+        cells in proptest::collection::vec(("\\PC{0,24}", "\\PC{0,24}"), 0..12)
+    ) {
+        let mac = parse_macro("%SQL{ Q %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+        let data = DbRows {
+            columns: vec!["a".into(), "b".into()],
+            rows: cells.iter().map(|(a, b)| vec![a.clone(), b.clone()]).collect(),
+            affected: 0,
+        };
+        let mut db = FnDatabase(|_: &str| Ok(data.clone()));
+        let out = Engine::new().process(&mac, Mode::Report, &[], &mut db).unwrap();
+        prop_assert!(dbgw_html::check_balanced(&out).is_ok(), "out: {out}");
+    }
+
+    /// Custom %ROW reports are balanced too, for any data, with escaping on.
+    #[test]
+    fn custom_report_always_balanced(
+        cells in proptest::collection::vec("\\PC{0,32}", 0..12)
+    ) {
+        let mac = parse_macro(
+            "%SQL{ Q\n%SQL_REPORT{<UL>\n%ROW{<LI><A HREF=\"$(V1)\">$(V1)</A>\n%}</UL>\n%}\n%}\n\
+             %HTML_REPORT{%EXEC_SQL%}",
+        ).unwrap();
+        let data = DbRows {
+            columns: vec!["u".into()],
+            rows: cells.iter().map(|c| vec![c.clone()]).collect(),
+            affected: 0,
+        };
+        let mut db = FnDatabase(|_: &str| Ok(data.clone()));
+        let out = Engine::new().process(&mac, Mode::Report, &[], &mut db).unwrap();
+        prop_assert!(dbgw_html::check_balanced(&out).is_ok(), "out: {out}");
+    }
+
+    /// SQL-script dump/load round-trips arbitrary typed data exactly.
+    #[test]
+    fn dump_round_trips_random_data(
+        rows in proptest::collection::vec(
+            (any::<i64>(), proptest::option::of("[^']{0,16}"), proptest::option::of(-1.0e6f64..1.0e6)),
+            0..20
+        )
+    ) {
+        let db = minisql::Database::new();
+        db.run_script("CREATE TABLE r (i INTEGER, t VARCHAR(20), d DOUBLE)").unwrap();
+        let mut conn = db.connect();
+        for (i, t, d) in &rows {
+            conn.execute_with_params(
+                "INSERT INTO r VALUES (?, ?, ?)",
+                &[
+                    minisql::Value::Int(*i),
+                    t.clone().map(minisql::Value::Text).unwrap_or(minisql::Value::Null),
+                    d.map(minisql::Value::Double).unwrap_or(minisql::Value::Null),
+                ],
+            ).unwrap();
+        }
+        let script = minisql::dump::dump_script(&db).unwrap();
+        let restored = minisql::dump::load_dump(&script).unwrap();
+        prop_assert!(minisql::dump::databases_equal(&db, &restored).unwrap(), "script:\n{script}");
+    }
+
+    /// CSV export/import round-trips arbitrary text data (incl. quotes,
+    /// commas, newlines, NULL-vs-empty) exactly.
+    #[test]
+    fn csv_round_trips_random_text(
+        rows in proptest::collection::vec(proptest::option::of("\\PC{0,16}"), 0..20)
+    ) {
+        let db = minisql::Database::new();
+        db.run_script("CREATE TABLE c (t VARCHAR(40))").unwrap();
+        let mut conn = db.connect();
+        for t in &rows {
+            conn.execute_with_params(
+                "INSERT INTO c VALUES (?)",
+                &[t.clone().map(minisql::Value::Text).unwrap_or(minisql::Value::Null)],
+            ).unwrap();
+        }
+        let csv = minisql::csv::export_table(&db, "c").unwrap();
+        let dest = minisql::Database::new();
+        dest.run_script("CREATE TABLE c (t VARCHAR(40))").unwrap();
+        minisql::csv::import_table(&dest, "c", &csv).unwrap();
+        prop_assert!(minisql::dump::databases_equal(&db, &dest).unwrap(), "csv:\n{csv:?}");
+    }
+}

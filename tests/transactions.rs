@@ -1,0 +1,129 @@
+//! §5 transaction modes, exercised through the whole stack: a guestbook
+//! macro whose report mode runs several INSERT statements.
+
+use dbgw_cgi::{CgiRequest, Gateway};
+use dbgw_core::{EngineConfig, TxnMode};
+
+/// A write-heavy macro: sign the guestbook (two inserts — an entry and an
+/// audit row), then show the book. The second insert fails when NAME is
+/// missing (NOT NULL), which distinguishes the two modes.
+const GUESTBOOK_MACRO: &str = r#"%DEFINE nm = NAME ? "'$(NAME)'" : "NULL"
+%SQL{ INSERT INTO audit (note) VALUES ('signing: $(MESSAGE)') %}
+%SQL{ INSERT INTO guest (name, message) VALUES ($(nm), '$(MESSAGE)') %}
+%SQL(list){ SELECT name, message FROM guest ORDER BY name
+%SQL_REPORT{<UL>
+%ROW{<LI><B>$(V1)</B>: $(V2)
+%}</UL>
+%}
+%}
+%HTML_INPUT{<FORM METHOD="post" ACTION="/cgi-bin/db2www/guestbook.d2w/report">
+<INPUT NAME="NAME"> <INPUT NAME="MESSAGE">
+<INPUT TYPE="submit" VALUE="Sign">
+</FORM>%}
+%HTML_REPORT{<H1>Guestbook</H1>
+%EXEC_SQL
+%EXEC_SQL(list)
+%}"#;
+
+fn database() -> minisql::Database {
+    let db = minisql::Database::new();
+    db.run_script(
+        "CREATE TABLE guest (name VARCHAR(40) NOT NULL, message VARCHAR(200));
+         CREATE TABLE audit (note VARCHAR(250));",
+    )
+    .unwrap();
+    db
+}
+
+fn gateway(db: &minisql::Database, mode: TxnMode) -> Gateway {
+    let gw = Gateway::with_config(
+        db.clone(),
+        EngineConfig {
+            txn_mode: mode,
+            ..EngineConfig::default()
+        },
+    );
+    gw.add_macro("guestbook.d2w", GUESTBOOK_MACRO).unwrap();
+    gw
+}
+
+#[test]
+fn successful_signing_works_in_both_modes() {
+    for mode in [TxnMode::AutoCommit, TxnMode::SingleTransaction] {
+        let db = database();
+        let gw = gateway(&db, mode);
+        let resp = gw.handle(&CgiRequest::post(
+            "/guestbook.d2w/report",
+            "NAME=Ada&MESSAGE=hello",
+        ));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("<LI><B>Ada</B>: hello"), "{}", resp.body);
+        assert_eq!(db.table_len("guest").unwrap(), 1);
+        assert_eq!(db.table_len("audit").unwrap(), 1);
+    }
+}
+
+#[test]
+fn autocommit_keeps_the_audit_row_when_insert_fails() {
+    // "one mode in which every SQL statement in a macro is a separate
+    // transaction (auto-commit)": the audit insert survives the guest
+    // insert's NOT NULL failure.
+    let db = database();
+    let gw = gateway(&db, TxnMode::AutoCommit);
+    let resp = gw.handle(&CgiRequest::post(
+        "/guestbook.d2w/report",
+        "MESSAGE=anonymous", // no NAME
+    ));
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("SQL error"));
+    assert_eq!(db.table_len("audit").unwrap(), 1); // committed
+    assert_eq!(db.table_len("guest").unwrap(), 0);
+}
+
+#[test]
+fn single_transaction_rolls_everything_back() {
+    // "another mode in which all SQL statements in a macro are executed as a
+    // single transaction (i.e., a rollback will occur if any SQL statement
+    // fails)".
+    let db = database();
+    let gw = gateway(&db, TxnMode::SingleTransaction);
+    let resp = gw.handle(&CgiRequest::post(
+        "/guestbook.d2w/report",
+        "MESSAGE=anonymous",
+    ));
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("SQL error"));
+    assert_eq!(db.table_len("audit").unwrap(), 0); // rolled back with it
+    assert_eq!(db.table_len("guest").unwrap(), 0);
+}
+
+#[test]
+fn single_transaction_commits_atomically_across_statements() {
+    let db = database();
+    let gw = gateway(&db, TxnMode::SingleTransaction);
+    for i in 0..5 {
+        let resp = gw.handle(&CgiRequest::post(
+            "/guestbook.d2w/report",
+            &format!("NAME=user{i}&MESSAGE=m{i}"),
+        ));
+        assert_eq!(resp.status, 200);
+    }
+    assert_eq!(db.table_len("guest").unwrap(), 5);
+    assert_eq!(db.table_len("audit").unwrap(), 5);
+}
+
+#[test]
+fn quote_in_message_is_a_contained_failure() {
+    // The macro splices $(MESSAGE) textually (as the original did); a quote
+    // breaks that statement. In single-transaction mode nothing persists.
+    let db = database();
+    let gw = gateway(&db, TxnMode::SingleTransaction);
+    let resp = gw.handle(&CgiRequest::post(
+        "/guestbook.d2w/report",
+        "NAME=Eve&MESSAGE=it%27s%20broken",
+    ));
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("SQL error"));
+    assert_eq!(db.table_len("guest").unwrap(), 0);
+    assert_eq!(db.table_len("audit").unwrap(), 0);
+}
