@@ -8,10 +8,10 @@
 //! * **Index ablation**: the same gateway request with and without the
 //!   title index behind the LIKE.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbgw_baselines::URLQUERY_MACRO;
 use dbgw_cgi::MiniSqlDatabase;
 use dbgw_core::{parse_macro, Engine, EngineConfig, Mode};
+use dbgw_testkit::bench::Suite;
 use dbgw_workload::UrlDirectory;
 use std::hint::black_box;
 
@@ -27,15 +27,17 @@ fn inputs() -> Vec<(String, String)> {
     .collect()
 }
 
-fn bench_macro_cache(c: &mut Criterion) {
-    let db = UrlDirectory::generate(1_000, 1996).into_database();
-    let engine = Engine::new();
-    let vars = inputs();
-    let cached = parse_macro(URLQUERY_MACRO).unwrap();
-    let mut group = c.benchmark_group("E9_macro_cache");
-    group.sample_size(30);
-    group.bench_function("cached_ast", |b| {
-        b.iter(|| {
+fn main() {
+    let mut suite = Suite::new("ablation");
+
+    {
+        let db = UrlDirectory::generate(1_000, 1996).into_database();
+        let engine = Engine::new();
+        let vars = inputs();
+        let cached = parse_macro(URLQUERY_MACRO).unwrap();
+        let mut group = suite.group("E9_macro_cache");
+        group.sample_size(30);
+        group.bench("cached_ast", || {
             let mut conn = MiniSqlDatabase::connect(&db);
             black_box(
                 engine
@@ -43,9 +45,7 @@ fn bench_macro_cache(c: &mut Criterion) {
                     .unwrap(),
             )
         });
-    });
-    group.bench_function("parse_per_request", |b| {
-        b.iter(|| {
+        group.bench("parse_per_request", || {
             // The CGI fork/exec model: read + parse + process per request.
             let mac = parse_macro(black_box(URLQUERY_MACRO)).unwrap();
             let mut conn = MiniSqlDatabase::connect(&db);
@@ -55,23 +55,20 @@ fn bench_macro_cache(c: &mut Criterion) {
                     .unwrap(),
             )
         });
-    });
-    group.finish();
-}
+    }
 
-fn bench_escaping(c: &mut Criterion) {
-    let db = UrlDirectory::generate(5_000, 1996).into_database();
-    let mac = parse_macro(URLQUERY_MACRO).unwrap();
-    let vars = inputs();
-    let mut group = c.benchmark_group("E9_value_escaping");
-    group.sample_size(30);
-    for (label, escape) in [("escaped", true), ("raw_1996", false)] {
-        let engine = Engine::with_config(EngineConfig {
-            escape_values: escape,
-            ..EngineConfig::default()
-        });
-        group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, engine| {
-            b.iter(|| {
+    {
+        let db = UrlDirectory::generate(5_000, 1996).into_database();
+        let mac = parse_macro(URLQUERY_MACRO).unwrap();
+        let vars = inputs();
+        let mut group = suite.group("E9_value_escaping");
+        group.sample_size(30);
+        for (label, escape) in [("escaped", true), ("raw_1996", false)] {
+            let engine = Engine::with_config(EngineConfig {
+                escape_values: escape,
+                ..EngineConfig::default()
+            });
+            group.bench(label, || {
                 let mut conn = MiniSqlDatabase::connect(&db);
                 black_box(
                     engine
@@ -79,48 +76,38 @@ fn bench_escaping(c: &mut Criterion) {
                         .unwrap(),
                 )
             });
-        });
-    }
-    group.finish();
-}
-
-fn bench_index_ablation(c: &mut Criterion) {
-    // The urlquery WHERE is '%ib%' (contains): index can't help there, so
-    // probe the prefix-searchable variant the shop app uses.
-    let mac = parse_macro(
-        "%SQL{ SELECT product_name FROM orders WHERE product_name LIKE '$(P)%' %}\n\
-         %HTML_REPORT{%EXEC_SQL%}",
-    )
-    .unwrap();
-    let vars = vec![("P".to_string(), "bike".to_string())];
-    let engine = Engine::new();
-    let mut group = c.benchmark_group("E9_index_on_off");
-    group.sample_size(30);
-    for (label, indexed) in [("indexed", true), ("no_index", false)] {
-        let shop = dbgw_workload::shop::Shop::generate(500, 6, 3);
-        let db = shop.into_database();
-        if !indexed {
-            let mut conn = db.connect();
-            conn.execute("DROP INDEX orders_product").unwrap();
         }
-        group.bench_with_input(BenchmarkId::from_parameter(label), &db, |b, db| {
-            b.iter(|| {
-                let mut conn = MiniSqlDatabase::connect(db);
+    }
+
+    {
+        // The urlquery WHERE is '%ib%' (contains): index can't help there, so
+        // probe the prefix-searchable variant the shop app uses.
+        let mac = parse_macro(
+            "%SQL{ SELECT product_name FROM orders WHERE product_name LIKE '$(P)%' %}\n\
+             %HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        let vars = vec![("P".to_string(), "bike".to_string())];
+        let engine = Engine::new();
+        let mut group = suite.group("E9_index_on_off");
+        group.sample_size(30);
+        for (label, indexed) in [("indexed", true), ("no_index", false)] {
+            let shop = dbgw_workload::shop::Shop::generate(500, 6, 3);
+            let db = shop.into_database();
+            if !indexed {
+                let mut conn = db.connect();
+                conn.execute("DROP INDEX orders_product").unwrap();
+            }
+            group.bench(label, || {
+                let mut conn = MiniSqlDatabase::connect(&db);
                 black_box(
                     engine
                         .process(&mac, Mode::Report, &vars, &mut conn)
                         .unwrap(),
                 )
             });
-        });
+        }
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_macro_cache,
-    bench_escaping,
-    bench_index_ablation
-);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -6,11 +6,11 @@
 //! catalog RwLock. Series: requests/second with 1–8 worker threads over a
 //! Zipf-skewed mix of 90% report (read) and 10% guestbook-style writes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbgw_baselines::URLQUERY_MACRO;
 use dbgw_cgi::{CgiRequest, Gateway};
+use dbgw_testkit::bench::{Suite, Throughput};
+use dbgw_testkit::Rng;
 use dbgw_workload::{UrlDirectory, Zipf};
-use rand::Rng;
 use std::sync::Arc;
 
 const REQUESTS_PER_ITER: usize = 200;
@@ -32,7 +32,7 @@ fn build_gateway() -> Arc<Gateway> {
 }
 
 /// The request mix: mostly searches with Zipf-popular terms, some writes.
-fn request(rng: &mut impl Rng, zipf: &Zipf, terms: &[&str]) -> CgiRequest {
+fn request(rng: &mut Rng, zipf: &Zipf, terms: &[&str]) -> CgiRequest {
     if rng.gen_bool(0.9) {
         let term = terms[zipf.sample(rng) % terms.len()];
         CgiRequest::get(
@@ -40,44 +40,40 @@ fn request(rng: &mut impl Rng, zipf: &Zipf, terms: &[&str]) -> CgiRequest {
             &format!("SEARCH={term}&USE_TITLE=yes&DBFIELDS=title"),
         )
     } else {
-        CgiRequest::get("/sign.d2w/report", &format!("NAME=u{}", rng.gen::<u16>()))
+        CgiRequest::get(
+            "/sign.d2w/report",
+            &format!("NAME=u{}", rng.next_u32() as u16),
+        )
     }
 }
 
-fn bench_threads(c: &mut Criterion) {
+fn main() {
     let gateway = build_gateway();
     let terms = ["ib", "web", "net", "lab", "arch", "zzz"];
-    let mut group = c.benchmark_group("E7_throughput");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(REQUESTS_PER_ITER as u64));
-    for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let per_thread = REQUESTS_PER_ITER / threads;
-                    crossbeam::scope(|scope| {
-                        for t in 0..threads {
-                            let gw = Arc::clone(&gateway);
-                            scope.spawn(move |_| {
-                                let mut rng = dbgw_workload::rng(t as u64 + 1);
-                                let zipf = Zipf::new(terms.len(), 1.0);
-                                for _ in 0..per_thread {
-                                    let req = request(&mut rng, &zipf, &terms);
-                                    let resp = gw.handle(&req);
-                                    assert_eq!(resp.status, 200);
-                                }
-                            });
-                        }
-                    })
-                    .unwrap();
+    let mut suite = Suite::new("concurrency");
+    {
+        let mut group = suite.group("E7_throughput");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(REQUESTS_PER_ITER as u64));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench(&threads.to_string(), || {
+                let per_thread = REQUESTS_PER_ITER / threads;
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let gw = Arc::clone(&gateway);
+                        scope.spawn(move || {
+                            let mut rng = dbgw_workload::rng(t as u64 + 1);
+                            let zipf = Zipf::new(terms.len(), 1.0);
+                            for _ in 0..per_thread {
+                                let req = request(&mut rng, &zipf, &terms);
+                                let resp = gw.handle(&req);
+                                assert_eq!(resp.status, 200);
+                            }
+                        });
+                    }
                 });
-            },
-        );
+            });
+        }
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_threads);
-criterion_main!(benches);

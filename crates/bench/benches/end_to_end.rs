@@ -7,9 +7,9 @@
 //! condition / prefix match) so they are not directly comparable on capability
 //! — the capability matrix in E8 records what each stack cannot do at all.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbgw_baselines::{all_stacks, UrlQueryApp};
+use dbgw_baselines::all_stacks;
 use dbgw_cgi::QueryString;
+use dbgw_testkit::bench::Suite;
 use dbgw_workload::UrlDirectory;
 use std::hint::black_box;
 
@@ -24,75 +24,56 @@ fn report_inputs() -> QueryString {
     ])
 }
 
-fn bench_report_latency(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::new("end_to_end");
+
     for rows in [100usize, 1_000, 10_000] {
         let db = UrlDirectory::generate(rows, 1996).into_database();
         let stacks = all_stacks(&db);
         let inputs = report_inputs();
-        let mut group = c.benchmark_group(format!("E3_report_rows_{rows}"));
+        let mut group = suite.group(&format!("E3_report_rows_{rows}"));
         group.sample_size(20);
         for stack in &stacks {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(stack.name()),
-                stack,
-                |b, stack| {
-                    let stack: &dyn UrlQueryApp = stack.as_ref();
-                    b.iter(|| black_box(stack.report_page(black_box(&inputs))));
-                },
-            );
+            group.bench(stack.name(), || {
+                black_box(stack.report_page(black_box(&inputs)))
+            });
         }
-        group.finish();
     }
-}
 
-fn bench_input_latency(c: &mut Criterion) {
-    // Input mode has no SQL: this isolates pure page-generation overhead.
-    let db = UrlDirectory::generate(100, 1996).into_database();
-    let stacks = all_stacks(&db);
-    let mut group = c.benchmark_group("E3_input_mode");
-    for stack in &stacks {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(stack.name()),
-            stack,
-            |b, stack| {
-                let stack: &dyn UrlQueryApp = stack.as_ref();
-                b.iter(|| black_box(stack.input_page()));
-            },
-        );
+    {
+        // Input mode has no SQL: this isolates pure page-generation overhead.
+        let db = UrlDirectory::generate(100, 1996).into_database();
+        let stacks = all_stacks(&db);
+        let mut group = suite.group("E3_input_mode");
+        for stack in &stacks {
+            group.bench(stack.name(), || black_box(stack.input_page()));
+        }
     }
-    group.finish();
-}
 
-fn bench_selectivity(c: &mut Criterion) {
-    // Hit-fraction sweep on the macro stack: report cost is dominated by the
-    // number of rows rendered once the scan is fixed.
-    let dir = UrlDirectory::generate(5_000, 1996);
-    let db = dir.into_database();
-    let stacks = all_stacks(&db);
-    let macro_stack = stacks
-        .iter()
-        .find(|s| s.name() == "db2www-macro")
-        .expect("macro stack present");
-    let mut group = c.benchmark_group("E3_macro_by_selectivity");
-    group.sample_size(20);
-    for (label, fraction) in [("none", 0.0f64), ("some", 0.2), ("all", 1.0)] {
-        let search = dir.search_string(fraction, 7);
-        let inputs = QueryString::from_pairs([
-            ("SEARCH", search.as_str()),
-            ("USE_TITLE", "yes"),
-            ("DBFIELDS", "title"),
-        ]);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &inputs, |b, inputs| {
-            b.iter(|| black_box(macro_stack.report_page(black_box(inputs))));
-        });
+    {
+        // Hit-fraction sweep on the macro stack: report cost is dominated by
+        // the number of rows rendered once the scan is fixed.
+        let dir = UrlDirectory::generate(5_000, 1996);
+        let db = dir.into_database();
+        let stacks = all_stacks(&db);
+        let macro_stack = stacks
+            .iter()
+            .find(|s| s.name() == "db2www-macro")
+            .expect("macro stack present");
+        let mut group = suite.group("E3_macro_by_selectivity");
+        group.sample_size(20);
+        for (label, fraction) in [("none", 0.0f64), ("some", 0.2), ("all", 1.0)] {
+            let search = dir.search_string(fraction, 7);
+            let inputs = QueryString::from_pairs([
+                ("SEARCH", search.as_str()),
+                ("USE_TITLE", "yes"),
+                ("DBFIELDS", "title"),
+            ]);
+            group.bench(label, || {
+                black_box(macro_stack.report_page(black_box(&inputs)))
+            });
+        }
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_report_latency,
-    bench_input_latency,
-    bench_selectivity
-);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -6,46 +6,41 @@
 //! of SQL sections grows (fixed HTML) and as the HTML payload grows (fixed
 //! sections).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbgw_bench::synthetic_macro;
 use dbgw_core::parse_macro;
+use dbgw_testkit::bench::{Suite, Throughput};
 use std::hint::black_box;
 
-fn bench_sections(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E1_parse_by_sections");
-    for sections in [1usize, 4, 16, 64] {
-        let src = synthetic_macro(sections, 2048);
-        group.throughput(Throughput::Bytes(src.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(sections), &src, |b, src| {
-            b.iter(|| parse_macro(black_box(src)).unwrap());
+fn main() {
+    let mut suite = Suite::new("parse_macro");
+
+    {
+        let mut group = suite.group("E1_parse_by_sections");
+        for sections in [1usize, 4, 16, 64] {
+            let src = synthetic_macro(sections, 2048);
+            group.throughput(Throughput::Bytes(src.len() as u64));
+            group.bench(&sections.to_string(), || {
+                parse_macro(black_box(&src)).unwrap()
+            });
+        }
+    }
+
+    {
+        let mut group = suite.group("E1_parse_by_html_bytes");
+        for kib in [1usize, 16, 64, 256] {
+            let src = synthetic_macro(4, kib * 1024);
+            group.throughput(Throughput::Bytes(src.len() as u64));
+            group.bench(&kib.to_string(), || parse_macro(black_box(&src)).unwrap());
+        }
+    }
+
+    {
+        // The actual Appendix A application macro: the realistic unit of work.
+        let mut group = suite.group("E1_parse_appendix_a");
+        group.bench("appendix_a", || {
+            parse_macro(black_box(dbgw_baselines::URLQUERY_MACRO)).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_html_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E1_parse_by_html_bytes");
-    for kib in [1usize, 16, 64, 256] {
-        let src = synthetic_macro(4, kib * 1024);
-        group.throughput(Throughput::Bytes(src.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(kib), &src, |b, src| {
-            b.iter(|| parse_macro(black_box(src)).unwrap());
-        });
-    }
-    group.finish();
+    suite.finish();
 }
-
-fn bench_reference_macro(c: &mut Criterion) {
-    // The actual Appendix A application macro: the realistic unit of work.
-    c.bench_function("E1_parse_appendix_a", |b| {
-        b.iter(|| parse_macro(black_box(dbgw_baselines::URLQUERY_MACRO)).unwrap());
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_sections,
-    bench_html_size,
-    bench_reference_macro
-);
-criterion_main!(benches);

@@ -3,9 +3,9 @@
 //!
 //! Uses a canned database (FnDatabase) so only rendering is measured.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbgw_core::db::{DbRows, FnDatabase};
 use dbgw_core::{parse_macro, Engine, MacroFile, Mode};
+use dbgw_testkit::bench::{Suite, Throughput};
 use std::hint::black_box;
 
 fn canned(rows: usize, cols: usize) -> DbRows {
@@ -37,54 +37,52 @@ fn render(mac: &MacroFile, data: &DbRows, inputs: &[(String, String)]) -> String
         .unwrap()
 }
 
-fn bench_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E5_rows_4cols");
-    group.sample_size(20);
-    for rows in [10usize, 100, 1_000, 10_000] {
-        let data = canned(rows, 4);
+fn main() {
+    let mut suite = Suite::new("report_render");
+
+    {
+        let mut group = suite.group("E5_rows_4cols");
+        group.sample_size(20);
+        for rows in [10usize, 100, 1_000, 10_000] {
+            let data = canned(rows, 4);
+            let custom = custom_macro(4);
+            let default = default_macro();
+            group.throughput(Throughput::Elements(rows as u64));
+            group.bench(&format!("custom_row_block/{rows}"), || {
+                black_box(render(&custom, &data, &[]))
+            });
+            group.bench(&format!("default_table/{rows}"), || {
+                black_box(render(&default, &data, &[]))
+            });
+        }
+    }
+
+    {
+        let mut group = suite.group("E5_cols_1000rows");
+        group.sample_size(20);
+        for cols in [2usize, 8, 16] {
+            let data = canned(1000, cols);
+            let custom = custom_macro(cols);
+            group.throughput(Throughput::Elements((1000 * cols) as u64));
+            group.bench(&cols.to_string(), || black_box(render(&custom, &data, &[])));
+        }
+    }
+
+    {
+        // 10k rows fetched; printing truncated at RPT_MAX_ROWS. ROW_NUM must
+        // still report 10000, so the fetch loop runs fully — cost should drop
+        // with the cap but not to zero.
+        let data = canned(10_000, 4);
         let custom = custom_macro(4);
-        let default = default_macro();
-        group.throughput(Throughput::Elements(rows as u64));
-        group.bench_with_input(BenchmarkId::new("custom_row_block", rows), &data, |b, d| {
-            b.iter(|| black_box(render(&custom, d, &[])));
-        });
-        group.bench_with_input(BenchmarkId::new("default_table", rows), &data, |b, d| {
-            b.iter(|| black_box(render(&default, d, &[])));
-        });
+        let mut group = suite.group("E5_rpt_max_rows_of_10k");
+        group.sample_size(20);
+        for cap in [10usize, 100, 1_000, 10_000] {
+            let inputs = vec![("RPT_MAX_ROWS".to_string(), cap.to_string())];
+            group.bench(&cap.to_string(), || {
+                black_box(render(&custom, &data, &inputs))
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_cols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E5_cols_1000rows");
-    group.sample_size(20);
-    for cols in [2usize, 8, 16] {
-        let data = canned(1000, cols);
-        let custom = custom_macro(cols);
-        group.throughput(Throughput::Elements((1000 * cols) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(cols), &data, |b, d| {
-            b.iter(|| black_box(render(&custom, d, &[])));
-        });
-    }
-    group.finish();
+    suite.finish();
 }
-
-fn bench_rpt_max_rows(c: &mut Criterion) {
-    // 10k rows fetched; printing truncated at RPT_MAX_ROWS. ROW_NUM must
-    // still report 10000, so the fetch loop runs fully — cost should drop
-    // with the cap but not to zero.
-    let data = canned(10_000, 4);
-    let custom = custom_macro(4);
-    let mut group = c.benchmark_group("E5_rpt_max_rows_of_10k");
-    group.sample_size(20);
-    for cap in [10usize, 100, 1_000, 10_000] {
-        let inputs = vec![("RPT_MAX_ROWS".to_string(), cap.to_string())];
-        group.bench_with_input(BenchmarkId::from_parameter(cap), &inputs, |b, inputs| {
-            b.iter(|| black_box(render(&custom, &data, inputs)));
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_rows, bench_cols, bench_rpt_max_rows);
-criterion_main!(benches);

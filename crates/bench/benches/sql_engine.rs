@@ -5,7 +5,7 @@
 //! LIKE contains (scan), ORDER BY, and insert throughput — each over table
 //! sizes 10² … 10⁵.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbgw_testkit::bench::{Suite, Throughput};
 use dbgw_workload::UrlDirectory;
 use minisql::{Database, Value};
 use std::hint::black_box;
@@ -35,14 +35,16 @@ fn shop_db(rows: usize) -> Database {
     db
 }
 
-fn bench_point_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_point_lookup");
-    for rows in [100usize, 1_000, 10_000, 100_000] {
-        let db = shop_db(rows);
-        let target = (rows / 2) as i64;
-        group.bench_with_input(BenchmarkId::new("indexed", rows), &db, |b, db| {
+fn main() {
+    let mut suite = Suite::new("sql_engine");
+
+    {
+        let mut group = suite.group("E4_point_lookup");
+        for rows in [100usize, 1_000, 10_000, 100_000] {
+            let db = shop_db(rows);
+            let target = (rows / 2) as i64;
             let mut conn = db.connect();
-            b.iter(|| {
+            group.bench(&format!("indexed/{rows}"), || {
                 black_box(
                     conn.execute_with_params(
                         "SELECT label FROM items WHERE id = ?",
@@ -51,10 +53,8 @@ fn bench_point_lookup(c: &mut Criterion) {
                     .unwrap(),
                 )
             });
-        });
-        group.bench_with_input(BenchmarkId::new("scan", rows), &db, |b, db| {
             let mut conn = db.connect();
-            b.iter(|| {
+            group.bench(&format!("scan/{rows}"), || {
                 // id + 0 defeats the access-path planner: forced full scan.
                 black_box(
                     conn.execute_with_params(
@@ -64,82 +64,69 @@ fn bench_point_lookup(c: &mut Criterion) {
                     .unwrap(),
                 )
             });
-        });
+        }
     }
-    group.finish();
-}
 
-fn bench_like(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_like");
-    group.sample_size(20);
-    for rows in [1_000usize, 10_000, 100_000] {
-        let db = UrlDirectory::generate(rows, 3).into_database();
-        group.bench_with_input(BenchmarkId::new("prefix_indexed", rows), &db, |b, db| {
+    {
+        let mut group = suite.group("E4_like");
+        group.sample_size(20);
+        for rows in [1_000usize, 10_000, 100_000] {
+            let db = UrlDirectory::generate(rows, 3).into_database();
             let mut conn = db.connect();
-            b.iter(|| {
+            group.bench(&format!("prefix_indexed/{rows}"), || {
                 black_box(
                     conn.execute("SELECT url FROM urldb WHERE title LIKE 'Ibm%'")
                         .unwrap(),
                 )
             });
-        });
-        group.bench_with_input(BenchmarkId::new("contains_scan", rows), &db, |b, db| {
             let mut conn = db.connect();
-            b.iter(|| {
+            group.bench(&format!("contains_scan/{rows}"), || {
                 black_box(
                     conn.execute("SELECT url FROM urldb WHERE title LIKE '%ibm%'")
                         .unwrap(),
                 )
             });
-        });
+        }
     }
-    group.finish();
-}
 
-fn bench_order_by(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_order_by");
-    group.sample_size(20);
-    for rows in [1_000usize, 10_000, 100_000] {
-        let db = shop_db(rows);
-        group.throughput(Throughput::Elements(rows as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(rows), &db, |b, db| {
+    {
+        let mut group = suite.group("E4_order_by");
+        group.sample_size(20);
+        for rows in [1_000usize, 10_000, 100_000] {
+            let db = shop_db(rows);
             let mut conn = db.connect();
-            b.iter(|| {
+            group.throughput(Throughput::Elements(rows as u64));
+            group.bench(&rows.to_string(), || {
                 black_box(
                     conn.execute("SELECT id FROM items ORDER BY label DESC LIMIT 10")
                         .unwrap(),
                 )
             });
-        });
+        }
     }
-    group.finish();
-}
 
-fn bench_aggregate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_group_by");
-    group.sample_size(20);
-    for rows in [1_000usize, 10_000, 100_000] {
-        let db = shop_db(rows);
-        group.throughput(Throughput::Elements(rows as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(rows), &db, |b, db| {
+    {
+        let mut group = suite.group("E4_group_by");
+        group.sample_size(20);
+        for rows in [1_000usize, 10_000, 100_000] {
+            let db = shop_db(rows);
             let mut conn = db.connect();
-            b.iter(|| {
+            group.throughput(Throughput::Elements(rows as u64));
+            group.bench(&rows.to_string(), || {
                 black_box(
                     conn.execute("SELECT grp, COUNT(*), MAX(id) FROM items GROUP BY grp")
                         .unwrap(),
                 )
             });
-        });
+        }
     }
-    group.finish();
-}
 
-fn bench_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_insert_1k");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("fresh_table", |b| {
-        b.iter_with_setup(
+    {
+        let mut group = suite.group("E4_insert_1k");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_setup(
+            "fresh_table",
             || {
                 let db = Database::new();
                 db.run_script("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(20))")
@@ -158,16 +145,7 @@ fn bench_insert(c: &mut Criterion) {
                 black_box(db)
             },
         );
-    });
-    group.finish();
-}
+    }
 
-criterion_group!(
-    benches,
-    bench_point_lookup,
-    bench_like,
-    bench_order_by,
-    bench_aggregate,
-    bench_insert
-);
-criterion_main!(benches);
+    suite.finish();
+}

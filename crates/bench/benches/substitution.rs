@@ -4,9 +4,9 @@
 //! variable size (join of k conditional value strings), output size (one
 //! variable splatted many times), and the `$$` escape fast path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbgw_core::ast::DefineStatement;
 use dbgw_core::{DenyRunner, Env, Evaluator};
+use dbgw_testkit::bench::{Suite, Throughput};
 use std::hint::black_box;
 
 fn env_chain(depth: usize) -> Env {
@@ -24,93 +24,76 @@ fn env_chain(depth: usize) -> Env {
     env
 }
 
-fn bench_chain_depth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E2_chain_depth");
-    for depth in [1usize, 8, 32, 96] {
-        let env = env_chain(depth);
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &env, |b, env| {
-            b.iter(|| {
-                let mut ev = Evaluator::new(env, &DenyRunner);
+fn main() {
+    let mut suite = Suite::new("substitution");
+
+    {
+        let mut group = suite.group("E2_chain_depth");
+        for depth in [1usize, 8, 32, 96] {
+            let env = env_chain(depth);
+            group.bench(&depth.to_string(), || {
+                let mut ev = Evaluator::new(&env, &DenyRunner);
                 black_box(ev.value_of("v0").unwrap())
             });
-        });
-    }
-    group.finish();
-}
-
-fn bench_list_join(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E2_list_elements");
-    for k in [10usize, 100, 1000, 10000] {
-        let mut env = Env::new();
-        env.apply(&DefineStatement::ListDecl {
-            name: "L".into(),
-            separator: " OR ".into(),
-        });
-        for i in 0..k {
-            env.apply(&DefineStatement::Simple {
-                name: "L".into(),
-                value: format!("c = {i}"),
-            });
         }
-        group.throughput(Throughput::Elements(k as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &env, |b, env| {
-            b.iter(|| {
-                let mut ev = Evaluator::new(env, &DenyRunner);
+    }
+
+    {
+        let mut group = suite.group("E2_list_elements");
+        for k in [10usize, 100, 1000, 10000] {
+            let mut env = Env::new();
+            env.apply(&DefineStatement::ListDecl {
+                name: "L".into(),
+                separator: " OR ".into(),
+            });
+            for i in 0..k {
+                env.apply(&DefineStatement::Simple {
+                    name: "L".into(),
+                    value: format!("c = {i}"),
+                });
+            }
+            group.throughput(Throughput::Elements(k as u64));
+            group.bench(&k.to_string(), || {
+                let mut ev = Evaluator::new(&env, &DenyRunner);
                 black_box(ev.value_of("L").unwrap())
             });
-        });
+        }
     }
-    group.finish();
-}
 
-fn bench_template_size(c: &mut Criterion) {
-    // Output size scaling: a template with n references to one variable.
-    let mut group = c.benchmark_group("E2_references_in_template");
-    for n in [10usize, 100, 1000] {
-        let mut env = Env::new();
-        env.apply(&DefineStatement::Simple {
-            name: "X".into(),
-            value: "value-of-x".into(),
-        });
-        let template = "a $(X) b ".repeat(n);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &template, |b, t| {
-            b.iter(|| {
-                let mut ev = Evaluator::new(&env, &DenyRunner);
-                black_box(ev.substitute(black_box(t)).unwrap())
+    {
+        // Output size scaling: a template with n references to one variable.
+        let mut group = suite.group("E2_references_in_template");
+        for n in [10usize, 100, 1000] {
+            let mut env = Env::new();
+            env.apply(&DefineStatement::Simple {
+                name: "X".into(),
+                value: "value-of-x".into(),
             });
-        });
+            let template = "a $(X) b ".repeat(n);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench(&n.to_string(), || {
+                let mut ev = Evaluator::new(&env, &DenyRunner);
+                black_box(ev.substitute(black_box(&template)).unwrap())
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_no_references_fast_path(c: &mut Criterion) {
-    let env = Env::new();
-    let plain = "just a long line of html with no references at all ".repeat(100);
-    let escaped = "price $$ (literal) $$(name) ".repeat(100);
-    let mut group = c.benchmark_group("E2_plain_text");
-    group.throughput(Throughput::Bytes(plain.len() as u64));
-    group.bench_function("no_dollars", |b| {
-        b.iter(|| {
+    {
+        let env = Env::new();
+        let plain = "just a long line of html with no references at all ".repeat(100);
+        let escaped = "price $$ (literal) $$(name) ".repeat(100);
+        let mut group = suite.group("E2_plain_text");
+        group.throughput(Throughput::Bytes(plain.len() as u64));
+        group.bench("no_dollars", || {
             let mut ev = Evaluator::new(&env, &DenyRunner);
             black_box(ev.substitute(black_box(&plain)).unwrap())
         });
-    });
-    group.throughput(Throughput::Bytes(escaped.len() as u64));
-    group.bench_function("dollar_escapes", |b| {
-        b.iter(|| {
+        group.throughput(Throughput::Bytes(escaped.len() as u64));
+        group.bench("dollar_escapes", || {
             let mut ev = Evaluator::new(&env, &DenyRunner);
             black_box(ev.substitute(black_box(&escaped)).unwrap())
         });
-    });
-    group.finish();
-}
+    }
 
-criterion_group!(
-    benches,
-    bench_chain_depth,
-    bench_list_join,
-    bench_template_size,
-    bench_no_references_fast_path
-);
-criterion_main!(benches);
+    suite.finish();
+}

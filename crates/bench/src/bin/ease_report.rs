@@ -15,9 +15,7 @@
 
 use dbgw_baselines::{all_stacks, UrlQueryApp};
 use dbgw_workload::UrlDirectory;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct StackReport {
     stack: String,
     artifact_kind: String,
@@ -60,8 +58,8 @@ fn collect() -> Vec<StackReport> {
 fn main() {
     let reports = collect();
     if std::env::args().any(|a| a == "--json") {
-        // serde_json is not in the approved set; emit JSON by hand through
-        // serde's field order (stable because the struct is ours).
+        // Zero-dependency policy: JSON is emitted by hand (field order is
+        // stable because the struct is ours).
         print!("[");
         for (i, r) in reports.iter().enumerate() {
             if i > 0 {

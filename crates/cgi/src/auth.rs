@@ -180,7 +180,8 @@ fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dbgw_testkit::gen::bytes;
+    use dbgw_testkit::{prop_assert_eq, props};
 
     #[test]
     fn base64_known_vectors() {
@@ -204,9 +205,8 @@ mod tests {
         assert_eq!(base64_decode("Zm9v\nYmFy").unwrap(), b"foobar");
     }
 
-    proptest! {
-        #[test]
-        fn base64_round_trips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+    props! {
+        fn base64_round_trips(data in bytes(0..=63)) {
             prop_assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
         }
     }

@@ -7,10 +7,10 @@
 use crate::bridge::MiniSqlDatabase;
 use crate::request::{CgiRequest, CgiResponse};
 use crate::session::{SessionManager, END_VAR, SESSION_ID_VAR, SESSION_VAR};
+use crate::sync::RwLock;
 use dbgw_core::db::Database;
 use dbgw_core::security::safe_macro_name;
 use dbgw_core::{parse_macro, Engine, EngineConfig, MacroError, MacroFile, Mode, TxnMode};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;

@@ -9,8 +9,7 @@ use crate::auth::{AuthDecision, BasicAuth};
 use crate::gateway::Gateway;
 use crate::log::{AccessLog, LogEntry};
 use crate::request::{CgiRequest, CgiResponse, Method};
-use bytes::BytesMut;
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -164,7 +163,7 @@ impl HttpRequest {
 }
 
 fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
-    let mut buf = BytesMut::with_capacity(4096);
+    let mut buf = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     // Read until we have the full header block.
     let header_end = loop {

@@ -21,6 +21,7 @@ pub mod log;
 pub mod query;
 pub mod request;
 pub mod session;
+pub mod sync;
 pub mod urlencode;
 
 pub use auth::{base64_decode, base64_encode, AuthDecision, BasicAuth};

@@ -4,7 +4,7 @@
 //! tooling parsed; the reproduction's server records the same shape so the
 //! concurrency experiments can audit exactly which requests ran.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::Arc;
 
 /// One logged request.

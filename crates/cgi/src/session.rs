@@ -20,8 +20,8 @@
 //! Sessions expire after a TTL (abandoned browsers must not pin locks
 //! forever); expiry rolls back.
 
+use crate::sync::Mutex;
 use dbgw_core::db::{Database, DbError};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

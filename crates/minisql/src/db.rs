@@ -13,7 +13,7 @@
 //! Every statement is *statement-atomic* in both modes: a multi-row INSERT
 //! that fails on row 3 leaves no trace of rows 1–2.
 //!
-//! Concurrency: the catalog sits behind a `parking_lot::RwLock`; queries take
+//! Concurrency: the catalog sits behind a poison-recovering RwLock; queries take
 //! the read lock, DML/DDL the write lock. Transactions provide atomicity via
 //! an undo log, not snapshot isolation — faithful to the original system,
 //! where each CGI request was a short single-threaded process.
@@ -27,8 +27,8 @@ use crate::parser::{parse, parse_script};
 use crate::schema::TableSchema;
 use crate::state::{DbState, TableData};
 use crate::storage::{Heap, Row, RowId};
+use crate::sync::RwLock;
 use crate::types::Value;
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Outcome of executing one statement.

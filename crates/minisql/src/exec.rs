@@ -7,7 +7,7 @@
 //! `LIKE 'prefix%'` conjunct over an indexed base-table column turns the base
 //! scan into an index probe. Every candidate row is still checked against the
 //! full WHERE clause, so access-path choice can only change performance,
-//! never results — a property the proptest suite exercises.
+//! never results — a property the property-test suite exercises.
 
 use crate::ast::{AggFunc, BinOp, ColumnRef, Expr, OrderKey, Select, SelectItem, SetOp, SortDir};
 use crate::error::{SqlError, SqlResult};

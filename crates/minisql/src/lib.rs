@@ -48,6 +48,7 @@ pub mod parser;
 pub mod schema;
 pub mod state;
 pub mod storage;
+pub mod sync;
 pub mod token;
 pub mod types;
 

@@ -5,8 +5,9 @@
 //! must answer every query identically to an unindexed copy of the same
 //! data. This is the core soundness property of `exec::choose_access_path`.
 
+use dbgw_testkit::gen::{charset, ints, vec_of};
+use dbgw_testkit::{prop_assert_eq, props};
 use minisql::{Database, ExecResult, Value};
-use proptest::prelude::*;
 
 /// Load identical data into two databases; only one gets indexes.
 fn twin_dbs(rows: &[(i64, String)]) -> (Database, Database) {
@@ -39,16 +40,15 @@ fn query(db: &Database, sql: &str) -> Vec<Vec<Value>> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    config(cases = 48);
 
-    #[test]
     fn indexed_and_unindexed_agree(
-        rows in proptest::collection::vec((0i64..20, "[a-c]{0,4}"), 0..40),
-        probe_k in 0i64..20,
-        lo in 0i64..10,
-        span in 0i64..10,
-        prefix in "[a-c]{0,2}",
+        rows in vec_of((ints(0..20), charset("abc", 0..=4)), 0..=39),
+        probe_k in ints(0..20),
+        lo in ints(0..10),
+        span in ints(0..10),
+        prefix in charset("abc", 0..=2),
     ) {
         let (indexed, plain) = twin_dbs(&rows);
         let hi = lo + span;
@@ -63,14 +63,13 @@ proptest! {
             format!("SELECT COUNT(*) FROM t WHERE k = {probe_k} OR s LIKE '%{prefix}'"),
         ];
         for q in &queries {
-            prop_assert_eq!(query(&indexed, q), query(&plain, q), "query: {}", q);
+            prop_assert_eq!(query(&indexed, q), query(&plain, q), "query {q}: indexed != plain");
         }
     }
 
-    #[test]
     fn dml_agrees_under_indexes(
-        rows in proptest::collection::vec((0i64..10, "[a-b]{0,3}"), 0..25),
-        target in 0i64..10,
+        rows in vec_of((ints(0..10), charset("ab", 0..=3)), 0..=24),
+        target in ints(0..10),
     ) {
         let (indexed, plain) = twin_dbs(&rows);
         for db in [&indexed, &plain] {

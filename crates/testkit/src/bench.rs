@@ -1,0 +1,328 @@
+//! A micro-benchmark timer: warmup, auto-calibrated batching, median-of-N.
+//!
+//! Replaces criterion for this workspace's benches. Results print as aligned
+//! human-readable lines; set `BENCH_JSON=<path>` (or `-` for stdout) to also
+//! emit one JSON object per benchmark, the format the `BENCH_*.json`
+//! trajectory files consume. `BENCH_QUICK=1` cuts samples and batch time for
+//! smoke runs.
+//!
+//! ```no_run
+//! let mut suite = dbgw_testkit::bench::Suite::new("parse_macro");
+//! let mut group = suite.group("E1_parse_by_sections");
+//! group.throughput(dbgw_testkit::bench::Throughput::Bytes(1024));
+//! group.bench("4", || 2 + 2);
+//! drop(group);
+//! suite.finish();
+//! ```
+
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Units processed per iteration, for derived rates in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Items per iteration.
+    Elements(u64),
+}
+
+/// One benchmark's measurements, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// `group/bench` identifier.
+    pub id: String,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations batched per sample.
+    pub iters_per_sample: u64,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Stats {
+    fn human_rate(&self) -> String {
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (self.median_ns / 1e9);
+                format!("  ({})", format_bytes_rate(per_sec))
+            }
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (self.median_ns / 1e9);
+                format!("  ({per_sec:.0} elem/s)")
+            }
+            None => String::new(),
+        }
+    }
+}
+
+fn format_bytes_rate(bytes_per_sec: f64) -> String {
+    const UNITS: &[&str] = &["B/s", "KiB/s", "MiB/s", "GiB/s", "TiB/s"];
+    let mut rate = bytes_per_sec;
+    let mut unit = 0;
+    while rate >= 1024.0 && unit + 1 < UNITS.len() {
+        rate /= 1024.0;
+        unit += 1;
+    }
+    format!("{rate:.1} {}", UNITS[unit])
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmark groups; one per bench binary.
+pub struct Suite {
+    name: String,
+    quick: bool,
+    json: Option<JsonSink>,
+    count: usize,
+    started: Instant,
+}
+
+enum JsonSink {
+    Stdout,
+    File(std::fs::File),
+}
+
+impl Suite {
+    /// Read `BENCH_JSON` / `BENCH_QUICK` from the environment and announce
+    /// the suite.
+    pub fn new(name: &str) -> Suite {
+        let json = match std::env::var("BENCH_JSON") {
+            Ok(path) if path == "-" => Some(JsonSink::Stdout),
+            Ok(path) => Some(JsonSink::File(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("BENCH_JSON={path}: {e}")),
+            )),
+            Err(_) => None,
+        };
+        let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0");
+        println!("suite {name}{}", if quick { " (quick)" } else { "" });
+        Suite {
+            name: name.to_owned(),
+            quick,
+            json,
+            count: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Open a benchmark group (a series over one parameter).
+    pub fn group(&mut self, id: &str) -> Group<'_> {
+        Group {
+            suite: self,
+            id: id.to_owned(),
+            samples: 0, // 0 = default
+            throughput: None,
+        }
+    }
+
+    /// Print the closing summary line.
+    pub fn finish(self) {
+        println!(
+            "suite {}: {} benchmarks in {:.1} s",
+            self.name,
+            self.count,
+            self.started.elapsed().as_secs_f64()
+        );
+    }
+
+    fn record(&mut self, stats: &Stats) {
+        self.count += 1;
+        println!(
+            "  {:<44} median {:>10}   [{} .. {}]{}",
+            stats.id,
+            format_ns(stats.median_ns),
+            format_ns(stats.min_ns),
+            format_ns(stats.max_ns),
+            stats.human_rate(),
+        );
+        if let Some(sink) = &mut self.json {
+            let throughput = match stats.throughput {
+                Some(Throughput::Bytes(n)) => format!(",\"bytes_per_iter\":{n}"),
+                Some(Throughput::Elements(n)) => format!(",\"elements_per_iter\":{n}"),
+                None => String::new(),
+            };
+            let line = format!(
+                "{{\"suite\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\
+                 \"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{}}}\n",
+                self.name,
+                stats.id,
+                stats.median_ns,
+                stats.min_ns,
+                stats.max_ns,
+                stats.samples,
+                stats.iters_per_sample,
+                throughput,
+            );
+            match sink {
+                JsonSink::Stdout => print!("{line}"),
+                JsonSink::File(f) => {
+                    let _ = f.write_all(line.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// A series of related benchmarks sharing throughput and sample settings.
+pub struct Group<'a> {
+    suite: &'a mut Suite,
+    id: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Override the number of samples (default 9, quick mode 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Declare per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        let n = if self.samples == 0 { 9 } else { self.samples };
+        if self.suite.quick {
+            n.min(3)
+        } else {
+            n
+        }
+    }
+
+    fn target_sample_ns(&self) -> u64 {
+        if self.suite.quick {
+            1_000_000 // 1 ms
+        } else {
+            5_000_000 // 5 ms
+        }
+    }
+
+    /// Benchmark `f`, batching calls so each timed sample is long enough to
+    /// swamp timer resolution; report the median per-iteration time.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        let samples = self.effective_samples();
+        // Warmup doubles as calibration: how long does one call take?
+        let mut one_ns = u64::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            black_box(f());
+            one_ns = one_ns.min(start.elapsed().as_nanos() as u64);
+        }
+        let iters = (self.target_sample_ns() / one_ns.max(1)).clamp(1, 1_000_000);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.report(id, times, iters);
+    }
+
+    /// Benchmark `routine` with a fresh, untimed `setup` product per call.
+    /// Each sample is a single timed call (no batching), so prefer routines
+    /// well above timer resolution.
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        id: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        let samples = self.effective_samples();
+        // One warmup pass.
+        black_box(routine(setup()));
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        self.report(id, times, 1);
+    }
+
+    fn report(&mut self, id: &str, mut times: Vec<f64>, iters: u64) {
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        let stats = Stats {
+            id: format!("{}/{id}", self.id),
+            median_ns: median,
+            min_ns: times[0],
+            max_ns: *times.last().unwrap(),
+            samples: times.len(),
+            iters_per_sample: iters,
+            throughput: self.throughput,
+        };
+        self.suite.record(&stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        let mut suite = Suite::new("selftest");
+        {
+            let mut group = suite.group("g");
+            group.sample_size(3);
+            group.bench("noop", || black_box(1 + 1));
+        }
+        assert_eq!(suite.count, 1);
+        suite.finish();
+    }
+
+    #[test]
+    fn bench_with_setup_runs_setup_per_sample() {
+        let mut suite = Suite::new("selftest2");
+        let mut setups = 0usize;
+        {
+            let mut group = suite.group("g");
+            group.sample_size(4);
+            group.bench_with_setup(
+                "b",
+                || {
+                    setups += 1;
+                    vec![0u8; 64]
+                },
+                |v| v.len(),
+            );
+        }
+        // 1 warmup + 4 samples.
+        assert_eq!(setups, 5);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(format_bytes_rate(512.0), "512.0 B/s");
+        assert_eq!(format_bytes_rate(2048.0), "2.0 KiB/s");
+        assert!(format_ns(1500.0).contains("µs"));
+    }
+}

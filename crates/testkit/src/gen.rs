@@ -1,0 +1,611 @@
+//! Value generators for property-based tests.
+//!
+//! A [`Gen`] produces random values from an [`Rng`] and, on failure, proposes
+//! *smaller* candidate values via [`Gen::shrink`]. The runner greedily walks
+//! shrink candidates until none of them reproduces the failure, so the value
+//! reported to the developer is locally minimal.
+//!
+//! Generators compose structurally: tuples of generators generate tuples,
+//! [`vec_of`] generates vectors, [`option_of`] generates options. String
+//! generators are built from explicit character sets instead of regexes —
+//! `charset("abc%_", 0..=6)` replaces proptest's `"[a-c%_]{0,6}"`.
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+
+/// A source of random values with structural shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+    /// Draw one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+    /// Candidate simpler values to try when `value` fails a property.
+    /// An empty vector means the value is already minimal.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Inclusive length bounds for strings and collections. Accepts both `0..10`
+/// (half-open, like slice indexing) and `0..=9`.
+pub trait LenRange {
+    /// `(min, max)`, both inclusive.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl LenRange for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl LenRange for std::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty length range");
+        (*self.start(), *self.end())
+    }
+}
+
+// ---------------------------------------------------------------- integers
+
+/// Uniform `i64` in an inclusive interval; shrinks toward the in-range value
+/// closest to zero.
+#[derive(Debug, Clone)]
+pub struct IntGen {
+    lo: i64,
+    hi: i64,
+}
+
+/// Uniform integer from a half-open range, e.g. `ints(-100..100)`.
+pub fn ints(range: std::ops::Range<i64>) -> IntGen {
+    assert!(range.start < range.end, "empty integer range");
+    IntGen {
+        lo: range.start,
+        hi: range.end - 1,
+    }
+}
+
+/// Uniform over the full `i64` domain.
+pub fn any_i64() -> IntGen {
+    IntGen {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    }
+}
+
+impl IntGen {
+    fn anchor(&self) -> i64 {
+        if self.lo <= 0 && 0 <= self.hi {
+            0
+        } else if self.lo > 0 {
+            self.lo
+        } else {
+            self.hi
+        }
+    }
+}
+
+impl Gen for IntGen {
+    type Value = i64;
+    fn generate(&self, rng: &mut Rng) -> i64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+    fn shrink(&self, value: &i64) -> Vec<i64> {
+        let v = *value;
+        let anchor = self.anchor();
+        let mut out = Vec::new();
+        let mut push = |c: i64| {
+            if c != v && c >= self.lo && c <= self.hi && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        if v != anchor {
+            push(anchor);
+            // Midpoint toward the anchor (i128 avoids overflow at extremes).
+            push(((v as i128 + anchor as i128) / 2) as i64);
+            // One step toward the anchor.
+            push(if v > anchor { v - 1 } else { v + 1 });
+        }
+        out
+    }
+}
+
+/// Uniform `usize` from a half-open range; shrinks toward the minimum.
+#[derive(Debug, Clone)]
+pub struct UsizeGen {
+    lo: usize,
+    hi: usize,
+}
+
+/// Uniform `usize`, e.g. `usizes(0..50)`.
+pub fn usizes(range: std::ops::Range<usize>) -> UsizeGen {
+    assert!(range.start < range.end, "empty integer range");
+    UsizeGen {
+        lo: range.start,
+        hi: range.end - 1,
+    }
+}
+
+impl Gen for UsizeGen {
+    type Value = usize;
+    fn generate(&self, rng: &mut Rng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        let v = *value;
+        let mut out = Vec::new();
+        let mut push = |c: usize| {
+            if c != v && c >= self.lo && c <= self.hi && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        push(self.lo);
+        push(self.lo + (v - self.lo) / 2);
+        push(v.saturating_sub(1));
+        out
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward zero and whole numbers.
+#[derive(Debug, Clone)]
+pub struct F64Gen {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform float, e.g. `f64s(-1.0e6..1.0e6)`.
+pub fn f64s(range: std::ops::Range<f64>) -> F64Gen {
+    assert!(range.start < range.end, "empty float range");
+    F64Gen {
+        lo: range.start,
+        hi: range.end,
+    }
+}
+
+impl Gen for F64Gen {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        let mut out = Vec::new();
+        let mut push = |c: f64| {
+            if c != v && c >= self.lo && c < self.hi && !out.iter().any(|x: &f64| x == &c) {
+                out.push(c);
+            }
+        };
+        if self.lo <= 0.0 && 0.0 < self.hi {
+            push(0.0);
+        }
+        push(v.trunc());
+        push(v / 2.0);
+        out
+    }
+}
+
+// ----------------------------------------------------------------- strings
+
+/// A string from explicit character sets, with optional distinct first-char
+/// set (for identifier-shaped strings).
+#[derive(Debug, Clone)]
+pub struct StringGen {
+    first: Vec<char>,
+    rest: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A string whose chars all come from `chars`, e.g.
+/// `charset("abc%_", 0..=6)` for the regex `[a-c%_]{0,6}`.
+pub fn charset(chars: &str, len: impl LenRange) -> StringGen {
+    let rest: Vec<char> = chars.chars().collect();
+    assert!(!rest.is_empty(), "empty character set");
+    let (min, max) = len.bounds();
+    StringGen {
+        first: Vec::new(),
+        rest,
+        min,
+        max,
+    }
+}
+
+/// Like [`charset`] but the first character is drawn from its own set —
+/// `charset_first("ab", "ab0", 1..=9)` for `[ab][ab0]{0,8}`.
+pub fn charset_first(first: &str, rest: &str, len: impl LenRange) -> StringGen {
+    let mut g = charset(rest, len);
+    g.first = first.chars().collect();
+    assert!(!g.first.is_empty(), "empty first-character set");
+    assert!(g.min >= 1, "a distinct first char needs length >= 1");
+    g
+}
+
+/// Printable characters: the ASCII visible range plus a pool of multi-byte
+/// code points, standing in for proptest's `\PC` class. Multi-byte chars are
+/// deliberately frequent enough (~10%) to catch byte/char index confusion.
+pub fn printable(len: impl LenRange) -> StringGen {
+    const EXOTIC: &str = "é߀λΩ᭎日𝄞\u{FFFD}¡×\u{2028}";
+    let mut chars: Vec<char> = (' '..='~').collect();
+    chars.extend(EXOTIC.chars());
+    let (min, max) = len.bounds();
+    StringGen {
+        first: Vec::new(),
+        rest: chars,
+        min,
+        max,
+    }
+}
+
+/// An identifier: `[A-Za-z_][A-Za-z0-9_]*` with the given *total* length.
+pub fn ident(len: impl LenRange) -> StringGen {
+    charset_first(
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_",
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+        len,
+    )
+}
+
+/// The full printable-ASCII set (`[ -~]`).
+pub fn ascii(len: impl LenRange) -> StringGen {
+    let (min, max) = len.bounds();
+    StringGen {
+        first: Vec::new(),
+        rest: (' '..='~').collect(),
+        min,
+        max,
+    }
+}
+
+impl StringGen {
+    /// Remove characters from both sets (`printable(..).exclude("$")` for the
+    /// regex `[^$]`).
+    pub fn exclude(mut self, chars: &str) -> StringGen {
+        self.first.retain(|c| !chars.contains(*c));
+        self.rest.retain(|c| !chars.contains(*c));
+        assert!(!self.rest.is_empty(), "exclusion emptied the character set");
+        self
+    }
+}
+
+impl Gen for StringGen {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let len = rng.gen_range(self.min..=self.max);
+        let mut out = String::with_capacity(len);
+        for i in 0..len {
+            let pool = if i == 0 && !self.first.is_empty() {
+                &self.first
+            } else {
+                &self.rest
+            };
+            out.push(*rng.choose(pool));
+        }
+        out
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let n = chars.len();
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |cand: String| {
+            if cand != *value && !out.contains(&cand) {
+                out.push(cand);
+            }
+        };
+        // Shorter first: half, then one-off, then drop-leading when legal.
+        if n > self.min {
+            let half = self.min.max(n / 2);
+            push(chars[..half].iter().collect());
+            push(chars[..n - 1].iter().collect());
+            if self.first.is_empty() {
+                push(chars[1..].iter().collect());
+            }
+        }
+        // Then simpler characters: rewrite positions to the canonical char.
+        let simple_rest = self.rest[0];
+        for i in 0..n.min(12) {
+            let canonical = if i == 0 && !self.first.is_empty() {
+                self.first[0]
+            } else {
+                simple_rest
+            };
+            if chars[i] != canonical {
+                let mut cand = chars.clone();
+                cand[i] = canonical;
+                push(cand.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+/// A string concatenated from whole tokens out of a fixed pool — the stand-in
+/// for alternation regexes like `(SELECT|INSERT|')+`. Shrinks by truncation.
+#[derive(Debug, Clone)]
+pub struct TokenGen {
+    pool: Vec<String>,
+    min: usize,
+    max: usize,
+}
+
+/// `tokens(&["SELECT ", "'", "("], 1..=40)` concatenates 1–40 pool entries.
+pub fn tokens(pool: &[&str], count: impl LenRange) -> TokenGen {
+    assert!(!pool.is_empty(), "empty token pool");
+    let (min, max) = count.bounds();
+    TokenGen {
+        pool: pool.iter().map(|s| s.to_string()).collect(),
+        min,
+        max,
+    }
+}
+
+impl Gen for TokenGen {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let n = rng.gen_range(self.min..=self.max);
+        let mut out = String::new();
+        for _ in 0..n {
+            let token: &String = rng.choose(&self.pool);
+            out.push_str(token);
+        }
+        out
+    }
+    fn shrink(&self, value: &String) -> Vec<String> {
+        // Token boundaries are lost in the concatenation; plain truncation is
+        // enough for the totality fuzzing these drive.
+        let chars: Vec<char> = value.chars().collect();
+        let mut out = Vec::new();
+        if chars.len() > 1 {
+            out.push(chars[..chars.len() / 2].iter().collect());
+            out.push(chars[..chars.len() - 1].iter().collect());
+        } else if chars.len() == 1 && self.min == 0 {
+            out.push(String::new());
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------- collections
+
+/// A vector of values from an element generator.
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    min: usize,
+    max: usize,
+}
+
+/// `vec_of(ints(0..10), 0..=39)` — a vector of 0 to 39 small integers.
+pub fn vec_of<G: Gen>(elem: G, len: impl LenRange) -> VecGen<G> {
+    let (min, max) = len.bounds();
+    VecGen { elem, min, max }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<G::Value> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let n = value.len();
+        let mut out: Vec<Vec<G::Value>> = Vec::new();
+        // Structurally smaller: first half, then each single removal (capped).
+        if n > self.min {
+            out.push(value[..self.min.max(n / 2)].to_vec());
+            for i in (0..n).rev().take(12) {
+                let mut cand = value.to_vec();
+                cand.remove(i);
+                out.push(cand);
+            }
+        }
+        // Element-wise simpler, a few candidates per slot.
+        for i in 0..n.min(12) {
+            for simpler in self.elem.shrink(&value[i]).into_iter().take(3) {
+                let mut cand = value.to_vec();
+                cand[i] = simpler;
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// A byte vector (`Vec<u8>`), shrinking toward short and toward zeros.
+#[derive(Debug, Clone)]
+pub struct BytesGen {
+    min: usize,
+    max: usize,
+}
+
+/// `bytes(0..=63)` — arbitrary bytes, any value `0..=255`.
+pub fn bytes(len: impl LenRange) -> BytesGen {
+    let (min, max) = len.bounds();
+    BytesGen { min, max }
+}
+
+impl Gen for BytesGen {
+    type Value = Vec<u8>;
+    fn generate(&self, rng: &mut Rng) -> Vec<u8> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| rng.gen_range(0u8..=255)).collect()
+    }
+    fn shrink(&self, value: &Vec<u8>) -> Vec<Vec<u8>> {
+        let n = value.len();
+        let mut out = Vec::new();
+        if n > self.min {
+            out.push(value[..self.min.max(n / 2)].to_vec());
+            out.push(value[..n - 1].to_vec());
+        }
+        for i in 0..n.min(12) {
+            if value[i] != 0 {
+                let mut cand = value.to_vec();
+                cand[i] = 0;
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// `Option<T>` from an inner generator.
+#[derive(Debug, Clone)]
+pub struct OptionGen<G> {
+    inner: G,
+    some_probability: f64,
+}
+
+/// `option_of(printable(0..=16))` — `None` a quarter of the time.
+pub fn option_of<G: Gen>(inner: G) -> OptionGen<G> {
+    OptionGen {
+        inner,
+        some_probability: 0.75,
+    }
+}
+
+impl<G: Gen> Gen for OptionGen<G> {
+    type Value = Option<G::Value>;
+    fn generate(&self, rng: &mut Rng) -> Option<G::Value> {
+        if rng.gen_bool(self.some_probability) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+    fn shrink(&self, value: &Option<G::Value>) -> Vec<Option<G::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(self.inner.shrink(v).into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ tuples
+
+macro_rules! impl_tuple_gen {
+    ($($G:ident / $v:ident / $i:tt),+) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for simpler in self.$i.shrink(&value.$i) {
+                        let mut cand = value.clone();
+                        cand.$i = simpler;
+                        out.push(cand);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_gen!(A / a / 0);
+impl_tuple_gen!(A / a / 0, B / b / 1);
+impl_tuple_gen!(A / a / 0, B / b / 1, C / c / 2);
+impl_tuple_gen!(A / a / 0, B / b / 1, C / c / 2, D / d / 3);
+impl_tuple_gen!(A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4);
+impl_tuple_gen!(
+    A / a / 0,
+    B / b / 1,
+    C / c / 2,
+    D / d / 3,
+    E / e / 4,
+    F / f / 5
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charset_respects_set_and_length() {
+        let g = charset("abc", 2..=5);
+        let mut rng = Rng::new(1);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ident_first_char_is_not_a_digit() {
+        let g = ident(1..=9);
+        let mut rng = Rng::new(2);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            let first = s.chars().next().unwrap();
+            assert!(!first.is_ascii_digit(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exclude_removes_chars() {
+        let g = printable(1..=40).exclude("$");
+        let mut rng = Rng::new(3);
+        for _ in 0..200 {
+            assert!(!g.generate(&mut rng).contains('$'));
+        }
+    }
+
+    #[test]
+    fn vec_len_in_bounds_and_shrinks_shorter() {
+        let g = vec_of(ints(0..100), 3..=8);
+        let mut rng = Rng::new(4);
+        let v = g.generate(&mut rng);
+        assert!((3..=8).contains(&v.len()));
+        for cand in g.shrink(&v) {
+            assert!(cand.len() >= 3, "shrink below min length: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn int_shrink_stays_in_range_and_heads_to_zero() {
+        let g = ints(-100..100);
+        for cand in g.shrink(&77) {
+            assert!((-100..100).contains(&cand));
+            assert!(cand.abs() < 77);
+        }
+        assert!(g.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn string_shrink_never_grows() {
+        let g = printable(0..=20);
+        let mut rng = Rng::new(5);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            for cand in g.shrink(&s) {
+                assert!(cand.chars().count() <= s.chars().count());
+            }
+        }
+    }
+
+    #[test]
+    fn option_shrinks_to_none_first() {
+        let g = option_of(ints(0..10));
+        let shrunk = g.shrink(&Some(5));
+        assert_eq!(shrunk.first(), Some(&None));
+    }
+}

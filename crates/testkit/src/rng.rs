@@ -1,0 +1,208 @@
+//! Deterministic pseudo-random numbers: a splitmix64-seeded xoshiro256**.
+//!
+//! This is the single source of randomness for the whole workspace — the
+//! property harness, the workload generators, and the benches all draw from
+//! it, so a recorded seed reproduces a run exactly on any platform.
+
+/// The splitmix64 step (Steele, Lea & Flood), used to expand a 64-bit seed
+/// into the xoshiro state and nothing else.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic PRNG (xoshiro256**).
+///
+/// Not cryptographic. The same seed always yields the same sequence; that is
+/// the entire point.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// A generator whose whole state derives from `seed` via splitmix64.
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32-bit output (upper half of [`Rng::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform over an integer or float range, e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(1u64..=6)`. Panics on an empty range.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from an empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// An independent child generator (for per-thread streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// Unbiased uniform in `[0, span)`; `span` must be nonzero.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return self.next_u64() & (span - 1);
+        }
+        // Rejection sampling: accept only the largest prefix of the u64 range
+        // that is an exact multiple of `span`.
+        let rem = (u64::MAX % span).wrapping_add(1) % span;
+        if rem == 0 {
+            return self.next_u64() % span;
+        }
+        let limit = u64::MAX - rem;
+        loop {
+            let x = self.next_u64();
+            if x <= limit {
+                return x % span;
+            }
+        }
+    }
+}
+
+/// Range types [`Rng::gen_range`] can sample uniformly.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample_from(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range over an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl UniformRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range over an empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range over an empty range");
+        self.start + (self.end - self.start) * rng.gen_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let xs: Vec<u64> = {
+            let mut r = Rng::new(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let ys: Vec<u64> = {
+            let mut r = Rng::new(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut r = Rng::new(9);
+        // Must not overflow span arithmetic.
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+        let _ = r.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::new(11);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        Rng::new(1).gen_range(5i64..5);
+    }
+}

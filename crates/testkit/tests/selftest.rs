@@ -1,0 +1,182 @@
+//! Integration self-tests for the testkit, through its public API only.
+//!
+//! The rest of the workspace trusts this crate to (a) be deterministic given
+//! a seed, (b) shrink failures to genuinely minimal counterexamples, and
+//! (c) produce roughly uniform randomness. These tests pin all three.
+
+use dbgw_testkit::gen::*;
+use dbgw_testkit::{check, prop_assert, props, Config, Gen, Rng};
+use std::panic::catch_unwind;
+
+fn failure_text(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let payload = catch_unwind(f).expect_err("property should fail");
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        panic!("non-string panic payload");
+    }
+}
+
+// ---------------------------------------------------------------- determinism
+
+#[test]
+fn same_seed_same_sequence() {
+    let mut a = Rng::new(0xD1CE);
+    let mut b = Rng::new(0xD1CE);
+    for _ in 0..1000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn same_seed_same_generated_values() {
+    let g = vec_of((ints(-500..500), printable(0..=12)), 0..=10);
+    let mut a = Rng::new(7);
+    let mut b = Rng::new(7);
+    for _ in 0..50 {
+        assert_eq!(g.generate(&mut a), g.generate(&mut b));
+    }
+}
+
+#[test]
+fn check_reports_are_reproducible() {
+    // Two identical failing runs must report the identical counterexample.
+    let run = || {
+        failure_text(|| {
+            let config = Config {
+                cases: 100,
+                seed: 99,
+                max_shrink_steps: 4096,
+                name: "repro",
+            };
+            check(&config, &vec_of(ints(0..1000), 0..=30), |v| {
+                if v.iter().any(|x| *x >= 700) {
+                    Err("has a big element".into())
+                } else {
+                    Ok(())
+                }
+            });
+        })
+    };
+    assert_eq!(run(), run());
+}
+
+// ------------------------------------------------------------------ shrinking
+
+#[test]
+fn shrinking_converges_to_boundary_int() {
+    // Failing iff v >= 256: the minimal counterexample is exactly 256.
+    let msg = failure_text(|| {
+        let config = Config {
+            cases: 500,
+            seed: 1,
+            max_shrink_steps: 10_000,
+            name: "boundary",
+        };
+        check(&config, &ints(0..10_000), |v| {
+            if *v >= 256 {
+                Err("too big".into())
+            } else {
+                Ok(())
+            }
+        });
+    });
+    assert!(msg.contains(": 256"), "expected minimal 256 in: {msg}");
+}
+
+#[test]
+fn shrinking_converges_to_minimal_vector() {
+    // Failing iff the vector contains an element >= 50: minimal failing input
+    // is the one-element vector [50].
+    let msg = failure_text(|| {
+        let config = Config {
+            cases: 300,
+            seed: 2,
+            max_shrink_steps: 20_000,
+            name: "minvec",
+        };
+        check(&config, &vec_of(ints(0..100), 0..=20), |v| {
+            if v.iter().any(|x| *x >= 50) {
+                Err("big element".into())
+            } else {
+                Ok(())
+            }
+        });
+    });
+    assert!(msg.contains("[50]"), "expected [50] in: {msg}");
+}
+
+#[test]
+fn shrinking_converges_to_empty_string() {
+    // Any non-empty string fails: minimal is one character (len can't reach 0
+    // if the property only rejects non-empty input of a 1..=N generator, so
+    // use 0..=N and demand the empty string shows it passes).
+    let msg = failure_text(|| {
+        let config = Config {
+            cases: 100,
+            seed: 3,
+            max_shrink_steps: 10_000,
+            name: "minstr",
+        };
+        check(&config, &charset("ab", 1..=20), |s| {
+            if s.is_empty() {
+                Ok(())
+            } else {
+                Err("non-empty".into())
+            }
+        });
+    });
+    // Minimal counterexample is a single 'a' (first charset character).
+    assert!(msg.contains("\"a\""), "expected \"a\" in: {msg}");
+}
+
+// ----------------------------------------------------------------- uniformity
+
+#[test]
+fn prng_bucket_distribution_is_roughly_uniform() {
+    // Chi-squared-flavoured bound: 16 buckets, 64k draws → expected 4096 per
+    // bucket, sd ≈ 62. A ±5 sd window (±310) is astronomically unlikely to
+    // trip for a healthy generator and catches gross bias.
+    let mut rng = Rng::new(0xBEEF);
+    let mut counts = [0u32; 16];
+    for _ in 0..65_536 {
+        counts[rng.gen_range(0usize..16)] += 1;
+    }
+    for (bucket, &c) in counts.iter().enumerate() {
+        assert!(
+            (3786..=4406).contains(&c),
+            "bucket {bucket} count {c} outside ±5sd of 4096: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn gen_bool_tracks_probability() {
+    let mut rng = Rng::new(42);
+    let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+    assert!((2700..3300).contains(&hits), "p=0.3 gave {hits}/10000");
+}
+
+#[test]
+fn gen_f64_stays_in_unit_interval() {
+    let mut rng = Rng::new(5);
+    for _ in 0..10_000 {
+        let x = rng.gen_f64();
+        assert!((0.0..1.0).contains(&x), "{x}");
+    }
+}
+
+// ------------------------------------------------------------ the props macro
+
+props! {
+    config(cases = 32);
+
+    /// The macro path works end to end against the public API.
+    fn props_macro_smoke(v in vec_of(ints(0..10), 0..=8), s in ascii(0..=8)) {
+        prop_assert!(v.len() <= 8);
+        prop_assert!(s.len() <= 8);
+        prop_assert!(s.is_ascii());
+    }
+}

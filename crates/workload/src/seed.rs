@@ -1,22 +1,20 @@
 //! Seeded RNG construction.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+pub use dbgw_testkit::rng::Rng;
 
 /// A deterministic RNG from a 64-bit seed.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::new(seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u32> = (0..8).map(|_| rng(42).gen()).collect();
-        let b: Vec<u32> = (0..8).map(|_| rng(42).gen()).collect();
+        let a: Vec<u32> = (0..8).map(|_| rng(42).next_u32()).collect();
+        let b: Vec<u32> = (0..8).map(|_| rng(42).next_u32()).collect();
         assert_eq!(a, b);
     }
 
@@ -24,8 +22,8 @@ mod tests {
     fn different_seed_different_stream() {
         let mut a = rng(1);
         let mut b = rng(2);
-        let xs: Vec<u32> = (0..8).map(|_| a.gen()).collect();
-        let ys: Vec<u32> = (0..8).map(|_| b.gen()).collect();
+        let xs: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
         assert_ne!(xs, ys);
     }
 }

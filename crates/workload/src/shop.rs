@@ -2,7 +2,6 @@
 
 use crate::text;
 use minisql::{Database, SqlResult, Value};
-use rand::Rng;
 
 /// Product names; includes the paper's `bikes`.
 const PRODUCTS: &[&str] = &[
@@ -46,8 +45,8 @@ impl Shop {
                     orderid,
                     custid,
                     product.to_owned(),
-                    rng.gen_range(1..=5),
-                    (rng.gen_range(200..20000) as f64) / 100.0,
+                    rng.gen_range(1i64..=5),
+                    (rng.gen_range(200i64..20000) as f64) / 100.0,
                 ));
                 orderid += 1;
             }

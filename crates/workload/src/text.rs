@@ -1,6 +1,6 @@
 //! Synthetic text generation from a fixed 1996-flavoured vocabulary.
 
-use rand::Rng;
+use dbgw_testkit::rng::Rng;
 
 /// Word pool used for titles and descriptions. Deliberately includes the
 /// substrings the paper's examples search for (`ib`, `bikes`).
@@ -52,12 +52,12 @@ pub const WORDS: &[&str] = &[
 pub const TLDS: &[&str] = &["com", "edu", "org", "gov", "net", "mil"];
 
 /// A random word from the pool.
-pub fn word<R: Rng>(rng: &mut R) -> &'static str {
+pub fn word(rng: &mut Rng) -> &'static str {
     WORDS[rng.gen_range(0..WORDS.len())]
 }
 
 /// A capitalized title of `n` words.
-pub fn title<R: Rng>(rng: &mut R, n: usize) -> String {
+pub fn title(rng: &mut Rng, n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
         if i > 0 {
@@ -74,7 +74,7 @@ pub fn title<R: Rng>(rng: &mut R, n: usize) -> String {
 }
 
 /// A sentence of `n` lowercase words ending with a period.
-pub fn sentence<R: Rng>(rng: &mut R, n: usize) -> String {
+pub fn sentence(rng: &mut Rng, n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
         if i > 0 {
@@ -87,7 +87,7 @@ pub fn sentence<R: Rng>(rng: &mut R, n: usize) -> String {
 }
 
 /// A plausible 1996 URL, unique per `serial`.
-pub fn url<R: Rng>(rng: &mut R, serial: usize) -> String {
+pub fn url(rng: &mut Rng, serial: usize) -> String {
     let host = word(rng);
     let tld = TLDS[rng.gen_range(0..TLDS.len())];
     match rng.gen_range(0..3) {

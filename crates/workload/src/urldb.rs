@@ -7,7 +7,6 @@
 
 use crate::text;
 use minisql::{Database, Value};
-use rand::Rng;
 
 /// A generated URL directory.
 #[derive(Debug, Clone)]
@@ -23,10 +22,10 @@ impl UrlDirectory {
         let mut rows = Vec::with_capacity(n);
         for serial in 0..n {
             let url = text::url(&mut rng, serial);
-            let title_words = rng.gen_range(1..=4);
+            let title_words = rng.gen_range(1usize..=4);
             let title = text::title(&mut rng, title_words);
             let description = if rng.gen_bool(0.85) {
-                let sentence_words = rng.gen_range(3..=10);
+                let sentence_words = rng.gen_range(3usize..=10);
                 Some(text::sentence(&mut rng, sentence_words))
             } else {
                 None

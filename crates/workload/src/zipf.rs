@@ -4,7 +4,7 @@
 //! traffic. The concurrency and end-to-end benches use this sampler to pick
 //! search keys.
 
-use rand::Rng;
+use dbgw_testkit::rng::Rng;
 
 /// A Zipf(α) distribution over ranks `0..n` via inverse-CDF table lookup.
 #[derive(Debug, Clone)]
@@ -32,8 +32,8 @@ impl Zipf {
     }
 
     /// Sample a rank in `0..n` (0 is the most popular).
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# The hermetic tier-1 gate: the workspace must build and test with zero
+# network access (see the zero-dependency policy in CONTRIBUTING.md).
+# Exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== tests (offline) =="
+cargo test --workspace -q --offline
+
+# Formatting is part of the gate when rustfmt is installed; a bare toolchain
+# without the component still passes the hermetic build+test core.
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== fmt =="
+    cargo fmt --all -- --check
+else
+    echo "== fmt == (skipped: rustfmt not installed)"
+fi
+
+echo "All hermetic checks passed."

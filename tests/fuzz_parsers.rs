@@ -3,61 +3,102 @@
 //! face the open internet; the paper's system crashed CGI processes on bad
 //! input, ours must not.
 
-use proptest::prelude::*;
+use dbgw_testkit::gen::*;
+use dbgw_testkit::{prop_assert, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Fragments that steer random input toward macro-section syntax.
+const SECTION_TOKENS: &[&str] = &[
+    "%SQL{",
+    "%SQL_REPORT{",
+    "%HTML_INPUT{",
+    "%HTML_REPORT{",
+    "%DEFINE",
+    "%ROW{",
+    "%EXEC_SQL",
+    "%}",
+    "%{",
+    "{",
+    "}",
+    "(",
+    ")",
+    "$(",
+    "$$",
+    " ",
+    "\n",
+    "a",
+    "X_",
+    "=",
+    "\"",
+];
 
-    #[test]
-    fn macro_parser_total(input in "\\PC{0,300}") {
+/// Fragments that steer random input toward SQL syntax.
+const SQL_TOKENS: &[&str] = &[
+    "SELECT", "INSERT", "UPDATE", "CREATE", "%", "'", "(", ")", ",", "*", " ", "a", "b", "z", "0",
+    "9",
+];
+
+/// Fragments that steer random input toward HTML-form syntax.
+const FORM_TOKENS: &[&str] = &[
+    "<form>",
+    "</form>",
+    "<input name=\"a\">",
+    "<input type=\"text\" value=\"v\"/>",
+    "<select>",
+    "<",
+    ">",
+    "/",
+    "\"",
+    "=",
+    " ",
+    "x",
+];
+
+props! {
+    config(cases = 256);
+
+    fn macro_parser_total(input in printable(0..=300)) {
         let _ = dbgw_core::parse_macro(&input);
     }
 
-    #[test]
     fn macro_parser_total_on_section_shaped_input(
-        input in "(%[A-Za-z_{}()]{0,12}[ \\n]?)*\\PC{0,80}"
+        shaped in tokens(SECTION_TOKENS, 0..=12),
+        tail in printable(0..=80),
     ) {
-        let _ = dbgw_core::parse_macro(&input);
+        let _ = dbgw_core::parse_macro(&format!("{shaped}{tail}"));
     }
 
-    #[test]
-    fn sql_parser_total(input in "\\PC{0,300}") {
+    fn sql_parser_total(input in printable(0..=300)) {
         let _ = minisql::parse(&input);
     }
 
-    #[test]
-    fn sql_parser_total_on_sql_shaped_input(
-        input in "(SELECT|INSERT|UPDATE|CREATE|%|'|\\(|\\)|,|\\*| |[a-z0-9])+"
-    ) {
+    fn sql_parser_total_on_sql_shaped_input(input in tokens(SQL_TOKENS, 1..=24)) {
         let _ = minisql::parse(&input);
     }
 
-    #[test]
-    fn html_tokenizer_total(input in "\\PC{0,300}") {
+    fn html_tokenizer_total(input in printable(0..=300)) {
         let tokens: Vec<_> = dbgw_html::Tokenizer::new(&input).collect();
         // Tokenization must also terminate with bounded output.
         prop_assert!(tokens.len() <= input.len() + 1);
     }
 
-    #[test]
-    fn form_parser_total(input in "(<[a-z =\"/]{0,20}>|\\PC{0,10})*") {
-        let _ = dbgw_html::Form::parse_all(&input);
+    fn form_parser_total(
+        shaped in tokens(FORM_TOKENS, 0..=8),
+        tail in printable(0..=10),
+    ) {
+        let _ = dbgw_html::Form::parse_all(&format!("{shaped}{tail}"));
     }
 
-    #[test]
-    fn query_string_parser_total(input in "\\PC{0,300}") {
+    fn query_string_parser_total(input in printable(0..=300)) {
         let _ = dbgw_cgi::QueryString::parse(&input);
     }
 
-    #[test]
-    fn csv_import_total(input in "\\PC{0,200}") {
+    fn csv_import_total(input in printable(0..=200)) {
         let db = minisql::Database::new();
         db.run_script("CREATE TABLE t (a VARCHAR(50), b VARCHAR(50))").unwrap();
         let _ = minisql::csv::import_table(&db, "t", &input);
     }
 
-    #[test]
-    fn substitution_total(template in "\\PC{0,200}") {
+    fn substitution_total(template in printable(0..=200)) {
         let env = dbgw_core::Env::new();
         let mut ev = dbgw_core::Evaluator::new(&env, &dbgw_core::DenyRunner);
         let out = ev.substitute(&template).unwrap();
@@ -66,10 +107,24 @@ proptest! {
         prop_assert!(out.len() <= template.len() + 8);
     }
 
-    #[test]
-    fn base64_decode_total(input in "\\PC{0,100}") {
+    fn base64_decode_total(input in printable(0..=100)) {
         let _ = dbgw_cgi::base64_decode(&input);
     }
+}
+
+/// Regression pinned from a recorded proptest shrink (`.proptest-regressions`,
+/// now retired): `<a᭎` — an unterminated tag whose name ends in a multi-byte
+/// character — once sliced mid-codepoint. Every parser that sees raw request
+/// text must stay total on it.
+#[test]
+fn regression_unterminated_tag_multibyte() {
+    let input = "<a᭎";
+    let tokens: Vec<_> = dbgw_html::Tokenizer::new(input).collect();
+    assert!(tokens.len() <= input.len() + 1);
+    let _ = dbgw_html::Form::parse_all(input);
+    let _ = dbgw_core::parse_macro(input);
+    let _ = minisql::parse(input);
+    let _ = dbgw_cgi::QueryString::parse(input);
 }
 
 /// Hand-picked crashers: inputs that have broken parsers of this shape before.

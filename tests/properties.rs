@@ -3,7 +3,11 @@
 use dbgw_cgi::{CgiRequest, Gateway, QueryString};
 use dbgw_core::db::{DbRows, FnDatabase};
 use dbgw_core::{parse_macro, Engine, Mode};
-use proptest::prelude::*;
+use dbgw_testkit::gen::*;
+use dbgw_testkit::{prop_assert, prop_assert_eq, props};
+
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const UPPER: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
 
 fn gateway() -> Gateway {
     let db = minisql::Database::new();
@@ -18,14 +22,13 @@ fn gateway() -> Gateway {
     gw
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    config(cases = 64);
 
     /// The gateway never panics and never 500s on arbitrary user input —
     /// hostile variables surface as SQL-error text inside a 200 page.
-    #[test]
     fn gateway_total_on_arbitrary_input(
-        pairs in proptest::collection::vec(("[A-Za-z_][A-Za-z0-9_]{0,8}", "\\PC{0,20}"), 0..6)
+        pairs in vec_of((ident(1..=9), printable(0..=20)), 0..=5),
     ) {
         let gw = gateway();
         let q = QueryString::from_pairs(pairs);
@@ -35,9 +38,11 @@ proptest! {
 
     /// Input mode is a pure text transform: structurally balanced in,
     /// balanced out (with value escaping on, which is the default).
-    #[test]
     fn input_mode_preserves_balance(
-        pairs in proptest::collection::vec(("[A-Z]{1,6}", "[a-z0-9 ]{0,12}"), 0..4)
+        pairs in vec_of(
+            (charset(UPPER, 1..=6), charset("abcdefghijklmnopqrstuvwxyz0123456789 ", 0..=12)),
+            0..=3,
+        ),
     ) {
         let gw = gateway();
         let q = QueryString::from_pairs(pairs);
@@ -47,8 +52,7 @@ proptest! {
     }
 
     /// Substitution with no $ characters is the identity.
-    #[test]
-    fn substitution_identity_without_dollars(text in "[^$]{0,200}") {
+    fn substitution_identity_without_dollars(text in printable(0..=200).exclude("$")) {
         let mac = parse_macro(&format!("%HTML_INPUT{{{}%}}",
             text.replace("%}", ""))).unwrap();
         let body = text.replace("%}", "");
@@ -58,16 +62,23 @@ proptest! {
 
     /// An undefined variable always substitutes to the null string: output
     /// equals input with references removed.
-    #[test]
-    fn undefined_vars_vanish(name in "[A-Za-z][A-Za-z0-9_]{0,10}") {
+    fn undefined_vars_vanish(
+        name in charset_first(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ",
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+            1..=11,
+        ),
+    ) {
         let mac = parse_macro(&format!("%HTML_INPUT{{[$({name})]%}}")).unwrap();
         let out = Engine::new().process_input(&mac, &[]).unwrap();
         prop_assert_eq!(out, "[]");
     }
 
     /// HTML input values always win over DEFINE defaults, whatever they are.
-    #[test]
-    fn inputs_override_defines(default_v in "[a-z]{1,10}", input_v in "[A-Z]{1,10}") {
+    fn inputs_override_defines(
+        default_v in charset(LOWER, 1..=10),
+        input_v in charset(UPPER, 1..=10),
+    ) {
         let mac = parse_macro(&format!(
             "%DEFINE X = \"{default_v}\"\n%HTML_INPUT{{$(X)%}}"
         )).unwrap();
@@ -79,8 +90,7 @@ proptest! {
 
     /// Report rendering emits the row template exactly once per row,
     /// regardless of content.
-    #[test]
-    fn row_template_count_matches_rows(n in 0usize..50) {
+    fn row_template_count_matches_rows(n in usizes(0..50)) {
         let mac = parse_macro(
             "%SQL{ Q\n%SQL_REPORT{%ROW{<ROW>%}TOTAL=$(ROW_NUM)%}\n%}\n%HTML_REPORT{%EXEC_SQL%}"
         ).unwrap();
@@ -97,8 +107,7 @@ proptest! {
 
     /// MiniSQL: inserting k rows then SELECT COUNT(*) always agrees, through
     /// the full SQL text path.
-    #[test]
-    fn insert_count_agree(values in proptest::collection::vec(0i64..1000, 0..30)) {
+    fn insert_count_agree(values in vec_of(ints(0..1000), 0..=29)) {
         let db = minisql::Database::new();
         db.run_script("CREATE TABLE t (v INTEGER)").unwrap();
         let mut conn = db.connect();
@@ -111,8 +120,7 @@ proptest! {
     }
 
     /// MiniSQL: ORDER BY really sorts (non-null integer column).
-    #[test]
-    fn order_by_sorts(values in proptest::collection::vec(-100i64..100, 1..40)) {
+    fn order_by_sorts(values in vec_of(ints(-100..100), 1..=39)) {
         let db = minisql::Database::new();
         db.run_script("CREATE TABLE t (v INTEGER)").unwrap();
         let mut conn = db.connect();
@@ -132,10 +140,9 @@ proptest! {
 
     /// MiniSQL: a LIKE predicate evaluated by the engine agrees with the
     /// standalone matcher on stored data.
-    #[test]
     fn engine_like_agrees_with_matcher(
-        texts in proptest::collection::vec("[a-c]{0,6}", 1..20),
-        pattern in "[a-c%_]{0,6}"
+        texts in vec_of(charset("abc", 0..=6), 1..=19),
+        pattern in charset("abc%_", 0..=6),
     ) {
         let db = minisql::Database::new();
         db.run_script("CREATE TABLE t (s VARCHAR(20))").unwrap();
@@ -155,14 +162,13 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    config(cases = 32);
 
     /// The default-table report is balanced HTML for ANY database content —
     /// the escaping path can never be broken by stored data.
-    #[test]
     fn default_report_always_balanced(
-        cells in proptest::collection::vec(("\\PC{0,24}", "\\PC{0,24}"), 0..12)
+        cells in vec_of((printable(0..=24), printable(0..=24)), 0..=11),
     ) {
         let mac = parse_macro("%SQL{ Q %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
         let data = DbRows {
@@ -176,10 +182,7 @@ proptest! {
     }
 
     /// Custom %ROW reports are balanced too, for any data, with escaping on.
-    #[test]
-    fn custom_report_always_balanced(
-        cells in proptest::collection::vec("\\PC{0,32}", 0..12)
-    ) {
+    fn custom_report_always_balanced(cells in vec_of(printable(0..=32), 0..=11)) {
         let mac = parse_macro(
             "%SQL{ Q\n%SQL_REPORT{<UL>\n%ROW{<LI><A HREF=\"$(V1)\">$(V1)</A>\n%}</UL>\n%}\n%}\n\
              %HTML_REPORT{%EXEC_SQL%}",
@@ -195,12 +198,15 @@ proptest! {
     }
 
     /// SQL-script dump/load round-trips arbitrary typed data exactly.
-    #[test]
     fn dump_round_trips_random_data(
-        rows in proptest::collection::vec(
-            (any::<i64>(), proptest::option::of("[^']{0,16}"), proptest::option::of(-1.0e6f64..1.0e6)),
-            0..20
-        )
+        rows in vec_of(
+            (
+                any_i64(),
+                option_of(printable(0..=16).exclude("'")),
+                option_of(f64s(-1.0e6..1.0e6)),
+            ),
+            0..=19,
+        ),
     ) {
         let db = minisql::Database::new();
         db.run_script("CREATE TABLE r (i INTEGER, t VARCHAR(20), d DOUBLE)").unwrap();
@@ -222,23 +228,40 @@ proptest! {
 
     /// CSV export/import round-trips arbitrary text data (incl. quotes,
     /// commas, newlines, NULL-vs-empty) exactly.
-    #[test]
-    fn csv_round_trips_random_text(
-        rows in proptest::collection::vec(proptest::option::of("\\PC{0,16}"), 0..20)
-    ) {
-        let db = minisql::Database::new();
-        db.run_script("CREATE TABLE c (t VARCHAR(40))").unwrap();
-        let mut conn = db.connect();
-        for t in &rows {
-            conn.execute_with_params(
-                "INSERT INTO c VALUES (?)",
-                &[t.clone().map(minisql::Value::Text).unwrap_or(minisql::Value::Null)],
-            ).unwrap();
-        }
-        let csv = minisql::csv::export_table(&db, "c").unwrap();
-        let dest = minisql::Database::new();
-        dest.run_script("CREATE TABLE c (t VARCHAR(40))").unwrap();
-        minisql::csv::import_table(&dest, "c", &csv).unwrap();
-        prop_assert!(minisql::dump::databases_equal(&db, &dest).unwrap(), "csv:\n{csv:?}");
+    fn csv_round_trips_random_text(rows in vec_of(option_of(printable(0..=16)), 0..=19)) {
+        csv_round_trips(&rows)?;
     }
+}
+
+/// Shared body for the CSV round-trip property and its pinned regressions.
+fn csv_round_trips(rows: &[Option<String>]) -> Result<(), String> {
+    let db = minisql::Database::new();
+    db.run_script("CREATE TABLE c (t VARCHAR(40))").unwrap();
+    let mut conn = db.connect();
+    for t in rows {
+        conn.execute_with_params(
+            "INSERT INTO c VALUES (?)",
+            &[t.clone()
+                .map(minisql::Value::Text)
+                .unwrap_or(minisql::Value::Null)],
+        )
+        .unwrap();
+    }
+    let csv = minisql::csv::export_table(&db, "c").unwrap();
+    let dest = minisql::Database::new();
+    dest.run_script("CREATE TABLE c (t VARCHAR(40))").unwrap();
+    minisql::csv::import_table(&dest, "c", &csv).unwrap();
+    prop_assert!(
+        minisql::dump::databases_equal(&db, &dest).unwrap(),
+        "csv:\n{csv:?}"
+    );
+    Ok(())
+}
+
+/// Regression pinned from a recorded proptest shrink (`.proptest-regressions`,
+/// now retired): a single row holding the literal text "0" must survive the
+/// CSV round-trip — it must not be conflated with the number 0 or with NULL.
+#[test]
+fn csv_round_trip_regression_zero_text() {
+    csv_round_trips(&[Some("0".to_string())]).unwrap();
 }
