@@ -72,6 +72,13 @@ fn main() {
             );
         }
         println!("]");
+        // Second line: the process metric counters that collecting the
+        // capability matrix just drove through the gateway, under the same
+        // names /stats exposes — so trajectory tooling sees one vocabulary.
+        println!(
+            "{{\"gateway_metrics\":{}}}",
+            dbgw_obs::metrics_json(dbgw_obs::metrics())
+        );
         return;
     }
 

@@ -24,11 +24,29 @@
 //! page. Errors still produce a page (status is in the `Status:` header, as
 //! CGI prescribes).
 
-use dbgw_cgi::{CgiRequest, CgiResponse, Gateway, Method};
+use dbgw_cgi::{trace_comment, CgiRequest, CgiResponse, Gateway, Method, TraceOptions};
 use std::io::Read;
+use std::sync::Arc;
 
 fn main() {
-    let response = run();
+    // The binary owns the request trace (DBGW_TRACE / DBGW_TRACE_FILE), so
+    // the spans cover the whole invocation — database build, macro load and
+    // parse, then the gateway dispatch nested inside.
+    let trace = TraceOptions::from_env();
+    let request_id = dbgw_obs::next_request_id();
+    let owned = trace.tracing()
+        && dbgw_obs::trace::start_trace(Arc::new(dbgw_obs::StdClock::new()), request_id);
+    let mut response = run(request_id);
+    if owned {
+        if let Some(t) = dbgw_obs::trace::finish_trace() {
+            if let Some(path) = &trace.trace_file {
+                let _ = t.append_jsonl(path);
+            }
+            if trace.annotate {
+                response.body.push_str(&trace_comment(&t));
+            }
+        }
+    }
     print!(
         "Status: {} {}\r\nContent-Type: {}; charset=utf-8\r\n\r\n{}",
         response.status,
@@ -38,7 +56,7 @@ fn main() {
     );
 }
 
-fn run() -> CgiResponse {
+fn run(request_id: u64) -> CgiResponse {
     let env = |name: &str| std::env::var(name).unwrap_or_default();
 
     let method = match env("REQUEST_METHOD").to_ascii_uppercase().as_str() {
@@ -49,7 +67,7 @@ fn run() -> CgiResponse {
         let length: usize = env("CONTENT_LENGTH").parse().unwrap_or(0);
         let mut buf = vec![0u8; length];
         if std::io::stdin().read_exact(&mut buf).is_err() {
-            return CgiResponse::error(400, "short request body");
+            return CgiResponse::error_for_request(400, "short request body", request_id);
         }
         String::from_utf8_lossy(&buf).into_owned()
     } else {
@@ -60,23 +78,30 @@ fn run() -> CgiResponse {
         path_info: env("PATH_INFO"),
         query_string: env("QUERY_STRING"),
         body,
+        request_id,
     };
 
     // Build the database from the configured script.
     let db = minisql::Database::new();
     let script_path = env("DTW_DB_SCRIPT");
     if !script_path.is_empty() {
+        let _span = dbgw_obs::trace::span("build_database");
         let script = match std::fs::read_to_string(&script_path) {
             Ok(s) => s,
             Err(e) => {
-                return CgiResponse::error(
+                return CgiResponse::error_for_request(
                     500,
                     &format!("cannot read DTW_DB_SCRIPT {script_path}: {e}"),
+                    request_id,
                 )
             }
         };
         if let Err(e) = db.run_script(&script) {
-            return CgiResponse::error(500, &format!("DTW_DB_SCRIPT failed: {e}"));
+            return CgiResponse::error_for_request(
+                500,
+                &format!("DTW_DB_SCRIPT failed: {e}"),
+                request_id,
+            );
         }
     }
 
@@ -98,17 +123,27 @@ fn run() -> CgiResponse {
         .unwrap_or("")
         .to_owned();
     if !dbgw_core::security::safe_macro_name(&macro_name) {
-        return CgiResponse::error(400, "invalid macro file name");
+        return CgiResponse::error_for_request(400, "invalid macro file name", request_id);
     }
     let gateway = Gateway::new(db);
     let macro_path = std::path::Path::new(&macro_dir).join(&macro_name);
     match std::fs::read_to_string(&macro_path) {
         Ok(source) => {
             if let Err(e) = gateway.add_macro(&macro_name, &source) {
-                return CgiResponse::error(500, &format!("macro parse error: {e}"));
+                return CgiResponse::error_for_request(
+                    500,
+                    &format!("macro parse error: {e}"),
+                    request_id,
+                );
             }
         }
-        Err(_) => return CgiResponse::error(404, &format!("no macro named {macro_name}")),
+        Err(_) => {
+            return CgiResponse::error_for_request(
+                404,
+                &format!("no macro named {macro_name}"),
+                request_id,
+            )
+        }
     }
     gateway.handle(&request)
 }

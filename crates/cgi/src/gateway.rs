@@ -5,15 +5,22 @@
 //! variables from the request, and returns the generated page.
 
 use crate::bridge::MiniSqlDatabase;
+use crate::log::{SlowQuery, SlowQueryLog};
 use crate::request::{CgiRequest, CgiResponse};
 use crate::session::{SessionManager, END_VAR, SESSION_ID_VAR, SESSION_VAR};
 use crate::sync::RwLock;
-use dbgw_core::db::Database;
+use dbgw_core::db::{Database, DbError, DbRows};
 use dbgw_core::security::safe_macro_name;
 use dbgw_core::{parse_macro, Engine, EngineConfig, MacroError, MacroFile, Mode, TxnMode};
+use dbgw_obs::{Clock, StdClock, Trace};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Reserved input variable carrying the request's correlation id into macro
+/// text: `$(DTW_REQUEST_ID)` works in `%SQL_MESSAGE` handlers and reports.
+pub const REQUEST_ID_VAR: &str = "DTW_REQUEST_ID";
 
 /// Supplies a fresh DBMS connection per request, the way the CGI model
 /// re-connected in every process.
@@ -40,12 +47,116 @@ where
     }
 }
 
+/// Per-request tracing and slow-query configuration.
+///
+/// The defaults come from the environment, so the stock binaries honor:
+///
+/// * `DBGW_TRACE=1` — append each request's trace to the page as an HTML
+///   comment (and record it at all);
+/// * `DBGW_TRACE_FILE=<path>` — also append every trace to `<path>` as
+///   JSON lines (implies tracing even without `DBGW_TRACE`);
+/// * `DBGW_SLOW_MS=<n>` — log SQL statements slower than `n` milliseconds
+///   to the gateway's slow-query log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Append the rendered trace tree to report output as an HTML comment.
+    pub annotate: bool,
+    /// Append every trace to this file as JSON lines.
+    pub trace_file: Option<PathBuf>,
+    /// Slow-query threshold in milliseconds; `None` disables the slow log.
+    pub slow_ms: Option<u64>,
+}
+
+impl TraceOptions {
+    /// Read `DBGW_TRACE`, `DBGW_TRACE_FILE`, and `DBGW_SLOW_MS`.
+    pub fn from_env() -> TraceOptions {
+        TraceOptions {
+            annotate: std::env::var("DBGW_TRACE")
+                .map(|v| v == "1")
+                .unwrap_or(false),
+            trace_file: std::env::var("DBGW_TRACE_FILE").ok().map(PathBuf::from),
+            slow_ms: std::env::var("DBGW_SLOW_MS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        }
+    }
+
+    /// Everything off, regardless of the environment.
+    pub fn disabled() -> TraceOptions {
+        TraceOptions::default()
+    }
+
+    /// Should requests record a trace at all?
+    pub fn tracing(&self) -> bool {
+        self.annotate || self.trace_file.is_some()
+    }
+
+    fn slow_ns(&self) -> Option<u64> {
+        self.slow_ms.map(|ms| ms.saturating_mul(1_000_000))
+    }
+}
+
+/// A macro as installed: the parsed form served on the fast path, plus the
+/// include-expanded source so trace mode can re-parse per request (surfacing
+/// the parse cost every CGI invocation actually paid in 1996).
+struct StoredMacro {
+    parsed: Arc<MacroFile>,
+    source: Arc<String>,
+}
+
+/// Wraps a request's connection to time every statement: latency goes to the
+/// `sql_latency_ns` histogram, statements over the threshold go to the
+/// slow-query log tagged with the current request id.
+struct SqlMeter {
+    inner: Box<dyn Database + Send>,
+    clock: Arc<dyn Clock>,
+    slow_ns: Option<u64>,
+    slow_log: SlowQueryLog,
+}
+
+impl Database for SqlMeter {
+    fn execute(&mut self, sql: &str) -> Result<DbRows, DbError> {
+        let start = self.clock.now_ns();
+        let result = self.inner.execute(sql);
+        let dur_ns = self.clock.now_ns().saturating_sub(start);
+        dbgw_obs::metrics().sql_latency_ns.observe_ns(dur_ns);
+        if self.slow_ns.is_some_and(|t| dur_ns >= t) {
+            dbgw_obs::metrics().slow_queries.inc();
+            self.slow_log.record(SlowQuery {
+                request_id: dbgw_obs::current_request_id(),
+                statement: sql.to_owned(),
+                dur_ns,
+                sqlcode: match &result {
+                    Ok(rows) => rows.sqlcode(),
+                    Err(e) => e.code,
+                },
+            });
+        }
+        result
+    }
+
+    fn begin(&mut self) -> Result<(), DbError> {
+        self.inner.begin()
+    }
+
+    fn commit(&mut self) -> Result<(), DbError> {
+        self.inner.commit()
+    }
+
+    fn rollback(&mut self) -> Result<(), DbError> {
+        self.inner.rollback()
+    }
+}
+
 /// The macro store + engine: one of these serves all requests.
 pub struct Gateway {
-    macros: RwLock<HashMap<String, Arc<MacroFile>>>,
+    macros: RwLock<HashMap<String, StoredMacro>>,
     config: EngineConfig,
     source: Box<dyn ConnectionSource>,
     sessions: Option<SessionManager>,
+    trace: TraceOptions,
+    clock: Arc<dyn Clock>,
+    slow_log: SlowQueryLog,
 }
 
 impl Gateway {
@@ -54,14 +165,42 @@ impl Gateway {
         Gateway::with_config(source, EngineConfig::default())
     }
 
-    /// Gateway with explicit engine configuration.
+    /// Gateway with explicit engine configuration. Trace options come from
+    /// the environment (see [`TraceOptions::from_env`]).
     pub fn with_config(source: impl ConnectionSource + 'static, config: EngineConfig) -> Gateway {
         Gateway {
             macros: RwLock::new(HashMap::new()),
             config,
             source: Box::new(source),
             sessions: None,
+            trace: TraceOptions::from_env(),
+            clock: Arc::new(StdClock::new()),
+            slow_log: SlowQueryLog::new(),
         }
+    }
+
+    /// Override the trace/slow-query configuration (benches force
+    /// [`TraceOptions::disabled`]; tests force specific settings).
+    pub fn with_trace(mut self, trace: TraceOptions) -> Gateway {
+        self.trace = trace;
+        self
+    }
+
+    /// Override the monotonic clock (tests inject a [`dbgw_obs::TestClock`]
+    /// for deterministic span durations and slow-query detection).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Gateway {
+        self.clock = clock;
+        self
+    }
+
+    /// The active trace/slow-query configuration.
+    pub fn trace_options(&self) -> &TraceOptions {
+        &self.trace
+    }
+
+    /// The slow-query log (statements over `DBGW_SLOW_MS`).
+    pub fn slow_queries(&self) -> SlowQueryLog {
+        self.slow_log.clone()
     }
 
     /// Enable conversational transactions (§5's future work): requests may
@@ -82,9 +221,13 @@ impl Gateway {
     /// "stores them in files (called macros) at the Web server".
     pub fn add_macro(&self, name: &str, source: &str) -> Result<(), MacroError> {
         let parsed = parse_macro(source)?;
-        self.macros
-            .write()
-            .insert(name.to_owned(), Arc::new(parsed));
+        self.macros.write().insert(
+            name.to_owned(),
+            StoredMacro {
+                parsed: Arc::new(parsed),
+                source: Arc::new(source.to_owned()),
+            },
+        );
         Ok(())
     }
 
@@ -116,33 +259,101 @@ impl Gateway {
         }
         let mut loaded = Vec::new();
         for (name, source) in macro_files {
-            let parsed = dbgw_core::parse_macro_with_includes(&source, &resolver).map_err(|e| {
+            // Expand includes once, so the stored source is self-contained
+            // (trace mode re-parses it with no resolver in reach).
+            let expanded = dbgw_core::expand_includes(&source, &resolver).map_err(|e| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{name}: {e}"))
             })?;
-            self.macros.write().insert(name.clone(), Arc::new(parsed));
+            let parsed = parse_macro(&expanded).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{name}: {e}"))
+            })?;
+            self.macros.write().insert(
+                name.clone(),
+                StoredMacro {
+                    parsed: Arc::new(parsed),
+                    source: Arc::new(expanded),
+                },
+            );
             loaded.push(name);
         }
         loaded.sort();
         Ok(loaded)
     }
 
-    /// Handle one CGI invocation.
+    /// Handle one CGI invocation: dispatch under metrics + (optionally) a
+    /// trace owned by this call, unless an enclosing binary already owns one.
     pub fn handle(&self, req: &CgiRequest) -> CgiResponse {
+        let m = dbgw_obs::metrics();
+        m.requests.inc();
+        let _id_guard = dbgw_obs::set_request_id(req.request_id);
+        let start_ns = self.clock.now_ns();
+        let owned = self.trace.tracing()
+            && dbgw_obs::trace::start_trace(self.clock.clone(), req.request_id);
+        let mut response = {
+            let _span = dbgw_obs::trace::span("request");
+            dbgw_obs::trace::note("path", &req.path_info);
+            self.dispatch(req)
+        };
+        m.request_latency_ns
+            .observe_ns(self.clock.now_ns().saturating_sub(start_ns));
+        if response.status >= 400 {
+            m.request_errors.inc();
+        }
+        if owned {
+            if let Some(trace) = dbgw_obs::trace::finish_trace() {
+                self.emit_trace(&trace, &mut response);
+            }
+        }
+        response
+    }
+
+    /// Export one finished trace per the configured sinks.
+    fn emit_trace(&self, trace: &Trace, response: &mut CgiResponse) {
+        if let Some(path) = &self.trace.trace_file {
+            let _ = trace.append_jsonl(path);
+        }
+        if self.trace.annotate {
+            response.body.push_str(&trace_comment(trace));
+        }
+    }
+
+    fn dispatch(&self, req: &CgiRequest) -> CgiResponse {
         // PATH_INFO = /{macro-file}/{cmd}
         let mut parts = req.path_info.trim_start_matches('/').splitn(2, '/');
         let macro_name = parts.next().unwrap_or("");
         let cmd = parts.next().unwrap_or("");
         if !safe_macro_name(macro_name) {
-            return CgiResponse::error(400, "invalid macro file name");
+            return CgiResponse::error_for_request(400, "invalid macro file name", req.request_id);
         }
         let Some(mode) = Mode::from_command(cmd) else {
-            return CgiResponse::error(
+            return CgiResponse::error_for_request(
                 400,
                 &format!("unknown command {cmd:?}: expected input or report"),
+                req.request_id,
             );
         };
-        let Some(mac) = self.macros.read().get(macro_name).cloned() else {
-            return CgiResponse::error(404, &format!("no macro named {macro_name}"));
+        let Some((mac, source)) = self
+            .macros
+            .read()
+            .get(macro_name)
+            .map(|s| (s.parsed.clone(), s.source.clone()))
+        else {
+            return CgiResponse::error_for_request(
+                404,
+                &format!("no macro named {macro_name}"),
+                req.request_id,
+            );
+        };
+        // Under a trace, re-parse the macro from source so the trace shows
+        // the `parse_macro` cost every CGI invocation paid in 1996; the fast
+        // path serves the parse done at install time.
+        let mac = if dbgw_obs::trace::trace_active() {
+            match parse_macro(&source) {
+                Ok(parsed) => Arc::new(parsed),
+                Err(_) => mac,
+            }
+        } else {
+            mac
         };
         let mut inputs: Vec<(String, String)> = req
             .variables()
@@ -150,6 +361,7 @@ impl Gateway {
             .iter()
             .map(|(a, b)| (a.clone(), b.clone()))
             .collect();
+        inputs.push((REQUEST_ID_VAR.to_owned(), req.request_id.to_string()));
 
         // Conversational transactions (reserved DTW_* variables).
         let session_request = inputs
@@ -166,9 +378,11 @@ impl Gateway {
             };
             let engine = Engine::with_config(config);
             let id = if session == "new" {
-                match mgr.start(self.source.connect()) {
+                match mgr.start(self.metered_connect()) {
                     Ok(id) => id,
-                    Err(e) => return CgiResponse::error(500, &e.to_string()),
+                    Err(e) => {
+                        return CgiResponse::error_for_request(500, &e.to_string(), req.request_id)
+                    }
                 }
             } else {
                 session
@@ -176,14 +390,18 @@ impl Gateway {
             inputs.push((SESSION_ID_VAR.to_owned(), id.clone()));
             let outcome = mgr.with_session(&id, |conn| engine.process(&mac, mode, &inputs, conn));
             let Some(result) = outcome else {
-                return CgiResponse::error(400, &format!("unknown or expired session {id}"));
+                return CgiResponse::error_for_request(
+                    400,
+                    &format!("unknown or expired session {id}"),
+                    req.request_id,
+                );
             };
             let mut response = match result {
                 Ok(body) => CgiResponse::html(body),
                 Err(e) => {
                     // A failed request aborts the whole conversation.
                     let _ = mgr.end(&id, false);
-                    return CgiResponse::error(500, &e.to_string());
+                    return CgiResponse::error_for_request(500, &e.to_string(), req.request_id);
                 }
             };
             let end = inputs
@@ -193,7 +411,8 @@ impl Gateway {
             match end.as_deref() {
                 Some("commit") => {
                     if let Some(Err(e)) = mgr.end(&id, true) {
-                        response = CgiResponse::error(500, &e.to_string());
+                        response =
+                            CgiResponse::error_for_request(500, &e.to_string(), req.request_id);
                     }
                 }
                 Some("abort") => {
@@ -205,17 +424,39 @@ impl Gateway {
         }
 
         let engine = Engine::with_config(self.config.clone());
-        let mut conn = self.source.connect();
+        let mut conn = self.metered_connect();
         match engine.process(&mac, mode, &inputs, conn.as_mut()) {
             Ok(body) => CgiResponse::html(body),
-            Err(e) => CgiResponse::error(500, &e.to_string()),
+            Err(e) => CgiResponse::error_for_request(500, &e.to_string(), req.request_id),
         }
+    }
+
+    /// A fresh connection wrapped in the statement-timing meter.
+    fn metered_connect(&self) -> Box<dyn Database + Send> {
+        Box::new(SqlMeter {
+            inner: self.source.connect(),
+            clock: self.clock.clone(),
+            slow_ns: self.trace.slow_ns(),
+            slow_log: self.slow_log.clone(),
+        })
     }
 
     /// Convenience for tests and benches: handle a GET.
     pub fn get(&self, macro_name: &str, cmd: &str, query: &str) -> CgiResponse {
         self.handle(&CgiRequest::get(&format!("/{macro_name}/{cmd}"), query))
     }
+}
+
+/// Render `trace` as an HTML comment safe to append to a page: `--` is not
+/// allowed inside comments (and `>` after it would end one early), so any
+/// run of hyphens from SQL text is broken up.
+pub fn trace_comment(trace: &Trace) -> String {
+    let mut tree = trace.render_tree();
+    // One pass leaves a pair behind in odd runs ("---" → "- --"), so repeat.
+    while tree.contains("--") {
+        tree = tree.replace("--", "- -");
+    }
+    format!("\n<!-- dbgw trace\n{tree}-->\n")
 }
 
 #[cfg(test)]

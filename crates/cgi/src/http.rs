@@ -20,6 +20,10 @@ use std::thread::JoinHandle;
 /// The CGI program mount point, as in the paper's URLs.
 pub const CGI_PREFIX: &str = "/cgi-bin/db2www";
 
+/// The admin metrics page: HTML by default, Prometheus-style text with
+/// `?format=prometheus`.
+pub const STATS_PATH: &str = "/stats";
+
 /// A running server.
 pub struct HttpServer {
     inner: Arc<ServerInner>,
@@ -138,6 +142,7 @@ fn handle_connection(inner: &ServerInner, mut stream: TcpStream) -> std::io::Res
     inner.log.record(LogEntry {
         remote,
         user,
+        timestamp: 0, // stamped by the log's clock in record()
         request_line,
         status: response.status,
         bytes: response.body.len(),
@@ -259,9 +264,13 @@ fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Opti
                 path_info: path_info.to_owned(),
                 query_string: query.to_owned(),
                 body: req.body,
+                request_id: dbgw_obs::next_request_id(),
             };
             return (inner.gateway.handle(&cgi), user, None);
         }
+    }
+    if path == STATS_PATH {
+        return (stats_response(inner, query), user, None);
     }
     if let Some(page) = inner.static_pages.read().get(path) {
         return (CgiResponse::html(page.clone()), user, None);
@@ -271,6 +280,76 @@ fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Opti
         user,
         None,
     )
+}
+
+/// The `/stats` admin page: process metrics (and the slow-query log) as
+/// HTML, or the raw Prometheus-style text with `?format=prometheus`.
+fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
+    let m = dbgw_obs::metrics();
+    if query
+        .split('&')
+        .any(|pair| pair == "format=prometheus" || pair == "format=text")
+    {
+        return CgiResponse {
+            status: 200,
+            content_type: "text/plain".into(),
+            body: dbgw_obs::export::render_prometheus(m),
+        };
+    }
+    let mut body = String::from(
+        "<HTML><HEAD><TITLE>Gateway Statistics</TITLE></HEAD>\n<BODY><H1>Gateway Statistics</H1>\n",
+    );
+    body.push_str("<H2>Counters</H2>\n<TABLE BORDER=1>\n");
+    for (name, value) in [
+        ("requests", m.requests.get()),
+        ("request errors", m.request_errors.get()),
+        ("macro parses", m.macro_parses.get()),
+        ("substitutions", m.substitutions.get()),
+        ("SQL statements", m.sql_statements.get()),
+        ("rows rendered", m.rows_rendered.get()),
+        ("slow queries", m.slow_queries.get()),
+        ("traces recorded", m.traces_recorded.get()),
+    ] {
+        body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
+    }
+    body.push_str("</TABLE>\n<H2>Latency</H2>\n<TABLE BORDER=1>\n");
+    for (name, h) in [
+        ("request", &m.request_latency_ns),
+        ("sql", &m.sql_latency_ns),
+    ] {
+        let count = h.count();
+        let mean_ms = if count == 0 {
+            0.0
+        } else {
+            h.sum_ns() as f64 / count as f64 / 1e6
+        };
+        body.push_str(&format!(
+            "<TR><TD>{name}</TD><TD>{count} observations</TD><TD>mean {mean_ms:.3} ms</TD></TR>\n"
+        ));
+    }
+    body.push_str("</TABLE>\n");
+    let codes = m.sqlcode_errors.snapshot();
+    if !codes.is_empty() {
+        body.push_str("<H2>SQLCODEs</H2>\n<TABLE BORDER=1>\n");
+        for (code, count) in codes {
+            body.push_str(&format!("<TR><TD>{code}</TD><TD>{count}</TD></TR>\n"));
+        }
+        body.push_str("</TABLE>\n");
+    }
+    let slow = inner.gateway.slow_queries().entries();
+    if !slow.is_empty() {
+        body.push_str("<H2>Slow queries</H2>\n<UL>\n");
+        for q in slow.iter().rev().take(20) {
+            body.push_str(&format!(
+                "<LI><CODE>{}</CODE>\n",
+                dbgw_html::escape_text(&q.to_line())
+            ));
+        }
+        body.push_str("</UL>\n");
+    }
+    body.push_str("<P><A HREF=\"/stats?format=prometheus\">prometheus text</A></P>\n");
+    body.push_str("</BODY></HTML>\n");
+    CgiResponse::html(body)
 }
 
 fn write_response(

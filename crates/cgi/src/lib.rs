@@ -27,9 +27,9 @@ pub mod urlencode;
 pub use auth::{base64_decode, base64_encode, AuthDecision, BasicAuth};
 pub use bridge::MiniSqlDatabase;
 pub use client::{FormFill, HttpClient};
-pub use gateway::{ConnectionSource, Gateway};
-pub use http::{HttpServer, CGI_PREFIX};
-pub use log::{AccessLog, LogEntry};
+pub use gateway::{trace_comment, ConnectionSource, Gateway, TraceOptions, REQUEST_ID_VAR};
+pub use http::{HttpServer, CGI_PREFIX, STATS_PATH};
+pub use log::{AccessLog, LogEntry, SlowQuery, SlowQueryLog};
 pub use query::QueryString;
 pub use request::{CgiRequest, CgiResponse, Method};
 pub use session::SessionManager;

@@ -1,10 +1,15 @@
-//! Access logging in NCSA Common Log Format.
+//! Access logging in NCSA Common Log Format, plus the slow-query log.
 //!
 //! The 1996 httpd wrote `access_log` lines that a generation of analytics
 //! tooling parsed; the reproduction's server records the same shape so the
-//! concurrency experiments can audit exactly which requests ran.
+//! concurrency experiments can audit exactly which requests ran. Timestamps
+//! come from an injectable [`WallClock`]: binaries use the system clock,
+//! tests pin a [`dbgw_obs::TestWallClock`] so entries stay structurally
+//! comparable.
 
 use crate::sync::Mutex;
+use dbgw_obs::clock::format_clf;
+use dbgw_obs::{SystemWallClock, WallClock};
 use std::sync::Arc;
 
 /// One logged request.
@@ -14,6 +19,10 @@ pub struct LogEntry {
     pub remote: String,
     /// Authenticated user, `-` when anonymous.
     pub user: String,
+    /// Request completion time, seconds since the Unix epoch. Stamped by
+    /// [`AccessLog::record`] from the log's clock — whatever the caller set
+    /// here is overwritten, so entry construction stays clock-free.
+    pub timestamp: u64,
     /// Request line, e.g. `GET /cgi-bin/db2www/u.d2w/input HTTP/1.0`.
     pub request_line: String,
     /// Response status code.
@@ -23,30 +32,60 @@ pub struct LogEntry {
 }
 
 impl LogEntry {
-    /// Render in Common Log Format (timestamp elided — the reproduction is
-    /// deterministic and tests compare entries structurally).
+    /// Render in Common Log Format, timestamp included:
+    /// `host - user [04/Jun/1996:12:00:00 +0000] "request" status bytes`.
     pub fn to_common_log(&self) -> String {
         format!(
-            "{} - {} \"{}\" {} {}",
-            self.remote, self.user, self.request_line, self.status, self.bytes
+            "{} - {} {} \"{}\" {} {}",
+            self.remote,
+            self.user,
+            format_clf(self.timestamp),
+            self.request_line,
+            self.status,
+            self.bytes
         )
     }
 }
 
 /// A shared, thread-safe access log.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct AccessLog {
     entries: Arc<Mutex<Vec<LogEntry>>>,
+    clock: Arc<dyn WallClock>,
+}
+
+impl Default for AccessLog {
+    fn default() -> Self {
+        AccessLog::new()
+    }
+}
+
+impl std::fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessLog")
+            .field("entries", &self.entries.lock().len())
+            .finish()
+    }
 }
 
 impl AccessLog {
-    /// Empty log.
+    /// Empty log stamping entries from the system wall clock.
     pub fn new() -> AccessLog {
-        AccessLog::default()
+        AccessLog::with_clock(Arc::new(SystemWallClock))
     }
 
-    /// Record one request.
-    pub fn record(&self, entry: LogEntry) {
+    /// Empty log over an explicit clock (tests inject a
+    /// [`dbgw_obs::TestWallClock`] for deterministic timestamps).
+    pub fn with_clock(clock: Arc<dyn WallClock>) -> AccessLog {
+        AccessLog {
+            entries: Arc::new(Mutex::new(Vec::new())),
+            clock,
+        }
+    }
+
+    /// Record one request, stamping it with the log's clock.
+    pub fn record(&self, mut entry: LogEntry) {
+        entry.timestamp = self.clock.epoch_secs();
         self.entries.lock().push(entry);
     }
 
@@ -71,34 +110,129 @@ impl AccessLog {
     }
 }
 
+/// One SQL statement that crossed the slow-query threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The request that executed it (see [`crate::CgiRequest::request_id`]).
+    pub request_id: u64,
+    /// The statement text, post-substitution.
+    pub statement: String,
+    /// Observed execution time, nanoseconds on the gateway's clock.
+    pub dur_ns: u64,
+    /// The statement's SQLCODE (0 on success, negative on error).
+    pub sqlcode: i32,
+}
+
+impl SlowQuery {
+    /// Render as one log line, the shape the access log's consumers expect:
+    /// `slow-query request=7 12.500ms sqlcode=0 "SELECT …"`.
+    pub fn to_line(&self) -> String {
+        format!(
+            "slow-query request={} {:.3}ms sqlcode={} \"{}\"",
+            self.request_id,
+            self.dur_ns as f64 / 1e6,
+            self.sqlcode,
+            self.statement
+        )
+    }
+}
+
+/// A shared, thread-safe slow-query log, fed by the gateway whenever a
+/// statement exceeds the `DBGW_SLOW_MS` threshold.
+#[derive(Debug, Clone, Default)]
+pub struct SlowQueryLog {
+    entries: Arc<Mutex<Vec<SlowQuery>>>,
+}
+
+impl SlowQueryLog {
+    /// Empty log.
+    pub fn new() -> SlowQueryLog {
+        SlowQueryLog::default()
+    }
+
+    /// Record one slow statement.
+    pub fn record(&self, entry: SlowQuery) {
+        self.entries.lock().push(entry);
+    }
+
+    /// Snapshot of all entries.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of recorded statements.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Clear all entries.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dbgw_obs::TestWallClock;
 
-    #[test]
-    fn records_and_formats() {
-        let log = AccessLog::new();
-        log.record(LogEntry {
+    fn entry() -> LogEntry {
+        LogEntry {
             remote: "127.0.0.1".into(),
             user: "-".into(),
+            timestamp: 0,
             request_line: "GET /cgi-bin/db2www/u.d2w/input HTTP/1.0".into(),
             status: 200,
             bytes: 1234,
-        });
+        }
+    }
+
+    #[test]
+    fn records_and_formats_with_timestamp() {
+        // 1996-06-04 12:00:00 UTC.
+        let log = AccessLog::with_clock(Arc::new(TestWallClock::at(833_889_600)));
+        log.record(entry());
         assert_eq!(log.len(), 1);
         assert_eq!(
             log.entries()[0].to_common_log(),
-            "127.0.0.1 - - \"GET /cgi-bin/db2www/u.d2w/input HTTP/1.0\" 200 1234"
+            "127.0.0.1 - - [04/Jun/1996:12:00:00 +0000] \
+             \"GET /cgi-bin/db2www/u.d2w/input HTTP/1.0\" 200 1234"
         );
     }
 
     #[test]
+    fn record_stamps_from_the_log_clock() {
+        let clock = Arc::new(TestWallClock::at(100));
+        let log = AccessLog::with_clock(clock.clone());
+        let mut e = entry();
+        e.timestamp = 999_999; // caller-set values are overwritten
+        log.record(e);
+        clock.advance_secs(50);
+        log.record(entry());
+        let entries = log.entries();
+        assert_eq!(entries[0].timestamp, 100);
+        assert_eq!(entries[1].timestamp, 150);
+        // Structural comparison works because the clock is deterministic.
+        let expected = LogEntry {
+            timestamp: 100,
+            ..entry()
+        };
+        assert_eq!(entries[0], expected);
+    }
+
+    #[test]
     fn shared_across_clones() {
-        let log = AccessLog::new();
+        let log = AccessLog::with_clock(Arc::new(TestWallClock::at(0)));
         let clone = log.clone();
         clone.record(LogEntry {
             remote: "10.0.0.1".into(),
             user: "tam".into(),
+            timestamp: 0,
             request_line: "POST /x HTTP/1.0".into(),
             status: 404,
             bytes: 0,
@@ -106,5 +240,23 @@ mod tests {
         assert_eq!(log.len(), 1);
         log.clear();
         assert!(clone.is_empty());
+    }
+
+    #[test]
+    fn slow_query_log_lines() {
+        let log = SlowQueryLog::new();
+        log.record(SlowQuery {
+            request_id: 7,
+            statement: "SELECT * FROM urldb".into(),
+            dur_ns: 12_500_000,
+            sqlcode: 0,
+        });
+        assert_eq!(
+            log.entries()[0].to_line(),
+            "slow-query request=7 12.500ms sqlcode=0 \"SELECT * FROM urldb\""
+        );
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
     }
 }

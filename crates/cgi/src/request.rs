@@ -29,6 +29,10 @@ pub struct CgiRequest {
     pub query_string: String,
     /// Request body (POST form data).
     pub body: String,
+    /// Process-wide request correlation id (counter-derived, no wall clock).
+    /// Every trace span, slow-query entry, and error page produced while
+    /// serving this request carries the same id.
+    pub request_id: u64,
 }
 
 impl CgiRequest {
@@ -39,6 +43,7 @@ impl CgiRequest {
             path_info: path_info.to_owned(),
             query_string: query_string.to_owned(),
             body: String::new(),
+            request_id: dbgw_obs::next_request_id(),
         }
     }
 
@@ -49,6 +54,7 @@ impl CgiRequest {
             path_info: path_info.to_owned(),
             query_string: String::new(),
             body: body.to_owned(),
+            request_id: dbgw_obs::next_request_id(),
         }
     }
 
@@ -113,6 +119,21 @@ impl CgiResponse {
             body: format!(
                 "<HTML><HEAD><TITLE>Error {status}</TITLE></HEAD>\n\
                  <BODY><H1>Error {status}</H1>\n<P>{}</P></BODY></HTML>\n",
+                dbgw_html::escape_text(message)
+            ),
+        }
+    }
+
+    /// An error page carrying the request's correlation id, so a failure a
+    /// user reports can be matched to its trace and slow-query entries.
+    pub fn error_for_request(status: u16, message: &str, request_id: u64) -> CgiResponse {
+        CgiResponse {
+            status,
+            content_type: "text/html".into(),
+            body: format!(
+                "<HTML><HEAD><TITLE>Error {status}</TITLE></HEAD>\n\
+                 <BODY><H1>Error {status}</H1>\n<P>{}</P>\n\
+                 <P><SMALL>request {request_id}</SMALL></P></BODY></HTML>\n",
                 dbgw_html::escape_text(message)
             ),
         }

@@ -252,10 +252,13 @@ impl<'r> Engine<'r> {
         db: &mut dyn Database,
         out: &mut String,
     ) -> MacroResult<Flow> {
+        let _span = dbgw_obs::trace::span("exec_sql");
         let sql = {
             let mut ev = Evaluator::new(env, self.runner);
             ev.substitute(&section.command)?.trim().to_owned()
         };
+        dbgw_obs::trace::note("sql", &sql);
+        dbgw_obs::metrics().sql_statements.inc();
         if self.config.honor_showsql {
             let show = {
                 let mut ev = Evaluator::new(env, self.runner);
@@ -269,6 +272,9 @@ impl<'r> Engine<'r> {
         }
         match db.execute(&sql) {
             Ok(rows) => {
+                if rows.sqlcode() == 100 {
+                    dbgw_obs::metrics().sqlcode_errors.record(100);
+                }
                 self.render_result(section, &rows, env, out)?;
                 if rows.sqlcode() == 100 {
                     if let Some(msg) = find_message(section, 100) {
@@ -282,6 +288,8 @@ impl<'r> Engine<'r> {
                 Ok(Flow::Continue)
             }
             Err(e) => {
+                dbgw_obs::metrics().sqlcode_errors.record(e.code);
+                dbgw_obs::trace::note("sqlcode", e.code.to_string());
                 match find_message(section, e.code) {
                     Some(msg) => {
                         let mut ev = Evaluator::new(env, self.runner);
@@ -313,6 +321,7 @@ impl<'r> Engine<'r> {
         env: &mut Env,
         out: &mut String,
     ) -> MacroResult<()> {
+        let _span = dbgw_obs::trace::span("render_report");
         // DML with no report block prints nothing.
         if rows.columns.is_empty() && section.report.is_none() {
             return Ok(());
@@ -333,6 +342,10 @@ impl<'r> Engine<'r> {
                 s.to_owned()
             }
         };
+
+        let printed = rows.rows.len().min(max_rows);
+        dbgw_obs::metrics().rows_rendered.add(printed as u64);
+        dbgw_obs::trace::note("rows", printed.to_string());
 
         let Some(report) = &section.report else {
             // Default table format (§3.4).

@@ -33,6 +33,8 @@ use crate::error::{MacroError, MacroResult};
 
 /// Parse a macro file.
 pub fn parse_macro(src: &str) -> MacroResult<MacroFile> {
+    let _span = dbgw_obs::trace::span("parse_macro");
+    dbgw_obs::metrics().macro_parses.inc();
     let mut cur = Cursor::new(src);
     let mut sections = Vec::new();
     let mut unnamed_exec_seen = false;

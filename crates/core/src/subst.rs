@@ -56,6 +56,16 @@ impl<'a> Evaluator<'a> {
     /// Substitute, also reporting whether any *directly referenced* variable
     /// evaluated to null — the trigger for one-armed conditional nulling.
     pub fn substitute_tracking(&mut self, raw: &str) -> MacroResult<(String, bool)> {
+        // Nested passes (variable values referencing further variables) run
+        // with a non-empty evaluation stack; only top-level passes count as
+        // one "substitution" and open a trace span, so the metric and the
+        // trace reflect rendering units, not recursion depth.
+        let _span = if self.stack.is_empty() {
+            dbgw_obs::metrics().substitutions.inc();
+            Some(dbgw_obs::trace::span("substitute"))
+        } else {
+            None
+        };
         let mut out = String::with_capacity(raw.len());
         let mut saw_null = false;
         let mut rest = raw;

@@ -161,7 +161,11 @@ impl Connection {
 
     /// Parse and execute with positional `?` parameters.
     pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> SqlResult<ExecResult> {
-        let stmt = parse(sql)?;
+        let stmt = {
+            let _span = dbgw_obs::trace::span("sql_parse");
+            parse(sql)?
+        };
+        let _span = dbgw_obs::trace::span("sql_execute");
         self.execute_statement(stmt, params)
     }
 

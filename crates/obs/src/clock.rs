@@ -1,0 +1,203 @@
+//! Injectable time sources.
+//!
+//! Two distinct notions of time, deliberately kept apart:
+//!
+//! * [`Clock`] — a **monotonic** nanosecond counter for measuring durations.
+//!   Binaries use [`StdClock`] (anchored `std::time::Instant`); tests use
+//!   [`TestClock`] and advance it by hand, making every recorded duration
+//!   deterministic.
+//! * [`WallClock`] — **civil** time as seconds since the Unix epoch, for the
+//!   access log's Common Log Format timestamps. [`TestWallClock`] pins it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (fixed per instance) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The std monotonic clock, anchored at construction.
+#[derive(Debug)]
+pub struct StdClock {
+    origin: Instant,
+}
+
+impl StdClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> StdClock {
+        StdClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for StdClock {
+    fn default() -> Self {
+        StdClock::new()
+    }
+}
+
+impl Clock for StdClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    ns: AtomicU64,
+}
+
+impl TestClock {
+    /// A clock reading zero.
+    pub fn new() -> TestClock {
+        TestClock::default()
+    }
+
+    /// Move time forward by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Move time forward by `us` microseconds.
+    pub fn advance_micros(&self, us: u64) {
+        self.advance_ns(us * 1_000);
+    }
+
+    /// Move time forward by `ms` milliseconds.
+    pub fn advance_millis(&self, ms: u64) {
+        self.advance_ns(ms * 1_000_000);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+/// A civil-time source: seconds since the Unix epoch.
+pub trait WallClock: Send + Sync {
+    /// Seconds since 1970-01-01T00:00:00Z.
+    fn epoch_secs(&self) -> u64;
+}
+
+/// The system wall clock.
+#[derive(Debug, Default)]
+pub struct SystemWallClock;
+
+impl WallClock for SystemWallClock {
+    fn epoch_secs(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}
+
+/// A pinned, hand-advanced wall clock for tests.
+#[derive(Debug, Default)]
+pub struct TestWallClock {
+    secs: AtomicU64,
+}
+
+impl TestWallClock {
+    /// A wall clock reading `epoch_secs`.
+    pub fn at(epoch_secs: u64) -> TestWallClock {
+        TestWallClock {
+            secs: AtomicU64::new(epoch_secs),
+        }
+    }
+
+    /// Move time forward by `secs` seconds.
+    pub fn advance_secs(&self, secs: u64) {
+        self.secs.fetch_add(secs, Ordering::SeqCst);
+    }
+}
+
+impl WallClock for TestWallClock {
+    fn epoch_secs(&self) -> u64 {
+        self.secs.load(Ordering::SeqCst)
+    }
+}
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Format an epoch-seconds value as an NCSA Common Log Format timestamp,
+/// e.g. `[10/Oct/1996:13:55:36 +0000]`. Always UTC — the 1996 httpd logged
+/// the server's zone; the reproduction standardizes on `+0000` so log lines
+/// compare bit-for-bit across machines.
+pub fn format_clf(epoch_secs: u64) -> String {
+    let days = epoch_secs / 86_400;
+    let secs_of_day = epoch_secs % 86_400;
+    let (year, month, day) = civil_from_days(days as i64);
+    format!(
+        "[{:02}/{}/{}:{:02}:{:02}:{:02} +0000]",
+        day,
+        MONTHS[(month - 1) as usize],
+        year,
+        secs_of_day / 3_600,
+        (secs_of_day / 60) % 60,
+        secs_of_day % 60
+    )
+}
+
+/// Days-since-epoch to (year, month, day), via the standard civil-calendar
+/// algorithm (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_clock_is_monotonic() {
+        let c = StdClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn test_clock_advances_exactly() {
+        let c = TestClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_micros(3);
+        c.advance_millis(1);
+        assert_eq!(c.now_ns(), 1_003_000);
+    }
+
+    #[test]
+    fn clf_formats_known_instants() {
+        // 1996-06-04 12:00:00 UTC (SIGMOD '96 week).
+        assert_eq!(format_clf(833_889_600), "[04/Jun/1996:12:00:00 +0000]");
+        // The epoch itself.
+        assert_eq!(format_clf(0), "[01/Jan/1970:00:00:00 +0000]");
+        // A leap-year day: 2000-02-29 23:59:59 UTC.
+        assert_eq!(format_clf(951_868_799), "[29/Feb/2000:23:59:59 +0000]");
+    }
+
+    #[test]
+    fn test_wall_clock_pins_and_advances() {
+        let w = TestWallClock::at(833_889_600);
+        assert_eq!(w.epoch_secs(), 833_889_600);
+        w.advance_secs(61);
+        assert_eq!(format_clf(w.epoch_secs()), "[04/Jun/1996:12:01:01 +0000]");
+    }
+}

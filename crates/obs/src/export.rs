@@ -1,0 +1,314 @@
+//! Exporters: JSON-lines trace sink, Prometheus-style metrics text, and a
+//! human-readable trace tree.
+//!
+//! All output is assembled by hand (zero-dependency policy); the JSON subset
+//! emitted here is exactly what the trajectory tooling and the CI smoke test
+//! consume, and the Prometheus text is the standard exposition format so any
+//! scraper can parse `/stats?format=prometheus`.
+
+use crate::metrics::{Metrics, BUCKET_BOUNDS_NS};
+use crate::trace::{Span, Trace};
+use std::io::Write;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_json(trace: &Trace, idx: usize, span: &Span) -> String {
+    let parent = match span.parent {
+        Some(p) => p.to_string(),
+        None => "null".to_owned(),
+    };
+    let mut notes = String::new();
+    for (i, (key, value)) in span.notes.iter().enumerate() {
+        if i > 0 {
+            notes.push(',');
+        }
+        notes.push_str(&format!(
+            "\"{}\":\"{}\"",
+            json_escape(key),
+            json_escape(value)
+        ));
+    }
+    format!(
+        "{{\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\",\"depth\":{},\
+         \"start_ns\":{},\"dur_ns\":{},\"notes\":{{{}}}}}",
+        trace.request_id,
+        idx,
+        parent,
+        json_escape(span.name),
+        span.depth,
+        span.start_ns,
+        span.dur_ns,
+        notes,
+    )
+}
+
+impl Trace {
+    /// Render the trace as JSON lines: one object per span, in start order,
+    /// each carrying the owning trace's request id. Ends with a newline.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (idx, span) in self.spans.iter().enumerate() {
+            out.push_str(&span_json(self, idx, span));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Append the trace's JSON lines to the file at `path` (created if
+    /// absent). Concurrent appenders interleave whole lines at worst.
+    pub fn append_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(self.to_json_lines().as_bytes())
+    }
+
+    /// Render as a human-readable tree (see [`TraceTree`]).
+    pub fn render_tree(&self) -> String {
+        TraceTree(self).to_string()
+    }
+}
+
+/// Human-readable rendering of a [`Trace`]: one line per span, indented by
+/// depth, with durations and notes. `Display` does the work so it can be
+/// written into anything.
+pub struct TraceTree<'a>(pub &'a Trace);
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+impl std::fmt::Display for TraceTree<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let trace = self.0;
+        writeln!(
+            f,
+            "trace request={} spans={} total={}{}",
+            trace.request_id,
+            trace.spans.len(),
+            fmt_ns(trace.total_ns()),
+            if trace.dropped > 0 {
+                format!(" dropped={}", trace.dropped)
+            } else {
+                String::new()
+            }
+        )?;
+        for span in &trace.spans {
+            let mut label = format!("{}{}", "  ".repeat(span.depth + 1), span.name);
+            for (key, value) in &span.notes {
+                label.push_str(&format!(" {key}={value:?}"));
+            }
+            let pad = label.chars().count();
+            let pad = if pad < 48 { 48 - pad } else { 1 };
+            writeln!(f, "{label}{:pad$}{}", "", fmt_ns(span.dur_ns))?;
+        }
+        Ok(())
+    }
+}
+
+fn histogram_block(out: &mut String, name: &str, h: &crate::metrics::Histogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let counts = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (i, bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+        cumulative += counts[i];
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            *bound as f64 / 1e9
+        ));
+    }
+    cumulative += counts[BUCKET_BOUNDS_NS.len()];
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+    out.push_str(&format!("{name}_sum {}\n", h.sum_ns() as f64 / 1e9));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Render a metric registry in the Prometheus text exposition format.
+/// Latency histograms are exported in seconds, per convention.
+pub fn render_prometheus(m: &Metrics) -> String {
+    let mut out = String::new();
+    for (name, counter) in [
+        ("dbgw_requests_total", &m.requests),
+        ("dbgw_request_errors_total", &m.request_errors),
+        ("dbgw_macro_parses_total", &m.macro_parses),
+        ("dbgw_substitutions_total", &m.substitutions),
+        ("dbgw_sql_statements_total", &m.sql_statements),
+        ("dbgw_rows_rendered_total", &m.rows_rendered),
+        ("dbgw_slow_queries_total", &m.slow_queries),
+        ("dbgw_traces_recorded_total", &m.traces_recorded),
+    ] {
+        out.push_str(&format!(
+            "# TYPE {name} counter\n{name} {}\n",
+            counter.get()
+        ));
+    }
+    out.push_str("# TYPE dbgw_sqlcode_errors_total counter\n");
+    for (code, count) in m.sqlcode_errors.snapshot() {
+        out.push_str(&format!(
+            "dbgw_sqlcode_errors_total{{code=\"{code}\"}} {count}\n"
+        ));
+    }
+    histogram_block(
+        &mut out,
+        "dbgw_request_latency_seconds",
+        &m.request_latency_ns,
+    );
+    histogram_block(&mut out, "dbgw_sql_latency_seconds", &m.sql_latency_ns);
+    out
+}
+
+/// Render a metric registry as one JSON object keyed by the same names the
+/// Prometheus exposition uses, so BENCH_JSON consumers and `/stats` scrapers
+/// agree on vocabulary. Histograms export their `_count` and `_sum` (seconds).
+pub fn metrics_json(m: &Metrics) -> String {
+    let mut out = String::from("{");
+    for (name, counter) in [
+        ("dbgw_requests_total", &m.requests),
+        ("dbgw_request_errors_total", &m.request_errors),
+        ("dbgw_macro_parses_total", &m.macro_parses),
+        ("dbgw_substitutions_total", &m.substitutions),
+        ("dbgw_sql_statements_total", &m.sql_statements),
+        ("dbgw_rows_rendered_total", &m.rows_rendered),
+        ("dbgw_slow_queries_total", &m.slow_queries),
+        ("dbgw_traces_recorded_total", &m.traces_recorded),
+    ] {
+        out.push_str(&format!("\"{name}\":{},", counter.get()));
+    }
+    for (name, h) in [
+        ("dbgw_request_latency_seconds", &m.request_latency_ns),
+        ("dbgw_sql_latency_seconds", &m.sql_latency_ns),
+    ] {
+        out.push_str(&format!(
+            "\"{name}_count\":{},\"{name}_sum\":{},",
+            h.count(),
+            h.sum_ns() as f64 / 1e9
+        ));
+    }
+    out.push_str("\"dbgw_sqlcode_errors_total\":{");
+    for (i, (code, count)) in m.sqlcode_errors.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{code}\":{count}"));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+    use crate::trace;
+    use std::sync::Arc;
+
+    fn sample_trace() -> Trace {
+        let clock = Arc::new(TestClock::new());
+        trace::start_trace(clock.clone(), 42);
+        {
+            let _request = trace::span("request");
+            clock.advance_micros(2);
+            let _sql = trace::span("exec_sql");
+            trace::note("sql", "SELECT \"x\"\nFROM t");
+            clock.advance_micros(8);
+        }
+        trace::finish_trace().unwrap()
+    }
+
+    #[test]
+    fn json_lines_shape_and_escaping() {
+        let t = sample_trace();
+        let jsonl = t.to_json_lines();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"trace\":42"));
+        assert!(lines[0].contains("\"name\":\"request\""));
+        assert!(lines[0].contains("\"parent\":null"));
+        assert!(lines[1].contains("\"parent\":0"));
+        assert!(lines[1].contains("\"dur_ns\":8000"));
+        // The note survives with its quote and newline escaped.
+        assert!(lines[1].contains("SELECT \\\"x\\\"\\nFROM t"));
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn tree_renders_nesting_and_durations() {
+        let t = sample_trace();
+        let tree = t.render_tree();
+        assert!(tree.starts_with("trace request=42 spans=2 total=10.0us"));
+        assert!(tree.contains("\n  request"));
+        assert!(tree.contains("\n    exec_sql"));
+        assert!(tree.contains("8.0us"));
+    }
+
+    #[test]
+    fn jsonl_sink_appends() {
+        let t = sample_trace();
+        let path = std::env::temp_dir().join(format!("dbgw-obs-sink-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        t.append_jsonl(&path).unwrap();
+        t.append_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prometheus_render_is_well_formed() {
+        let m = Metrics::new();
+        m.requests.add(3);
+        m.sqlcode_errors.record(-204);
+        m.request_latency_ns.observe_ns(1_500);
+        m.request_latency_ns.observe_ns(3_000_000);
+        let text = render_prometheus(&m);
+        assert!(text.contains("# TYPE dbgw_requests_total counter\ndbgw_requests_total 3\n"));
+        assert!(text.contains("dbgw_sqlcode_errors_total{code=\"-204\"} 1"));
+        // Cumulative buckets: the 2µs bucket holds the 1.5µs sample…
+        assert!(text.contains("dbgw_request_latency_seconds_bucket{le=\"0.000002\"} 1"));
+        // …and +Inf holds everything.
+        assert!(text.contains("dbgw_request_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("dbgw_request_latency_seconds_count 2"));
+    }
+
+    #[test]
+    fn metrics_json_uses_prometheus_names() {
+        let m = Metrics::new();
+        m.sql_statements.add(5);
+        m.sqlcode_errors.record(100);
+        m.sql_latency_ns.observe_ns(2_000_000);
+        let json = metrics_json(&m);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"dbgw_sql_statements_total\":5"));
+        assert!(json.contains("\"dbgw_sql_latency_seconds_count\":1"));
+        assert!(json.contains("\"dbgw_sql_latency_seconds_sum\":0.002"));
+        assert!(json.contains("\"dbgw_sqlcode_errors_total\":{\"100\":1}"));
+    }
+}

@@ -1,0 +1,52 @@
+//! **dbgw-obs** — observability for the gateway reproduction, with zero
+//! external dependencies (the same policy as `dbgw-testkit`).
+//!
+//! The 1996 DB2 WWW Connection was a black box: a CGI process that either
+//! returned a report or an SQLCODE message, with nothing in between. This
+//! crate makes the reproduction's request path visible without giving up the
+//! hermetic build:
+//!
+//! * [`clock`] — injectable time sources: a monotonic [`Clock`] (std
+//!   [`std::time::Instant`] in binaries, a hand-advanced [`TestClock`] in
+//!   tests) and a [`WallClock`] for access-log timestamps.
+//! * [`trace`] — hierarchical **spans** recorded into a per-request
+//!   [`Trace`]. The active trace lives in a thread local, so instrumentation
+//!   points in `minisql`, `dbgw-core`, and `dbgw-cgi` need no threaded-through
+//!   context argument; when no trace is active a span is a single
+//!   thread-local flag read (the "cheap no-op default").
+//! * [`metrics`] — process-wide counters and fixed-bucket latency
+//!   histograms over `AtomicU64`, plus a per-SQLCODE error table. All
+//!   increments are single relaxed atomic ops and are always on.
+//! * [`export`] — a JSON-lines trace sink, a Prometheus-style text dump of
+//!   the global metrics, and a human-readable [`TraceTree`] renderer.
+//!
+//! ```
+//! use dbgw_obs::{clock::TestClock, trace};
+//! use std::sync::Arc;
+//!
+//! let clock = Arc::new(TestClock::new());
+//! trace::start_trace(clock.clone(), 7);
+//! {
+//!     let _req = trace::span("request");
+//!     clock.advance_micros(5);
+//!     let _sql = trace::span("exec_sql");
+//!     clock.advance_micros(20);
+//! }
+//! let t = trace::finish_trace().unwrap();
+//! assert_eq!(t.spans[0].name, "request");
+//! assert_eq!(t.spans[1].name, "exec_sql");
+//! assert_eq!(t.spans[1].dur_ns, 20_000);
+//! assert!(t.render_tree().contains("exec_sql"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, StdClock, SystemWallClock, TestClock, TestWallClock, WallClock};
+pub use export::{metrics_json, render_prometheus, TraceTree};
+pub use metrics::{metrics, CodeCounters, Counter, Histogram, Metrics};
+pub use trace::{current_request_id, next_request_id, set_request_id, Span, Trace};

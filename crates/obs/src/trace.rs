@@ -1,0 +1,373 @@
+//! Per-request execution traces: hierarchical spans over an injectable clock.
+//!
+//! A request's trace is built up by instrumentation points scattered across
+//! the gateway → engine → minisql stack. Rather than threading a context
+//! argument through every layer's signatures, the *active* trace lives in a
+//! thread local (each request is handled by one thread, as in the CGI model):
+//!
+//! * the request owner calls [`start_trace`] / [`finish_trace`];
+//! * every layer calls [`span`] and holds the returned guard for the
+//!   duration of the operation; nesting falls out of guard scopes;
+//! * [`note`] attaches key/value metadata (the SQL text, row counts) to the
+//!   innermost open span.
+//!
+//! When no trace is active — the default — [`span`] reads one thread-local
+//! flag and returns a no-op guard; that is the entire overhead, which is what
+//! keeps the always-instrumented hot paths benchmark-neutral.
+
+use crate::clock::Clock;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hard cap on spans per trace; a report rendering thousands of rows must
+/// not balloon the trace (or the HTML comment it is exported into).
+pub const MAX_SPANS: usize = 4_096;
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Operation name, e.g. `exec_sql`.
+    pub name: &'static str,
+    /// Start offset, nanoseconds on the trace's clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth; the root `request` span is 0.
+    pub depth: usize,
+    /// Index of the parent span within the trace, if any.
+    pub parent: Option<usize>,
+    /// Attached metadata, in attachment order.
+    pub notes: Vec<(&'static str, String)>,
+}
+
+/// A finished per-request trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The request this trace belongs to (see [`next_request_id`]).
+    pub request_id: u64,
+    /// Spans in start order (a pre-order walk of the span tree).
+    pub spans: Vec<Span>,
+    /// Spans discarded because the trace hit [`MAX_SPANS`].
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Total duration: the root span's, or the max span end seen.
+    pub fn total_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|s| s.start_ns + s.dur_ns)
+            .max()
+            .unwrap_or(0)
+            - self.spans.iter().map(|s| s.start_ns).min().unwrap_or(0)
+    }
+
+    /// Spans with the given name, in start order.
+    pub fn spans_named(&self, name: &str) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+struct ActiveTrace {
+    clock: Arc<dyn Clock>,
+    request_id: u64,
+    spans: Vec<Span>,
+    /// Stack of indices into `spans` for the currently open spans.
+    open: Vec<usize>,
+    dropped: u64,
+}
+
+thread_local! {
+    static TRACING: Cell<bool> = const { Cell::new(false) };
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+    static REQUEST_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+static REQUEST_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Draw the next process-wide request id (counter-derived, no wall clock).
+pub fn next_request_id() -> u64 {
+    REQUEST_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Mark `id` as the request this thread is serving, until the returned guard
+/// drops (which restores the previous value). Instrumentation deep in the
+/// stack — the slow-query log, error correlation — reads it back with
+/// [`current_request_id`] instead of threading the id through signatures.
+#[must_use = "the request id resets when the guard drops"]
+pub fn set_request_id(id: u64) -> RequestIdGuard {
+    let prev = REQUEST_ID.with(|r| r.replace(id));
+    RequestIdGuard { prev }
+}
+
+/// The id set by the innermost live [`set_request_id`] guard on this thread,
+/// or 0 when no request is being served.
+pub fn current_request_id() -> u64 {
+    REQUEST_ID.with(|r| r.get())
+}
+
+/// Restores the previous thread request id on drop.
+#[derive(Debug)]
+pub struct RequestIdGuard {
+    prev: u64,
+}
+
+impl Drop for RequestIdGuard {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|r| r.set(self.prev));
+    }
+}
+
+/// Is a trace being recorded on this thread?
+pub fn trace_active() -> bool {
+    TRACING.with(|t| t.get())
+}
+
+/// Begin recording a trace on this thread. Returns `false` (and leaves the
+/// existing trace untouched) if one is already active — the outermost owner
+/// wins, so a gateway embedded in an already-traced binary nests instead of
+/// clobbering.
+pub fn start_trace(clock: Arc<dyn Clock>, request_id: u64) -> bool {
+    if trace_active() {
+        return false;
+    }
+    ACTIVE.with(|a| {
+        *a.borrow_mut() = Some(ActiveTrace {
+            clock,
+            request_id,
+            spans: Vec::with_capacity(32),
+            open: Vec::new(),
+            dropped: 0,
+        });
+    });
+    TRACING.with(|t| t.set(true));
+    true
+}
+
+/// Stop recording and return the trace, closing any spans still open (their
+/// guards outlive the trace owner only in error paths). `None` if no trace
+/// was active.
+pub fn finish_trace() -> Option<Trace> {
+    if !trace_active() {
+        return None;
+    }
+    TRACING.with(|t| t.set(false));
+    let active = ACTIVE.with(|a| a.borrow_mut().take())?;
+    let end = active.clock.now_ns();
+    let mut spans = active.spans;
+    for idx in active.open {
+        spans[idx].dur_ns = end.saturating_sub(spans[idx].start_ns);
+    }
+    crate::metrics::metrics().traces_recorded.inc();
+    Some(Trace {
+        request_id: active.request_id,
+        spans,
+        dropped: active.dropped,
+    })
+}
+
+/// Open a span. Returns a guard that closes the span when dropped. When no
+/// trace is active this is a single thread-local flag read.
+#[must_use = "the span closes when the guard drops; binding to _ closes it immediately"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !trace_active() {
+        return SpanGuard { index: None };
+    }
+    let index = ACTIVE.with(|a| {
+        let mut borrow = a.borrow_mut();
+        let active = borrow.as_mut()?;
+        if active.spans.len() >= MAX_SPANS {
+            active.dropped += 1;
+            return None;
+        }
+        let index = active.spans.len();
+        active.spans.push(Span {
+            name,
+            start_ns: active.clock.now_ns(),
+            dur_ns: 0,
+            depth: active.open.len(),
+            parent: active.open.last().copied(),
+            notes: Vec::new(),
+        });
+        active.open.push(index);
+        Some(index)
+    });
+    SpanGuard { index }
+}
+
+/// Attach `key = value` metadata to the innermost open span, if any.
+pub fn note(key: &'static str, value: impl Into<String>) {
+    if !trace_active() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        let mut borrow = a.borrow_mut();
+        if let Some(active) = borrow.as_mut() {
+            if let Some(&idx) = active.open.last() {
+                active.spans[idx].notes.push((key, value.into()));
+            }
+        }
+    });
+}
+
+/// Closes its span on drop. A no-op when tracing was inactive at open time
+/// or the trace was already full.
+#[derive(Debug)]
+pub struct SpanGuard {
+    index: Option<usize>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(index) = self.index else { return };
+        ACTIVE.with(|a| {
+            let mut borrow = a.borrow_mut();
+            let Some(active) = borrow.as_mut() else {
+                return;
+            };
+            let end = active.clock.now_ns();
+            // Guards drop in LIFO order in straight-line code; if an inner
+            // guard was leaked past its parent (error unwinding), close
+            // everything above this span too, at the same instant.
+            while let Some(open_idx) = active.open.pop() {
+                active.spans[open_idx].dur_ns = end.saturating_sub(active.spans[open_idx].start_ns);
+                if open_idx == index {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    fn fixed_clock() -> Arc<TestClock> {
+        Arc::new(TestClock::new())
+    }
+
+    #[test]
+    fn spans_nest_and_order() {
+        let clock = fixed_clock();
+        assert!(start_trace(clock.clone(), 1));
+        {
+            let _request = span("request");
+            clock.advance_micros(10);
+            {
+                let _sql = span("exec_sql");
+                note("sql", "SELECT 1");
+                clock.advance_micros(30);
+            }
+            {
+                let _render = span("render_report");
+                clock.advance_micros(5);
+            }
+        }
+        let t = finish_trace().unwrap();
+        assert_eq!(t.request_id, 1);
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["request", "exec_sql", "render_report"]);
+        assert_eq!(t.spans[0].depth, 0);
+        assert_eq!(t.spans[1].depth, 1);
+        assert_eq!(t.spans[1].parent, Some(0));
+        assert_eq!(t.spans[2].parent, Some(0));
+        // Durations are exact under the TestClock.
+        assert_eq!(t.spans[0].dur_ns, 45_000);
+        assert_eq!(t.spans[1].dur_ns, 30_000);
+        assert_eq!(t.spans[1].start_ns, 10_000);
+        assert_eq!(t.spans[2].start_ns, 40_000);
+        assert_eq!(t.spans[1].notes, vec![("sql", "SELECT 1".to_owned())]);
+    }
+
+    #[test]
+    fn no_active_trace_is_a_noop() {
+        assert!(!trace_active());
+        let _g = span("ignored");
+        note("k", "v");
+        assert!(finish_trace().is_none());
+    }
+
+    #[test]
+    fn second_start_does_not_clobber() {
+        let clock = fixed_clock();
+        assert!(start_trace(clock.clone(), 1));
+        assert!(!start_trace(clock.clone(), 2));
+        let t = finish_trace().unwrap();
+        assert_eq!(t.request_id, 1);
+    }
+
+    #[test]
+    fn finish_closes_leaked_open_spans() {
+        let clock = fixed_clock();
+        start_trace(clock.clone(), 3);
+        let guard = span("request");
+        clock.advance_micros(7);
+        let t = finish_trace().unwrap();
+        drop(guard); // after finish: must not panic or corrupt anything
+        assert_eq!(t.spans[0].dur_ns, 7_000);
+    }
+
+    #[test]
+    fn trace_caps_at_max_spans() {
+        let clock = fixed_clock();
+        start_trace(clock.clone(), 4);
+        let _root = span("request");
+        for _ in 0..MAX_SPANS + 10 {
+            let _s = span("substitute");
+        }
+        let t = finish_trace().unwrap();
+        assert_eq!(t.spans.len(), MAX_SPANS);
+        assert_eq!(t.dropped, 11);
+    }
+
+    #[test]
+    fn deterministic_under_test_clock() {
+        let run = || {
+            let clock = fixed_clock();
+            start_trace(clock.clone(), 9);
+            {
+                let _a = span("request");
+                clock.advance_ns(100);
+                let _b = span("exec_sql");
+                clock.advance_ns(250);
+            }
+            finish_trace().unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "identical clock programs → identical traces");
+    }
+
+    #[test]
+    fn request_id_guard_scopes_and_restores() {
+        assert_eq!(current_request_id(), 0);
+        {
+            let _outer = set_request_id(7);
+            assert_eq!(current_request_id(), 7);
+            {
+                let _inner = set_request_id(8);
+                assert_eq!(current_request_id(), 8);
+            }
+            assert_eq!(current_request_id(), 7);
+        }
+        assert_eq!(current_request_id(), 0);
+    }
+
+    #[test]
+    fn request_ids_are_unique_across_threads() {
+        let mut ids: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| (0..100).map(|_| next_request_id()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 800);
+    }
+}

@@ -136,6 +136,26 @@ impl Suite {
         }
     }
 
+    /// Record a named scalar metric alongside the timing results — e.g. the
+    /// gateway's `dbgw_*` counters after a bench run. Printed with the human
+    /// output and, under `BENCH_JSON`, emitted as its own JSON line:
+    /// `{"suite":…,"metric":name,"value":n}`.
+    pub fn record_metric(&mut self, name: &str, value: f64) {
+        println!("  metric {name} = {value}");
+        if let Some(sink) = &mut self.json {
+            let line = format!(
+                "{{\"suite\":\"{}\",\"metric\":\"{name}\",\"value\":{value}}}\n",
+                self.name
+            );
+            match sink {
+                JsonSink::Stdout => print!("{line}"),
+                JsonSink::File(f) => {
+                    let _ = f.write_all(line.as_bytes());
+                }
+            }
+        }
+    }
+
     /// Print the closing summary line.
     pub fn finish(self) {
         println!(
@@ -317,6 +337,14 @@ mod tests {
         }
         // 1 warmup + 4 samples.
         assert_eq!(setups, 5);
+    }
+
+    #[test]
+    fn record_metric_does_not_count_as_benchmark() {
+        let mut suite = Suite::new("selftest3");
+        suite.record_metric("dbgw_requests_total", 12.0);
+        assert_eq!(suite.count, 0);
+        suite.finish();
     }
 
     #[test]

@@ -21,4 +21,32 @@ else
     echo "== fmt == (skipped: rustfmt not installed)"
 fi
 
+echo "== observability smoke (traced CGI request) =="
+# Run one macro request through the release db2www with tracing on and check
+# the JSON-lines sink records the span tree the tentpole promises.
+OBS_TMP=$(mktemp -d)
+trap 'rm -rf "$OBS_TMP"' EXIT
+cat > "$OBS_TMP/db.sql" <<'EOF'
+CREATE TABLE urldb (url VARCHAR(255), title VARCHAR(80));
+INSERT INTO urldb VALUES ('http://www.ibm.com', 'IBM');
+EOF
+cat > "$OBS_TMP/smoke.d2w" <<'EOF'
+%SQL{ SELECT url, title FROM urldb WHERE title LIKE '%$(SEARCH)%' %}
+%HTML_INPUT{<FORM ACTION="/cgi-bin/db2www/smoke.d2w/report"><INPUT NAME="SEARCH"></FORM>%}
+%HTML_REPORT{<H1>Result for request $(DTW_REQUEST_ID)</H1>
+%EXEC_SQL
+%}
+EOF
+DBGW_TRACE=1 DBGW_TRACE_FILE="$OBS_TMP/trace.jsonl" \
+    DTW_MACRO_DIR="$OBS_TMP" DTW_DB_SCRIPT="$OBS_TMP/db.sql" \
+    REQUEST_METHOD=GET PATH_INFO=/smoke.d2w/report QUERY_STRING=SEARCH=IB \
+    ./target/release/db2www > "$OBS_TMP/page.out"
+grep -q 'http://www.ibm.com' "$OBS_TMP/page.out"
+grep -q '<!-- dbgw trace' "$OBS_TMP/page.out"
+for span in request parse_macro substitute exec_sql render_report; do
+    grep -q "\"name\":\"$span\"" "$OBS_TMP/trace.jsonl" \
+        || { echo "missing span $span in trace.jsonl"; exit 1; }
+done
+echo "observability smoke OK (spans + HTML comment present)"
+
 echo "All hermetic checks passed."

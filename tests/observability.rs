@@ -1,0 +1,213 @@
+//! End-to-end observability: a traced request produces the span tree the
+//! tentpole promises, `/stats` reflects the traffic, the slow-query log and
+//! request ids correlate, and the trace sinks (HTML comment, JSON lines)
+//! carry the same trace.
+
+use dbgw_cgi::{CgiRequest, Gateway, HttpClient, HttpServer, TraceOptions};
+use dbgw_obs::{trace, StdClock};
+use std::sync::Arc;
+
+const MACRO: &str = r#"%DEFINE greet = "hello"
+%SQL{ SELECT url, title FROM urldb WHERE title LIKE '%$(SEARCH)%'
+%SQL_REPORT{<UL>
+%ROW{<LI><A HREF="$(V1)">$(V2)</A>
+%}</UL>
+%}
+%}
+%HTML_INPUT{<FORM ACTION="/cgi-bin/db2www/u.d2w/report"><INPUT NAME="SEARCH"></FORM>%}
+%HTML_REPORT{<H1>$(greet) from request $(DTW_REQUEST_ID)</H1>
+%EXEC_SQL
+%}"#;
+
+fn gateway(trace: TraceOptions) -> Gateway {
+    let db = minisql::Database::new();
+    db.run_script(
+        "CREATE TABLE urldb (url VARCHAR(255), title VARCHAR(80));
+         INSERT INTO urldb VALUES ('http://www.ibm.com', 'IBM'),
+                                  ('http://www.eso.org', 'ESO');",
+    )
+    .unwrap();
+    let gw = Gateway::new(db).with_trace(trace);
+    gw.add_macro("u.d2w", MACRO).unwrap();
+    gw
+}
+
+/// The acceptance-criteria trace: request, parse_macro, substitute,
+/// exec_sql, and render_report spans, nested plausibly.
+#[test]
+fn traced_request_produces_the_expected_span_tree() {
+    let gw = gateway(TraceOptions::disabled());
+    let req = CgiRequest::get("/u.d2w/report", "SEARCH=IB");
+    // Own the trace from outside, as the db2www binary does: the gateway
+    // nests its `request` span (and re-parses the macro) under it.
+    assert!(trace::start_trace(
+        Arc::new(StdClock::new()),
+        req.request_id
+    ));
+    let resp = gw.handle(&req);
+    let t = trace::finish_trace().unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(t.request_id, req.request_id);
+
+    for name in [
+        "request",
+        "parse_macro",
+        "substitute",
+        "exec_sql",
+        "render_report",
+        "sql_parse",
+        "sql_execute",
+    ] {
+        assert!(!t.spans_named(name).is_empty(), "missing span {name}");
+    }
+
+    // Nesting: everything sits under `request`; render_report and the
+    // minisql spans sit under exec_sql.
+    let request_idx = t.spans.iter().position(|s| s.name == "request").unwrap();
+    assert_eq!(t.spans[request_idx].depth, 0);
+    let exec_idx = t.spans.iter().position(|s| s.name == "exec_sql").unwrap();
+    assert_eq!(t.spans[exec_idx].parent, Some(request_idx));
+    let render = &t.spans_named("render_report")[0];
+    assert_eq!(render.parent, Some(exec_idx));
+    assert_eq!(t.spans_named("sql_execute")[0].parent, Some(exec_idx));
+
+    // Plausible durations under a real clock: children start no earlier
+    // than their parent and end no later.
+    for span in &t.spans {
+        if let Some(p) = span.parent {
+            let parent = &t.spans[p];
+            assert!(span.start_ns >= parent.start_ns);
+            assert!(span.start_ns + span.dur_ns <= parent.start_ns + parent.dur_ns);
+        }
+    }
+
+    // The exec_sql span carries the substituted statement as a note.
+    let exec = &t.spans[exec_idx];
+    let sql = &exec.notes.iter().find(|(k, _)| *k == "sql").unwrap().1;
+    assert!(sql.contains("LIKE '%IB%'"), "{sql}");
+}
+
+#[test]
+fn annotate_mode_appends_sanitized_html_comment() {
+    let gw = gateway(TraceOptions {
+        annotate: true,
+        trace_file: None,
+        slow_ms: None,
+    });
+    // A SEARCH containing `--` flows into the SQL note; the comment must
+    // not contain a literal `--` anywhere inside its body.
+    let resp = gw.get("u.d2w", "report", "SEARCH=a--b");
+    assert_eq!(resp.status, 200);
+    let opener = "<!-- dbgw trace";
+    let start = resp.body.find(opener).expect("trace comment");
+    let inner = &resp.body[start + opener.len()..];
+    let end = inner.find("-->").expect("comment closed");
+    let inner = &inner[..end];
+    assert!(inner.contains("request"));
+    assert!(inner.contains("exec_sql"));
+    assert!(
+        !inner.contains("--"),
+        "unsanitized `--` inside HTML comment: {inner}"
+    );
+}
+
+#[test]
+fn trace_file_sink_records_json_lines() {
+    let path = std::env::temp_dir().join(format!("dbgw-obs-test-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let gw = gateway(TraceOptions {
+        annotate: false,
+        trace_file: Some(path.clone()),
+        slow_ms: None,
+    });
+    assert!(gw.trace_options().tracing());
+    let resp = gw.get("u.d2w", "report", "SEARCH=ESO");
+    assert_eq!(resp.status, 200);
+    let text = std::fs::read_to_string(&path).unwrap();
+    for name in [
+        "request",
+        "parse_macro",
+        "substitute",
+        "exec_sql",
+        "render_report",
+    ] {
+        assert!(
+            text.contains(&format!("\"name\":\"{name}\"")),
+            "missing {name} in {text}"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn slow_query_log_correlates_by_request_id() {
+    // Threshold 0 ms: every statement is "slow".
+    let gw = gateway(TraceOptions {
+        annotate: false,
+        trace_file: None,
+        slow_ms: Some(0),
+    });
+    let req = CgiRequest::get("/u.d2w/report", "SEARCH=IB");
+    let resp = gw.handle(&req);
+    assert_eq!(resp.status, 200);
+    let slow = gw.slow_queries().entries();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].request_id, req.request_id);
+    assert!(slow[0].statement.contains("LIKE '%IB%'"));
+    assert_eq!(slow[0].sqlcode, 0);
+    assert!(slow[0]
+        .to_line()
+        .starts_with(&format!("slow-query request={}", req.request_id)));
+}
+
+#[test]
+fn request_id_reaches_error_pages_and_macro_text() {
+    let gw = gateway(TraceOptions::disabled());
+    // Error page: carries the correlation id.
+    let req = CgiRequest::get("/nope.d2w/report", "");
+    let resp = gw.handle(&req);
+    assert_eq!(resp.status, 404);
+    assert!(resp.body.contains(&format!("request {}", req.request_id)));
+    // Macro text: $(DTW_REQUEST_ID) substitutes to the same id.
+    let req = CgiRequest::get("/u.d2w/report", "SEARCH=IB");
+    let resp = gw.handle(&req);
+    assert!(resp
+        .body
+        .contains(&format!("hello from request {}", req.request_id)));
+}
+
+#[test]
+fn stats_page_reports_the_traffic_it_serves() {
+    let gw = gateway(TraceOptions::disabled());
+    let server = HttpServer::start(gw, 0).unwrap();
+    let client = HttpClient::new(server.addr());
+    let resp = client
+        .get("/cgi-bin/db2www/u.d2w/report?SEARCH=IB")
+        .unwrap();
+    assert_eq!(resp.status, 200);
+
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    assert!(stats.body.contains("Gateway Statistics"));
+
+    let prom = client.get("/stats?format=prometheus").unwrap();
+    assert_eq!(prom.status, 200);
+    let requests: u64 = prom
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("dbgw_requests_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(requests >= 1, "{}", prom.body);
+    let statements: u64 = prom
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("dbgw_sql_statements_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(statements >= 1);
+    assert!(prom.body.contains("dbgw_request_latency_seconds_count"));
+    server.shutdown();
+}
