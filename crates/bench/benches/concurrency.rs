@@ -5,13 +5,17 @@
 //! in-process gateway handles requests on threads against the shared
 //! catalog RwLock. Series: requests/second with 1–8 worker threads over a
 //! Zipf-skewed mix of 90% report (read) and 10% guestbook-style writes.
+//!
+//! A second section drives the real worker-pool HTTP server over sockets
+//! and records its throughput and p99 latency as BENCH_JSON metrics.
 
 use dbgw_baselines::URLQUERY_MACRO;
-use dbgw_cgi::{CgiRequest, Gateway};
+use dbgw_cgi::{CgiRequest, Gateway, HttpClient, HttpServer, ServerConfig};
 use dbgw_testkit::bench::{Suite, Throughput};
 use dbgw_testkit::Rng;
 use dbgw_workload::{UrlDirectory, Zipf};
 use std::sync::Arc;
+use std::time::Instant;
 
 const REQUESTS_PER_ITER: usize = 200;
 
@@ -47,6 +51,53 @@ fn request(rng: &mut Rng, zipf: &Zipf, terms: &[&str]) -> CgiRequest {
     }
 }
 
+/// Drive the worker-pool HTTP server end to end: `clients` threads each send
+/// `per_client` GETs over real sockets. Returns (requests/second, p99 ms).
+fn pool_run(clients: usize, per_client: usize) -> (f64, f64) {
+    let db = minisql::Database::new();
+    UrlDirectory::generate(1_000, 1996).load(&db).unwrap();
+    let gw = Gateway::new(db);
+    gw.add_macro("urlquery.d2w", URLQUERY_MACRO).unwrap();
+    let config = ServerConfig {
+        workers: 4,
+        queue: 256,
+        ..ServerConfig::default()
+    };
+    let server = HttpServer::start_with_config(gw, 0, config).unwrap();
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let mut latencies_ns: Vec<u64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..clients {
+            handles.push(scope.spawn(move || {
+                let client = HttpClient::new(addr);
+                let mut samples = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t = Instant::now();
+                    let resp = client
+                        .get("/cgi-bin/db2www/urlquery.d2w/report?SEARCH=ib&USE_TITLE=yes")
+                        .unwrap();
+                    assert_eq!(resp.status, 200);
+                    samples.push(t.elapsed().as_nanos() as u64);
+                }
+                samples
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies_ns.sort_unstable();
+    let total = latencies_ns.len();
+    let p99 = latencies_ns[(total * 99 / 100).min(total - 1)] as f64 / 1e6;
+    ((total as f64) / elapsed, p99)
+}
+
 fn main() {
     let gateway = build_gateway();
     let terms = ["ib", "web", "net", "lab", "arch", "zzz"];
@@ -75,5 +126,13 @@ fn main() {
             });
         }
     }
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (rps, p99_ms) = if quick {
+        pool_run(4, 10)
+    } else {
+        pool_run(8, 50)
+    };
+    suite.record_metric("pool_throughput_rps", rps);
+    suite.record_metric("pool_p99_latency_ms", p99_ms);
     suite.finish();
 }

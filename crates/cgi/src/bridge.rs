@@ -5,7 +5,9 @@
 //! is exactly how the substitution mechanism consumes them.
 
 use dbgw_core::db::{Database, DbError, DbRows};
+use dbgw_obs::RequestCtx;
 use minisql::{Connection, ExecResult};
+use std::sync::Arc;
 
 /// A `dbgw_core::Database` backed by one MiniSQL connection.
 pub struct MiniSqlDatabase {
@@ -21,6 +23,12 @@ impl MiniSqlDatabase {
     /// Open a fresh connection on `db` and wrap it.
     pub fn connect(db: &minisql::Database) -> MiniSqlDatabase {
         MiniSqlDatabase::new(db.connect())
+    }
+
+    /// Open a fresh connection bound to a request context, so the executor's
+    /// scan/join loops observe the request's deadline and cancellation flag.
+    pub fn connect_ctx(db: &minisql::Database, ctx: Arc<RequestCtx>) -> MiniSqlDatabase {
+        MiniSqlDatabase::new(db.connect_with_ctx(ctx))
     }
 }
 

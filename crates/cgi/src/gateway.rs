@@ -12,7 +12,7 @@ use crate::sync::RwLock;
 use dbgw_core::db::{Database, DbError, DbRows};
 use dbgw_core::security::safe_macro_name;
 use dbgw_core::{parse_macro, Engine, EngineConfig, MacroError, MacroFile, Mode, TxnMode};
-use dbgw_obs::{Clock, StdClock, Trace};
+use dbgw_obs::{CancelReason, Clock, RequestCtx, StdClock, Trace};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -27,11 +27,23 @@ pub const REQUEST_ID_VAR: &str = "DTW_REQUEST_ID";
 pub trait ConnectionSource: Send + Sync {
     /// Open a connection.
     fn connect(&self) -> Box<dyn Database + Send>;
+
+    /// Open a connection bound to a request context. Sources whose executor
+    /// supports cooperative cancellation override this; the default ignores
+    /// the context (the engine's own cancellation points still apply).
+    fn connect_ctx(&self, ctx: &Arc<RequestCtx>) -> Box<dyn Database + Send> {
+        let _ = ctx;
+        self.connect()
+    }
 }
 
 impl ConnectionSource for minisql::Database {
     fn connect(&self) -> Box<dyn Database + Send> {
         Box::new(MiniSqlDatabase::connect(self))
+    }
+
+    fn connect_ctx(&self, ctx: &Arc<RequestCtx>) -> Box<dyn Database + Send> {
+        Box::new(MiniSqlDatabase::connect_ctx(self, ctx.clone()))
     }
 }
 
@@ -157,6 +169,7 @@ pub struct Gateway {
     trace: TraceOptions,
     clock: Arc<dyn Clock>,
     slow_log: SlowQueryLog,
+    deadline_ms: Option<u64>,
 }
 
 impl Gateway {
@@ -176,7 +189,20 @@ impl Gateway {
             trace: TraceOptions::from_env(),
             clock: Arc::new(StdClock::new()),
             slow_log: SlowQueryLog::new(),
+            deadline_ms: deadline_ms_from_env(),
         }
+    }
+
+    /// Override the per-request wall-clock deadline (`None` disables it).
+    /// The default comes from `DBGW_DEADLINE_MS`.
+    pub fn with_deadline_ms(mut self, deadline_ms: Option<u64>) -> Gateway {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// The per-request deadline in milliseconds, if one is configured.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
     }
 
     /// Override the trace/slow-query configuration (benches force
@@ -280,9 +306,27 @@ impl Gateway {
         Ok(loaded)
     }
 
-    /// Handle one CGI invocation: dispatch under metrics + (optionally) a
-    /// trace owned by this call, unless an enclosing binary already owns one.
+    /// Build the execution context for one request: correlation id, the
+    /// gateway's clock, and the configured deadline.
+    pub fn make_ctx(&self, request_id: u64) -> Arc<RequestCtx> {
+        let mut ctx = RequestCtx::new(request_id, self.clock.clone());
+        if let Some(ms) = self.deadline_ms {
+            ctx = ctx.with_deadline_ms(ms);
+        }
+        Arc::new(ctx)
+    }
+
+    /// Handle one CGI invocation under a fresh request context.
     pub fn handle(&self, req: &CgiRequest) -> CgiResponse {
+        self.handle_with_ctx(req, &self.make_ctx(req.request_id))
+    }
+
+    /// Handle one CGI invocation under the caller's request context (the
+    /// HTTP server builds the context at the edge so cancellation covers the
+    /// whole request, not just macro processing): dispatch under metrics +
+    /// (optionally) a trace owned by this call, unless an enclosing binary
+    /// already owns one.
+    pub fn handle_with_ctx(&self, req: &CgiRequest, ctx: &Arc<RequestCtx>) -> CgiResponse {
         let m = dbgw_obs::metrics();
         m.requests.inc();
         let _id_guard = dbgw_obs::set_request_id(req.request_id);
@@ -292,7 +336,7 @@ impl Gateway {
         let mut response = {
             let _span = dbgw_obs::trace::span("request");
             dbgw_obs::trace::note("path", &req.path_info);
-            self.dispatch(req)
+            self.dispatch(req, ctx)
         };
         m.request_latency_ns
             .observe_ns(self.clock.now_ns().saturating_sub(start_ns));
@@ -317,7 +361,7 @@ impl Gateway {
         }
     }
 
-    fn dispatch(&self, req: &CgiRequest) -> CgiResponse {
+    fn dispatch(&self, req: &CgiRequest, ctx: &Arc<RequestCtx>) -> CgiResponse {
         // PATH_INFO = /{macro-file}/{cmd}
         let mut parts = req.path_info.trim_start_matches('/').splitn(2, '/');
         let macro_name = parts.next().unwrap_or("");
@@ -376,9 +420,9 @@ impl Gateway {
                 txn_mode: TxnMode::AutoCommit,
                 ..self.config.clone()
             };
-            let engine = Engine::with_config(config);
+            let engine = Engine::with_config(config).with_request_ctx(ctx.clone());
             let id = if session == "new" {
-                match mgr.start(self.metered_connect()) {
+                match mgr.start(self.metered_connect(ctx)) {
                     Ok(id) => id,
                     Err(e) => {
                         return CgiResponse::error_for_request(500, &e.to_string(), req.request_id)
@@ -401,7 +445,7 @@ impl Gateway {
                 Err(e) => {
                     // A failed request aborts the whole conversation.
                     let _ = mgr.end(&id, false);
-                    return CgiResponse::error_for_request(500, &e.to_string(), req.request_id);
+                    return macro_error_response(&e, req.request_id);
                 }
             };
             let end = inputs
@@ -423,18 +467,18 @@ impl Gateway {
             return response;
         }
 
-        let engine = Engine::with_config(self.config.clone());
-        let mut conn = self.metered_connect();
+        let engine = Engine::with_config(self.config.clone()).with_request_ctx(ctx.clone());
+        let mut conn = self.metered_connect(ctx);
         match engine.process(&mac, mode, &inputs, conn.as_mut()) {
             Ok(body) => CgiResponse::html(body),
-            Err(e) => CgiResponse::error_for_request(500, &e.to_string(), req.request_id),
+            Err(e) => macro_error_response(&e, req.request_id),
         }
     }
 
-    /// A fresh connection wrapped in the statement-timing meter.
-    fn metered_connect(&self) -> Box<dyn Database + Send> {
+    /// A fresh context-bound connection wrapped in the statement-timing meter.
+    fn metered_connect(&self, ctx: &Arc<RequestCtx>) -> Box<dyn Database + Send> {
         Box::new(SqlMeter {
-            inner: self.source.connect(),
+            inner: self.source.connect_ctx(ctx),
             clock: self.clock.clone(),
             slow_ns: self.trace.slow_ns(),
             slow_log: self.slow_log.clone(),
@@ -444,6 +488,50 @@ impl Gateway {
     /// Convenience for tests and benches: handle a GET.
     pub fn get(&self, macro_name: &str, cmd: &str, query: &str) -> CgiResponse {
         self.handle(&CgiRequest::get(&format!("/{macro_name}/{cmd}"), query))
+    }
+}
+
+/// `DBGW_DEADLINE_MS`: per-request wall-clock deadline; unset or 0 disables.
+fn deadline_ms_from_env() -> Option<u64> {
+    std::env::var("DBGW_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&ms| ms > 0)
+}
+
+/// Map a macro-processing error to a response. Cancellation gets its own
+/// page and status; everything else stays a 500 with the error's message.
+fn macro_error_response(e: &MacroError, request_id: u64) -> CgiResponse {
+    match e {
+        MacroError::Cancelled { reason } => cancel_response(*reason, request_id),
+        _ => CgiResponse::error_for_request(500, &e.to_string(), request_id),
+    }
+}
+
+/// The page a cancelled request renders: the same `<B>SQL error</B>` banner a
+/// `%SQL_MESSAGE`-less SQLCODE failure produces (code -952, DB2's
+/// "processing cancelled due to interrupt"), carrying the request id so the
+/// failure can be matched to its trace and slow-query entries.
+fn cancel_response(reason: CancelReason, request_id: u64) -> CgiResponse {
+    let status = match reason {
+        CancelReason::DeadlineExceeded { .. } => {
+            dbgw_obs::metrics().request_timeouts.inc();
+            504
+        }
+        CancelReason::Cancelled => 503,
+        CancelReason::RowBudgetExceeded { .. } | CancelReason::ByteBudgetExceeded { .. } => 500,
+    };
+    CgiResponse {
+        status,
+        content_type: "text/html".into(),
+        body: format!(
+            "<HTML><HEAD><TITLE>Error {status}</TITLE></HEAD>\n\
+             <BODY><H1>Error {status}</H1>\n\
+             <P><B>SQL error {}</B>: {}</P>\n\
+             <P><SMALL>request {request_id}</SMALL></P></BODY></HTML>\n",
+            dbgw_obs::CANCELLED_SQLCODE,
+            dbgw_html::escape_text(&reason.to_string()),
+        ),
     }
 }
 
@@ -558,6 +646,78 @@ mod tests {
     fn macro_names_listed() {
         let gw = gateway();
         assert_eq!(gw.macro_names(), vec!["urlquery.d2w"]);
+    }
+
+    #[test]
+    fn deadline_expiry_renders_timeout_page() {
+        // The DB "blocks" past the deadline by advancing the injected test
+        // clock inside execute; the response must be the 504 timeout page
+        // styled like a %SQL_MESSAGE-less SQLCODE banner, with the request id.
+        let clock = Arc::new(dbgw_obs::TestClock::new());
+        let db_clock = clock.clone();
+        let gw = Gateway::new(FnSource(move || {
+            let c = db_clock.clone();
+            Box::new(dbgw_core::db::FnDatabase(move |_sql: &str| {
+                c.advance_millis(100);
+                Ok(DbRows {
+                    columns: vec!["n".into()],
+                    rows: vec![vec!["1".into()]],
+                    affected: 0,
+                })
+            })) as Box<dyn Database + Send>
+        }))
+        .with_trace(TraceOptions::disabled())
+        .with_clock(clock)
+        .with_deadline_ms(Some(20));
+        gw.add_macro("t.d2w", "%SQL{ SLOW %}\n%HTML_REPORT{%EXEC_SQL%}")
+            .unwrap();
+        let before = dbgw_obs::metrics().request_timeouts.get();
+        let req = CgiRequest::get("/t.d2w/report", "");
+        let resp = gw.handle(&req);
+        assert_eq!(resp.status, 504);
+        assert!(resp.body.contains("SQL error -952"), "{}", resp.body);
+        assert!(resp.body.contains("deadline of 20 ms"), "{}", resp.body);
+        assert!(
+            resp.body.contains(&format!("request {}", req.request_id)),
+            "{}",
+            resp.body
+        );
+        assert!(dbgw_obs::metrics().request_timeouts.get() > before);
+    }
+
+    #[test]
+    fn sql_message_handler_can_intercept_timeout() {
+        // A macro with a %SQL_MESSAGE{-952} handler renders its own page and
+        // the response stays 200: cancellation surfaces through the same
+        // SQLCODE machinery as any DBMS error.
+        let clock = Arc::new(dbgw_obs::TestClock::new());
+        let db_clock = clock.clone();
+        let gw = Gateway::new(FnSource(move || {
+            let c = db_clock.clone();
+            Box::new(dbgw_core::db::FnDatabase(move |_sql: &str| {
+                c.advance_millis(100);
+                Err(dbgw_core::db::DbError {
+                    code: dbgw_obs::CANCELLED_SQLCODE,
+                    message: "processing cancelled due to interrupt".into(),
+                })
+            })) as Box<dyn Database + Send>
+        }))
+        .with_trace(TraceOptions::disabled())
+        .with_clock(clock)
+        .with_deadline_ms(Some(20));
+        gw.add_macro(
+            "t.d2w",
+            "%SQL{ SLOW\n%SQL_MESSAGE{ -952 : \"<P>query interrupted on request $(DTW_REQUEST_ID)</P>\" : exit %}\n%}\n\
+             %HTML_REPORT{%EXEC_SQL%}",
+        )
+        .unwrap();
+        let resp = gw.get("t.d2w", "report", "");
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.body.contains("query interrupted on request"),
+            "{}",
+            resp.body
+        );
     }
 
     #[test]

@@ -1,21 +1,29 @@
-//! A minimal threaded HTTP/1.0 server fronting the gateway.
+//! A minimal HTTP/1.0 server fronting the gateway.
 //!
 //! Stands in for the NCSA/IBM httpd of Figure 1: it accepts connections,
 //! parses one request each (HTTP/1.0 close-per-request, as in 1996), routes
 //! `/cgi-bin/db2www/…` to the [`Gateway`], serves registered static pages
 //! (the "home page" of §1), and closes.
+//!
+//! Unlike the 1996 fork-per-request model, connections are served by a fixed
+//! pool of workers (`DBGW_WORKERS`) fed from a bounded accept queue
+//! (`DBGW_QUEUE`). When the queue is full the server sheds load with
+//! `503 Retry-After` instead of accumulating threads, and
+//! [`HttpServer::shutdown`] drains queued and in-flight requests before
+//! joining the pool.
 
 use crate::auth::{AuthDecision, BasicAuth};
 use crate::gateway::Gateway;
 use crate::log::{AccessLog, LogEntry};
 use crate::request::{CgiRequest, CgiResponse, Method};
-use crate::sync::RwLock;
-use std::collections::HashMap;
+use crate::sync::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// The CGI program mount point, as in the paper's URLs.
 pub const CGI_PREFIX: &str = "/cgi-bin/db2www";
@@ -24,33 +32,105 @@ pub const CGI_PREFIX: &str = "/cgi-bin/db2www";
 /// `?format=prometheus`.
 pub const STATS_PATH: &str = "/stats";
 
+/// Worker-pool and socket limits.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving requests (`DBGW_WORKERS`).
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before the server sheds
+    /// load with 503 (`DBGW_QUEUE`).
+    pub queue: usize,
+    /// Largest request body accepted before answering 413 (`DBGW_MAX_BODY`).
+    pub max_body: usize,
+    /// Largest number of request headers accepted.
+    pub max_headers: usize,
+    /// Socket read/write timeout, so a stalled peer cannot pin a worker.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue: 64,
+            max_body: 1 << 20,
+            max_headers: 100,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by `DBGW_WORKERS`, `DBGW_QUEUE`, and
+    /// `DBGW_MAX_BODY`.
+    pub fn from_env() -> ServerConfig {
+        let mut config = ServerConfig::default();
+        if let Some(n) = env_usize("DBGW_WORKERS") {
+            config.workers = n.max(1);
+        }
+        if let Some(n) = env_usize("DBGW_QUEUE") {
+            config.queue = n.max(1);
+        }
+        if let Some(n) = env_usize("DBGW_MAX_BODY") {
+            config.max_body = n;
+        }
+        config
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
 /// A running server.
 pub struct HttpServer {
     inner: Arc<ServerInner>,
     addr: std::net::SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 struct ServerInner {
     gateway: Gateway,
+    config: ServerConfig,
     static_pages: RwLock<HashMap<String, String>>,
     auth: RwLock<Option<BasicAuth>>,
     log: AccessLog,
     stop: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
 }
 
 impl HttpServer {
-    /// Bind to `127.0.0.1:port` (0 picks a free port) and start accepting.
+    /// Bind to `127.0.0.1:port` (0 picks a free port) and start accepting,
+    /// with the pool configuration from the environment.
     pub fn start(gateway: Gateway, port: u16) -> std::io::Result<HttpServer> {
+        HttpServer::start_with_config(gateway, port, ServerConfig::from_env())
+    }
+
+    /// Bind and start with an explicit pool configuration.
+    pub fn start_with_config(
+        gateway: Gateway,
+        port: u16,
+        config: ServerConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let inner = Arc::new(ServerInner {
             gateway,
+            config,
             static_pages: RwLock::new(HashMap::new()),
             auth: RwLock::new(None),
             log: AccessLog::new(),
             stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
         });
+        let mut workers = Vec::with_capacity(inner.config.workers);
+        for _ in 0..inner.config.workers {
+            let worker_inner = Arc::clone(&inner);
+            workers.push(std::thread::spawn(move || worker_loop(&worker_inner)));
+        }
         let accept_inner = Arc::clone(&inner);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
@@ -58,16 +138,14 @@ impl HttpServer {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let conn_inner = Arc::clone(&accept_inner);
-                std::thread::spawn(move || {
-                    let _ = handle_connection(&conn_inner, stream);
-                });
+                enqueue(&accept_inner, stream);
             }
         });
         Ok(HttpServer {
             inner,
             addr,
             accept_thread: Some(accept_thread),
+            workers,
         })
     }
 
@@ -99,12 +177,25 @@ impl HttpServer {
         self.inner.log.clone()
     }
 
-    /// Stop accepting and join the accept thread.
+    /// Stop accepting, drain queued and in-flight requests, and join the
+    /// accept thread and worker pool.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        // Kick the blocked accept() with a throwaway connection.
+        // Kick the blocked accept() with a throwaway connection; the accept
+        // loop re-checks `stop` before queueing it.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Wake every waiting worker; each drains the queue, finishes its
+        // in-flight request, and exits.
+        drop(self.inner.queue.lock());
+        self.inner.ready.notify_all();
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -112,11 +203,78 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.inner.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        self.stop_and_join();
+    }
+}
+
+/// Queue an accepted connection for the pool, or shed it with 503 when the
+/// queue is full.
+fn enqueue(inner: &ServerInner, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(inner.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(inner.config.io_timeout));
+    let rejected = {
+        let mut q = inner.queue.lock();
+        if q.len() >= inner.config.queue {
+            Some(stream)
+        } else {
+            q.push_back(stream);
+            dbgw_obs::metrics().queue_depth.set(q.len() as i64);
+            None
         }
+    };
+    match rejected {
+        Some(stream) => {
+            dbgw_obs::metrics().requests_shed.inc();
+            let _ = shed_connection(stream);
+        }
+        None => inner.ready.notify_one(),
+    }
+}
+
+/// Tell an over-queue client to come back: read (and discard) its request so
+/// the response is not lost to a connection reset, then answer 503 with a
+/// `Retry-After` hint.
+fn shed_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut buf = [0u8; 4096];
+    let mut data = Vec::new();
+    while find_header_end(&data).is_none() && data.len() < 16 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => data.extend_from_slice(&buf[..n]),
+            Err(_) => break, // timed out; answer anyway
+        }
+    }
+    let resp = CgiResponse::error(503, "server busy, try again shortly");
+    write_response(&mut stream, &resp, None, Some(1))
+}
+
+/// One pool worker: serve queued connections until stopped *and* the queue
+/// is drained.
+fn worker_loop(inner: &ServerInner) {
+    loop {
+        let stream = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    dbgw_obs::metrics().queue_depth.set(q.len() as i64);
+                    break Some(s);
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // Bounded wait so a missed wakeup can never wedge shutdown.
+                q = match inner.ready.wait_timeout(q, Duration::from_millis(50)) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        };
+        let Some(stream) = stream else { return };
+        let m = dbgw_obs::metrics();
+        m.requests_in_flight.inc();
+        let _ = handle_connection(inner, stream);
+        m.requests_in_flight.dec();
     }
 }
 
@@ -125,15 +283,22 @@ fn handle_connection(inner: &ServerInner, mut stream: TcpStream) -> std::io::Res
         .peer_addr()
         .map(|a| a.ip().to_string())
         .unwrap_or_else(|_| "-".into());
-    let request = read_request(&mut stream)?;
+    let request = read_request(&mut stream, &inner.config)?;
     let (response, user, realm, request_line) = match request {
-        Some(req) => {
+        ReadOutcome::Request(req) => {
             let line = format!("{} {} HTTP/1.0", req.method, req.target);
             let (resp, user, realm) = dispatch(inner, req);
             (resp, user, realm, line)
         }
-        None => (
+        ReadOutcome::Disconnected => return Ok(()),
+        ReadOutcome::Malformed => (
             CgiResponse::error(400, "malformed request"),
+            "-".to_owned(),
+            None,
+            "- - -".to_owned(),
+        ),
+        ReadOutcome::TooLarge => (
+            CgiResponse::error(413, "request larger than the configured limit"),
             "-".to_owned(),
             None,
             "- - -".to_owned(),
@@ -147,7 +312,7 @@ fn handle_connection(inner: &ServerInner, mut stream: TcpStream) -> std::io::Res
         status: response.status,
         bytes: response.body.len(),
     });
-    write_response(&mut stream, &response, realm.as_deref())
+    write_response(&mut stream, &response, realm.as_deref(), None)
 }
 
 /// A parsed HTTP request.
@@ -167,7 +332,19 @@ impl HttpRequest {
     }
 }
 
-fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
+/// What came off the wire.
+enum ReadOutcome {
+    /// A complete request.
+    Request(HttpRequest),
+    /// The peer closed without sending anything (e.g. the shutdown kick).
+    Disconnected,
+    /// Not parseable as HTTP.
+    Malformed,
+    /// Headers or declared body size exceed the configured limits.
+    TooLarge,
+}
+
+fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> std::io::Result<ReadOutcome> {
     let mut buf = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     // Read until we have the full header block.
@@ -175,12 +352,16 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
         if let Some(pos) = find_header_end(&buf) {
             break pos;
         }
-        if buf.len() > 1 << 20 {
-            return Ok(None); // header flood
+        if buf.len() > 64 * 1024 {
+            return Ok(ReadOutcome::TooLarge); // header flood
         }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Ok(None);
+            return Ok(if buf.is_empty() {
+                ReadOutcome::Disconnected
+            } else {
+                ReadOutcome::Malformed
+            });
         }
         buf.extend_from_slice(&chunk[..n]);
     };
@@ -194,11 +375,19 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
     let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
+            if headers.len() >= config.max_headers {
+                return Ok(ReadOutcome::TooLarge);
+            }
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().unwrap_or(0);
             }
             headers.push((name.trim().to_owned(), value.trim().to_owned()));
         }
+    }
+    // Refuse oversized bodies up front instead of trusting Content-Length to
+    // size a buffer: the declared length is a client-controlled number.
+    if content_length > config.max_body {
+        return Ok(ReadOutcome::TooLarge);
     }
     // Body bytes already buffered, plus whatever remains on the wire.
     let body_start = header_end + 4;
@@ -209,9 +398,12 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
             break;
         }
         body.extend_from_slice(&chunk[..n]);
+        if body.len() > config.max_body {
+            return Ok(ReadOutcome::TooLarge);
+        }
     }
     body.truncate(content_length);
-    Ok(Some(HttpRequest {
+    Ok(ReadOutcome::Request(HttpRequest {
         method,
         target,
         headers,
@@ -266,7 +458,10 @@ fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Opti
                 body: req.body,
                 request_id: dbgw_obs::next_request_id(),
             };
-            return (inner.gateway.handle(&cgi), user, None);
+            // The request context is created here, at the HTTP edge, so the
+            // deadline covers the whole request.
+            let ctx = inner.gateway.make_ctx(cgi.request_id);
+            return (inner.gateway.handle_with_ctx(&cgi, &ctx), user, None);
         }
     }
     if path == STATS_PATH {
@@ -303,12 +498,21 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
     for (name, value) in [
         ("requests", m.requests.get()),
         ("request errors", m.request_errors.get()),
+        ("requests shed", m.requests_shed.get()),
+        ("request timeouts", m.request_timeouts.get()),
         ("macro parses", m.macro_parses.get()),
         ("substitutions", m.substitutions.get()),
         ("SQL statements", m.sql_statements.get()),
         ("rows rendered", m.rows_rendered.get()),
         ("slow queries", m.slow_queries.get()),
         ("traces recorded", m.traces_recorded.get()),
+    ] {
+        body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
+    }
+    body.push_str("</TABLE>\n<H2>Pool</H2>\n<TABLE BORDER=1>\n");
+    for (name, value) in [
+        ("requests in flight", m.requests_in_flight.get()),
+        ("queue depth", m.queue_depth.get()),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
     }
@@ -356,6 +560,7 @@ fn write_response(
     stream: &mut TcpStream,
     resp: &CgiResponse,
     challenge_realm: Option<&str>,
+    retry_after: Option<u64>,
 ) -> std::io::Result<()> {
     let mut head = format!(
         "HTTP/1.0 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
@@ -366,6 +571,9 @@ fn write_response(
     );
     if let Some(realm) = challenge_realm {
         head.push_str(&format!("WWW-Authenticate: Basic realm=\"{realm}\"\r\n"));
+    }
+    if let Some(seconds) = retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -394,7 +602,7 @@ mod tests {
              %HTML_REPORT{%EXEC_SQL%}",
         )
         .unwrap();
-        let server = HttpServer::start(gw, 0).unwrap();
+        let server = HttpServer::start_with_config(gw, 0, ServerConfig::default()).unwrap();
         server.add_static_page("/", "<HTML><BODY>home</BODY></HTML>");
         server
     }
@@ -455,5 +663,39 @@ mod tests {
             h.join().unwrap();
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413() {
+        let server = server();
+        let client = HttpClient::new(server.addr());
+        // Declared length far over the limit: refused before any body read.
+        let raw = client
+            .raw("POST /cgi-bin/db2www/q.d2w/report HTTP/1.0\r\nContent-Length: 99999999\r\n\r\n")
+            .unwrap();
+        assert!(raw.starts_with("HTTP/1.0 413"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let server = server();
+        let client = HttpClient::new(server.addr());
+        let mut req = String::from("GET / HTTP/1.0\r\n");
+        for i in 0..200 {
+            req.push_str(&format!("X-Pad-{i}: x\r\n"));
+        }
+        req.push_str("\r\n");
+        let raw = client.raw(&req).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 413"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn config_from_env_defaults() {
+        let config = ServerConfig::default();
+        assert_eq!(config.workers, 4);
+        assert_eq!(config.queue, 64);
+        assert_eq!(config.max_body, 1 << 20);
     }
 }

@@ -21,14 +21,19 @@ pub mod log;
 pub mod query;
 pub mod request;
 pub mod session;
-pub mod sync;
 pub mod urlencode;
+
+/// Poison-recovering lock wrappers, re-exported from the shared
+/// [`dbgw_sync`] crate (the former in-crate copy moved there).
+pub use dbgw_sync as sync;
 
 pub use auth::{base64_decode, base64_encode, AuthDecision, BasicAuth};
 pub use bridge::MiniSqlDatabase;
 pub use client::{FormFill, HttpClient};
-pub use gateway::{trace_comment, ConnectionSource, Gateway, TraceOptions, REQUEST_ID_VAR};
-pub use http::{HttpServer, CGI_PREFIX, STATS_PATH};
+pub use gateway::{
+    trace_comment, ConnectionSource, FnSource, Gateway, TraceOptions, REQUEST_ID_VAR,
+};
+pub use http::{HttpServer, ServerConfig, CGI_PREFIX, STATS_PATH};
 pub use log::{AccessLog, LogEntry, SlowQuery, SlowQueryLog};
 pub use query::QueryString;
 pub use request::{CgiRequest, CgiResponse, Method};

@@ -147,7 +147,10 @@ impl CgiResponse {
             401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Payload Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }

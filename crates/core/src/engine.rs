@@ -18,7 +18,9 @@ use crate::exec::{CommandRunner, DenyRunner};
 use crate::nls::{message, Language, Message};
 use crate::subst::Evaluator;
 use dbgw_html::{escape_text, TableBuilder};
+use dbgw_obs::{CancelReason, RequestCtx};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which half of the macro to process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +89,9 @@ impl Default for EngineConfig {
 pub struct Engine<'r> {
     config: EngineConfig,
     runner: &'r dyn CommandRunner,
+    /// The owning request's execution context; defaults to the unbounded
+    /// context so direct library use runs without deadlines or budgets.
+    ctx: Arc<RequestCtx>,
 }
 
 impl Default for Engine<'static> {
@@ -102,6 +107,7 @@ impl Engine<'static> {
         Engine {
             config: EngineConfig::default(),
             runner: &DENY,
+            ctx: RequestCtx::unbounded(),
         }
     }
 
@@ -111,6 +117,7 @@ impl Engine<'static> {
         Engine {
             config,
             runner: &DENY,
+            ctx: RequestCtx::unbounded(),
         }
     }
 }
@@ -118,7 +125,32 @@ impl Engine<'static> {
 impl<'r> Engine<'r> {
     /// Engine with a custom command runner for `%EXEC` variables.
     pub fn with_runner(config: EngineConfig, runner: &'r dyn CommandRunner) -> Engine<'r> {
-        Engine { config, runner }
+        Engine {
+            config,
+            runner,
+            ctx: RequestCtx::unbounded(),
+        }
+    }
+
+    /// Bind this engine to a request context. Section processing, SQL
+    /// execution, substitution, and report rendering all become cancellation
+    /// points; report rows are charged against the context's row/byte
+    /// budgets.
+    pub fn with_request_ctx(mut self, ctx: Arc<RequestCtx>) -> Engine<'r> {
+        self.ctx = ctx;
+        self
+    }
+
+    /// One cancellation point.
+    fn check_ctx(&self) -> MacroResult<()> {
+        self.ctx
+            .check()
+            .map_err(|reason| MacroError::Cancelled { reason })
+    }
+
+    /// An evaluator sharing this engine's runner and request context.
+    fn evaluator<'e>(&'e self, env: &'e Env) -> Evaluator<'e> {
+        Evaluator::with_ctx(env, self.runner, self.ctx.clone())
     }
 
     /// Process `mac` in `mode` with the given HTML input variables, against
@@ -148,6 +180,7 @@ impl<'r> Engine<'r> {
         }
 
         'sections: for section in &mac.sections {
+            self.check_ctx()?;
             match section {
                 Section::Define(stmts) => {
                     for s in stmts {
@@ -157,7 +190,7 @@ impl<'r> Engine<'r> {
                 Section::Comment(_) => {}
                 Section::HtmlInput(body) => {
                     if mode == Mode::Input {
-                        let mut ev = Evaluator::new(&env, self.runner);
+                        let mut ev = self.evaluator(&env);
                         out.push_str(&ev.substitute(body)?);
                         rendered_target = true;
                     }
@@ -170,7 +203,7 @@ impl<'r> Engine<'r> {
                     for part in parts {
                         match part {
                             ReportPart::Html(text) => {
-                                let mut ev = Evaluator::new(&env, self.runner);
+                                let mut ev = self.evaluator(&env);
                                 out.push_str(&ev.substitute(text)?);
                             }
                             ReportPart::ExecSqlAll => {
@@ -191,7 +224,7 @@ impl<'r> Engine<'r> {
                             }
                             ReportPart::ExecSqlNamed(operand) => {
                                 let name = {
-                                    let mut ev = Evaluator::new(&env, self.runner);
+                                    let mut ev = self.evaluator(&env);
                                     ev.substitute(operand)?
                                 };
                                 let name = name.trim();
@@ -253,15 +286,16 @@ impl<'r> Engine<'r> {
         out: &mut String,
     ) -> MacroResult<Flow> {
         let _span = dbgw_obs::trace::span("exec_sql");
+        self.check_ctx()?;
         let sql = {
-            let mut ev = Evaluator::new(env, self.runner);
+            let mut ev = self.evaluator(env);
             ev.substitute(&section.command)?.trim().to_owned()
         };
         dbgw_obs::trace::note("sql", &sql);
         dbgw_obs::metrics().sql_statements.inc();
         if self.config.honor_showsql {
             let show = {
-                let mut ev = Evaluator::new(env, self.runner);
+                let mut ev = self.evaluator(env);
                 ev.is_nonnull("SHOWSQL")?
             };
             if show {
@@ -272,13 +306,16 @@ impl<'r> Engine<'r> {
         }
         match db.execute(&sql) {
             Ok(rows) => {
+                // A database call can block well past the deadline; detect it
+                // here rather than waiting for the next substitution step.
+                self.check_ctx()?;
                 if rows.sqlcode() == 100 {
                     dbgw_obs::metrics().sqlcode_errors.record(100);
                 }
                 self.render_result(section, &rows, env, out)?;
                 if rows.sqlcode() == 100 {
                     if let Some(msg) = find_message(section, 100) {
-                        let mut ev = Evaluator::new(env, self.runner);
+                        let mut ev = self.evaluator(env);
                         out.push_str(&ev.substitute(&msg.text)?);
                         if msg.action == MessageAction::Exit {
                             return Ok(Flow::Stop { error: false });
@@ -292,12 +329,28 @@ impl<'r> Engine<'r> {
                 dbgw_obs::trace::note("sqlcode", e.code.to_string());
                 match find_message(section, e.code) {
                     Some(msg) => {
-                        let mut ev = Evaluator::new(env, self.runner);
-                        out.push_str(&ev.substitute(&msg.text)?);
+                        let text = if e.code == dbgw_obs::CANCELLED_SQLCODE {
+                            // The interrupt handler IS the error page: render
+                            // it even though the context has already tripped.
+                            let mut ev = Evaluator::new(env, self.runner);
+                            ev.substitute(&msg.text)?
+                        } else {
+                            let mut ev = self.evaluator(env);
+                            ev.substitute(&msg.text)?
+                        };
+                        out.push_str(&text);
                         match msg.action {
                             MessageAction::Continue => Ok(Flow::Continue),
                             MessageAction::Exit => Ok(Flow::Stop { error: true }),
                         }
+                    }
+                    None if e.code == dbgw_obs::CANCELLED_SQLCODE => {
+                        // A cancelled request with no %SQL_MESSAGE handler for
+                        // SQLCODE -952 surfaces as a request-level error so
+                        // the gateway can render its timeout page.
+                        Err(MacroError::Cancelled {
+                            reason: self.ctx.cancel_reason().unwrap_or(CancelReason::Cancelled),
+                        })
                     }
                     None => {
                         // "...or by printing the DBMS error message" (§4.2).
@@ -327,7 +380,7 @@ impl<'r> Engine<'r> {
             return Ok(());
         }
         let max_rows = {
-            let mut ev = Evaluator::new(env, self.runner);
+            let mut ev = self.evaluator(env);
             ev.value_of("RPT_MAX_ROWS")?
                 .trim()
                 .parse::<usize>()
@@ -350,10 +403,15 @@ impl<'r> Engine<'r> {
         let Some(report) = &section.report else {
             // Default table format (§3.4).
             let mut table = TableBuilder::new(&rows.columns);
-            for row in rows.rows.iter().take(max_rows) {
+            for (i, row) in rows.rows.iter().take(max_rows).enumerate() {
+                if i % 128 == 0 {
+                    self.check_ctx()?;
+                }
                 table.push_row(row);
             }
-            out.push_str(&table.finish());
+            let html = table.finish();
+            self.charge(printed, html.len())?;
+            out.push_str(&html);
             return Ok(());
         };
 
@@ -368,7 +426,7 @@ impl<'r> Engine<'r> {
         env.push_frame(header_vars);
 
         {
-            let mut ev = Evaluator::new(env, self.runner);
+            let mut ev = self.evaluator(env);
             let header = ev.substitute(&report.header)?;
             out.push_str(&header);
         }
@@ -386,11 +444,12 @@ impl<'r> Engine<'r> {
                 row_vars.insert("VLIST".into(), escape(&row.join(", ")));
                 env.push_frame(row_vars);
                 let rendered = {
-                    let mut ev = Evaluator::new(env, self.runner);
+                    let mut ev = self.evaluator(env);
                     ev.substitute(row_template)?
                 };
-                out.push_str(&rendered);
                 env.pop_frame();
+                self.charge(1, rendered.len())?;
+                out.push_str(&rendered);
             }
         }
 
@@ -399,12 +458,20 @@ impl<'r> Engine<'r> {
         // all rows were printed" (§3.2.1).
         env.set_system("ROW_NUM", rows.rows.len().to_string());
         {
-            let mut ev = Evaluator::new(env, self.runner);
+            let mut ev = self.evaluator(env);
             let footer = ev.substitute(&report.footer)?;
             out.push_str(&footer);
         }
         env.pop_frame();
         Ok(())
+    }
+
+    /// Charge rendered report output against the request's row/byte budgets.
+    fn charge(&self, rows: usize, bytes: usize) -> MacroResult<()> {
+        self.ctx
+            .charge_rows(rows as u64)
+            .and_then(|()| self.ctx.charge_bytes(bytes as u64))
+            .map_err(|reason| MacroError::Cancelled { reason })
     }
 }
 
@@ -782,5 +849,105 @@ mod tests {
         assert_eq!(Mode::from_command("input"), Some(Mode::Input));
         assert_eq!(Mode::from_command("REPORT"), Some(Mode::Report));
         assert_eq!(Mode::from_command("bogus"), None);
+    }
+
+    #[test]
+    fn cancelled_ctx_stops_section_processing() {
+        let mac = parse_macro("%SQL{ SELECT 1 %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+        let ctx = Arc::new(RequestCtx::new(7, Arc::new(dbgw_obs::StdClock::new())));
+        ctx.cancel();
+        let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["n"], &[&["1"]])));
+        let err = Engine::new()
+            .with_request_ctx(ctx)
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MacroError::Cancelled {
+                reason: CancelReason::Cancelled
+            }
+        ));
+        assert!(err.to_string().contains("-952"));
+    }
+
+    #[test]
+    fn deadline_trips_after_slow_database_call() {
+        // The DB call itself "blocks" past the deadline (simulated by
+        // advancing the test clock inside execute); the post-execute check
+        // must catch it before any more output is rendered.
+        let clock = Arc::new(dbgw_obs::TestClock::new());
+        let ctx = Arc::new(RequestCtx::new(1, clock.clone()).with_deadline_ms(50));
+        let mac = parse_macro("%SQL{ SLOW %}\n%HTML_REPORT{%EXEC_SQL\ntail%}").unwrap();
+        let mut db = FnDatabase(|_: &str| {
+            clock.advance_millis(60);
+            Ok(ok_rows(&["n"], &[&["1"]]))
+        });
+        let err = Engine::new()
+            .with_request_ctx(ctx)
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MacroError::Cancelled {
+                reason: CancelReason::DeadlineExceeded { deadline_ms: 50 }
+            }
+        ));
+    }
+
+    #[test]
+    fn sql_message_handler_intercepts_cancelled_sqlcode() {
+        // A macro may install a %SQL_MESSAGE handler for SQLCODE -952 and
+        // render its own interrupt page instead of the gateway's.
+        let mac = parse_macro(
+            "%SQL{ Q\n%SQL_MESSAGE{ -952 : \"<P>interrupted, sorry</P>\" : exit %}\n%}\n\
+             %HTML_REPORT{%EXEC_SQL\ntail%}",
+        )
+        .unwrap();
+        let mut db = FnDatabase(|_: &str| {
+            Err(DbError {
+                code: -952,
+                message: "processing cancelled due to interrupt".into(),
+            })
+        });
+        let out = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap();
+        assert!(out.contains("interrupted, sorry"));
+        assert!(!out.contains("tail"));
+    }
+
+    #[test]
+    fn unhandled_cancelled_sqlcode_surfaces_as_cancelled_error() {
+        let mac = parse_macro("%SQL{ Q %}\n%HTML_REPORT{%EXEC_SQL%}").unwrap();
+        let mut db = FnDatabase(|_: &str| {
+            Err(DbError {
+                code: -952,
+                message: "processing cancelled due to interrupt".into(),
+            })
+        });
+        let err = Engine::new()
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap_err();
+        assert!(matches!(err, MacroError::Cancelled { .. }));
+    }
+
+    #[test]
+    fn row_budget_caps_custom_report() {
+        let mac =
+            parse_macro("%SQL{ Q\n%SQL_REPORT{%ROW{[$(V1)]%}%}\n%}\n%HTML_REPORT{%EXEC_SQL%}")
+                .unwrap();
+        let ctx =
+            Arc::new(RequestCtx::new(2, Arc::new(dbgw_obs::StdClock::new())).with_row_budget(2));
+        let mut db = FnDatabase(|_: &str| Ok(ok_rows(&["a"], &[&["1"], &["2"], &["3"]])));
+        let err = Engine::new()
+            .with_request_ctx(ctx)
+            .process(&mac, Mode::Report, &[], &mut db)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MacroError::Cancelled {
+                reason: CancelReason::RowBudgetExceeded { budget: 2 }
+            }
+        ));
     }
 }

@@ -72,6 +72,12 @@ pub enum MacroError {
         /// The variable whose evaluation blew the limit.
         variable: String,
     },
+    /// The request's execution context tripped (deadline, explicit cancel, or
+    /// resource budget) and processing stopped at a cancellation point.
+    Cancelled {
+        /// Why the context asked to stop.
+        reason: dbgw_obs::CancelReason,
+    },
 }
 
 impl fmt::Display for MacroError {
@@ -102,6 +108,11 @@ impl fmt::Display for MacroError {
             }
             MacroError::DepthExceeded { variable } => {
                 write!(f, "substitution depth limit exceeded evaluating {variable}")
+            }
+            // Rendered in the DB2 idiom so the message reads like any other
+            // SQLCODE banner (-952: "processing cancelled due to interrupt").
+            MacroError::Cancelled { reason } => {
+                write!(f, "SQL error {}: {reason}", dbgw_obs::CANCELLED_SQLCODE)
             }
         }
     }

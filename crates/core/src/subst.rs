@@ -23,6 +23,8 @@
 use crate::env::{Assign, Env};
 use crate::error::{MacroError, MacroResult};
 use crate::exec::CommandRunner;
+use dbgw_obs::RequestCtx;
+use std::sync::Arc;
 
 /// Hard limit on variable-chain depth; cycles are caught exactly, this guards
 /// only pathological acyclic chains built from adversarial CGI input.
@@ -36,15 +38,28 @@ pub struct Evaluator<'a> {
     env: &'a Env,
     runner: &'a dyn CommandRunner,
     stack: Vec<String>,
+    ctx: Arc<RequestCtx>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// New session.
+    /// New session with no request context (unbounded).
     pub fn new(env: &'a Env, runner: &'a dyn CommandRunner) -> Evaluator<'a> {
+        Evaluator::with_ctx(env, runner, RequestCtx::unbounded())
+    }
+
+    /// New session polling `ctx` at every variable dereference, so a runaway
+    /// macro (deep lazy chains, executable variables) stops at the request
+    /// deadline instead of spinning a worker forever.
+    pub fn with_ctx(
+        env: &'a Env,
+        runner: &'a dyn CommandRunner,
+        ctx: Arc<RequestCtx>,
+    ) -> Evaluator<'a> {
         Evaluator {
             env,
             runner,
             stack: Vec::new(),
+            ctx,
         }
     }
 
@@ -108,6 +123,11 @@ impl<'a> Evaluator<'a> {
 
     /// The run-time value of a variable; the empty string *is* null.
     pub fn value_of(&mut self, name: &str) -> MacroResult<String> {
+        // Cancellation point: every dereference (including each step of a
+        // recursive chain) polls the request context.
+        self.ctx
+            .check()
+            .map_err(|reason| MacroError::Cancelled { reason })?;
         // 1. System report variables (literal, no recursion, case-insensitive).
         if let Some(v) = self.env.system(name) {
             return Ok(v.to_owned());

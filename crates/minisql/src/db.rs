@@ -29,6 +29,7 @@ use crate::state::{DbState, TableData};
 use crate::storage::{Heap, Row, RowId};
 use crate::sync::RwLock;
 use crate::types::Value;
+use dbgw_obs::RequestCtx;
 use std::sync::Arc;
 
 /// Outcome of executing one statement.
@@ -110,11 +111,19 @@ impl Database {
         Database::default()
     }
 
-    /// Open a connection.
+    /// Open a connection with no request context (unbounded execution).
     pub fn connect(&self) -> Connection {
+        self.connect_with_ctx(RequestCtx::unbounded())
+    }
+
+    /// Open a connection bound to a request context: every statement executed
+    /// on it polls `ctx` cooperatively and fails with SQLCODE −952 once the
+    /// request's deadline passes or it is cancelled.
+    pub fn connect_with_ctx(&self, ctx: Arc<RequestCtx>) -> Connection {
         Connection {
             db: Arc::clone(&self.inner),
             txn: None,
+            ctx,
         }
     }
 
@@ -146,12 +155,21 @@ pub struct Connection {
     db: Arc<RwLock<DbState>>,
     /// Open explicit transaction's undo log, if any.
     txn: Option<Vec<Undo>>,
+    /// The owning request's context (the unbounded context for plain
+    /// [`Database::connect`] sessions).
+    ctx: Arc<RequestCtx>,
 }
 
 impl Connection {
     /// Is an explicit transaction open?
     pub fn in_transaction(&self) -> bool {
         self.txn.is_some()
+    }
+
+    /// Rebind this connection to a request context (see
+    /// [`Database::connect_with_ctx`]).
+    pub fn set_request_ctx(&mut self, ctx: Arc<RequestCtx>) {
+        self.ctx = ctx;
     }
 
     /// Parse and execute one SQL statement.
@@ -178,7 +196,9 @@ impl Connection {
         match stmt {
             Statement::Select(sel) => {
                 let state = self.db.read();
-                Ok(ExecResult::Rows(run_select(&state, &sel, params)?))
+                Ok(ExecResult::Rows(run_select(
+                    &state, &sel, params, &self.ctx,
+                )?))
             }
             Statement::Explain(inner) => {
                 let state = self.db.read();
@@ -249,7 +269,7 @@ impl Connection {
                 // so a mid-statement failure backs out cleanly.
                 let mut state = self.db.write();
                 let mut undo: Vec<Undo> = Vec::new();
-                let result = apply_mutation(&mut state, other, params, &mut undo);
+                let result = apply_mutation(&mut state, other, params, &mut undo, &self.ctx);
                 match result {
                     Ok(res) => {
                         // Explicit transaction: keep the records for a
@@ -350,6 +370,7 @@ fn apply_mutation(
     stmt: Statement,
     params: &[Value],
     undo: &mut Vec<Undo>,
+    ctx: &RequestCtx,
 ) -> SqlResult<ExecResult> {
     match stmt {
         Statement::Insert {
@@ -374,7 +395,7 @@ fn apply_mutation(
             // INSERT ... SELECT: evaluate the query first, then insert its
             // rows (fully materialized, so self-insertion cannot loop).
             if let Some(select) = select {
-                let rs = run_select(state, &select, params)?;
+                let rs = run_select(state, &select, params, ctx)?;
                 if rs.columns.len() != ordinals.len() {
                     return Err(SqlError::syntax(format!(
                         "INSERT target has {} columns but SELECT produced {}",
@@ -409,7 +430,7 @@ fn apply_mutation(
                 }
                 let mut row = vec![Value::Null; width];
                 for (expr, &ordinal) in tuple.iter().zip(&ordinals) {
-                    let expr = crate::exec::rewrite_expr_subqueries(state, expr, params)?;
+                    let expr = crate::exec::rewrite_expr_subqueries(state, expr, params, ctx)?;
                     row[ordinal] = eval(&expr, &Bindings::empty(), &[], params, &NoAggregates)?;
                 }
                 let row = schema.check_row(row)?;
@@ -428,7 +449,7 @@ fn apply_mutation(
             where_clause,
         } => {
             let (schema, bindings, targets) =
-                collect_targets(state, &table, where_clause.as_ref(), params)?;
+                collect_targets(state, &table, where_clause.as_ref(), params, ctx)?;
             let ordinals: Vec<usize> = assignments
                 .iter()
                 .map(|(c, _)| schema.require_column(c))
@@ -437,7 +458,7 @@ fn apply_mutation(
             for (id, old_row) in targets {
                 let mut new_row = old_row.clone();
                 for ((_, expr), &ordinal) in assignments.iter().zip(&ordinals) {
-                    let expr = crate::exec::rewrite_expr_subqueries(state, expr, params)?;
+                    let expr = crate::exec::rewrite_expr_subqueries(state, expr, params, ctx)?;
                     new_row[ordinal] = eval(&expr, &bindings, &old_row, params, &NoAggregates)?;
                 }
                 let new_row = schema.check_row(new_row)?;
@@ -455,7 +476,8 @@ fn apply_mutation(
             table,
             where_clause,
         } => {
-            let (_, _, targets) = collect_targets(state, &table, where_clause.as_ref(), params)?;
+            let (_, _, targets) =
+                collect_targets(state, &table, where_clause.as_ref(), params, ctx)?;
             let mut deleted = 0usize;
             for (id, _) in targets {
                 if let Some(old) = state.delete_row(&table, id)? {
@@ -595,6 +617,7 @@ fn collect_targets(
     table: &str,
     predicate: Option<&crate::ast::Expr>,
     params: &[Value],
+    ctx: &RequestCtx,
 ) -> SqlResult<(TableSchema, Bindings, Vec<(RowId, Row)>)> {
     let t = state.table(table)?;
     let schema = t.schema.clone();
@@ -603,11 +626,14 @@ fn collect_targets(
         schema.columns.iter().map(|c| c.name.clone()).collect(),
     );
     let predicate = match predicate {
-        Some(p) => Some(crate::exec::rewrite_expr_subqueries(state, p, params)?),
+        Some(p) => Some(crate::exec::rewrite_expr_subqueries(state, p, params, ctx)?),
         None => None,
     };
     let mut targets = Vec::new();
-    for (id, row) in t.heap.iter() {
+    for (i, (id, row)) in t.heap.iter().enumerate() {
+        if i % 128 == 0 {
+            ctx.check().map_err(SqlError::cancelled)?;
+        }
         let keep = match &predicate {
             Some(p) => eval_truth(p, &bindings, row, params, &NoAggregates)?.passes(),
             None => true,

@@ -37,6 +37,9 @@ impl SqlCode {
     pub const DUPLICATE_OBJECT: SqlCode = SqlCode(-601);
     /// Statement not permitted in the current transaction state (DB2 -925).
     pub const TXN_STATE: SqlCode = SqlCode(-925);
+    /// Processing cancelled due to an interrupt (DB2 -952): the request's
+    /// deadline passed or its `RequestCtx` was cancelled mid-statement.
+    pub const CANCELLED: SqlCode = SqlCode(dbgw_obs::CANCELLED_SQLCODE);
 
     /// Whether this code denotes an error (negative).
     pub fn is_error(self) -> bool {
@@ -92,6 +95,12 @@ impl SqlError {
     /// Type-mismatch helper.
     pub fn type_mismatch(message: impl Into<String>) -> Self {
         SqlError::new(SqlCode::TYPE_MISMATCH, message)
+    }
+
+    /// Cancellation helper: the statement was interrupted by its request
+    /// context (deadline, explicit cancel, or budget).
+    pub fn cancelled(reason: dbgw_obs::CancelReason) -> Self {
+        SqlError::new(SqlCode::CANCELLED, reason.to_string())
     }
 }
 

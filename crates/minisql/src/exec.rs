@@ -16,8 +16,21 @@ use crate::like::{is_exact, literal_prefix};
 use crate::state::DbState;
 use crate::storage::Row;
 use crate::types::Value;
+use dbgw_obs::RequestCtx;
 use std::collections::HashMap;
 use std::ops::Bound;
+
+/// Cooperative-cancellation stride: the scan, join, and grouping loops poll
+/// [`RequestCtx::check`] every this many rows, so a runaway query notices its
+/// deadline within a bounded amount of work while the per-row overhead stays
+/// one branch on an induction variable.
+const CANCEL_STRIDE: usize = 128;
+
+/// Map a tripped request context to the SQLCODE −952 error the `%SQL_MESSAGE`
+/// machinery understands.
+fn check_cancel(ctx: &RequestCtx) -> SqlResult<()> {
+    ctx.check().map_err(SqlError::cancelled)
+}
 
 /// A query result: column labels plus rows.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -40,16 +53,28 @@ impl ResultSet {
     }
 }
 
-/// Execute a SELECT against the state.
-pub fn run_select(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<ResultSet> {
+/// Execute a SELECT against the state. `ctx` is the owning request's context;
+/// the executor polls it cooperatively (library callers with no request pass
+/// [`RequestCtx::unbounded`]).
+pub fn run_select(
+    state: &DbState,
+    sel: &Select,
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<ResultSet> {
     if !sel.set_ops.is_empty() {
-        return run_compound(state, sel, params);
+        return run_compound(state, sel, params, ctx);
     }
-    run_single(state, sel, params)
+    run_single(state, sel, params, ctx)
 }
 
 /// Execute a compound SELECT (UNION / EXCEPT / INTERSECT).
-fn run_compound(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<ResultSet> {
+fn run_compound(
+    state: &DbState,
+    sel: &Select,
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<ResultSet> {
     // The root's ORDER BY / LIMIT were hoisted by the parser to apply to the
     // combined result; run the root branch without them.
     let mut first = sel.clone();
@@ -57,11 +82,12 @@ fn run_compound(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<Re
     first.order_by = Vec::new();
     first.limit = None;
     first.offset = None;
-    let base = run_single(state, &first, params)?;
+    let base = run_single(state, &first, params, ctx)?;
     let width = base.columns.len();
     let mut rows = base.rows;
     for (op, branch) in &sel.set_ops {
-        let rhs = run_select(state, branch, params)?;
+        check_cancel(ctx)?;
+        let rhs = run_select(state, branch, params, ctx)?;
         if rhs.columns.len() != width {
             return Err(SqlError::syntax(format!(
                 "set operation branches have {width} and {} columns",
@@ -143,19 +169,24 @@ fn dedup_rows(rows: &mut Vec<Row>) {
     });
 }
 
-fn run_single(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<ResultSet> {
+fn run_single(
+    state: &DbState,
+    sel: &Select,
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<ResultSet> {
     // Pre-execute any (uncorrelated) subqueries, replacing them with literal
     // lists/values, so the scalar evaluator never needs database access.
     let rewritten;
     let sel = if select_has_subqueries(sel) {
-        rewritten = rewrite_select_subqueries(state, sel, params)?;
+        rewritten = rewrite_select_subqueries(state, sel, params, ctx)?;
         &rewritten
     } else {
         sel
     };
 
     // 1. Build the source relation and its bindings.
-    let (bindings, mut rows) = build_source(state, sel, params)?;
+    let (bindings, mut rows) = build_source(state, sel, params, ctx)?;
 
     // 1b. Bind-time column validation: unknown columns must error even when
     // the table is empty (DB2 validated names at PREPARE).
@@ -177,7 +208,10 @@ fn run_single(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<Resu
     // 2. WHERE.
     if let Some(pred) = &sel.where_clause {
         let mut kept = Vec::with_capacity(rows.len());
-        for row in rows {
+        for (i, row) in rows.into_iter().enumerate() {
+            if i % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
             if eval_truth(pred, &bindings, &row, params, &NoAggregates)?.passes() {
                 kept.push(row);
             }
@@ -194,9 +228,9 @@ fn run_single(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<Resu
         || sel.order_by.iter().any(|k| k.expr.contains_aggregate());
 
     if grouped {
-        run_grouped(sel, &bindings, rows, params)
+        run_grouped(sel, &bindings, rows, params, ctx)
     } else {
-        run_plain(sel, &bindings, rows, params)
+        run_plain(sel, &bindings, rows, params, ctx)
     }
 }
 
@@ -262,6 +296,7 @@ fn build_source(
     state: &DbState,
     sel: &Select,
     params: &[Value],
+    ctx: &RequestCtx,
 ) -> SqlResult<(Bindings, Vec<Row>)> {
     let Some(base) = &sel.from else {
         // Table-less SELECT evaluates items once against an empty row.
@@ -312,7 +347,10 @@ fn build_source(
         bindings.push_table(join.table.effective_name(), right_cols);
         let right_rows: Vec<Row> = right.heap.iter().map(|(_, r)| r.clone()).collect();
         let mut joined = Vec::new();
-        for left_row in rows {
+        for (i, left_row) in rows.into_iter().enumerate() {
+            if i % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
             let mut matched = false;
             for right_row in &right_rows {
                 let mut combined = left_row.clone();
@@ -627,13 +665,17 @@ fn run_plain(
     bindings: &Bindings,
     rows: Vec<Row>,
     params: &[Value],
+    ctx: &RequestCtx,
 ) -> SqlResult<ResultSet> {
     if sel.having.is_some() {
         return Err(SqlError::syntax("HAVING requires GROUP BY or aggregates"));
     }
     let (labels, cols) = expand_items(sel, bindings)?;
     let mut pairs: Vec<(Row, Row)> = Vec::with_capacity(rows.len()); // (src, out)
-    for src in rows {
+    for (i, src) in rows.into_iter().enumerate() {
+        if i % CANCEL_STRIDE == 0 {
+            check_cancel(ctx)?;
+        }
         let out = project(&cols, bindings, &src, params, &NoAggregates)?;
         pairs.push((src, out));
     }
@@ -804,6 +846,7 @@ fn run_grouped(
     bindings: &Bindings,
     rows: Vec<Row>,
     params: &[Value],
+    ctx: &RequestCtx,
 ) -> SqlResult<ResultSet> {
     let (labels, cols) = expand_items(sel, bindings)?;
 
@@ -814,7 +857,10 @@ fn run_grouped(
         group_order.push(Vec::new());
         groups.insert(Vec::new(), rows);
     } else {
-        for row in rows {
+        for (i, row) in rows.into_iter().enumerate() {
+            if i % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
             let mut key = Vec::with_capacity(sel.group_by.len());
             for g in &sel.group_by {
                 key.push(eval(g, bindings, &row, params, &NoAggregates)?);
@@ -844,6 +890,7 @@ fn run_grouped(
     let mut pairs: Vec<(Row, Row)> = Vec::new(); // (representative src, out)
     let mut agg_sources: Vec<GroupAggs> = Vec::new();
     for key in group_order {
+        check_cancel(ctx)?;
         let group_rows = groups.remove(&key).expect("group key recorded");
         let mut computed = Vec::with_capacity(agg_exprs.len());
         for agg in &agg_exprs {
@@ -1024,28 +1071,33 @@ fn select_has_subqueries(sel: &Select) -> bool {
             .any(|j| j.on.as_ref().is_some_and(Expr::contains_subquery))
 }
 
-fn rewrite_select_subqueries(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<Select> {
+fn rewrite_select_subqueries(
+    state: &DbState,
+    sel: &Select,
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<Select> {
     let mut out = sel.clone();
     for item in &mut out.items {
         if let SelectItem::Expr { expr, .. } = item {
-            *expr = rewrite_expr_subqueries(state, expr, params)?;
+            *expr = rewrite_expr_subqueries(state, expr, params, ctx)?;
         }
     }
     if let Some(w) = &mut out.where_clause {
-        *w = rewrite_expr_subqueries(state, w, params)?;
+        *w = rewrite_expr_subqueries(state, w, params, ctx)?;
     }
     if let Some(h) = &mut out.having {
-        *h = rewrite_expr_subqueries(state, h, params)?;
+        *h = rewrite_expr_subqueries(state, h, params, ctx)?;
     }
     for g in &mut out.group_by {
-        *g = rewrite_expr_subqueries(state, g, params)?;
+        *g = rewrite_expr_subqueries(state, g, params, ctx)?;
     }
     for k in &mut out.order_by {
-        k.expr = rewrite_expr_subqueries(state, &k.expr, params)?;
+        k.expr = rewrite_expr_subqueries(state, &k.expr, params, ctx)?;
     }
     for j in &mut out.joins {
         if let Some(on) = &mut j.on {
-            *on = rewrite_expr_subqueries(state, on, params)?;
+            *on = rewrite_expr_subqueries(state, on, params, ctx)?;
         }
     }
     Ok(out)
@@ -1060,14 +1112,16 @@ pub(crate) fn rewrite_expr_subqueries(
     state: &DbState,
     expr: &Expr,
     params: &[Value],
+    ctx: &RequestCtx,
 ) -> SqlResult<Expr> {
     if !expr.contains_subquery() {
         return Ok(expr.clone());
     }
-    let walk = |e: &Expr| rewrite_expr_subqueries(state, e, params);
+    check_cancel(ctx)?;
+    let walk = |e: &Expr| rewrite_expr_subqueries(state, e, params, ctx);
     Ok(match expr {
         Expr::Subquery(select) => {
-            let rs = run_select(state, select, params)?;
+            let rs = run_select(state, select, params, ctx)?;
             if rs.columns.len() != 1 {
                 return Err(SqlError::syntax(
                     "a scalar subquery must return exactly one column",
@@ -1088,7 +1142,7 @@ pub(crate) fn rewrite_expr_subqueries(
             select,
             negated,
         } => {
-            let rs = run_select(state, select, params)?;
+            let rs = run_select(state, select, params, ctx)?;
             if rs.columns.len() != 1 {
                 return Err(SqlError::syntax(
                     "an IN subquery must return exactly one column",
@@ -1110,7 +1164,7 @@ pub(crate) fn rewrite_expr_subqueries(
             if probe.set_ops.is_empty() && probe.limit.is_none() {
                 probe.limit = Some(1);
             }
-            let rs = run_select(state, &probe, params)?;
+            let rs = run_select(state, &probe, params, ctx)?;
             Expr::Literal(Value::Int(i64::from(rs.rows.is_empty() == *negated)))
         }
         Expr::Neg(i) => Expr::Neg(Box::new(walk(i)?)),
@@ -1419,6 +1473,7 @@ mod tests {
     use super::*;
     use crate::ast::ColumnDef;
     use crate::ast::Statement;
+    use crate::error::SqlCode;
     use crate::index::Index;
     use crate::parser::parse;
     use crate::schema::TableSchema;
@@ -1482,7 +1537,36 @@ mod tests {
         let Statement::Select(sel) = parse(sql).unwrap() else {
             panic!()
         };
-        run_select(state, &sel, &[]).unwrap()
+        run_select(state, &sel, &[], &RequestCtx::unbounded()).unwrap()
+    }
+
+    #[test]
+    fn cancelled_ctx_aborts_scan_with_sqlcode_952() {
+        let st = shop_state();
+        let Statement::Select(sel) = parse("SELECT * FROM orders").unwrap() else {
+            panic!()
+        };
+        let ctx = RequestCtx::new(1, std::sync::Arc::new(dbgw_obs::StdClock::new()));
+        ctx.cancel();
+        let err = run_select(&st, &sel, &[], &ctx).unwrap_err();
+        assert_eq!(err.code, SqlCode::CANCELLED);
+        assert_eq!(err.code.0, -952);
+        assert!(err.message.contains("cancelled"), "{}", err.message);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_scan_deterministically() {
+        let st = shop_state();
+        let Statement::Select(sel) = parse("SELECT * FROM orders WHERE custid > 0").unwrap() else {
+            panic!()
+        };
+        let clock = std::sync::Arc::new(dbgw_obs::TestClock::new());
+        let ctx = RequestCtx::new(1, clock.clone()).with_deadline_ms(10);
+        assert!(run_select(&st, &sel, &[], &ctx).is_ok());
+        clock.advance_millis(11);
+        let err = run_select(&st, &sel, &[], &ctx).unwrap_err();
+        assert_eq!(err.code, SqlCode::CANCELLED);
+        assert!(err.message.contains("10 ms"), "{}", err.message);
     }
 
     #[test]
@@ -1761,7 +1845,7 @@ mod tests {
         let Statement::Select(sel) = parse("SELECT bogus FROM orders").unwrap() else {
             panic!()
         };
-        let err = run_select(&st, &sel, &[]).unwrap_err();
+        let err = run_select(&st, &sel, &[], &RequestCtx::unbounded()).unwrap_err();
         assert_eq!(err.code, crate::error::SqlCode::UNDEFINED_COLUMN);
     }
 }

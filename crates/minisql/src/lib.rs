@@ -48,9 +48,12 @@ pub mod parser;
 pub mod schema;
 pub mod state;
 pub mod storage;
-pub mod sync;
 pub mod token;
 pub mod types;
+
+/// Poison-recovering lock wrappers, re-exported from the shared
+/// [`dbgw_sync`] crate (the former in-crate copy moved there).
+pub use dbgw_sync as sync;
 
 pub use db::{Connection, Database, ExecResult};
 pub use error::{SqlCode, SqlError, SqlResult};

@@ -160,11 +160,19 @@ pub fn render_prometheus(m: &Metrics) -> String {
         ("dbgw_rows_rendered_total", &m.rows_rendered),
         ("dbgw_slow_queries_total", &m.slow_queries),
         ("dbgw_traces_recorded_total", &m.traces_recorded),
+        ("dbgw_requests_shed_total", &m.requests_shed),
+        ("dbgw_request_timeouts_total", &m.request_timeouts),
     ] {
         out.push_str(&format!(
             "# TYPE {name} counter\n{name} {}\n",
             counter.get()
         ));
+    }
+    for (name, gauge) in [
+        ("dbgw_requests_in_flight", &m.requests_in_flight),
+        ("dbgw_queue_depth", &m.queue_depth),
+    ] {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", gauge.get()));
     }
     out.push_str("# TYPE dbgw_sqlcode_errors_total counter\n");
     for (code, count) in m.sqlcode_errors.snapshot() {
@@ -195,8 +203,16 @@ pub fn metrics_json(m: &Metrics) -> String {
         ("dbgw_rows_rendered_total", &m.rows_rendered),
         ("dbgw_slow_queries_total", &m.slow_queries),
         ("dbgw_traces_recorded_total", &m.traces_recorded),
+        ("dbgw_requests_shed_total", &m.requests_shed),
+        ("dbgw_request_timeouts_total", &m.request_timeouts),
     ] {
         out.push_str(&format!("\"{name}\":{},", counter.get()));
+    }
+    for (name, gauge) in [
+        ("dbgw_requests_in_flight", &m.requests_in_flight),
+        ("dbgw_queue_depth", &m.queue_depth),
+    ] {
+        out.push_str(&format!("\"{name}\":{},", gauge.get()));
     }
     for (name, h) in [
         ("dbgw_request_latency_seconds", &m.request_latency_ns),

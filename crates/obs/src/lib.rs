@@ -14,6 +14,9 @@
 //!   points in `minisql`, `dbgw-core`, and `dbgw-cgi` need no threaded-through
 //!   context argument; when no trace is active a span is a single
 //!   thread-local flag read (the "cheap no-op default").
+//! * [`ctx`] — the per-request execution context ([`RequestCtx`]): request
+//!   id, deadline on the injectable clock, cancellation flag, and row/byte
+//!   budgets, polled cooperatively by every layer below the HTTP edge.
 //! * [`metrics`] — process-wide counters and fixed-bucket latency
 //!   histograms over `AtomicU64`, plus a per-SQLCODE error table. All
 //!   increments are single relaxed atomic ops and are always on.
@@ -42,11 +45,13 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod ctx;
 pub mod export;
 pub mod metrics;
 pub mod trace;
 
 pub use clock::{Clock, StdClock, SystemWallClock, TestClock, TestWallClock, WallClock};
+pub use ctx::{CancelReason, RequestCtx, CANCELLED_SQLCODE};
 pub use export::{metrics_json, render_prometheus, TraceTree};
-pub use metrics::{metrics, CodeCounters, Counter, Histogram, Metrics};
+pub use metrics::{metrics, CodeCounters, Counter, Gauge, Histogram, Metrics};
 pub use trace::{current_request_id, next_request_id, set_request_id, Span, Trace};

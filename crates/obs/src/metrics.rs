@@ -35,6 +35,38 @@ impl Counter {
     }
 }
 
+/// An instantaneous level (in-flight requests, queue depth): goes up *and*
+/// down, unlike [`Counter`].
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge (const, so registries can be statics).
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Set the level outright.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Histogram bucket upper bounds in nanoseconds: 1 µs doubling up to
 /// ~0.5 s, plus an implicit overflow bucket. Fixed at compile time so
 /// `observe` is a shift-free scan over a small array and snapshots from
@@ -225,6 +257,16 @@ pub struct Metrics {
     pub slow_queries: Counter,
     /// Traces recorded (DBGW_TRACE mode).
     pub traces_recorded: Counter,
+    /// Connections shed with `503 Retry-After` because the accept queue was
+    /// full.
+    pub requests_shed: Counter,
+    /// Requests that hit their `RequestCtx` deadline and returned a timeout
+    /// page.
+    pub request_timeouts: Counter,
+    /// Requests currently being processed by pool workers.
+    pub requests_in_flight: Gauge,
+    /// Accepted connections waiting in the bounded queue for a worker.
+    pub queue_depth: Gauge,
     /// End-to-end gateway request latency.
     pub request_latency_ns: Histogram,
     /// Per-statement SQL latency.
@@ -245,6 +287,10 @@ impl Metrics {
             rows_rendered: Counter::new(),
             slow_queries: Counter::new(),
             traces_recorded: Counter::new(),
+            requests_shed: Counter::new(),
+            request_timeouts: Counter::new(),
+            requests_in_flight: Gauge::new(),
+            queue_depth: Gauge::new(),
             request_latency_ns: Histogram::new(),
             sql_latency_ns: Histogram::new(),
             sqlcode_errors: CodeCounters::new(),

@@ -1,4 +1,4 @@
-//! Poison-recovering wrappers over `std::sync` locks.
+//! **dbgw-sync** — poison-recovering wrappers over `std::sync` locks.
 //!
 //! The workspace builds with zero external dependencies, so the locks that
 //! used to come from `parking_lot` are std locks with its ergonomics: `read`,
@@ -6,6 +6,12 @@
 //! poisoned lock (a holder panicked) yields its inner guard rather than
 //! panicking again — the engine's state transitions are exception-safe per
 //! statement, so recovering is strictly better than cascading the poison.
+//!
+//! The guards are the plain `std::sync` guard types, so a
+//! [`std::sync::Condvar`] can `wait` on a [`Mutex`] guard directly; the HTTP
+//! worker pool in `dbgw-cgi` relies on this for its bounded accept queue.
+
+#![warn(missing_docs)]
 
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
@@ -90,5 +96,34 @@ mod tests {
         .join();
         *m.lock() += 1; // must not panic
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(0);
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_waits_on_guard() {
+        use std::sync::{Arc, Condvar};
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (lock, cond) = &*pair2;
+            let mut started = lock.lock();
+            while !*started {
+                started = cond.wait(started).unwrap_or_else(|e| e.into_inner());
+            }
+        });
+        {
+            let (lock, cond) = &*pair;
+            *lock.lock() = true;
+            cond.notify_one();
+        }
+        t.join().unwrap();
     }
 }

@@ -49,4 +49,9 @@ for span in request parse_macro substitute exec_sql render_report; do
 done
 echo "observability smoke OK (spans + HTML comment present)"
 
+echo "== overload smoke (worker pool + load shedding) =="
+# Burst a 2-worker server past its queue: expect a mix of 200s and 503s with
+# Retry-After, and a clean drained shutdown (the example asserts all of it).
+cargo run --release --offline --example overload
+
 echo "All hermetic checks passed."
