@@ -1,0 +1,117 @@
+//! E10 — result-cache payoff.
+//!
+//! Two questions, matching the cache's two acceptance criteria:
+//!
+//! 1. **Warm vs cold latency.** The same selective SELECT against the same
+//!    data, executed cold (caching disabled, full scan every time) and warm
+//!    (cache enabled, primed). The warm path must be at least 5× faster —
+//!    that gap is the entire point of materializing result sets. The ratio
+//!    lands in BENCH_JSON as `cache_warm_speedup`, and the bench *asserts*
+//!    the 5× floor so a regression fails the run instead of drifting.
+//!
+//! 2. **Skewed-workload hit ratio.** A Zipf(1.1)-distributed stream over 200
+//!    distinct queries, the classic web-directory access pattern: a few
+//!    popular pages draw most traffic, so even a result cache far smaller
+//!    than the query space should serve the bulk of requests. Reported as
+//!    `cache_zipf_hit_ratio`.
+
+use dbgw_cache::CacheConfig;
+use dbgw_testkit::bench::Suite;
+use dbgw_testkit::rng::Rng;
+use dbgw_workload::{UrlDirectory, Zipf};
+use minisql::{Database, ExecResult};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS: usize = 5_000;
+const QUERY: &str =
+    "SELECT url, title FROM urldb WHERE title LIKE '%a%' ORDER BY url FETCH FIRST 20 ROWS ONLY";
+
+fn build(config: &CacheConfig) -> Database {
+    let db = Database::with_cache_config(config, Arc::new(dbgw_obs::StdClock::new()));
+    UrlDirectory::generate(ROWS, 1996).load(&db).unwrap();
+    db
+}
+
+/// Mean nanoseconds per execution of `sql` over `iters` runs.
+fn time_per_exec(db: &Database, sql: &str, iters: u32) -> f64 {
+    let mut conn = db.connect();
+    let start = Instant::now();
+    for _ in 0..iters {
+        let result = conn.execute(black_box(sql)).unwrap();
+        assert!(matches!(result, ExecResult::Rows(_)));
+        black_box(result);
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let iters: u32 = if quick { 20 } else { 200 };
+
+    let mut suite = Suite::new("cache");
+    {
+        let mut group = suite.group("E10_warm_vs_cold");
+        group.sample_size(if quick { 5 } else { 20 });
+
+        let cold_db = build(&CacheConfig::disabled());
+        group.bench("cold_select", || {
+            let mut conn = cold_db.connect();
+            black_box(conn.execute(black_box(QUERY)).unwrap())
+        });
+
+        let warm_db = build(&CacheConfig::default());
+        warm_db.connect().execute(QUERY).unwrap(); // prime
+        group.bench("warm_hit", || {
+            let mut conn = warm_db.connect();
+            black_box(conn.execute(black_box(QUERY)).unwrap())
+        });
+    }
+
+    // The acceptance ratio, measured head-to-head with identical loops so
+    // harness overhead cancels out.
+    let cold_db = build(&CacheConfig::disabled());
+    let warm_db = build(&CacheConfig::default());
+    warm_db.connect().execute(QUERY).unwrap(); // prime
+    let cold_ns = time_per_exec(&cold_db, QUERY, iters);
+    let warm_ns = time_per_exec(&warm_db, QUERY, iters);
+    let stats = warm_db.cache_stats().unwrap();
+    assert!(
+        stats.results.hits >= u64::from(iters),
+        "warm loop must be served from the cache: {stats:?}"
+    );
+    let speedup = cold_ns / warm_ns;
+    suite.record_metric("cache_cold_ns_per_exec", cold_ns);
+    suite.record_metric("cache_warm_ns_per_exec", warm_ns);
+    suite.record_metric("cache_warm_speedup", speedup);
+    assert!(
+        speedup >= 5.0,
+        "warm cache hit must be at least 5x faster than cold execution \
+         (cold {cold_ns:.0} ns, warm {warm_ns:.0} ns, speedup {speedup:.1}x)"
+    );
+
+    // Zipf(1.1) over 200 distinct queries: the hot head should dominate.
+    let zipf_db = build(&CacheConfig::default());
+    let zipf = Zipf::new(200, 1.1);
+    let mut rng = Rng::new(0x1996_0806);
+    let stream = if quick { 500 } else { 5_000 };
+    let mut conn = zipf_db.connect();
+    for _ in 0..stream {
+        let rank = zipf.sample(&mut rng);
+        let sql = format!(
+            "SELECT url, title FROM urldb WHERE url LIKE '%{rank}%' FETCH FIRST 5 ROWS ONLY"
+        );
+        black_box(conn.execute(&sql).unwrap());
+    }
+    let stats = zipf_db.cache_stats().unwrap();
+    let total = stats.results.hits + stats.results.misses;
+    let ratio = stats.results.hits as f64 / total as f64;
+    suite.record_metric("cache_zipf_distinct_queries", 200.0);
+    suite.record_metric("cache_zipf_hit_ratio", ratio);
+    suite.finish();
+    println!(
+        "# cache: speedup {speedup:.1}x, zipf hit ratio {:.1}% over {stream} requests",
+        ratio * 100.0
+    );
+}

@@ -1,0 +1,179 @@
+//! Cache-key canonicalization and content hashing.
+//!
+//! Statement and result-cache keys must treat `SELECT * FROM t` and
+//! `select  *  from T` as the same statement while keeping
+//! `SELECT 'a  B'` and `SELECT 'a b'` distinct — the whitespace and case
+//! inside a string literal are data, not syntax. The normalizer therefore
+//! tracks the tokenizer's quoting rules (single-quoted strings with `''`
+//! escapes, double-quoted identifiers, `--` line comments) and only rewrites
+//! the text between literals.
+
+/// Canonicalize a SQL statement for use as a cache key.
+///
+/// Outside quotes: ASCII-lowercase, collapse every whitespace run to a
+/// single space, strip `--` line comments (they are whitespace to the
+/// tokenizer, and must not survive into the key — otherwise
+/// `SELECT 1 -- c⏎+1` and `SELECT 1 -- c +1` would collapse to the same
+/// key despite meaning different things), and trim the ends.
+///
+/// Inside quotes: copy verbatim, including the quote characters. Single
+/// quotes honour the `''` escape; double-quoted identifiers have no escape
+/// (matching the tokenizer). An unterminated literal is copied through to
+/// the end — the parse will fail anyway, but the key stays deterministic.
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' | '"' => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push(c);
+                while let Some(d) = chars.next() {
+                    out.push(d);
+                    if d == c {
+                        // '' inside a single-quoted literal is an escaped
+                        // quote, not a terminator.
+                        if c == '\'' && chars.peek() == Some(&'\'') {
+                            out.push('\'');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            '-' if chars.peek() == Some(&'-') => {
+                // Line comment: skip to end of line, acts as whitespace.
+                for d in chars.by_ref() {
+                    if d == '\n' {
+                        break;
+                    }
+                }
+                pending_space = true;
+            }
+            _ if c.is_ascii_whitespace() => pending_space = true,
+            _ => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                // ASCII-only case folding: non-ASCII text passes through
+                // verbatim (Unicode folding is locale-fraught, and data in
+                // identifiers must not be rewritten more than the tokenizer
+                // itself would).
+                out.push(c.to_ascii_lowercase());
+            }
+        }
+    }
+    out
+}
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms and runs —
+/// exactly what shard selection and HTTP `ETag`s need, with no dependency.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapses_whitespace_and_case_outside_literals() {
+        assert_eq!(
+            normalize_sql("SELECT  *\n FROM\tT  WHERE a =  1"),
+            "select * from t where a = 1"
+        );
+        assert_eq!(normalize_sql("  select 1  "), "select 1");
+    }
+
+    #[test]
+    fn literals_are_preserved_verbatim() {
+        assert_eq!(
+            normalize_sql("SELECT 'A  B' FROM T"),
+            "select 'A  B' from t"
+        );
+        // Different literals must never alias.
+        assert_ne!(
+            normalize_sql("SELECT 'a  b'"),
+            normalize_sql("SELECT 'a b'")
+        );
+        assert_ne!(normalize_sql("SELECT 'ABC'"), normalize_sql("SELECT 'abc'"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_literal() {
+        assert_eq!(
+            normalize_sql("SELECT 'it''s  HERE' FROM T"),
+            "select 'it''s  HERE' from t"
+        );
+    }
+
+    #[test]
+    fn double_quoted_identifiers_preserved() {
+        assert_eq!(
+            normalize_sql("SELECT \"Mixed  Case\""),
+            "select \"Mixed  Case\""
+        );
+    }
+
+    #[test]
+    fn comments_are_whitespace_not_text() {
+        assert_eq!(normalize_sql("SELECT 1 -- note\n+ 1"), "select 1 + 1");
+        // A comment swallowing the rest of the line must not make two
+        // different statements alias.
+        assert_ne!(
+            normalize_sql("SELECT 1 -- c\n+1"),
+            normalize_sql("SELECT 1 -- c +1")
+        );
+    }
+
+    #[test]
+    fn comment_markers_inside_literals_are_data() {
+        assert_eq!(normalize_sql("SELECT '--x' FROM t"), "select '--x' from t");
+    }
+
+    #[test]
+    fn idempotent() {
+        for s in [
+            "SELECT  'a  B' -- c\n FROM t",
+            "select 1",
+            "'unterminated",
+            "",
+        ] {
+            let once = normalize_sql(s);
+            assert_eq!(normalize_sql(&once), once);
+        }
+    }
+
+    #[test]
+    fn non_ascii_passes_through_intact() {
+        // Regression (found by the property suite): the scanner once worked
+        // on bytes and re-encoded each UTF-8 byte as its own char, mangling
+        // anything non-ASCII and breaking idempotence.
+        assert_eq!(normalize_sql("SELECT '¡Holá!'"), "select '¡Holá!'");
+        assert_eq!(normalize_sql("SELECT ¡"), "select ¡");
+        let once = normalize_sql("¡");
+        assert_eq!(once, "¡");
+        assert_eq!(normalize_sql(&once), once);
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+}

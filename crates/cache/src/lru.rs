@@ -1,0 +1,437 @@
+//! A sharded, byte-budgeted LRU cache with optional TTL.
+//!
+//! Each shard is an independent LRU behind its own mutex, holding an equal
+//! slice of the total byte budget. Entries are charged their caller-supplied
+//! cost plus key length plus a fixed per-entry overhead; an entry that would
+//! not fit in an empty shard is rejected outright, which is what makes the
+//! invariant `bytes() <= max_bytes` unconditional — the property test in
+//! `tests/properties.rs` leans on it.
+//!
+//! The LRU list is intrusive: entries live in a slab `Vec` and carry
+//! prev/next indices, with a free list for reuse. No allocation happens on
+//! the hit path beyond cloning the value out.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dbgw_obs::Clock;
+use dbgw_sync::Mutex;
+
+use crate::config::CacheConfig;
+use crate::key::fnv1a_64;
+
+/// Fixed per-entry bookkeeping charge added to the caller-supplied cost,
+/// approximating the slab + hash-map overhead per entry.
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Sentinel index for "no link".
+const NIL: usize = usize::MAX;
+
+/// Outcome of a [`ShardedCache::get`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup<V> {
+    /// The key was present and fresh; here is a clone of the value.
+    Hit(V),
+    /// The key was not present.
+    Miss,
+    /// The key was present but past its TTL; it has been removed.
+    Expired,
+}
+
+/// Outcome of a [`ShardedCache::put`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stored {
+    /// Whether the entry was actually stored (false when it exceeds the
+    /// shard budget on its own).
+    pub stored: bool,
+    /// How many resident entries were evicted to make room.
+    pub evicted: u64,
+}
+
+/// A point-in-time view of a cache's internal counters, for tests and
+/// `/stats`. All counts are since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Fresh lookups that found a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Lookups that found a value past its TTL.
+    pub expirations: u64,
+    /// Entries pushed out to make room for newer ones.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the budget.
+    pub bytes: usize,
+}
+
+struct Entry<V> {
+    key: String,
+    value: V,
+    charge: usize,
+    stored_ns: u64,
+    prev: usize,
+    next: usize,
+}
+
+struct Shard<V> {
+    map: HashMap<String, usize>,
+    slab: Vec<Option<Entry<V>>>,
+    free: Vec<usize>,
+    /// Most-recently-used entry, or `NIL`.
+    head: usize,
+    /// Least-recently-used entry, or `NIL`.
+    tail: usize,
+    bytes: usize,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Shard<V> {
+        Shard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn entry(&self, idx: usize) -> &Entry<V> {
+        self.slab[idx].as_ref().expect("live slab index")
+    }
+
+    fn entry_mut(&mut self, idx: usize) -> &mut Entry<V> {
+        self.slab[idx].as_mut().expect("live slab index")
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let e = self.entry(idx);
+            (e.prev, e.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entry_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entry_mut(next).prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(idx);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entry_mut(old_head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Remove the entry at `idx` entirely, returning its charge.
+    fn remove_index(&mut self, idx: usize) -> usize {
+        self.unlink(idx);
+        let entry = self.slab[idx].take().expect("live slab index");
+        self.map.remove(&entry.key);
+        self.free.push(idx);
+        self.bytes -= entry.charge;
+        entry.charge
+    }
+
+    fn insert_entry(&mut self, entry: Entry<V>) {
+        let charge = entry.charge;
+        let key = entry.key.clone();
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Some(entry);
+                i
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.bytes += charge;
+    }
+}
+
+/// A sharded LRU cache mapping `String` keys to clonable values, with a
+/// total byte budget split evenly across shards and an optional TTL driven
+/// by an injectable [`Clock`].
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    shard_budget: usize,
+    ttl_ns: Option<u64>,
+    clock: Arc<dyn Clock>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expirations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// Build a cache from `config`, with TTL measured on `clock`.
+    pub fn new(config: &CacheConfig, clock: Arc<dyn Clock>) -> ShardedCache<V> {
+        let n = config.shards.max(1);
+        ShardedCache {
+            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_budget: config.max_bytes / n,
+            ttl_ns: config.ttl_ms.map(|ms| ms.saturating_mul(1_000_000)),
+            clock,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<Shard<V>> {
+        let h = fnv1a_64(key.as_bytes()) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Look up `key`, refreshing its recency on a hit. An entry past its
+    /// TTL is removed and reported as [`Lookup::Expired`].
+    pub fn get(&self, key: &str) -> Lookup<V> {
+        let now = self.clock.now_ns();
+        let mut shard = self.shard_for(key).lock();
+        let Some(&idx) = shard.map.get(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        };
+        if let Some(ttl) = self.ttl_ns {
+            if now.saturating_sub(shard.entry(idx).stored_ns) >= ttl {
+                shard.remove_index(idx);
+                self.expirations.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Expired;
+            }
+        }
+        shard.unlink(idx);
+        shard.push_front(idx);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Lookup::Hit(shard.entry(idx).value.clone())
+    }
+
+    /// Insert `key` → `value`, charged at `cost` bytes (plus key length and
+    /// fixed overhead). Replaces any existing entry under the same key.
+    /// Evicts from the cold end until the entry fits; an entry that cannot
+    /// fit in an empty shard is not stored at all.
+    pub fn put(&self, key: String, value: V, cost: usize) -> Stored {
+        let charge = cost + key.len() + ENTRY_OVERHEAD;
+        let mut shard = self.shard_for(&key).lock();
+        if let Some(&idx) = shard.map.get(&key) {
+            shard.remove_index(idx);
+        }
+        if charge > self.shard_budget {
+            return Stored {
+                stored: false,
+                evicted: 0,
+            };
+        }
+        let mut evicted = 0;
+        while shard.bytes + charge > self.shard_budget {
+            let tail = shard.tail;
+            debug_assert_ne!(tail, NIL, "charge fits, so eviction must terminate");
+            shard.remove_index(tail);
+            evicted += 1;
+        }
+        shard.insert_entry(Entry {
+            key,
+            value,
+            charge,
+            stored_ns: self.clock.now_ns(),
+            prev: NIL,
+            next: NIL,
+        });
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Stored {
+            stored: true,
+            evicted,
+        }
+    }
+
+    /// Remove `key` if present; returns whether anything was removed.
+    pub fn remove(&self, key: &str) -> bool {
+        let mut shard = self.shard_for(key).lock();
+        match shard.map.get(key) {
+            Some(&idx) => {
+                shard.remove_index(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            *shard = Shard::new();
+        }
+    }
+
+    /// Bytes currently charged against the budget, across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the internal counters. Per-instance, so parallel tests
+    /// never race on global metrics.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            bytes: self.bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgw_obs::TestClock;
+
+    fn cache(max_bytes: usize, ttl_ms: Option<u64>) -> (ShardedCache<String>, Arc<TestClock>) {
+        let clock = Arc::new(TestClock::new());
+        let config = CacheConfig {
+            enabled: true,
+            max_bytes,
+            ttl_ms,
+            // One shard makes LRU order deterministic for these tests.
+            shards: 1,
+        };
+        (ShardedCache::new(&config, clock.clone()), clock)
+    }
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let (c, _) = cache(4096, None);
+        assert_eq!(c.get("k"), Lookup::Miss);
+        assert!(c.put("k".into(), "v".into(), 10).stored);
+        assert_eq!(c.get("k"), Lookup::Hit("v".into()));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn replaces_existing_key_without_double_charge() {
+        let (c, _) = cache(4096, None);
+        c.put("k".into(), "a".into(), 100);
+        let before = c.bytes();
+        c.put("k".into(), "b".into(), 100);
+        assert_eq!(c.bytes(), before);
+        assert_eq!(c.get("k"), Lookup::Hit("b".into()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        // Budget fits exactly two entries of charge 1 + 64 + 100 = 165.
+        let (c, _) = cache(330, None);
+        c.put("a".into(), "1".into(), 100);
+        c.put("b".into(), "2".into(), 100);
+        // Touch "a" so "b" is now coldest.
+        assert_eq!(c.get("a"), Lookup::Hit("1".into()));
+        let stored = c.put("c".into(), "3".into(), 100);
+        assert_eq!(stored.evicted, 1);
+        assert_eq!(c.get("b"), Lookup::Miss);
+        assert_eq!(c.get("a"), Lookup::Hit("1".into()));
+        assert_eq!(c.get("c"), Lookup::Hit("3".into()));
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected() {
+        let (c, _) = cache(128, None);
+        let stored = c.put("big".into(), "x".into(), 10_000);
+        assert!(!stored.stored);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn bytes_never_exceed_budget() {
+        let (c, _) = cache(1000, None);
+        for i in 0..100 {
+            c.put(format!("key-{i}"), "v".repeat(i % 40), i % 200);
+            assert!(c.bytes() <= 1000, "bytes {} > budget", c.bytes());
+        }
+    }
+
+    #[test]
+    fn ttl_expires_entries_on_the_test_clock() {
+        let (c, clock) = cache(4096, Some(100));
+        c.put("k".into(), "v".into(), 10);
+        clock.advance_millis(99);
+        assert_eq!(c.get("k"), Lookup::Hit("v".into()));
+        clock.advance_millis(1);
+        assert_eq!(c.get("k"), Lookup::Expired);
+        // Expired entries are gone: next lookup is a plain miss.
+        assert_eq!(c.get("k"), Lookup::Miss);
+        let s = c.stats();
+        assert_eq!(s.expirations, 1);
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let (c, _) = cache(4096, None);
+        c.put("a".into(), "1".into(), 10);
+        c.put("b".into(), "2".into(), 10);
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let (c, _) = cache(330, None);
+        for round in 0..50 {
+            c.put(format!("k{}", round % 3), format!("v{round}"), 100);
+        }
+        // Only ~2 entries ever fit; the slab must not have grown to 50.
+        assert!(c.len() <= 2);
+    }
+
+    #[test]
+    fn sharded_cache_spreads_keys() {
+        let clock: Arc<TestClock> = Arc::new(TestClock::new());
+        let c: ShardedCache<u32> = ShardedCache::new(&CacheConfig::default(), clock);
+        for i in 0..64 {
+            c.put(format!("key-{i}"), i, 16);
+        }
+        assert_eq!(c.len(), 64);
+        for i in 0..64 {
+            assert_eq!(c.get(&format!("key-{i}")), Lookup::Hit(i));
+        }
+    }
+}

@@ -47,13 +47,16 @@ fn main() {
             }
         }
     }
-    print!(
-        "Status: {} {}\r\nContent-Type: {}; charset=utf-8\r\n\r\n{}",
+    let mut head = format!(
+        "Status: {} {}\r\nContent-Type: {}; charset=utf-8\r\n",
         response.status,
         response.reason(),
         response.content_type,
-        response.body
     );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    print!("{head}\r\n{}", response.body);
 }
 
 fn run(request_id: u64) -> CgiResponse {
@@ -79,6 +82,7 @@ fn run(request_id: u64) -> CgiResponse {
         query_string: env("QUERY_STRING"),
         body,
         request_id,
+        if_none_match: std::env::var("HTTP_IF_NONE_MATCH").ok(),
     };
 
     // Build the database from the configured script.

@@ -75,10 +75,13 @@ fn parse_response(raw: &str) -> CgiResponse {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
     let mut content_type = String::from("text/html");
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-type") {
                 content_type = value.trim().to_owned();
+            } else {
+                headers.push((name.trim().to_owned(), value.trim().to_owned()));
             }
         }
     }
@@ -86,6 +89,7 @@ fn parse_response(raw: &str) -> CgiResponse {
         status,
         content_type,
         body: body.to_owned(),
+        headers,
     }
 }
 

@@ -6,7 +6,7 @@
 
 use crate::bridge::MiniSqlDatabase;
 use crate::log::{SlowQuery, SlowQueryLog};
-use crate::request::{CgiRequest, CgiResponse};
+use crate::request::{CgiRequest, CgiResponse, Method};
 use crate::session::{SessionManager, END_VAR, SESSION_ID_VAR, SESSION_VAR};
 use crate::sync::RwLock;
 use dbgw_core::db::{Database, DbError, DbRows};
@@ -170,6 +170,12 @@ pub struct Gateway {
     clock: Arc<dyn Clock>,
     slow_log: SlowQueryLog,
     deadline_ms: Option<u64>,
+    /// Answer conditional GETs with deterministic `ETag`s / `304`s and emit
+    /// `Cache-Control` derived from the macro's cacheability. Follows
+    /// `DBGW_CACHE` (the whole subsystem's master switch) by default.
+    http_cache: bool,
+    /// `DBGW_CACHE_TTL_MS`, echoed to clients as `Cache-Control: max-age`.
+    cache_ttl_ms: Option<u64>,
 }
 
 impl Gateway {
@@ -181,6 +187,7 @@ impl Gateway {
     /// Gateway with explicit engine configuration. Trace options come from
     /// the environment (see [`TraceOptions::from_env`]).
     pub fn with_config(source: impl ConnectionSource + 'static, config: EngineConfig) -> Gateway {
+        let cache_config = dbgw_cache::CacheConfig::from_env();
         Gateway {
             macros: RwLock::new(HashMap::new()),
             config,
@@ -190,7 +197,16 @@ impl Gateway {
             clock: Arc::new(StdClock::new()),
             slow_log: SlowQueryLog::new(),
             deadline_ms: deadline_ms_from_env(),
+            http_cache: cache_config.enabled,
+            cache_ttl_ms: cache_config.ttl_ms,
         }
+    }
+
+    /// Override the HTTP conditional-GET layer (`ETag`/`304`/`Cache-Control`)
+    /// independently of the environment.
+    pub fn with_http_cache(mut self, enabled: bool) -> Gateway {
+        self.http_cache = enabled;
+        self
     }
 
     /// Override the per-request wall-clock deadline (`None` disables it).
@@ -338,6 +354,7 @@ impl Gateway {
             dbgw_obs::trace::note("path", &req.path_info);
             self.dispatch(req, ctx)
         };
+        self.apply_http_caching(req, &mut response);
         m.request_latency_ns
             .observe_ns(self.clock.now_ns().saturating_sub(start_ns));
         if response.status >= 400 {
@@ -356,9 +373,80 @@ impl Gateway {
         if let Some(path) = &self.trace.trace_file {
             let _ = trace.append_jsonl(path);
         }
-        if self.trace.annotate {
+        // A 304 must stay body-less; the JSONL sink above still records it.
+        if self.trace.annotate && response.status != 304 {
             response.body.push_str(&trace_comment(trace));
         }
+    }
+
+    /// The HTTP caching layer: on a cacheable 200 GET, attach a deterministic
+    /// `ETag` (FNV-1a over the rendered page) and a `Cache-Control` derived
+    /// from the TTL knob; when the client's `If-None-Match` still matches,
+    /// collapse the response to `304 Not Modified`. Non-cacheable macro pages
+    /// are marked `no-store`.
+    fn apply_http_caching(&self, req: &CgiRequest, response: &mut CgiResponse) {
+        if !self.http_cache || req.method != Method::Get || response.status != 200 {
+            return;
+        }
+        let Some(cacheable) = self.macro_cacheability(req) else {
+            return;
+        };
+        if !cacheable {
+            response
+                .headers
+                .push(("Cache-Control".into(), "no-store".into()));
+            return;
+        }
+        let etag = format!(
+            "\"{:016x}\"",
+            dbgw_cache::fnv1a_64(response.body.as_bytes())
+        );
+        let cache_control = match self.cache_ttl_ms {
+            Some(ms) => format!("max-age={}", ms.div_ceil(1000)),
+            // Without a TTL the entry is always revalidated — which the
+            // ETag makes a cheap 304 round trip.
+            None => "no-cache".to_owned(),
+        };
+        if req
+            .if_none_match
+            .as_deref()
+            .is_some_and(|header| etag_matches(header, &etag))
+        {
+            dbgw_obs::metrics().http_not_modified.inc();
+            *response = CgiResponse::not_modified(&etag);
+            response
+                .headers
+                .push(("Cache-Control".into(), cache_control));
+            return;
+        }
+        response.headers.push(("ETag".into(), etag));
+        response
+            .headers
+            .push(("Cache-Control".into(), cache_control));
+    }
+
+    /// Whether the page this request renders may be cached by clients:
+    /// input forms always; report pages only when every `%SQL` section is a
+    /// plain SELECT (a report that writes must re-execute on every GET);
+    /// conversational-transaction requests never. `None` when the request
+    /// does not resolve to an installed macro.
+    fn macro_cacheability(&self, req: &CgiRequest) -> Option<bool> {
+        let mut parts = req.path_info.trim_start_matches('/').splitn(2, '/');
+        let macro_name = parts.next().unwrap_or("");
+        let cmd = parts.next().unwrap_or("");
+        let mode = Mode::from_command(cmd)?;
+        if req
+            .variables()
+            .get(SESSION_VAR)
+            .is_some_and(|v| !v.is_empty())
+        {
+            return Some(false);
+        }
+        let mac = self.macros.read().get(macro_name)?.parsed.clone();
+        Some(match mode {
+            Mode::Input => true,
+            Mode::Report => mac.sql_sections().all(|s| is_select(&s.command)),
+        })
     }
 
     fn dispatch(&self, req: &CgiRequest, ctx: &Arc<RequestCtx>) -> CgiResponse {
@@ -491,6 +579,20 @@ impl Gateway {
     }
 }
 
+/// Does the statement's first keyword make it a read (SELECT)?
+fn is_select(command: &str) -> bool {
+    command
+        .split_whitespace()
+        .next()
+        .is_some_and(|w| w.eq_ignore_ascii_case("select"))
+}
+
+/// `If-None-Match` comparison: `*` matches anything; otherwise any member of
+/// the comma-separated validator list may match our `ETag` exactly.
+fn etag_matches(header: &str, etag: &str) -> bool {
+    header.trim() == "*" || header.split(',').any(|candidate| candidate.trim() == etag)
+}
+
 /// `DBGW_DEADLINE_MS`: per-request wall-clock deadline; unset or 0 disables.
 fn deadline_ms_from_env() -> Option<u64> {
     std::env::var("DBGW_DEADLINE_MS")
@@ -532,6 +634,7 @@ fn cancel_response(reason: CancelReason, request_id: u64) -> CgiResponse {
             dbgw_obs::CANCELLED_SQLCODE,
             dbgw_html::escape_text(&reason.to_string()),
         ),
+        headers: Vec::new(),
     }
 }
 

@@ -455,6 +455,7 @@ fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Opti
                 method,
                 path_info: path_info.to_owned(),
                 query_string: query.to_owned(),
+                if_none_match: req.header("if-none-match").map(str::to_owned),
                 body: req.body,
                 request_id: dbgw_obs::next_request_id(),
             };
@@ -489,6 +490,7 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
             status: 200,
             content_type: "text/plain".into(),
             body: dbgw_obs::export::render_prometheus(m),
+            headers: Vec::new(),
         };
     }
     let mut body = String::from(
@@ -506,6 +508,13 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("rows rendered", m.rows_rendered.get()),
         ("slow queries", m.slow_queries.get()),
         ("traces recorded", m.traces_recorded.get()),
+        ("cache hits", m.cache_hits.get()),
+        ("cache misses", m.cache_misses.get()),
+        ("cache evictions", m.cache_evictions.get()),
+        ("cache invalidations", m.cache_invalidations.get()),
+        ("statement cache hits", m.stmt_cache_hits.get()),
+        ("statement cache misses", m.stmt_cache_misses.get()),
+        ("HTTP 304 not modified", m.http_not_modified.get()),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
     }
@@ -513,6 +522,7 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
     for (name, value) in [
         ("requests in flight", m.requests_in_flight.get()),
         ("queue depth", m.queue_depth.get()),
+        ("cache bytes", m.cache_bytes.get()),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
     }
@@ -574,6 +584,9 @@ fn write_response(
     }
     if let Some(seconds) = retry_after {
         head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;

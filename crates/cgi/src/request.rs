@@ -33,6 +33,9 @@ pub struct CgiRequest {
     /// Every trace span, slow-query entry, and error page produced while
     /// serving this request carries the same id.
     pub request_id: u64,
+    /// The `If-None-Match` header, if the client sent one: the validator
+    /// for a conditional GET against the gateway's deterministic `ETag`s.
+    pub if_none_match: Option<String>,
 }
 
 impl CgiRequest {
@@ -44,6 +47,7 @@ impl CgiRequest {
             query_string: query_string.to_owned(),
             body: String::new(),
             request_id: dbgw_obs::next_request_id(),
+            if_none_match: None,
         }
     }
 
@@ -55,6 +59,7 @@ impl CgiRequest {
             query_string: String::new(),
             body: body.to_owned(),
             request_id: dbgw_obs::next_request_id(),
+            if_none_match: None,
         }
     }
 
@@ -99,6 +104,9 @@ pub struct CgiResponse {
     pub content_type: String,
     /// Page body.
     pub body: String,
+    /// Extra response headers (`ETag`, `Cache-Control`, …), written after
+    /// the standard ones in order.
+    pub headers: Vec<(String, String)>,
 }
 
 impl CgiResponse {
@@ -108,6 +116,18 @@ impl CgiResponse {
             status: 200,
             content_type: "text/html".into(),
             body,
+            headers: Vec::new(),
+        }
+    }
+
+    /// A 304 Not Modified answer to a conditional GET: no body, just the
+    /// `ETag` the client's copy still matches.
+    pub fn not_modified(etag: &str) -> CgiResponse {
+        CgiResponse {
+            status: 304,
+            content_type: "text/html".into(),
+            body: String::new(),
+            headers: vec![("ETag".into(), etag.to_owned())],
         }
     }
 
@@ -121,6 +141,7 @@ impl CgiResponse {
                  <BODY><H1>Error {status}</H1>\n<P>{}</P></BODY></HTML>\n",
                 dbgw_html::escape_text(message)
             ),
+            headers: Vec::new(),
         }
     }
 
@@ -136,13 +157,23 @@ impl CgiResponse {
                  <P><SMALL>request {request_id}</SMALL></P></BODY></HTML>\n",
                 dbgw_html::escape_text(message)
             ),
+            headers: Vec::new(),
         }
+    }
+
+    /// The first value of header `name` (ASCII case-insensitive), if set.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// The reason phrase for this status.
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            304 => "Not Modified",
             400 => "Bad Request",
             401 => "Unauthorized",
             404 => "Not Found",

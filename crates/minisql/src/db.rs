@@ -19,6 +19,7 @@
 //! where each CGI request was a short single-threaded process.
 
 use crate::ast::Statement;
+use crate::cache::{self, CachedSelect, DbCacheStats, DbCaches};
 use crate::error::{SqlCode, SqlError, SqlResult};
 use crate::eval::{eval, eval_truth, Bindings, NoAggregates};
 use crate::exec::{run_select, ResultSet};
@@ -29,7 +30,8 @@ use crate::state::{DbState, TableData};
 use crate::storage::{Heap, Row, RowId};
 use crate::sync::RwLock;
 use crate::types::Value;
-use dbgw_obs::RequestCtx;
+use dbgw_cache::{CacheConfig, Lookup};
+use dbgw_obs::{Clock, RequestCtx};
 use std::sync::Arc;
 
 /// Outcome of executing one statement.
@@ -100,15 +102,52 @@ enum Undo {
 }
 
 /// A shared in-memory database.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Database {
     inner: Arc<RwLock<DbState>>,
+    /// Statement + result caches shared by every connection; `None` when
+    /// the subsystem is disabled (`DBGW_CACHE=0`).
+    caches: Option<Arc<DbCaches>>,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
 }
 
 impl Database {
-    /// Create an empty database.
+    /// Create an empty database, with caching configured from the
+    /// `DBGW_CACHE*` environment variables (enabled by default).
     pub fn new() -> Database {
-        Database::default()
+        Database::with_cache_config(
+            &CacheConfig::from_env(),
+            Arc::new(dbgw_obs::StdClock::new()),
+        )
+    }
+
+    /// Create an empty database with an explicit cache configuration and
+    /// clock (tests drive TTL expiry with a `TestClock`).
+    pub fn with_cache_config(config: &CacheConfig, clock: Arc<dyn Clock>) -> Database {
+        Database {
+            inner: Arc::new(RwLock::new(DbState::default())),
+            caches: config
+                .enabled
+                .then(|| Arc::new(DbCaches::new(config, clock))),
+        }
+    }
+
+    /// Create an empty database with every cache layer disabled.
+    pub fn without_cache() -> Database {
+        Database::with_cache_config(
+            &CacheConfig::disabled(),
+            Arc::new(dbgw_obs::StdClock::new()),
+        )
+    }
+
+    /// Per-instance cache counters, or `None` when caching is disabled.
+    pub fn cache_stats(&self) -> Option<DbCacheStats> {
+        self.caches.as_ref().map(|c| c.stats())
     }
 
     /// Open a connection with no request context (unbounded execution).
@@ -122,6 +161,7 @@ impl Database {
     pub fn connect_with_ctx(&self, ctx: Arc<RequestCtx>) -> Connection {
         Connection {
             db: Arc::clone(&self.inner),
+            caches: self.caches.clone(),
             txn: None,
             ctx,
         }
@@ -153,6 +193,8 @@ impl Database {
 /// A session against a [`Database`].
 pub struct Connection {
     db: Arc<RwLock<DbState>>,
+    /// The owning database's cache pair (`None` when caching is disabled).
+    caches: Option<Arc<DbCaches>>,
     /// Open explicit transaction's undo log, if any.
     txn: Option<Vec<Undo>>,
     /// The owning request's context (the unbounded context for plain
@@ -178,13 +220,101 @@ impl Connection {
     }
 
     /// Parse and execute with positional `?` parameters.
+    ///
+    /// When the owning database has caching enabled this is the cached
+    /// path: the normalized statement text is looked up in the prepared-
+    /// statement cache (a hit skips `sql_parse` entirely), and SELECTs
+    /// additionally go through the table-version-validated result cache.
     pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> SqlResult<ExecResult> {
-        let stmt = {
-            let _span = dbgw_obs::trace::span("sql_parse");
-            parse(sql)?
+        let Some(caches) = self.caches.clone() else {
+            let stmt = {
+                let _span = dbgw_obs::trace::span("sql_parse");
+                parse(sql)?
+            };
+            let _span = dbgw_obs::trace::span("sql_execute");
+            return self.execute_statement(stmt, params);
         };
+        let metrics = dbgw_obs::metrics();
+        let normalized = dbgw_cache::normalize_sql(sql);
+        let stmt: Arc<Statement> = match caches.stmts.get(&normalized) {
+            Lookup::Hit(stmt) => {
+                metrics.stmt_cache_hits.inc();
+                stmt
+            }
+            Lookup::Miss | Lookup::Expired => {
+                metrics.stmt_cache_misses.inc();
+                let parsed = {
+                    let _span = dbgw_obs::trace::span("sql_parse");
+                    parse(sql)?
+                };
+                let stmt = Arc::new(parsed);
+                // ASTs cost roughly a few times their source text; the exact
+                // figure only affects budget accounting, not correctness.
+                caches
+                    .stmts
+                    .put(normalized.clone(), Arc::clone(&stmt), 4 * sql.len());
+                stmt
+            }
+        };
+        if let Statement::Select(sel) = &*stmt {
+            let key = cache::result_key(&normalized, params);
+            let lookup = {
+                let _span = dbgw_obs::trace::span("cache_lookup");
+                caches.results.get(&key)
+            };
+            match lookup {
+                Lookup::Hit(cached) => {
+                    let valid = cache::deps_valid(&self.db.read(), &cached.deps);
+                    if valid {
+                        // The hit path still honours the request's deadline
+                        // and cancellation, like any statement would.
+                        self.ctx.check().map_err(SqlError::cancelled)?;
+                        metrics.cache_hits.inc();
+                        return Ok(ExecResult::Rows(cached.rows.clone()));
+                    }
+                    // A referenced table changed since the entry was stored:
+                    // drop it and fall through to a fresh execution.
+                    caches.results.remove(&key);
+                    caches.record_invalidation();
+                    metrics.cache_invalidations.inc();
+                    metrics.cache_misses.inc();
+                }
+                Lookup::Expired => {
+                    metrics.cache_evictions.inc();
+                    metrics.cache_misses.inc();
+                }
+                Lookup::Miss => {
+                    metrics.cache_misses.inc();
+                }
+            }
+            let _span = dbgw_obs::trace::span("sql_execute");
+            // Run the query and capture the referenced tables' versions
+            // under the SAME read lock, so the dependency snapshot can never
+            // race a concurrent writer.
+            let (rows, deps) = {
+                let state = self.db.read();
+                let rows = run_select(&state, sel, params, &self.ctx)?;
+                let deps = cache::capture_deps(&state, sel);
+                (rows, deps)
+            };
+            {
+                let _span = dbgw_obs::trace::span("cache_store");
+                let cost = cache::result_cost(&rows);
+                let stored = caches.results.put(
+                    key,
+                    Arc::new(CachedSelect {
+                        rows: rows.clone(),
+                        deps,
+                    }),
+                    cost,
+                );
+                metrics.cache_evictions.add(stored.evicted);
+                metrics.cache_bytes.set(caches.bytes() as i64);
+            }
+            return Ok(ExecResult::Rows(rows));
+        }
         let _span = dbgw_obs::trace::span("sql_execute");
-        self.execute_statement(stmt, params)
+        self.execute_statement((*stmt).clone(), params)
     }
 
     /// Execute a pre-parsed statement.
@@ -337,16 +467,18 @@ fn apply_undo(state: &mut DbState, undo: Vec<Undo>) {
                         state.indexes.remove(&idx);
                     }
                 }
+                state.bump_version(&name);
             }
             Undo::DropTable {
                 name,
                 data,
                 indexes,
             } => {
-                state.tables.insert(name, data);
+                state.tables.insert(name.clone(), data);
                 for idx in indexes {
                     state.indexes.insert(idx.name.to_ascii_lowercase(), idx);
                 }
+                state.bump_version(&name);
             }
             Undo::CreateIndex { name, table } => {
                 state.indexes.remove(&name);
@@ -526,6 +658,7 @@ fn apply_mutation(
                     index_names,
                 },
             );
+            state.bump_version(&key);
             undo.push(Undo::CreateTable { name: key });
             Ok(ExecResult::Ddl)
         }
@@ -539,6 +672,7 @@ fn apply_mutation(
                             indexes.push(idx);
                         }
                     }
+                    state.bump_version(&key);
                     undo.push(Undo::DropTable {
                         name: key,
                         data,

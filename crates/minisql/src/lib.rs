@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod csv;
 pub mod date;
 pub mod db;
@@ -55,6 +56,7 @@ pub mod types;
 /// [`dbgw_sync`] crate (the former in-crate copy moved there).
 pub use dbgw_sync as sync;
 
+pub use cache::{DbCacheStats, DbCaches};
 pub use db::{Connection, Database, ExecResult};
 pub use error::{SqlCode, SqlError, SqlResult};
 pub use exec::ResultSet;

@@ -28,9 +28,30 @@ pub struct DbState {
     pub tables: HashMap<String, TableData>,
     /// Indexes keyed by lowercased name.
     pub indexes: HashMap<String, Index>,
+    /// Per-table modification counters keyed by lowercased name, bumped on
+    /// every row mutation and on CREATE/DROP TABLE. The result cache records
+    /// the versions of every table a SELECT read (under the same read lock)
+    /// and revalidates them at lookup, which makes table-level invalidation
+    /// exact — correctness never depends on TTL. A dropped table's counter
+    /// survives (and keeps rising if the table is recreated), so cached
+    /// results can never resurrect across a DROP.
+    pub versions: HashMap<String, u64>,
 }
 
 impl DbState {
+    /// The modification counter for `name` (any case); 0 if never touched.
+    pub fn version(&self, name: &str) -> u64 {
+        self.versions
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record a modification of table `name` (any case).
+    pub fn bump_version(&mut self, name: &str) {
+        *self.versions.entry(name.to_ascii_lowercase()).or_insert(0) += 1;
+    }
+
     /// Case-insensitive table lookup.
     pub fn table(&self, name: &str) -> SqlResult<&TableData> {
         self.tables
@@ -86,6 +107,7 @@ impl DbState {
             }
             done.push(name.clone());
         }
+        self.bump_version(&key);
         Ok(id)
     }
 
@@ -105,6 +127,7 @@ impl DbState {
             let value = old.get(idx.column).cloned().unwrap_or_default_null();
             idx.remove(&value, id);
         }
+        self.bump_version(&key);
         Ok(Some(old))
     }
 
@@ -150,6 +173,7 @@ impl DbState {
             }
             rekeyed.push(name.clone());
         }
+        self.bump_version(&key);
         Ok(old)
     }
 
@@ -168,6 +192,7 @@ impl DbState {
             idx.insert(&value, id)
                 .expect("restored row cannot violate uniqueness");
         }
+        self.bump_version(&key);
         Ok(())
     }
 }

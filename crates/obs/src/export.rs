@@ -162,6 +162,13 @@ pub fn render_prometheus(m: &Metrics) -> String {
         ("dbgw_traces_recorded_total", &m.traces_recorded),
         ("dbgw_requests_shed_total", &m.requests_shed),
         ("dbgw_request_timeouts_total", &m.request_timeouts),
+        ("dbgw_cache_hits_total", &m.cache_hits),
+        ("dbgw_cache_misses_total", &m.cache_misses),
+        ("dbgw_cache_evictions_total", &m.cache_evictions),
+        ("dbgw_cache_invalidations_total", &m.cache_invalidations),
+        ("dbgw_stmt_cache_hits_total", &m.stmt_cache_hits),
+        ("dbgw_stmt_cache_misses_total", &m.stmt_cache_misses),
+        ("dbgw_http_not_modified_total", &m.http_not_modified),
     ] {
         out.push_str(&format!(
             "# TYPE {name} counter\n{name} {}\n",
@@ -171,6 +178,7 @@ pub fn render_prometheus(m: &Metrics) -> String {
     for (name, gauge) in [
         ("dbgw_requests_in_flight", &m.requests_in_flight),
         ("dbgw_queue_depth", &m.queue_depth),
+        ("dbgw_cache_bytes", &m.cache_bytes),
     ] {
         out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", gauge.get()));
     }
@@ -205,12 +213,20 @@ pub fn metrics_json(m: &Metrics) -> String {
         ("dbgw_traces_recorded_total", &m.traces_recorded),
         ("dbgw_requests_shed_total", &m.requests_shed),
         ("dbgw_request_timeouts_total", &m.request_timeouts),
+        ("dbgw_cache_hits_total", &m.cache_hits),
+        ("dbgw_cache_misses_total", &m.cache_misses),
+        ("dbgw_cache_evictions_total", &m.cache_evictions),
+        ("dbgw_cache_invalidations_total", &m.cache_invalidations),
+        ("dbgw_stmt_cache_hits_total", &m.stmt_cache_hits),
+        ("dbgw_stmt_cache_misses_total", &m.stmt_cache_misses),
+        ("dbgw_http_not_modified_total", &m.http_not_modified),
     ] {
         out.push_str(&format!("\"{name}\":{},", counter.get()));
     }
     for (name, gauge) in [
         ("dbgw_requests_in_flight", &m.requests_in_flight),
         ("dbgw_queue_depth", &m.queue_depth),
+        ("dbgw_cache_bytes", &m.cache_bytes),
     ] {
         out.push_str(&format!("\"{name}\":{},", gauge.get()));
     }

@@ -17,7 +17,7 @@
 //! * [`ctx`] — the per-request execution context ([`RequestCtx`]): request
 //!   id, deadline on the injectable clock, cancellation flag, and row/byte
 //!   budgets, polled cooperatively by every layer below the HTTP edge.
-//! * [`metrics`] — process-wide counters and fixed-bucket latency
+//! * [`mod@metrics`] — process-wide counters and fixed-bucket latency
 //!   histograms over `AtomicU64`, plus a per-SQLCODE error table. All
 //!   increments are single relaxed atomic ops and are always on.
 //! * [`export`] — a JSON-lines trace sink, a Prometheus-style text dump of

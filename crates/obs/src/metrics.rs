@@ -263,10 +263,28 @@ pub struct Metrics {
     /// Requests that hit their `RequestCtx` deadline and returned a timeout
     /// page.
     pub request_timeouts: Counter,
+    /// SQL result-cache lookups that returned a fresh row set.
+    pub cache_hits: Counter,
+    /// SQL result-cache lookups that found nothing usable (absent, expired,
+    /// or invalidated).
+    pub cache_misses: Counter,
+    /// Result-cache entries pushed out by the byte budget or TTL.
+    pub cache_evictions: Counter,
+    /// Result-cache entries rejected at lookup because a referenced table
+    /// changed since the entry was stored.
+    pub cache_invalidations: Counter,
+    /// Prepared-statement cache hits (parse skipped).
+    pub stmt_cache_hits: Counter,
+    /// Prepared-statement cache misses (statement parsed and stored).
+    pub stmt_cache_misses: Counter,
+    /// Conditional GETs answered `304 Not Modified` from the `ETag`.
+    pub http_not_modified: Counter,
     /// Requests currently being processed by pool workers.
     pub requests_in_flight: Gauge,
     /// Accepted connections waiting in the bounded queue for a worker.
     pub queue_depth: Gauge,
+    /// Bytes currently resident in the statement + result caches.
+    pub cache_bytes: Gauge,
     /// End-to-end gateway request latency.
     pub request_latency_ns: Histogram,
     /// Per-statement SQL latency.
@@ -289,8 +307,16 @@ impl Metrics {
             traces_recorded: Counter::new(),
             requests_shed: Counter::new(),
             request_timeouts: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            cache_evictions: Counter::new(),
+            cache_invalidations: Counter::new(),
+            stmt_cache_hits: Counter::new(),
+            stmt_cache_misses: Counter::new(),
+            http_not_modified: Counter::new(),
             requests_in_flight: Gauge::new(),
             queue_depth: Gauge::new(),
+            cache_bytes: Gauge::new(),
             request_latency_ns: Histogram::new(),
             sql_latency_ns: Histogram::new(),
             sqlcode_errors: CodeCounters::new(),

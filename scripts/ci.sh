@@ -54,4 +54,13 @@ echo "== overload smoke (worker pool + load shedding) =="
 # Retry-After, and a clean drained shutdown (the example asserts all of it).
 cargo run --release --offline --example overload
 
+echo "== cache smoke (result cache + conditional GET) =="
+# Two identical GETs through a live server: the second must be a result-cache
+# hit, the page must carry an ETag, and replaying it as If-None-Match must
+# earn a bodyless 304 (the example asserts all of it, plus invalidation).
+cargo run --release --offline --example cache_smoke
+
+echo "== caching + conformance suites =="
+cargo test -q --offline --test caching --test golden_macros
+
 echo "All hermetic checks passed."

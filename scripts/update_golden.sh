@@ -1,0 +1,12 @@
+#!/bin/sh
+# Re-record the golden macro fixtures in tests/golden/ after an intentional
+# rendering change, then show what moved so the diff gets reviewed — a silent
+# bless would defeat the point of the conformance suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+UPDATE_GOLDEN=1 cargo test --offline --test golden_macros -q
+
+echo "== fixtures updated; review before committing =="
+git --no-pager diff --stat -- tests/golden/ || true

@@ -110,6 +110,17 @@ props! {
     fn base64_decode_total(input in printable(0..=100)) {
         let _ = dbgw_cgi::base64_decode(&input);
     }
+
+    fn sql_normalizer_total_and_idempotent(input in printable(0..=300)) {
+        let once = dbgw_cache::normalize_sql(&input);
+        let twice = dbgw_cache::normalize_sql(&once);
+        prop_assert!(once == twice, "not idempotent: {:?} -> {:?} -> {:?}", input, once, twice);
+    }
+
+    fn sql_normalizer_total_on_sql_shaped_input(input in tokens(SQL_TOKENS, 1..=24)) {
+        let once = dbgw_cache::normalize_sql(&input);
+        prop_assert!(dbgw_cache::normalize_sql(&once) == once);
+    }
 }
 
 /// Regression pinned from a recorded proptest shrink (`.proptest-regressions`,
@@ -172,5 +183,78 @@ fn known_nasty_inputs() {
     ];
     for input in sql_nasties {
         let _ = minisql::parse(input);
+    }
+}
+
+/// Cache-key safety: `normalize_sql` folds case and whitespace *outside*
+/// string literals only. Statements that differ inside a literal must never
+/// share a cache key, no matter what macro-substitution shrapnel (`$(`,
+/// quotes, comment markers) the literal carries — an alias here would serve
+/// one user's rows to another's query.
+#[test]
+fn normalization_never_aliases_distinct_literals() {
+    let must_differ: &[(&str, &str)] = &[
+        // Case inside a literal is data, not syntax.
+        (
+            "SELECT * FROM t WHERE s = 'abc'",
+            "SELECT * FROM t WHERE s = 'ABC'",
+        ),
+        // So is interior whitespace.
+        (
+            "SELECT * FROM t WHERE s = 'a b'",
+            "SELECT * FROM t WHERE s = 'a  b'",
+        ),
+        (
+            "SELECT * FROM t WHERE s = 'a b'",
+            "SELECT * FROM t WHERE s = 'a\tb'",
+        ),
+        // Unsubstituted macro shrapnel in a literal stays verbatim.
+        (
+            "SELECT * FROM t WHERE s = '$(X)'",
+            "SELECT * FROM t WHERE s = '$(x)'",
+        ),
+        // An escaped quote keeps the literal open: the trailing AND is data
+        // in one statement and syntax in the other.
+        (
+            "SELECT * FROM t WHERE s = 'it''s' AND n = 1",
+            "SELECT * FROM t WHERE s = 'it''S' AND n = 1",
+        ),
+        // A comment marker inside a literal is data; outside it swallows the
+        // rest of the line.
+        (
+            "SELECT * FROM t WHERE s = '-- not a comment'",
+            "SELECT * FROM t WHERE s = '-- NOT a comment'",
+        ),
+        // Quoted identifiers are case-sensitive too.
+        ("SELECT \"Col\" FROM t", "SELECT \"col\" FROM t"),
+        // A comment runs to end of line, not end of statement: text after
+        // the newline is live, text on the comment line is not.
+        ("SELECT 1 -- c\n+1", "SELECT 1 -- c +1"),
+    ];
+    for (a, b) in must_differ {
+        assert_ne!(
+            dbgw_cache::normalize_sql(a),
+            dbgw_cache::normalize_sql(b),
+            "aliased: {a:?} vs {b:?}"
+        );
+    }
+
+    let must_match: &[(&str, &str)] = &[
+        // Case and whitespace outside literals fold away.
+        ("SELECT  *  FROM t", "select * from t"),
+        (
+            "SELECT * FROM t WHERE s = 'a b'",
+            "select  *  from T where S = 'a b'",
+        ),
+        // Line comments vanish, and both spellings leave a token boundary.
+        ("SELECT 1 -- c\n+1", "SELECT 1\n+1"),
+        ("SELECT 1 -- one\n", "SELECT 1"),
+    ];
+    for (a, b) in must_match {
+        assert_eq!(
+            dbgw_cache::normalize_sql(a),
+            dbgw_cache::normalize_sql(b),
+            "should normalize together: {a:?} vs {b:?}"
+        );
     }
 }

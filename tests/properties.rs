@@ -231,6 +231,60 @@ props! {
     fn csv_round_trips_random_text(rows in vec_of(option_of(printable(0..=16)), 0..=19)) {
         csv_round_trips(&rows)?;
     }
+
+    /// Cache transparency: the same random statement sequence against a
+    /// cached and an uncached database yields byte-identical results at every
+    /// step and identical final states. Caching may only change speed.
+    fn cache_is_transparent(ops in vec_of((usizes(0..4), ints(0..40)), 1..=24)) {
+        let cached = minisql::Database::with_cache_config(
+            &dbgw_cache::CacheConfig::default(),
+            std::sync::Arc::new(dbgw_obs::StdClock::new()),
+        );
+        let plain = minisql::Database::without_cache();
+        for db in [&cached, &plain] {
+            db.run_script("CREATE TABLE t (v INTEGER)").unwrap();
+        }
+        let mut cached_conn = cached.connect();
+        let mut plain_conn = plain.connect();
+        for (op, x) in &ops {
+            let sql = match op {
+                0 => format!("INSERT INTO t VALUES ({x})"),
+                1 => format!("SELECT COUNT(*) FROM t WHERE v < {x}"),
+                2 => "SELECT v FROM t ORDER BY v".to_owned(),
+                _ => format!("DELETE FROM t WHERE v = {x}"),
+            };
+            let warm = cached_conn.execute(&sql);
+            let cold = plain_conn.execute(&sql);
+            prop_assert_eq!(&warm, &cold, "results diverged on {}", sql);
+        }
+        prop_assert!(minisql::dump::databases_equal(&cached, &plain).unwrap());
+    }
+
+    /// Byte accounting: whatever gets stored, in whatever order, the cache
+    /// never charges more than its configured budget.
+    fn cache_bytes_never_exceed_budget(
+        entries in vec_of((ident(1..=8), usizes(0..2048)), 0..=40),
+        budget in usizes(256..8192),
+    ) {
+        let config = dbgw_cache::CacheConfig {
+            max_bytes: budget,
+            shards: 4,
+            ..dbgw_cache::CacheConfig::default()
+        };
+        let cache: dbgw_cache::ShardedCache<String> = dbgw_cache::ShardedCache::new(
+            &config,
+            std::sync::Arc::new(dbgw_obs::StdClock::new()),
+        );
+        for (key, cost) in &entries {
+            cache.put(key.clone(), "v".into(), *cost);
+            prop_assert!(
+                cache.bytes() <= budget,
+                "cache holds {} bytes against a budget of {}",
+                cache.bytes(),
+                budget
+            );
+        }
+    }
 }
 
 /// Shared body for the CSV round-trip property and its pinned regressions.
