@@ -515,6 +515,10 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("statement cache hits", m.stmt_cache_hits.get()),
         ("statement cache misses", m.stmt_cache_misses.get()),
         ("HTTP 304 not modified", m.http_not_modified.get()),
+        ("hash joins", m.join_hash.get()),
+        ("nested-loop joins", m.join_nested.get()),
+        ("pushdown applied", m.pushdown_applied.get()),
+        ("rows scanned", m.rows_scanned.get()),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
     }

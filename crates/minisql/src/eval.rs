@@ -71,6 +71,25 @@ impl Bindings {
             .map(|(_, cols)| cols.as_slice())
     }
 
+    /// Number of tables in the scope.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Index (FROM-clause position) of the table owning tuple position
+    /// `pos`, if in range. The planner uses this to classify predicate
+    /// conjuncts by the tables they reference.
+    pub fn table_of_position(&self, pos: usize) -> Option<usize> {
+        let mut offset = 0;
+        for (i, (_, cols)) in self.tables.iter().enumerate() {
+            if pos < offset + cols.len() {
+                return Some(i);
+            }
+            offset += cols.len();
+        }
+        None
+    }
+
     /// Resolve a column reference to a tuple position.
     ///
     /// Unqualified names must be unambiguous across the scope's tables; the

@@ -1,24 +1,34 @@
 //! SELECT execution: scan → join → filter → group/aggregate → project →
 //! distinct → sort → limit.
 //!
-//! The executor materializes intermediate row sets (the gateway's result sets
-//! are small web reports, not OLAP scans) but picks access paths through the
-//! planner in `choose_access_path`: an equality, range, `IN`, or
-//! `LIKE 'prefix%'` conjunct over an indexed base-table column turns the base
-//! scan into an index probe. Every candidate row is still checked against the
-//! full WHERE clause, so access-path choice can only change performance,
-//! never results — a property the property-test suite exercises.
+//! Execution follows the plan produced by [`crate::plan::plan_select`]:
+//! WHERE/ON conjuncts are pushed to the scans that can evaluate them, each
+//! scan tries an index probe over its own conjuncts (equality, range, `IN`,
+//! `LIKE 'prefix%'` — on the base of a join as well as its sides), equi-joins
+//! run as hash joins with a nested-loop fallback for everything else, and
+//! `ORDER BY … LIMIT k` keeps a bounded heap instead of sorting. Intermediate
+//! rows are threaded as borrowed [`Cow`] slices so a scan clones nothing and
+//! only rows surviving a join are materialized. Every candidate row is still
+//! checked against the conjuncts that selected it, so plan choice can only
+//! change performance, never results — a property the equivalence suite in
+//! `tests/planner_equivalence.rs` exercises.
 
 use crate::ast::{AggFunc, BinOp, ColumnRef, Expr, OrderKey, Select, SelectItem, SetOp, SortDir};
 use crate::error::{SqlError, SqlResult};
 use crate::eval::{eval, eval_truth, AggSource, Bindings, NoAggregates};
 use crate::like::{is_exact, literal_prefix};
+use crate::plan::{self, JoinPlan, PlanOptions, SelectPlan};
 use crate::state::DbState;
 use crate::storage::Row;
 use crate::types::Value;
 use dbgw_obs::RequestCtx;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::ops::Bound;
+
+/// A partially-joined tuple: borrowed straight from a heap until a join (or
+/// NULL padding) forces an owned copy.
+type SrcRow<'a> = Cow<'a, [Value]>;
 
 /// Cooperative-cancellation stride: the scan, join, and grouping loops poll
 /// [`RequestCtx::check`] every this many rows, so a runaway query notices its
@@ -62,10 +72,23 @@ pub fn run_select(
     params: &[Value],
     ctx: &RequestCtx,
 ) -> SqlResult<ResultSet> {
+    run_select_with_options(state, sel, params, ctx, &PlanOptions::from_env())
+}
+
+/// Like [`run_select`], but with explicit [`PlanOptions`] — benches and the
+/// plan-equivalence property suite use this to run the same query under the
+/// optimized and baseline executors and compare results.
+pub fn run_select_with_options(
+    state: &DbState,
+    sel: &Select,
+    params: &[Value],
+    ctx: &RequestCtx,
+    opts: &PlanOptions,
+) -> SqlResult<ResultSet> {
     if !sel.set_ops.is_empty() {
-        return run_compound(state, sel, params, ctx);
+        return run_compound(state, sel, params, ctx, opts);
     }
-    run_single(state, sel, params, ctx)
+    run_single(state, sel, params, ctx, opts)
 }
 
 /// Execute a compound SELECT (UNION / EXCEPT / INTERSECT).
@@ -74,6 +97,7 @@ fn run_compound(
     sel: &Select,
     params: &[Value],
     ctx: &RequestCtx,
+    opts: &PlanOptions,
 ) -> SqlResult<ResultSet> {
     // The root's ORDER BY / LIMIT were hoisted by the parser to apply to the
     // combined result; run the root branch without them.
@@ -82,12 +106,12 @@ fn run_compound(
     first.order_by = Vec::new();
     first.limit = None;
     first.offset = None;
-    let base = run_single(state, &first, params, ctx)?;
+    let base = run_single(state, &first, params, ctx, opts)?;
     let width = base.columns.len();
     let mut rows = base.rows;
     for (op, branch) in &sel.set_ops {
         check_cancel(ctx)?;
-        let rhs = run_select(state, branch, params, ctx)?;
+        let rhs = run_select_with_options(state, branch, params, ctx, opts)?;
         if rhs.columns.len() != width {
             return Err(SqlError::syntax(format!(
                 "set operation branches have {width} and {} columns",
@@ -174,7 +198,9 @@ fn run_single(
     sel: &Select,
     params: &[Value],
     ctx: &RequestCtx,
+    opts: &PlanOptions,
 ) -> SqlResult<ResultSet> {
+    check_cancel(ctx)?;
     // Pre-execute any (uncorrelated) subqueries, replacing them with literal
     // lists/values, so the scalar evaluator never needs database access.
     let rewritten;
@@ -185,8 +211,8 @@ fn run_single(
         sel
     };
 
-    // 1. Build the source relation and its bindings.
-    let (bindings, mut rows) = build_source(state, sel, params, ctx)?;
+    // 1. Resolve the FROM-clause scope (unknown tables error here).
+    let bindings = full_bindings(state, sel)?;
 
     // 1b. Bind-time column validation: unknown columns must error even when
     // the table is empty (DB2 validated names at PREPARE).
@@ -205,14 +231,25 @@ fn run_single(
         validate_columns(h, &bindings)?;
     }
 
-    // 2. WHERE.
-    if let Some(pred) = &sel.where_clause {
+    // 2. Plan, then scan + join accordingly.
+    let sel_plan = plan::plan_select(sel, &bindings, opts);
+    if dbgw_obs::trace::trace_active() {
+        dbgw_obs::trace::note("plan", plan_note(state, sel, &sel_plan, params, opts));
+    }
+    if !sel.joins.is_empty() && sel_plan.pushed_where > 0 {
+        dbgw_obs::metrics().pushdown_applied.inc();
+        plan::record(|s| s.pushed_conjuncts += sel_plan.pushed_where as u64);
+    }
+    let mut rows = execute_source(state, sel, &sel_plan, params, ctx, opts)?;
+
+    // 3. Residual WHERE conjuncts (everything the planner did not push).
+    if !sel_plan.residual.is_empty() {
         let mut kept = Vec::with_capacity(rows.len());
         for (i, row) in rows.into_iter().enumerate() {
             if i % CANCEL_STRIDE == 0 {
                 check_cancel(ctx)?;
             }
-            if eval_truth(pred, &bindings, &row, params, &NoAggregates)?.passes() {
+            if passes_all(&sel_plan.residual, &bindings, &row, params)? {
                 kept.push(row);
             }
         }
@@ -228,10 +265,26 @@ fn run_single(
         || sel.order_by.iter().any(|k| k.expr.contains_aggregate());
 
     if grouped {
-        run_grouped(sel, &bindings, rows, params, ctx)
+        run_grouped(sel, &bindings, rows, params, ctx, sel_plan.topk)
     } else {
-        run_plain(sel, &bindings, rows, params, ctx)
+        run_plain(sel, &bindings, rows, params, ctx, sel_plan.topk)
     }
+}
+
+/// True when every conjunct evaluates to TRUE for `row` (3-valued logic:
+/// FALSE and UNKNOWN both reject, exactly as the AND of the conjuncts would).
+fn passes_all(
+    conjuncts: &[&Expr],
+    bindings: &Bindings,
+    row: &[Value],
+    params: &[Value],
+) -> SqlResult<bool> {
+    for conj in conjuncts {
+        if !eval_truth(conj, bindings, row, params, &NoAggregates)?.passes() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// Resolve every column reference in `expr`, erroring on unknown names —
@@ -292,123 +345,494 @@ fn validate_columns(expr: &Expr, bindings: &Bindings) -> SqlResult<()> {
 // Source construction (FROM + JOIN), with access-path selection.
 // ---------------------------------------------------------------------------
 
-fn build_source(
-    state: &DbState,
-    sel: &Select,
-    params: &[Value],
-    ctx: &RequestCtx,
-) -> SqlResult<(Bindings, Vec<Row>)> {
-    let Some(base) = &sel.from else {
-        // Table-less SELECT evaluates items once against an empty row.
-        return Ok((Bindings::empty(), vec![Vec::new()]));
-    };
-    let base_table = state.table(&base.name)?;
-    let base_cols: Vec<String> = base_table
+/// Column names of a table, in ordinal order.
+fn column_names(state: &DbState, table: &str) -> SqlResult<Vec<String>> {
+    Ok(state
+        .table(table)?
         .schema
         .columns
         .iter()
         .map(|c| c.name.clone())
-        .collect();
-    let mut bindings = Bindings::single(base.effective_name(), base_cols);
+        .collect())
+}
 
-    // Access-path selection applies when the query has no joins (a probe on
-    // the base of a join would also be sound, but joins in gateway macros are
-    // rare enough that the simple rule keeps the planner obviously correct).
-    let mut rows: Vec<Row> = if sel.joins.is_empty() {
-        match sel.where_clause.as_ref().and_then(|w| {
-            choose_access_path(
-                state,
-                base.effective_name(),
-                &base.name,
-                &bindings,
-                w,
-                params,
-            )
-        }) {
-            Some(ids) => ids
-                .into_iter()
-                .filter_map(|id| base_table.heap.get(id).cloned())
-                .collect(),
-            None => base_table.heap.iter().map(|(_, r)| r.clone()).collect(),
-        }
-    } else {
-        base_table.heap.iter().map(|(_, r)| r.clone()).collect()
+/// The full FROM-clause scope: base table plus every join, in order.
+fn full_bindings(state: &DbState, sel: &Select) -> SqlResult<Bindings> {
+    let Some(base) = &sel.from else {
+        return Ok(Bindings::empty());
     };
-
+    let mut bindings = Bindings::single(base.effective_name(), column_names(state, &base.name)?);
     for join in &sel.joins {
-        let right = state.table(&join.table.name)?;
-        let right_cols: Vec<String> = right
-            .schema
-            .columns
+        bindings.push_table(
+            join.table.effective_name(),
+            column_names(state, &join.table.name)?,
+        );
+    }
+    Ok(bindings)
+}
+
+/// Scan one table: try an index probe over the pushed conjuncts, fall back
+/// to a heap walk, and keep only rows passing every conjunct. Returns
+/// borrowed rows — nothing is cloned here.
+fn scan_table<'a>(
+    state: &'a DbState,
+    effective: &str,
+    table_name: &str,
+    filters: &[&Expr],
+    params: &[Value],
+    ctx: &RequestCtx,
+    opts: &PlanOptions,
+) -> SqlResult<Vec<&'a Row>> {
+    let table = state.table(table_name)?;
+    let local = Bindings::single(effective, column_names(state, table_name)?);
+    let probed = if opts.index_paths {
+        filters
             .iter()
-            .map(|c| c.name.clone())
-            .collect();
-        let right_width = right_cols.len();
-        bindings.push_table(join.table.effective_name(), right_cols);
-        let right_rows: Vec<Row> = right.heap.iter().map(|(_, r)| r.clone()).collect();
-        let mut joined = Vec::new();
-        for (i, left_row) in rows.into_iter().enumerate() {
+            .find_map(|conj| probe_conjunct(state, effective, table_name, &local, conj, params))
+    } else {
+        None
+    };
+    let mut out = Vec::new();
+    let mut scanned: u64 = 0;
+    match probed {
+        Some(ids) => {
+            for (i, row) in ids.iter().filter_map(|id| table.heap.get(*id)).enumerate() {
+                if i % CANCEL_STRIDE == 0 {
+                    check_cancel(ctx)?;
+                }
+                scanned += 1;
+                if passes_all(filters, &local, row, params)? {
+                    out.push(row);
+                }
+            }
+        }
+        None => {
+            for (i, (_, row)) in table.heap.iter().enumerate() {
+                if i % CANCEL_STRIDE == 0 {
+                    check_cancel(ctx)?;
+                }
+                scanned += 1;
+                if passes_all(filters, &local, row, params)? {
+                    out.push(row);
+                }
+            }
+        }
+    }
+    plan::record(|s| s.rows_scanned += scanned);
+    dbgw_obs::metrics().rows_scanned.add(scanned);
+    Ok(out)
+}
+
+/// Materialize the FROM + JOIN pipeline under `sel_plan`.
+fn execute_source<'a>(
+    state: &'a DbState,
+    sel: &Select,
+    sel_plan: &SelectPlan<'_>,
+    params: &[Value],
+    ctx: &RequestCtx,
+    opts: &PlanOptions,
+) -> SqlResult<Vec<SrcRow<'a>>> {
+    let Some(base) = &sel.from else {
+        // Table-less SELECT evaluates items once against an empty row.
+        return Ok(vec![Cow::Owned(Vec::new())]);
+    };
+    let mut rows: Vec<SrcRow<'a>> = scan_table(
+        state,
+        base.effective_name(),
+        &base.name,
+        &sel_plan.base.filters,
+        params,
+        ctx,
+        opts,
+    )?
+    .into_iter()
+    .map(|r| Cow::Borrowed(r.as_slice()))
+    .collect();
+    // Prefix scope: grows one table per join, so predicate evaluation at
+    // join j sees exactly the tables bound so far (a reference to a
+    // later table errors, as it did pre-planner).
+    let mut prefix = Bindings::single(base.effective_name(), column_names(state, &base.name)?);
+    let mut left_width = prefix.width();
+
+    for (j, join) in sel.joins.iter().enumerate() {
+        let jp = &sel_plan.joins[j];
+        let right_width = column_names(state, &join.table.name)?.len();
+        prefix.push_table(
+            join.table.effective_name(),
+            column_names(state, &join.table.name)?,
+        );
+        if rows.is_empty() {
+            // A join (inner or LEFT OUTER) of an empty left side is empty;
+            // skip the right scan (and its predicate evaluation) entirely.
+            left_width += right_width;
+            continue;
+        }
+        let right_local = Bindings::single(
+            join.table.effective_name(),
+            column_names(state, &join.table.name)?,
+        );
+        let right_rows = scan_table(
+            state,
+            join.table.effective_name(),
+            &join.table.name,
+            &jp.scan.filters,
+            params,
+            ctx,
+            opts,
+        )?;
+        rows = join_step(
+            rows,
+            right_rows,
+            jp,
+            join.left_outer,
+            &prefix,
+            &right_local,
+            left_width,
+            right_width,
+            params,
+            ctx,
+        )?;
+        left_width += right_width;
+    }
+    Ok(rows)
+}
+
+/// One join step: pre-filter the left side (inner joins), pair rows by hash
+/// or nested loop, then apply the post-join WHERE conjuncts.
+#[allow(clippy::too_many_arguments)]
+fn join_step<'a>(
+    mut left: Vec<SrcRow<'a>>,
+    right_rows: Vec<&'a Row>,
+    jp: &JoinPlan<'_>,
+    left_outer: bool,
+    bindings: &Bindings,
+    right_local: &Bindings,
+    left_width: usize,
+    right_width: usize,
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<Vec<SrcRow<'a>>> {
+    if !jp.left_filters.is_empty() {
+        let mut kept = Vec::with_capacity(left.len());
+        for (i, row) in left.into_iter().enumerate() {
             if i % CANCEL_STRIDE == 0 {
                 check_cancel(ctx)?;
             }
-            let mut matched = false;
-            for right_row in &right_rows {
-                let mut combined = left_row.clone();
-                combined.extend(right_row.iter().cloned());
-                let ok = match &join.on {
-                    Some(on) => {
-                        eval_truth(on, &bindings, &combined, params, &NoAggregates)?.passes()
-                    }
-                    None => true,
-                };
-                if ok {
-                    matched = true;
-                    joined.push(combined);
-                }
-            }
-            if join.left_outer && !matched {
-                let mut combined = left_row;
-                combined.extend(std::iter::repeat_n(Value::Null, right_width));
-                joined.push(combined);
+            if passes_all(&jp.left_filters, bindings, &row, params)? {
+                kept.push(row);
             }
         }
-        rows = joined;
+        left = kept;
     }
-    Ok((bindings, rows))
+    let mut joined = if right_rows.is_empty() {
+        if left_outer {
+            left.into_iter()
+                .map(|l| {
+                    let mut c = l.into_owned();
+                    c.extend(std::iter::repeat_n(Value::Null, right_width));
+                    Cow::Owned(c)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        }
+    } else if jp.use_hash {
+        hash_join(
+            left,
+            &right_rows,
+            jp,
+            left_outer,
+            bindings,
+            right_local,
+            right_width,
+            params,
+            ctx,
+        )?
+    } else {
+        nested_join(
+            left,
+            &right_rows,
+            jp,
+            left_outer,
+            bindings,
+            left_width,
+            right_width,
+            params,
+            ctx,
+        )?
+    };
+    if !jp.post_filters.is_empty() {
+        let mut kept = Vec::with_capacity(joined.len());
+        for (i, row) in joined.into_iter().enumerate() {
+            if i % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
+            if passes_all(&jp.post_filters, bindings, &row, params)? {
+                kept.push(row);
+            }
+        }
+        joined = kept;
+    }
+    Ok(joined)
 }
 
-/// Inspect the WHERE conjuncts for one that an index can serve; return the
-/// candidate row ids if so.
-fn choose_access_path(
+/// A join key value that can never compare TRUE under `=`: NULL (UNKNOWN)
+/// and NaN (incomparable). Rows with such keys are skipped on both the build
+/// and probe sides, matching 3-valued `=` exactly.
+fn key_excluded(v: &Value) -> bool {
+    v.is_null() || matches!(v, Value::Double(d) if d.is_nan())
+}
+
+/// Hash equi-join. Builds on the smaller side for inner joins (restoring
+/// left-major output order afterwards); LEFT OUTER always builds on the
+/// right so unmatched left rows pad in order. Output order is identical to
+/// the nested-loop strategy: left rows in scan order, each row's matches in
+/// right scan order.
+#[allow(clippy::too_many_arguments)]
+fn hash_join<'a>(
+    left: Vec<SrcRow<'a>>,
+    right_rows: &[&'a Row],
+    jp: &JoinPlan<'_>,
+    left_outer: bool,
+    bindings: &Bindings,
+    right_local: &Bindings,
+    right_width: usize,
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<Vec<SrcRow<'a>>> {
+    dbgw_obs::metrics().join_hash.inc();
+    plan::record(|s| s.hash_joins += 1);
+    let nkeys = jp.keys.len();
+    // Right-side key tuples, evaluated once per right row against the bare
+    // heap row (table-local bindings); None = contains NULL/NaN, never joins.
+    let mut right_keys: Vec<Option<Vec<Value>>> = Vec::with_capacity(right_rows.len());
+    for (i, row) in right_rows.iter().enumerate() {
+        if i % CANCEL_STRIDE == 0 {
+            check_cancel(ctx)?;
+        }
+        let mut key = Vec::with_capacity(nkeys);
+        for (_, right_expr) in &jp.keys {
+            let v = eval(right_expr, right_local, row, params, &NoAggregates)?;
+            if key_excluded(&v) {
+                key.clear();
+                break;
+            }
+            key.push(v);
+        }
+        right_keys.push((key.len() == nkeys).then_some(key));
+    }
+    let left_key = |row: &[Value]| -> SqlResult<Option<Vec<Value>>> {
+        let mut key = Vec::with_capacity(nkeys);
+        for (left_expr, _) in &jp.keys {
+            let v = eval(left_expr, bindings, row, params, &NoAggregates)?;
+            if key_excluded(&v) {
+                return Ok(None);
+            }
+            key.push(v);
+        }
+        Ok(Some(key))
+    };
+
+    let mut out: Vec<SrcRow<'a>> = Vec::new();
+    if !left_outer && left.len() < right_rows.len() {
+        // Build on the (smaller) left side, probe with right rows, then sort
+        // the matches back into left-major order.
+        let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(left.len());
+        for (li, lrow) in left.iter().enumerate() {
+            if li % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
+            if let Some(key) = left_key(lrow)? {
+                table.entry(key).or_default().push(li as u32);
+            }
+        }
+        let mut matches: Vec<(u32, u32, Row)> = Vec::new();
+        let mut pairs = 0usize;
+        for (ri, rrow) in right_rows.iter().enumerate() {
+            if ri % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
+            let Some(key) = &right_keys[ri] else { continue };
+            let Some(lis) = table.get(key) else { continue };
+            for &li in lis {
+                pairs += 1;
+                if pairs % CANCEL_STRIDE == 0 {
+                    check_cancel(ctx)?;
+                }
+                let mut combined = left[li as usize].to_vec();
+                combined.extend(rrow.iter().cloned());
+                if passes_all(&jp.residual, bindings, &combined, params)? {
+                    matches.push((li, ri as u32, combined));
+                }
+            }
+        }
+        matches.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out = matches.into_iter().map(|(_, _, c)| Cow::Owned(c)).collect();
+    } else {
+        // Build on the right, probe left rows in order.
+        let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(right_rows.len());
+        for (ri, key) in right_keys.into_iter().enumerate() {
+            if let Some(key) = key {
+                table.entry(key).or_default().push(ri as u32);
+            }
+        }
+        let mut pairs = 0usize;
+        for (li, lrow) in left.into_iter().enumerate() {
+            if li % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
+            let mut matched = false;
+            if let Some(key) = left_key(&lrow)? {
+                if let Some(ris) = table.get(&key) {
+                    for &ri in ris {
+                        pairs += 1;
+                        if pairs % CANCEL_STRIDE == 0 {
+                            check_cancel(ctx)?;
+                        }
+                        let mut combined = lrow.to_vec();
+                        combined.extend(right_rows[ri as usize].iter().cloned());
+                        if passes_all(&jp.residual, bindings, &combined, params)? {
+                            matched = true;
+                            out.push(Cow::Owned(combined));
+                        }
+                    }
+                }
+            }
+            if left_outer && !matched {
+                let mut combined = lrow.into_owned();
+                combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(Cow::Owned(combined));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Nested-loop join (the fallback for non-equi predicates and cross joins).
+/// Pairs are assembled in a scratch buffer; only passing pairs are cloned
+/// into the output.
+#[allow(clippy::too_many_arguments)]
+fn nested_join<'a>(
+    left: Vec<SrcRow<'a>>,
+    right_rows: &[&'a Row],
+    jp: &JoinPlan<'_>,
+    left_outer: bool,
+    bindings: &Bindings,
+    left_width: usize,
+    right_width: usize,
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<Vec<SrcRow<'a>>> {
+    dbgw_obs::metrics().join_nested.inc();
+    plan::record(|s| s.nested_joins += 1);
+    let mut out: Vec<SrcRow<'a>> = Vec::new();
+    let mut buf: Vec<Value> = Vec::with_capacity(left_width + right_width);
+    let mut pairs = 0usize;
+    for lrow in left {
+        let mut matched = false;
+        buf.clear();
+        buf.extend_from_slice(&lrow);
+        for rrow in right_rows {
+            pairs += 1;
+            if pairs % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
+            buf.truncate(left_width);
+            buf.extend(rrow.iter().cloned());
+            if passes_all(&jp.residual, bindings, &buf, params)? {
+                matched = true;
+                out.push(Cow::Owned(buf.clone()));
+            }
+        }
+        if left_outer && !matched {
+            let mut combined = lrow.into_owned();
+            combined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(Cow::Owned(combined));
+        }
+    }
+    Ok(out)
+}
+
+/// One-line plan summary for `DBGW_TRACE=1` request traces.
+fn plan_note(
+    state: &DbState,
+    sel: &Select,
+    sel_plan: &SelectPlan<'_>,
+    params: &[Value],
+    opts: &PlanOptions,
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(base) = &sel.from {
+        let access = scan_description(
+            state,
+            base.effective_name(),
+            &base.name,
+            &sel_plan.base.filters,
+            params,
+            opts,
+        );
+        parts.push(format!(
+            "scan {}={}",
+            base.effective_name(),
+            if access.is_some() { "index" } else { "full" }
+        ));
+    }
+    for (j, join) in sel.joins.iter().enumerate() {
+        let jp = &sel_plan.joins[j];
+        let strategy = if jp.use_hash {
+            format!("hash({} key{})", jp.keys.len(), plural(jp.keys.len()))
+        } else {
+            "nested".to_string()
+        };
+        let probe = scan_description(
+            state,
+            join.table.effective_name(),
+            &join.table.name,
+            &jp.scan.filters,
+            params,
+            opts,
+        );
+        parts.push(format!(
+            "join {}={}{}",
+            join.table.effective_name(),
+            strategy,
+            if probe.is_some() { "+index" } else { "" }
+        ));
+    }
+    parts.push(format!(
+        "pushed={} residual={}",
+        sel_plan.pushed_where,
+        sel_plan.residual.len()
+    ));
+    if let Some(k) = sel_plan.topk {
+        parts.push(format!("topk={k}"));
+    }
+    parts.join("; ")
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// The index-probe description for a scan's conjuncts, if one applies
+/// (shared by EXPLAIN and the trace plan note).
+fn scan_description(
     state: &DbState,
     effective: &str,
     table_name: &str,
-    bindings: &Bindings,
-    where_clause: &Expr,
+    filters: &[&Expr],
     params: &[Value],
-) -> Option<Vec<crate::storage::RowId>> {
-    let mut conjuncts = Vec::new();
-    flatten_and(where_clause, &mut conjuncts);
-    for conj in conjuncts {
-        if let Some(ids) = probe_conjunct(state, effective, table_name, bindings, conj, params) {
-            return Some(ids);
-        }
+    opts: &PlanOptions,
+) -> Option<String> {
+    if !opts.index_paths {
+        return None;
     }
-    None
-}
-
-fn flatten_and<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
-    match expr {
-        Expr::Binary {
-            op: BinOp::And,
-            lhs,
-            rhs,
-        } => {
-            flatten_and(lhs, out);
-            flatten_and(rhs, out);
-        }
-        other => out.push(other),
-    }
+    let local = Bindings::single(effective, column_names(state, table_name).ok()?);
+    describe_access_path(state, effective, table_name, &local, filters, params)
 }
 
 /// Constant-fold an expression with no column references.
@@ -663,15 +1087,16 @@ fn project(
 fn run_plain(
     sel: &Select,
     bindings: &Bindings,
-    rows: Vec<Row>,
+    rows: Vec<SrcRow<'_>>,
     params: &[Value],
     ctx: &RequestCtx,
+    topk: Option<usize>,
 ) -> SqlResult<ResultSet> {
     if sel.having.is_some() {
         return Err(SqlError::syntax("HAVING requires GROUP BY or aggregates"));
     }
     let (labels, cols) = expand_items(sel, bindings)?;
-    let mut pairs: Vec<(Row, Row)> = Vec::with_capacity(rows.len()); // (src, out)
+    let mut pairs: Vec<(SrcRow<'_>, Row)> = Vec::with_capacity(rows.len()); // (src, out)
     for (i, src) in rows.into_iter().enumerate() {
         if i % CANCEL_STRIDE == 0 {
             check_cancel(ctx)?;
@@ -679,7 +1104,7 @@ fn run_plain(
         let out = project(&cols, bindings, &src, params, &NoAggregates)?;
         pairs.push((src, out));
     }
-    finish_pipeline(sel, bindings, &labels, pairs, params, None)
+    finish_pipeline(sel, bindings, &labels, pairs, params, None, topk)
 }
 
 // ---------------------------------------------------------------------------
@@ -757,7 +1182,7 @@ fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
 fn compute_agg(
     agg: &Expr,
     bindings: &Bindings,
-    rows: &[Row],
+    rows: &[SrcRow<'_>],
     params: &[Value],
 ) -> SqlResult<Value> {
     let Expr::Agg {
@@ -841,18 +1266,19 @@ fn compute_agg(
     }
 }
 
-fn run_grouped(
+fn run_grouped<'a>(
     sel: &Select,
     bindings: &Bindings,
-    rows: Vec<Row>,
+    rows: Vec<SrcRow<'a>>,
     params: &[Value],
     ctx: &RequestCtx,
+    topk: Option<usize>,
 ) -> SqlResult<ResultSet> {
     let (labels, cols) = expand_items(sel, bindings)?;
 
     // Partition rows into groups, preserving first-seen order.
     let mut group_order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    let mut groups: HashMap<Vec<Value>, Vec<SrcRow<'a>>> = HashMap::new();
     if sel.group_by.is_empty() {
         group_order.push(Vec::new());
         groups.insert(Vec::new(), rows);
@@ -887,7 +1313,7 @@ fn run_grouped(
     }
 
     let width = bindings.width();
-    let mut pairs: Vec<(Row, Row)> = Vec::new(); // (representative src, out)
+    let mut pairs: Vec<(SrcRow<'a>, Row)> = Vec::new(); // (representative src, out)
     let mut agg_sources: Vec<GroupAggs> = Vec::new();
     for key in group_order {
         check_cancel(ctx)?;
@@ -903,9 +1329,9 @@ fn run_grouped(
         // Representative row: the first row of the group, or all-NULL for the
         // empty global group (COUNT(*) over zero rows).
         let rep = group_rows
-            .first()
-            .cloned()
-            .unwrap_or_else(|| vec![Value::Null; width]);
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| Cow::Owned(vec![Value::Null; width]));
         if let Some(h) = &sel.having {
             if !eval_truth(h, bindings, &rep, params, &aggs)?.passes() {
                 continue;
@@ -915,20 +1341,30 @@ fn run_grouped(
         pairs.push((rep, out));
         agg_sources.push(aggs);
     }
-    finish_pipeline(sel, bindings, &labels, pairs, params, Some(agg_sources))
+    finish_pipeline(
+        sel,
+        bindings,
+        &labels,
+        pairs,
+        params,
+        Some(agg_sources),
+        topk,
+    )
 }
 
 // ---------------------------------------------------------------------------
 // Shared tail: DISTINCT → ORDER BY → OFFSET/LIMIT.
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn finish_pipeline(
     sel: &Select,
     bindings: &Bindings,
     labels: &[String],
-    mut pairs: Vec<(Row, Row)>,
+    mut pairs: Vec<(SrcRow<'_>, Row)>,
     params: &[Value],
     agg_sources: Option<Vec<GroupAggs>>,
+    topk: Option<usize>,
 ) -> SqlResult<ResultSet> {
     // DISTINCT over output rows.
     if sel.distinct {
@@ -953,7 +1389,10 @@ fn finish_pipeline(
         // computed eagerly next, so we can discard the mapping safely.
     }
 
-    // ORDER BY: compute sort keys eagerly for each row.
+    // ORDER BY: compute sort keys eagerly for each row. With LIMIT k the
+    // planner bounds the sort: a top-k heap keeps the best `offset + limit`
+    // rows in O(n log k). Ties break on original index in both paths, which
+    // makes the heap result exactly the stable full sort's prefix.
     if !sel.order_by.is_empty() {
         let keys: Vec<Vec<Value>> = pairs
             .iter()
@@ -976,8 +1415,7 @@ fn finish_pipeline(
                     .collect::<SqlResult<Vec<Value>>>()
             })
             .collect::<SqlResult<Vec<_>>>()?;
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        order.sort_by(|&a, &b| {
+        let cmp = |a: usize, b: usize| -> std::cmp::Ordering {
             for (i, k) in sel.order_by.iter().enumerate() {
                 let ord = keys[a][i].order_key(&keys[b][i]);
                 let ord = match k.dir {
@@ -988,10 +1426,21 @@ fn finish_pipeline(
                     return ord;
                 }
             }
-            std::cmp::Ordering::Equal
-        });
-        let mut sorted = Vec::with_capacity(pairs.len());
-        let mut taken: Vec<Option<(Row, Row)>> = pairs.into_iter().map(Some).collect();
+            a.cmp(&b)
+        };
+        let order: Vec<usize> = match topk {
+            Some(k) if k < pairs.len() => {
+                plan::record(|s| s.topk_sorts += 1);
+                plan::top_k_indices(pairs.len(), k, &cmp)
+            }
+            _ => {
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_unstable_by(|&a, &b| cmp(a, b));
+                order
+            }
+        };
+        let mut sorted = Vec::with_capacity(order.len());
+        let mut taken: Vec<Option<(SrcRow<'_>, Row)>> = pairs.into_iter().map(Some).collect();
         for idx in order {
             sorted.push(taken[idx].take().expect("permutation"));
         }
@@ -1258,7 +1707,7 @@ pub(crate) fn rewrite_expr_subqueries(
 /// Produce a plan description for a SELECT without running it.
 pub fn explain_select(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<Vec<String>> {
     let mut lines = Vec::new();
-    explain_into(state, sel, params, 0, &mut lines)?;
+    explain_into(state, sel, params, 0, &mut lines, &PlanOptions::from_env())?;
     Ok(lines)
 }
 
@@ -1268,6 +1717,7 @@ fn explain_into(
     params: &[Value],
     indent: usize,
     lines: &mut Vec<String>,
+    opts: &PlanOptions,
 ) -> SqlResult<()> {
     let pad = "  ".repeat(indent);
     if !sel.set_ops.is_empty() {
@@ -1277,38 +1727,27 @@ fn explain_into(
         ));
         let mut first = sel.clone();
         first.set_ops = Vec::new();
-        explain_into(state, &first, params, indent + 1, lines)?;
+        explain_into(state, &first, params, indent + 1, lines, opts)?;
         for (op, branch) in &sel.set_ops {
             lines.push(format!("{pad}  {op:?}"));
-            explain_into(state, branch, params, indent + 1, lines)?;
+            explain_into(state, branch, params, indent + 1, lines, opts)?;
         }
         return Ok(());
     }
+    let bindings = full_bindings(state, sel)?;
+    let sel_plan = plan::plan_select(sel, &bindings, opts);
     match &sel.from {
         None => lines.push(format!("{pad}VALUES (table-less SELECT)")),
         Some(base) => {
             let table = state.table(&base.name)?;
-            let base_cols: Vec<String> = table
-                .schema
-                .columns
-                .iter()
-                .map(|c| c.name.clone())
-                .collect();
-            let bindings = Bindings::single(base.effective_name(), base_cols);
-            let access = if sel.joins.is_empty() {
-                sel.where_clause.as_ref().and_then(|w| {
-                    describe_access_path(
-                        state,
-                        base.effective_name(),
-                        &base.name,
-                        &bindings,
-                        w,
-                        params,
-                    )
-                })
-            } else {
-                None
-            };
+            let access = scan_description(
+                state,
+                base.effective_name(),
+                &base.name,
+                &sel_plan.base.filters,
+                params,
+                opts,
+            );
             match access {
                 Some(desc) => lines.push(format!("{pad}{desc}")),
                 None => lines.push(format!(
@@ -1317,17 +1756,38 @@ fn explain_into(
                     table.heap.len()
                 )),
             }
-            for join in &sel.joins {
-                lines.push(format!(
-                    "{pad}NESTED LOOP {}JOIN {}{}",
-                    if join.left_outer { "LEFT OUTER " } else { "" },
-                    join.table.name,
-                    if join.on.is_some() {
-                        " ON <cond>"
-                    } else {
-                        " (cross)"
-                    },
-                ));
+            for (j, join) in sel.joins.iter().enumerate() {
+                let jp = &sel_plan.joins[j];
+                if jp.use_hash {
+                    lines.push(format!(
+                        "{pad}HASH {}JOIN {} ({} key{})",
+                        if join.left_outer { "LEFT OUTER " } else { "" },
+                        join.table.name,
+                        jp.keys.len(),
+                        plural(jp.keys.len()),
+                    ));
+                } else {
+                    lines.push(format!(
+                        "{pad}NESTED LOOP {}JOIN {}{}",
+                        if join.left_outer { "LEFT OUTER " } else { "" },
+                        join.table.name,
+                        if join.on.is_some() {
+                            " ON <cond>"
+                        } else {
+                            " (cross)"
+                        },
+                    ));
+                }
+                if let Some(desc) = scan_description(
+                    state,
+                    join.table.effective_name(),
+                    &join.table.name,
+                    &jp.scan.filters,
+                    params,
+                    opts,
+                ) {
+                    lines.push(format!("{pad}  {desc}"));
+                }
             }
         }
     }
@@ -1352,7 +1812,13 @@ fn explain_into(
         lines.push(format!("{pad}DISTINCT"));
     }
     if !sel.order_by.is_empty() {
-        lines.push(format!("{pad}SORT ({} keys)", sel.order_by.len()));
+        match sel_plan.topk {
+            Some(k) => lines.push(format!(
+                "{pad}TOP-K SORT ({} keys, k={k})",
+                sel.order_by.len()
+            )),
+            None => lines.push(format!("{pad}SORT ({} keys)", sel.order_by.len())),
+        }
     }
     if sel.limit.is_some() || sel.offset.is_some() {
         lines.push(format!(
@@ -1368,18 +1834,16 @@ fn explain_into(
     Ok(())
 }
 
-/// Like [`choose_access_path`] but returning a human description instead of
-/// row ids (used by EXPLAIN; never touches the heap).
+/// Return a human description of the index probe serving `conjuncts`, if any
+/// (used by EXPLAIN and the trace plan note; never touches the heap).
 fn describe_access_path(
     state: &DbState,
     effective: &str,
     table_name: &str,
     bindings: &Bindings,
-    where_clause: &Expr,
+    conjuncts: &[&Expr],
     params: &[Value],
 ) -> Option<String> {
-    let mut conjuncts = Vec::new();
-    flatten_and(where_clause, &mut conjuncts);
     let table = state.table(table_name).ok()?;
     for conj in conjuncts {
         let described = match conj {
@@ -1847,5 +2311,199 @@ mod tests {
         };
         let err = run_select(&st, &sel, &[], &RequestCtx::unbounded()).unwrap_err();
         assert_eq!(err.code, crate::error::SqlCode::UNDEFINED_COLUMN);
+    }
+
+    fn q_opts(state: &DbState, sql: &str, opts: &PlanOptions) -> ResultSet {
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        run_select_with_options(state, &sel, &[], &RequestCtx::unbounded(), opts).unwrap()
+    }
+
+    /// orders (indexed on custid) plus a customers table carrying NULL keys.
+    fn joined_state() -> DbState {
+        let mut st = shop_state();
+        let defs = [
+            ColumnDef {
+                name: "custid".into(),
+                ty: SqlType::Integer,
+                not_null: false,
+                primary_key: false,
+                unique: false,
+            },
+            ColumnDef {
+                name: "name".into(),
+                ty: SqlType::Varchar,
+                not_null: false,
+                primary_key: false,
+                unique: false,
+            },
+        ];
+        let schema = TableSchema::from_defs("customers", &defs).unwrap();
+        st.tables.insert(
+            "customers".into(),
+            TableData {
+                schema,
+                heap: Heap::new(),
+                index_names: vec![],
+            },
+        );
+        let rows: &[(Value, &str)] = &[
+            (Value::Int(10100), "Ada"),
+            (Value::Int(10200), "Bob"),
+            (Value::Null, "Nul"),
+            (Value::Int(10900), "Zoe"),
+        ];
+        for (id, name) in rows {
+            st.insert_row("customers", vec![id.clone(), Value::Text((*name).into())])
+                .unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_rows_and_order() {
+        let st = joined_state();
+        for sql in [
+            "SELECT c.name, o.product_name FROM customers c JOIN orders o ON c.custid = o.custid",
+            "SELECT c.name, o.product_name FROM customers c LEFT JOIN orders o \
+             ON c.custid = o.custid",
+            "SELECT c.name, o.price FROM customers c JOIN orders o \
+             ON c.custid = o.custid AND o.price > 20",
+        ] {
+            let fast = q_opts(&st, sql, &PlanOptions::all());
+            let slow = q_opts(&st, sql, &PlanOptions::baseline());
+            assert_eq!(fast, slow, "plans diverge for {sql}");
+        }
+    }
+
+    #[test]
+    fn hash_left_outer_skips_null_keys_and_pads() {
+        let st = joined_state();
+        let sql = "SELECT c.name, o.product_name FROM customers c \
+                   LEFT JOIN orders o ON c.custid = o.custid \
+                   WHERE o.product_name IS NULL ORDER BY 1";
+        let fast = q_opts(&st, sql, &PlanOptions::all());
+        let slow = q_opts(&st, sql, &PlanOptions::baseline());
+        assert_eq!(fast, slow);
+        // NULL custid and unmatched 10900 both appear padded; no NULL=NULL match.
+        assert_eq!(
+            fast.rows,
+            vec![
+                vec![Value::Text("Nul".into()), Value::Null],
+                vec![Value::Text("Zoe".into()), Value::Null],
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_join_counter_increments() {
+        let st = joined_state();
+        let before = dbgw_obs::metrics().join_hash.get();
+        q_opts(
+            &st,
+            "SELECT c.name FROM customers c JOIN orders o ON c.custid = o.custid",
+            &PlanOptions::all(),
+        );
+        assert!(dbgw_obs::metrics().join_hash.get() > before);
+    }
+
+    #[test]
+    fn pushdown_enables_index_probe_under_join() {
+        // Satellite regression: with a join present, the single-table WHERE
+        // conjunct on the indexed base must still take the index access path.
+        let st = joined_state();
+        let sql = "SELECT o.product_name, c.name FROM orders o \
+                   JOIN customers c ON o.custid = c.custid \
+                   WHERE o.custid = 10100 ORDER BY 1";
+        plan::reset_thread_stats();
+        let fast = q_opts(&st, sql, &PlanOptions::all());
+        let probed = plan::thread_stats().rows_scanned;
+        plan::reset_thread_stats();
+        let slow = q_opts(&st, sql, &PlanOptions::baseline());
+        let walked = plan::thread_stats().rows_scanned;
+        assert_eq!(fast, slow);
+        assert_eq!(fast.rows.len(), 3);
+        // Index probe touches exactly the 3 matching orders (+4 customers);
+        // the baseline heap-walks all 5 orders.
+        assert!(
+            probed < walked,
+            "index path scanned {probed} rows, baseline {walked}"
+        );
+        assert_eq!(probed, 3 + 4);
+    }
+
+    #[test]
+    fn topk_execution_matches_full_sort() {
+        let st = shop_state();
+        for sql in [
+            "SELECT product_name, price FROM orders ORDER BY price DESC LIMIT 2",
+            "SELECT product_name FROM orders ORDER BY custid, 1 LIMIT 3 OFFSET 1",
+            "SELECT product_name FROM orders ORDER BY 1 LIMIT 10", // k > n
+        ] {
+            let fast = q_opts(&st, sql, &PlanOptions::all());
+            let slow = q_opts(&st, sql, &PlanOptions::baseline());
+            assert_eq!(fast, slow, "top-k diverges for {sql}");
+        }
+    }
+
+    #[test]
+    fn topk_is_stable_on_duplicate_keys() {
+        // Two orders share custid 10100 + equal sort key prefix; stable order
+        // means heap-based top-k must tie-break by original position.
+        let st = shop_state();
+        let fast = q_opts(
+            &st,
+            "SELECT product_name FROM orders ORDER BY custid LIMIT 3",
+            &PlanOptions::all(),
+        );
+        let slow = q_opts(
+            &st,
+            "SELECT product_name FROM orders ORDER BY custid LIMIT 3",
+            &PlanOptions::baseline(),
+        );
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn empty_sides_match_baseline() {
+        let mut st = joined_state();
+        // Empty out customers (the probe side).
+        let ids: Vec<_> = st
+            .table("customers")
+            .unwrap()
+            .heap
+            .iter()
+            .map(|(id, _)| id)
+            .collect();
+        for id in ids {
+            st.tables.get_mut("customers").unwrap().heap.delete(id);
+        }
+        for sql in [
+            "SELECT * FROM customers c JOIN orders o ON c.custid = o.custid",
+            "SELECT * FROM customers c LEFT JOIN orders o ON c.custid = o.custid",
+            "SELECT * FROM orders o LEFT JOIN customers c ON o.custid = c.custid",
+        ] {
+            let fast = q_opts(&st, sql, &PlanOptions::all());
+            let slow = q_opts(&st, sql, &PlanOptions::baseline());
+            assert_eq!(fast, slow, "empty-side diverges for {sql}");
+        }
+    }
+
+    #[test]
+    fn cross_type_keys_match_via_hash() {
+        // Int(10100) must hash-match Double(10100.0) exactly as `=` does.
+        let mut st = joined_state();
+        st.insert_row(
+            "customers",
+            vec![Value::Double(10300.0), Value::Text("Dot".into())],
+        )
+        .unwrap();
+        let sql = "SELECT c.name, o.product_name FROM customers c \
+                   JOIN orders o ON c.custid = o.custid ORDER BY 1, 2";
+        let fast = q_opts(&st, sql, &PlanOptions::all());
+        let slow = q_opts(&st, sql, &PlanOptions::baseline());
+        assert_eq!(fast, slow);
+        assert!(fast.rows.iter().any(|r| r[0] == Value::Text("Dot".into())));
     }
 }

@@ -86,10 +86,16 @@ impl Index {
 
     /// Row ids with exactly this key.
     pub fn lookup(&self, key: &Value) -> Vec<RowId> {
+        self.lookup_ref(key).to_vec()
+    }
+
+    /// Row ids with exactly this key, borrowed — no allocation on the probe
+    /// path (the executor copies only when it must own the ids).
+    pub fn lookup_ref(&self, key: &Value) -> &[RowId] {
         self.map
             .get(&OrdValue(key.clone()))
-            .cloned()
-            .unwrap_or_default()
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Row ids with keys in `[lo, hi]` under the given bound kinds.

@@ -46,6 +46,7 @@ pub mod exec;
 pub mod index;
 pub mod like;
 pub mod parser;
+pub mod plan;
 pub mod schema;
 pub mod state;
 pub mod storage;
@@ -61,4 +62,5 @@ pub use db::{Connection, Database, ExecResult};
 pub use error::{SqlCode, SqlError, SqlResult};
 pub use exec::ResultSet;
 pub use parser::{parse, parse_script};
+pub use plan::{PlanOptions, PlanStats};
 pub use types::{SqlType, Truth, Value};

@@ -263,11 +263,11 @@ fn explain_describes_operators() {
          WHERE amount > 1 GROUP BY region HAVING COUNT(*) > 0 ORDER BY 2 LIMIT 3",
     );
     let joined = plan.join("\n");
-    assert!(joined.contains("NESTED LOOP JOIN orders"), "{joined}");
+    assert!(joined.contains("HASH JOIN orders (1 key)"), "{joined}");
     assert!(joined.contains("FILTER <where>"), "{joined}");
     assert!(joined.contains("AGGREGATE (group keys: 1)"), "{joined}");
     assert!(joined.contains("FILTER <having>"), "{joined}");
-    assert!(joined.contains("SORT (1 keys)"), "{joined}");
+    assert!(joined.contains("TOP-K SORT (1 keys, k=3)"), "{joined}");
     assert!(joined.contains("LIMIT 3"), "{joined}");
 }
 

@@ -169,6 +169,10 @@ pub fn render_prometheus(m: &Metrics) -> String {
         ("dbgw_stmt_cache_hits_total", &m.stmt_cache_hits),
         ("dbgw_stmt_cache_misses_total", &m.stmt_cache_misses),
         ("dbgw_http_not_modified_total", &m.http_not_modified),
+        ("dbgw_join_hash_total", &m.join_hash),
+        ("dbgw_join_nested_total", &m.join_nested),
+        ("dbgw_pushdown_applied_total", &m.pushdown_applied),
+        ("dbgw_rows_scanned_total", &m.rows_scanned),
     ] {
         out.push_str(&format!(
             "# TYPE {name} counter\n{name} {}\n",
@@ -220,6 +224,10 @@ pub fn metrics_json(m: &Metrics) -> String {
         ("dbgw_stmt_cache_hits_total", &m.stmt_cache_hits),
         ("dbgw_stmt_cache_misses_total", &m.stmt_cache_misses),
         ("dbgw_http_not_modified_total", &m.http_not_modified),
+        ("dbgw_join_hash_total", &m.join_hash),
+        ("dbgw_join_nested_total", &m.join_nested),
+        ("dbgw_pushdown_applied_total", &m.pushdown_applied),
+        ("dbgw_rows_scanned_total", &m.rows_scanned),
     ] {
         out.push_str(&format!("\"{name}\":{},", counter.get()));
     }

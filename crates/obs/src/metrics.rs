@@ -279,6 +279,15 @@ pub struct Metrics {
     pub stmt_cache_misses: Counter,
     /// Conditional GETs answered `304 Not Modified` from the `ETag`.
     pub http_not_modified: Counter,
+    /// Join steps executed with the hash strategy.
+    pub join_hash: Counter,
+    /// Join steps executed with the nested-loop strategy.
+    pub join_nested: Counter,
+    /// Join queries with at least one WHERE conjunct pushed below the join.
+    pub pushdown_applied: Counter,
+    /// Rows fetched from table heaps by scans (probe candidates + full-scan
+    /// rows) — the raw cost of access-path choices.
+    pub rows_scanned: Counter,
     /// Requests currently being processed by pool workers.
     pub requests_in_flight: Gauge,
     /// Accepted connections waiting in the bounded queue for a worker.
@@ -314,6 +323,10 @@ impl Metrics {
             stmt_cache_hits: Counter::new(),
             stmt_cache_misses: Counter::new(),
             http_not_modified: Counter::new(),
+            join_hash: Counter::new(),
+            join_nested: Counter::new(),
+            pushdown_applied: Counter::new(),
+            rows_scanned: Counter::new(),
             requests_in_flight: Gauge::new(),
             queue_depth: Gauge::new(),
             cache_bytes: Gauge::new(),

@@ -63,4 +63,13 @@ cargo run --release --offline --example cache_smoke
 echo "== caching + conformance suites =="
 cargo test -q --offline --test caching --test golden_macros
 
+echo "== executor plan bench (quick run, asserted speedup floors) =="
+# E11: hash join vs nested loop and indexed point-lookup join; the bench
+# itself asserts the 10x / 5x acceptance floors, so a plan regression fails
+# CI here. The JSON lands in the tempdir; the committed BENCH_exec.json is
+# regenerated from a full (non-quick) run when the numbers change.
+BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_exec.json" \
+    cargo bench --offline -p dbgw-bench --bench exec_plan
+test -s "$OBS_TMP/bench_exec.json"
+
 echo "All hermetic checks passed."
