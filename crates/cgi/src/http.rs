@@ -519,6 +519,9 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("nested-loop joins", m.join_nested.get()),
         ("pushdown applied", m.pushdown_applied.get()),
         ("rows scanned", m.rows_scanned.get()),
+        ("latch waits", m.latch_waits.get()),
+        ("latch wait ns", m.latch_wait_ns.get()),
+        ("snapshots published", m.snapshots_published.get()),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
     }
@@ -527,6 +530,11 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("requests in flight", m.requests_in_flight.get()),
         ("queue depth", m.queue_depth.get()),
         ("cache bytes", m.cache_bytes.get()),
+        ("snapshot epoch", m.snapshot_epoch.get()),
+        (
+            "snapshot age ms",
+            dbgw_obs::export::snapshot_age_ms(m) as i64,
+        ),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
     }

@@ -13,10 +13,34 @@
 //! Every statement is *statement-atomic* in both modes: a multi-row INSERT
 //! that fails on row 3 leaves no trace of rows 1–2.
 //!
-//! Concurrency: the catalog sits behind a poison-recovering RwLock; queries take
-//! the read lock, DML/DDL the write lock. Transactions provide atomicity via
-//! an undo log, not snapshot isolation — faithful to the original system,
-//! where each CGI request was a short single-threaded process.
+//! # Concurrency: snapshot reads, per-table write latches
+//!
+//! There is no global database lock. The current state lives in a
+//! [`SnapshotCell`]; queries *pin* one immutable `Arc<DbState>` and run
+//! against it lock-free for their whole lifetime — a reader can never block a
+//! writer, observe a torn multi-row state, or be blocked by one.
+//!
+//! Writers:
+//!
+//! 1. acquire short **per-table exclusive latches** for the statement's write
+//!    set, always in sorted name order (the catalog latch `""` sorts before
+//!    every table name), so writer-writer deadlock is impossible;
+//! 2. shallow-clone the published state and mutate the working copy
+//!    copy-on-write (only tables/indexes actually touched are deep-cloned);
+//! 3. **publish** atomically: an RCU step re-reads the then-current state and
+//!    patches in exactly the entries this writer changed (diffed against its
+//!    base by `Arc` pointer identity), so concurrent writers on disjoint
+//!    tables never overwrite each other's publications.
+//!
+//! A failed statement simply drops its working copy — statement atomicity
+//! without touching the published state. DDL additionally holds the catalog
+//! latch, serialising changes to the *set* of tables and indexes.
+//!
+//! Transactions provide atomicity via an undo log, not cross-statement
+//! isolation — faithful to the original system, where each CGI request was a
+//! short single-threaded process: between the statements of an explicit
+//! transaction, other connections' commits remain visible (read-committed),
+//! and ROLLBACK re-latches the touched tables to undo in reverse.
 
 use crate::ast::Statement;
 use crate::cache::{self, CachedSelect, DbCacheStats, DbCaches};
@@ -28,7 +52,7 @@ use crate::parser::{parse, parse_script};
 use crate::schema::TableSchema;
 use crate::state::{DbState, TableData};
 use crate::storage::{Heap, Row, RowId};
-use crate::sync::RwLock;
+use crate::sync::{LatchSet, LatchTable, SnapshotCell, CATALOG_LATCH};
 use crate::types::Value;
 use dbgw_cache::{CacheConfig, Lookup};
 use dbgw_obs::{Clock, RequestCtx};
@@ -68,6 +92,9 @@ impl ExecResult {
 }
 
 /// One undo record; applied in reverse on rollback.
+///
+/// Dropped catalog objects are kept behind their original `Arc`s, so holding
+/// an undo log costs pointers, not copies of table data.
 #[derive(Debug)]
 enum Undo {
     Insert {
@@ -89,22 +116,99 @@ enum Undo {
     },
     DropTable {
         name: String,
-        data: TableData,
-        indexes: Vec<Index>,
+        data: Arc<TableData>,
+        indexes: Vec<Arc<Index>>,
     },
     CreateIndex {
         name: String,
         table: String,
     },
     DropIndex {
-        index: Index,
+        index: Arc<Index>,
     },
+}
+
+/// The shared engine core: the published snapshot plus the write latches.
+struct DbCore {
+    /// The current committed state. Readers pin it; writers replace it.
+    published: SnapshotCell<DbState>,
+    /// Per-table exclusive write latches (plus the catalog latch).
+    latches: LatchTable,
+}
+
+impl DbCore {
+    fn new() -> DbCore {
+        DbCore {
+            published: SnapshotCell::new(DbState::default()),
+            latches: LatchTable::new(),
+        }
+    }
+
+    /// Atomically publish a writer's working copy.
+    ///
+    /// `work` was cloned from `base` and mutated under this writer's latches.
+    /// The RCU step re-reads the *current* state (which may have advanced —
+    /// concurrent writers on other tables publish freely) and patches in only
+    /// the entries this writer changed, found by diffing `work` against
+    /// `base` with `Arc` pointer identity. Safety invariant: every differing
+    /// entry belongs to a table whose latch this writer holds, so no other
+    /// writer can have touched it since `base` was loaded.
+    fn publish(&self, base: &Arc<DbState>, work: DbState) {
+        #[cfg(test)]
+        tests::PANIC_IN_PUBLISH.with(|f| {
+            if f.replace(false) {
+                panic!("injected: writer dies inside publication");
+            }
+        });
+        let epoch = self.published.rcu(move |current| {
+            let mut next = (**current).clone();
+            for (name, arc) in &work.tables {
+                if base.tables.get(name).map_or(true, |b| !Arc::ptr_eq(b, arc)) {
+                    next.tables.insert(name.clone(), Arc::clone(arc));
+                }
+            }
+            for name in base.tables.keys() {
+                if !work.tables.contains_key(name) {
+                    next.tables.remove(name);
+                }
+            }
+            for (name, arc) in &work.indexes {
+                if base
+                    .indexes
+                    .get(name)
+                    .map_or(true, |b| !Arc::ptr_eq(b, arc))
+                {
+                    next.indexes.insert(name.clone(), Arc::clone(arc));
+                }
+            }
+            for name in base.indexes.keys() {
+                if !work.indexes.contains_key(name) {
+                    next.indexes.remove(name);
+                }
+            }
+            // Version counters only ever grow and are never removed (a
+            // dropped table's counter must survive — see DbState::versions).
+            for (name, v) in &work.versions {
+                if base.versions.get(name) != Some(v) {
+                    next.versions.insert(name.clone(), *v);
+                }
+            }
+            next.epoch = current.epoch + 1;
+            let epoch = next.epoch;
+            (Arc::new(next), epoch)
+        });
+        let m = dbgw_obs::metrics();
+        m.snapshots_published.inc();
+        m.snapshot_epoch.set(epoch as i64);
+        m.snapshot_publish_ms
+            .set(dbgw_obs::process_mono_ms() as i64);
+    }
 }
 
 /// A shared in-memory database.
 #[derive(Clone)]
 pub struct Database {
-    inner: Arc<RwLock<DbState>>,
+    core: Arc<DbCore>,
     /// Statement + result caches shared by every connection; `None` when
     /// the subsystem is disabled (`DBGW_CACHE=0`).
     caches: Option<Arc<DbCaches>>,
@@ -130,7 +234,7 @@ impl Database {
     /// clock (tests drive TTL expiry with a `TestClock`).
     pub fn with_cache_config(config: &CacheConfig, clock: Arc<dyn Clock>) -> Database {
         Database {
-            inner: Arc::new(RwLock::new(DbState::default())),
+            core: Arc::new(DbCore::new()),
             caches: config
                 .enabled
                 .then(|| Arc::new(DbCaches::new(config, clock))),
@@ -160,7 +264,7 @@ impl Database {
     /// request's deadline passes or it is cancelled.
     pub fn connect_with_ctx(&self, ctx: Arc<RequestCtx>) -> Connection {
         Connection {
-            db: Arc::clone(&self.inner),
+            core: Arc::clone(&self.core),
             caches: self.caches.clone(),
             txn: None,
             ctx,
@@ -179,20 +283,40 @@ impl Database {
         Ok(out)
     }
 
-    /// Live row count of a table (testing/benchmark helper).
-    pub fn table_len(&self, name: &str) -> SqlResult<usize> {
-        Ok(self.inner.read().table(name)?.heap.len())
+    /// Pin the current committed snapshot. The returned state is immutable
+    /// and internally consistent forever; concurrent writers publish new
+    /// snapshots without disturbing it. This is the read path's only
+    /// synchronisation point (one brief read-lock of the snapshot cell).
+    pub fn pin(&self) -> Arc<DbState> {
+        self.core.published.load()
     }
 
-    /// A deep snapshot of the whole state (dump/inspection; O(data)).
+    /// The modification counter of `name` in the current snapshot.
+    pub fn table_version(&self, name: &str) -> u64 {
+        self.pin().version(name)
+    }
+
+    /// The publication epoch of the current snapshot: incremented once per
+    /// committed write, strictly monotonic over the database's lifetime.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.pin().epoch
+    }
+
+    /// Live row count of a table (testing/benchmark helper).
+    pub fn table_len(&self, name: &str) -> SqlResult<usize> {
+        Ok(self.pin().table(name)?.heap.len())
+    }
+
+    /// An owned copy of the current snapshot (dump/inspection). Cheap: the
+    /// clone is shallow, sharing table storage with the published state.
     pub fn snapshot(&self) -> crate::state::DbState {
-        self.inner.read().clone()
+        (*self.pin()).clone()
     }
 }
 
 /// A session against a [`Database`].
 pub struct Connection {
-    db: Arc<RwLock<DbState>>,
+    core: Arc<DbCore>,
     /// The owning database's cache pair (`None` when caching is disabled).
     caches: Option<Arc<DbCaches>>,
     /// Open explicit transaction's undo log, if any.
@@ -212,6 +336,11 @@ impl Connection {
     /// [`Database::connect_with_ctx`]).
     pub fn set_request_ctx(&mut self, ctx: Arc<RequestCtx>) {
         self.ctx = ctx;
+    }
+
+    /// Pin the current committed snapshot (see [`Database::pin`]).
+    pub fn pin(&self) -> Arc<DbState> {
+        self.core.published.load()
     }
 
     /// Parse and execute one SQL statement.
@@ -264,7 +393,7 @@ impl Connection {
             };
             match lookup {
                 Lookup::Hit(cached) => {
-                    let valid = cache::deps_valid(&self.db.read(), &cached.deps);
+                    let valid = cache::deps_valid(&self.pin(), &cached.deps);
                     if valid {
                         // The hit path still honours the request's deadline
                         // and cancellation, like any statement would.
@@ -289,14 +418,11 @@ impl Connection {
             }
             let _span = dbgw_obs::trace::span("sql_execute");
             // Run the query and capture the referenced tables' versions
-            // under the SAME read lock, so the dependency snapshot can never
+            // from the SAME pinned snapshot, so the dependency set can never
             // race a concurrent writer.
-            let (rows, deps) = {
-                let state = self.db.read();
-                let rows = run_select(&state, sel, params, &self.ctx)?;
-                let deps = cache::capture_deps(&state, sel);
-                (rows, deps)
-            };
+            let state = self.pin();
+            let rows = run_select(&state, sel, params, &self.ctx)?;
+            let deps = cache::capture_deps(&state, sel);
             {
                 let _span = dbgw_obs::trace::span("cache_store");
                 let cost = cache::result_cost(&rows);
@@ -325,13 +451,13 @@ impl Connection {
     ) -> SqlResult<ExecResult> {
         match stmt {
             Statement::Select(sel) => {
-                let state = self.db.read();
+                let state = self.pin();
                 Ok(ExecResult::Rows(run_select(
                     &state, &sel, params, &self.ctx,
                 )?))
             }
             Statement::Explain(inner) => {
-                let state = self.db.read();
+                let state = self.pin();
                 let lines = match &*inner {
                     Statement::Select(sel) => crate::exec::explain_select(&state, sel, params)?,
                     Statement::Insert {
@@ -394,28 +520,64 @@ impl Connection {
                 self.rollback()?;
                 Ok(ExecResult::TxnControl)
             }
-            other => {
-                // All mutating statements run under a statement-local undo log
-                // so a mid-statement failure backs out cleanly.
-                let mut state = self.db.write();
-                let mut undo: Vec<Undo> = Vec::new();
-                let result = apply_mutation(&mut state, other, params, &mut undo, &self.ctx);
-                match result {
-                    Ok(res) => {
-                        // Explicit transaction: keep the records for a
-                        // possible ROLLBACK later. Auto-commit: the statement
-                        // is durable now and the undo log is discarded.
-                        if let Some(log) = self.txn.as_mut() {
-                            log.extend(undo);
-                        }
-                        Ok(res)
-                    }
-                    Err(e) => {
-                        apply_undo(&mut state, undo);
-                        Err(e)
-                    }
+            other => self.execute_mutation(other, params),
+        }
+    }
+
+    /// The write path: latch the statement's write set, mutate a working
+    /// copy, publish on success. A failed statement's working copy is simply
+    /// dropped — the published state never sees partial effects.
+    fn execute_mutation(&mut self, stmt: Statement, params: &[Value]) -> SqlResult<ExecResult> {
+        let mut held: Vec<LatchSet> = Vec::new();
+        match write_set(&stmt) {
+            Some(names) => held.push(self.core.latches.acquire(&names)),
+            None => {
+                // DROP INDEX names an index, not a table: take the catalog
+                // latch first (freezing the set of indexes — every change to
+                // it holds this latch), resolve the owning table, then latch
+                // the table. Incremental acquisition is order-safe because
+                // the catalog latch sorts before every table name and is
+                // never requested while a table latch is held.
+                let Statement::DropIndex { name } = &stmt else {
+                    unreachable!("write_set covers every other mutation");
+                };
+                held.push(self.core.latches.acquire(&[CATALOG_LATCH]));
+                let table = self
+                    .core
+                    .published
+                    .load()
+                    .indexes
+                    .get(&name.to_ascii_lowercase())
+                    .map(|i| i.table.clone());
+                if let Some(table) = table {
+                    held.push(self.core.latches.acquire(&[table]));
                 }
             }
+        }
+        record_latch_metrics(&held);
+        let base = self.core.published.load();
+        let mut work = (*base).clone();
+        let mut undo: Vec<Undo> = Vec::new();
+        let result = apply_mutation(&mut work, stmt, params, &mut undo, &self.ctx);
+        match result {
+            Ok(res) => {
+                #[cfg(test)]
+                tests::PANIC_BEFORE_PUBLISH.with(|f| {
+                    if f.replace(false) {
+                        panic!("injected: writer dies before publishing");
+                    }
+                });
+                self.core.publish(&base, work);
+                // Explicit transaction: keep the records for a possible
+                // ROLLBACK later. Auto-commit: the statement is durable now
+                // and the undo log is discarded.
+                if let Some(log) = self.txn.as_mut() {
+                    log.extend(undo);
+                }
+                Ok(res)
+            }
+            // Nothing was published; dropping `work` is the rollback.
+            Err(e) => Err(e),
         }
     }
 
@@ -431,8 +593,19 @@ impl Connection {
     pub fn rollback(&mut self) -> SqlResult<()> {
         match self.txn.take() {
             Some(undo) => {
-                let mut state = self.db.write();
-                apply_undo(&mut state, undo);
+                if undo.is_empty() {
+                    return Ok(());
+                }
+                // Re-latch every table the transaction touched (and the
+                // catalog, if DDL is being undone), then undo against the
+                // current state and publish the result as one snapshot.
+                let names = undo_latch_names(&undo);
+                let held = [self.core.latches.acquire(&names)];
+                record_latch_metrics(&held);
+                let base = self.core.published.load();
+                let mut work = (*base).clone();
+                apply_undo(&mut work, undo);
+                self.core.publish(&base, work);
                 Ok(())
             }
             None => Err(SqlError::new(SqlCode::TXN_STATE, "no transaction is open")),
@@ -449,6 +622,64 @@ impl Drop for Connection {
     }
 }
 
+/// The latch names a statement's mutations are confined to, lowercased,
+/// including the catalog latch for DDL. `None` for DROP INDEX, whose owning
+/// table is only known once the catalog latch is held.
+fn write_set(stmt: &Statement) -> Option<Vec<String>> {
+    match stmt {
+        Statement::Insert { table, .. }
+        | Statement::Update { table, .. }
+        | Statement::Delete { table, .. } => Some(vec![table.to_ascii_lowercase()]),
+        Statement::CreateTable { name, .. } | Statement::DropTable { name, .. } => {
+            Some(vec![CATALOG_LATCH.to_owned(), name.to_ascii_lowercase()])
+        }
+        Statement::CreateIndex { table, .. } => {
+            Some(vec![CATALOG_LATCH.to_owned(), table.to_ascii_lowercase()])
+        }
+        Statement::DropIndex { .. } => None,
+        Statement::Select(_)
+        | Statement::Explain(_)
+        | Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback => {
+            unreachable!("not a mutation")
+        }
+    }
+}
+
+/// Every latch name a transaction's undo log needs to be re-applied safely.
+fn undo_latch_names(undo: &[Undo]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for record in undo {
+        match record {
+            Undo::Insert { table, .. }
+            | Undo::Update { table, .. }
+            | Undo::Delete { table, .. } => names.push(table.to_ascii_lowercase()),
+            Undo::CreateTable { name } | Undo::DropTable { name, .. } => {
+                names.push(CATALOG_LATCH.to_owned());
+                names.push(name.clone());
+            }
+            Undo::CreateIndex { table, .. } => {
+                names.push(CATALOG_LATCH.to_owned());
+                names.push(table.clone());
+            }
+            Undo::DropIndex { index } => {
+                names.push(CATALOG_LATCH.to_owned());
+                names.push(index.table.clone());
+            }
+        }
+    }
+    names // acquire() sorts and dedups
+}
+
+/// Record one write path's latch acquisition in the global metrics.
+fn record_latch_metrics(held: &[LatchSet]) {
+    let m = dbgw_obs::metrics();
+    m.latch_waits.add(held.iter().map(|l| l.len() as u64).sum());
+    m.latch_wait_ns
+        .add(held.iter().map(|l| l.waited().as_nanos() as u64).sum());
+}
+
 fn apply_undo(state: &mut DbState, undo: Vec<Undo>) {
     for record in undo.into_iter().rev() {
         match record {
@@ -463,8 +694,8 @@ fn apply_undo(state: &mut DbState, undo: Vec<Undo>) {
             }
             Undo::CreateTable { name } => {
                 if let Some(t) = state.tables.remove(&name) {
-                    for idx in t.index_names {
-                        state.indexes.remove(&idx);
+                    for idx in &t.index_names {
+                        state.indexes.remove(idx);
                     }
                 }
                 state.bump_version(&name);
@@ -644,19 +875,20 @@ fn apply_mutation(
             for (ordinal, col) in schema.columns.iter().enumerate() {
                 if col.unique {
                     let idx_name = format!("{key}_{}_unique", col.name.to_ascii_lowercase());
-                    state
-                        .indexes
-                        .insert(idx_name.clone(), Index::new(&idx_name, &key, ordinal, true));
+                    state.indexes.insert(
+                        idx_name.clone(),
+                        Arc::new(Index::new(&idx_name, &key, ordinal, true)),
+                    );
                     index_names.push(idx_name);
                 }
             }
             state.tables.insert(
                 key.clone(),
-                TableData {
+                Arc::new(TableData {
                     schema,
                     heap: Heap::new(),
                     index_names,
-                },
+                }),
             );
             state.bump_version(&key);
             undo.push(Undo::CreateTable { name: key });
@@ -711,7 +943,7 @@ fn apply_mutation(
                     index.insert(&v, id)?;
                 }
             }
-            state.indexes.insert(key.clone(), index);
+            state.indexes.insert(key.clone(), Arc::new(index));
             state.table_mut(&table)?.index_names.push(key.clone());
             undo.push(Undo::CreateIndex {
                 name: key,
@@ -782,6 +1014,16 @@ fn collect_targets(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Injection point: makes the next successful mutation on this thread
+        /// panic after mutating its working copy but before publishing.
+        pub(super) static PANIC_BEFORE_PUBLISH: Cell<bool> = const { Cell::new(false) };
+        /// Injection point: makes the next publication on this thread panic
+        /// inside the snapshot cell's RCU critical section.
+        pub(super) static PANIC_IN_PUBLISH: Cell<bool> = const { Cell::new(false) };
+    }
 
     fn fresh() -> (Database, Connection) {
         let db = Database::new();
@@ -999,5 +1241,177 @@ mod tests {
             .unwrap();
         conn.execute("DROP TABLE IF EXISTS nothere").unwrap();
         assert!(conn.execute("DROP TABLE nothere").is_err());
+    }
+
+    #[test]
+    fn pinned_snapshot_is_immutable_across_writes() {
+        let (db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        let pinned = db.pin();
+        conn.execute("INSERT INTO guest VALUES (2, 'Bob', NULL)")
+            .unwrap();
+        conn.execute("UPDATE guest SET name = 'Eve' WHERE id = 1")
+            .unwrap();
+        // The pinned snapshot still shows the world as of its pin.
+        assert_eq!(pinned.table("guest").unwrap().heap.len(), 1);
+        let row = pinned.table("guest").unwrap().heap.get(RowId(0)).unwrap();
+        assert_eq!(row[1], Value::Text("Ada".into()));
+        // The live state moved on.
+        assert_eq!(db.table_len("guest").unwrap(), 2);
+    }
+
+    #[test]
+    fn snapshot_epoch_is_strictly_monotonic() {
+        let (db, mut conn) = fresh();
+        let e0 = db.snapshot_epoch();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        let e1 = db.snapshot_epoch();
+        conn.execute("UPDATE guest SET note = 'x'").unwrap();
+        let e2 = db.snapshot_epoch();
+        assert!(e0 < e1 && e1 < e2, "epochs: {e0} {e1} {e2}");
+    }
+
+    #[test]
+    fn failed_statement_publishes_nothing() {
+        let (db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        let epoch = db.snapshot_epoch();
+        let version = db.table_version("guest");
+        assert!(conn
+            .execute("INSERT INTO guest VALUES (2, 'Bob', NULL), (1, 'Dup', NULL)")
+            .is_err());
+        // Not even a no-op snapshot: the failed statement left no trace.
+        assert_eq!(db.snapshot_epoch(), epoch);
+        assert_eq!(db.table_version("guest"), version);
+    }
+
+    #[test]
+    fn writer_panic_before_publish_leaves_consistent_state() {
+        let (db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        let epoch = db.snapshot_epoch();
+        let db2 = db.clone();
+        let joined = std::thread::spawn(move || {
+            let mut victim = db2.connect();
+            PANIC_BEFORE_PUBLISH.with(|f| f.set(true));
+            let _ = victim.execute("UPDATE guest SET note = 'torn'");
+        })
+        .join();
+        assert!(joined.is_err(), "injected panic must propagate");
+        // Nothing published, latch released: the table is untouched and the
+        // next writer on the same table proceeds without deadlock.
+        assert_eq!(db.snapshot_epoch(), epoch);
+        let r = conn.execute("SELECT note FROM guest").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Null);
+        conn.execute("UPDATE guest SET note = 'ok'").unwrap();
+        assert_eq!(db.snapshot_epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn writer_panic_inside_publish_recovers_from_poison() {
+        let (db, mut conn) = fresh();
+        conn.execute("INSERT INTO guest VALUES (1, 'Ada', NULL)")
+            .unwrap();
+        let epoch = db.snapshot_epoch();
+        let db2 = db.clone();
+        let joined = std::thread::spawn(move || {
+            let mut victim = db2.connect();
+            PANIC_IN_PUBLISH.with(|f| f.set(true));
+            let _ = victim.execute("UPDATE guest SET note = 'torn'");
+        })
+        .join();
+        assert!(joined.is_err(), "injected panic must propagate");
+        // The panic unwound through the snapshot cell's write lock; the
+        // poison-recovering wrapper keeps the old value readable and
+        // writable. The aborted publication must not be visible.
+        assert_eq!(db.snapshot_epoch(), epoch);
+        let r = conn.execute("SELECT note FROM guest").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Null);
+        conn.execute("UPDATE guest SET note = 'ok'").unwrap();
+        assert_eq!(db.snapshot_epoch(), epoch + 1);
+        let r = conn.execute("SELECT note FROM guest").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Text("ok".into()));
+    }
+
+    #[test]
+    fn writer_panic_racing_live_writers_loses_only_its_own_statement() {
+        // A writer dies inside the publication critical section (poisoning
+        // the snapshot cell's std lock) while another writer on a different
+        // table keeps committing. Only the panicking statement may be lost:
+        // the survivor's stream of publishes continues unharmed through the
+        // poison, and the victim's table shows no trace of the torn update.
+        let db = Database::without_cache();
+        db.run_script(
+            "CREATE TABLE victim (x INTEGER, note VARCHAR(8)); \
+             CREATE TABLE survivor (x INTEGER)",
+        )
+        .unwrap();
+        db.run_script("INSERT INTO victim VALUES (1, NULL)")
+            .unwrap();
+
+        let crasher = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut conn = db.connect();
+                PANIC_IN_PUBLISH.with(|f| f.set(true));
+                let _ = conn.execute("UPDATE victim SET note = 'torn'");
+            })
+        };
+        let writer = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut conn = db.connect();
+                for _ in 0..100 {
+                    conn.execute("INSERT INTO survivor VALUES (1)").unwrap();
+                }
+            })
+        };
+        assert!(crasher.join().is_err(), "injected panic must propagate");
+        writer.join().unwrap();
+
+        assert_eq!(db.table_len("survivor").unwrap(), 100);
+        assert_eq!(db.table_version("survivor"), 101); // CREATE + 100 inserts
+        let mut conn = db.connect();
+        let r = conn.execute("SELECT note FROM victim").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Null);
+        // The poisoned-and-recovered cell still accepts the victim table's
+        // next writer: no stranded latch, no stuck lock.
+        conn.execute("UPDATE victim SET note = 'ok'").unwrap();
+        let r = conn.execute("SELECT note FROM victim").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Text("ok".into()));
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_both_publish() {
+        // Two writers on different tables race; the RCU diff publication
+        // must keep both results even though each started from a base that
+        // lacked the other's write.
+        let db = Database::without_cache();
+        db.run_script("CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER)")
+            .unwrap();
+        let threads: Vec<_> = ["a", "b"]
+            .iter()
+            .map(|t| {
+                let db = db.clone();
+                let sql = format!("INSERT INTO {t} VALUES (1)");
+                std::thread::spawn(move || {
+                    let mut conn = db.connect();
+                    for _ in 0..50 {
+                        conn.execute(&sql).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(db.table_len("a").unwrap(), 50);
+        assert_eq!(db.table_len("b").unwrap(), 50);
+        assert_eq!(db.table_version("a"), 51); // CREATE + 50 inserts
+        assert_eq!(db.table_version("b"), 51);
     }
 }

@@ -1944,6 +1944,7 @@ mod tests {
     use crate::state::TableData;
     use crate::storage::Heap;
     use crate::types::SqlType;
+    use std::sync::Arc;
 
     fn shop_state() -> DbState {
         let mut st = DbState::default();
@@ -1973,15 +1974,15 @@ mod tests {
         let schema = TableSchema::from_defs("orders", &defs).unwrap();
         st.tables.insert(
             "orders".into(),
-            TableData {
+            Arc::new(TableData {
                 schema,
                 heap: Heap::new(),
                 index_names: vec!["orders_cust".into()],
-            },
+            }),
         );
         st.indexes.insert(
             "orders_cust".into(),
-            Index::new("orders_cust", "orders", 0, false),
+            Arc::new(Index::new("orders_cust", "orders", 0, false)),
         );
         let data: &[(i64, &str, f64)] = &[
             (10100, "bikes", 120.0),
@@ -2178,11 +2179,11 @@ mod tests {
         let schema = TableSchema::from_defs("customers", &defs).unwrap();
         st.tables.insert(
             "customers".into(),
-            TableData {
+            Arc::new(TableData {
                 schema,
                 heap: Heap::new(),
                 index_names: vec![],
-            },
+            }),
         );
         for (id, name) in [(10100, "Ada"), (10200, "Bob")] {
             st.insert_row("customers", vec![Value::Int(id), Value::Text(name.into())])
@@ -2221,11 +2222,11 @@ mod tests {
                 .collect();
             st.tables.insert(
                 t.into(),
-                TableData {
+                Arc::new(TableData {
                     schema: TableSchema::from_defs(t, &defs).unwrap(),
                     heap: Heap::new(),
                     index_names: vec![],
-                },
+                }),
             );
         }
         st.insert_row("a", vec![Value::Int(1)]).unwrap();
@@ -2250,7 +2251,7 @@ mod tests {
         // Index product_name too.
         st.indexes.insert(
             "orders_prod".into(),
-            Index::new("orders_prod", "orders", 1, false),
+            Arc::new(Index::new("orders_prod", "orders", 1, false)),
         );
         let names: Vec<Value> = st
             .table("orders")
@@ -2261,18 +2262,14 @@ mod tests {
             .collect::<Vec<_>>()
             .into_iter()
             .map(|(id, v)| {
-                st.indexes
-                    .get_mut("orders_prod")
-                    .unwrap()
+                Arc::make_mut(st.indexes.get_mut("orders_prod").unwrap())
                     .insert(&v, id)
                     .unwrap();
                 v
             })
             .collect();
         assert_eq!(names.len(), 5);
-        st.tables
-            .get_mut("orders")
-            .unwrap()
+        Arc::make_mut(st.tables.get_mut("orders").unwrap())
             .index_names
             .push("orders_prod".into());
         let r = q(
@@ -2342,11 +2339,11 @@ mod tests {
         let schema = TableSchema::from_defs("customers", &defs).unwrap();
         st.tables.insert(
             "customers".into(),
-            TableData {
+            Arc::new(TableData {
                 schema,
                 heap: Heap::new(),
                 index_names: vec![],
-            },
+            }),
         );
         let rows: &[(Value, &str)] = &[
             (Value::Int(10100), "Ada"),
@@ -2477,7 +2474,9 @@ mod tests {
             .map(|(id, _)| id)
             .collect();
         for id in ids {
-            st.tables.get_mut("customers").unwrap().heap.delete(id);
+            Arc::make_mut(st.tables.get_mut("customers").unwrap())
+                .heap
+                .delete(id);
         }
         for sql in [
             "SELECT * FROM customers c JOIN orders o ON c.custid = o.custid",

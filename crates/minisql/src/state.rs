@@ -1,14 +1,23 @@
 //! Shared database state: tables, heaps and indexes.
 //!
-//! One [`DbState`] is the unit the catalog lock protects. Statements execute
-//! against a `&DbState` (queries) or `&mut DbState` (DML/DDL); the
-//! [`crate::db`] layer handles locking and transactions on top.
+//! One [`DbState`] is the immutable unit that readers pin: the [`crate::db`]
+//! layer keeps the current state in a `SnapshotCell<DbState>` and every
+//! SELECT runs against one `Arc<DbState>` for its whole lifetime, lock-free.
+//!
+//! Writers clone the state shallowly (tables and indexes sit behind their own
+//! `Arc`s, so the clone is a map of pointers), mutate their working copy via
+//! [`std::sync::Arc::make_mut`] — which deep-clones only the tables and
+//! indexes the statement actually touches — and publish the result
+//! atomically. Statements therefore execute against `&DbState` (queries) or
+//! `&mut DbState` (DML/DDL) exactly as before; copy-on-write is hidden
+//! behind the accessors here.
 
 use crate::error::{SqlCode, SqlError, SqlResult};
 use crate::index::Index;
 use crate::schema::TableSchema;
 use crate::storage::{Heap, Row, RowId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A table: schema, heap and the names of its indexes.
 #[derive(Debug, Clone)]
@@ -22,20 +31,30 @@ pub struct TableData {
 }
 
 /// Every table and index in the database.
+///
+/// `Clone` is shallow: it copies the maps of `Arc`s, not the tables
+/// themselves. This is the writer's working-copy step.
 #[derive(Debug, Default, Clone)]
 pub struct DbState {
-    /// Tables keyed by lowercased name.
-    pub tables: HashMap<String, TableData>,
-    /// Indexes keyed by lowercased name.
-    pub indexes: HashMap<String, Index>,
+    /// Tables keyed by lowercased name, each behind its own `Arc` so that
+    /// snapshot publication can compare entries by pointer identity and a
+    /// writer's working copy shares untouched tables with the published
+    /// state.
+    pub tables: HashMap<String, Arc<TableData>>,
+    /// Indexes keyed by lowercased name (same `Arc` sharing scheme).
+    pub indexes: HashMap<String, Arc<Index>>,
     /// Per-table modification counters keyed by lowercased name, bumped on
     /// every row mutation and on CREATE/DROP TABLE. The result cache records
-    /// the versions of every table a SELECT read (under the same read lock)
-    /// and revalidates them at lookup, which makes table-level invalidation
-    /// exact — correctness never depends on TTL. A dropped table's counter
-    /// survives (and keeps rising if the table is recreated), so cached
-    /// results can never resurrect across a DROP.
+    /// the versions of every table a SELECT read (from the same pinned
+    /// snapshot) and revalidates them at lookup, which makes table-level
+    /// invalidation exact — correctness never depends on TTL. A dropped
+    /// table's counter survives (and keeps rising if the table is
+    /// recreated), so cached results can never resurrect across a DROP.
     pub versions: HashMap<String, u64>,
+    /// Publication epoch: incremented once per published snapshot, strictly
+    /// monotonic across the database's lifetime. Readers can compare epochs
+    /// to order the snapshots they pinned.
+    pub epoch: u64,
 }
 
 impl DbState {
@@ -56,13 +75,16 @@ impl DbState {
     pub fn table(&self, name: &str) -> SqlResult<&TableData> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .map(|t| &**t)
             .ok_or_else(|| SqlError::no_such_table(name))
     }
 
-    /// Case-insensitive mutable table lookup.
+    /// Case-insensitive mutable table lookup (copy-on-write: clones the
+    /// table if a snapshot still shares it).
     pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut TableData> {
         self.tables
             .get_mut(&name.to_ascii_lowercase())
+            .map(Arc::make_mut)
             .ok_or_else(|| SqlError::no_such_table(name))
     }
 
@@ -72,7 +94,13 @@ impl DbState {
         t.index_names
             .iter()
             .filter_map(|n| self.indexes.get(n))
+            .map(|i| &**i)
             .find(|i| i.column == column)
+    }
+
+    /// Mutable index lookup by (lowercased) name, copy-on-write.
+    fn index_mut(&mut self, name: &str) -> Option<&mut Index> {
+        self.indexes.get_mut(name).map(Arc::make_mut)
     }
 
     /// Insert a validated row into `table`, maintaining every index.
@@ -84,25 +112,28 @@ impl DbState {
         let t = self
             .tables
             .get_mut(&key)
+            .map(Arc::make_mut)
             .ok_or_else(|| SqlError::no_such_table(table))?;
         let index_names = t.index_names.clone();
         let id = t.heap.insert(row);
         let row_ref = t.heap.get(id).expect("just inserted").clone();
         let mut done: Vec<String> = Vec::new();
         for name in &index_names {
-            let idx = self.indexes.get_mut(name).expect("catalog consistency");
+            let idx = self.index_mut(name).expect("catalog consistency");
             let value = row_ref.get(idx.column).cloned().unwrap_or_default_null();
             if let Err(e) = idx.insert(&value, id) {
                 // Back out.
                 for undo_name in &done {
-                    let undo_idx = self.indexes.get_mut(undo_name).unwrap();
+                    let undo_idx = self.index_mut(undo_name).unwrap();
                     let v = row_ref
                         .get(undo_idx.column)
                         .cloned()
                         .unwrap_or_default_null();
                     undo_idx.remove(&v, id);
                 }
-                self.tables.get_mut(&key).unwrap().heap.delete(id);
+                Arc::make_mut(self.tables.get_mut(&key).unwrap())
+                    .heap
+                    .delete(id);
                 return Err(e);
             }
             done.push(name.clone());
@@ -117,13 +148,14 @@ impl DbState {
         let t = self
             .tables
             .get_mut(&key)
+            .map(Arc::make_mut)
             .ok_or_else(|| SqlError::no_such_table(table))?;
         let index_names = t.index_names.clone();
         let Some(old) = t.heap.delete(id) else {
             return Ok(None);
         };
         for name in &index_names {
-            let idx = self.indexes.get_mut(name).expect("catalog consistency");
+            let idx = self.index_mut(name).expect("catalog consistency");
             let value = old.get(idx.column).cloned().unwrap_or_default_null();
             idx.remove(&value, id);
         }
@@ -139,6 +171,7 @@ impl DbState {
         let t = self
             .tables
             .get_mut(&key)
+            .map(Arc::make_mut)
             .ok_or_else(|| SqlError::no_such_table(table))?;
         let index_names = t.index_names.clone();
         let old = t.heap.update(id, new.clone()).ok_or_else(|| {
@@ -147,7 +180,7 @@ impl DbState {
         // Re-key each index whose column changed.
         let mut rekeyed: Vec<String> = Vec::new();
         for name in &index_names {
-            let idx = self.indexes.get_mut(name).expect("catalog consistency");
+            let idx = self.index_mut(name).expect("catalog consistency");
             let old_v = old.get(idx.column).cloned().unwrap_or_default_null();
             let new_v = new.get(idx.column).cloned().unwrap_or_default_null();
             if old_v == new_v {
@@ -158,15 +191,13 @@ impl DbState {
                 // Restore this index and all previously rekeyed ones.
                 idx.insert(&old_v, id).expect("restore old key");
                 for undo_name in &rekeyed {
-                    let undo_idx = self.indexes.get_mut(undo_name).unwrap();
+                    let undo_idx = self.index_mut(undo_name).unwrap();
                     let o = old.get(undo_idx.column).cloned().unwrap_or_default_null();
                     let n = new.get(undo_idx.column).cloned().unwrap_or_default_null();
                     undo_idx.remove(&n, id);
                     undo_idx.insert(&o, id).expect("restore old key");
                 }
-                self.tables
-                    .get_mut(&key)
-                    .unwrap()
+                Arc::make_mut(self.tables.get_mut(&key).unwrap())
                     .heap
                     .update(id, old.clone());
                 return Err(e);
@@ -183,11 +214,12 @@ impl DbState {
         let t = self
             .tables
             .get_mut(&key)
+            .map(Arc::make_mut)
             .ok_or_else(|| SqlError::no_such_table(table))?;
         let index_names = t.index_names.clone();
         t.heap.restore(id, row.clone());
         for name in &index_names {
-            let idx = self.indexes.get_mut(name).expect("catalog consistency");
+            let idx = self.index_mut(name).expect("catalog consistency");
             let value = row.get(idx.column).cloned().unwrap_or_default_null();
             idx.insert(&value, id)
                 .expect("restored row cannot violate uniqueness");
@@ -239,14 +271,14 @@ mod tests {
         .unwrap();
         st.tables.insert(
             "t".into(),
-            TableData {
+            Arc::new(TableData {
                 schema,
                 heap: Heap::new(),
                 index_names: vec!["t_pk".into()],
-            },
+            }),
         );
         st.indexes
-            .insert("t_pk".into(), Index::new("t_pk", "t", 0, true));
+            .insert("t_pk".into(), Arc::new(Index::new("t_pk", "t", 0, true)));
         st
     }
 
@@ -300,5 +332,24 @@ mod tests {
             st.table("nope").unwrap_err().code,
             SqlCode::UNDEFINED_OBJECT
         );
+    }
+
+    #[test]
+    fn shallow_clone_shares_untouched_tables() {
+        // The copy-on-write contract db.rs relies on: cloning a DbState
+        // shares table allocations; mutating one table in the clone leaves
+        // every other entry pointer-identical to the original.
+        let mut st = state_with_table();
+        st.insert_row("t", row(1, "a")).unwrap();
+        let base = st.clone();
+        let mut work = base.clone();
+        work.insert_row("t", row(2, "b")).unwrap();
+        // Touched table diverged...
+        assert!(!Arc::ptr_eq(&base.tables["t"], &work.tables["t"]));
+        // ...and the original snapshot still sees one row.
+        assert_eq!(base.table("t").unwrap().heap.len(), 1);
+        assert_eq!(work.table("t").unwrap().heap.len(), 2);
+        assert_eq!(base.version("t"), 1);
+        assert_eq!(work.version("t"), 2);
     }
 }

@@ -1,10 +1,18 @@
 //! Row storage: a slotted in-memory heap per table.
 //!
-//! Rows live in a `Vec<Option<Row>>`; deletion leaves a tombstone so row ids
-//! stay stable for the lifetime of a table (indexes and the transaction undo
-//! log both key on [`RowId`]). A free list recycles tombstoned slots.
+//! Rows live in a `Vec<Option<Arc<Row>>>`; deletion leaves a tombstone so row
+//! ids stay stable for the lifetime of a table (indexes and the transaction
+//! undo log both key on [`RowId`]). A free list recycles tombstoned slots.
+//!
+//! Each row sits behind its own `Arc` so cloning a heap — the copy-on-write
+//! step a writer performs before mutating a table that a published snapshot
+//! still references (see `db.rs` and DESIGN.md §11) — copies row *pointers*,
+//! not row contents. A 10k-row table clones in O(10k) refcount bumps, and a
+//! single-row UPDATE afterwards allocates exactly one new row; the old image
+//! stays alive for whichever snapshots still pin it.
 
 use crate::types::Value;
+use std::sync::Arc;
 
 /// Stable identifier of a row slot within one table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -16,9 +24,15 @@ pub type Row = Vec<Value>;
 /// The heap of one table.
 #[derive(Debug, Clone, Default)]
 pub struct Heap {
-    slots: Vec<Option<Row>>,
+    slots: Vec<Option<Arc<Row>>>,
     free: Vec<u32>,
     live: usize,
+}
+
+/// Take a row image out of its `Arc`, cloning only if a snapshot still
+/// shares it.
+fn into_row(arc: Arc<Row>) -> Row {
+    Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone())
 }
 
 impl Heap {
@@ -40,12 +54,13 @@ impl Heap {
     /// Insert a row, returning its id. Recycles tombstoned slots.
     pub fn insert(&mut self, row: Row) -> RowId {
         self.live += 1;
+        let row = Some(Arc::new(row));
         if let Some(slot) = self.free.pop() {
-            self.slots[slot as usize] = Some(row);
+            self.slots[slot as usize] = row;
             return RowId(slot);
         }
         let id = self.slots.len() as u32;
-        self.slots.push(Some(row));
+        self.slots.push(row);
         RowId(id)
     }
 
@@ -62,19 +77,20 @@ impl Heap {
         );
         // Remove from the free list if it was recycled there.
         self.free.retain(|&f| f != id.0);
-        self.slots[idx] = Some(row);
+        self.slots[idx] = Some(Arc::new(row));
         self.live += 1;
     }
 
     /// Fetch a row by id.
     pub fn get(&self, id: RowId) -> Option<&Row> {
-        self.slots.get(id.0 as usize).and_then(|s| s.as_ref())
+        self.slots.get(id.0 as usize).and_then(|s| s.as_deref())
     }
 
     /// Replace a row, returning the old image. `None` if the slot is dead.
     pub fn update(&mut self, id: RowId, row: Row) -> Option<Row> {
         let slot = self.slots.get_mut(id.0 as usize)?;
-        slot.as_mut().map(|r| std::mem::replace(r, row))
+        slot.as_mut()
+            .map(|r| into_row(std::mem::replace(r, Arc::new(row))))
     }
 
     /// Delete a row, returning its last image.
@@ -85,7 +101,7 @@ impl Heap {
             self.live -= 1;
             self.free.push(id.0);
         }
-        old
+        old.map(into_row)
     }
 
     /// Iterate borrowed rows for the given ids, skipping tombstones — the
@@ -99,7 +115,7 @@ impl Heap {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u32), r)))
+            .filter_map(|(i, s)| s.as_deref().map(|r| (RowId(i as u32), r)))
     }
 }
 
@@ -179,5 +195,33 @@ mod tests {
             })
             .collect();
         assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn clone_shares_rows_and_diverges_on_write() {
+        // The copy-on-write property db.rs relies on: a cloned heap shares
+        // row allocations with the original, and mutating the clone leaves
+        // the original's rows untouched.
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        let b = h.insert(row(2));
+        let snapshot = h.clone();
+        h.update(a, row(99));
+        h.delete(b);
+        assert_eq!(snapshot.get(a), Some(&row(1)));
+        assert_eq!(snapshot.get(b), Some(&row(2)));
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(h.get(a), Some(&row(99)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn update_of_shared_row_clones_out_old_image() {
+        let mut h = Heap::new();
+        let a = h.insert(row(7));
+        let snapshot = h.clone(); // `a`'s Arc now has two owners
+        let old = h.update(a, row(8)).unwrap();
+        assert_eq!(old, row(7));
+        assert_eq!(snapshot.get(a), Some(&row(7)));
     }
 }

@@ -320,6 +320,152 @@ fn pinned_empty_build_side() {
     .unwrap();
 }
 
+// ---------------------------------------------------------------------------
+// Equivalence under concurrent writers
+// ---------------------------------------------------------------------------
+//
+// The snapshot engine promises that a pinned `DbState` is a frozen,
+// internally consistent world. If that holds, plan equivalence must hold on
+// *any* snapshot pinned mid-churn — including ones pinned between an index
+// creation and its drop, or mid-way through a stream of row mutations. These
+// tests pin snapshots while writers mutate rows and flip indexes on and off,
+// and assert optimized ≡ baseline on every pinned state.
+
+#[test]
+fn plans_agree_on_snapshots_pinned_under_row_churn() {
+    let db = Database::without_cache();
+    db.run_script(
+        "CREATE TABLE a (k INTEGER, v INTEGER);
+         CREATE TABLE b (k INTEGER, w INTEGER);
+         CREATE INDEX a_k ON a (k);
+         CREATE INDEX b_k ON b (k)",
+    )
+    .unwrap();
+    {
+        let mut conn = db.connect();
+        for i in 0..24i64 {
+            conn.execute_with_params(
+                "INSERT INTO a VALUES (?, ?)",
+                &[Value::Int(i % 6), Value::Int(i)],
+            )
+            .unwrap();
+            conn.execute_with_params(
+                "INSERT INTO b VALUES (?, ?)",
+                &[Value::Int(i % 6), Value::Int(i * 10)],
+            )
+            .unwrap();
+        }
+    }
+    let writer_db = db.clone();
+    let reader_db = db.clone();
+    let mut config = dbgw_testkit::StressConfig::named("plans_agree_under_row_churn");
+    config.threads = 3;
+    config.iters = 32;
+    dbgw_testkit::stress::run_observed(
+        &config,
+        move |w| {
+            let mut conn = writer_db.connect();
+            let k = w.rng.gen_range(0i64..6);
+            let delta = w.rng.gen_range(1i64..100);
+            match w.rng.gen_range(0u32..3) {
+                0 => conn.execute_with_params(
+                    "UPDATE a SET v = v + ? WHERE k = ?",
+                    &[Value::Int(delta), Value::Int(k)],
+                ),
+                1 => conn.execute_with_params(
+                    "INSERT INTO b VALUES (?, ?)",
+                    &[Value::Int(k), Value::Int(delta)],
+                ),
+                _ => conn.execute_with_params(
+                    "DELETE FROM b WHERE k = ? AND w > ?",
+                    &[Value::Int(k), Value::Int(delta * 5)],
+                ),
+            }
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        move || {
+            // Pin once; every query in the pass sees this exact world, so an
+            // optimized/baseline divergence can only come from the planner.
+            let pinned = reader_db.pin();
+            for sql in [
+                "SELECT a.k, a.v, b.w FROM a JOIN b ON a.k = b.k WHERE a.v < 500",
+                "SELECT a.k, a.v FROM a LEFT JOIN b ON a.k = b.k AND b.w > 40",
+                "SELECT a.k, a.v FROM a WHERE a.k = 3 ORDER BY a.v LIMIT 4",
+                "SELECT a.k FROM a LEFT JOIN b ON a.k = b.k WHERE b.k IS NULL",
+            ] {
+                assert_plans_agree(&pinned, sql, true)?;
+            }
+            assert_plans_agree(
+                &pinned,
+                "SELECT a.k, COUNT(*) FROM a JOIN b ON a.k = b.k GROUP BY a.k",
+                false,
+            )?;
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn plans_agree_while_indexes_flip_on_and_off() {
+    // Writers add and drop the very indexes the optimized plan would probe.
+    // A pinned snapshot either has the index (optimized takes the probe) or
+    // doesn't (optimized degrades to a scan) — both must equal baseline.
+    let db = Database::without_cache();
+    db.run_script("CREATE TABLE a (k INTEGER, v INTEGER); CREATE TABLE b (k INTEGER, w INTEGER)")
+        .unwrap();
+    {
+        let mut conn = db.connect();
+        for i in 0..16i64 {
+            conn.execute_with_params(
+                "INSERT INTO a VALUES (?, ?)",
+                &[Value::Int(i % 4), Value::Int(i)],
+            )
+            .unwrap();
+            conn.execute_with_params(
+                "INSERT INTO b VALUES (?, ?)",
+                &[Value::Int(i % 4), Value::Int(i * 7)],
+            )
+            .unwrap();
+        }
+    }
+    let writer_db = db.clone();
+    let reader_db = db.clone();
+    let mut config = dbgw_testkit::StressConfig::named("plans_agree_under_index_flips");
+    config.threads = 2;
+    config.iters = 24;
+    dbgw_testkit::stress::run_observed(
+        &config,
+        move |w| {
+            let mut conn = writer_db.connect();
+            // Each thread owns its index names, so CREATE/DROP always pair.
+            let table = if w.thread % 2 == 0 { "a" } else { "b" };
+            let name = format!("flip_{}_{table}", w.thread);
+            conn.execute(&format!("CREATE INDEX {name} ON {table} (k)"))
+                .map_err(|e| e.to_string())?;
+            conn.execute_with_params(
+                "UPDATE a SET v = v + 1 WHERE k = ?",
+                &[Value::Int(w.rng.gen_range(0i64..4))],
+            )
+            .map_err(|e| e.to_string())?;
+            conn.execute(&format!("DROP INDEX {name}"))
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        move || {
+            let pinned = reader_db.pin();
+            for sql in [
+                "SELECT a.k, a.v, b.w FROM a JOIN b ON a.k = b.k",
+                "SELECT a.k, a.v FROM a WHERE a.k = 2",
+                "SELECT a.v, b.w FROM a JOIN b ON a.k = b.k WHERE b.w >= 21 ORDER BY a.v LIMIT 6",
+            ] {
+                assert_plans_agree(&pinned, sql, true)?;
+            }
+            Ok(())
+        },
+    );
+}
+
 #[test]
 fn pinned_pushdown_survives_three_way_join() {
     let st = {

@@ -79,6 +79,16 @@ impl Clock for TestClock {
     }
 }
 
+/// Milliseconds of monotonic time since a fixed per-process origin (first
+/// call). Unlike [`StdClock`] instances — each anchored at its own
+/// construction — every caller in the process shares one origin, so values
+/// recorded by different subsystems (e.g. the snapshot-publish gauge and the
+/// `/stats` renderer) are directly comparable.
+pub fn process_mono_ms() -> u64 {
+    static ORIGIN: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
 /// A civil-time source: seconds since the Unix epoch.
 pub trait WallClock: Send + Sync {
     /// Seconds since 1970-01-01T00:00:00Z.

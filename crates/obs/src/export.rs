@@ -147,6 +147,17 @@ fn histogram_block(out: &mut String, name: &str, h: &crate::metrics::Histogram) 
     out.push_str(&format!("{name}_count {}\n", h.count()));
 }
 
+/// Age in milliseconds of the most recently published database snapshot
+/// (0 until the first publication). A large value on a write-active gateway
+/// would mean publication has stalled — the snapshot-read analogue of
+/// replication lag.
+pub fn snapshot_age_ms(m: &Metrics) -> u64 {
+    if m.snapshots_published.get() == 0 {
+        return 0;
+    }
+    crate::clock::process_mono_ms().saturating_sub(m.snapshot_publish_ms.get().max(0) as u64)
+}
+
 /// Render a metric registry in the Prometheus text exposition format.
 /// Latency histograms are exported in seconds, per convention.
 pub fn render_prometheus(m: &Metrics) -> String {
@@ -173,6 +184,9 @@ pub fn render_prometheus(m: &Metrics) -> String {
         ("dbgw_join_nested_total", &m.join_nested),
         ("dbgw_pushdown_applied_total", &m.pushdown_applied),
         ("dbgw_rows_scanned_total", &m.rows_scanned),
+        ("dbgw_latch_waits_total", &m.latch_waits),
+        ("dbgw_latch_wait_ns_total", &m.latch_wait_ns),
+        ("dbgw_snapshots_published_total", &m.snapshots_published),
     ] {
         out.push_str(&format!(
             "# TYPE {name} counter\n{name} {}\n",
@@ -183,9 +197,14 @@ pub fn render_prometheus(m: &Metrics) -> String {
         ("dbgw_requests_in_flight", &m.requests_in_flight),
         ("dbgw_queue_depth", &m.queue_depth),
         ("dbgw_cache_bytes", &m.cache_bytes),
+        ("dbgw_snapshot_epoch", &m.snapshot_epoch),
     ] {
         out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", gauge.get()));
     }
+    out.push_str(&format!(
+        "# TYPE dbgw_snapshot_age_ms gauge\ndbgw_snapshot_age_ms {}\n",
+        snapshot_age_ms(m)
+    ));
     out.push_str("# TYPE dbgw_sqlcode_errors_total counter\n");
     for (code, count) in m.sqlcode_errors.snapshot() {
         out.push_str(&format!(
@@ -228,6 +247,9 @@ pub fn metrics_json(m: &Metrics) -> String {
         ("dbgw_join_nested_total", &m.join_nested),
         ("dbgw_pushdown_applied_total", &m.pushdown_applied),
         ("dbgw_rows_scanned_total", &m.rows_scanned),
+        ("dbgw_latch_waits_total", &m.latch_waits),
+        ("dbgw_latch_wait_ns_total", &m.latch_wait_ns),
+        ("dbgw_snapshots_published_total", &m.snapshots_published),
     ] {
         out.push_str(&format!("\"{name}\":{},", counter.get()));
     }
@@ -235,9 +257,11 @@ pub fn metrics_json(m: &Metrics) -> String {
         ("dbgw_requests_in_flight", &m.requests_in_flight),
         ("dbgw_queue_depth", &m.queue_depth),
         ("dbgw_cache_bytes", &m.cache_bytes),
+        ("dbgw_snapshot_epoch", &m.snapshot_epoch),
     ] {
         out.push_str(&format!("\"{name}\":{},", gauge.get()));
     }
+    out.push_str(&format!("\"dbgw_snapshot_age_ms\":{},", snapshot_age_ms(m)));
     for (name, h) in [
         ("dbgw_request_latency_seconds", &m.request_latency_ns),
         ("dbgw_sql_latency_seconds", &m.sql_latency_ns),

@@ -50,7 +50,9 @@ pub mod export;
 pub mod metrics;
 pub mod trace;
 
-pub use clock::{Clock, StdClock, SystemWallClock, TestClock, TestWallClock, WallClock};
+pub use clock::{
+    process_mono_ms, Clock, StdClock, SystemWallClock, TestClock, TestWallClock, WallClock,
+};
 pub use ctx::{CancelReason, RequestCtx, CANCELLED_SQLCODE};
 pub use export::{metrics_json, render_prometheus, TraceTree};
 pub use metrics::{metrics, CodeCounters, Counter, Gauge, Histogram, Metrics};

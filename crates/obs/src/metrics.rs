@@ -288,12 +288,25 @@ pub struct Metrics {
     /// Rows fetched from table heaps by scans (probe candidates + full-scan
     /// rows) — the raw cost of access-path choices.
     pub rows_scanned: Counter,
+    /// Table-latch acquisitions that had to wait for another writer.
+    pub latch_waits: Counter,
+    /// Total nanoseconds writers spent blocked on table latches.
+    pub latch_wait_ns: Counter,
+    /// Database snapshots published (one per applied write statement or
+    /// rollback).
+    pub snapshots_published: Counter,
     /// Requests currently being processed by pool workers.
     pub requests_in_flight: Gauge,
     /// Accepted connections waiting in the bounded queue for a worker.
     pub queue_depth: Gauge,
     /// Bytes currently resident in the statement + result caches.
     pub cache_bytes: Gauge,
+    /// Epoch (publication count) of the most recently published database
+    /// snapshot — strictly monotonic while the process lives.
+    pub snapshot_epoch: Gauge,
+    /// [`crate::process_mono_ms`] reading at the last snapshot publication;
+    /// exporters subtract it from "now" to report the snapshot's age.
+    pub snapshot_publish_ms: Gauge,
     /// End-to-end gateway request latency.
     pub request_latency_ns: Histogram,
     /// Per-statement SQL latency.
@@ -327,9 +340,14 @@ impl Metrics {
             join_nested: Counter::new(),
             pushdown_applied: Counter::new(),
             rows_scanned: Counter::new(),
+            latch_waits: Counter::new(),
+            latch_wait_ns: Counter::new(),
+            snapshots_published: Counter::new(),
             requests_in_flight: Gauge::new(),
             queue_depth: Gauge::new(),
             cache_bytes: Gauge::new(),
+            snapshot_epoch: Gauge::new(),
+            snapshot_publish_ms: Gauge::new(),
             request_latency_ns: Histogram::new(),
             sql_latency_ns: Histogram::new(),
             sqlcode_errors: CodeCounters::new(),

@@ -10,8 +10,25 @@
 //! The guards are the plain `std::sync` guard types, so a
 //! [`std::sync::Condvar`] can `wait` on a [`Mutex`] guard directly; the HTTP
 //! worker pool in `dbgw-cgi` relies on this for its bounded accept queue.
+//!
+//! On top of the lock wrappers sit the two primitives of the snapshot-read
+//! concurrency protocol (DESIGN.md §11):
+//!
+//! * [`SnapshotCell`] — an atomically publishable `Arc<T>`: readers pin the
+//!   current value and then run lock-free against it; writers install a
+//!   replacement atomically (optionally derived from the latest value via
+//!   [`SnapshotCell::rcu`]).
+//! * [`LatchTable`] / [`LatchSet`] — named exclusive latches acquired in
+//!   sorted order (a total order, so writer-writer deadlock is impossible),
+//!   released on drop even through a panic unwind.
 
 #![warn(missing_docs)]
+
+mod latch;
+mod snapshot;
+
+pub use latch::{LatchSet, LatchTable, CATALOG_LATCH};
+pub use snapshot::SnapshotCell;
 
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,

@@ -10,6 +10,9 @@
 //!   a seeded case runner, and greedy iterative shrinking on failure,
 //! * [`mod@bench`] — a micro-bench timer (warmup, auto-calibrated batching,
 //!   median-of-N, optional JSON-lines output),
+//! * [`stress`] — a seeded multi-thread stress harness (barrier start,
+//!   per-thread deterministic workloads, deadlock watchdog, failures
+//!   replayable by seed) and the [`stress!`] macro,
 //! * the [`props!`] macro and the `prop_assert!` family, which keep property
 //!   tests as declarative as the proptest originals.
 //!
@@ -40,10 +43,12 @@ pub mod bench;
 pub mod gen;
 pub mod rng;
 pub mod runner;
+pub mod stress;
 
 pub use gen::Gen;
 pub use rng::Rng;
 pub use runner::{check, Config};
+pub use stress::StressConfig;
 
 /// Define property tests: each `fn name(arg in GEN, ...) { body }` becomes a
 /// `#[test]` that checks the body against generated arguments, shrinking on

@@ -43,7 +43,7 @@ impl Config {
 }
 
 /// FNV-1a, the seed-from-name hash (not security sensitive).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
@@ -90,7 +90,7 @@ fn failure<V>(prop: &impl Fn(&V) -> Result<(), String>, value: &V) -> Option<Str
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("panic: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -1,0 +1,503 @@
+//! Seeded multi-thread stress harness.
+//!
+//! Concurrency bugs die in the dark: a failing interleaving that cannot be
+//! re-run is a flake, not a regression test. This module runs N worker
+//! threads against shared state with
+//!
+//! * a **barrier start** — every thread (and the optional observer) blocks on
+//!   one [`Barrier`] until all are spawned, so the racy window opens with
+//!   maximum overlap instead of threads trickling in;
+//! * **deterministic per-thread seeds** — a master [`Rng`] seeded from the
+//!   config forks one child seed per thread, so each thread's *workload* is a
+//!   pure function of `(seed, thread index)` even though the interleaving is
+//!   not. Failures print the seed; `TESTKIT_SEED=<seed>` replays the same
+//!   workloads (the same statements in the same per-thread order);
+//! * an **observer** — an optional closure re-checked continuously on its own
+//!   thread while the workers run, for invariants that must hold in *every*
+//!   intermediate state (e.g. "the balance sum never changes"), not just at
+//!   the end;
+//! * a **watchdog** — the coordinating thread waits on a [`Condvar`] with a
+//!   timeout instead of joining, so a deadlocked worker fails the test with a
+//!   diagnostic naming the stuck threads rather than hanging the suite.
+//!
+//! Worker and observer bodies report failure by returning `Err(String)` — the
+//! `prop_assert!` family works unchanged — or by panicking; both are caught,
+//! attributed to the thread and iteration, and reported with replay
+//! instructions.
+//!
+//! ```
+//! use dbgw_testkit::stress::{self, StressConfig};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let counter = Arc::new(AtomicU64::new(0));
+//! let mut config = StressConfig::named("doc_counter");
+//! config.threads = 4;
+//! config.iters = 25;
+//! let c = Arc::clone(&counter);
+//! stress::run(&config, move |w| {
+//!     c.fetch_add(w.rng.gen_range(1u64..=1), Ordering::Relaxed);
+//!     Ok(())
+//! });
+//! assert_eq!(counter.load(Ordering::Relaxed), 100);
+//! ```
+
+use crate::rng::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Knobs for one stress run.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Run name, included in failure reports.
+    pub name: &'static str,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Iterations per worker thread (`TESTKIT_STRESS_ITERS` overrides).
+    pub iters: u64,
+    /// Master seed (`TESTKIT_SEED` overrides; printed on failure so a run's
+    /// workloads can be replayed exactly).
+    pub seed: u64,
+    /// Watchdog limit: if the run has not completed within this budget the
+    /// harness panics naming the stuck threads instead of hanging.
+    pub timeout: Duration,
+}
+
+impl StressConfig {
+    /// The default configuration for a named run: 4 threads × 64 iterations,
+    /// seed derived from the name (stable across runs and platforms), 60 s
+    /// watchdog.
+    pub fn named(name: &'static str) -> StressConfig {
+        let seed = match std::env::var("TESTKIT_SEED") {
+            Ok(s) => s
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("TESTKIT_SEED is not a u64: {s:?}")),
+            Err(_) => crate::runner::fnv1a(name.as_bytes()),
+        };
+        let iters = std::env::var("TESTKIT_STRESS_ITERS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(64);
+        StressConfig {
+            name,
+            threads: 4,
+            iters,
+            seed,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// The per-thread context handed to the worker closure on every iteration.
+#[derive(Debug)]
+pub struct Worker {
+    /// This thread's index in `0..threads`.
+    pub thread: usize,
+    /// Total worker thread count.
+    pub threads: usize,
+    /// Current iteration in `0..iters`.
+    pub iter: u64,
+    /// This thread's private deterministic stream (a pure function of the
+    /// run seed and `thread`).
+    pub rng: Rng,
+}
+
+/// One attributed failure from a worker or the observer.
+#[derive(Debug)]
+struct Failure {
+    who: String,
+    message: String,
+}
+
+/// Progress shared between workers, observer and the watchdog.
+struct Progress {
+    finished: Vec<bool>,
+    observer_done: bool,
+    failures: Vec<Failure>,
+}
+
+/// Run `worker` on `config.threads` barrier-started threads, `config.iters`
+/// times each. Panics with a seed-replayable report if any iteration fails
+/// (an `Err` return or a panic), or if the watchdog expires.
+pub fn run(
+    config: &StressConfig,
+    worker: impl Fn(&mut Worker) -> Result<(), String> + Send + Sync + 'static,
+) {
+    exec(config, Arc::new(worker), None)
+}
+
+/// Like [`run`], with an `observer` re-checked continuously on its own thread
+/// for as long as the workers are running (and once more after they finish).
+/// Use it for invariants every intermediate state must satisfy.
+pub fn run_observed(
+    config: &StressConfig,
+    worker: impl Fn(&mut Worker) -> Result<(), String> + Send + Sync + 'static,
+    observer: impl Fn() -> Result<(), String> + Send + Sync + 'static,
+) {
+    exec(config, Arc::new(worker), Some(Arc::new(observer)))
+}
+
+type WorkerFn = dyn Fn(&mut Worker) -> Result<(), String> + Send + Sync;
+type ObserverFn = dyn Fn() -> Result<(), String> + Send + Sync;
+
+fn exec(config: &StressConfig, worker: Arc<WorkerFn>, observer: Option<Arc<ObserverFn>>) {
+    assert!(config.threads > 0, "stress run needs at least one thread");
+    let participants = config.threads + observer.is_some() as usize;
+    let barrier = Arc::new(Barrier::new(participants));
+    let progress = Arc::new((
+        Mutex::new(Progress {
+            finished: vec![false; config.threads],
+            observer_done: observer.is_none(),
+            failures: Vec::new(),
+        }),
+        Condvar::new(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Fork one deterministic seed per thread from the master seed.
+    let mut master = Rng::new(config.seed);
+    let seeds: Vec<u64> = (0..config.threads).map(|_| master.next_u64()).collect();
+
+    for (thread, seed) in seeds.into_iter().enumerate() {
+        let worker = Arc::clone(&worker);
+        let barrier = Arc::clone(&barrier);
+        let progress = Arc::clone(&progress);
+        let threads = config.threads;
+        let iters = config.iters;
+        // Detached on purpose: the watchdog must be able to give up on a
+        // deadlocked thread, so nobody joins these handles.
+        std::thread::spawn(move || {
+            let mut w = Worker {
+                thread,
+                threads,
+                iter: 0,
+                rng: Rng::new(seed),
+            };
+            barrier.wait();
+            let mut failure: Option<Failure> = None;
+            for iter in 0..iters {
+                w.iter = iter;
+                let outcome = catch_unwind(AssertUnwindSafe(|| (worker)(&mut w)));
+                let message = match outcome {
+                    Ok(Ok(())) => continue,
+                    Ok(Err(message)) => message,
+                    Err(payload) => crate::runner::panic_message(payload.as_ref()),
+                };
+                failure = Some(Failure {
+                    who: format!("worker {thread} iteration {iter}"),
+                    message,
+                });
+                break;
+            }
+            // Release this thread's clone of the closure (and everything it
+            // captures) *before* reporting finished: once `run` returns, the
+            // harness provably holds no references to the caller's state, so
+            // callers may `Arc::try_unwrap` shared fixtures.
+            drop(worker);
+            let (lock, cvar) = &*progress;
+            let mut p = lock.lock().unwrap();
+            p.finished[thread] = true;
+            p.failures.extend(failure);
+            cvar.notify_all();
+        });
+    }
+
+    if let Some(observer) = observer {
+        let barrier = Arc::clone(&barrier);
+        let progress = Arc::clone(&progress);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            barrier.wait();
+            let mut failure: Option<Failure> = None;
+            let mut pass = 0u64;
+            loop {
+                // One final pass after the stop flag, so the observer always
+                // sees the workers' combined end state at least once.
+                let last = stop.load(Ordering::Acquire);
+                let outcome = catch_unwind(AssertUnwindSafe(&*observer));
+                let message = match outcome {
+                    Ok(Ok(())) => {
+                        pass += 1;
+                        if last {
+                            break;
+                        }
+                        continue;
+                    }
+                    Ok(Err(message)) => message,
+                    Err(payload) => crate::runner::panic_message(payload.as_ref()),
+                };
+                failure = Some(Failure {
+                    who: format!("observer pass {pass}"),
+                    message,
+                });
+                break;
+            }
+            drop(observer); // same contract as the workers: release before reporting
+            let (lock, cvar) = &*progress;
+            let mut p = lock.lock().unwrap();
+            p.observer_done = true;
+            p.failures.extend(failure);
+            cvar.notify_all();
+        });
+    }
+
+    // Watchdog: wait (with a deadline, never a sleep) for every worker, then
+    // release the observer and wait for its final pass.
+    let deadline = Instant::now() + config.timeout;
+    let (lock, cvar) = &*progress;
+    let mut p = lock.lock().unwrap();
+    loop {
+        if p.finished.iter().all(|f| *f) {
+            break;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            let stuck: Vec<String> = p
+                .finished
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !**f)
+                .map(|(t, _)| t.to_string())
+                .collect();
+            panic!(
+                "[{name}] stress run timed out after {timeout:?} (seed {seed}; rerun \
+                 with TESTKIT_SEED={seed}): worker(s) {stuck} still running — \
+                 likely deadlock",
+                name = config.name,
+                timeout = config.timeout,
+                seed = config.seed,
+                stuck = stuck.join(", "),
+            );
+        }
+        p = cvar.wait_timeout(p, left).unwrap().0;
+    }
+    stop.store(true, Ordering::Release);
+    while !p.observer_done {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            panic!(
+                "[{name}] stress run timed out after {timeout:?} (seed {seed}; rerun \
+                 with TESTKIT_SEED={seed}): observer still running",
+                name = config.name,
+                timeout = config.timeout,
+                seed = config.seed,
+            );
+        }
+        p = cvar.wait_timeout(p, left).unwrap().0;
+    }
+    if !p.failures.is_empty() {
+        let mut report = String::new();
+        for f in &p.failures {
+            report.push_str(&format!("\n  {}: {}", f.who, f.message));
+        }
+        panic!(
+            "[{name}] stress run failed ({n} failure(s); seed {seed}; rerun with \
+             TESTKIT_SEED={seed}):{report}",
+            name = config.name,
+            n = p.failures.len(),
+            seed = config.seed,
+        );
+    }
+}
+
+/// Define stress tests: each
+/// `fn name(worker, shared = EXPR) { body }` becomes a `#[test]` that
+/// evaluates `EXPR` once, wraps it in an `Arc` visible to the body as
+/// `shared`, and runs the body on every thread/iteration with `worker` bound
+/// to the per-thread [`stress::Worker`](crate::stress::Worker). The body
+/// fails by `Err(String)` (the `prop_assert!` family) or panic. An optional
+/// leading `config(field = value, ...);` applies [`StressConfig`] overrides
+/// to every test in the block.
+#[macro_export]
+macro_rules! stress {
+    (config($($cfg_field:ident = $cfg_value:expr),* $(,)?); $($rest:tt)*) => {
+        $crate::__stress_impl!([$($cfg_field = $cfg_value),*] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__stress_impl!([] $($rest)*);
+    };
+}
+
+/// Implementation detail of [`stress!`]: peels one test per recursion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __stress_impl {
+    ([$($cfg:tt)*]) => {};
+    ([$($cfg:tt)*]
+     $(#[$meta:meta])*
+     fn $name:ident($worker:ident, $shared:ident = $setup:expr) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            #[allow(unused_mut)]
+            let mut config = $crate::stress::StressConfig::named(stringify!($name));
+            $crate::__props_cfg!(config; $($cfg)*);
+            let $shared = ::std::sync::Arc::new($setup);
+            let __shared = ::std::sync::Arc::clone(&$shared);
+            $crate::stress::run(&config, move |$worker| {
+                #[allow(unused_variables)]
+                let $shared = &*__shared;
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__stress_impl!([$($cfg)*] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn small(name: &'static str, threads: usize, iters: u64) -> StressConfig {
+        let mut c = StressConfig::named(name);
+        c.threads = threads;
+        c.iters = iters;
+        c
+    }
+
+    #[test]
+    fn every_thread_runs_every_iteration() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        run(&small("all_iters", 8, 32), move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 32);
+    }
+
+    /// The per-thread streams are a pure function of (seed, thread): two runs
+    /// with the same config draw identical sequences, thread by thread.
+    #[test]
+    fn workloads_replay_deterministically_by_seed() {
+        let draws_of = |cfg: &StressConfig| {
+            let log: Arc<Mutex<Vec<Vec<u64>>>> =
+                Arc::new(Mutex::new(vec![Vec::new(); cfg.threads]));
+            let l = Arc::clone(&log);
+            run(cfg, move |w| {
+                let v = w.rng.next_u64();
+                l.lock().unwrap()[w.thread].push(v);
+                Ok(())
+            });
+            Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+        };
+        let cfg = small("replay", 4, 16);
+        assert_eq!(draws_of(&cfg), draws_of(&cfg));
+        // A different seed yields different workloads.
+        let mut other = cfg.clone();
+        other.seed ^= 0xDEAD_BEEF;
+        assert_ne!(draws_of(&cfg), draws_of(&other));
+        // Distinct threads draw distinct streams.
+        let per_thread = draws_of(&cfg);
+        assert_ne!(per_thread[0], per_thread[1]);
+    }
+
+    #[test]
+    fn err_failure_is_attributed_and_replayable() {
+        let cfg = small("err_report", 3, 10);
+        let seed = cfg.seed;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(&cfg, |w| {
+                if w.thread == 1 && w.iter == 4 {
+                    Err("boom".to_owned())
+                } else {
+                    Ok(())
+                }
+            });
+        }));
+        let msg = crate::runner::panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("err_report"), "{msg}");
+        assert!(msg.contains("worker 1 iteration 4: boom"), "{msg}");
+        assert!(msg.contains(&format!("TESTKIT_SEED={seed}")), "{msg}");
+    }
+
+    #[test]
+    fn panicking_worker_is_caught_and_reported() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(&small("panic_report", 2, 5), |w| {
+                assert!(w.iter < 3, "iteration {} exploded", w.iter);
+                Ok(())
+            });
+        }));
+        let msg = crate::runner::panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("panic: iteration 3 exploded"), "{msg}");
+    }
+
+    #[test]
+    fn observer_sees_final_state_and_failures_propagate() {
+        // Success path: the observer must run at least once after all
+        // workers finish, so it always checks the combined end state.
+        let counter = Arc::new(AtomicU64::new(0));
+        let seen_final = Arc::new(AtomicBool::new(false));
+        let (c, s) = (Arc::clone(&counter), Arc::clone(&seen_final));
+        run_observed(
+            &small("observer_ok", 4, 16),
+            move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+            move || {
+                let n = counter.load(Ordering::Relaxed);
+                if n == 4 * 16 {
+                    s.store(true, Ordering::Relaxed);
+                }
+                if n > 4 * 16 {
+                    return Err(format!("counter overshot: {n}"));
+                }
+                Ok(())
+            },
+        );
+        assert!(seen_final.load(Ordering::Relaxed));
+        // Failure path: an observer rejection fails the run.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_observed(
+                &small("observer_err", 2, 4),
+                |_| Ok(()),
+                || Err("invariant broken".to_owned()),
+            );
+        }));
+        let msg = crate::runner::panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("observer pass 0: invariant broken"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_names_the_stuck_thread() {
+        let mut cfg = small("deadlock", 2, 1);
+        cfg.timeout = Duration::from_millis(200);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(&cfg, |w| {
+                if w.thread == 1 {
+                    // Block forever (a condvar that is never notified and
+                    // whose predicate never releases).
+                    let gate = (Mutex::new(()), Condvar::new());
+                    let guard = gate.0.lock().unwrap();
+                    let _unreachable = gate.1.wait_while(guard, |_| true);
+                }
+                Ok(())
+            });
+        }));
+        let msg = crate::runner::panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("timed out"), "{msg}");
+        assert!(msg.contains("worker(s) 1"), "{msg}");
+        assert!(msg.contains("TESTKIT_SEED="), "{msg}");
+    }
+
+    // The declarative form: shared state built once, prop_assert! in bodies.
+    crate::stress! {
+        config(threads = 4, iters = 16);
+
+        /// Relaxed increments still sum exactly.
+        fn stress_macro_counts(w, shared = AtomicU64::new(0)) {
+            let step = w.rng.gen_range(1u64..=3);
+            shared.fetch_add(step, Ordering::Relaxed);
+            crate::prop_assert!(shared.load(Ordering::Relaxed) > 0);
+        }
+    }
+}

@@ -180,3 +180,51 @@ props! {
         prop_assert!(s.is_ascii());
     }
 }
+
+// ---------------------------------------------------------- the stress harness
+
+#[test]
+fn stress_failures_replay_by_seed() {
+    // A workload-dependent failure (not a fixed thread/iteration) must
+    // reproduce identically across runs: same seed, same per-thread streams,
+    // same first failing draw.
+    let run = || {
+        failure_text(|| {
+            let mut config = dbgw_testkit::StressConfig::named("selftest_replay");
+            config.threads = 3;
+            config.iters = 64;
+            dbgw_testkit::stress::run(&config, |w| {
+                let draw = w.rng.gen_range(0u64..100);
+                if draw >= 97 {
+                    Err(format!("drew {draw}"))
+                } else {
+                    Ok(())
+                }
+            });
+        })
+    };
+    let (a, b) = (run(), run());
+    // Thread scheduling may interleave *which* failures land first, but each
+    // thread's workload is fixed, so the reports carry the same seed and at
+    // least one identical attributed failure line.
+    assert!(a.contains("TESTKIT_SEED="), "{a}");
+    let seed_of = |s: &str| {
+        s.split("TESTKIT_SEED=")
+            .nth(1)
+            .and_then(|t| t.split(')').next().map(str::to_owned))
+    };
+    assert_eq!(seed_of(&a), seed_of(&b));
+    assert!(a.contains("drew 9"), "{a}");
+}
+
+dbgw_testkit::stress! {
+    config(threads = 4, iters = 32);
+
+    /// The stress macro works end to end from an external crate: shared
+    /// state built once, per-thread deterministic rng, prop_assert! bodies.
+    fn stress_macro_smoke(w, shared = std::sync::atomic::AtomicU64::new(0)) {
+        let step = w.rng.gen_range(1u64..=4);
+        shared.fetch_add(step, std::sync::atomic::Ordering::Relaxed);
+        prop_assert!(w.thread < w.threads);
+    }
+}

@@ -72,4 +72,15 @@ BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_exec.json" \
     cargo bench --offline -p dbgw-bench --bench exec_plan
 test -s "$OBS_TMP/bench_exec.json"
 
+echo "== snapshot-read scaling bench (quick run, asserted scaling floor) =="
+# E12: mixed Zipf read/write throughput against the snapshot engine at
+# 1/2/4/8 threads. The bench asserts the read-scaling floor itself, scaled
+# to the cores actually available (>=8 cores demand 4x from 1->8 threads;
+# a 1-core box gates on "threads must not collapse throughput"). A revived
+# global lock fails CI here. The committed BENCH_concurrency.json is
+# regenerated from a full (non-quick) run when the numbers change.
+BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_concurrency.json" \
+    cargo bench --offline -p dbgw-bench --bench concurrency
+grep -q 'engine_read_scaling_8t_over_1t' "$OBS_TMP/bench_concurrency.json"
+
 echo "All hermetic checks passed."
