@@ -27,5 +27,5 @@ mod key;
 mod lru;
 
 pub use config::CacheConfig;
-pub use key::{fnv1a_64, normalize_sql};
+pub use key::{digest_sql, fnv1a_64, normalize_sql};
 pub use lru::{CacheStatsSnapshot, Lookup, ShardedCache, Stored};

@@ -132,16 +132,20 @@ impl Database for SqlMeter {
         let result = self.inner.execute(sql);
         let dur_ns = self.clock.now_ns().saturating_sub(start);
         dbgw_obs::metrics().sql_latency_ns.observe_ns(dur_ns);
+        // Taken unconditionally so one statement's actuals never leak into a
+        // later statement's slow-log entry.
+        let plan = minisql::analyze::take_last_summary();
         if self.slow_ns.is_some_and(|t| dur_ns >= t) {
             dbgw_obs::metrics().slow_queries.inc();
             self.slow_log.record(SlowQuery {
                 request_id: dbgw_obs::current_request_id(),
-                statement: sql.to_owned(),
+                statement: dbgw_cache::digest_sql(sql),
                 dur_ns,
                 sqlcode: match &result {
                     Ok(rows) => rows.sqlcode(),
                     Err(e) => e.code,
                 },
+                plan,
             });
         }
         result
@@ -176,6 +180,12 @@ pub struct Gateway {
     http_cache: bool,
     /// `DBGW_CACHE_TTL_MS`, echoed to clients as `Cache-Control: max-age`.
     cache_ttl_ms: Option<u64>,
+    /// Metric time series, ticked opportunistically after each request on
+    /// the gateway's clock (`DBGW_SAMPLE_MS` / `DBGW_SAMPLE_CAP`).
+    sampler: Arc<dbgw_obs::series::Sampler>,
+    /// SLO objectives evaluated against the sampler's ring on `/stats`
+    /// (`DBGW_SLO_P99_MS` / `DBGW_SLO_ERROR_BUDGET`).
+    slo: dbgw_obs::slo::SloConfig,
 }
 
 impl Gateway {
@@ -188,17 +198,26 @@ impl Gateway {
     /// the environment (see [`TraceOptions::from_env`]).
     pub fn with_config(source: impl ConnectionSource + 'static, config: EngineConfig) -> Gateway {
         let cache_config = dbgw_cache::CacheConfig::from_env();
+        let trace = TraceOptions::from_env();
+        if trace.slow_ms.is_some() {
+            // Collect plan actuals for every SELECT so slow-log entries can
+            // carry an EXPLAIN ANALYZE summary. Enable-only: another gateway
+            // in the process may rely on it too.
+            minisql::analyze::set_passive_capture(true);
+        }
         Gateway {
             macros: RwLock::new(HashMap::new()),
             config,
             source: Box::new(source),
             sessions: None,
-            trace: TraceOptions::from_env(),
+            trace,
             clock: Arc::new(StdClock::new()),
             slow_log: SlowQueryLog::new(),
             deadline_ms: deadline_ms_from_env(),
             http_cache: cache_config.enabled,
             cache_ttl_ms: cache_config.ttl_ms,
+            sampler: Arc::new(dbgw_obs::series::Sampler::from_env()),
+            slo: dbgw_obs::slo::SloConfig::from_env(),
         }
     }
 
@@ -224,8 +243,34 @@ impl Gateway {
     /// Override the trace/slow-query configuration (benches force
     /// [`TraceOptions::disabled`]; tests force specific settings).
     pub fn with_trace(mut self, trace: TraceOptions) -> Gateway {
+        if trace.slow_ms.is_some() {
+            minisql::analyze::set_passive_capture(true);
+        }
         self.trace = trace;
         self
+    }
+
+    /// Override the metric sampler (tests pin the interval/capacity and
+    /// drive it with a [`dbgw_obs::TestClock`] via [`Gateway::with_clock`]).
+    pub fn with_sampler(mut self, sampler: Arc<dbgw_obs::series::Sampler>) -> Gateway {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Override the SLO objectives independently of the environment.
+    pub fn with_slo(mut self, slo: dbgw_obs::slo::SloConfig) -> Gateway {
+        self.slo = slo;
+        self
+    }
+
+    /// The metric time-series sampler (rendered as sparklines on `/stats`).
+    pub fn sampler(&self) -> &Arc<dbgw_obs::series::Sampler> {
+        &self.sampler
+    }
+
+    /// The active SLO objectives.
+    pub fn slo_config(&self) -> dbgw_obs::slo::SloConfig {
+        self.slo
     }
 
     /// Override the monotonic clock (tests inject a [`dbgw_obs::TestClock`]
@@ -355,11 +400,17 @@ impl Gateway {
             self.dispatch(req, ctx)
         };
         self.apply_http_caching(req, &mut response);
+        let end_ns = self.clock.now_ns();
         m.request_latency_ns
-            .observe_ns(self.clock.now_ns().saturating_sub(start_ns));
+            .observe_ns(end_ns.saturating_sub(start_ns));
         if response.status >= 400 {
             m.request_errors.inc();
         }
+        // Offer the sampler the current time; it snapshots at most once per
+        // configured interval (no background thread — the request path is
+        // the scheduler, exactly like the 1996 CGI model's "do work only
+        // when a request arrives").
+        self.sampler.tick(end_ns / 1_000_000, m);
         if owned {
             if let Some(trace) = dbgw_obs::trace::finish_trace() {
                 self.emit_trace(&trace, &mut response);

@@ -478,18 +478,30 @@ fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Opti
     )
 }
 
-/// The `/stats` admin page: process metrics (and the slow-query log) as
-/// HTML, or the raw Prometheus-style text with `?format=prometheus`.
+/// How many digests the `/stats` views show (top-N by total time).
+const STATS_DIGEST_TOP_N: usize = 20;
+
+/// The `/stats` admin page: process metrics, the query-digest table, the
+/// sampled time series with SLO attainment, and the slow-query log as HTML —
+/// or the raw Prometheus-style text with `?format=prometheus`.
 fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
     let m = dbgw_obs::metrics();
+    let points = inner.gateway.sampler().points();
+    let slo = dbgw_obs::slo::evaluate(&points, &inner.gateway.slo_config());
     if query
         .split('&')
         .any(|pair| pair == "format=prometheus" || pair == "format=text")
     {
+        let mut body = dbgw_obs::export::render_prometheus(m);
+        body.push_str(&dbgw_obs::export::digest_prometheus(
+            dbgw_obs::digests(),
+            STATS_DIGEST_TOP_N,
+        ));
+        body.push_str(&dbgw_obs::export::slo_prometheus(&slo));
         return CgiResponse {
             status: 200,
             content_type: "text/plain".into(),
-            body: dbgw_obs::export::render_prometheus(m),
+            body,
             headers: Vec::new(),
         };
     }
@@ -520,7 +532,6 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("pushdown applied", m.pushdown_applied.get()),
         ("rows scanned", m.rows_scanned.get()),
         ("latch waits", m.latch_waits.get()),
-        ("latch wait ns", m.latch_wait_ns.get()),
         ("snapshots published", m.snapshots_published.get()),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
@@ -542,6 +553,7 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
     for (name, h) in [
         ("request", &m.request_latency_ns),
         ("sql", &m.sql_latency_ns),
+        ("latch wait", &m.latch_wait_ns),
     ] {
         let count = h.count();
         let mean_ms = if count == 0 {
@@ -554,6 +566,9 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ));
     }
     body.push_str("</TABLE>\n");
+    push_digest_table(&mut body);
+    push_series_section(&mut body, &points, inner.gateway.sampler().interval_ms());
+    push_slo_section(&mut body, &slo);
     let codes = m.sqlcode_errors.snapshot();
     if !codes.is_empty() {
         body.push_str("<H2>SQLCODEs</H2>\n<TABLE BORDER=1>\n");
@@ -576,6 +591,129 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
     body.push_str("<P><A HREF=\"/stats?format=prometheus\">prometheus text</A></P>\n");
     body.push_str("</BODY></HTML>\n");
     CgiResponse::html(body)
+}
+
+/// The pg_stat_statements-style digest table: top-N normalized statements by
+/// total execution time, with latency quantiles from each digest's histogram.
+fn push_digest_table(body: &mut String) {
+    let store = dbgw_obs::digests();
+    let top = store.top_by_total_time(STATS_DIGEST_TOP_N);
+    if top.is_empty() {
+        return;
+    }
+    body.push_str(
+        "<H2>Query digests</H2>\n<TABLE BORDER=1>\n\
+         <TR><TH>digest</TH><TH>statement</TH><TH>calls</TH><TH>errors</TH>\
+         <TH>rows ret</TH><TH>rows scan</TH><TH>cache hit%</TH>\
+         <TH>mean ms</TH><TH>p99 ms</TH><TH>total ms</TH><TH>latch ms</TH></TR>\n",
+    );
+    for d in &top {
+        let lookups = d.cache_hits + d.cache_misses;
+        let hit_pct = if lookups == 0 {
+            "-".to_owned()
+        } else {
+            format!("{:.0}", d.cache_hits as f64 * 100.0 / lookups as f64)
+        };
+        let mean_ms = d.total_ns as f64 / d.calls.max(1) as f64 / 1e6;
+        let p99_ms = dbgw_obs::digest::quantile_from_buckets(&d.buckets, 0.99) as f64 / 1e6;
+        body.push_str(&format!(
+            "<TR><TD><CODE>{:016x}</CODE></TD><TD><CODE>{}</CODE></TD>\
+             <TD>{}</TD><TD>{}</TD><TD>{}</TD><TD>{}</TD><TD>{hit_pct}</TD>\
+             <TD>{mean_ms:.3}</TD><TD>{p99_ms:.3}</TD><TD>{:.3}</TD><TD>{:.3}</TD></TR>\n",
+            d.key,
+            dbgw_html::escape_text(&d.text),
+            d.calls,
+            d.errors,
+            d.rows_returned,
+            d.rows_scanned,
+            d.total_ns as f64 / 1e6,
+            d.latch_wait_ns as f64 / 1e6,
+        ));
+    }
+    body.push_str(&format!(
+        "</TABLE>\n<P>{} digest{} tracked.</P>\n",
+        store.len(),
+        if store.len() == 1 { "" } else { "s" }
+    ));
+}
+
+/// Sparkline history from the sampled ring: request rate, p99, error rate,
+/// and cache hit ratio per interval, oldest to newest.
+fn push_series_section(
+    body: &mut String,
+    points: &[dbgw_obs::series::SamplePoint],
+    interval_ms: u64,
+) {
+    if points.is_empty() {
+        return;
+    }
+    use dbgw_obs::series::sparkline;
+    body.push_str(&format!(
+        "<H2>History</H2>\n<P>{} sample{} at {interval_ms} ms intervals (oldest first)</P>\n\
+         <TABLE BORDER=1>\n",
+        points.len(),
+        if points.len() == 1 { "" } else { "s" }
+    ));
+    let latest = points.last().expect("non-empty");
+    let rows: [(&str, Vec<f64>, String); 4] = [
+        (
+            "req/s",
+            points.iter().map(|p| p.req_rate).collect(),
+            format!("{:.1}", latest.req_rate),
+        ),
+        (
+            "p99 ms",
+            points.iter().map(|p| p.p99_ms).collect(),
+            format!("{:.3}", latest.p99_ms),
+        ),
+        (
+            "error rate",
+            points.iter().map(|p| p.error_rate).collect(),
+            format!("{:.3}", latest.error_rate),
+        ),
+        (
+            "cache hit ratio",
+            points.iter().map(|p| p.cache_hit_ratio).collect(),
+            format!("{:.2}", latest.cache_hit_ratio),
+        ),
+    ];
+    for (name, values, latest) in rows {
+        body.push_str(&format!(
+            "<TR><TD>{name}</TD><TD><CODE>{}</CODE></TD><TD>latest {latest}</TD></TR>\n",
+            sparkline(&values)
+        ));
+    }
+    body.push_str("</TABLE>\n");
+}
+
+/// SLO attainment and burn rate over the sampled window.
+fn push_slo_section(body: &mut String, slo: &dbgw_obs::slo::SloReport) {
+    if slo.p99_target_ms.is_none() && slo.error_budget.is_none() {
+        return;
+    }
+    body.push_str("<H2>SLO</H2>\n<TABLE BORDER=1>\n");
+    body.push_str(&format!(
+        "<TR><TD>window</TD><TD>{} samples ({} busy), {} requests, {} errors</TD></TR>\n",
+        slo.samples, slo.busy_samples, slo.requests, slo.errors
+    ));
+    if let Some(target) = slo.p99_target_ms {
+        let att = match slo.latency_attainment_pct {
+            Some(pct) => format!("{pct:.1}% of busy samples met it"),
+            None => "no traffic yet".to_owned(),
+        };
+        body.push_str(&format!(
+            "<TR><TD>p99 target</TD><TD>{target} ms &mdash; {att}</TD></TR>\n"
+        ));
+    }
+    if let Some(budget) = slo.error_budget {
+        let burn = slo.burn_rate.unwrap_or(0.0);
+        let remaining = slo.budget_remaining_pct.unwrap_or(100.0);
+        body.push_str(&format!(
+            "<TR><TD>error budget</TD><TD>{budget} &mdash; burn rate {burn:.2}&times; \
+             ({remaining:.1}% of budget remaining)</TD></TR>\n",
+        ));
+    }
+    body.push_str("</TABLE>\n");
 }
 
 fn write_response(

@@ -115,25 +115,34 @@ impl AccessLog {
 pub struct SlowQuery {
     /// The request that executed it (see [`crate::CgiRequest::request_id`]).
     pub request_id: u64,
-    /// The statement text, post-substitution.
+    /// The statement's normalized digest text (literals masked as `?`), not
+    /// the raw post-substitution SQL — slow logs are long-lived and must not
+    /// retain user-supplied literal values.
     pub statement: String,
     /// Observed execution time, nanoseconds on the gateway's clock.
     pub dur_ns: u64,
     /// The statement's SQLCODE (0 on success, negative on error).
     pub sqlcode: i32,
+    /// Per-operator plan actuals (`EXPLAIN ANALYZE` summary), present when
+    /// the gateway's passive capture collected them for this statement.
+    pub plan: Option<String>,
 }
 
 impl SlowQuery {
     /// Render as one log line, the shape the access log's consumers expect:
-    /// `slow-query request=7 12.500ms sqlcode=0 "SELECT …"`.
+    /// `slow-query request=7 12.500ms sqlcode=0 "select …" plan=[scan 5→3 …]`.
     pub fn to_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "slow-query request={} {:.3}ms sqlcode={} \"{}\"",
             self.request_id,
             self.dur_ns as f64 / 1e6,
             self.sqlcode,
             self.statement
-        )
+        );
+        if let Some(plan) = &self.plan {
+            line.push_str(&format!(" plan=[{plan}]"));
+        }
+        line
     }
 }
 
@@ -247,16 +256,33 @@ mod tests {
         let log = SlowQueryLog::new();
         log.record(SlowQuery {
             request_id: 7,
-            statement: "SELECT * FROM urldb".into(),
+            statement: "select * from urldb where url = ?".into(),
             dur_ns: 12_500_000,
             sqlcode: 0,
+            plan: None,
         });
         assert_eq!(
             log.entries()[0].to_line(),
-            "slow-query request=7 12.500ms sqlcode=0 \"SELECT * FROM urldb\""
+            "slow-query request=7 12.500ms sqlcode=0 \"select * from urldb where url = ?\""
         );
         assert_eq!(log.len(), 1);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn slow_query_line_appends_plan_actuals() {
+        let q = SlowQuery {
+            request_id: 3,
+            statement: "select * from urldb".into(),
+            dur_ns: 1_000_000,
+            sqlcode: 0,
+            plan: Some("scan 5\u{2192}3 x1 0.010ms; total 0.055ms".into()),
+        };
+        assert_eq!(
+            q.to_line(),
+            "slow-query request=3 1.000ms sqlcode=0 \"select * from urldb\" \
+             plan=[scan 5\u{2192}3 x1 0.010ms; total 0.055ms]"
+        );
     }
 }

@@ -473,9 +473,15 @@ pub enum Statement {
         /// Index name.
         name: String,
     },
-    /// EXPLAIN — describe the plan of the wrapped statement without
-    /// executing it.
-    Explain(Box<Statement>),
+    /// EXPLAIN — describe the plan of the wrapped statement. With
+    /// `analyze`, the statement is also executed and each plan operator is
+    /// annotated with its measured rows, loops, and wall time.
+    Explain {
+        /// EXPLAIN ANALYZE: execute and annotate with actuals.
+        analyze: bool,
+        /// The statement being explained.
+        inner: Box<Statement>,
+    },
     /// BEGIN / BEGIN WORK / BEGIN TRANSACTION.
     Begin,
     /// COMMIT.

@@ -354,7 +354,53 @@ impl Connection {
     /// path: the normalized statement text is looked up in the prepared-
     /// statement cache (a hit skips `sql_parse` entirely), and SELECTs
     /// additionally go through the table-version-validated result cache.
+    ///
+    /// Every statement is also folded into the process-wide query digest
+    /// table (unless `DBGW_DIGESTS=0`): latency on this connection's request
+    /// clock, rows returned and scanned, errors, result-cache outcome, and
+    /// latch wait, keyed by the literal-masked statement shape.
     pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> SqlResult<ExecResult> {
+        let store = dbgw_obs::digests();
+        if !store.enabled() {
+            return self.execute_undigested(sql, params);
+        }
+        // Clear notes a digest-disabled window may have left behind, so this
+        // statement only folds in its own attribution.
+        let _ = dbgw_obs::digest::take_notes();
+        let text = dbgw_cache::digest_sql(sql);
+        let key = dbgw_cache::fnv1a_64(text.as_bytes());
+        let clock = Arc::clone(self.ctx.clock());
+        let start_ns = clock.now_ns();
+        let scanned_before = crate::plan::thread_stats().rows_scanned;
+        let result = self.execute_undigested(sql, params);
+        let dur_ns = clock.now_ns().saturating_sub(start_ns);
+        let rows_scanned = crate::plan::thread_stats()
+            .rows_scanned
+            .saturating_sub(scanned_before);
+        let (cache_hit, latch_wait_ns) = dbgw_obs::digest::take_notes();
+        let rows_returned = match &result {
+            Ok(ExecResult::Rows(rs)) => rs.len() as u64,
+            Ok(ExecResult::Count(n)) => *n as u64,
+            Ok(_) | Err(_) => 0,
+        };
+        store.record(
+            key,
+            &text,
+            &dbgw_obs::DigestObservation {
+                dur_ns,
+                error: result.is_err(),
+                rows_returned,
+                rows_scanned,
+                cache_hit,
+                latch_wait_ns,
+            },
+        );
+        result
+    }
+
+    /// [`execute_with_params`](Self::execute_with_params) without the digest
+    /// accounting wrapper.
+    fn execute_undigested(&mut self, sql: &str, params: &[Value]) -> SqlResult<ExecResult> {
         let Some(caches) = self.caches.clone() else {
             let stmt = {
                 let _span = dbgw_obs::trace::span("sql_parse");
@@ -399,6 +445,7 @@ impl Connection {
                         // and cancellation, like any statement would.
                         self.ctx.check().map_err(SqlError::cancelled)?;
                         metrics.cache_hits.inc();
+                        dbgw_obs::digest::note_cache_hit(true);
                         return Ok(ExecResult::Rows(cached.rows.clone()));
                     }
                     // A referenced table changed since the entry was stored:
@@ -416,12 +463,13 @@ impl Connection {
                     metrics.cache_misses.inc();
                 }
             }
+            dbgw_obs::digest::note_cache_hit(false);
             let _span = dbgw_obs::trace::span("sql_execute");
             // Run the query and capture the referenced tables' versions
             // from the SAME pinned snapshot, so the dependency set can never
             // race a concurrent writer.
             let state = self.pin();
-            let rows = run_select(&state, sel, params, &self.ctx)?;
+            let rows = self.run_select_observed(&state, sel, params)?;
             let deps = cache::capture_deps(&state, sel);
             {
                 let _span = dbgw_obs::trace::span("cache_store");
@@ -443,6 +491,33 @@ impl Connection {
         self.execute_statement((*stmt).clone(), params)
     }
 
+    /// Run a SELECT, collecting per-operator actuals when request tracing or
+    /// passive ANALYZE capture is on. The compact summary is attached to the
+    /// trace as a `plan_actuals` note and stashed in a thread-local slot for
+    /// the gateway's slow-query log to pick up after the statement returns.
+    fn run_select_observed(
+        &self,
+        state: &DbState,
+        sel: &crate::ast::Select,
+        params: &[Value],
+    ) -> SqlResult<ResultSet> {
+        if !crate::analyze::capture_wanted() {
+            return run_select(state, sel, params, &self.ctx);
+        }
+        let clock = Arc::clone(self.ctx.clock());
+        let start_ns = clock.now_ns();
+        let (result, ops) = crate::analyze::collect(Arc::clone(&clock), || {
+            run_select(state, sel, params, &self.ctx)
+        });
+        let total_ns = clock.now_ns().saturating_sub(start_ns);
+        let summary = crate::analyze::summarize(&ops, total_ns);
+        if dbgw_obs::trace::trace_active() {
+            dbgw_obs::trace::note("plan_actuals", summary.clone());
+        }
+        crate::analyze::set_last_summary(summary);
+        result
+    }
+
     /// Execute a pre-parsed statement.
     pub fn execute_statement(
         &mut self,
@@ -456,9 +531,15 @@ impl Connection {
                     &state, &sel, params, &self.ctx,
                 )?))
             }
-            Statement::Explain(inner) => {
+            Statement::Explain { analyze, inner } => {
                 let state = self.pin();
                 let lines = match &*inner {
+                    // ANALYZE executes the query under the operator collector
+                    // (on this connection's request clock) and annotates the
+                    // plan with the observed actuals.
+                    Statement::Select(sel) if analyze => {
+                        crate::exec::explain_analyze_select(&state, sel, params, &self.ctx)?
+                    }
                     Statement::Select(sel) => crate::exec::explain_select(&state, sel, params)?,
                     Statement::Insert {
                         table,
@@ -638,7 +719,7 @@ fn write_set(stmt: &Statement) -> Option<Vec<String>> {
         }
         Statement::DropIndex { .. } => None,
         Statement::Select(_)
-        | Statement::Explain(_)
+        | Statement::Explain { .. }
         | Statement::Begin
         | Statement::Commit
         | Statement::Rollback => {
@@ -672,12 +753,19 @@ fn undo_latch_names(undo: &[Undo]) -> Vec<String> {
     names // acquire() sorts and dedups
 }
 
-/// Record one write path's latch acquisition in the global metrics.
+/// Record one write path's latch acquisition in the global metrics: one
+/// histogram observation per latch set acquired, plus the thread-local note
+/// the digest table folds into the running statement's row.
 fn record_latch_metrics(held: &[LatchSet]) {
     let m = dbgw_obs::metrics();
     m.latch_waits.add(held.iter().map(|l| l.len() as u64).sum());
-    m.latch_wait_ns
-        .add(held.iter().map(|l| l.waited().as_nanos() as u64).sum());
+    let mut total_ns = 0u64;
+    for set in held {
+        let waited = set.waited().as_nanos() as u64;
+        m.latch_wait_ns.observe_ns(waited);
+        total_ns += waited;
+    }
+    dbgw_obs::digest::note_latch_wait_ns(total_ns);
 }
 
 fn apply_undo(state: &mut DbState, undo: Vec<Undo>) {
@@ -966,7 +1054,7 @@ fn apply_mutation(
             Ok(ExecResult::Ddl)
         }
         Statement::Select(_)
-        | Statement::Explain(_)
+        | Statement::Explain { .. }
         | Statement::Begin
         | Statement::Commit
         | Statement::Rollback => {

@@ -13,6 +13,7 @@
 //! change performance, never results — a property the equivalence suite in
 //! `tests/planner_equivalence.rs` exercises.
 
+use crate::analyze::{self, OpId};
 use crate::ast::{AggFunc, BinOp, ColumnRef, Expr, OrderKey, Select, SelectItem, SetOp, SortDir};
 use crate::error::{SqlError, SqlResult};
 use crate::eval::{eval, eval_truth, AggSource, Bindings, NoAggregates};
@@ -99,6 +100,10 @@ fn run_compound(
     ctx: &RequestCtx,
     opts: &PlanOptions,
 ) -> SqlResult<ResultSet> {
+    // Compound selects occupy a block of their own, pushing the branches to
+    // collector depth ≥ 2: per-operator actuals are not attributed for set
+    // operations (the branch operator ids would collide).
+    let _analyze_block = analyze::enter_block();
     // The root's ORDER BY / LIMIT were hoisted by the parser to apply to the
     // combined result; run the root branch without them.
     let mut first = sel.clone();
@@ -201,6 +206,9 @@ fn run_single(
     opts: &PlanOptions,
 ) -> SqlResult<ResultSet> {
     check_cancel(ctx)?;
+    // One EXPLAIN ANALYZE block; subqueries re-entering run_single nest to
+    // depth ≥ 2 and are excluded from the outer block's actuals.
+    let _analyze_block = analyze::enter_block();
     // Pre-execute any (uncorrelated) subqueries, replacing them with literal
     // lists/values, so the scalar evaluator never needs database access.
     let rewritten;
@@ -243,6 +251,8 @@ fn run_single(
     let mut rows = execute_source(state, sel, &sel_plan, params, ctx, opts)?;
 
     // 3. Residual WHERE conjuncts (everything the planner did not push).
+    let filter_in = rows.len() as u64;
+    let filter_t0 = analyze::start();
     if !sel_plan.residual.is_empty() {
         let mut kept = Vec::with_capacity(rows.len());
         for (i, row) in rows.into_iter().enumerate() {
@@ -254,6 +264,9 @@ fn run_single(
             }
         }
         rows = kept;
+    }
+    if sel.where_clause.is_some() {
+        analyze::record(OpId::WhereFilter, filter_t0, filter_in, rows.len() as u64);
     }
 
     let grouped = !sel.group_by.is_empty()
@@ -374,6 +387,7 @@ fn full_bindings(state: &DbState, sel: &Select) -> SqlResult<Bindings> {
 /// Scan one table: try an index probe over the pushed conjuncts, fall back
 /// to a heap walk, and keep only rows passing every conjunct. Returns
 /// borrowed rows — nothing is cloned here.
+#[allow(clippy::too_many_arguments)]
 fn scan_table<'a>(
     state: &'a DbState,
     effective: &str,
@@ -382,7 +396,9 @@ fn scan_table<'a>(
     params: &[Value],
     ctx: &RequestCtx,
     opts: &PlanOptions,
+    aop: OpId,
 ) -> SqlResult<Vec<&'a Row>> {
+    let analyze_t0 = analyze::start();
     let table = state.table(table_name)?;
     let local = Bindings::single(effective, column_names(state, table_name)?);
     let probed = if opts.index_paths {
@@ -420,6 +436,7 @@ fn scan_table<'a>(
     }
     plan::record(|s| s.rows_scanned += scanned);
     dbgw_obs::metrics().rows_scanned.add(scanned);
+    analyze::record(aop, analyze_t0, scanned, out.len() as u64);
     Ok(out)
 }
 
@@ -444,6 +461,7 @@ fn execute_source<'a>(
         params,
         ctx,
         opts,
+        OpId::Base,
     )?
     .into_iter()
     .map(|r| Cow::Borrowed(r.as_slice()))
@@ -464,6 +482,7 @@ fn execute_source<'a>(
         if rows.is_empty() {
             // A join (inner or LEFT OUTER) of an empty left side is empty;
             // skip the right scan (and its predicate evaluation) entirely.
+            analyze::record(OpId::Join(j), analyze::start(), 0, 0);
             left_width += right_width;
             continue;
         }
@@ -479,7 +498,10 @@ fn execute_source<'a>(
             params,
             ctx,
             opts,
+            OpId::JoinScan(j),
         )?;
+        let join_in = rows.len() as u64;
+        let join_t0 = analyze::start();
         rows = join_step(
             rows,
             right_rows,
@@ -492,6 +514,7 @@ fn execute_source<'a>(
             params,
             ctx,
         )?;
+        analyze::record(OpId::Join(j), join_t0, join_in, rows.len() as u64);
         left_width += right_width;
     }
     Ok(rows)
@@ -1275,6 +1298,8 @@ fn run_grouped<'a>(
     topk: Option<usize>,
 ) -> SqlResult<ResultSet> {
     let (labels, cols) = expand_items(sel, bindings)?;
+    let agg_in = rows.len() as u64;
+    let agg_t0 = analyze::start();
 
     // Partition rows into groups, preserving first-seen order.
     let mut group_order: Vec<Vec<Value>> = Vec::new();
@@ -1313,6 +1338,7 @@ fn run_grouped<'a>(
     }
 
     let width = bindings.width();
+    let n_groups = group_order.len() as u64;
     let mut pairs: Vec<(SrcRow<'a>, Row)> = Vec::new(); // (representative src, out)
     let mut agg_sources: Vec<GroupAggs> = Vec::new();
     for key in group_order {
@@ -1333,7 +1359,10 @@ fn run_grouped<'a>(
             .next()
             .unwrap_or_else(|| Cow::Owned(vec![Value::Null; width]));
         if let Some(h) = &sel.having {
-            if !eval_truth(h, bindings, &rep, params, &aggs)?.passes() {
+            let having_t0 = analyze::start();
+            let pass = eval_truth(h, bindings, &rep, params, &aggs)?.passes();
+            analyze::record(OpId::Having, having_t0, 1, u64::from(pass));
+            if !pass {
                 continue;
             }
         }
@@ -1341,6 +1370,7 @@ fn run_grouped<'a>(
         pairs.push((rep, out));
         agg_sources.push(aggs);
     }
+    analyze::record(OpId::Aggregate, agg_t0, agg_in, n_groups);
     finish_pipeline(
         sel,
         bindings,
@@ -1368,6 +1398,8 @@ fn finish_pipeline(
 ) -> SqlResult<ResultSet> {
     // DISTINCT over output rows.
     if sel.distinct {
+        let distinct_in = pairs.len() as u64;
+        let distinct_t0 = analyze::start();
         let mut seen: Vec<Row> = Vec::new();
         let mut kept_sources = agg_sources.as_ref().map(|_| Vec::new());
         let mut kept = Vec::with_capacity(pairs.len());
@@ -1384,6 +1416,7 @@ fn finish_pipeline(
             }
         }
         pairs = kept;
+        analyze::record(OpId::Distinct, distinct_t0, distinct_in, pairs.len() as u64);
         // Note: after DISTINCT the agg sources for dropped rows are unneeded;
         // ORDER BY keys below re-evaluate only against kept pairs' own keys,
         // computed eagerly next, so we can discard the mapping safely.
@@ -1394,6 +1427,8 @@ fn finish_pipeline(
     // rows in O(n log k). Ties break on original index in both paths, which
     // makes the heap result exactly the stable full sort's prefix.
     if !sel.order_by.is_empty() {
+        let sort_in = pairs.len() as u64;
+        let sort_t0 = analyze::start();
         let keys: Vec<Vec<Value>> = pairs
             .iter()
             .enumerate()
@@ -1445,8 +1480,12 @@ fn finish_pipeline(
             sorted.push(taken[idx].take().expect("permutation"));
         }
         pairs = sorted;
+        analyze::record(OpId::Sort, sort_t0, sort_in, pairs.len() as u64);
     }
 
+    let limited = sel.limit.is_some() || sel.offset.is_some();
+    let limit_in = pairs.len() as u64;
+    let limit_t0 = analyze::start();
     let offset = sel.offset.unwrap_or(0);
     let rows: Vec<Row> = pairs
         .into_iter()
@@ -1454,6 +1493,9 @@ fn finish_pipeline(
         .skip(offset)
         .take(sel.limit.unwrap_or(usize::MAX))
         .collect();
+    if limited {
+        analyze::record(OpId::Limit, limit_t0, limit_in, rows.len() as u64);
+    }
     Ok(ResultSet {
         columns: labels.to_vec(),
         rows,
@@ -1707,10 +1749,68 @@ pub(crate) fn rewrite_expr_subqueries(
 /// Produce a plan description for a SELECT without running it.
 pub fn explain_select(state: &DbState, sel: &Select, params: &[Value]) -> SqlResult<Vec<String>> {
     let mut lines = Vec::new();
-    explain_into(state, sel, params, 0, &mut lines, &PlanOptions::from_env())?;
+    explain_into(
+        state,
+        sel,
+        params,
+        0,
+        &mut lines,
+        &PlanOptions::from_env(),
+        None,
+    )?;
     Ok(lines)
 }
 
+/// `EXPLAIN ANALYZE`: execute `sel` under an operator collector on `ctx`'s
+/// clock, then render the plan tree with the observed actuals (rows in/out,
+/// loops, wall time) appended to each operator's estimated line, plus a
+/// trailing `TOTAL:` line for the whole statement.
+pub fn explain_analyze_select(
+    state: &DbState,
+    sel: &Select,
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<Vec<String>> {
+    let opts = PlanOptions::from_env();
+    let clock = std::sync::Arc::clone(ctx.clock());
+    let t0 = clock.now_ns();
+    let (result, actuals) = analyze::collect(std::sync::Arc::clone(&clock), || {
+        run_select_with_options(state, sel, params, ctx, &opts)
+    });
+    let rs = result?;
+    let total_ns = clock.now_ns().saturating_sub(t0);
+    let mut lines = Vec::new();
+    explain_into(state, sel, params, 0, &mut lines, &opts, Some(&actuals))?;
+    lines.push(format!(
+        "TOTAL: {} row{} returned, {:.3} ms",
+        rs.len(),
+        plural(rs.len()),
+        total_ns as f64 / 1e6
+    ));
+    Ok(lines)
+}
+
+/// Append `line`, annotated with `op`'s observed actuals when an ANALYZE
+/// collection is being rendered and the operator actually ran.
+fn push_plan_line(
+    lines: &mut Vec<String>,
+    mut line: String,
+    actuals: Option<&[(OpId, analyze::OpActuals)]>,
+    op: OpId,
+) {
+    if let Some(a) = actuals.and_then(|acts| analyze::lookup(acts, op)) {
+        line.push_str(&format!(
+            " (actual rows={} in={} loops={} time={:.3}ms)",
+            a.rows_out,
+            a.rows_in,
+            a.loops,
+            a.time_ns as f64 / 1e6
+        ));
+    }
+    lines.push(line);
+}
+
+#[allow(clippy::too_many_arguments)]
 fn explain_into(
     state: &DbState,
     sel: &Select,
@@ -1718,6 +1818,7 @@ fn explain_into(
     indent: usize,
     lines: &mut Vec<String>,
     opts: &PlanOptions,
+    actuals: Option<&[(OpId, analyze::OpActuals)]>,
 ) -> SqlResult<()> {
     let pad = "  ".repeat(indent);
     if !sel.set_ops.is_empty() {
@@ -1725,12 +1826,14 @@ fn explain_into(
             "{pad}SET OPERATION ({} branches)",
             sel.set_ops.len() + 1
         ));
+        // Branch actuals are not collected (their operator ids would collide
+        // across branches), so the branches render estimates only.
         let mut first = sel.clone();
         first.set_ops = Vec::new();
-        explain_into(state, &first, params, indent + 1, lines, opts)?;
+        explain_into(state, &first, params, indent + 1, lines, opts, None)?;
         for (op, branch) in &sel.set_ops {
             lines.push(format!("{pad}  {op:?}"));
-            explain_into(state, branch, params, indent + 1, lines, opts)?;
+            explain_into(state, branch, params, indent + 1, lines, opts, None)?;
         }
         return Ok(());
     }
@@ -1749,34 +1852,45 @@ fn explain_into(
                 opts,
             );
             match access {
-                Some(desc) => lines.push(format!("{pad}{desc}")),
-                None => lines.push(format!(
-                    "{pad}FULL SCAN {} ({} rows)",
-                    base.name,
-                    table.heap.len()
-                )),
+                Some(desc) => push_plan_line(lines, format!("{pad}{desc}"), actuals, OpId::Base),
+                None => push_plan_line(
+                    lines,
+                    format!("{pad}FULL SCAN {} ({} rows)", base.name, table.heap.len()),
+                    actuals,
+                    OpId::Base,
+                ),
             }
             for (j, join) in sel.joins.iter().enumerate() {
                 let jp = &sel_plan.joins[j];
                 if jp.use_hash {
-                    lines.push(format!(
-                        "{pad}HASH {}JOIN {} ({} key{})",
-                        if join.left_outer { "LEFT OUTER " } else { "" },
-                        join.table.name,
-                        jp.keys.len(),
-                        plural(jp.keys.len()),
-                    ));
+                    push_plan_line(
+                        lines,
+                        format!(
+                            "{pad}HASH {}JOIN {} ({} key{})",
+                            if join.left_outer { "LEFT OUTER " } else { "" },
+                            join.table.name,
+                            jp.keys.len(),
+                            plural(jp.keys.len()),
+                        ),
+                        actuals,
+                        OpId::Join(j),
+                    );
                 } else {
-                    lines.push(format!(
-                        "{pad}NESTED LOOP {}JOIN {}{}",
-                        if join.left_outer { "LEFT OUTER " } else { "" },
-                        join.table.name,
-                        if join.on.is_some() {
-                            " ON <cond>"
-                        } else {
-                            " (cross)"
-                        },
-                    ));
+                    push_plan_line(
+                        lines,
+                        format!(
+                            "{pad}NESTED LOOP {}JOIN {}{}",
+                            if join.left_outer { "LEFT OUTER " } else { "" },
+                            join.table.name,
+                            if join.on.is_some() {
+                                " ON <cond>"
+                            } else {
+                                " (cross)"
+                            },
+                        ),
+                        actuals,
+                        OpId::Join(j),
+                    );
                 }
                 if let Some(desc) = scan_description(
                     state,
@@ -1786,13 +1900,18 @@ fn explain_into(
                     params,
                     opts,
                 ) {
-                    lines.push(format!("{pad}  {desc}"));
+                    push_plan_line(lines, format!("{pad}  {desc}"), actuals, OpId::JoinScan(j));
                 }
             }
         }
     }
     if sel.where_clause.is_some() {
-        lines.push(format!("{pad}FILTER <where>"));
+        push_plan_line(
+            lines,
+            format!("{pad}FILTER <where>"),
+            actuals,
+            OpId::WhereFilter,
+        );
     }
     if !sel.group_by.is_empty()
         || sel
@@ -1800,36 +1919,46 @@ fn explain_into(
             .iter()
             .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
     {
-        lines.push(format!(
-            "{pad}AGGREGATE (group keys: {})",
-            sel.group_by.len()
-        ));
+        push_plan_line(
+            lines,
+            format!("{pad}AGGREGATE (group keys: {})", sel.group_by.len()),
+            actuals,
+            OpId::Aggregate,
+        );
     }
     if sel.having.is_some() {
-        lines.push(format!("{pad}FILTER <having>"));
+        push_plan_line(
+            lines,
+            format!("{pad}FILTER <having>"),
+            actuals,
+            OpId::Having,
+        );
     }
     if sel.distinct {
-        lines.push(format!("{pad}DISTINCT"));
+        push_plan_line(lines, format!("{pad}DISTINCT"), actuals, OpId::Distinct);
     }
     if !sel.order_by.is_empty() {
-        match sel_plan.topk {
-            Some(k) => lines.push(format!(
-                "{pad}TOP-K SORT ({} keys, k={k})",
-                sel.order_by.len()
-            )),
-            None => lines.push(format!("{pad}SORT ({} keys)", sel.order_by.len())),
-        }
+        let line = match sel_plan.topk {
+            Some(k) => format!("{pad}TOP-K SORT ({} keys, k={k})", sel.order_by.len()),
+            None => format!("{pad}SORT ({} keys)", sel.order_by.len()),
+        };
+        push_plan_line(lines, line, actuals, OpId::Sort);
     }
     if sel.limit.is_some() || sel.offset.is_some() {
-        lines.push(format!(
-            "{pad}LIMIT {}{}",
-            sel.limit
-                .map(|l| l.to_string())
-                .unwrap_or_else(|| "ALL".into()),
-            sel.offset
-                .map(|o| format!(" OFFSET {o}"))
-                .unwrap_or_default()
-        ));
+        push_plan_line(
+            lines,
+            format!(
+                "{pad}LIMIT {}{}",
+                sel.limit
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "ALL".into()),
+                sel.offset
+                    .map(|o| format!(" OFFSET {o}"))
+                    .unwrap_or_default()
+            ),
+            actuals,
+            OpId::Limit,
+        );
     }
     Ok(())
 }

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod ast;
 pub mod cache;
 pub mod csv;

@@ -147,8 +147,12 @@ impl Parser {
 
     fn statement(&mut self) -> SqlResult<Statement> {
         if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
             let inner = self.statement()?;
-            return Ok(Statement::Explain(Box::new(inner)));
+            return Ok(Statement::Explain {
+                analyze,
+                inner: Box::new(inner),
+            });
         }
         if self.at_kw("SELECT") {
             return Ok(Statement::Select(self.select()?));

@@ -290,6 +290,93 @@ fn explain_set_operation() {
 }
 
 // ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explain_analyze_annotates_multi_join_plan() {
+    let db = db();
+    db.run_script(
+        "CREATE TABLE regions (region VARCHAR(10) PRIMARY KEY, mgr VARCHAR(20));
+         INSERT INTO regions VALUES ('west', 'Wes'), ('east', 'Eli'), ('north', 'Nor');",
+    )
+    .unwrap();
+    let plan = texts(
+        &db,
+        "EXPLAIN ANALYZE SELECT c.name, o.amount, r.mgr \
+         FROM customers c JOIN orders o ON c.custid = o.custid \
+         JOIN regions r ON c.region = r.region \
+         WHERE o.amount > 20 ORDER BY o.amount",
+    );
+    let joined = plan.join("\n");
+    // Every executed operator line carries actuals alongside the estimate.
+    let join_lines: Vec<&String> = plan
+        .iter()
+        .filter(|l| l.contains("JOIN orders") || l.contains("JOIN regions"))
+        .collect();
+    assert_eq!(join_lines.len(), 2, "{joined}");
+    for line in &join_lines {
+        assert!(
+            line.contains("(actual rows=") && line.contains("loops=1") && line.contains("time="),
+            "join line missing actuals: {line}\n{joined}"
+        );
+    }
+    let sort = plan.iter().find(|l| l.contains("SORT")).unwrap();
+    assert!(sort.contains("(actual rows=3"), "{sort}\n{joined}");
+    // amounts 25, 75, 300 survive `o.amount > 20`.
+    let total = plan.last().unwrap();
+    assert!(total.starts_with("TOTAL: 3 rows returned,"), "{total}");
+}
+
+#[test]
+fn explain_analyze_shows_scan_and_filter_actuals() {
+    let db = db();
+    let plan = texts(
+        &db,
+        "EXPLAIN ANALYZE SELECT name FROM customers WHERE LENGTH(name) = 3",
+    );
+    let joined = plan.join("\n");
+    // LENGTH(name) = 3 is not index- or pushdown-eligible: the scan reads all
+    // 4 rows and the residual filter keeps all 4 three-letter names.
+    let scan = plan.iter().find(|l| l.contains("FULL SCAN")).unwrap();
+    assert!(scan.contains("(actual rows=4 in=4 loops=1"), "{joined}");
+    assert!(
+        joined.contains("FILTER <where> (actual rows=4 in=4 loops=1"),
+        "{joined}"
+    );
+}
+
+#[test]
+fn explain_analyze_on_dml_plans_without_executing() {
+    let db = db();
+    let plan = texts(&db, "EXPLAIN ANALYZE DELETE FROM orders WHERE amount > 0");
+    assert!(plan[0].contains("DELETE FROM orders"), "{plan:?}");
+    assert!(!plan[0].contains("actual rows="), "{plan:?}");
+    assert_eq!(db.table_len("orders").unwrap(), 4); // nothing deleted
+}
+
+#[test]
+fn explain_analyze_aggregate_having_and_limit() {
+    let db = db();
+    let plan = texts(
+        &db,
+        "EXPLAIN ANALYZE SELECT region, COUNT(*) FROM customers \
+         GROUP BY region HAVING COUNT(*) > 1 LIMIT 5",
+    );
+    let joined = plan.join("\n");
+    // 4 customers collapse into 3 regions; only 'west' has more than one.
+    assert!(
+        joined.contains("AGGREGATE (group keys: 1) (actual rows=3 in=4"),
+        "{joined}"
+    );
+    assert!(
+        joined.contains("FILTER <having> (actual rows=1 in=3 loops=3"),
+        "{joined}"
+    );
+    assert!(joined.contains("LIMIT 5 (actual rows=1 in=1"), "{joined}");
+}
+
+// ---------------------------------------------------------------------------
 // Extended scalar functions
 // ---------------------------------------------------------------------------
 

@@ -160,6 +160,14 @@ impl RequestCtx {
         self.request_id
     }
 
+    /// The monotonic clock this context measures time on — the one clock a
+    /// layer below the HTTP edge should use for instrumentation (EXPLAIN
+    /// ANALYZE operator timings, digest latency), so a `TestClock` pinned at
+    /// the edge makes every recorded duration deterministic.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
     /// The configured deadline in milliseconds, if any.
     pub fn deadline_ms(&self) -> Option<u64> {
         self.deadline.map(|(_, ms)| ms)

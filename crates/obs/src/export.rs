@@ -6,7 +6,9 @@
 //! consume, and the Prometheus text is the standard exposition format so any
 //! scraper can parse `/stats?format=prometheus`.
 
-use crate::metrics::{Metrics, BUCKET_BOUNDS_NS};
+use crate::digest::DigestStore;
+use crate::metrics::{Counter, Gauge, Metrics, BUCKET_BOUNDS_NS};
+use crate::slo::SloReport;
 use crate::trace::{Span, Trace};
 use std::io::Write;
 
@@ -130,8 +132,161 @@ impl std::fmt::Display for TraceTree<'_> {
     }
 }
 
-fn histogram_block(out: &mut String, name: &str, h: &crate::metrics::Histogram) {
-    out.push_str(&format!("# TYPE {name} histogram\n"));
+/// The gateway's counters, as `(exposition name, help text, field)` — the
+/// single vocabulary shared by [`render_prometheus`] and [`metrics_json`].
+fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 24] {
+    [
+        (
+            "dbgw_requests_total",
+            "Requests handled by the gateway.",
+            &m.requests,
+        ),
+        (
+            "dbgw_request_errors_total",
+            "Requests that produced an error page (HTTP status >= 400).",
+            &m.request_errors,
+        ),
+        (
+            "dbgw_macro_parses_total",
+            "Macro files parsed.",
+            &m.macro_parses,
+        ),
+        (
+            "dbgw_substitutions_total",
+            "Variable-substitution passes run.",
+            &m.substitutions,
+        ),
+        (
+            "dbgw_sql_statements_total",
+            "SQL statements the engine executed.",
+            &m.sql_statements,
+        ),
+        (
+            "dbgw_rows_rendered_total",
+            "Report rows rendered into HTML.",
+            &m.rows_rendered,
+        ),
+        (
+            "dbgw_slow_queries_total",
+            "SQL statements that exceeded the slow-query threshold.",
+            &m.slow_queries,
+        ),
+        (
+            "dbgw_traces_recorded_total",
+            "Traces recorded (DBGW_TRACE mode).",
+            &m.traces_recorded,
+        ),
+        (
+            "dbgw_requests_shed_total",
+            "Connections shed with 503 because the accept queue was full.",
+            &m.requests_shed,
+        ),
+        (
+            "dbgw_request_timeouts_total",
+            "Requests that hit their deadline and returned a timeout page.",
+            &m.request_timeouts,
+        ),
+        (
+            "dbgw_cache_hits_total",
+            "SQL result-cache lookups that returned a fresh row set.",
+            &m.cache_hits,
+        ),
+        (
+            "dbgw_cache_misses_total",
+            "SQL result-cache lookups that found nothing usable.",
+            &m.cache_misses,
+        ),
+        (
+            "dbgw_cache_evictions_total",
+            "Result-cache entries pushed out by the byte budget or TTL.",
+            &m.cache_evictions,
+        ),
+        (
+            "dbgw_cache_invalidations_total",
+            "Result-cache entries rejected because a referenced table changed.",
+            &m.cache_invalidations,
+        ),
+        (
+            "dbgw_stmt_cache_hits_total",
+            "Prepared-statement cache hits (parse skipped).",
+            &m.stmt_cache_hits,
+        ),
+        (
+            "dbgw_stmt_cache_misses_total",
+            "Prepared-statement cache misses (statement parsed and stored).",
+            &m.stmt_cache_misses,
+        ),
+        (
+            "dbgw_http_not_modified_total",
+            "Conditional GETs answered 304 Not Modified from the ETag.",
+            &m.http_not_modified,
+        ),
+        (
+            "dbgw_join_hash_total",
+            "Join steps executed with the hash strategy.",
+            &m.join_hash,
+        ),
+        (
+            "dbgw_join_nested_total",
+            "Join steps executed with the nested-loop strategy.",
+            &m.join_nested,
+        ),
+        (
+            "dbgw_pushdown_applied_total",
+            "Join queries with at least one WHERE conjunct pushed below the join.",
+            &m.pushdown_applied,
+        ),
+        (
+            "dbgw_rows_scanned_total",
+            "Rows fetched from table heaps by scans.",
+            &m.rows_scanned,
+        ),
+        (
+            "dbgw_latch_waits_total",
+            "Table-latch acquisitions that had to wait for another writer.",
+            &m.latch_waits,
+        ),
+        (
+            "dbgw_digest_evictions_total",
+            "Query digests evicted from the bounded digest store.",
+            &m.digest_evictions,
+        ),
+        (
+            "dbgw_snapshots_published_total",
+            "Database snapshots published.",
+            &m.snapshots_published,
+        ),
+    ]
+}
+
+/// The gauges, same shape as [`counters`].
+fn gauges(m: &Metrics) -> [(&'static str, &'static str, &Gauge); 4] {
+    [
+        (
+            "dbgw_requests_in_flight",
+            "Requests currently being processed by pool workers.",
+            &m.requests_in_flight,
+        ),
+        (
+            "dbgw_queue_depth",
+            "Accepted connections waiting in the bounded queue for a worker.",
+            &m.queue_depth,
+        ),
+        (
+            "dbgw_cache_bytes",
+            "Bytes currently resident in the statement + result caches.",
+            &m.cache_bytes,
+        ),
+        (
+            "dbgw_snapshot_epoch",
+            "Epoch of the most recently published database snapshot.",
+            &m.snapshot_epoch,
+        ),
+    ]
+}
+
+fn histogram_block(out: &mut String, name: &str, help: &str, h: &crate::metrics::Histogram) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
     let counts = h.bucket_counts();
     let mut cumulative = 0u64;
     for (i, bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
@@ -159,53 +314,32 @@ pub fn snapshot_age_ms(m: &Metrics) -> u64 {
 }
 
 /// Render a metric registry in the Prometheus text exposition format.
-/// Latency histograms are exported in seconds, per convention.
+/// Latency histograms are exported in seconds, per convention. Every family
+/// carries `# HELP` and `# TYPE` headers (scrapers and the conformance
+/// property suite both require them).
 pub fn render_prometheus(m: &Metrics) -> String {
     let mut out = String::new();
-    for (name, counter) in [
-        ("dbgw_requests_total", &m.requests),
-        ("dbgw_request_errors_total", &m.request_errors),
-        ("dbgw_macro_parses_total", &m.macro_parses),
-        ("dbgw_substitutions_total", &m.substitutions),
-        ("dbgw_sql_statements_total", &m.sql_statements),
-        ("dbgw_rows_rendered_total", &m.rows_rendered),
-        ("dbgw_slow_queries_total", &m.slow_queries),
-        ("dbgw_traces_recorded_total", &m.traces_recorded),
-        ("dbgw_requests_shed_total", &m.requests_shed),
-        ("dbgw_request_timeouts_total", &m.request_timeouts),
-        ("dbgw_cache_hits_total", &m.cache_hits),
-        ("dbgw_cache_misses_total", &m.cache_misses),
-        ("dbgw_cache_evictions_total", &m.cache_evictions),
-        ("dbgw_cache_invalidations_total", &m.cache_invalidations),
-        ("dbgw_stmt_cache_hits_total", &m.stmt_cache_hits),
-        ("dbgw_stmt_cache_misses_total", &m.stmt_cache_misses),
-        ("dbgw_http_not_modified_total", &m.http_not_modified),
-        ("dbgw_join_hash_total", &m.join_hash),
-        ("dbgw_join_nested_total", &m.join_nested),
-        ("dbgw_pushdown_applied_total", &m.pushdown_applied),
-        ("dbgw_rows_scanned_total", &m.rows_scanned),
-        ("dbgw_latch_waits_total", &m.latch_waits),
-        ("dbgw_latch_wait_ns_total", &m.latch_wait_ns),
-        ("dbgw_snapshots_published_total", &m.snapshots_published),
-    ] {
+    for (name, help, counter) in counters(m) {
         out.push_str(&format!(
-            "# TYPE {name} counter\n{name} {}\n",
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
             counter.get()
         ));
     }
-    for (name, gauge) in [
-        ("dbgw_requests_in_flight", &m.requests_in_flight),
-        ("dbgw_queue_depth", &m.queue_depth),
-        ("dbgw_cache_bytes", &m.cache_bytes),
-        ("dbgw_snapshot_epoch", &m.snapshot_epoch),
-    ] {
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", gauge.get()));
+    for (name, help, gauge) in gauges(m) {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
+            gauge.get()
+        ));
     }
     out.push_str(&format!(
-        "# TYPE dbgw_snapshot_age_ms gauge\ndbgw_snapshot_age_ms {}\n",
+        "# HELP dbgw_snapshot_age_ms Age of the newest published database snapshot.\n\
+         # TYPE dbgw_snapshot_age_ms gauge\ndbgw_snapshot_age_ms {}\n",
         snapshot_age_ms(m)
     ));
-    out.push_str("# TYPE dbgw_sqlcode_errors_total counter\n");
+    out.push_str(
+        "# HELP dbgw_sqlcode_errors_total Error occurrences by SQLCODE.\n\
+         # TYPE dbgw_sqlcode_errors_total counter\n",
+    );
     for (code, count) in m.sqlcode_errors.snapshot() {
         out.push_str(&format!(
             "dbgw_sqlcode_errors_total{{code=\"{code}\"}} {count}\n"
@@ -214,9 +348,116 @@ pub fn render_prometheus(m: &Metrics) -> String {
     histogram_block(
         &mut out,
         "dbgw_request_latency_seconds",
+        "End-to-end gateway request latency.",
         &m.request_latency_ns,
     );
-    histogram_block(&mut out, "dbgw_sql_latency_seconds", &m.sql_latency_ns);
+    histogram_block(
+        &mut out,
+        "dbgw_sql_latency_seconds",
+        "Per-statement SQL latency.",
+        &m.sql_latency_ns,
+    );
+    histogram_block(
+        &mut out,
+        "dbgw_latch_wait_seconds",
+        "Per-write-statement time blocked on table latches.",
+        &m.latch_wait_ns,
+    );
+    out
+}
+
+/// Escape a string for use as a Prometheus label value (`\\`, `"`, `\n`).
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the top-`n` query digests (by total execution time) as Prometheus
+/// families labelled by digest key and masked statement text — the scraped
+/// counterpart of the `/stats` digest table.
+pub fn digest_prometheus(store: &DigestStore, n: usize) -> String {
+    let top = store.top_by_total_time(n);
+    let mut out = String::new();
+    let families: [(&str, &str, fn(&crate::digest::DigestSnapshot) -> String); 7] = [
+        (
+            "dbgw_digest_calls_total",
+            "Executions folded into this query digest.",
+            |d| d.calls.to_string(),
+        ),
+        (
+            "dbgw_digest_errors_total",
+            "Executions of this digest that returned an error.",
+            |d| d.errors.to_string(),
+        ),
+        (
+            "dbgw_digest_rows_returned_total",
+            "Result rows returned by this digest.",
+            |d| d.rows_returned.to_string(),
+        ),
+        (
+            "dbgw_digest_rows_scanned_total",
+            "Heap rows scanned executing this digest.",
+            |d| d.rows_scanned.to_string(),
+        ),
+        (
+            "dbgw_digest_cache_hits_total",
+            "Executions of this digest served by the SQL result cache.",
+            |d| d.cache_hits.to_string(),
+        ),
+        (
+            "dbgw_digest_time_seconds_total",
+            "Total execution time of this digest.",
+            |d| format!("{}", d.total_ns as f64 / 1e9),
+        ),
+        (
+            "dbgw_digest_latch_wait_seconds_total",
+            "Time this digest spent blocked on table latches.",
+            |d| format!("{}", d.latch_wait_ns as f64 / 1e9),
+        ),
+    ];
+    for (name, help, value) in families {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        for d in &top {
+            out.push_str(&format!(
+                "{name}{{digest=\"{:016x}\",text=\"{}\"}} {}\n",
+                d.key,
+                label_escape(&d.text),
+                value(d)
+            ));
+        }
+    }
+    out
+}
+
+/// Render an [`SloReport`] as Prometheus gauges (families are emitted even
+/// when unconfigured, with the unconfigured halves omitted).
+pub fn slo_prometheus(report: &SloReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# HELP dbgw_slo_window_error_rate Error fraction over the sampled window.\n\
+         # TYPE dbgw_slo_window_error_rate gauge\ndbgw_slo_window_error_rate {}\n",
+        report.error_rate
+    ));
+    if let Some(att) = report.latency_attainment_pct {
+        out.push_str(&format!(
+            "# HELP dbgw_slo_latency_attainment_pct Share of sampled intervals meeting the p99 target.\n\
+             # TYPE dbgw_slo_latency_attainment_pct gauge\ndbgw_slo_latency_attainment_pct {att}\n"
+        ));
+    }
+    if let Some(burn) = report.burn_rate {
+        out.push_str(&format!(
+            "# HELP dbgw_slo_burn_rate Error-budget burn rate (1 = burning exactly at budget).\n\
+             # TYPE dbgw_slo_burn_rate gauge\ndbgw_slo_burn_rate {burn}\n"
+        ));
+    }
     out
 }
 
@@ -225,46 +466,17 @@ pub fn render_prometheus(m: &Metrics) -> String {
 /// agree on vocabulary. Histograms export their `_count` and `_sum` (seconds).
 pub fn metrics_json(m: &Metrics) -> String {
     let mut out = String::from("{");
-    for (name, counter) in [
-        ("dbgw_requests_total", &m.requests),
-        ("dbgw_request_errors_total", &m.request_errors),
-        ("dbgw_macro_parses_total", &m.macro_parses),
-        ("dbgw_substitutions_total", &m.substitutions),
-        ("dbgw_sql_statements_total", &m.sql_statements),
-        ("dbgw_rows_rendered_total", &m.rows_rendered),
-        ("dbgw_slow_queries_total", &m.slow_queries),
-        ("dbgw_traces_recorded_total", &m.traces_recorded),
-        ("dbgw_requests_shed_total", &m.requests_shed),
-        ("dbgw_request_timeouts_total", &m.request_timeouts),
-        ("dbgw_cache_hits_total", &m.cache_hits),
-        ("dbgw_cache_misses_total", &m.cache_misses),
-        ("dbgw_cache_evictions_total", &m.cache_evictions),
-        ("dbgw_cache_invalidations_total", &m.cache_invalidations),
-        ("dbgw_stmt_cache_hits_total", &m.stmt_cache_hits),
-        ("dbgw_stmt_cache_misses_total", &m.stmt_cache_misses),
-        ("dbgw_http_not_modified_total", &m.http_not_modified),
-        ("dbgw_join_hash_total", &m.join_hash),
-        ("dbgw_join_nested_total", &m.join_nested),
-        ("dbgw_pushdown_applied_total", &m.pushdown_applied),
-        ("dbgw_rows_scanned_total", &m.rows_scanned),
-        ("dbgw_latch_waits_total", &m.latch_waits),
-        ("dbgw_latch_wait_ns_total", &m.latch_wait_ns),
-        ("dbgw_snapshots_published_total", &m.snapshots_published),
-    ] {
+    for (name, _, counter) in counters(m) {
         out.push_str(&format!("\"{name}\":{},", counter.get()));
     }
-    for (name, gauge) in [
-        ("dbgw_requests_in_flight", &m.requests_in_flight),
-        ("dbgw_queue_depth", &m.queue_depth),
-        ("dbgw_cache_bytes", &m.cache_bytes),
-        ("dbgw_snapshot_epoch", &m.snapshot_epoch),
-    ] {
+    for (name, _, gauge) in gauges(m) {
         out.push_str(&format!("\"{name}\":{},", gauge.get()));
     }
     out.push_str(&format!("\"dbgw_snapshot_age_ms\":{},", snapshot_age_ms(m)));
     for (name, h) in [
         ("dbgw_request_latency_seconds", &m.request_latency_ns),
         ("dbgw_sql_latency_seconds", &m.sql_latency_ns),
+        ("dbgw_latch_wait_seconds", &m.latch_wait_ns),
     ] {
         out.push_str(&format!(
             "\"{name}_count\":{},\"{name}_sum\":{},",
@@ -360,6 +572,93 @@ mod tests {
         // …and +Inf holds everything.
         assert!(text.contains("dbgw_request_latency_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("dbgw_request_latency_seconds_count 2"));
+    }
+
+    #[test]
+    fn every_family_has_help_and_type() {
+        let text = render_prometheus(&Metrics::new());
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(&['{', ' '][..]).next().unwrap();
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}"
+            );
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn latch_wait_exports_as_histogram() {
+        let m = Metrics::new();
+        m.latch_wait_ns.observe_ns(1_500); // ≤ 2 µs bucket
+        m.latch_wait_ns.observe_ns(600_000_000); // overflow
+        let text = render_prometheus(&m);
+        assert!(text.contains("# TYPE dbgw_latch_wait_seconds histogram"));
+        assert!(text.contains("dbgw_latch_wait_seconds_bucket{le=\"0.000002\"} 1"));
+        assert!(text.contains("dbgw_latch_wait_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("dbgw_latch_wait_seconds_count 2"));
+        // The old bare-sum counter is gone.
+        assert!(!text.contains("dbgw_latch_wait_ns_total"));
+    }
+
+    #[test]
+    fn digest_families_render_top_n_with_labels() {
+        let store = crate::digest::DigestStore::with_capacity(16, true);
+        store.record(
+            0xabc,
+            "select \"q\" from t where x = ?",
+            &crate::digest::DigestObservation {
+                dur_ns: 2_000_000_000,
+                rows_returned: 4,
+                ..Default::default()
+            },
+        );
+        store.record(
+            0xdef,
+            "cheap",
+            &crate::digest::DigestObservation {
+                dur_ns: 10,
+                ..Default::default()
+            },
+        );
+        let text = digest_prometheus(&store, 1);
+        assert!(text.contains("# TYPE dbgw_digest_calls_total counter"));
+        assert!(text.contains("# HELP dbgw_digest_calls_total"));
+        // Only the top-1 (by time) digest appears, with escaped text label.
+        assert!(text.contains("digest=\"0000000000000abc\""), "{text}");
+        assert!(!text.contains("cheap"));
+        assert!(text.contains("text=\"select \\\"q\\\" from t where x = ?\""));
+        assert!(text.contains("dbgw_digest_time_seconds_total{digest=\"0000000000000abc\""));
+        assert!(text.contains("} 2\n"), "seconds value: {text}");
+    }
+
+    #[test]
+    fn slo_gauges_render_when_configured() {
+        let report = crate::slo::evaluate(
+            &[crate::series::SamplePoint {
+                requests: 100,
+                errors: 1,
+                p99_ms: 5.0,
+                ..Default::default()
+            }],
+            &crate::slo::SloConfig {
+                p99_target_ms: Some(10.0),
+                error_budget: Some(0.01),
+            },
+        );
+        let text = slo_prometheus(&report);
+        assert!(text.contains("dbgw_slo_window_error_rate 0.01"));
+        assert!(text.contains("dbgw_slo_latency_attainment_pct 100"));
+        assert!(text.contains("dbgw_slo_burn_rate 1\n"));
+        assert!(text.contains("# TYPE dbgw_slo_burn_rate gauge"));
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!   increments are single relaxed atomic ops and are always on.
 //! * [`export`] — a JSON-lines trace sink, a Prometheus-style text dump of
 //!   the global metrics, and a human-readable [`TraceTree`] renderer.
+//! * [`mod@digest`] — a `pg_stat_statements`-style table aggregating per
+//!   query *shape* (literal-masked SQL): calls, errors, rows, latency
+//!   histogram, cache-hit split, latch waits — sharded, bounded, LRU.
+//! * [`series`] — a fixed-size ring of periodic metric snapshots (request
+//!   rate, p50/p99, error rate, cache hit ratio), driven opportunistically
+//!   from the request path on the injectable clock.
+//! * [`slo`] — attainment and error-budget burn rate evaluated over the
+//!   ring against `DBGW_SLO_P99_MS` / `DBGW_SLO_ERROR_BUDGET`.
 //!
 //! ```
 //! use dbgw_obs::{clock::TestClock, trace};
@@ -46,14 +54,20 @@
 
 pub mod clock;
 pub mod ctx;
+pub mod digest;
 pub mod export;
 pub mod metrics;
+pub mod series;
+pub mod slo;
 pub mod trace;
 
 pub use clock::{
     process_mono_ms, Clock, StdClock, SystemWallClock, TestClock, TestWallClock, WallClock,
 };
 pub use ctx::{CancelReason, RequestCtx, CANCELLED_SQLCODE};
-pub use export::{metrics_json, render_prometheus, TraceTree};
+pub use digest::{digests, DigestObservation, DigestSnapshot, DigestStore};
+pub use export::{digest_prometheus, metrics_json, render_prometheus, slo_prometheus, TraceTree};
 pub use metrics::{metrics, CodeCounters, Counter, Gauge, Histogram, Metrics};
+pub use series::{sparkline, SamplePoint, Sampler};
+pub use slo::{SloConfig, SloReport};
 pub use trace::{current_request_id, next_request_id, set_request_id, Span, Trace};

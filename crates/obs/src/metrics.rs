@@ -290,8 +290,9 @@ pub struct Metrics {
     pub rows_scanned: Counter,
     /// Table-latch acquisitions that had to wait for another writer.
     pub latch_waits: Counter,
-    /// Total nanoseconds writers spent blocked on table latches.
-    pub latch_wait_ns: Counter,
+    /// Query digests evicted from the bounded digest store (cold shapes
+    /// pushed out by the per-shard capacity).
+    pub digest_evictions: Counter,
     /// Database snapshots published (one per applied write statement or
     /// rollback).
     pub snapshots_published: Counter,
@@ -311,6 +312,11 @@ pub struct Metrics {
     pub request_latency_ns: Histogram,
     /// Per-statement SQL latency.
     pub sql_latency_ns: Histogram,
+    /// Per-write-statement latch wait: one observation per latch set a
+    /// writer acquired, valued at the nanoseconds it spent blocked. A full
+    /// histogram (PR 6 exported only the sum, which hid the latch-wait p99
+    /// behind the mean).
+    pub latch_wait_ns: Histogram,
     /// Error occurrences by SQLCODE.
     pub sqlcode_errors: CodeCounters,
 }
@@ -341,7 +347,7 @@ impl Metrics {
             pushdown_applied: Counter::new(),
             rows_scanned: Counter::new(),
             latch_waits: Counter::new(),
-            latch_wait_ns: Counter::new(),
+            digest_evictions: Counter::new(),
             snapshots_published: Counter::new(),
             requests_in_flight: Gauge::new(),
             queue_depth: Gauge::new(),
@@ -350,6 +356,7 @@ impl Metrics {
             snapshot_publish_ms: Gauge::new(),
             request_latency_ns: Histogram::new(),
             sql_latency_ns: Histogram::new(),
+            latch_wait_ns: Histogram::new(),
             sqlcode_errors: CodeCounters::new(),
         }
     }

@@ -83,4 +83,37 @@ BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_concurrency.json" \
     cargo bench --offline -p dbgw-bench --bench concurrency
 grep -q 'engine_read_scaling_8t_over_1t' "$OBS_TMP/bench_concurrency.json"
 
+echo "== observability overhead bench (quick run, asserted <5% cost) =="
+# E13: digest table + passive EXPLAIN ANALYZE capture on vs off on the E11
+# join workload. The bench asserts the 5% ceiling itself and that rotating
+# literals fold into one masked digest shape. The committed BENCH_obs.json
+# is regenerated from a full (non-quick) run when the numbers change.
+BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_obs.json" \
+    cargo bench --offline -p dbgw-bench --bench obs_overhead
+grep -q 'obs_overhead_pct' "$OBS_TMP/bench_obs.json"
+
+echo "== /stats smoke (digest table over live HTTP) =="
+# Boot the demo site on an ephemeral port, run one CGI query through it,
+# then scrape /stats: the Prometheus text must carry a digest row and the
+# SLO gauges, and the HTML view must render the digest table.
+cargo build --release --offline --example serve
+DBGW_SLO_P99_MS=250 DBGW_SLO_ERROR_BUDGET=0.01 \
+    ./target/release/examples/serve 0 6 > "$OBS_TMP/serve.log" &
+SERVE_PID=$!
+ADDR=
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's|^serving on http://||p' "$OBS_TMP/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve example never reported its address"; exit 1; }
+curl -fsS "http://$ADDR/cgi-bin/db2www/urlquery.d2w/report?SEARCH=ibm" > /dev/null
+curl -fsS "http://$ADDR/stats?format=prometheus" > "$OBS_TMP/stats.prom"
+curl -fsS "http://$ADDR/stats" > "$OBS_TMP/stats.html"
+wait "$SERVE_PID"
+grep -q '^dbgw_digest_calls_total{digest="' "$OBS_TMP/stats.prom"
+grep -q '^dbgw_slo_burn_rate' "$OBS_TMP/stats.prom"
+grep -q '<H2>Query digests</H2>' "$OBS_TMP/stats.html"
+echo "/stats smoke OK (digest row + SLO gauges served)"
+
 echo "All hermetic checks passed."

@@ -4,7 +4,7 @@
 //! carry the same trace.
 
 use dbgw_cgi::{CgiRequest, Gateway, HttpClient, HttpServer, TraceOptions};
-use dbgw_obs::{trace, StdClock};
+use dbgw_obs::{trace, StdClock, TestClock};
 use std::sync::Arc;
 
 const MACRO: &str = r#"%DEFINE greet = "hello"
@@ -153,11 +153,28 @@ fn slow_query_log_correlates_by_request_id() {
     let slow = gw.slow_queries().entries();
     assert_eq!(slow.len(), 1);
     assert_eq!(slow[0].request_id, req.request_id);
-    assert!(slow[0].statement.contains("LIKE '%IB%'"));
+    // The log records the *digest* text: literals masked, never raw user
+    // input. `'%IB%'` must not survive.
+    assert!(
+        slow[0].statement.contains("like ?"),
+        "{}",
+        slow[0].statement
+    );
+    assert!(!slow[0].statement.contains("IB"), "{}", slow[0].statement);
     assert_eq!(slow[0].sqlcode, 0);
+    // DBGW_SLOW_MS enables passive plan capture: the entry carries the
+    // per-operator EXPLAIN ANALYZE summary.
+    let plan = slow[0].plan.as_deref().expect("plan actuals attached");
+    assert!(plan.contains("scan"), "{plan}");
+    assert!(plan.contains("total"), "{plan}");
     assert!(slow[0]
         .to_line()
         .starts_with(&format!("slow-query request={}", req.request_id)));
+    assert!(
+        slow[0].to_line().contains(" plan=["),
+        "{}",
+        slow[0].to_line()
+    );
 }
 
 #[test]
@@ -209,5 +226,101 @@ fn stats_page_reports_the_traffic_it_serves() {
         .unwrap();
     assert!(statements >= 1);
     assert!(prom.body.contains("dbgw_request_latency_seconds_count"));
+    server.shutdown();
+}
+
+/// The tentpole's time-series + SLO layer, driven deterministically: a
+/// `TestClock` paces the sampler, fat latency observations pin the sampled
+/// p99, and a burst of error pages burns the error budget. The assertions
+/// tolerate traffic from concurrently running tests (the metrics registry is
+/// process-global) — pollution only adds *successful, fast* requests, which
+/// cannot un-burn the budget or drag a 400 ms p99 under a 10 ms target.
+#[test]
+fn stats_reports_sampled_p99_and_slo_burn_rate() {
+    let clock = Arc::new(TestClock::new());
+    let sampler = Arc::new(dbgw_obs::series::Sampler::new(1_000, 60));
+    let db = minisql::Database::new();
+    db.run_script(
+        "CREATE TABLE urldb (url VARCHAR(255), title VARCHAR(80));
+         INSERT INTO urldb VALUES ('http://www.ibm.com', 'IBM');",
+    )
+    .unwrap();
+    let gw = Gateway::new(db)
+        .with_trace(TraceOptions::disabled())
+        .with_clock(clock.clone())
+        .with_sampler(sampler.clone())
+        .with_slo(dbgw_obs::slo::SloConfig {
+            p99_target_ms: Some(10.0),
+            error_budget: Some(0.05),
+        });
+    gw.add_macro("u.d2w", MACRO).unwrap();
+    let server = HttpServer::start(gw, 0).unwrap();
+    let client = HttpClient::new(server.addr());
+
+    // First gateway request anchors the sampler's baseline at t=0.
+    assert_eq!(
+        client
+            .get("/cgi-bin/db2www/u.d2w/report?SEARCH=IB")
+            .unwrap()
+            .status,
+        200
+    );
+    // Window traffic: 50 successes, 50 error pages (missing macro → 404).
+    for _ in 0..50 {
+        client
+            .get("/cgi-bin/db2www/u.d2w/report?SEARCH=IB")
+            .unwrap();
+        client.get("/cgi-bin/db2www/nope.d2w/report").unwrap();
+    }
+    // Pin the window's p99: 200 observations land in the ≤ 524.288 ms
+    // bucket, far past the 10 ms target and numerous enough to own the
+    // 99th percentile against any concurrent traffic.
+    for _ in 0..200 {
+        dbgw_obs::metrics()
+            .request_latency_ns
+            .observe_ns(400_000_000);
+    }
+    // One full interval elapses; the next request's tick emits the sample.
+    clock.advance_millis(1_000);
+    assert_eq!(
+        client
+            .get("/cgi-bin/db2www/u.d2w/report?SEARCH=IB")
+            .unwrap()
+            .status,
+        200
+    );
+    assert!(
+        !sampler.points().is_empty(),
+        "sample should have been taken"
+    );
+
+    let prom = client.get("/stats?format=prometheus").unwrap().body;
+    let burn: f64 = prom
+        .lines()
+        .find_map(|l| l.strip_prefix("dbgw_slo_burn_rate "))
+        .expect("burn rate exported")
+        .parse()
+        .unwrap();
+    // ≥ 50 errors over ~101 window requests against a 5% budget: the burn
+    // rate is far above 1 even with concurrent successful traffic mixed in.
+    assert!(burn > 1.0, "burn rate {burn}\n{prom}");
+    let attainment: f64 = prom
+        .lines()
+        .find_map(|l| l.strip_prefix("dbgw_slo_latency_attainment_pct "))
+        .expect("attainment exported")
+        .parse()
+        .unwrap();
+    assert_eq!(attainment, 0.0, "{prom}");
+    // The digest families ride along on the same exposition.
+    assert!(prom.contains("dbgw_digest_calls_total{digest=\""), "{prom}");
+    assert!(prom.contains("like ?"), "{prom}");
+
+    let html = client.get("/stats").unwrap().body;
+    assert!(html.contains("<H2>History</H2>"), "{html}");
+    // The sampled p99 is exactly the fat bucket's upper bound.
+    assert!(html.contains("latest 524.288"), "{html}");
+    assert!(html.contains("<H2>SLO</H2>"), "{html}");
+    assert!(html.contains("<H2>Query digests</H2>"), "{html}");
+    assert!(html.contains("like ?"), "{html}");
     server.shutdown();
 }

@@ -287,6 +287,196 @@ props! {
     }
 }
 
+/// Check the invariants of the Prometheus text exposition format that
+/// scrapers rely on: every sample line belongs to a family that declared
+/// `# HELP` and `# TYPE`, every sample value parses as a number, and every
+/// histogram family has monotonically non-decreasing cumulative buckets
+/// ending in `+Inf`, with `_count` equal to the `+Inf` bucket and a `_sum`.
+fn check_exposition(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut types: HashMap<&str, &str> = HashMap::new();
+    let mut helps: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let fam = it.next().ok_or("TYPE line without family")?;
+            let kind = it
+                .next()
+                .ok_or_else(|| format!("TYPE {fam} without kind"))?;
+            if types.insert(fam, kind).is_some() {
+                return Err(format!("duplicate TYPE for {fam}"));
+            }
+        } else if let Some(rest) = line.strip_prefix("# HELP ") {
+            helps.push(rest.split(' ').next().unwrap_or(""));
+        }
+    }
+    // family -> (bucket cumulative counts in order, saw +Inf, count value, saw _sum)
+    let mut hist: HashMap<String, (Vec<f64>, bool, Option<f64>, bool)> = HashMap::new();
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let name = line.split(['{', ' ']).next().unwrap();
+        let (family, part) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|f| types.get(f) == Some(&"histogram"))
+                    .map(|f| (f, *suffix))
+            })
+            .unwrap_or((name, ""));
+        if !types.contains_key(family) {
+            return Err(format!("sample {name} has no # TYPE {family}"));
+        }
+        if !helps.contains(&family) {
+            return Err(format!("sample {name} has no # HELP {family}"));
+        }
+        let value: f64 = line
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("unparseable value on {line:?}: {e}"))?;
+        let entry = hist.entry(family.to_owned()).or_default();
+        match part {
+            "_bucket" => {
+                let le = line
+                    .split("le=\"")
+                    .nth(1)
+                    .and_then(|r| r.split('"').next())
+                    .ok_or_else(|| format!("bucket without le label: {line:?}"))?;
+                if entry.1 {
+                    return Err(format!("{family}: bucket after +Inf"));
+                }
+                if let Some(prev) = entry.0.last() {
+                    if value < *prev {
+                        return Err(format!(
+                            "{family}: cumulative buckets decreased ({prev} -> {value})"
+                        ));
+                    }
+                }
+                entry.0.push(value);
+                if le == "+Inf" {
+                    entry.1 = true;
+                }
+            }
+            "_sum" => entry.3 = true,
+            "_count" => entry.2 = Some(value),
+            _ => {}
+        }
+    }
+    for (family, kind) in &types {
+        if *kind != "histogram" {
+            continue;
+        }
+        let (buckets, saw_inf, count, saw_sum) = hist
+            .get(*family)
+            .ok_or_else(|| format!("{family}: declared histogram but no samples"))?;
+        if !saw_inf {
+            return Err(format!("{family}: no le=\"+Inf\" bucket"));
+        }
+        if !saw_sum {
+            return Err(format!("{family}: no _sum"));
+        }
+        let count = count.ok_or_else(|| format!("{family}: no _count"))?;
+        let inf = *buckets.last().expect("saw_inf implies buckets");
+        if (count - inf).abs() > f64::EPSILON {
+            return Err(format!("{family}: _count {count} != +Inf bucket {inf}"));
+        }
+    }
+    Ok(())
+}
+
+props! {
+    config(cases = 64);
+
+    /// Exposition conformance (the `/stats?format=prometheus` contract):
+    /// whatever traffic the registry, digest store, and SLO evaluator have
+    /// absorbed, the rendered text passes [`check_exposition`].
+    fn prometheus_exposition_is_conformant(
+        counts in (usizes(0..100), usizes(0..100)),
+        lat_ns in vec_of(usizes(0..2_000_000_000), 0..=40),
+        sql_ns in vec_of(usizes(0..600_000_000), 0..=40),
+        latch_ns in vec_of(usizes(0..50_000_000), 0..=20),
+        codes in vec_of(ints(-900..900), 0..=6),
+        digest_input in (
+            vec_of((usizes(1..6), usizes(0..3_000_000_000), printable(0..=20)), 0..=20),
+            usizes(1..8),
+        ),
+    ) {
+        let (reqs, errs) = counts;
+        let (digests, top_n) = digest_input;
+        let m = dbgw_obs::metrics::Metrics::new();
+        m.requests.add(reqs as u64);
+        m.request_errors.add(errs as u64);
+        for ns in &lat_ns {
+            m.request_latency_ns.observe_ns(*ns as u64);
+        }
+        for ns in &sql_ns {
+            m.sql_latency_ns.observe_ns(*ns as u64);
+        }
+        for ns in &latch_ns {
+            m.latch_wait_ns.observe_ns(*ns as u64);
+        }
+        for c in &codes {
+            m.sqlcode_errors.record(*c as i32);
+        }
+        let store = dbgw_obs::digest::DigestStore::with_capacity(8, true);
+        for (key, dur, text) in &digests {
+            store.record(
+                *key as u64,
+                text,
+                &dbgw_obs::digest::DigestObservation {
+                    dur_ns: *dur as u64,
+                    rows_returned: 1,
+                    ..Default::default()
+                },
+            );
+        }
+        let report = dbgw_obs::slo::evaluate(
+            &[dbgw_obs::series::SamplePoint {
+                requests: reqs as u64,
+                errors: errs.min(reqs) as u64,
+                p99_ms: *lat_ns.first().unwrap_or(&0) as f64 / 1e6,
+                ..Default::default()
+            }],
+            &dbgw_obs::slo::SloConfig {
+                p99_target_ms: Some(5.0),
+                error_budget: Some(0.01),
+            },
+        );
+        let mut text = dbgw_obs::export::render_prometheus(&m);
+        text.push_str(&dbgw_obs::export::digest_prometheus(&store, top_n));
+        text.push_str(&dbgw_obs::export::slo_prometheus(&report));
+        if let Err(e) = check_exposition(&text) {
+            prop_assert!(false, "{e}\n--- exposition ---\n{text}");
+        }
+    }
+}
+
+/// The conformance checker also holds on the live process registry — the
+/// exact text `/stats?format=prometheus` serves after real gateway traffic.
+#[test]
+fn live_registry_exposition_is_conformant() {
+    let m = dbgw_obs::metrics();
+    let gw = gateway();
+    let resp = gw.handle(&CgiRequest::get("/urlquery.d2w/report", "SEARCH=Alpha"));
+    assert_eq!(resp.status, 200);
+    let mut text = dbgw_obs::export::render_prometheus(m);
+    text.push_str(&dbgw_obs::export::digest_prometheus(
+        dbgw_obs::digests(),
+        20,
+    ));
+    text.push_str(&dbgw_obs::export::slo_prometheus(&dbgw_obs::slo::evaluate(
+        &[],
+        &dbgw_obs::slo::SloConfig {
+            p99_target_ms: Some(5.0),
+            error_budget: Some(0.01),
+        },
+    )));
+    check_exposition(&text).unwrap();
+}
+
 /// Shared body for the CSV round-trip property and its pinned regressions.
 fn csv_round_trips(rows: &[Option<String>]) -> Result<(), String> {
     let db = minisql::Database::new();
