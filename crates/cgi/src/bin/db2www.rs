@@ -13,12 +13,16 @@
 //!
 //! * `DTW_MACRO_DIR` — directory holding `.d2w` macro files (default
 //!   `./macros`),
-//! * `DTW_DB_SCRIPT` — path to a SQL script that builds the database.
+//! * `DTW_DB_SCRIPT` — path to a SQL script that builds the database,
+//! * `DBGW_DATA_DIR` — when set, the database is durable: opened from (and
+//!   recovered into) that directory's write-ahead log, with `DTW_DB_SCRIPT`
+//!   run only the first time, when the recovered database is empty.
 //!
-//! Because the DBMS substrate is in-process, each invocation rebuilds the
-//! database from the script — fine for demonstrating the protocol (the
-//! paper's DB2 connection cost per CGI process was likewise per-request);
-//! the long-running [`dbgw_cgi::HttpServer`] is the performant path.
+//! Without `DBGW_DATA_DIR` the DBMS substrate is in-process and each
+//! invocation rebuilds the database from the script — fine for demonstrating
+//! the protocol (the paper's DB2 connection cost per CGI process was
+//! likewise per-request); the long-running [`dbgw_cgi::HttpServer`] is the
+//! performant path.
 //!
 //! Output is a CGI response on stdout: `Content-Type` header, blank line,
 //! page. Errors still produce a page (status is in the `Status:` header, as
@@ -85,10 +89,21 @@ fn run(request_id: u64) -> CgiResponse {
         if_none_match: std::env::var("HTTP_IF_NONE_MATCH").ok(),
     };
 
-    // Build the database from the configured script.
-    let db = minisql::Database::new();
+    // Open the database: durable under DBGW_DATA_DIR (recovering any prior
+    // log), purely in-memory otherwise. The build script then runs only
+    // against a *fresh* database — a recovered one already has its tables.
+    let db = match minisql::Database::open_from_env() {
+        Ok(db) => db,
+        Err(e) => {
+            return CgiResponse::error_for_request(
+                500,
+                &format!("cannot open DBGW_DATA_DIR database: {e}"),
+                request_id,
+            )
+        }
+    };
     let script_path = env("DTW_DB_SCRIPT");
-    if !script_path.is_empty() {
+    if !script_path.is_empty() && db.pin().tables.is_empty() {
         let _span = dbgw_obs::trace::span("build_database");
         let script = match std::fs::read_to_string(&script_path) {
             Ok(s) => s,

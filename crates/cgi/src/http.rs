@@ -533,6 +533,10 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("rows scanned", m.rows_scanned.get()),
         ("latch waits", m.latch_waits.get()),
         ("snapshots published", m.snapshots_published.get()),
+        ("WAL records", m.wal_records.get()),
+        ("WAL fsyncs", m.wal_fsyncs.get()),
+        ("WAL bytes", m.wal_bytes.get()),
+        ("checkpoints", m.checkpoints.get()),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
     }
@@ -546,6 +550,8 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
             "snapshot age ms",
             dbgw_obs::export::snapshot_age_ms(m) as i64,
         ),
+        ("WAL size bytes", m.wal_size_bytes.get()),
+        ("checkpoint last bytes", m.checkpoint_last_bytes.get()),
     ] {
         body.push_str(&format!("<TR><TD>{name}</TD><TD>{value}</TD></TR>\n"));
     }
@@ -554,6 +560,7 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("request", &m.request_latency_ns),
         ("sql", &m.sql_latency_ns),
         ("latch wait", &m.latch_wait_ns),
+        ("group-commit wait", &m.group_commit_wait_ns),
     ] {
         let count = h.count();
         let mean_ms = if count == 0 {

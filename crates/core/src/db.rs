@@ -66,6 +66,11 @@ pub trait Database {
 
     /// Roll back the open transaction.
     fn rollback(&mut self) -> Result<(), DbError>;
+
+    /// End-of-life hook: flush any durable state and release resources.
+    /// In-memory engines have nothing to do, so the default is a no-op;
+    /// engines with a write-ahead log drain and close it here.
+    fn close(&mut self) {}
 }
 
 /// Adapter turning any `FnMut(&str) -> Result<DbRows, DbError>` into a

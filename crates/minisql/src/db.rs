@@ -41,6 +41,20 @@
 //! short single-threaded process: between the statements of an explicit
 //! transaction, other connections' commits remain visible (read-committed),
 //! and ROLLBACK re-latches the touched tables to undo in reverse.
+//!
+//! # Durability
+//!
+//! [`Database::new`] is purely in-memory, as before. [`Database::open`]
+//! adds a durable write path: the write sequence becomes *latch → mutate →
+//! log → fsync-ack → publish*. After a statement's working copy is built
+//! (step 2 above), its effects are serialized as logical redo records and
+//! appended to the write-ahead log ([`crate::wal`]); only once the
+//! group-commit daemon acknowledges them as durable does the writer
+//! publish. A statement whose log append fails reports SQLCODE −904 and
+//! publishes nothing — readers can never observe state that would not
+//! survive a crash. ROLLBACK logs its compensating images the same way.
+//! Recovery ([`crate::recovery`]) and background checkpoints
+//! ([`crate::checkpoint`]) complete the lifecycle.
 
 use crate::ast::Statement;
 use crate::cache::{self, CachedSelect, DbCacheStats, DbCaches};
@@ -54,8 +68,10 @@ use crate::state::{DbState, TableData};
 use crate::storage::{Heap, Row, RowId};
 use crate::sync::{LatchSet, LatchTable, SnapshotCell, CATALOG_LATCH};
 use crate::types::Value;
+use crate::wal::{DurabilityConfig, Wal, WalOp};
 use dbgw_cache::{CacheConfig, Lookup};
 use dbgw_obs::{Clock, RequestCtx};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Outcome of executing one statement.
@@ -95,8 +111,12 @@ impl ExecResult {
 ///
 /// Dropped catalog objects are kept behind their original `Arc`s, so holding
 /// an undo log costs pointers, not copies of table data.
+///
+/// The undo log is also the source of the WAL's *redo* records: each entry
+/// names the row or object a statement touched, and [`redo_ops`] pairs it
+/// with the final image from the working copy.
 #[derive(Debug)]
-enum Undo {
+pub(crate) enum Undo {
     Insert {
         table: String,
         id: RowId,
@@ -128,12 +148,74 @@ enum Undo {
     },
 }
 
+/// Poison-recovering lock on a std mutex (same posture as `dbgw_sync`: a
+/// panicking daemon must not wedge shutdown).
+fn std_lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Durable-write machinery shared by every connection of one database:
+/// the write-ahead log, the checkpoint barrier, and the checkpoint daemon's
+/// lifecycle. Absent (`None` in [`DbCore`]) for purely in-memory databases,
+/// whose write path skips straight from mutation to publication.
+pub(crate) struct Persistence {
+    /// The append-only redo log (group-commit daemon inside).
+    pub(crate) wal: Arc<Wal>,
+    /// Checkpoint barrier. Writers hold the **read** side across
+    /// append → fsync-ack → publish; the checkpointer takes the **write**
+    /// side, so the snapshot it pins is exactly the replay of the log it
+    /// rewrites — no statement can be durable-but-unpublished (or the
+    /// reverse) while the log is being swapped.
+    pub(crate) barrier: crate::sync::RwLock<()>,
+    /// The data directory (`wal.log` and the checkpoint's `wal.tmp` live
+    /// here).
+    pub(crate) dir: PathBuf,
+    /// Stop flag + wakeup for the checkpoint daemon.
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    /// The checkpoint daemon's handle, joined at shutdown.
+    checkpointer: std::sync::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Persistence {
+    /// Stop the checkpoint daemon, flush the log, stop the group-commit
+    /// daemon. Idempotent; called from [`DbCore`]'s `Drop` and from
+    /// [`Database::close`]. Writes after this fail with SQLCODE −904.
+    pub(crate) fn shutdown(&self) {
+        {
+            let (flag, wake) = &*self.stop;
+            *std_lock(flag) = true;
+            wake.notify_all();
+        }
+        if let Some(handle) = std_lock(&self.checkpointer).take() {
+            // The last `Arc<DbCore>` can die on the checkpoint daemon's own
+            // thread (it briefly upgrades its weak reference); joining
+            // ourselves would deadlock, and the thread is about to exit
+            // anyway — detach instead.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+        self.wal.shutdown();
+    }
+}
+
 /// The shared engine core: the published snapshot plus the write latches.
-struct DbCore {
+pub(crate) struct DbCore {
     /// The current committed state. Readers pin it; writers replace it.
-    published: SnapshotCell<DbState>,
+    pub(crate) published: SnapshotCell<DbState>,
     /// Per-table exclusive write latches (plus the catalog latch).
-    latches: LatchTable,
+    pub(crate) latches: LatchTable,
+    /// The durable write path, when this database was [`Database::open`]ed
+    /// from a data directory.
+    pub(crate) persist: Option<Arc<Persistence>>,
+}
+
+impl Drop for DbCore {
+    fn drop(&mut self) {
+        if let Some(p) = &self.persist {
+            p.shutdown();
+        }
+    }
 }
 
 impl DbCore {
@@ -141,6 +223,7 @@ impl DbCore {
         DbCore {
             published: SnapshotCell::new(DbState::default()),
             latches: LatchTable::new(),
+            persist: None,
         }
     }
 
@@ -247,6 +330,102 @@ impl Database {
             &CacheConfig::disabled(),
             Arc::new(dbgw_obs::StdClock::new()),
         )
+    }
+
+    /// Open a **durable** database rooted at `dir` (created if absent):
+    /// recover the state from `dir/wal.log` (truncating any torn tail),
+    /// then arrange for every subsequent committed statement to be logged
+    /// and fsynced before it is published. Durability knobs (`DBGW_FSYNC`,
+    /// `DBGW_GROUP_COMMIT_US`, `DBGW_CHECKPOINT_BYTES`) and the cache
+    /// configuration are read from the environment.
+    pub fn open(dir: impl AsRef<Path>) -> SqlResult<Database> {
+        Database::open_with_config(
+            dir,
+            &DurabilityConfig::from_env(),
+            &CacheConfig::from_env(),
+            Arc::new(dbgw_obs::StdClock::new()),
+        )
+    }
+
+    /// [`Database::open`] with explicit durability/cache configuration
+    /// (tests pin knobs without touching the environment).
+    pub fn open_with_config(
+        dir: impl AsRef<Path>,
+        durability: &DurabilityConfig,
+        cache: &CacheConfig,
+        clock: Arc<dyn Clock>,
+    ) -> SqlResult<Database> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| SqlError::io("create data directory", &e))?;
+        let log_path = dir.join(crate::wal::LOG_FILE);
+        let state = crate::recovery::recover(&log_path)?;
+        let wal = Arc::new(
+            Wal::open(&log_path, durability)
+                .map_err(|e| SqlError::io("open write-ahead log", &e))?,
+        );
+        wal.start();
+        let persist = Arc::new(Persistence {
+            wal,
+            barrier: crate::sync::RwLock::new(()),
+            dir,
+            stop: Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new())),
+            checkpointer: std::sync::Mutex::new(None),
+        });
+        let core = Arc::new(DbCore {
+            published: SnapshotCell::new(state),
+            latches: LatchTable::new(),
+            persist: Some(Arc::clone(&persist)),
+        });
+        // The daemon holds only a weak reference: dropping the last
+        // `Database` tears the core (and thereby the daemon) down.
+        let weak = Arc::downgrade(&core);
+        let stop = Arc::clone(&persist.stop);
+        let threshold = durability.checkpoint_bytes;
+        let handle = std::thread::Builder::new()
+            .name("dbgw-checkpoint".to_owned())
+            .spawn(move || crate::checkpoint::checkpoint_daemon(weak, stop, threshold))
+            .expect("spawn checkpoint daemon");
+        *std_lock(&persist.checkpointer) = Some(handle);
+        Ok(Database {
+            core,
+            caches: cache.enabled.then(|| Arc::new(DbCaches::new(cache, clock))),
+        })
+    }
+
+    /// Open from `DBGW_DATA_DIR` when it is set and non-empty; otherwise a
+    /// plain in-memory [`Database::new`]. The one-line boot path for the
+    /// gateway binaries and examples.
+    pub fn open_from_env() -> SqlResult<Database> {
+        match std::env::var("DBGW_DATA_DIR") {
+            Ok(dir) if !dir.trim().is_empty() => Database::open(dir.trim()),
+            _ => Ok(Database::new()),
+        }
+    }
+
+    /// Rewrite the log as a base snapshot right now (the background daemon
+    /// does this automatically past `DBGW_CHECKPOINT_BYTES`). No-op for
+    /// in-memory databases.
+    pub fn checkpoint_now(&self) -> SqlResult<()> {
+        crate::checkpoint::checkpoint_now(&self.core)
+    }
+
+    /// Current write-ahead log size in bytes; 0 for in-memory databases.
+    pub fn wal_size(&self) -> u64 {
+        self.core.persist.as_ref().map_or(0, |p| p.wal.size())
+    }
+
+    /// The data directory this database persists to, if any.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.core.persist.as_deref().map(|p| p.dir.as_path())
+    }
+
+    /// Flush the log and stop the durability daemons. Idempotent; writes
+    /// after this fail with SQLCODE −904 (reads keep working). Dropping the
+    /// last handle to a database does the same implicitly.
+    pub fn close(&self) {
+        if let Some(p) = &self.core.persist {
+            p.shutdown();
+        }
     }
 
     /// Per-instance cache counters, or `None` when caching is disabled.
@@ -648,7 +827,19 @@ impl Connection {
                         panic!("injected: writer dies before publishing");
                     }
                 });
-                self.core.publish(&base, work);
+                match &self.core.persist {
+                    Some(p) => {
+                        // Durable path: log → fsync-ack → publish, all under
+                        // the checkpoint barrier's read side so a checkpoint
+                        // can never run between the append and the publish.
+                        // A failed append publishes nothing — the statement
+                        // reports −904 and `work` is dropped.
+                        let _durable = p.barrier.read();
+                        p.wal.commit(&redo_ops(&work, &undo))?;
+                        self.core.publish(&base, work);
+                    }
+                    None => self.core.publish(&base, work),
+                }
                 // Explicit transaction: keep the records for a possible
                 // ROLLBACK later. Auto-commit: the statement is durable now
                 // and the undo log is discarded.
@@ -685,8 +876,18 @@ impl Connection {
                 record_latch_metrics(&held);
                 let base = self.core.published.load();
                 let mut work = (*base).clone();
-                apply_undo(&mut work, undo);
-                self.core.publish(&base, work);
+                apply_undo(&mut work, &undo);
+                match &self.core.persist {
+                    Some(p) => {
+                        // The rollback is itself a logged publication: its
+                        // compensating images go to the WAL as ordinary redo
+                        // ops (recovery stays strictly redo-only).
+                        let _durable = p.barrier.read();
+                        p.wal.commit(&rollback_ops(&work, &undo))?;
+                        self.core.publish(&base, work);
+                    }
+                    None => self.core.publish(&base, work),
+                }
                 Ok(())
             }
             None => Err(SqlError::new(SqlCode::TXN_STATE, "no transaction is open")),
@@ -768,55 +969,193 @@ fn record_latch_metrics(held: &[LatchSet]) {
     dbgw_obs::digest::note_latch_wait_ns(total_ns);
 }
 
-fn apply_undo(state: &mut DbState, undo: Vec<Undo>) {
-    for record in undo.into_iter().rev() {
+fn apply_undo(state: &mut DbState, undo: &[Undo]) {
+    for record in undo.iter().rev() {
         match record {
             Undo::Insert { table, id } => {
-                let _ = state.delete_row(&table, id);
+                let _ = state.delete_row(table, *id);
             }
             Undo::Update { table, id, old } => {
-                let _ = state.update_row(&table, id, old);
+                let _ = state.update_row(table, *id, old.clone());
             }
             Undo::Delete { table, id, old } => {
-                let _ = state.restore_row(&table, id, old);
+                let _ = state.restore_row(table, *id, old.clone());
             }
             Undo::CreateTable { name } => {
-                if let Some(t) = state.tables.remove(&name) {
+                if let Some(t) = state.tables.remove(name) {
                     for idx in &t.index_names {
                         state.indexes.remove(idx);
                     }
                 }
-                state.bump_version(&name);
+                state.bump_version(name);
             }
             Undo::DropTable {
                 name,
                 data,
                 indexes,
             } => {
-                state.tables.insert(name.clone(), data);
+                state.tables.insert(name.clone(), Arc::clone(data));
                 for idx in indexes {
-                    state.indexes.insert(idx.name.to_ascii_lowercase(), idx);
+                    state
+                        .indexes
+                        .insert(idx.name.to_ascii_lowercase(), Arc::clone(idx));
                 }
-                state.bump_version(&name);
+                state.bump_version(name);
             }
             Undo::CreateIndex { name, table } => {
-                state.indexes.remove(&name);
-                if let Ok(t) = state.table_mut(&table) {
-                    t.index_names.retain(|n| *n != name);
+                state.indexes.remove(name);
+                if let Ok(t) = state.table_mut(table) {
+                    t.index_names.retain(|n| n != name);
                 }
             }
             Undo::DropIndex { index } => {
                 let key = index.name.to_ascii_lowercase();
-                if let Ok(t) = state.table_mut(&index.table.clone()) {
+                if let Ok(t) = state.table_mut(&index.table) {
                     t.index_names.push(key.clone());
                 }
-                state.indexes.insert(key, index);
+                state.indexes.insert(key, Arc::clone(index));
             }
         }
     }
 }
 
-fn apply_mutation(
+/// Derive the WAL record for a committed statement: pair each undo entry
+/// with the **final** image from the statement's working copy. Sound
+/// because a single statement touches each `(table, id)` with at most one
+/// kind of operation, and the per-table latch is held from mutation through
+/// log append to publication — so per table, log order equals publication
+/// order.
+fn redo_ops(work: &DbState, undo: &[Undo]) -> Vec<WalOp> {
+    let mut ops = Vec::with_capacity(undo.len());
+    let image = |table: &str, id: RowId| {
+        work.tables
+            .get(&table.to_ascii_lowercase())
+            .and_then(|t| t.heap.get(id))
+            .cloned()
+    };
+    for record in undo {
+        match record {
+            Undo::Insert { table, id } => {
+                if let Some(row) = image(table, *id) {
+                    ops.push(WalOp::Insert {
+                        table: table.to_ascii_lowercase(),
+                        id: *id,
+                        row,
+                    });
+                }
+            }
+            Undo::Update { table, id, .. } => {
+                if let Some(row) = image(table, *id) {
+                    ops.push(WalOp::Update {
+                        table: table.to_ascii_lowercase(),
+                        id: *id,
+                        row,
+                    });
+                }
+            }
+            Undo::Delete { table, id, .. } => ops.push(WalOp::Delete {
+                table: table.to_ascii_lowercase(),
+                id: *id,
+            }),
+            // DDL goes to the log as canonical SQL, replayed through the
+            // ordinary DDL path at recovery (`name` keys are lowercased at
+            // undo-record creation).
+            Undo::CreateTable { name } => {
+                if let Some(t) = work.tables.get(name) {
+                    ops.push(WalOp::Ddl {
+                        sql: crate::dump::create_table_sql(name, &t.schema),
+                    });
+                }
+            }
+            Undo::DropTable { name, .. } => ops.push(WalOp::Ddl {
+                sql: format!("DROP TABLE {name}"),
+            }),
+            Undo::CreateIndex { name, table } => {
+                if let (Some(idx), Some(t)) = (work.indexes.get(name), work.tables.get(table)) {
+                    let column = &t.schema.columns[idx.column].name;
+                    ops.push(WalOp::Ddl {
+                        sql: crate::dump::create_index_sql(idx, column),
+                    });
+                }
+            }
+            Undo::DropIndex { index } => ops.push(WalOp::Ddl {
+                sql: format!("DROP INDEX {}", index.name),
+            }),
+        }
+    }
+    ops
+}
+
+/// Derive the WAL record for a ROLLBACK: the compensating image of each
+/// undo entry, in the order `apply_undo` applied them (reversed). `work` is
+/// the post-undo state, so restored tables are present for lookups.
+fn rollback_ops(work: &DbState, undo: &[Undo]) -> Vec<WalOp> {
+    let mut ops = Vec::with_capacity(undo.len());
+    for record in undo.iter().rev() {
+        match record {
+            Undo::Insert { table, id } => ops.push(WalOp::Delete {
+                table: table.to_ascii_lowercase(),
+                id: *id,
+            }),
+            Undo::Update { table, id, old } => ops.push(WalOp::Update {
+                table: table.to_ascii_lowercase(),
+                id: *id,
+                row: old.clone(),
+            }),
+            Undo::Delete { table, id, old } => ops.push(WalOp::Insert {
+                table: table.to_ascii_lowercase(),
+                id: *id,
+                row: old.clone(),
+            }),
+            Undo::CreateTable { name } => ops.push(WalOp::Ddl {
+                sql: format!("DROP TABLE {name}"),
+            }),
+            Undo::DropTable {
+                name,
+                data,
+                indexes,
+            } => {
+                // Undoing a DROP TABLE recreates everything: schema (whose
+                // constraints recreate the system indexes), secondary
+                // indexes, then every surviving row at its original id.
+                ops.push(WalOp::Ddl {
+                    sql: crate::dump::create_table_sql(name, &data.schema),
+                });
+                for idx in indexes {
+                    if !crate::dump::implied_by_constraint(idx, &data.schema) {
+                        let column = &data.schema.columns[idx.column].name;
+                        ops.push(WalOp::Ddl {
+                            sql: crate::dump::create_index_sql(idx, column),
+                        });
+                    }
+                }
+                for (id, row) in data.heap.iter() {
+                    ops.push(WalOp::Insert {
+                        table: name.clone(),
+                        id,
+                        row: row.clone(),
+                    });
+                }
+            }
+            Undo::CreateIndex { name, .. } => ops.push(WalOp::Ddl {
+                sql: format!("DROP INDEX {name}"),
+            }),
+            Undo::DropIndex { index } => {
+                if let Some(t) = work.tables.get(&index.table) {
+                    let column = &t.schema.columns[index.column].name;
+                    ops.push(WalOp::Ddl {
+                        sql: crate::dump::create_index_sql(index, column),
+                    });
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Apply one mutation statement to a working state, recording undo entries.
+/// `pub(crate)` so WAL recovery can replay logged DDL through the same path.
+pub(crate) fn apply_mutation(
     state: &mut DbState,
     stmt: Statement,
     params: &[Value],

@@ -8,11 +8,13 @@
 
 use crate::db::{Database, ExecResult};
 use crate::error::{SqlError, SqlResult};
+use crate::index::Index;
+use crate::schema::TableSchema;
 use crate::types::Value;
 use std::fmt::Write as _;
 
 /// Render one value as a SQL literal.
-fn literal(v: &Value) -> String {
+pub(crate) fn literal(v: &Value) -> String {
     match v {
         Value::Null => "NULL".to_owned(),
         Value::Int(i) => i.to_string(),
@@ -26,6 +28,51 @@ fn literal(v: &Value) -> String {
     }
 }
 
+/// The `CREATE TABLE` statement (no trailing semicolon) that recreates
+/// `schema` — including PRIMARY KEY / NOT NULL / UNIQUE column constraints,
+/// which in turn recreate the system unique indexes. Shared by the script
+/// dump, the WAL's DDL redo records, and checkpoint serialization.
+pub(crate) fn create_table_sql(name: &str, schema: &TableSchema) -> String {
+    let cols: Vec<String> = schema
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut def = format!("{} {}", c.name, c.ty);
+            if schema.primary_key == Some(i) {
+                def.push_str(" PRIMARY KEY");
+            } else {
+                if c.not_null {
+                    def.push_str(" NOT NULL");
+                }
+                if c.unique {
+                    def.push_str(" UNIQUE");
+                }
+            }
+            def
+        })
+        .collect();
+    format!("CREATE TABLE {name} ({})", cols.join(", "))
+}
+
+/// The `CREATE [UNIQUE] INDEX` statement (no trailing semicolon) that
+/// recreates `idx` over the column named `column_name`.
+pub(crate) fn create_index_sql(idx: &Index, column_name: &str) -> String {
+    format!(
+        "CREATE {}INDEX {} ON {} ({column_name})",
+        if idx.unique { "UNIQUE " } else { "" },
+        idx.name,
+        idx.table
+    )
+}
+
+/// Whether `idx` is a system index implied by a column constraint — such
+/// indexes are recreated by [`create_table_sql`] and must not be emitted as
+/// separate `CREATE INDEX` statements.
+pub(crate) fn implied_by_constraint(idx: &Index, schema: &TableSchema) -> bool {
+    idx.unique && schema.columns.get(idx.column).is_some_and(|c| c.unique)
+}
+
 /// Produce a script that recreates every table (schema, constraints,
 /// indexes, data). Tables come out in name order; rows in heap order.
 pub fn dump_script(db: &Database) -> SqlResult<String> {
@@ -35,28 +82,7 @@ pub fn dump_script(db: &Database) -> SqlResult<String> {
     names.sort();
     for name in names {
         let table = &snapshot.tables[name];
-        // CREATE TABLE with column constraints.
-        let cols: Vec<String> = table
-            .schema
-            .columns
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let mut def = format!("{} {}", c.name, c.ty);
-                if table.schema.primary_key == Some(i) {
-                    def.push_str(" PRIMARY KEY");
-                } else {
-                    if c.not_null {
-                        def.push_str(" NOT NULL");
-                    }
-                    if c.unique {
-                        def.push_str(" UNIQUE");
-                    }
-                }
-                def
-            })
-            .collect();
-        writeln!(out, "CREATE TABLE {name} ({});", cols.join(", "))
+        writeln!(out, "{};", create_table_sql(name, &table.schema))
             .map_err(|_| SqlError::syntax("dump formatting failed"))?;
         // Secondary indexes (system unique indexes were recreated by the
         // column constraints above).
@@ -64,21 +90,10 @@ pub fn dump_script(db: &Database) -> SqlResult<String> {
         index_names.sort();
         for idx_name in &index_names {
             if let Some(idx) = snapshot.indexes.get(idx_name) {
-                let implied_by_constraint = idx.unique
-                    && table
-                        .schema
-                        .columns
-                        .get(idx.column)
-                        .is_some_and(|c| c.unique);
-                if !implied_by_constraint {
+                if !implied_by_constraint(idx, &table.schema) {
                     let column = &table.schema.columns[idx.column].name;
-                    writeln!(
-                        out,
-                        "CREATE {}INDEX {} ON {name} ({column});",
-                        if idx.unique { "UNIQUE " } else { "" },
-                        idx.name
-                    )
-                    .map_err(|_| SqlError::syntax("dump formatting failed"))?;
+                    writeln!(out, "{};", create_index_sql(idx, column))
+                        .map_err(|_| SqlError::syntax("dump formatting failed"))?;
                 }
             }
         }

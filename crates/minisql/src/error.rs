@@ -37,6 +37,9 @@ impl SqlCode {
     pub const DUPLICATE_OBJECT: SqlCode = SqlCode(-601);
     /// Statement not permitted in the current transaction state (DB2 -925).
     pub const TXN_STATE: SqlCode = SqlCode(-925);
+    /// A required resource is unavailable (DB2 -904): the write-ahead log
+    /// could not be appended or fsynced, so the statement was not committed.
+    pub const RESOURCE: SqlCode = SqlCode(-904);
     /// Processing cancelled due to an interrupt (DB2 -952): the request's
     /// deadline passed or its `RequestCtx` was cancelled mid-statement.
     pub const CANCELLED: SqlCode = SqlCode(dbgw_obs::CANCELLED_SQLCODE);
@@ -101,6 +104,11 @@ impl SqlError {
     /// context (deadline, explicit cancel, or budget).
     pub fn cancelled(reason: dbgw_obs::CancelReason) -> Self {
         SqlError::new(SqlCode::CANCELLED, reason.to_string())
+    }
+
+    /// I/O failure helper (SQLCODE −904): durable storage misbehaved.
+    pub fn io(context: &str, err: &std::io::Error) -> Self {
+        SqlError::new(SqlCode::RESOURCE, format!("{context}: {err}"))
     }
 }
 

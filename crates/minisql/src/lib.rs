@@ -37,6 +37,7 @@
 pub mod analyze;
 pub mod ast;
 pub mod cache;
+pub mod checkpoint;
 pub mod csv;
 pub mod date;
 pub mod db;
@@ -48,11 +49,13 @@ pub mod index;
 pub mod like;
 pub mod parser;
 pub mod plan;
+pub mod recovery;
 pub mod schema;
 pub mod state;
 pub mod storage;
 pub mod token;
 pub mod types;
+pub mod wal;
 
 /// Poison-recovering lock wrappers, re-exported from the shared
 /// [`dbgw_sync`] crate (the former in-crate copy moved there).
@@ -65,3 +68,4 @@ pub use exec::ResultSet;
 pub use parser::{parse, parse_script};
 pub use plan::{PlanOptions, PlanStats};
 pub use types::{SqlType, Truth, Value};
+pub use wal::DurabilityConfig;

@@ -208,6 +208,32 @@ impl DbState {
         Ok(old)
     }
 
+    /// Rebuild every index from its table's heap.
+    ///
+    /// WAL replay applies row records straight to the heaps (index
+    /// maintenance during replay would be wasted work and, worse, would have
+    /// to be order-sensitive); this pass re-derives the complete index
+    /// contents at the end. Committed data cannot violate uniqueness, so an
+    /// error here means the log itself is corrupt.
+    pub fn rebuild_indexes(&mut self) -> SqlResult<()> {
+        let names: Vec<String> = self.indexes.keys().cloned().collect();
+        for name in names {
+            let (table, column, unique) = {
+                let idx = &self.indexes[&name];
+                (idx.table.clone(), idx.column, idx.unique)
+            };
+            let mut fresh = Index::new(&name, &table, column, unique);
+            if let Some(t) = self.tables.get(&table) {
+                for (id, row) in t.heap.iter() {
+                    let value = row.get(column).cloned().unwrap_or_default_null();
+                    fresh.insert(&value, id)?;
+                }
+            }
+            self.indexes.insert(name, Arc::new(fresh));
+        }
+        Ok(())
+    }
+
     /// Restore a previously deleted row at its original id (rollback path).
     pub fn restore_row(&mut self, table: &str, id: RowId, row: Row) -> SqlResult<()> {
         let key = table.to_ascii_lowercase();
@@ -323,6 +349,34 @@ mod tests {
             .is_empty());
         st.restore_row("t", a, old).unwrap();
         assert_eq!(st.index_on("t", 0).unwrap().lookup(&Value::Int(1)), vec![a]);
+    }
+
+    #[test]
+    fn rebuild_indexes_rederives_from_heaps() {
+        let mut st = state_with_table();
+        // Write straight to the heap, bypassing index maintenance — exactly
+        // what WAL replay does before its final rebuild pass.
+        {
+            let t = st.tables.get_mut("t").map(Arc::make_mut).unwrap();
+            t.heap.put_at(RowId(0), row(1, "a"));
+            t.heap.put_at(RowId(1), row(2, "b"));
+        }
+        assert!(st
+            .index_on("t", 0)
+            .unwrap()
+            .lookup(&Value::Int(1))
+            .is_empty());
+        st.rebuild_indexes().unwrap();
+        assert_eq!(
+            st.index_on("t", 0).unwrap().lookup(&Value::Int(1)),
+            vec![RowId(0)]
+        );
+        // A uniqueness violation in the heap itself means a corrupt log.
+        {
+            let t = st.tables.get_mut("t").map(Arc::make_mut).unwrap();
+            t.heap.put_at(RowId(2), row(1, "dup"));
+        }
+        assert!(st.rebuild_indexes().is_err());
     }
 
     #[test]

@@ -81,6 +81,22 @@ impl Heap {
         self.live += 1;
     }
 
+    /// Force-set the row at `id`, occupied or not — the idempotent primitive
+    /// WAL replay is built on: replaying an Insert or Update record a second
+    /// time must land in exactly the same state as the first pass. Extends
+    /// the slot array as needed and repairs the free list and live count.
+    pub fn put_at(&mut self, id: RowId, row: Row) {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_none() {
+            self.free.retain(|&f| f != id.0);
+            self.live += 1;
+        }
+        self.slots[idx] = Some(Arc::new(row));
+    }
+
     /// Fetch a row by id.
     pub fn get(&self, id: RowId) -> Option<&Row> {
         self.slots.get(id.0 as usize).and_then(|s| s.as_deref())
@@ -179,6 +195,27 @@ mod tests {
         // The restored slot must not be handed out again by the free list.
         let b = h.insert(row(2));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn put_at_is_idempotent_and_repairs_bookkeeping() {
+        let mut h = Heap::new();
+        // Beyond the end: extends and counts as live.
+        h.put_at(RowId(2), row(9));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(RowId(2)), Some(&row(9)));
+        // Twice over an occupied slot: same state, same count.
+        h.put_at(RowId(2), row(10));
+        h.put_at(RowId(2), row(10));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(RowId(2)), Some(&row(10)));
+        // Over a freed slot: the free list must forget it.
+        let a = h.insert(row(1));
+        h.delete(a);
+        h.put_at(a, row(1));
+        assert_eq!(h.len(), 2);
+        let b = h.insert(row(3));
+        assert_ne!(a, b, "free list must not hand out a put_at slot");
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl std::fmt::Display for TraceTree<'_> {
 
 /// The gateway's counters, as `(exposition name, help text, field)` — the
 /// single vocabulary shared by [`render_prometheus`] and [`metrics_json`].
-fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 24] {
+fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 28] {
     [
         (
             "dbgw_requests_total",
@@ -256,11 +256,31 @@ fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 24] {
             "Database snapshots published.",
             &m.snapshots_published,
         ),
+        (
+            "dbgw_wal_records_total",
+            "Logical records appended to the write-ahead log.",
+            &m.wal_records,
+        ),
+        (
+            "dbgw_wal_fsyncs_total",
+            "Group-commit flushes fsynced to the write-ahead log.",
+            &m.wal_fsyncs,
+        ),
+        (
+            "dbgw_wal_bytes_total",
+            "Bytes appended to the write-ahead log.",
+            &m.wal_bytes,
+        ),
+        (
+            "dbgw_checkpoints_total",
+            "Checkpoints completed (log rewritten as a base snapshot).",
+            &m.checkpoints,
+        ),
     ]
 }
 
 /// The gauges, same shape as [`counters`].
-fn gauges(m: &Metrics) -> [(&'static str, &'static str, &Gauge); 4] {
+fn gauges(m: &Metrics) -> [(&'static str, &'static str, &Gauge); 6] {
     [
         (
             "dbgw_requests_in_flight",
@@ -281,6 +301,16 @@ fn gauges(m: &Metrics) -> [(&'static str, &'static str, &Gauge); 4] {
             "dbgw_snapshot_epoch",
             "Epoch of the most recently published database snapshot.",
             &m.snapshot_epoch,
+        ),
+        (
+            "dbgw_wal_size_bytes",
+            "Current size of the write-ahead log file in bytes.",
+            &m.wal_size_bytes,
+        ),
+        (
+            "dbgw_checkpoint_last_bytes",
+            "Size in bytes of the log the most recent checkpoint wrote.",
+            &m.checkpoint_last_bytes,
         ),
     ]
 }
@@ -362,6 +392,12 @@ pub fn render_prometheus(m: &Metrics) -> String {
         "dbgw_latch_wait_seconds",
         "Per-write-statement time blocked on table latches.",
         &m.latch_wait_ns,
+    );
+    histogram_block(
+        &mut out,
+        "dbgw_group_commit_wait_seconds",
+        "Time committing writers spent waiting for the group-commit fsync.",
+        &m.group_commit_wait_ns,
     );
     out
 }
@@ -477,6 +513,7 @@ pub fn metrics_json(m: &Metrics) -> String {
         ("dbgw_request_latency_seconds", &m.request_latency_ns),
         ("dbgw_sql_latency_seconds", &m.sql_latency_ns),
         ("dbgw_latch_wait_seconds", &m.latch_wait_ns),
+        ("dbgw_group_commit_wait_seconds", &m.group_commit_wait_ns),
     ] {
         out.push_str(&format!(
             "\"{name}_count\":{},\"{name}_sum\":{},",

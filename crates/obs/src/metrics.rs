@@ -296,6 +296,16 @@ pub struct Metrics {
     /// Database snapshots published (one per applied write statement or
     /// rollback).
     pub snapshots_published: Counter,
+    /// Logical records appended to the write-ahead log (one per committed
+    /// statement or rollback when durability is on).
+    pub wal_records: Counter,
+    /// Group-commit flushes fsynced to the log. The ratio
+    /// `wal_records / wal_fsyncs` is the achieved batching factor.
+    pub wal_fsyncs: Counter,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: Counter,
+    /// Checkpoints completed (log rewritten as a base snapshot).
+    pub checkpoints: Counter,
     /// Requests currently being processed by pool workers.
     pub requests_in_flight: Gauge,
     /// Accepted connections waiting in the bounded queue for a worker.
@@ -308,6 +318,11 @@ pub struct Metrics {
     /// [`crate::process_mono_ms`] reading at the last snapshot publication;
     /// exporters subtract it from "now" to report the snapshot's age.
     pub snapshot_publish_ms: Gauge,
+    /// Current size of the write-ahead log file in bytes (checkpoints
+    /// shrink it back to the base-snapshot size).
+    pub wal_size_bytes: Gauge,
+    /// Size in bytes of the log the most recent checkpoint wrote.
+    pub checkpoint_last_bytes: Gauge,
     /// End-to-end gateway request latency.
     pub request_latency_ns: Histogram,
     /// Per-statement SQL latency.
@@ -317,6 +332,10 @@ pub struct Metrics {
     /// histogram (PR 6 exported only the sum, which hid the latch-wait p99
     /// behind the mean).
     pub latch_wait_ns: Histogram,
+    /// Time a committing writer spent blocked on the group-commit daemon,
+    /// from enqueueing its record to the durable acknowledgment — the
+    /// latency cost of durability, batch-amortized fsync included.
+    pub group_commit_wait_ns: Histogram,
     /// Error occurrences by SQLCODE.
     pub sqlcode_errors: CodeCounters,
 }
@@ -349,14 +368,21 @@ impl Metrics {
             latch_waits: Counter::new(),
             digest_evictions: Counter::new(),
             snapshots_published: Counter::new(),
+            wal_records: Counter::new(),
+            wal_fsyncs: Counter::new(),
+            wal_bytes: Counter::new(),
+            checkpoints: Counter::new(),
             requests_in_flight: Gauge::new(),
             queue_depth: Gauge::new(),
             cache_bytes: Gauge::new(),
             snapshot_epoch: Gauge::new(),
             snapshot_publish_ms: Gauge::new(),
+            wal_size_bytes: Gauge::new(),
+            checkpoint_last_bytes: Gauge::new(),
             request_latency_ns: Histogram::new(),
             sql_latency_ns: Histogram::new(),
             latch_wait_ns: Histogram::new(),
+            group_commit_wait_ns: Histogram::new(),
             sqlcode_errors: CodeCounters::new(),
         }
     }

@@ -1,0 +1,122 @@
+//! Deterministic crash-point injection.
+//!
+//! Recovery code is only trustworthy if the crashes it recovers from can be
+//! produced on demand. This module is a process-wide registry of named
+//! *crash points*: production code calls [`hit`] at the places where a real
+//! power cut would bite (before a log append, mid-record, before a checkpoint
+//! rename), and a test arms the point it wants with [`arm`]. Unarmed points
+//! cost one relaxed atomic load — cheap enough to leave in release builds,
+//! which is what lets `scripts/ci.sh` and the stress harness exercise the
+//! exact binary that ships.
+//!
+//! Semantics: `arm(point, n)` makes the `n`-th call to `hit(point)` return
+//! `true` exactly once (the point disarms itself on firing). The subsystem
+//! that observes `true` is expected to latch its own "crashed" state — e.g.
+//! a WAL silently dropping writes from that moment on, simulating the
+//! process dying at that instant while the test harness stays alive to
+//! reopen the files and assert on what recovery sees.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of armed points; lets [`hit`] bail with one atomic load.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, u64>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arm `point` to fire on its `after_hits`-th [`hit`] (1-based: `1` fires on
+/// the very next hit). Re-arming an armed point replaces its counter.
+pub fn arm(point: &str, after_hits: u64) {
+    assert!(after_hits > 0, "crash points are 1-based: arm with >= 1");
+    let mut map = registry().lock().unwrap();
+    if map.insert(point.to_owned(), after_hits).is_none() {
+        ARMED.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm `point` if armed.
+pub fn disarm(point: &str) {
+    let mut map = registry().lock().unwrap();
+    if map.remove(point).is_some() {
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm every point (test teardown).
+pub fn disarm_all() {
+    let mut map = registry().lock().unwrap();
+    if !map.is_empty() {
+        map.clear();
+        ARMED.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Is `point` currently armed?
+pub fn armed(point: &str) -> bool {
+    ARMED.load(Ordering::SeqCst) > 0 && registry().lock().unwrap().contains_key(point)
+}
+
+/// Record one pass through `point`. Returns `true` exactly when the armed
+/// countdown reaches zero — the caller should then behave as if the process
+/// died here. The point disarms itself on firing.
+pub fn hit(point: &str) -> bool {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    let mut map = registry().lock().unwrap();
+    let Some(left) = map.get_mut(point) else {
+        return false;
+    };
+    *left -= 1;
+    if *left == 0 {
+        map.remove(point);
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share one process-wide registry; distinct point names keep them
+    // independent under the parallel test runner.
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        assert!(!hit("crash.test.never"));
+        assert!(!armed("crash.test.never"));
+    }
+
+    #[test]
+    fn fires_on_nth_hit_then_disarms() {
+        arm("crash.test.third", 3);
+        assert!(!hit("crash.test.third"));
+        assert!(!hit("crash.test.third"));
+        assert!(hit("crash.test.third"));
+        // Self-disarmed: further hits pass through.
+        assert!(!hit("crash.test.third"));
+        assert!(!armed("crash.test.third"));
+    }
+
+    #[test]
+    fn disarm_cancels_a_pending_point() {
+        arm("crash.test.cancel", 1);
+        assert!(armed("crash.test.cancel"));
+        disarm("crash.test.cancel");
+        assert!(!hit("crash.test.cancel"));
+    }
+
+    #[test]
+    fn rearm_replaces_the_countdown() {
+        arm("crash.test.rearm", 5);
+        assert!(!hit("crash.test.rearm"));
+        arm("crash.test.rearm", 1);
+        assert!(hit("crash.test.rearm"));
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`stress`] — a seeded multi-thread stress harness (barrier start,
 //!   per-thread deterministic workloads, deadlock watchdog, failures
 //!   replayable by seed) and the [`stress!`] macro,
+//! * [`crash`] — a named crash-point registry for deterministic power-cut
+//!   injection (durability/recovery tests arm a point; the subsystem under
+//!   test consults it at its would-be-fatal moments),
 //! * the [`props!`] macro and the `prop_assert!` family, which keep property
 //!   tests as declarative as the proptest originals.
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod crash;
 pub mod gen;
 pub mod rng;
 pub mod runner;

@@ -63,6 +63,11 @@ pub struct StressConfig {
     /// Watchdog limit: if the run has not completed within this budget the
     /// harness panics naming the stuck threads instead of hanging.
     pub timeout: Duration,
+    /// Crash points to arm (via [`crate::crash::arm`]) just before the
+    /// workers' barrier drops, as `(point, after_hits)` pairs. Every armed
+    /// point is disarmed when the run finishes, pass or fail, so one test's
+    /// injection can never leak into the next. Empty by default.
+    pub crash_points: Vec<(&'static str, u64)>,
 }
 
 impl StressConfig {
@@ -87,6 +92,7 @@ impl StressConfig {
             iters,
             seed,
             timeout: Duration::from_secs(60),
+            crash_points: Vec::new(),
         }
     }
 }
@@ -145,6 +151,20 @@ type ObserverFn = dyn Fn() -> Result<(), String> + Send + Sync;
 
 fn exec(config: &StressConfig, worker: Arc<WorkerFn>, observer: Option<Arc<ObserverFn>>) {
     assert!(config.threads > 0, "stress run needs at least one thread");
+    // Arm the run's crash points now and guarantee teardown on every exit
+    // path (including the watchdog/failure panics below).
+    struct CrashGuard(bool);
+    impl Drop for CrashGuard {
+        fn drop(&mut self) {
+            if self.0 {
+                crate::crash::disarm_all();
+            }
+        }
+    }
+    let _crash_guard = CrashGuard(!config.crash_points.is_empty());
+    for (point, after_hits) in &config.crash_points {
+        crate::crash::arm(point, *after_hits);
+    }
     let participants = config.threads + observer.is_some() as usize;
     let barrier = Arc::new(Barrier::new(participants));
     let progress = Arc::new((
@@ -465,6 +485,24 @@ mod tests {
         }));
         let msg = crate::runner::panic_message(result.unwrap_err().as_ref());
         assert!(msg.contains("observer pass 0: invariant broken"), "{msg}");
+    }
+
+    #[test]
+    fn crash_points_arm_for_the_run_and_disarm_after() {
+        let mut cfg = small("crash_hook", 1, 3);
+        cfg.crash_points = vec![("crash.test.stress_hook", 2)];
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        run(&cfg, move |_| {
+            if crate::crash::hit("crash.test.stress_hook") {
+                f.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        });
+        // Fired exactly once (on the configured 2nd hit) and did not survive
+        // the run.
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert!(!crate::crash::armed("crash.test.stress_hook"));
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //! ```sh
 //! cargo run --example serve            # serves until Ctrl+C on port 8080
 //! cargo run --example serve -- 0 5     # port 0 (ephemeral), exit after 5s
+//! DBGW_DATA_DIR=./data cargo run --example serve   # durable: WAL + recovery
 //! ```
+//!
+//! With `DBGW_DATA_DIR` set, writes survive restarts: the demo tables are
+//! seeded only on first boot (when recovery finds an empty database), and
+//! every later run picks up where the log left off.
 
 use dbgw_baselines::URLQUERY_MACRO;
 use dbgw_cgi::{Gateway, HttpServer};
@@ -20,17 +25,24 @@ fn main() {
     let port: u16 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8080);
     let run_secs: Option<u64> = args.next().and_then(|a| a.parse().ok());
 
-    // One database, all four applications' tables.
-    let db = minisql::Database::new();
-    UrlDirectory::generate(300, 1996).load(&db).expect("urldb");
-    Shop::generate(40, 4, 1996).load(&db).expect("shop");
-    db.run_script(
-        "CREATE TABLE guest (name VARCHAR(40) NOT NULL, message VARCHAR(200));
-         CREATE TABLE audit (note VARCHAR(250));
-         CREATE TABLE acct (id INTEGER PRIMARY KEY, balance DOUBLE);
-         INSERT INTO acct VALUES (1, 100.0), (2, 0.0);",
-    )
-    .expect("guestbook + transfer tables");
+    // One database, all four applications' tables. With DBGW_DATA_DIR set
+    // this is durable (WAL + recovery); seed only when recovery came back
+    // empty, so restarts keep the accumulated guestbook entries and orders.
+    let db = minisql::Database::open_from_env().expect("open database");
+    if let Some(dir) = db.data_dir() {
+        println!("durable data dir: {}", dir.display());
+    }
+    if db.pin().tables.is_empty() {
+        UrlDirectory::generate(300, 1996).load(&db).expect("urldb");
+        Shop::generate(40, 4, 1996).load(&db).expect("shop");
+        db.run_script(
+            "CREATE TABLE guest (name VARCHAR(40) NOT NULL, message VARCHAR(200));
+             CREATE TABLE audit (note VARCHAR(250));
+             CREATE TABLE acct (id INTEGER PRIMARY KEY, balance DOUBLE);
+             INSERT INTO acct VALUES (1, 100.0), (2, 0.0);",
+        )
+        .expect("guestbook + transfer tables");
+    }
 
     let gateway = Gateway::new(db).enable_sessions(std::time::Duration::from_secs(300));
     gateway.add_macro("urlquery.d2w", URLQUERY_MACRO).unwrap();

@@ -92,6 +92,39 @@ BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_obs.json" \
     cargo bench --offline -p dbgw-bench --bench obs_overhead
 grep -q 'obs_overhead_pct' "$OBS_TMP/bench_obs.json"
 
+echo "== WAL bench (quick run, asserted group-commit batching floor) =="
+# E14: commit throughput WAL-off vs WAL-on, and group-commit batching at
+# 1/4/8 writers. The bench asserts the batching floor itself (at 8 writers
+# with the 200us linger window, strictly fewer than one fsync per commit);
+# a WAL that fsyncs every commit individually fails CI here. The committed
+# BENCH_wal.json is regenerated from a full (non-quick) run.
+BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_wal.json" \
+    cargo bench --offline -p dbgw-bench --bench wal
+grep -q 'wal_records_per_fsync_8t' "$OBS_TMP/bench_wal.json"
+
+echo "== crash-recovery smoke (kill -9 mid-commit-stream) =="
+# Durability's acceptance test, end to end on the release binary: run the
+# transfer workload against a durable data dir, kill -9 once commits are
+# flowing (acks are printed after the fsync, so the log provably has work
+# in flight), then reopen and assert the transfer invariant — SUM(balance)
+# is exactly what was seeded. Recovery must also cut any torn tail the kill
+# left in the log without complaint.
+cargo build --release --offline --example crash_recovery
+CRASH_DIR="$OBS_TMP/crash-data"
+DBGW_DATA_DIR="$CRASH_DIR" ./target/release/examples/crash_recovery workload \
+    > "$OBS_TMP/crash-workload.log" 2>&1 &
+CRASH_PID=$!
+for _ in $(seq 1 100); do
+    grep -q 'acked 200' "$OBS_TMP/crash-workload.log" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q 'acked 200' "$OBS_TMP/crash-workload.log" \
+    || { echo "crash workload never reached 200 acked commits"; kill -9 "$CRASH_PID"; exit 1; }
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+DBGW_DATA_DIR="$CRASH_DIR" ./target/release/examples/crash_recovery verify
+echo "crash-recovery smoke OK (kill -9 survived, balance invariant holds)"
+
 echo "== /stats smoke (digest table over live HTTP) =="
 # Boot the demo site on an ephemeral port, run one CGI query through it,
 # then scrape /stats: the Prometheus text must carry a digest row and the

@@ -322,5 +322,15 @@ fn stats_reports_sampled_p99_and_slo_burn_rate() {
     assert!(html.contains("<H2>SLO</H2>"), "{html}");
     assert!(html.contains("<H2>Query digests</H2>"), "{html}");
     assert!(html.contains("like ?"), "{html}");
+    // The durability families render in both views even for an in-memory
+    // database (the counters exist; they just read zero here).
+    assert!(html.contains("WAL records"), "{html}");
+    assert!(html.contains("checkpoint last bytes"), "{html}");
+    assert!(prom.contains("dbgw_wal_fsyncs_total"), "{prom}");
+    assert!(prom.contains("dbgw_checkpoints_total"), "{prom}");
+    assert!(
+        prom.contains("dbgw_group_commit_wait_seconds_bucket"),
+        "{prom}"
+    );
     server.shutdown();
 }
