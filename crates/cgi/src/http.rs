@@ -532,6 +532,8 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("pushdown applied", m.pushdown_applied.get()),
         ("rows scanned", m.rows_scanned.get()),
         ("latch waits", m.latch_waits.get()),
+        ("stats refreshes", m.stats_refreshes.get()),
+        ("join reorders", m.join_reorders.get()),
         ("snapshots published", m.snapshots_published.get()),
         ("WAL records", m.wal_records.get()),
         ("WAL fsyncs", m.wal_fsyncs.get()),

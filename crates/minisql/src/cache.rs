@@ -254,6 +254,17 @@ fn collect_expr(expr: &Expr, out: &mut Vec<String>) {
             collect_select(select, out);
         }
         Expr::Exists { select, .. } => collect_select(select, out),
+        Expr::Window(w) => {
+            if let crate::ast::WindowFunc::Agg { arg: Some(a), .. } = &w.func {
+                collect_expr(a, out);
+            }
+            for e in &w.partition_by {
+                collect_expr(e, out);
+            }
+            for key in &w.order_by {
+                collect_expr(&key.expr, out);
+            }
+        }
         Expr::Case {
             operand,
             arms,

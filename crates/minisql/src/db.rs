@@ -1315,6 +1315,7 @@ pub(crate) fn apply_mutation(
                     schema,
                     heap: Heap::new(),
                     index_names,
+                    stats: None,
                 }),
             );
             state.bump_version(&key);

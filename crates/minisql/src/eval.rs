@@ -126,6 +126,12 @@ pub trait AggSource {
     /// The value of aggregate expression `expr` for the current group, if the
     /// source knows it.
     fn agg_value(&self, expr: &Expr) -> Option<Value>;
+
+    /// The value of window expression `expr` for the current row, if the
+    /// source knows it. Only the executor's window pass supplies these.
+    fn window_value(&self, _expr: &Expr) -> Option<Value> {
+        None
+    }
 }
 
 /// An [`AggSource`] that knows nothing — any aggregate reference errors.
@@ -241,6 +247,11 @@ pub fn eval(
         Expr::Subquery(_) | Expr::InSelect { .. } | Expr::Exists { .. } => Err(SqlError::syntax(
             "subqueries are not allowed in this context (or are correlated)",
         )),
+        // Window values are pre-computed per row by the executor's window
+        // pass; elsewhere (WHERE, GROUP BY, grouped queries) they are illegal.
+        Expr::Window(_) => aggs
+            .window_value(expr)
+            .ok_or_else(|| SqlError::syntax("window function not allowed in this context")),
     }
 }
 

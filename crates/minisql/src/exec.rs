@@ -14,7 +14,9 @@
 //! `tests/planner_equivalence.rs` exercises.
 
 use crate::analyze::{self, OpId};
-use crate::ast::{AggFunc, BinOp, ColumnRef, Expr, OrderKey, Select, SelectItem, SetOp, SortDir};
+use crate::ast::{
+    AggFunc, BinOp, ColumnRef, Expr, OrderKey, Select, SelectItem, SetOp, SortDir, WindowFunc,
+};
 use crate::error::{SqlError, SqlResult};
 use crate::eval::{eval, eval_truth, AggSource, Bindings, NoAggregates};
 use crate::like::{is_exact, literal_prefix};
@@ -129,13 +131,36 @@ fn run_compound(
                 rows.extend(rhs.rows);
                 dedup_rows(&mut rows);
             }
-            SetOp::Except => {
+            SetOp::Except { all: false } => {
                 dedup_rows(&mut rows);
                 rows.retain(|r| !rhs.rows.contains(r));
             }
-            SetOp::Intersect => {
+            SetOp::Except { all: true } => {
+                // Bag difference: each right row cancels at most one left copy,
+                // leaving max(l - r, 0) copies of each row.
+                let mut remaining = rhs.rows;
+                rows.retain(|r| match remaining.iter().position(|x| x == r) {
+                    Some(i) => {
+                        remaining.swap_remove(i);
+                        false
+                    }
+                    None => true,
+                });
+            }
+            SetOp::Intersect { all: false } => {
                 dedup_rows(&mut rows);
                 rows.retain(|r| rhs.rows.contains(r));
+            }
+            SetOp::Intersect { all: true } => {
+                // Bag intersection: min(l, r) copies of each row.
+                let mut remaining = rhs.rows;
+                rows.retain(|r| match remaining.iter().position(|x| x == r) {
+                    Some(i) => {
+                        remaining.swap_remove(i);
+                        true
+                    }
+                    None => false,
+                });
             }
         }
     }
@@ -209,6 +234,22 @@ fn run_single(
     // One EXPLAIN ANALYZE block; subqueries re-entering run_single nest to
     // depth ≥ 2 and are excluded from the outer block's actuals.
     let _analyze_block = analyze::enter_block();
+    // Cost-based join reordering first, on the original AST: EXPLAIN applies
+    // the identical rewrite to the identical AST, so the order it prints is
+    // the order that runs.
+    let reordered;
+    let sel = if opts.reorder {
+        match crate::cost::reorder_select(state, sel, params) {
+            Some(r) => {
+                dbgw_obs::metrics().join_reorders.inc();
+                reordered = r;
+                &reordered
+            }
+            None => sel,
+        }
+    } else {
+        sel
+    };
     // Pre-execute any (uncorrelated) subqueries, replacing them with literal
     // lists/values, so the scalar evaluator never needs database access.
     let rewritten;
@@ -351,6 +392,18 @@ fn validate_columns(expr: &Expr, bindings: &Bindings) -> SqlResult<()> {
         // Subqueries validate their own scopes when they execute.
         Expr::Subquery(_) | Expr::Exists { .. } => Ok(()),
         Expr::InSelect { expr, .. } => validate_columns(expr, bindings),
+        Expr::Window(w) => {
+            if let WindowFunc::Agg { arg: Some(a), .. } = &w.func {
+                validate_columns(a, bindings)?;
+            }
+            for e in &w.partition_by {
+                validate_columns(e, bindings)?;
+            }
+            for key in &w.order_by {
+                validate_columns(&key.expr, bindings)?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -401,10 +454,15 @@ fn scan_table<'a>(
     let analyze_t0 = analyze::start();
     let table = state.table(table_name)?;
     let local = Bindings::single(effective, column_names(state, table_name)?);
+    // A probe is only attempted for conjuncts the cost model estimates as
+    // selective; a predicate keeping most of the table scans faster flat.
     let probed = if opts.index_paths {
-        filters
-            .iter()
-            .find_map(|conj| probe_conjunct(state, effective, table_name, &local, conj, params))
+        filters.iter().find_map(|conj| {
+            if !crate::cost::probe_worthwhile(state, effective, table_name, conj, params) {
+                return None;
+            }
+            probe_conjunct(state, effective, table_name, &local, conj, params)
+        })
     } else {
         None
     };
@@ -886,6 +944,8 @@ fn const_value(expr: &Expr, params: &[Value]) -> Option<Value> {
                     || otherwise.as_ref().is_some_and(|e| has_column(e))
             }
             Expr::Cast { expr, .. } => has_column(expr),
+            // Window values depend on the row set, never constant-foldable.
+            Expr::Window(_) => true,
         }
     }
     if has_column(expr) {
@@ -1086,6 +1146,7 @@ fn default_label(expr: &Expr, position: usize) -> String {
             _ => func.name().to_string(),
         },
         Expr::Func { name, .. } => name.clone(),
+        Expr::Window(w) => w.func.name().to_string(),
         _ => (position + 1).to_string(),
     }
 }
@@ -1119,15 +1180,222 @@ fn run_plain(
         return Err(SqlError::syntax("HAVING requires GROUP BY or aggregates"));
     }
     let (labels, cols) = expand_items(sel, bindings)?;
+    // Window pass: compute every distinct window expression over the full
+    // row set before projection, so projection sees per-row values.
+    let mut windows: Vec<Expr> = Vec::new();
+    for col in &cols {
+        if let OutCol::Expr(e) = col {
+            collect_windows(e, &mut windows);
+        }
+    }
+    let window_values = if windows.is_empty() {
+        None
+    } else {
+        Some(compute_windows(&windows, bindings, &rows, params, ctx)?)
+    };
     let mut pairs: Vec<(SrcRow<'_>, Row)> = Vec::with_capacity(rows.len()); // (src, out)
     for (i, src) in rows.into_iter().enumerate() {
         if i % CANCEL_STRIDE == 0 {
             check_cancel(ctx)?;
         }
-        let out = project(&cols, bindings, &src, params, &NoAggregates)?;
+        let out = match &window_values {
+            Some(values) => {
+                let source = WindowRowSource {
+                    exprs: &windows,
+                    values: values.iter().map(|per_row| per_row[i].clone()).collect(),
+                };
+                project(&cols, bindings, &src, params, &source)?
+            }
+            None => project(&cols, bindings, &src, params, &NoAggregates)?,
+        };
         pairs.push((src, out));
     }
     finish_pipeline(sel, bindings, &labels, pairs, params, None, topk)
+}
+
+/// Collect the distinct window expressions in `expr` (windows cannot nest).
+fn collect_windows(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Window(_) => {
+            if !out.contains(expr) {
+                out.push(expr.clone());
+            }
+        }
+        Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => {}
+        Expr::Neg(i) | Expr::Not(i) => collect_windows(i, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_windows(lhs, out);
+            collect_windows(rhs, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_windows(expr, out);
+            collect_windows(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_windows(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_windows(expr, out);
+            for e in list {
+                collect_windows(e, out);
+            }
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_windows(expr, out);
+            collect_windows(lo, out);
+            collect_windows(hi, out);
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_windows(a, out);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                collect_windows(a, out);
+            }
+        }
+        Expr::Subquery(_) | Expr::InSelect { .. } | Expr::Exists { .. } => {}
+        Expr::Case {
+            operand,
+            arms,
+            otherwise,
+        } => {
+            if let Some(op) = operand {
+                collect_windows(op, out);
+            }
+            for (w, t) in arms {
+                collect_windows(w, out);
+                collect_windows(t, out);
+            }
+            if let Some(e) = otherwise {
+                collect_windows(e, out);
+            }
+        }
+        Expr::Cast { expr, .. } => collect_windows(expr, out),
+    }
+}
+
+/// Per-row window values, looked up by window-expression identity during
+/// projection.
+struct WindowRowSource<'a> {
+    exprs: &'a [Expr],
+    values: Vec<Value>,
+}
+
+impl AggSource for WindowRowSource<'_> {
+    fn agg_value(&self, _expr: &Expr) -> Option<Value> {
+        None
+    }
+
+    fn window_value(&self, expr: &Expr) -> Option<Value> {
+        self.exprs
+            .iter()
+            .position(|e| e == expr)
+            .map(|i| self.values[i].clone())
+    }
+}
+
+/// Evaluate each window expression for every row: partition, sort inside the
+/// partition by the window ORDER BY (stable on source order), then number,
+/// rank, or aggregate over the frame. With an ORDER BY, aggregates use the
+/// SQL default frame — everything from the partition start through the
+/// current row's last peer; without one, the whole partition.
+fn compute_windows(
+    windows: &[Expr],
+    bindings: &Bindings,
+    rows: &[SrcRow<'_>],
+    params: &[Value],
+    ctx: &RequestCtx,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let t0 = analyze::start();
+    let mut all = Vec::with_capacity(windows.len());
+    for wexpr in windows {
+        let Expr::Window(w) = wexpr else {
+            unreachable!("collect_windows yields window expressions")
+        };
+        check_cancel(ctx)?;
+        let mut values = vec![Value::Null; rows.len()];
+        // Partition rows, preserving first-seen partition order.
+        let mut part_order: Vec<Vec<Value>> = Vec::new();
+        let mut parts: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            if i % CANCEL_STRIDE == 0 {
+                check_cancel(ctx)?;
+            }
+            let mut key = Vec::with_capacity(w.partition_by.len());
+            for e in &w.partition_by {
+                key.push(eval(e, bindings, row, params, &NoAggregates)?);
+            }
+            if !parts.contains_key(&key) {
+                part_order.push(key.clone());
+            }
+            parts.entry(key).or_default().push(i);
+        }
+        for part_key in &part_order {
+            let idxs = parts.remove(part_key).expect("partition recorded");
+            // Order the partition by the window ORDER BY; without one the
+            // keys are empty, leaving source order (every row a peer).
+            let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(idxs.len());
+            for &i in &idxs {
+                let mut key = Vec::with_capacity(w.order_by.len());
+                for ok in &w.order_by {
+                    key.push(eval(&ok.expr, bindings, &rows[i], params, &NoAggregates)?);
+                }
+                keyed.push((key, i));
+            }
+            keyed.sort_by(|a, b| {
+                for (j, ok) in w.order_by.iter().enumerate() {
+                    let ord = a.0[j].order_key(&b.0[j]);
+                    let ord = match ok.dir {
+                        SortDir::Asc => ord,
+                        SortDir::Desc => ord.reverse(),
+                    };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                a.1.cmp(&b.1)
+            });
+            let sorted_rows: Vec<SrcRow<'_>> =
+                keyed.iter().map(|&(_, i)| rows[i].clone()).collect();
+            let n = keyed.len();
+            let mut pos = 0;
+            while pos < n {
+                let mut end = pos + 1;
+                while end < n && keyed[end].0 == keyed[pos].0 {
+                    end += 1;
+                }
+                let peer_agg = match &w.func {
+                    WindowFunc::Agg { func, arg } => {
+                        let frame_end = if w.order_by.is_empty() { n } else { end };
+                        let agg_expr = Expr::Agg {
+                            func: *func,
+                            arg: arg.clone(),
+                            distinct: false,
+                        };
+                        Some(compute_agg(
+                            &agg_expr,
+                            bindings,
+                            &sorted_rows[..frame_end],
+                            params,
+                        )?)
+                    }
+                    _ => None,
+                };
+                for p in pos..end {
+                    let i = keyed[p].1;
+                    values[i] = match &w.func {
+                        WindowFunc::RowNumber => Value::Int(p as i64 + 1),
+                        WindowFunc::Rank => Value::Int(pos as i64 + 1),
+                        WindowFunc::Agg { .. } => peer_agg.clone().expect("computed above"),
+                    };
+                }
+                pos = end;
+            }
+        }
+        all.push(values);
+    }
+    analyze::record(OpId::Window, t0, rows.len() as u64, rows.len() as u64);
+    Ok(all)
 }
 
 // ---------------------------------------------------------------------------
@@ -1199,6 +1467,9 @@ fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
             }
         }
         Expr::Cast { expr, .. } => collect_aggs(expr, out),
+        // A window call is its own evaluation unit, not a group aggregate;
+        // grouped queries reject windows before this walker runs.
+        Expr::Window(_) => {}
     }
 }
 
@@ -1297,6 +1568,18 @@ fn run_grouped<'a>(
     ctx: &RequestCtx,
     topk: Option<usize>,
 ) -> SqlResult<ResultSet> {
+    let windowed = sel
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_window()))
+        || sel.group_by.iter().any(Expr::contains_window)
+        || sel.having.as_ref().is_some_and(Expr::contains_window)
+        || sel.order_by.iter().any(|k| k.expr.contains_window());
+    if windowed {
+        return Err(SqlError::syntax(
+            "window functions cannot be combined with GROUP BY or aggregates",
+        ));
+    }
     let (labels, cols) = expand_items(sel, bindings)?;
     let agg_in = rows.len() as u64;
     let agg_t0 = analyze::start();
@@ -1738,6 +2021,19 @@ pub(crate) fn rewrite_expr_subqueries(
             expr: Box::new(walk(expr)?),
             ty: *ty,
         },
+        Expr::Window(w) => {
+            let mut w = (**w).clone();
+            if let WindowFunc::Agg { arg: Some(a), .. } = &mut w.func {
+                **a = walk(a)?;
+            }
+            for e in &mut w.partition_by {
+                *e = walk(e)?;
+            }
+            for key in &mut w.order_by {
+                key.expr = walk(&key.expr)?;
+            }
+            Expr::Window(Box::new(w))
+        }
         Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => expr.clone(),
     })
 }
@@ -1837,11 +2133,39 @@ fn explain_into(
         }
         return Ok(());
     }
+    // Apply the identical cost-based rewrite the executor applies, so the
+    // join order EXPLAIN prints is the join order that runs — and annotate
+    // scan/join lines with the cost model's row estimates (`est rows`),
+    // which EXPLAIN ANALYZE pairs with the measured `actual rows`.
+    let reordered;
+    let sel = if opts.reorder {
+        match crate::cost::reorder_select(state, sel, params) {
+            Some(r) => {
+                reordered = r;
+                &reordered
+            }
+            None => sel,
+        }
+    } else {
+        sel
+    };
+    let est = crate::cost::estimate_steps(state, sel, params);
+    let est_note = |step: usize| -> String {
+        match est.as_ref().and_then(|v| v.get(step)) {
+            Some(rows) => format!(" (est rows={})", rows.round() as u64),
+            None => String::new(),
+        }
+    };
     let bindings = full_bindings(state, sel)?;
     let sel_plan = plan::plan_select(sel, &bindings, opts);
     match &sel.from {
         None => lines.push(format!("{pad}VALUES (table-less SELECT)")),
         Some(base) => {
+            if sel.joins.len() >= 2 {
+                let mut names = vec![base.effective_name()];
+                names.extend(sel.joins.iter().map(|j| j.table.effective_name()));
+                lines.push(format!("{pad}JOIN ORDER: {}", names.join(" -> ")));
+            }
             let table = state.table(&base.name)?;
             let access = scan_description(
                 state,
@@ -1852,10 +2176,20 @@ fn explain_into(
                 opts,
             );
             match access {
-                Some(desc) => push_plan_line(lines, format!("{pad}{desc}"), actuals, OpId::Base),
+                Some(desc) => push_plan_line(
+                    lines,
+                    format!("{pad}{desc}{}", est_note(0)),
+                    actuals,
+                    OpId::Base,
+                ),
                 None => push_plan_line(
                     lines,
-                    format!("{pad}FULL SCAN {} ({} rows)", base.name, table.heap.len()),
+                    format!(
+                        "{pad}FULL SCAN {} ({} rows){}",
+                        base.name,
+                        table.heap.len(),
+                        est_note(0)
+                    ),
                     actuals,
                     OpId::Base,
                 ),
@@ -1866,11 +2200,12 @@ fn explain_into(
                     push_plan_line(
                         lines,
                         format!(
-                            "{pad}HASH {}JOIN {} ({} key{})",
+                            "{pad}HASH {}JOIN {} ({} key{}){}",
                             if join.left_outer { "LEFT OUTER " } else { "" },
                             join.table.name,
                             jp.keys.len(),
                             plural(jp.keys.len()),
+                            est_note(j + 1),
                         ),
                         actuals,
                         OpId::Join(j),
@@ -1879,7 +2214,7 @@ fn explain_into(
                     push_plan_line(
                         lines,
                         format!(
-                            "{pad}NESTED LOOP {}JOIN {}{}",
+                            "{pad}NESTED LOOP {}JOIN {}{}{}",
                             if join.left_outer { "LEFT OUTER " } else { "" },
                             join.table.name,
                             if join.on.is_some() {
@@ -1887,6 +2222,7 @@ fn explain_into(
                             } else {
                                 " (cross)"
                             },
+                            est_note(j + 1),
                         ),
                         actuals,
                         OpId::Join(j),
@@ -1912,6 +2248,13 @@ fn explain_into(
             actuals,
             OpId::WhereFilter,
         );
+    }
+    if sel
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_window()))
+    {
+        push_plan_line(lines, format!("{pad}WINDOW"), actuals, OpId::Window);
     }
     if !sel.group_by.is_empty()
         || sel
@@ -1975,6 +2318,11 @@ fn describe_access_path(
 ) -> Option<String> {
     let table = state.table(table_name).ok()?;
     for conj in conjuncts {
+        // Mirror the executor: conjuncts the cost model votes against
+        // probing are described as part of the scan, not as probes.
+        if !crate::cost::probe_worthwhile(state, effective, table_name, conj, params) {
+            continue;
+        }
         let described = match conj {
             Expr::Binary { op, lhs, rhs }
                 if matches!(
@@ -2107,6 +2455,7 @@ mod tests {
                 schema,
                 heap: Heap::new(),
                 index_names: vec!["orders_cust".into()],
+                stats: None,
             }),
         );
         st.indexes.insert(
@@ -2312,6 +2661,7 @@ mod tests {
                 schema,
                 heap: Heap::new(),
                 index_names: vec![],
+                stats: None,
             }),
         );
         for (id, name) in [(10100, "Ada"), (10200, "Bob")] {
@@ -2355,6 +2705,7 @@ mod tests {
                     schema: TableSchema::from_defs(t, &defs).unwrap(),
                     heap: Heap::new(),
                     index_names: vec![],
+                    stats: None,
                 }),
             );
         }
@@ -2472,6 +2823,7 @@ mod tests {
                 schema,
                 heap: Heap::new(),
                 index_names: vec![],
+                stats: None,
             }),
         );
         let rows: &[(Value, &str)] = &[

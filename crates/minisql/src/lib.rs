@@ -38,6 +38,7 @@ pub mod analyze;
 pub mod ast;
 pub mod cache;
 pub mod checkpoint;
+pub mod cost;
 pub mod csv;
 pub mod date;
 pub mod db;
@@ -52,6 +53,7 @@ pub mod plan;
 pub mod recovery;
 pub mod schema;
 pub mod state;
+pub mod stats;
 pub mod storage;
 pub mod token;
 pub mod types;

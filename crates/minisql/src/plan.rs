@@ -47,6 +47,8 @@ pub struct PlanOptions {
     pub index_paths: bool,
     /// Use a bounded heap for `ORDER BY … LIMIT k`.
     pub topk: bool,
+    /// Reorder multi-way inner joins by the statistics cost model.
+    pub reorder: bool,
 }
 
 impl Default for PlanOptions {
@@ -56,6 +58,7 @@ impl Default for PlanOptions {
             pushdown: true,
             index_paths: true,
             topk: true,
+            reorder: true,
         }
     }
 }
@@ -74,12 +77,14 @@ impl PlanOptions {
             pushdown: false,
             index_paths: false,
             topk: false,
+            reorder: false,
         }
     }
 
     /// The process-wide options, read once from the environment: set
-    /// `DBGW_HASH_JOIN`, `DBGW_PUSHDOWN`, `DBGW_INDEX_PATHS` or `DBGW_TOPK`
-    /// to `0`/`off`/`false` to disable an optimization for A/B comparison.
+    /// `DBGW_HASH_JOIN`, `DBGW_PUSHDOWN`, `DBGW_INDEX_PATHS`, `DBGW_TOPK` or
+    /// `DBGW_REORDER` to `0`/`off`/`false` to disable an optimization for
+    /// A/B comparison.
     pub fn from_env() -> PlanOptions {
         static OPTS: OnceLock<PlanOptions> = OnceLock::new();
         *OPTS.get_or_init(|| {
@@ -94,6 +99,7 @@ impl PlanOptions {
                 pushdown: on("DBGW_PUSHDOWN"),
                 index_paths: on("DBGW_INDEX_PATHS"),
                 topk: on("DBGW_TOPK"),
+                reorder: on("DBGW_REORDER"),
             }
         })
     }
@@ -255,10 +261,13 @@ pub(crate) fn conjunct_mask(expr: &Expr, bindings: &Bindings) -> Option<u64> {
             }
             Expr::Cast { expr, .. } => walk(expr, bindings, mask),
             // Aggregates need group context; subqueries should have been
-            // rewritten away — in both cases refuse to classify.
-            Expr::Agg { .. } | Expr::Subquery(_) | Expr::InSelect { .. } | Expr::Exists { .. } => {
-                false
-            }
+            // rewritten away; windows see the whole row set — in all cases
+            // refuse to classify.
+            Expr::Agg { .. }
+            | Expr::Subquery(_)
+            | Expr::InSelect { .. }
+            | Expr::Exists { .. }
+            | Expr::Window(_) => false,
         }
     }
     let mut mask = 0u64;

@@ -154,6 +154,7 @@ pub fn replay(records: &[Vec<WalOp>]) -> SqlResult<DbState> {
         }
     }
     state.rebuild_indexes()?;
+    state.rebuild_stats();
     Ok(state)
 }
 

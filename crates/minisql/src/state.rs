@@ -15,11 +15,12 @@
 use crate::error::{SqlCode, SqlError, SqlResult};
 use crate::index::Index;
 use crate::schema::TableSchema;
+use crate::stats::TableStats;
 use crate::storage::{Heap, Row, RowId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A table: schema, heap and the names of its indexes.
+/// A table: schema, heap, the names of its indexes, and planner statistics.
 #[derive(Debug, Clone)]
 pub struct TableData {
     /// The table schema.
@@ -28,6 +29,40 @@ pub struct TableData {
     pub heap: Heap,
     /// Names (lowercased) of indexes over this table.
     pub index_names: Vec<String>,
+    /// Planner statistics (see [`crate::stats`]); `None` until the first
+    /// write builds them, or always when `DBGW_STATS=0`.
+    pub stats: Option<TableStats>,
+}
+
+impl TableData {
+    /// Fold one successful row mutation into the table's statistics: update
+    /// incrementally while fresh, rebuild from the heap once the write
+    /// threshold has passed (the mutated row is already in/out of the heap
+    /// when this runs, so a rebuild sees it). Disabled stats stay `None`.
+    fn stats_note(&mut self, row: &Row, inserted: bool) {
+        if !crate::stats::config().enabled {
+            return;
+        }
+        match self.stats.as_mut() {
+            Some(s) if !s.stale() => {
+                if inserted {
+                    s.note_insert(row);
+                } else {
+                    s.note_delete(row);
+                }
+            }
+            _ => self.rebuild_stats(),
+        }
+    }
+
+    /// Rebuild this table's statistics from its heap in one pass.
+    pub fn rebuild_stats(&mut self) {
+        if !crate::stats::config().enabled {
+            return;
+        }
+        self.stats = Some(TableStats::build(&self.schema, &self.heap));
+        dbgw_obs::metrics().stats_refreshes.inc();
+    }
 }
 
 /// Every table and index in the database.
@@ -138,6 +173,7 @@ impl DbState {
             }
             done.push(name.clone());
         }
+        Arc::make_mut(self.tables.get_mut(&key).unwrap()).stats_note(&row_ref, true);
         self.bump_version(&key);
         Ok(id)
     }
@@ -159,6 +195,7 @@ impl DbState {
             let value = old.get(idx.column).cloned().unwrap_or_default_null();
             idx.remove(&value, id);
         }
+        Arc::make_mut(self.tables.get_mut(&key).unwrap()).stats_note(&old, false);
         self.bump_version(&key);
         Ok(Some(old))
     }
@@ -204,6 +241,9 @@ impl DbState {
             }
             rekeyed.push(name.clone());
         }
+        let t = Arc::make_mut(self.tables.get_mut(&key).unwrap());
+        t.stats_note(&old, false);
+        t.stats_note(&new, true);
         self.bump_version(&key);
         Ok(old)
     }
@@ -234,6 +274,24 @@ impl DbState {
         Ok(())
     }
 
+    /// Rebuild every table's planner statistics from its heap.
+    ///
+    /// WAL replay applies row records straight to the heaps, bypassing the
+    /// incremental maintenance in [`DbState::insert_row`] et al.; recovery
+    /// calls this next to [`DbState::rebuild_indexes`] so a reopened
+    /// database plans with the same statistics a live one would.
+    pub fn rebuild_stats(&mut self) {
+        if !crate::stats::config().enabled {
+            return;
+        }
+        let names: Vec<String> = self.tables.keys().cloned().collect();
+        for name in names {
+            if let Some(t) = self.tables.get_mut(&name) {
+                Arc::make_mut(t).rebuild_stats();
+            }
+        }
+    }
+
     /// Restore a previously deleted row at its original id (rollback path).
     pub fn restore_row(&mut self, table: &str, id: RowId, row: Row) -> SqlResult<()> {
         let key = table.to_ascii_lowercase();
@@ -250,6 +308,7 @@ impl DbState {
             idx.insert(&value, id)
                 .expect("restored row cannot violate uniqueness");
         }
+        Arc::make_mut(self.tables.get_mut(&key).unwrap()).stats_note(&row, true);
         self.bump_version(&key);
         Ok(())
     }
@@ -301,6 +360,7 @@ mod tests {
                 schema,
                 heap: Heap::new(),
                 index_names: vec!["t_pk".into()],
+                stats: None,
             }),
         );
         st.indexes

@@ -309,10 +309,18 @@ fn explain_analyze_annotates_multi_join_plan() {
          WHERE o.amount > 20 ORDER BY o.amount",
     );
     let joined = plan.join("\n");
+    // The cost-based planner prints the executed three-table order: the
+    // filtered `orders` (est 3 rows) ties tiny `regions` and wins on
+    // syntactic position.
+    let order = plan.iter().find(|l| l.contains("JOIN ORDER:")).unwrap();
+    assert!(
+        order.contains("JOIN ORDER: o -> c -> r"),
+        "{order}\n{joined}"
+    );
     // Every executed operator line carries actuals alongside the estimate.
     let join_lines: Vec<&String> = plan
         .iter()
-        .filter(|l| l.contains("JOIN orders") || l.contains("JOIN regions"))
+        .filter(|l| l.contains("HASH JOIN") || l.contains("NESTED LOOP"))
         .collect();
     assert_eq!(join_lines.len(), 2, "{joined}");
     for line in &join_lines {

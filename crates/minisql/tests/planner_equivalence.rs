@@ -490,3 +490,600 @@ fn pinned_pushdown_survives_three_way_join() {
         vec![vec![Value::Int(2), Value::Int(20), Value::Int(200)]]
     );
 }
+
+// ---------------------------------------------------------------------------
+// Cost-based join ordering: plan choice must never change results
+// ---------------------------------------------------------------------------
+//
+// The cost model is free to pick any join order for an eligible multi-way
+// inner join; these properties pin the soundness contract: every order the
+// greedy model can choose produces the same multiset of rows as the
+// syntactic baseline. Reordering is compared both against the full baseline
+// (nested loops, no pushdown) and against the optimized-but-unreordered
+// plan, isolating the rewrite itself.
+
+/// `PlanOptions::all` with only the cost-based reordering disabled.
+fn no_reorder() -> PlanOptions {
+    let mut opts = PlanOptions::all();
+    opts.reorder = false;
+    opts
+}
+
+/// Assert that optimized (reordered), optimized-unreordered, and baseline
+/// plans agree as multisets for one query.
+fn assert_orders_agree(state: &DbState, sql: &str) -> Result<(), String> {
+    let reordered = canon(run_opts(state, sql, &PlanOptions::all()));
+    let syntactic = canon(run_opts(state, sql, &no_reorder()));
+    let baseline = canon(run_opts(state, sql, &PlanOptions::baseline()));
+    if reordered != syntactic {
+        return Err(format!(
+            "reordering changed results for {sql}:\n  reordered: {reordered:?}\n  syntactic: {syntactic:?}"
+        ));
+    }
+    if reordered != baseline {
+        return Err(format!(
+            "optimized != baseline for {sql}:\n  optimized: {reordered:?}\n  baseline:  {baseline:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Four joinable tables with indexed keys, loaded from row specs.
+fn graph_state(a: &[(i64, i64)], b: &[(i64, i64)], c: &[(i64, i64)], d: &[(i64, i64)]) -> DbState {
+    let db = Database::new();
+    db.run_script(
+        "CREATE TABLE a (k INTEGER, v INTEGER);
+         CREATE TABLE b (k INTEGER, v INTEGER);
+         CREATE TABLE c (k INTEGER, v INTEGER);
+         CREATE TABLE d (k INTEGER, v INTEGER);
+         CREATE INDEX a_k ON a (k);
+         CREATE INDEX c_k ON c (k)",
+    )
+    .unwrap();
+    let mut conn = db.connect();
+    for (table, rows) in [("a", a), ("b", b), ("c", c), ("d", d)] {
+        for (k, v) in rows {
+            conn.execute_with_params(
+                &format!("INSERT INTO {table} VALUES (?, ?)"),
+                &[Value::Int(*k), Value::Int(*v)],
+            )
+            .unwrap();
+        }
+    }
+    db.snapshot()
+}
+
+props! {
+    config(cases = 32);
+
+    fn join_order_choice_is_invariant(
+        a in vec_of((ints(0..4), ints(0..40)), 0..=10),
+        b in vec_of((ints(0..4), ints(0..40)), 0..=10),
+        c in vec_of((ints(0..4), ints(0..40)), 0..=10),
+        d in vec_of((ints(0..4), ints(0..40)), 0..=10),
+        x in ints(0..40),
+    ) {
+        let st = graph_state(&a, &b, &c, &d);
+        let queries = [
+            // Chain graph, WHERE filter on the syntactically-first table.
+            format!(
+                "SELECT a.v, b.v, c.v, d.v FROM a \
+                 JOIN b ON a.k = b.k JOIN c ON b.k = c.k JOIN d ON c.k = d.k \
+                 WHERE a.v < {x}"
+            ),
+            // Star graph around `a`, filter on the last table.
+            format!(
+                "SELECT a.v, b.v, c.v, d.v FROM a \
+                 JOIN b ON a.k = b.k JOIN c ON a.k = c.k JOIN d ON a.k = d.k \
+                 WHERE d.v >= {x}"
+            ),
+            // Comma joins: the same graph written entirely in WHERE.
+            format!(
+                "SELECT a.v, b.v, c.v FROM a, b, c \
+                 WHERE a.k = b.k AND b.k = c.k AND c.v < {x}"
+            ),
+            // Disconnected component: `c` joins by a trivial condition, so
+            // the greedy order must park the cross join without losing rows.
+            format!(
+                "SELECT a.v, b.v, c.v FROM a \
+                 JOIN b ON a.k = b.k JOIN c ON 1 = 1 WHERE c.v < {x}"
+            ),
+            // Deterministic output: a full ORDER BY pins the rows exactly.
+            format!(
+                "SELECT a.v, b.v, c.v FROM a \
+                 JOIN b ON a.k = b.k JOIN c ON b.k = c.k \
+                 WHERE b.v <= {x} ORDER BY 1, 2, 3 LIMIT 7"
+            ),
+        ];
+        for q in &queries {
+            if let Err(msg) = assert_orders_agree(&st, q) {
+                prop_assert_eq!(true, false, "{msg}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pinned_reorder_handles_empty_and_skewed_tables() {
+    // Empty middle table, heavily skewed edges: orders that start from the
+    // empty table must still produce the (empty) correct answer.
+    let big: Vec<(i64, i64)> = (0..50).map(|i| (i % 3, i)).collect();
+    let st = graph_state(&big, &[], &[(0, 1), (1, 2)], &[(2, 9)]);
+    for sql in [
+        "SELECT a.v, b.v, c.v FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k",
+        "SELECT a.v, c.v, d.v FROM a JOIN c ON a.k = c.k JOIN d ON c.k = d.k",
+        "SELECT a.v, c.v, d.v FROM a, c, d WHERE a.k = c.k AND c.k = d.k AND a.v < 10",
+    ] {
+        assert_orders_agree(&st, sql).unwrap();
+    }
+}
+
+#[test]
+fn pinned_reorder_ineligible_shapes_run_unchanged() {
+    let st = graph_state(&[(0, 1), (1, 2)], &[(0, 10)], &[(0, 100)], &[]);
+    // LEFT JOIN anywhere, bare `*`, and duplicate table names must bypass
+    // the rewrite entirely — and still agree with baseline.
+    for sql in [
+        "SELECT a.v, b.v, c.v FROM a JOIN b ON a.k = b.k LEFT JOIN c ON b.k = c.k",
+        "SELECT a.v, b.v, c.v FROM a LEFT JOIN b ON a.k = b.k JOIN c ON a.k = c.k",
+    ] {
+        assert_plans_agree(&st, sql, true).unwrap();
+    }
+    let star = canon(run_opts(
+        &st,
+        "SELECT * FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k",
+        &PlanOptions::all(),
+    ));
+    let star_base = canon(run_opts(
+        &st,
+        "SELECT * FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k",
+        &PlanOptions::baseline(),
+    ));
+    assert_eq!(star, star_base);
+}
+
+// ---------------------------------------------------------------------------
+// Set operations ≡ brute-force bag/set algebra
+// ---------------------------------------------------------------------------
+
+fn ref_distinct(rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    for r in rows {
+        if !out.contains(r) {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+/// Reference semantics for one set operation over materialized branches,
+/// written directly from the SQL definition (distinct = set algebra,
+/// ALL = bag algebra with `min`/`max(l - r, 0)` copy counts).
+fn ref_set_op(op: &str, all: bool, l: &[Vec<Value>], r: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut left = l.to_vec();
+    match (op, all) {
+        ("UNION", true) => {
+            left.extend(r.iter().cloned());
+            left
+        }
+        ("UNION", false) => {
+            left.extend(r.iter().cloned());
+            ref_distinct(&left)
+        }
+        ("EXCEPT", false) => ref_distinct(&left)
+            .into_iter()
+            .filter(|row| !r.contains(row))
+            .collect(),
+        ("EXCEPT", true) => {
+            let mut remaining = r.to_vec();
+            left.retain(|row| match remaining.iter().position(|x| x == row) {
+                Some(i) => {
+                    remaining.swap_remove(i);
+                    false
+                }
+                None => true,
+            });
+            left
+        }
+        ("INTERSECT", false) => ref_distinct(&left)
+            .into_iter()
+            .filter(|row| r.contains(row))
+            .collect(),
+        ("INTERSECT", true) => {
+            let mut remaining = r.to_vec();
+            left.retain(|row| match remaining.iter().position(|x| x == row) {
+                Some(i) => {
+                    remaining.swap_remove(i);
+                    true
+                }
+                None => false,
+            });
+            left
+        }
+        other => panic!("unknown op {other:?}"),
+    }
+}
+
+/// Two tables whose full contents are the set-operation branches.
+fn set_op_state(l: &[(i64, i64)], r: &[(i64, i64)]) -> DbState {
+    let db = Database::new();
+    db.run_script("CREATE TABLE l (k INTEGER, v INTEGER); CREATE TABLE r (k INTEGER, v INTEGER)")
+        .unwrap();
+    let mut conn = db.connect();
+    for (table, rows) in [("l", l), ("r", r)] {
+        for (k, v) in rows {
+            conn.execute_with_params(
+                &format!("INSERT INTO {table} VALUES (?, ?)"),
+                &[Value::Int(*k), Value::Int(*v)],
+            )
+            .unwrap();
+        }
+    }
+    db.snapshot()
+}
+
+fn int_rows(rows: &[(i64, i64)]) -> Vec<Vec<Value>> {
+    rows.iter()
+        .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+        .collect()
+}
+
+props! {
+    config(cases = 48);
+
+    fn set_ops_match_bag_algebra(
+        l in vec_of((ints(0..3), ints(0..3)), 0..=12),
+        r in vec_of((ints(0..3), ints(0..3)), 0..=12),
+    ) {
+        let st = set_op_state(&l, &r);
+        let lv = int_rows(&l);
+        let rv = int_rows(&r);
+        for op in ["UNION", "EXCEPT", "INTERSECT"] {
+            for all in [false, true] {
+                let kw = if all { format!("{op} ALL") } else { op.to_string() };
+                let sql = format!("SELECT k, v FROM l {kw} SELECT k, v FROM r");
+                let got = canon(run_opts(&st, &sql, &PlanOptions::all()));
+                let want = canon(ref_set_op(op, all, &lv, &rv));
+                prop_assert_eq!(got, want, "{kw} diverged from reference");
+                // And plan options must not matter for set operations.
+                let base = canon(run_opts(&st, &sql, &PlanOptions::baseline()));
+                let fast = canon(run_opts(&st, &sql, &PlanOptions::all()));
+                prop_assert_eq!(fast, base, "{kw} plan-sensitive");
+            }
+        }
+    }
+
+    fn chained_set_ops_fold_left(
+        l in vec_of((ints(0..3), ints(0..2)), 0..=8),
+        r in vec_of((ints(0..3), ints(0..2)), 0..=8),
+        s in vec_of((ints(0..3), ints(0..2)), 0..=8),
+    ) {
+        // (l UNION ALL r) EXCEPT s — set operations associate left.
+        let db = Database::new();
+        db.run_script(
+            "CREATE TABLE l (k INTEGER, v INTEGER);
+             CREATE TABLE r (k INTEGER, v INTEGER);
+             CREATE TABLE s (k INTEGER, v INTEGER)",
+        )
+        .unwrap();
+        let mut conn = db.connect();
+        for (table, rows) in [("l", &l), ("r", &r), ("s", &s)] {
+            for (k, v) in rows {
+                conn.execute_with_params(
+                    &format!("INSERT INTO {table} VALUES (?, ?)"),
+                    &[Value::Int(*k), Value::Int(*v)],
+                )
+                .unwrap();
+            }
+        }
+        let st = db.snapshot();
+        let sql = "SELECT k, v FROM l UNION ALL SELECT k, v FROM r EXCEPT SELECT k, v FROM s";
+        let got = canon(run_opts(&st, sql, &PlanOptions::all()));
+        let mut union_all = int_rows(&l);
+        union_all.extend(int_rows(&r));
+        let want = canon(ref_set_op("EXCEPT", false, &union_all, &int_rows(&s)));
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn pinned_set_op_empty_branches() {
+    let st = set_op_state(&[(1, 1), (1, 1)], &[]);
+    for (sql, expect_rows) in [
+        ("SELECT k, v FROM l UNION SELECT k, v FROM r", 1),
+        ("SELECT k, v FROM l UNION ALL SELECT k, v FROM r", 2),
+        ("SELECT k, v FROM l EXCEPT SELECT k, v FROM r", 1),
+        ("SELECT k, v FROM l EXCEPT ALL SELECT k, v FROM r", 2),
+        ("SELECT k, v FROM l INTERSECT SELECT k, v FROM r", 0),
+        ("SELECT k, v FROM l INTERSECT ALL SELECT k, v FROM r", 0),
+        ("SELECT k, v FROM r EXCEPT ALL SELECT k, v FROM l", 0),
+    ] {
+        assert_eq!(
+            run_opts(&st, sql, &PlanOptions::all()).len(),
+            expect_rows,
+            "{sql}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Window functions ≡ an O(n²) reference implementation
+// ---------------------------------------------------------------------------
+
+/// Reference window computation over `(k, v)` rows in insertion order:
+/// partitions by `k`, orders by `v` (stable on insertion order), and emits
+/// `[k, v, ROW_NUMBER, RANK, running SUM(v)]` per row with the default
+/// RANGE frame (partition start through the current peer group).
+fn ref_windows(rows: &[(i64, i64)]) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    let mut seen_parts: Vec<i64> = Vec::new();
+    for (k, _) in rows {
+        if !seen_parts.contains(k) {
+            seen_parts.push(*k);
+        }
+    }
+    for part in seen_parts {
+        let mut members: Vec<(usize, i64)> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (k, _))| *k == part)
+            .map(|(i, (_, v))| (i, *v))
+            .collect();
+        members.sort_by_key(|(i, v)| (*v, *i)); // stable order-by-v
+        let n = members.len();
+        let mut pos = 0;
+        while pos < n {
+            let mut end = pos + 1;
+            while end < n && members[end].1 == members[pos].1 {
+                end += 1;
+            }
+            let frame_sum: i64 = members[..end].iter().map(|(_, v)| v).sum();
+            for (offset, (_, v)) in members[pos..end].iter().enumerate() {
+                out.push(vec![
+                    Value::Int(part),
+                    Value::Int(*v),
+                    Value::Int((pos + offset + 1) as i64), // ROW_NUMBER
+                    Value::Int((pos + 1) as i64),          // RANK (with gaps)
+                    Value::Int(frame_sum),                 // running SUM
+                ]);
+            }
+            pos = end;
+        }
+    }
+    out
+}
+
+props! {
+    config(cases = 48);
+
+    fn windows_match_quadratic_reference(
+        rows in vec_of((ints(0..4), ints(0..6)), 0..=20),
+    ) {
+        let st = set_op_state(&rows, &[]);
+        let sql = "SELECT k, v, \
+                   ROW_NUMBER() OVER (PARTITION BY k ORDER BY v), \
+                   RANK() OVER (PARTITION BY k ORDER BY v), \
+                   SUM(v) OVER (PARTITION BY k ORDER BY v) \
+                   FROM l";
+        let got = canon(run_opts(&st, sql, &PlanOptions::all()));
+        let want = canon(ref_windows(&rows));
+        prop_assert_eq!(got, want, "window reference diverged");
+        // Plan options must not matter for window computation.
+        let base = canon(run_opts(&st, sql, &PlanOptions::baseline()));
+        let fast = canon(run_opts(&st, sql, &PlanOptions::all()));
+        prop_assert_eq!(fast, base);
+    }
+
+    fn unordered_window_sums_whole_partition(
+        rows in vec_of((ints(0..3), ints(0..5)), 0..=16),
+    ) {
+        let st = set_op_state(&rows, &[]);
+        // No ORDER BY in OVER: the frame is the entire partition.
+        let sql = "SELECT k, v, SUM(v) OVER (PARTITION BY k) FROM l";
+        let got = canon(run_opts(&st, sql, &PlanOptions::all()));
+        let want = canon(
+            rows.iter()
+                .map(|(k, v)| {
+                    let total: i64 = rows.iter().filter(|(k2, _)| k2 == k).map(|(_, v2)| v2).sum();
+                    vec![Value::Int(*k), Value::Int(*v), Value::Int(total)]
+                })
+                .collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn pinned_window_edge_cases() {
+    // Empty input, single row, all-ties, and a global (unpartitioned) window.
+    let st = set_op_state(&[], &[]);
+    assert!(run_opts(
+        &st,
+        "SELECT ROW_NUMBER() OVER (ORDER BY v) FROM l",
+        &PlanOptions::all()
+    )
+    .is_empty());
+
+    let st = set_op_state(&[(7, 3)], &[]);
+    assert_eq!(
+        run_opts(
+            &st,
+            "SELECT k, ROW_NUMBER() OVER (ORDER BY v), RANK() OVER (ORDER BY v) FROM l",
+            &PlanOptions::all()
+        ),
+        vec![vec![Value::Int(7), Value::Int(1), Value::Int(1)]]
+    );
+
+    // All rows tie on the RANK key: RANK stays 1, ROW_NUMBER still counts.
+    let st = set_op_state(&[(1, 5), (2, 5), (3, 5)], &[]);
+    let rows = canon(run_opts(
+        &st,
+        "SELECT k, ROW_NUMBER() OVER (ORDER BY v), RANK() OVER (ORDER BY v) FROM l",
+        &PlanOptions::all(),
+    ));
+    assert_eq!(
+        rows.iter().map(|r| r[2].clone()).collect::<Vec<_>>(),
+        vec![Value::Int(1); 3]
+    );
+    let mut rns: Vec<Value> = rows.iter().map(|r| r[1].clone()).collect();
+    rns.sort_by(|a, b| a.order_key(b));
+    assert_eq!(rns, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+}
+
+// ---------------------------------------------------------------------------
+// Subqueries ≡ manual nested evaluation
+// ---------------------------------------------------------------------------
+
+props! {
+    config(cases = 48);
+
+    fn subqueries_match_nested_evaluation(
+        l in vec_of((ints(0..5), ints(0..10)), 0..=14),
+        r in vec_of((ints(0..5), ints(0..10)), 0..=14),
+        cut in ints(0..10),
+    ) {
+        let st = set_op_state(&l, &r);
+
+        // Scalar subquery: v > (SELECT MAX(v) FROM r). Empty r → NULL → no rows.
+        let got = canon(run_opts(
+            &st,
+            "SELECT k, v FROM l WHERE v > (SELECT MAX(v) FROM r)",
+            &PlanOptions::all(),
+        ));
+        let max_r = r.iter().map(|(_, v)| *v).max();
+        let want: Vec<Vec<Value>> = match max_r {
+            Some(m) => l
+                .iter()
+                .filter(|(_, v)| *v > m)
+                .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+                .collect(),
+            None => Vec::new(),
+        };
+        prop_assert_eq!(got, canon(want), "scalar subquery diverged");
+
+        // IN subquery with an inner filter.
+        let sql = format!("SELECT k, v FROM l WHERE k IN (SELECT k FROM r WHERE v > {cut})");
+        let got = canon(run_opts(&st, &sql, &PlanOptions::all()));
+        let keys: Vec<i64> = r.iter().filter(|(_, v)| *v > cut).map(|(k, _)| *k).collect();
+        let want: Vec<Vec<Value>> = l
+            .iter()
+            .filter(|(k, _)| keys.contains(k))
+            .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+            .collect();
+        prop_assert_eq!(got, canon(want), "IN subquery diverged");
+
+        // NOT IN over a non-NULL inner set.
+        let sql = format!("SELECT k, v FROM l WHERE k NOT IN (SELECT k FROM r WHERE v > {cut})");
+        let got = canon(run_opts(&st, &sql, &PlanOptions::all()));
+        let want: Vec<Vec<Value>> = l
+            .iter()
+            .filter(|(k, _)| !keys.contains(k))
+            .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+            .collect();
+        prop_assert_eq!(got, canon(want), "NOT IN subquery diverged");
+
+        // Uncorrelated EXISTS: all-or-nothing.
+        let sql = format!("SELECT k, v FROM l WHERE EXISTS (SELECT 1 FROM r WHERE v > {cut})");
+        let got = canon(run_opts(&st, &sql, &PlanOptions::all()));
+        let want = if keys.is_empty() { Vec::new() } else { int_rows(&l) };
+        prop_assert_eq!(got, canon(want), "EXISTS diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// New operators under concurrent-writer snapshots
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reordered_joins_and_new_operators_agree_on_churning_snapshots() {
+    let db = Database::without_cache();
+    db.run_script(
+        "CREATE TABLE a (k INTEGER, v INTEGER);
+         CREATE TABLE b (k INTEGER, v INTEGER);
+         CREATE TABLE c (k INTEGER, v INTEGER);
+         CREATE INDEX a_k ON a (k);
+         CREATE INDEX b_k ON b (k)",
+    )
+    .unwrap();
+    {
+        let mut conn = db.connect();
+        for i in 0..30i64 {
+            for t in ["a", "b", "c"] {
+                conn.execute_with_params(
+                    &format!("INSERT INTO {t} VALUES (?, ?)"),
+                    &[Value::Int(i % 5), Value::Int(i)],
+                )
+                .unwrap();
+            }
+        }
+    }
+    let writer_db = db.clone();
+    let reader_db = db.clone();
+    let mut config = dbgw_testkit::StressConfig::named("planner_v2_under_row_churn");
+    config.threads = 3;
+    config.iters = 24;
+    dbgw_testkit::stress::run_observed(
+        &config,
+        move |w| {
+            let mut conn = writer_db.connect();
+            let k = w.rng.gen_range(0i64..5);
+            let delta = w.rng.gen_range(1i64..50);
+            let table = ["a", "b", "c"][w.rng.gen_range(0usize..3)];
+            match w.rng.gen_range(0u32..3) {
+                0 => conn.execute_with_params(
+                    &format!("UPDATE {table} SET v = v + ? WHERE k = ?"),
+                    &[Value::Int(delta), Value::Int(k)],
+                ),
+                1 => conn.execute_with_params(
+                    &format!("INSERT INTO {table} VALUES (?, ?)"),
+                    &[Value::Int(k), Value::Int(delta)],
+                ),
+                _ => conn.execute_with_params(
+                    &format!("DELETE FROM {table} WHERE k = ? AND v > ?"),
+                    &[Value::Int(k), Value::Int(delta * 4)],
+                ),
+            }
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        move || {
+            let pinned = reader_db.pin();
+            // Reordered 3-way joins: any cost-model order must equal the
+            // syntactic baseline on this frozen snapshot.
+            for sql in [
+                "SELECT a.v, b.v, c.v FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k \
+                 WHERE a.v < 100",
+                "SELECT a.v, b.v, c.v FROM a, b, c WHERE a.k = b.k AND a.k = c.k AND c.v >= 5",
+            ] {
+                assert_orders_agree(&pinned, sql)?;
+            }
+            // New operators: windows and set ops are plan-independent.
+            for sql in [
+                "SELECT k, SUM(v) OVER (PARTITION BY k) FROM a",
+                "SELECT k, v FROM a EXCEPT ALL SELECT k, v FROM b",
+                "SELECT k, v FROM a INTERSECT SELECT k, v FROM c",
+            ] {
+                let fast = canon(run_opts(&pinned, sql, &PlanOptions::all()));
+                let slow = canon(run_opts(&pinned, sql, &PlanOptions::baseline()));
+                if fast != slow {
+                    return Err(format!("plan-sensitive on snapshot: {sql}"));
+                }
+            }
+            // Statistics on a pinned snapshot stay internally consistent:
+            // a table's row count never exceeds stats rows + staleness window.
+            for t in ["a", "b", "c"] {
+                if let Some(stats) = &pinned.tables[t].stats {
+                    let heap = pinned.tables[t].heap.len() as i64;
+                    let drift = (stats.rows as i64 - heap).abs();
+                    if drift != 0 {
+                        return Err(format!(
+                            "stats incoherent on pinned snapshot for {t}: stats={} heap={heap}",
+                            stats.rows
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}

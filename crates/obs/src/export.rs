@@ -134,7 +134,7 @@ impl std::fmt::Display for TraceTree<'_> {
 
 /// The gateway's counters, as `(exposition name, help text, field)` — the
 /// single vocabulary shared by [`render_prometheus`] and [`metrics_json`].
-fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 28] {
+fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 30] {
     [
         (
             "dbgw_requests_total",
@@ -250,6 +250,16 @@ fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 28] {
             "dbgw_digest_evictions_total",
             "Query digests evicted from the bounded digest store.",
             &m.digest_evictions,
+        ),
+        (
+            "dbgw_stats_refreshes_total",
+            "Full table-statistics rebuilds (initial builds and refreshes).",
+            &m.stats_refreshes,
+        ),
+        (
+            "dbgw_join_reorders_total",
+            "Multi-way joins reordered by the cost-based planner.",
+            &m.join_reorders,
         ),
         (
             "dbgw_snapshots_published_total",

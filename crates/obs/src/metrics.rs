@@ -293,6 +293,12 @@ pub struct Metrics {
     /// Query digests evicted from the bounded digest store (cold shapes
     /// pushed out by the per-shard capacity).
     pub digest_evictions: Counter,
+    /// Full table-statistics rebuilds (initial builds plus refreshes
+    /// triggered by the write-staleness threshold or recovery).
+    pub stats_refreshes: Counter,
+    /// Multi-way joins whose evaluation order the cost-based planner
+    /// changed away from the syntactic order.
+    pub join_reorders: Counter,
     /// Database snapshots published (one per applied write statement or
     /// rollback).
     pub snapshots_published: Counter,
@@ -367,6 +373,8 @@ impl Metrics {
             rows_scanned: Counter::new(),
             latch_waits: Counter::new(),
             digest_evictions: Counter::new(),
+            stats_refreshes: Counter::new(),
+            join_reorders: Counter::new(),
             snapshots_published: Counter::new(),
             wal_records: Counter::new(),
             wal_fsyncs: Counter::new(),

@@ -102,6 +102,21 @@ BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_wal.json" \
     cargo bench --offline -p dbgw-bench --bench wal
 grep -q 'wal_records_per_fsync_8t' "$OBS_TMP/bench_wal.json"
 
+echo "== planner bench (quick run, asserted reorder floor + EXPLAIN smoke) =="
+# E15: stats-driven join ordering vs the syntactic order on a 3-way star
+# join, plus set-op and window throughput. The bench asserts the 5x reorder
+# floor itself and prints the EXPLAIN of the reordered query; CI checks the
+# printed plan carries the cost model's chosen JOIN ORDER (dimension table
+# first) so a planner that silently stops reordering fails here. The
+# committed BENCH_planner.json is regenerated from a full (non-quick) run.
+BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_planner.json" \
+    cargo bench --offline -p dbgw-bench --bench planner \
+    > "$OBS_TMP/bench_planner.log" 2>&1 \
+    || { cat "$OBS_TMP/bench_planner.log"; exit 1; }
+cat "$OBS_TMP/bench_planner.log"
+grep -q 'planner_reorder_speedup' "$OBS_TMP/bench_planner.json"
+grep -q 'JOIN ORDER: c -> b -> a' "$OBS_TMP/bench_planner.log"
+
 echo "== crash-recovery smoke (kill -9 mid-commit-stream) =="
 # Durability's acceptance test, end to end on the release binary: run the
 # transfer workload against a durable data dir, kill -9 once commits are

@@ -37,6 +37,42 @@ const SQL_TOKENS: &[&str] = &[
     "9",
 ];
 
+/// Fragments that steer random input toward the planner-v2 grammar: set
+/// operations, window functions, and subqueries.
+const SQL_V2_TOKENS: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "UNION",
+    "INTERSECT",
+    "EXCEPT",
+    "ALL",
+    "OVER",
+    "PARTITION",
+    "BY",
+    "ORDER",
+    "ROW_NUMBER",
+    "RANK",
+    "SUM",
+    "IN",
+    "EXISTS",
+    "JOIN",
+    "ON",
+    "(",
+    ")",
+    ",",
+    "*",
+    " ",
+    "t",
+    "u",
+    "k",
+    "v",
+    "1",
+    "'x'",
+    "=",
+    "<",
+];
+
 /// Fragments that steer random input toward HTML-form syntax.
 const FORM_TOKENS: &[&str] = &[
     "<form>",
@@ -73,6 +109,28 @@ props! {
 
     fn sql_parser_total_on_sql_shaped_input(input in tokens(SQL_TOKENS, 1..=24)) {
         let _ = minisql::parse(&input);
+    }
+
+    fn sql_parser_total_on_planner_v2_grammar(input in tokens(SQL_V2_TOKENS, 1..=32)) {
+        let _ = minisql::parse(&input);
+    }
+
+    fn sql_printer_round_trips_fuzzed_statements(input in tokens(SQL_V2_TOKENS, 1..=32)) {
+        // Any statement that parses must print back to SQL that re-parses to
+        // the identical AST: print is a faithful inverse of parse.
+        if let Ok(stmt) = minisql::parse(&input) {
+            let printed = stmt.to_string();
+            match minisql::parse(&printed) {
+                Ok(again) => prop_assert!(
+                    again == stmt,
+                    "round-trip changed AST:\n  input:   {input:?}\n  printed: {printed:?}"
+                ),
+                Err(e) => prop_assert!(
+                    false,
+                    "printed SQL fails to parse: {printed:?} ({e}) from {input:?}"
+                ),
+            }
+        }
     }
 
     fn html_tokenizer_total(input in printable(0..=300)) {
@@ -257,4 +315,107 @@ fn normalization_never_aliases_distinct_literals() {
             "should normalize together: {a:?} vs {b:?}"
         );
     }
+}
+
+/// Deterministic round-trip corpus: one statement per feature of the SQL
+/// surface, including the planner-v2 additions (set operations with ALL,
+/// window functions, subqueries in several positions). The fuzzed round-trip
+/// property above rarely assembles deeply nested valid statements; this
+/// corpus guarantees each construct is exercised every run.
+#[test]
+fn printer_round_trips_feature_corpus() {
+    let corpus = [
+        "SELECT 1",
+        "SELECT DISTINCT k, v + 1 AS w FROM t WHERE k = 3 ORDER BY w DESC LIMIT 5 OFFSET 2",
+        "SELECT t.k, u.v FROM t JOIN u ON t.k = u.k WHERE u.v BETWEEN 1 AND 9",
+        "SELECT t.k FROM t LEFT JOIN u ON t.k = u.k AND u.v > 2 WHERE u.k IS NULL",
+        "SELECT a.k FROM t AS a, u AS b WHERE a.k = b.k AND b.v IN (1, 2, 3)",
+        "SELECT k FROM t WHERE s LIKE 'ab%' AND s NOT LIKE '%z' ESCAPE '!'",
+        "SELECT COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM t GROUP BY k HAVING COUNT(*) > 1",
+        "SELECT CASE WHEN k = 1 THEN 'one' WHEN k = 2 THEN 'two' ELSE 'many' END FROM t",
+        "SELECT CAST(v AS DOUBLE) FROM t WHERE d = DATE '1996-06-04'",
+        "SELECT k FROM t WHERE v > (SELECT MAX(v) FROM u)",
+        "SELECT k FROM t WHERE k IN (SELECT k FROM u WHERE v > 3)",
+        "SELECT k FROM t WHERE NOT EXISTS (SELECT 1 FROM u WHERE u.k = 9)",
+        "SELECT k FROM t UNION SELECT k FROM u",
+        "SELECT k FROM t UNION ALL SELECT k FROM u ORDER BY 1 LIMIT 3",
+        "SELECT k FROM t EXCEPT SELECT k FROM u",
+        "SELECT k FROM t EXCEPT ALL SELECT k FROM u",
+        "SELECT k FROM t INTERSECT SELECT k FROM u",
+        "SELECT k FROM t INTERSECT ALL SELECT k FROM u",
+        "SELECT k, ROW_NUMBER() OVER (PARTITION BY k ORDER BY v DESC) FROM t",
+        "SELECT RANK() OVER (ORDER BY v), SUM(v) OVER (PARTITION BY k) FROM t",
+        "SELECT SUM(v + 1) OVER (PARTITION BY k, s ORDER BY v, k DESC) FROM t",
+        "SELECT -v, NOT (k = 1) FROM t WHERE v * 2 + 1 >= k / 3 - 4",
+        "INSERT INTO t (k, v) VALUES (1, 2), (3, 4)",
+        "INSERT INTO t VALUES (NULL, 'it''s', 2.5, DATE '1996-01-31')",
+        "UPDATE t SET v = v + 1, s = 'x' WHERE k IN (SELECT k FROM u)",
+        "DELETE FROM t WHERE v BETWEEN 1 AND 2",
+        "CREATE TABLE t (k INTEGER PRIMARY KEY, s VARCHAR(10) NOT NULL, d DOUBLE)",
+        "CREATE INDEX t_k ON t (k)",
+        "DROP TABLE t",
+        "DROP INDEX t_k",
+        "EXPLAIN SELECT k FROM t WHERE k = 1",
+        "EXPLAIN ANALYZE SELECT k FROM t",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
+    ];
+    for sql in corpus {
+        let ast = minisql::parse(sql).unwrap_or_else(|e| panic!("corpus entry fails: {sql} ({e})"));
+        let printed = ast.to_string();
+        let reparsed = minisql::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form fails: {printed} ({e}) from {sql}"));
+        assert_eq!(
+            reparsed, ast,
+            "round-trip changed AST for {sql} -> {printed}"
+        );
+        // And printing is a fixpoint after one round.
+        assert_eq!(
+            reparsed.to_string(),
+            printed,
+            "printer not idempotent for {sql}"
+        );
+    }
+}
+
+/// Slow-query digests must mask literals *inside subqueries and new grammar*
+/// too — a digest that leaks only-in-subquery literals would both explode
+/// digest cardinality and leak user data into /stats.
+#[test]
+fn digest_masks_literals_inside_subqueries_and_windows() {
+    let same_digest: &[(&str, &str)] = &[
+        (
+            "SELECT k FROM t WHERE v > (SELECT MAX(v) FROM u WHERE id = 123)",
+            "SELECT k FROM t WHERE v > (SELECT MAX(v) FROM u WHERE id = 999)",
+        ),
+        (
+            "SELECT k FROM t WHERE k IN (SELECT k FROM u WHERE s = 'alice')",
+            "SELECT k FROM t WHERE k IN (SELECT k FROM u WHERE s = 'bob')",
+        ),
+        (
+            "SELECT k FROM t WHERE EXISTS (SELECT 1 FROM u WHERE v = 5)",
+            "SELECT k FROM t WHERE EXISTS (SELECT 1 FROM u WHERE v = 77)",
+        ),
+        (
+            "SELECT k FROM t UNION ALL SELECT k FROM u WHERE v = 3",
+            "SELECT k FROM t UNION ALL SELECT k FROM u WHERE v = 4",
+        ),
+        (
+            "SELECT SUM(v) OVER (PARTITION BY k) FROM t WHERE v = 1.5",
+            "SELECT SUM(v) OVER (PARTITION BY k) FROM t WHERE v = 9.25",
+        ),
+    ];
+    for (a, b) in same_digest {
+        assert_eq!(
+            dbgw_cache::digest_sql(a),
+            dbgw_cache::digest_sql(b),
+            "literals not masked: {a} vs {b}"
+        );
+    }
+    // Different shapes must stay distinct.
+    assert_ne!(
+        dbgw_cache::digest_sql("SELECT k FROM t WHERE k IN (SELECT k FROM u)"),
+        dbgw_cache::digest_sql("SELECT k FROM t WHERE k IN (SELECT v FROM u)"),
+    );
 }
