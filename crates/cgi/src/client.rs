@@ -11,8 +11,11 @@ use crate::request::CgiResponse;
 use dbgw_html::{Form, FormControl, FormMethod};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
-/// A tiny HTTP/1.0 client.
+/// A tiny one-shot HTTP/1.1 client: each call opens a fresh connection and
+/// asks the server to close it (`Connection: close`). For keep-alive reuse
+/// and pipelining, use [`HttpConnection`].
 pub struct HttpClient {
     addr: SocketAddr,
 }
@@ -35,14 +38,16 @@ impl HttpClient {
 
     /// GET a path.
     pub fn get(&self, path: &str) -> std::io::Result<CgiResponse> {
-        let raw = self.raw(&format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n"))?;
+        let raw = self.raw(&format!(
+            "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        ))?;
         Ok(parse_response(&raw))
     }
 
     /// POST a form body to a path.
     pub fn post(&self, path: &str, body: &str) -> std::io::Result<CgiResponse> {
         let raw = self.raw(&format!(
-            "POST {path} HTTP/1.0\r\nHost: localhost\r\n\
+            "POST {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\
              Content-Type: application/x-www-form-urlencoded\r\n\
              Content-Length: {}\r\n\r\n{body}",
             body.len()
@@ -67,6 +72,26 @@ impl HttpClient {
 
 fn parse_response(raw: &str) -> CgiResponse {
     let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw, ""));
+    let (status, content_type, headers, chunked, _) = parse_head(head);
+    let body = if chunked {
+        match decode_chunked(body.as_bytes()) {
+            ChunkStatus::Complete(bytes, _) => String::from_utf8_lossy(&bytes).into_owned(),
+            _ => body.to_owned(),
+        }
+    } else {
+        body.to_owned()
+    };
+    CgiResponse {
+        status,
+        content_type,
+        body,
+        headers,
+    }
+}
+
+/// Parse a status line + header block (no final blank line) into
+/// `(status, content type, other headers, chunked?, content length)`.
+fn parse_head(head: &str) -> (u16, String, Vec<(String, String)>, bool, Option<usize>) {
     let mut lines = head.lines();
     let status_line = lines.next().unwrap_or_default();
     let status: u16 = status_line
@@ -76,21 +101,341 @@ fn parse_response(raw: &str) -> CgiResponse {
         .unwrap_or(0);
     let mut content_type = String::from("text/html");
     let mut headers = Vec::new();
+    let mut chunked = false;
+    let mut content_length = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-type") {
-                content_type = value.trim().to_owned();
-            } else {
-                headers.push((name.trim().to_owned(), value.trim().to_owned()));
+                content_type = value.to_owned();
+                continue;
+            }
+            if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            }
+            headers.push((name.trim().to_owned(), value.to_owned()));
+        }
+    }
+    (status, content_type, headers, chunked, content_length)
+}
+
+/// The outcome of decoding a chunked transfer-coded stream prefix.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChunkStatus {
+    /// A complete stream: the decoded body and how many encoded bytes it
+    /// consumed (pipelined successors may follow).
+    Complete(Vec<u8>, usize),
+    /// The stream's terminating chunk has not arrived yet.
+    Incomplete,
+    /// Not valid chunked coding.
+    Invalid,
+}
+
+/// Encode `pieces` as one `Transfer-Encoding: chunked` stream. Empty pieces
+/// are skipped: a zero-size chunk would terminate the stream early.
+pub fn encode_chunked(pieces: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for piece in pieces {
+        if piece.is_empty() {
+            continue;
+        }
+        out.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+        out.extend_from_slice(piece);
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"0\r\n\r\n");
+    out
+}
+
+/// Decode a chunked stream from the front of `data`.
+pub fn decode_chunked(data: &[u8]) -> ChunkStatus {
+    ChunkDecoder::new().advance(data)
+}
+
+#[derive(Debug)]
+enum DecodeState {
+    /// Expecting a hex chunk-size line.
+    SizeLine,
+    /// Copying chunk payload; `remaining` bytes of it are still to come.
+    Data { remaining: usize },
+    /// Expecting the CRLF that closes a chunk's payload.
+    DataCrlf,
+    /// Saw the zero-size chunk; expecting the final bare CRLF (no trailers).
+    Terminator,
+}
+
+/// A resumable chunked-stream decoder.
+///
+/// Call [`advance`](ChunkDecoder::advance) with the same buffer as it grows:
+/// the decoder remembers how far it got (`pos`) and what it has decoded, so
+/// each call only touches bytes that arrived since the last one. The bytes
+/// before `pos` must not change between calls.
+#[derive(Debug)]
+pub struct ChunkDecoder {
+    out: Vec<u8>,
+    pos: usize,
+    state: DecodeState,
+}
+
+impl Default for ChunkDecoder {
+    fn default() -> ChunkDecoder {
+        ChunkDecoder::new()
+    }
+}
+
+impl ChunkDecoder {
+    /// A decoder positioned at the start of a chunked stream.
+    pub fn new() -> ChunkDecoder {
+        ChunkDecoder {
+            out: Vec::new(),
+            pos: 0,
+            state: DecodeState::SizeLine,
+        }
+    }
+
+    /// Resume decoding against `data` (a stable, growing buffer). Returns
+    /// `Complete` at most once; the decoder is spent afterwards.
+    pub fn advance(&mut self, data: &[u8]) -> ChunkStatus {
+        loop {
+            match self.state {
+                DecodeState::SizeLine => {
+                    let Some(line_len) = find_crlf(&data[self.pos..]) else {
+                        return ChunkStatus::Incomplete;
+                    };
+                    let Ok(size_text) = std::str::from_utf8(&data[self.pos..self.pos + line_len])
+                    else {
+                        return ChunkStatus::Invalid;
+                    };
+                    // Chunk extensions (";ext=…") are allowed and ignored.
+                    let size_field = size_text.split(';').next().unwrap_or("").trim();
+                    let Ok(size) = usize::from_str_radix(size_field, 16) else {
+                        return ChunkStatus::Invalid;
+                    };
+                    self.pos += line_len + 2;
+                    self.state = if size == 0 {
+                        DecodeState::Terminator
+                    } else {
+                        DecodeState::Data { remaining: size }
+                    };
+                }
+                DecodeState::Data { remaining } => {
+                    let take = remaining.min(data.len() - self.pos);
+                    self.out.extend_from_slice(&data[self.pos..self.pos + take]);
+                    self.pos += take;
+                    if take < remaining {
+                        self.state = DecodeState::Data {
+                            remaining: remaining - take,
+                        };
+                        return ChunkStatus::Incomplete;
+                    }
+                    self.state = DecodeState::DataCrlf;
+                }
+                DecodeState::DataCrlf => {
+                    if data.len() < self.pos + 2 {
+                        return ChunkStatus::Incomplete;
+                    }
+                    if &data[self.pos..self.pos + 2] != b"\r\n" {
+                        return ChunkStatus::Invalid;
+                    }
+                    self.pos += 2;
+                    self.state = DecodeState::SizeLine;
+                }
+                DecodeState::Terminator => {
+                    // No trailers supported: the stream ends with a bare CRLF.
+                    if data.len() < self.pos + 2 {
+                        return ChunkStatus::Incomplete;
+                    }
+                    if &data[self.pos..self.pos + 2] != b"\r\n" {
+                        return ChunkStatus::Invalid;
+                    }
+                    self.pos += 2;
+                    return ChunkStatus::Complete(std::mem::take(&mut self.out), self.pos);
+                }
             }
         }
     }
-    CgiResponse {
-        status,
-        content_type,
-        body: body.to_owned(),
-        headers,
+}
+
+fn find_crlf(data: &[u8]) -> Option<usize> {
+    data.windows(2).position(|w| w == b"\r\n")
+}
+
+/// A persistent HTTP/1.1 connection: keep-alive reuse, request pipelining,
+/// and chunked-response decoding.
+///
+/// Requests are written with [`HttpConnection::send_get`] and read back (in
+/// order) with [`HttpConnection::read_response`]; interleaving several sends
+/// before the first read pipelines them on the one connection.
+pub struct HttpConnection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpConnection {
+    /// Open a connection to the server.
+    pub fn open(addr: SocketAddr) -> std::io::Result<HttpConnection> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are single small writes; Nagle would queue the next
+        // pipelined request behind the previous response's ACK.
+        stream.set_nodelay(true)?;
+        Ok(HttpConnection {
+            stream,
+            buf: Vec::new(),
+        })
     }
+
+    /// Write a keep-alive GET without reading the response.
+    pub fn send_get(&mut self, path: &str) -> std::io::Result<()> {
+        self.stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Write several keep-alive GETs in a single TCP write — a true
+    /// pipelined burst that reaches the server back-to-back. Responses are
+    /// read (in order) with [`HttpConnection::read_response`].
+    pub fn send_get_burst(&mut self, paths: &[&str]) -> std::io::Result<()> {
+        let mut burst = String::new();
+        for path in paths {
+            burst.push_str(&format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n"));
+        }
+        self.stream.write_all(burst.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// GET on the persistent connection: send, then read the response.
+    pub fn get(&mut self, path: &str) -> std::io::Result<CgiResponse> {
+        self.send_get(path)?;
+        self.read_response()
+    }
+
+    /// Read the next response off the connection.
+    pub fn read_response(&mut self) -> std::io::Result<CgiResponse> {
+        self.read_response_timed().map(|(resp, _)| resp)
+    }
+
+    /// Read the next response, also reporting time-to-first-byte: how long
+    /// until the first response byte arrived (zero if already buffered).
+    pub fn read_response_timed(&mut self) -> std::io::Result<(CgiResponse, Duration)> {
+        let started = Instant::now();
+        let mut ttfb = if self.buf.is_empty() {
+            None
+        } else {
+            Some(Duration::ZERO)
+        };
+        // Once a chunked head is seen, the decoder resumes where it left
+        // off on every socket fill instead of rescanning the whole buffer
+        // (which is quadratic on multi-megabyte streamed reports).
+        let mut streaming: Option<(CgiResponse, usize, ChunkDecoder)> = None;
+        loop {
+            if streaming.is_none() {
+                if let Some(head_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                    let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+                    let (status, content_type, headers, chunked, _) = parse_head(&head);
+                    if chunked {
+                        let shell = CgiResponse {
+                            status,
+                            content_type,
+                            body: String::new(),
+                            headers,
+                        };
+                        streaming = Some((shell, head_end + 4, ChunkDecoder::new()));
+                    }
+                }
+            }
+            if let Some((_, body_start, decoder)) = streaming.as_mut() {
+                let status = decoder.advance(&self.buf[*body_start..]);
+                match status {
+                    ChunkStatus::Complete(bytes, used) => {
+                        let (mut resp, body_start, _) = streaming.take().unwrap();
+                        resp.body = String::from_utf8_lossy(&bytes).into_owned();
+                        self.buf.drain(..body_start + used);
+                        return Ok((resp, ttfb.unwrap_or_else(|| started.elapsed())));
+                    }
+                    ChunkStatus::Incomplete => {}
+                    ChunkStatus::Invalid => {
+                        // Treat a corrupt stream as consuming the rest.
+                        let (mut resp, body_start, _) = streaming.take().unwrap();
+                        resp.body = String::from_utf8_lossy(&self.buf[body_start..]).into_owned();
+                        self.buf.clear();
+                        return Ok((resp, ttfb.unwrap_or_else(|| started.elapsed())));
+                    }
+                }
+            } else if let Some((resp, consumed)) = try_parse_response(&self.buf) {
+                self.buf.drain(..consumed);
+                return Ok((resp, ttfb.unwrap_or_else(|| started.elapsed())));
+            }
+            let mut chunk = [0u8; 8192];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                // Connection closed: the body ran to EOF (no framing).
+                if self.buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    let text = String::from_utf8_lossy(&self.buf).into_owned();
+                    self.buf.clear();
+                    return Ok((
+                        parse_response(&text),
+                        ttfb.unwrap_or_else(|| started.elapsed()),
+                    ));
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a complete response",
+                ));
+            }
+            if ttfb.is_none() {
+                ttfb = Some(started.elapsed());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Try to parse one complete, framed response from the front of `buf`,
+/// returning it and the bytes it consumed. `None` means more bytes are
+/// needed (including the no-framing read-to-EOF case).
+fn try_parse_response(buf: &[u8]) -> Option<(CgiResponse, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let (status, content_type, headers, chunked, content_length) = parse_head(&head);
+    let body_start = head_end + 4;
+    let (body, consumed) = if chunked {
+        match decode_chunked(&buf[body_start..]) {
+            ChunkStatus::Complete(bytes, used) => (
+                String::from_utf8_lossy(&bytes).into_owned(),
+                body_start + used,
+            ),
+            ChunkStatus::Incomplete => return None,
+            // Treat a corrupt stream as consuming the rest of the buffer.
+            ChunkStatus::Invalid => (
+                String::from_utf8_lossy(&buf[body_start..]).into_owned(),
+                buf.len(),
+            ),
+        }
+    } else if let Some(n) = content_length.or_else(|| (status == 304).then_some(0)) {
+        if buf.len() < body_start + n {
+            return None;
+        }
+        (
+            String::from_utf8_lossy(&buf[body_start..body_start + n]).into_owned(),
+            body_start + n,
+        )
+    } else {
+        return None; // unframed: only EOF delimits it
+    };
+    Some((
+        CgiResponse {
+            status,
+            content_type,
+            body,
+            headers,
+        },
+        consumed,
+    ))
 }
 
 /// The user's interactions with a form before clicking Submit.
@@ -302,5 +647,52 @@ mod tests {
         let r = parse_response("HTTP/1.0 200 OK\r\nContent-Type: text/html\r\n\r\n<p>hi");
         assert_eq!(r.status, 200);
         assert_eq!(r.body, "<p>hi");
+    }
+
+    #[test]
+    fn parse_response_decodes_chunked() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\
+                   Transfer-Encoding: chunked\r\n\r\n6\r\n<p>hi \r\n5\r\nthere\r\n0\r\n\r\n";
+        let r = parse_response(raw);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "<p>hi there");
+    }
+
+    #[test]
+    fn chunked_round_trip_skips_empty_pieces() {
+        let enc = encode_chunked(&[b"hello ", b"", b"world"]);
+        match decode_chunked(&enc) {
+            ChunkStatus::Complete(body, used) => {
+                assert_eq!(body, b"hello world");
+                assert_eq!(used, enc.len());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_decode_wants_more_until_terminated() {
+        let enc = encode_chunked(&[b"abc", b"defg"]);
+        for cut in 0..enc.len() {
+            assert_eq!(
+                decode_chunked(&enc[..cut]),
+                ChunkStatus::Incomplete,
+                "cut {cut}"
+            );
+        }
+        assert_eq!(decode_chunked(b"zz\r\n"), ChunkStatus::Invalid);
+    }
+
+    #[test]
+    fn framed_responses_parse_incrementally_for_pipelining() {
+        let two = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nabc\
+                    HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nno";
+        let (first, used) = try_parse_response(two).expect("first response");
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, "abc");
+        let (second, used2) = try_parse_response(&two[used..]).expect("second response");
+        assert_eq!(second.status, 404);
+        assert_eq!(second.body, "no");
+        assert_eq!(used + used2, two.len());
     }
 }

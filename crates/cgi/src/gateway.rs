@@ -11,7 +11,9 @@ use crate::session::{SessionManager, END_VAR, SESSION_ID_VAR, SESSION_VAR};
 use crate::sync::RwLock;
 use dbgw_core::db::{Database, DbError, DbRows};
 use dbgw_core::security::safe_macro_name;
-use dbgw_core::{parse_macro, Engine, EngineConfig, MacroError, MacroFile, Mode, TxnMode};
+use dbgw_core::{
+    parse_macro, Engine, EngineConfig, MacroError, MacroFile, Mode, PageSink, TxnMode,
+};
 use dbgw_obs::{CancelReason, Clock, RequestCtx, StdClock, Trace};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -21,6 +23,43 @@ use std::time::Duration;
 /// Reserved input variable carrying the request's correlation id into macro
 /// text: `$(DTW_REQUEST_ID)` works in `%SQL_MESSAGE` handlers and reports.
 pub const REQUEST_ID_VAR: &str = "DTW_REQUEST_ID";
+
+/// A [`PageSink`] the gateway can hand to the HTTP server's streaming
+/// response writer: besides accepting page text it reports whether response
+/// bytes have already been committed to the wire, and surrenders the buffered
+/// text when they have not (so the caller can fall back to an ordinary
+/// complete response with `ETag`/`Content-Length` semantics).
+pub trait BodySink: PageSink {
+    /// Have any response bytes already been sent to the client?
+    fn committed(&self) -> bool;
+    /// Take the text buffered so far (only meaningful while uncommitted).
+    fn take(&mut self) -> String;
+}
+
+/// The trivial buffered sink: never commits, accumulates everything.
+impl BodySink for String {
+    fn committed(&self) -> bool {
+        false
+    }
+    fn take(&mut self) -> String {
+        std::mem::take(self)
+    }
+}
+
+/// How [`Gateway::handle_streaming`] answered a request.
+#[derive(Debug)]
+pub enum Handled {
+    /// The page stayed under the sink's watermark (or errored before any
+    /// byte went out): a complete response for the caller to frame and send.
+    Full(CgiResponse),
+    /// The response body went out incrementally through the sink. `failed`
+    /// means rendering aborted after bytes were committed, so the stream is
+    /// truncated and the connection must not be reused.
+    Streamed {
+        /// Rendering aborted mid-stream (the page is incomplete).
+        failed: bool,
+    },
+}
 
 /// Supplies a fresh DBMS connection per request, the way the CGI model
 /// re-connected in every process.
@@ -419,6 +458,91 @@ impl Gateway {
         response
     }
 
+    /// Handle one CGI invocation with a streaming body sink: the same
+    /// bookkeeping as [`Gateway::handle_with_ctx`], but report rows flush to
+    /// the client as the executor yields them once the sink's watermark is
+    /// crossed. Pages that stay under the watermark — and every error that
+    /// strikes before the first flush — come back as [`Handled::Full`] with
+    /// the usual caching/`ETag` treatment, so small pages are byte-identical
+    /// to the buffered path.
+    pub fn handle_streaming<S: BodySink>(
+        &self,
+        req: &CgiRequest,
+        ctx: &Arc<RequestCtx>,
+        sink: &mut S,
+    ) -> Handled {
+        let m = dbgw_obs::metrics();
+        m.requests.inc();
+        let _id_guard = dbgw_obs::set_request_id(req.request_id);
+        let start_ns = self.clock.now_ns();
+        let owned = self.trace.tracing()
+            && dbgw_obs::trace::start_trace(self.clock.clone(), req.request_id);
+        let outcome = {
+            let _span = dbgw_obs::trace::span("request");
+            dbgw_obs::trace::note("path", &req.path_info);
+            self.dispatch_into(req, ctx, sink)
+        };
+        let trace = if owned {
+            dbgw_obs::trace::finish_trace()
+        } else {
+            None
+        };
+        let mut handled = match outcome {
+            Ok(()) if !sink.committed() => {
+                let mut response = CgiResponse::html(sink.take());
+                self.apply_http_caching(req, &mut response);
+                Handled::Full(response)
+            }
+            Ok(()) => Handled::Streamed { failed: false },
+            Err(response) if !sink.committed() => {
+                // Discard any partial render; the error page replaces it.
+                let _ = sink.take();
+                Handled::Full(response)
+            }
+            Err(response) => {
+                // Too late for an error page: bytes are on the wire. Mark
+                // the truncation so the page is visibly incomplete, and let
+                // the server close the connection.
+                let _ = sink.push(&format!(
+                    "\n<!-- request {} aborted mid-stream: error {} -->\n",
+                    req.request_id, response.status
+                ));
+                Handled::Streamed { failed: true }
+            }
+        };
+        let end_ns = self.clock.now_ns();
+        m.request_latency_ns
+            .observe_ns(end_ns.saturating_sub(start_ns));
+        let status = match &handled {
+            Handled::Full(response) => response.status,
+            Handled::Streamed { failed } => {
+                if *failed {
+                    500
+                } else {
+                    200
+                }
+            }
+        };
+        if status >= 400 {
+            m.request_errors.inc();
+        }
+        self.sampler.tick(end_ns / 1_000_000, m);
+        if let Some(trace) = trace {
+            match &mut handled {
+                Handled::Full(response) => self.emit_trace(&trace, response),
+                Handled::Streamed { .. } => {
+                    if let Some(path) = &self.trace.trace_file {
+                        let _ = trace.append_jsonl(path);
+                    }
+                    if self.trace.annotate {
+                        let _ = sink.push(&trace_comment(&trace));
+                    }
+                }
+            }
+        }
+        handled
+    }
+
     /// Export one finished trace per the configured sinks.
     fn emit_trace(&self, trace: &Trace, response: &mut CgiResponse) {
         if let Some(path) = &self.trace.trace_file {
@@ -501,19 +625,40 @@ impl Gateway {
     }
 
     fn dispatch(&self, req: &CgiRequest, ctx: &Arc<RequestCtx>) -> CgiResponse {
+        let mut body = String::new();
+        match self.dispatch_into(req, ctx, &mut body) {
+            Ok(()) => CgiResponse::html(body),
+            Err(response) => response,
+        }
+    }
+
+    /// Resolve and process the requested macro, rendering into `sink`.
+    /// `Err` is a complete prebuilt response (resolution failure, macro
+    /// error, …); the caller decides what to do with any partial render the
+    /// sink received before the error.
+    fn dispatch_into(
+        &self,
+        req: &CgiRequest,
+        ctx: &Arc<RequestCtx>,
+        sink: &mut dyn PageSink,
+    ) -> Result<(), CgiResponse> {
         // PATH_INFO = /{macro-file}/{cmd}
         let mut parts = req.path_info.trim_start_matches('/').splitn(2, '/');
         let macro_name = parts.next().unwrap_or("");
         let cmd = parts.next().unwrap_or("");
         if !safe_macro_name(macro_name) {
-            return CgiResponse::error_for_request(400, "invalid macro file name", req.request_id);
+            return Err(CgiResponse::error_for_request(
+                400,
+                "invalid macro file name",
+                req.request_id,
+            ));
         }
         let Some(mode) = Mode::from_command(cmd) else {
-            return CgiResponse::error_for_request(
+            return Err(CgiResponse::error_for_request(
                 400,
                 &format!("unknown command {cmd:?}: expected input or report"),
                 req.request_id,
-            );
+            ));
         };
         let Some((mac, source)) = self
             .macros
@@ -521,11 +666,11 @@ impl Gateway {
             .get(macro_name)
             .map(|s| (s.parsed.clone(), s.source.clone()))
         else {
-            return CgiResponse::error_for_request(
+            return Err(CgiResponse::error_for_request(
                 404,
                 &format!("no macro named {macro_name}"),
                 req.request_id,
-            );
+            ));
         };
         // Under a trace, re-parse the macro from source so the trace shows
         // the `parse_macro` cost every CGI invocation paid in 1996; the fast
@@ -564,7 +709,11 @@ impl Gateway {
                 match mgr.start(self.metered_connect(ctx)) {
                     Ok(id) => id,
                     Err(e) => {
-                        return CgiResponse::error_for_request(500, &e.to_string(), req.request_id)
+                        return Err(CgiResponse::error_for_request(
+                            500,
+                            &e.to_string(),
+                            req.request_id,
+                        ))
                     }
                 }
             } else {
@@ -573,18 +722,20 @@ impl Gateway {
             inputs.push((SESSION_ID_VAR.to_owned(), id.clone()));
             let outcome = mgr.with_session(&id, |conn| engine.process(&mac, mode, &inputs, conn));
             let Some(result) = outcome else {
-                return CgiResponse::error_for_request(
+                return Err(CgiResponse::error_for_request(
                     400,
                     &format!("unknown or expired session {id}"),
                     req.request_id,
-                );
+                ));
             };
-            let mut response = match result {
-                Ok(body) => CgiResponse::html(body),
+            // Conversations stay fully buffered: the transaction's fate
+            // (below) can still replace the page with an error.
+            let body = match result {
+                Ok(body) => body,
                 Err(e) => {
                     // A failed request aborts the whole conversation.
                     let _ = mgr.end(&id, false);
-                    return macro_error_response(&e, req.request_id);
+                    return Err(macro_error_response(&e, req.request_id));
                 }
             };
             let end = inputs
@@ -594,8 +745,11 @@ impl Gateway {
             match end.as_deref() {
                 Some("commit") => {
                     if let Some(Err(e)) = mgr.end(&id, true) {
-                        response =
-                            CgiResponse::error_for_request(500, &e.to_string(), req.request_id);
+                        return Err(CgiResponse::error_for_request(
+                            500,
+                            &e.to_string(),
+                            req.request_id,
+                        ));
                     }
                 }
                 Some("abort") => {
@@ -603,15 +757,16 @@ impl Gateway {
                 }
                 _ => {}
             }
-            return response;
+            return sink
+                .push(&body)
+                .map_err(|reason| cancel_response(reason, req.request_id));
         }
 
         let engine = Engine::with_config(self.config.clone()).with_request_ctx(ctx.clone());
         let mut conn = self.metered_connect(ctx);
-        match engine.process(&mac, mode, &inputs, conn.as_mut()) {
-            Ok(body) => CgiResponse::html(body),
-            Err(e) => macro_error_response(&e, req.request_id),
-        }
+        engine
+            .process_into(&mac, mode, &inputs, conn.as_mut(), sink)
+            .map_err(|e| macro_error_response(&e, req.request_id))
     }
 
     /// A fresh context-bound connection wrapped in the statement-timing meter.

@@ -1,29 +1,37 @@
-//! A minimal HTTP/1.0 server fronting the gateway.
+//! The evented HTTP/1.1 edge fronting the gateway.
 //!
-//! Stands in for the NCSA/IBM httpd of Figure 1: it accepts connections,
-//! parses one request each (HTTP/1.0 close-per-request, as in 1996), routes
-//! `/cgi-bin/db2www/…` to the [`Gateway`], serves registered static pages
-//! (the "home page" of §1), and closes.
+//! Stands in for the NCSA/IBM httpd of Figure 1, but upgraded past the 1996
+//! close-per-request model: connections are **persistent** (`keep-alive`) and
+//! parked in an epoll-driven event loop ([`crate::evloop`]) while idle, so
+//! ten thousand open browsers cost file descriptors, not threads. Only a
+//! connection with a *fully parsed* request occupies one of the fixed pool of
+//! workers (`DBGW_WORKERS`); the bounded work queue (`DBGW_QUEUE`) still
+//! sheds overload with `503 Retry-After`, and shutdown still drains queued
+//! and in-flight requests before joining the pool.
 //!
-//! Unlike the 1996 fork-per-request model, connections are served by a fixed
-//! pool of workers (`DBGW_WORKERS`) fed from a bounded accept queue
-//! (`DBGW_QUEUE`). When the queue is full the server sheds load with
-//! `503 Retry-After` instead of accumulating threads, and
-//! [`HttpServer::shutdown`] drains queued and in-flight requests before
-//! joining the pool.
+//! Responses are HTTP/1.1. Small pages go out with `Content-Length` exactly
+//! as before; a CGI report that crosses the streaming watermark
+//! (`DBGW_STREAM_WATERMARK`) switches to `Transfer-Encoding: chunked` and
+//! flushes rows as the executor yields them, so time-to-first-byte on a large
+//! report no longer pays the full render. HTTP/1.0 clients (and conditional
+//! GETs, which need the whole body for the `ETag`) keep the buffered path.
 
 use crate::auth::{AuthDecision, BasicAuth};
-use crate::gateway::Gateway;
+use crate::evloop::{Conn, Work};
+use crate::gateway::{BodySink, Gateway, Handled};
 use crate::log::{AccessLog, LogEntry};
+use crate::net::Poller;
 use crate::request::{CgiRequest, CgiResponse, Method};
 use crate::sync::{Mutex, RwLock};
+use dbgw_core::PageSink;
+use dbgw_obs::{CancelReason, RequestCtx};
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The CGI program mount point, as in the paper's URLs.
 pub const CGI_PREFIX: &str = "/cgi-bin/db2www";
@@ -32,20 +40,35 @@ pub const CGI_PREFIX: &str = "/cgi-bin/db2www";
 /// `?format=prometheus`.
 pub const STATS_PATH: &str = "/stats";
 
-/// Worker-pool and socket limits.
+/// Worker-pool, connection, and socket limits.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads serving requests (`DBGW_WORKERS`).
     pub workers: usize,
-    /// Accepted connections waiting for a worker before the server sheds
-    /// load with 503 (`DBGW_QUEUE`).
+    /// Parsed requests waiting for a worker before the server sheds load
+    /// with 503 (`DBGW_QUEUE`).
     pub queue: usize,
     /// Largest request body accepted before answering 413 (`DBGW_MAX_BODY`).
     pub max_body: usize,
     /// Largest number of request headers accepted.
     pub max_headers: usize,
-    /// Socket read/write timeout, so a stalled peer cannot pin a worker.
+    /// Socket read/write timeout while a worker serves a request, and the
+    /// patience for a *partial* request parked in the event loop (a slowloris
+    /// peer gets 408 when it expires).
     pub io_timeout: Duration,
+    /// How long an idle keep-alive connection may stay parked before the
+    /// server closes it (`DBGW_KEEPALIVE_MS`).
+    pub keepalive: Duration,
+    /// Requests served on one connection before it is closed
+    /// (`DBGW_MAX_REQUESTS`).
+    pub max_requests: u64,
+    /// Open-connection cap (`DBGW_MAX_CONNS`); connections beyond it are
+    /// refused with 503 at accept time.
+    pub max_conns: usize,
+    /// Bytes of rendered page buffered before a CGI response commits to
+    /// chunked streaming (`DBGW_STREAM_WATERMARK`). Pages that finish under
+    /// the watermark are sent with `Content-Length` as before.
+    pub stream_watermark: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,13 +79,18 @@ impl Default for ServerConfig {
             max_body: 1 << 20,
             max_headers: 100,
             io_timeout: Duration::from_secs(10),
+            keepalive: Duration::from_secs(5),
+            max_requests: 1000,
+            max_conns: 10_000,
+            stream_watermark: 16 * 1024,
         }
     }
 }
 
 impl ServerConfig {
-    /// Defaults overridden by `DBGW_WORKERS`, `DBGW_QUEUE`, and
-    /// `DBGW_MAX_BODY`.
+    /// Defaults overridden by `DBGW_WORKERS`, `DBGW_QUEUE`, `DBGW_MAX_BODY`,
+    /// `DBGW_KEEPALIVE_MS`, `DBGW_MAX_REQUESTS`, `DBGW_MAX_CONNS`, and
+    /// `DBGW_STREAM_WATERMARK`.
     pub fn from_env() -> ServerConfig {
         let mut config = ServerConfig::default();
         if let Some(n) = env_usize("DBGW_WORKERS") {
@@ -73,6 +101,18 @@ impl ServerConfig {
         }
         if let Some(n) = env_usize("DBGW_MAX_BODY") {
             config.max_body = n;
+        }
+        if let Some(ms) = env_usize("DBGW_KEEPALIVE_MS") {
+            config.keepalive = Duration::from_millis(ms as u64);
+        }
+        if let Some(n) = env_usize("DBGW_MAX_REQUESTS") {
+            config.max_requests = (n as u64).max(1);
+        }
+        if let Some(n) = env_usize("DBGW_MAX_CONNS") {
+            config.max_conns = n.max(1);
+        }
+        if let Some(n) = env_usize("DBGW_STREAM_WATERMARK") {
+            config.stream_watermark = n.max(1);
         }
         config
     }
@@ -86,19 +126,25 @@ fn env_usize(name: &str) -> Option<usize> {
 pub struct HttpServer {
     inner: Arc<ServerInner>,
     addr: std::net::SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    evloop_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-struct ServerInner {
-    gateway: Gateway,
-    config: ServerConfig,
-    static_pages: RwLock<HashMap<String, String>>,
-    auth: RwLock<Option<BasicAuth>>,
-    log: AccessLog,
-    stop: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
+pub(crate) struct ServerInner {
+    pub(crate) gateway: Gateway,
+    pub(crate) config: ServerConfig,
+    pub(crate) static_pages: RwLock<HashMap<String, String>>,
+    pub(crate) auth: RwLock<Option<BasicAuth>>,
+    pub(crate) log: AccessLog,
+    pub(crate) stop: AtomicBool,
+    /// Parsed requests (and protocol rejects) awaiting a worker.
+    pub(crate) work: Mutex<VecDeque<Work>>,
+    pub(crate) ready: Condvar,
+    /// The event loop's readiness multiplexer; workers and shutdown use its
+    /// eventfd to wake the loop.
+    pub(crate) poller: Poller,
+    /// Keep-alive connections workers hand back for re-parking.
+    pub(crate) returned: Mutex<Vec<Conn>>,
 }
 
 impl HttpServer {
@@ -116,6 +162,7 @@ impl HttpServer {
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
+        let poller = Poller::new()?;
         let inner = Arc::new(ServerInner {
             gateway,
             config,
@@ -123,28 +170,23 @@ impl HttpServer {
             auth: RwLock::new(None),
             log: AccessLog::new(),
             stop: AtomicBool::new(false),
-            queue: Mutex::new(VecDeque::new()),
+            work: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            poller,
+            returned: Mutex::new(Vec::new()),
         });
         let mut workers = Vec::with_capacity(inner.config.workers);
         for _ in 0..inner.config.workers {
             let worker_inner = Arc::clone(&inner);
             workers.push(std::thread::spawn(move || worker_loop(&worker_inner)));
         }
-        let accept_inner = Arc::clone(&inner);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_inner.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                enqueue(&accept_inner, stream);
-            }
-        });
+        let ev_inner = Arc::clone(&inner);
+        let evloop_thread =
+            std::thread::spawn(move || crate::evloop::event_loop(&ev_inner, listener));
         Ok(HttpServer {
             inner,
             addr,
-            accept_thread: Some(accept_thread),
+            evloop_thread: Some(evloop_thread),
             workers,
         })
     }
@@ -178,25 +220,28 @@ impl HttpServer {
     }
 
     /// Stop accepting, drain queued and in-flight requests, and join the
-    /// accept thread and worker pool.
+    /// event loop and worker pool.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        // Kick the blocked accept() with a throwaway connection; the accept
-        // loop re-checks `stop` before queueing it.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
+        // The event loop re-checks `stop` after every wakeup.
+        self.inner.poller.wake();
+        if let Some(handle) = self.evloop_thread.take() {
             let _ = handle.join();
         }
         // Wake every waiting worker; each drains the queue, finishes its
         // in-flight request, and exits.
-        drop(self.inner.queue.lock());
+        drop(self.inner.work.lock());
         self.inner.ready.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // Connections a worker handed back after the loop exited.
+        for conn in self.inner.returned.lock().drain(..) {
+            crate::evloop::close_conn(conn);
         }
     }
 }
@@ -207,58 +252,16 @@ impl Drop for HttpServer {
     }
 }
 
-/// Queue an accepted connection for the pool, or shed it with 503 when the
-/// queue is full.
-fn enqueue(inner: &ServerInner, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(inner.config.io_timeout));
-    let _ = stream.set_write_timeout(Some(inner.config.io_timeout));
-    let rejected = {
-        let mut q = inner.queue.lock();
-        if q.len() >= inner.config.queue {
-            Some(stream)
-        } else {
-            q.push_back(stream);
-            dbgw_obs::metrics().queue_depth.set(q.len() as i64);
-            None
-        }
-    };
-    match rejected {
-        Some(stream) => {
-            dbgw_obs::metrics().requests_shed.inc();
-            let _ = shed_connection(stream);
-        }
-        None => inner.ready.notify_one(),
-    }
-}
-
-/// Tell an over-queue client to come back: read (and discard) its request so
-/// the response is not lost to a connection reset, then answer 503 with a
-/// `Retry-After` hint.
-fn shed_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let mut buf = [0u8; 4096];
-    let mut data = Vec::new();
-    while find_header_end(&data).is_none() && data.len() < 16 * 1024 {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => data.extend_from_slice(&buf[..n]),
-            Err(_) => break, // timed out; answer anyway
-        }
-    }
-    let resp = CgiResponse::error(503, "server busy, try again shortly");
-    write_response(&mut stream, &resp, None, Some(1))
-}
-
-/// One pool worker: serve queued connections until stopped *and* the queue
-/// is drained.
-fn worker_loop(inner: &ServerInner) {
+/// One pool worker: serve queued work until stopped *and* the queue is
+/// drained.
+fn worker_loop(inner: &Arc<ServerInner>) {
     loop {
-        let stream = {
-            let mut q = inner.queue.lock();
+        let work = {
+            let mut q = inner.work.lock();
             loop {
-                if let Some(s) = q.pop_front() {
+                if let Some(w) = q.pop_front() {
                     dbgw_obs::metrics().queue_depth.set(q.len() as i64);
-                    break Some(s);
+                    break Some(w);
                 }
                 if inner.stop.load(Ordering::SeqCst) {
                     break None;
@@ -270,100 +273,271 @@ fn worker_loop(inner: &ServerInner) {
                 };
             }
         };
-        let Some(stream) = stream else { return };
-        let m = dbgw_obs::metrics();
-        m.requests_in_flight.inc();
-        let _ = handle_connection(inner, stream);
-        m.requests_in_flight.dec();
+        let Some(work) = work else { return };
+        match work {
+            Work::Reject(mut conn, response) => {
+                let _ = conn.prepare_blocking(&inner.config);
+                let _ = write_response(&mut conn.stream, &response, None, None, false);
+                let remote = peer_ip(&conn.stream);
+                inner.log.record(LogEntry {
+                    remote,
+                    user: "-".to_owned(),
+                    timestamp: 0,
+                    request_line: "- - -".to_owned(),
+                    status: response.status,
+                    bytes: response.body.len(),
+                });
+                crate::evloop::close_conn(conn);
+            }
+            Work::Request(conn, req) => {
+                if conn.prepare_blocking(&inner.config).is_err() {
+                    crate::evloop::close_conn(conn);
+                    continue;
+                }
+                serve_connection(inner, conn, req);
+            }
+        }
     }
 }
 
-fn handle_connection(inner: &ServerInner, mut stream: TcpStream) -> std::io::Result<()> {
-    let remote = stream
+/// Serve one parsed request, then any complete pipelined requests already
+/// buffered on the connection, then either close it or hand it back to the
+/// event loop to await the next request.
+fn serve_connection(inner: &ServerInner, mut conn: Conn, mut req: HttpRequest) {
+    let m = dbgw_obs::metrics();
+    loop {
+        if conn.served > 0 {
+            m.keepalive_reuses.inc();
+        }
+        m.requests_in_flight.inc();
+        let keep = serve_request(inner, &mut conn, req);
+        m.requests_in_flight.dec();
+        conn.served += 1;
+        if !keep || conn.served >= inner.config.max_requests || inner.stop.load(Ordering::SeqCst) {
+            crate::evloop::close_conn(conn);
+            return;
+        }
+        // Pipelined peer: the next request may already be buffered whole.
+        match parse_request(&mut conn.buf, &inner.config) {
+            ParseStatus::Request(next) => {
+                m.pipelined_requests.inc();
+                req = next;
+            }
+            ParseStatus::Incomplete => break,
+            ParseStatus::Malformed => {
+                let resp = CgiResponse::error(400, "malformed request");
+                let _ = write_response(&mut conn.stream, &resp, None, None, false);
+                crate::evloop::close_conn(conn);
+                return;
+            }
+            ParseStatus::TooLarge => {
+                let resp = CgiResponse::error(413, "request larger than the configured limit");
+                let _ = write_response(&mut conn.stream, &resp, None, None, false);
+                crate::evloop::close_conn(conn);
+                return;
+            }
+        }
+    }
+    // Park the connection back in the event loop until its next request.
+    conn.last_activity = Instant::now();
+    if conn.stream.set_nonblocking(true).is_ok() {
+        inner.returned.lock().push(conn);
+        inner.poller.wake();
+    } else {
+        crate::evloop::close_conn(conn);
+    }
+}
+
+fn peer_ip(stream: &TcpStream) -> String {
+    stream
         .peer_addr()
         .map(|a| a.ip().to_string())
-        .unwrap_or_else(|_| "-".into());
-    let request = read_request(&mut stream, &inner.config)?;
-    let (response, user, realm, request_line) = match request {
-        ReadOutcome::Request(req) => {
-            let line = format!("{} {} HTTP/1.0", req.method, req.target);
-            let (resp, user, realm) = dispatch(inner, req);
-            (resp, user, realm, line)
+        .unwrap_or_else(|_| "-".into())
+}
+
+/// How the CGI path answered (local to [`serve_request`]; exists so the
+/// streaming sink's borrow of the connection ends before the buffered write).
+enum CgiOutcome {
+    Full(CgiResponse),
+    Streamed {
+        failed: bool,
+        finished: bool,
+        bytes: usize,
+    },
+}
+
+/// Serve one request on `conn`. Returns whether the connection may be kept
+/// alive for another request.
+fn serve_request(inner: &ServerInner, conn: &mut Conn, req: HttpRequest) -> bool {
+    let started = Instant::now();
+    let remote = peer_ip(&conn.stream);
+    let request_line = format!("{} {} {}", req.method, req.target, req.version.as_str());
+    let wants_keep = req.keep_alive()
+        && conn.served + 1 < inner.config.max_requests
+        && !inner.stop.load(Ordering::SeqCst);
+    let streamable = req.version == Version::H11;
+    match route(inner, req) {
+        Routed::Done {
+            response,
+            user,
+            realm,
+        } => {
+            let sent = write_response_timed(
+                &mut conn.stream,
+                &response,
+                realm.as_deref(),
+                None,
+                wants_keep,
+                started,
+            )
+            .is_ok();
+            inner.log.record(LogEntry {
+                remote,
+                user,
+                timestamp: 0,
+                request_line,
+                status: response.status,
+                bytes: response.body.len(),
+            });
+            wants_keep && sent
         }
-        ReadOutcome::Disconnected => return Ok(()),
-        ReadOutcome::Malformed => (
-            CgiResponse::error(400, "malformed request"),
-            "-".to_owned(),
-            None,
-            "- - -".to_owned(),
-        ),
-        ReadOutcome::TooLarge => (
-            CgiResponse::error(413, "request larger than the configured limit"),
-            "-".to_owned(),
-            None,
-            "- - -".to_owned(),
-        ),
-    };
-    inner.log.record(LogEntry {
-        remote,
-        user,
-        timestamp: 0, // stamped by the log's clock in record()
-        request_line,
-        status: response.status,
-        bytes: response.body.len(),
-    });
-    write_response(&mut stream, &response, realm.as_deref(), None)
+        Routed::Cgi { cgi, user } => {
+            // The request context is created here, at the HTTP edge, so the
+            // deadline covers the whole request.
+            let ctx = inner.gateway.make_ctx(cgi.request_id);
+            // Conditional GETs need the complete body for the ETag check,
+            // and HTTP/1.0 clients cannot parse chunked framing: both keep
+            // the fully buffered path.
+            let watermark = if cgi.if_none_match.is_some() || !streamable {
+                usize::MAX
+            } else {
+                inner.config.stream_watermark
+            };
+            let outcome = {
+                let mut sink =
+                    ResponseSink::new(&mut conn.stream, &ctx, watermark, wants_keep, started);
+                match inner.gateway.handle_streaming(&cgi, &ctx, &mut sink) {
+                    Handled::Full(response) => CgiOutcome::Full(response),
+                    Handled::Streamed { failed } => {
+                        let finished = sink.finish().is_ok();
+                        CgiOutcome::Streamed {
+                            failed,
+                            finished,
+                            bytes: sink.bytes_out(),
+                        }
+                    }
+                }
+            };
+            match outcome {
+                CgiOutcome::Full(response) => {
+                    let sent = write_response_timed(
+                        &mut conn.stream,
+                        &response,
+                        None,
+                        None,
+                        wants_keep,
+                        started,
+                    )
+                    .is_ok();
+                    inner.log.record(LogEntry {
+                        remote,
+                        user,
+                        timestamp: 0,
+                        request_line,
+                        status: response.status,
+                        bytes: response.body.len(),
+                    });
+                    wants_keep && sent
+                }
+                CgiOutcome::Streamed {
+                    failed,
+                    finished,
+                    bytes,
+                } => {
+                    inner.log.record(LogEntry {
+                        remote,
+                        user,
+                        timestamp: 0,
+                        request_line,
+                        status: 200,
+                        bytes,
+                    });
+                    // A truncated stream must not be reused: the client would
+                    // misparse the next response as the tail of this one.
+                    wants_keep && finished && !failed
+                }
+            }
+        }
+    }
+}
+
+/// The protocol version of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Version {
+    /// HTTP/1.0 — close-per-request unless `Connection: keep-alive`.
+    H10,
+    /// HTTP/1.1 — persistent unless `Connection: close`.
+    H11,
+}
+
+impl Version {
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            Version::H10 => "HTTP/1.0",
+            Version::H11 => "HTTP/1.1",
+        }
+    }
 }
 
 /// A parsed HTTP request.
-struct HttpRequest {
-    method: String,
-    target: String,
-    headers: Vec<(String, String)>,
-    body: String,
+pub(crate) struct HttpRequest {
+    pub(crate) method: String,
+    pub(crate) target: String,
+    pub(crate) version: Version,
+    pub(crate) headers: Vec<(String, String)>,
+    pub(crate) body: String,
 }
 
 impl HttpRequest {
-    fn header(&self, name: &str) -> Option<&str> {
+    pub(crate) fn header(&self, name: &str) -> Option<&str> {
         self.headers
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    /// Persistent-connection semantics: an explicit `Connection` header wins;
+    /// otherwise HTTP/1.1 defaults to keep-alive and HTTP/1.0 to close.
+    pub(crate) fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == Version::H11,
+        }
+    }
 }
 
-/// What came off the wire.
-enum ReadOutcome {
-    /// A complete request.
+/// What one parse attempt over the connection's buffer produced.
+pub(crate) enum ParseStatus {
+    /// Not enough bytes yet; keep the connection parked.
+    Incomplete,
+    /// One complete request, consumed from the buffer (pipelined successors
+    /// stay buffered).
     Request(HttpRequest),
-    /// The peer closed without sending anything (e.g. the shutdown kick).
-    Disconnected,
     /// Not parseable as HTTP.
     Malformed,
     /// Headers or declared body size exceed the configured limits.
     TooLarge,
 }
 
-fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> std::io::Result<ReadOutcome> {
-    let mut buf = Vec::with_capacity(4096);
-    let mut chunk = [0u8; 4096];
-    // Read until we have the full header block.
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
+/// Try to parse one complete request from the front of `buf`, consuming it on
+/// success. Incremental: callers append bytes as they arrive and re-try.
+pub(crate) fn parse_request(buf: &mut Vec<u8>, config: &ServerConfig) -> ParseStatus {
+    let Some(header_end) = find_header_end(buf) else {
         if buf.len() > 64 * 1024 {
-            return Ok(ReadOutcome::TooLarge); // header flood
+            return ParseStatus::TooLarge; // header flood
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(if buf.is_empty() {
-                ReadOutcome::Disconnected
-            } else {
-                ReadOutcome::Malformed
-            });
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return ParseStatus::Incomplete;
     };
     let header_text = String::from_utf8_lossy(&buf[..header_end]).into_owned();
     let mut lines = header_text.lines();
@@ -371,12 +545,19 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> std::io::Resul
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_owned();
     let target = parts.next().unwrap_or("").to_owned();
+    let version = match parts.next() {
+        Some("HTTP/1.1") => Version::H11,
+        _ => Version::H10,
+    };
+    if method.is_empty() || target.is_empty() {
+        return ParseStatus::Malformed;
+    }
     let mut content_length = 0usize;
     let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if headers.len() >= config.max_headers {
-                return Ok(ReadOutcome::TooLarge);
+                return ParseStatus::TooLarge;
             }
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().unwrap_or(0);
@@ -387,36 +568,41 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> std::io::Resul
     // Refuse oversized bodies up front instead of trusting Content-Length to
     // size a buffer: the declared length is a client-controlled number.
     if content_length > config.max_body {
-        return Ok(ReadOutcome::TooLarge);
+        return ParseStatus::TooLarge;
     }
-    // Body bytes already buffered, plus whatever remains on the wire.
     let body_start = header_end + 4;
-    let mut body: Vec<u8> = buf.get(body_start.min(buf.len())..).unwrap_or(&[]).to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        body.extend_from_slice(&chunk[..n]);
-        if body.len() > config.max_body {
-            return Ok(ReadOutcome::TooLarge);
-        }
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return ParseStatus::Incomplete;
     }
-    body.truncate(content_length);
-    Ok(ReadOutcome::Request(HttpRequest {
+    let body = String::from_utf8_lossy(&buf[body_start..total]).into_owned();
+    buf.drain(..total);
+    ParseStatus::Request(HttpRequest {
         method,
         target,
+        version,
         headers,
-        body: String::from_utf8_lossy(&body).into_owned(),
-    }))
+        body,
+    })
 }
 
-fn find_header_end(buf: &[u8]) -> Option<usize> {
+pub(crate) fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Returns (response, authenticated user for the log, challenge realm).
-fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Option<String>) {
+/// Where a request goes after auth and method checks.
+enum Routed {
+    /// Fully answered locally (static page, `/stats`, auth challenge, error).
+    Done {
+        response: CgiResponse,
+        user: String,
+        realm: Option<String>,
+    },
+    /// A CGI invocation for the gateway (the streaming-capable path).
+    Cgi { cgi: CgiRequest, user: String },
+}
+
+fn route(inner: &ServerInner, req: HttpRequest) -> Routed {
     let (path, query) = match req.target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (req.target.as_str(), ""),
@@ -428,11 +614,11 @@ fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Opti
             AuthDecision::Open => {}
             AuthDecision::Allow(name) => user = name,
             AuthDecision::Challenge(realm) => {
-                return (
-                    CgiResponse::error(401, "authorization required"),
+                return Routed::Done {
+                    response: CgiResponse::error(401, "authorization required"),
                     user,
-                    Some(realm),
-                );
+                    realm: Some(realm),
+                };
             }
         }
     }
@@ -440,11 +626,11 @@ fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Opti
         "GET" => Method::Get,
         "POST" => Method::Post,
         _ => {
-            return (
-                CgiResponse::error(405, "only GET and POST are supported"),
+            return Routed::Done {
+                response: CgiResponse::error(405, "only GET and POST are supported"),
                 user,
-                None,
-            )
+                realm: None,
+            }
         }
     };
     // CGI dispatch (also accept the paper's db2www.exe spelling; the longer
@@ -459,23 +645,28 @@ fn dispatch(inner: &ServerInner, req: HttpRequest) -> (CgiResponse, String, Opti
                 body: req.body,
                 request_id: dbgw_obs::next_request_id(),
             };
-            // The request context is created here, at the HTTP edge, so the
-            // deadline covers the whole request.
-            let ctx = inner.gateway.make_ctx(cgi.request_id);
-            return (inner.gateway.handle_with_ctx(&cgi, &ctx), user, None);
+            return Routed::Cgi { cgi, user };
         }
     }
     if path == STATS_PATH {
-        return (stats_response(inner, query), user, None);
+        return Routed::Done {
+            response: stats_response(inner, query),
+            user,
+            realm: None,
+        };
     }
     if let Some(page) = inner.static_pages.read().get(path) {
-        return (CgiResponse::html(page.clone()), user, None);
+        return Routed::Done {
+            response: CgiResponse::html(page.clone()),
+            user,
+            realm: None,
+        };
     }
-    (
-        CgiResponse::error(404, &format!("no page at {path}")),
+    Routed::Done {
+        response: CgiResponse::error(404, &format!("no page at {path}")),
         user,
-        None,
-    )
+        realm: None,
+    }
 }
 
 /// How many digests the `/stats` views show (top-N by total time).
@@ -514,6 +705,10 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
         ("request errors", m.request_errors.get()),
         ("requests shed", m.requests_shed.get()),
         ("request timeouts", m.request_timeouts.get()),
+        ("keep-alive reuses", m.keepalive_reuses.get()),
+        ("pipelined requests", m.pipelined_requests.get()),
+        ("responses streamed", m.responses_streamed.get()),
+        ("client disconnects", m.client_disconnects.get()),
         ("macro parses", m.macro_parses.get()),
         ("substitutions", m.substitutions.get()),
         ("SQL statements", m.sql_statements.get()),
@@ -546,6 +741,8 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
     for (name, value) in [
         ("requests in flight", m.requests_in_flight.get()),
         ("queue depth", m.queue_depth.get()),
+        ("open connections", m.open_connections.get()),
+        ("idle connections", m.idle_connections.get()),
         ("cache bytes", m.cache_bytes.get()),
         ("snapshot epoch", m.snapshot_epoch.get()),
         (
@@ -560,6 +757,7 @@ fn stats_response(inner: &ServerInner, query: &str) -> CgiResponse {
     body.push_str("</TABLE>\n<H2>Latency</H2>\n<TABLE BORDER=1>\n");
     for (name, h) in [
         ("request", &m.request_latency_ns),
+        ("ttfb", &m.ttfb_ns),
         ("sql", &m.sql_latency_ns),
         ("latch wait", &m.latch_wait_ns),
         ("group-commit wait", &m.group_commit_wait_ns),
@@ -725,32 +923,229 @@ fn push_slo_section(body: &mut String, slo: &dbgw_obs::slo::SloReport) {
     body.push_str("</TABLE>\n");
 }
 
-fn write_response(
+/// How a response body is framed on the wire.
+pub(crate) enum Framing {
+    /// `Content-Length: n` — the complete-body path.
+    Length(usize),
+    /// `Transfer-Encoding: chunked` — the streaming path.
+    Chunked,
+}
+
+/// The one place status lines and standard headers are emitted: every
+/// response — success, error, shed, streamed — goes through
+/// [`ResponseHead::emit`], so the protocol version and `Connection` semantics
+/// cannot drift between paths.
+pub(crate) struct ResponseHead<'r> {
+    status: u16,
+    reason: &'r str,
+    content_type: &'r str,
+    keep_alive: bool,
+    realm: Option<&'r str>,
+    retry_after: Option<u64>,
+    extra: &'r [(String, String)],
+}
+
+impl<'r> ResponseHead<'r> {
+    pub(crate) fn new(
+        status: u16,
+        reason: &'r str,
+        content_type: &'r str,
+        keep_alive: bool,
+    ) -> ResponseHead<'r> {
+        ResponseHead {
+            status,
+            reason,
+            content_type,
+            keep_alive,
+            realm: None,
+            retry_after: None,
+            extra: &[],
+        }
+    }
+
+    /// Render the status line and headers, terminated by the blank line.
+    pub(crate) fn emit(&self, framing: Framing) -> String {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}; charset=utf-8\r\n",
+            self.status, self.reason, self.content_type
+        );
+        match framing {
+            Framing::Length(n) => head.push_str(&format!("Content-Length: {n}\r\n")),
+            Framing::Chunked => head.push_str("Transfer-Encoding: chunked\r\n"),
+        }
+        head.push_str(if self.keep_alive {
+            "Connection: keep-alive\r\n"
+        } else {
+            "Connection: close\r\n"
+        });
+        if let Some(realm) = self.realm {
+            head.push_str(&format!("WWW-Authenticate: Basic realm=\"{realm}\"\r\n"));
+        }
+        if let Some(seconds) = self.retry_after {
+            head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        }
+        for (name, value) in self.extra {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        head
+    }
+}
+
+/// Write a complete response with `Content-Length` framing.
+pub(crate) fn write_response(
     stream: &mut TcpStream,
     resp: &CgiResponse,
     challenge_realm: Option<&str>,
     retry_after: Option<u64>,
+    keep_alive: bool,
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.0 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
-        resp.status,
-        resp.reason(),
-        resp.content_type,
-        resp.body.len()
-    );
-    if let Some(realm) = challenge_realm {
-        head.push_str(&format!("WWW-Authenticate: Basic realm=\"{realm}\"\r\n"));
-    }
-    if let Some(seconds) = retry_after {
-        head.push_str(&format!("Retry-After: {seconds}\r\n"));
-    }
-    for (name, value) in &resp.headers {
-        head.push_str(&format!("{name}: {value}\r\n"));
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(resp.body.as_bytes())?;
+    let mut head = ResponseHead::new(resp.status, resp.reason(), &resp.content_type, keep_alive);
+    head.realm = challenge_realm;
+    head.retry_after = retry_after;
+    head.extra = &resp.headers;
+    let head = head.emit(Framing::Length(resp.body.len()));
+    // Head and body leave in one write so a keep-alive peer never waits a
+    // delayed-ACK round for the tail segment (Nagle holds back the second
+    // small write until the first is acknowledged).
+    let mut wire = Vec::with_capacity(head.len() + resp.body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(resp.body.as_bytes());
+    stream.write_all(&wire)?;
     stream.flush()
+}
+
+/// [`write_response`] plus the time-to-first-byte observation.
+fn write_response_timed(
+    stream: &mut TcpStream,
+    resp: &CgiResponse,
+    challenge_realm: Option<&str>,
+    retry_after: Option<u64>,
+    keep_alive: bool,
+    started: Instant,
+) -> std::io::Result<()> {
+    dbgw_obs::metrics()
+        .ttfb_ns
+        .observe_ns(started.elapsed().as_nanos() as u64);
+    write_response(stream, resp, challenge_realm, retry_after, keep_alive)
+}
+
+/// The streaming response writer: a [`PageSink`] over the connection.
+///
+/// Buffers rendered text until the watermark, then commits the response as
+/// `Transfer-Encoding: chunked` and flushes a chunk per watermark-full
+/// thereafter. A page that finishes under the watermark never commits — the
+/// gateway takes the buffer back and the response goes out with
+/// `Content-Length` (and full `ETag` semantics) instead. A failed socket
+/// write cancels the request context, so the executor stops paging rows for
+/// a browser that hung up.
+pub(crate) struct ResponseSink<'a> {
+    stream: &'a mut TcpStream,
+    ctx: &'a Arc<RequestCtx>,
+    watermark: usize,
+    keep_alive: bool,
+    started: Instant,
+    buf: String,
+    committed: bool,
+    dead: bool,
+    bytes_out: usize,
+}
+
+impl<'a> ResponseSink<'a> {
+    pub(crate) fn new(
+        stream: &'a mut TcpStream,
+        ctx: &'a Arc<RequestCtx>,
+        watermark: usize,
+        keep_alive: bool,
+        started: Instant,
+    ) -> ResponseSink<'a> {
+        ResponseSink {
+            stream,
+            ctx,
+            watermark,
+            keep_alive,
+            started,
+            buf: String::new(),
+            committed: false,
+            dead: false,
+            bytes_out: 0,
+        }
+    }
+
+    /// Body bytes flushed to the socket so far (for the access log).
+    pub(crate) fn bytes_out(&self) -> usize {
+        self.bytes_out
+    }
+
+    /// Commit (if not yet) and flush the buffered text as one chunk.
+    fn flush_pending(&mut self) -> std::io::Result<()> {
+        // One write per flush: head + chunk framing + data go out in a
+        // single segment so Nagle/delayed-ACK never stalls the stream.
+        let mut wire = Vec::with_capacity(self.buf.len() + 256);
+        if !self.committed {
+            let m = dbgw_obs::metrics();
+            m.ttfb_ns
+                .observe_ns(self.started.elapsed().as_nanos() as u64);
+            m.responses_streamed.inc();
+            let head = ResponseHead::new(200, "OK", "text/html", self.keep_alive);
+            wire.extend_from_slice(head.emit(Framing::Chunked).as_bytes());
+            self.committed = true;
+        }
+        if !self.buf.is_empty() {
+            wire.extend_from_slice(format!("{:x}\r\n", self.buf.len()).as_bytes());
+            wire.extend_from_slice(self.buf.as_bytes());
+            wire.extend_from_slice(b"\r\n");
+            self.bytes_out += self.buf.len();
+            self.buf.clear();
+        }
+        self.stream.write_all(&wire)?;
+        self.stream.flush()
+    }
+
+    /// A socket write failed: the client is gone. Cancel the request so the
+    /// executor stops producing rows nobody will read.
+    fn mark_dead(&mut self) -> CancelReason {
+        self.dead = true;
+        self.ctx.cancel();
+        dbgw_obs::metrics().client_disconnects.inc();
+        CancelReason::Cancelled
+    }
+
+    /// Flush any tail and terminate the chunked stream.
+    pub(crate) fn finish(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "client disconnected mid-stream",
+            ));
+        }
+        self.flush_pending()?;
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+impl PageSink for ResponseSink<'_> {
+    fn push(&mut self, text: &str) -> Result<(), CancelReason> {
+        if self.dead {
+            return Err(CancelReason::Cancelled);
+        }
+        self.buf.push_str(text);
+        if self.buf.len() >= self.watermark {
+            self.flush_pending().map_err(|_| self.mark_dead())?;
+        }
+        Ok(())
+    }
+}
+
+impl BodySink for ResponseSink<'_> {
+    fn committed(&self) -> bool {
+        self.committed
+    }
+
+    fn take(&mut self) -> String {
+        std::mem::take(&mut self.buf)
+    }
 }
 
 #[cfg(test)]
@@ -805,7 +1200,7 @@ mod tests {
         let raw = client
             .raw("PUT /cgi-bin/db2www/q.d2w/input HTTP/1.0\r\n\r\n")
             .unwrap();
-        assert!(raw.starts_with("HTTP/1.0 405"));
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
         server.shutdown();
     }
 
@@ -845,7 +1240,7 @@ mod tests {
         let raw = client
             .raw("POST /cgi-bin/db2www/q.d2w/report HTTP/1.0\r\nContent-Length: 99999999\r\n\r\n")
             .unwrap();
-        assert!(raw.starts_with("HTTP/1.0 413"), "{raw}");
+        assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
         server.shutdown();
     }
 
@@ -859,7 +1254,7 @@ mod tests {
         }
         req.push_str("\r\n");
         let raw = client.raw(&req).unwrap();
-        assert!(raw.starts_with("HTTP/1.0 413"), "{raw}");
+        assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
         server.shutdown();
     }
 
@@ -869,5 +1264,66 @@ mod tests {
         assert_eq!(config.workers, 4);
         assert_eq!(config.queue, 64);
         assert_eq!(config.max_body, 1 << 20);
+        assert_eq!(config.keepalive, Duration::from_secs(5));
+        assert_eq!(config.max_requests, 1000);
+        assert_eq!(config.max_conns, 10_000);
+        assert_eq!(config.stream_watermark, 16 * 1024);
+    }
+
+    #[test]
+    fn parser_is_incremental_and_pipelined() {
+        let config = ServerConfig::default();
+        let mut buf = b"GET /a HT".to_vec();
+        assert!(matches!(
+            parse_request(&mut buf, &config),
+            ParseStatus::Incomplete
+        ));
+        buf.extend_from_slice(b"TP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let ParseStatus::Request(a) = parse_request(&mut buf, &config) else {
+            panic!("first request should parse");
+        };
+        assert_eq!(a.target, "/a");
+        assert_eq!(a.version, Version::H11);
+        assert!(a.keep_alive());
+        let ParseStatus::Request(b) = parse_request(&mut buf, &config) else {
+            panic!("second (pipelined) request should parse");
+        };
+        assert_eq!(b.target, "/b");
+        assert!(!b.keep_alive());
+        assert!(buf.is_empty());
+        assert!(matches!(
+            parse_request(&mut buf, &config),
+            ParseStatus::Incomplete
+        ));
+    }
+
+    #[test]
+    fn parser_reads_body_and_honors_version_defaults() {
+        let config = ServerConfig::default();
+        let mut buf = b"POST /p HTTP/1.0\r\nContent-Length: 3\r\n\r\nab".to_vec();
+        assert!(matches!(
+            parse_request(&mut buf, &config),
+            ParseStatus::Incomplete
+        ));
+        buf.push(b'c');
+        let ParseStatus::Request(req) = parse_request(&mut buf, &config) else {
+            panic!("request should parse once the body arrives");
+        };
+        assert_eq!(req.body, "abc");
+        assert_eq!(req.version, Version::H10);
+        assert!(!req.keep_alive(), "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn response_head_centralizes_framing() {
+        let head = ResponseHead::new(200, "OK", "text/html", true).emit(Framing::Chunked);
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(head.contains("Connection: keep-alive\r\n"));
+        assert!(head.ends_with("\r\n\r\n"));
+        let head = ResponseHead::new(503, "Service Unavailable", "text/html", false)
+            .emit(Framing::Length(5));
+        assert!(head.contains("Content-Length: 5\r\n"));
+        assert!(head.contains("Connection: close\r\n"));
     }
 }

@@ -7,17 +7,21 @@
 //! * [`request`] — the CGI request/response boundary (Figure 4),
 //! * [`bridge`] — the [`minisql`] adapter behind [`dbgw_core::Database`],
 //! * [`gateway`] — the `db2www` program: macro store + dispatch (§4),
-//! * [`http`] — a threaded HTTP/1.0 server standing in for httpd,
-//! * [`client`] — a programmatic browser with §2.2-faithful form submission.
+//! * [`http`] — an evented HTTP/1.1 server standing in for httpd: epoll
+//!   keep-alive multiplexing, pipelining, and chunked streaming of reports,
+//! * [`client`] — a programmatic browser with §2.2-faithful form submission
+//!   and keep-alive connection reuse.
 
 #![warn(missing_docs)]
 
 pub mod auth;
 pub mod bridge;
 pub mod client;
+mod evloop;
 pub mod gateway;
 pub mod http;
 pub mod log;
+pub mod net;
 pub mod query;
 pub mod request;
 pub mod session;
@@ -29,9 +33,10 @@ pub use dbgw_sync as sync;
 
 pub use auth::{base64_decode, base64_encode, AuthDecision, BasicAuth};
 pub use bridge::MiniSqlDatabase;
-pub use client::{FormFill, HttpClient};
+pub use client::{FormFill, HttpClient, HttpConnection};
 pub use gateway::{
-    trace_comment, ConnectionSource, FnSource, Gateway, TraceOptions, REQUEST_ID_VAR,
+    trace_comment, BodySink, ConnectionSource, FnSource, Gateway, Handled, TraceOptions,
+    REQUEST_ID_VAR,
 };
 pub use http::{HttpServer, ServerConfig, CGI_PREFIX, STATS_PATH};
 pub use log::{AccessLog, LogEntry, SlowQuery, SlowQueryLog};

@@ -178,6 +178,7 @@ impl CgiResponse {
             401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",

@@ -169,7 +169,7 @@ fn saturated_queue_sheds_with_503_retry_after() {
     }
     let shed: Vec<String> = burst.into_iter().map(|h| h.join().unwrap()).collect();
     for r in &shed {
-        assert!(r.starts_with("HTTP/1.0 503"), "{r}");
+        assert!(r.starts_with("HTTP/1.1 503"), "{r}");
         assert!(r.contains("Retry-After:"), "{r}");
     }
     assert!(dbgw_obs::metrics().requests_shed.get() >= shed_before + BURST as u64);
@@ -178,7 +178,7 @@ fn saturated_queue_sheds_with_503_retry_after() {
     blocker.release_all();
     for handle in [first, second] {
         let r = handle.join().unwrap();
-        assert!(r.starts_with("HTTP/1.0 200"), "{r}");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
     }
     server.shutdown();
 }
@@ -278,7 +278,7 @@ fn oversized_content_length_rejected_with_413() {
     let raw = client
         .raw("POST /cgi-bin/db2www/q.d2w/report HTTP/1.0\r\nContent-Length: 4096\r\n\r\n")
         .unwrap();
-    assert!(raw.starts_with("HTTP/1.0 413"), "{raw}");
+    assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
     // A request inside the limit still works.
     let ok = client
         .post("/cgi-bin/db2www/q.d2w/report", "SEARCH=x")

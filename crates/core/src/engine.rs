@@ -16,6 +16,7 @@ use crate::env::Env;
 use crate::error::{MacroError, MacroResult};
 use crate::exec::{CommandRunner, DenyRunner};
 use crate::nls::{message, Language, Message};
+use crate::sink::PageSink;
 use crate::subst::Evaluator;
 use dbgw_html::{escape_text, TableBuilder};
 use dbgw_obs::{CancelReason, RequestCtx};
@@ -162,11 +163,28 @@ impl<'r> Engine<'r> {
         inputs: &[(String, String)],
         db: &mut dyn Database,
     ) -> MacroResult<String> {
+        let mut out = String::new();
+        self.process_into(mac, mode, inputs, db, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`process`](Engine::process), but pushes the page into `out` as
+    /// it is rendered instead of returning it whole. With a streaming sink
+    /// (the HTTP server's chunked writer), report rows leave the process as
+    /// the executor yields them; a sink push failure (client disconnected)
+    /// cancels processing through the same SQLCODE −952 path deadlines use.
+    pub fn process_into(
+        &self,
+        mac: &MacroFile,
+        mode: Mode,
+        inputs: &[(String, String)],
+        db: &mut dyn Database,
+        out: &mut dyn PageSink,
+    ) -> MacroResult<()> {
         let mut env = Env::new();
         for (name, value) in inputs {
             env.push_input(name, value);
         }
-        let mut out = String::new();
         let mut rendered_target = false;
         let mut failed = false;
 
@@ -190,8 +208,11 @@ impl<'r> Engine<'r> {
                 Section::Comment(_) => {}
                 Section::HtmlInput(body) => {
                     if mode == Mode::Input {
-                        let mut ev = self.evaluator(&env);
-                        out.push_str(&ev.substitute(body)?);
+                        let text = {
+                            let mut ev = self.evaluator(&env);
+                            ev.substitute(body)?
+                        };
+                        self.emit(out, &text)?;
                         rendered_target = true;
                     }
                 }
@@ -203,8 +224,11 @@ impl<'r> Engine<'r> {
                     for part in parts {
                         match part {
                             ReportPart::Html(text) => {
-                                let mut ev = self.evaluator(&env);
-                                out.push_str(&ev.substitute(text)?);
+                                let text = {
+                                    let mut ev = self.evaluator(&env);
+                                    ev.substitute(text)?
+                                };
+                                self.emit(out, &text)?;
                             }
                             ReportPart::ExecSqlAll => {
                                 let unnamed: Vec<&SqlSection> =
@@ -213,7 +237,7 @@ impl<'r> Engine<'r> {
                                     return Err(MacroError::NoSqlSections);
                                 }
                                 for section in unnamed {
-                                    match self.exec_sql(section, &mut env, db, &mut out)? {
+                                    match self.exec_sql(section, &mut env, db, out)? {
                                         Flow::Continue => {}
                                         Flow::Stop { error } => {
                                             failed = error;
@@ -233,7 +257,7 @@ impl<'r> Engine<'r> {
                                         name: name.to_owned(),
                                     }
                                 })?;
-                                match self.exec_sql(section, &mut env, db, &mut out)? {
+                                match self.exec_sql(section, &mut env, db, out)? {
                                     Flow::Continue => {}
                                     Flow::Stop { error } => {
                                         failed = error;
@@ -265,7 +289,7 @@ impl<'r> Engine<'r> {
                 },
             });
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Convenience: input mode needs no database (the paper guarantees no SQL
@@ -278,12 +302,19 @@ impl<'r> Engine<'r> {
         self.process(mac, Mode::Input, inputs, &mut NoDatabase)
     }
 
+    /// Push rendered text into the sink, surfacing a dead sink (client gone)
+    /// as request cancellation.
+    fn emit(&self, out: &mut dyn PageSink, text: &str) -> MacroResult<()> {
+        out.push(text)
+            .map_err(|reason| MacroError::Cancelled { reason })
+    }
+
     fn exec_sql(
         &self,
         section: &SqlSection,
         env: &mut Env,
         db: &mut dyn Database,
-        out: &mut String,
+        out: &mut dyn PageSink,
     ) -> MacroResult<Flow> {
         let _span = dbgw_obs::trace::span("exec_sql");
         self.check_ctx()?;
@@ -299,9 +330,9 @@ impl<'r> Engine<'r> {
                 ev.is_nonnull("SHOWSQL")?
             };
             if show {
-                out.push_str("<P><CODE>");
-                out.push_str(&escape_text(&sql));
-                out.push_str("</CODE></P>\n");
+                self.emit(out, "<P><CODE>")?;
+                self.emit(out, &escape_text(&sql))?;
+                self.emit(out, "</CODE></P>\n")?;
             }
         }
         match db.execute(&sql) {
@@ -315,8 +346,11 @@ impl<'r> Engine<'r> {
                 self.render_result(section, &rows, env, out)?;
                 if rows.sqlcode() == 100 {
                     if let Some(msg) = find_message(section, 100) {
-                        let mut ev = self.evaluator(env);
-                        out.push_str(&ev.substitute(&msg.text)?);
+                        let text = {
+                            let mut ev = self.evaluator(env);
+                            ev.substitute(&msg.text)?
+                        };
+                        self.emit(out, &text)?;
                         if msg.action == MessageAction::Exit {
                             return Ok(Flow::Stop { error: false });
                         }
@@ -338,7 +372,7 @@ impl<'r> Engine<'r> {
                             let mut ev = self.evaluator(env);
                             ev.substitute(&msg.text)?
                         };
-                        out.push_str(&text);
+                        self.emit(out, &text)?;
                         match msg.action {
                             MessageAction::Continue => Ok(Flow::Continue),
                             MessageAction::Exit => Ok(Flow::Stop { error: true }),
@@ -354,12 +388,15 @@ impl<'r> Engine<'r> {
                     }
                     None => {
                         // "...or by printing the DBMS error message" (§4.2).
-                        out.push_str(&format!(
-                            "<P><B>{} {}</B>: {}</P>\n",
-                            message(self.config.language, Message::SqlErrorBanner),
-                            e.code,
-                            escape_text(&e.message)
-                        ));
+                        self.emit(
+                            out,
+                            &format!(
+                                "<P><B>{} {}</B>: {}</P>\n",
+                                message(self.config.language, Message::SqlErrorBanner),
+                                e.code,
+                                escape_text(&e.message)
+                            ),
+                        )?;
                         Ok(Flow::Stop { error: true })
                     }
                 }
@@ -372,7 +409,7 @@ impl<'r> Engine<'r> {
         section: &SqlSection,
         rows: &DbRows,
         env: &mut Env,
-        out: &mut String,
+        out: &mut dyn PageSink,
     ) -> MacroResult<()> {
         let _span = dbgw_obs::trace::span("render_report");
         // DML with no report block prints nothing.
@@ -401,17 +438,22 @@ impl<'r> Engine<'r> {
         dbgw_obs::trace::note("rows", printed.to_string());
 
         let Some(report) = &section.report else {
-            // Default table format (§3.4).
-            let mut table = TableBuilder::new(&rows.columns);
+            // Default table format (§3.4), emitted row by row so a streaming
+            // sink ships the table as the rows arrive. Each row is charged
+            // against the request budgets *before* it is pushed.
+            let header = TableBuilder::header_html(&rows.columns);
+            self.charge(0, header.len())?;
+            self.emit(out, &header)?;
             for (i, row) in rows.rows.iter().take(max_rows).enumerate() {
                 if i % 128 == 0 {
                     self.check_ctx()?;
                 }
-                table.push_row(row);
+                let html = TableBuilder::row_html(rows.columns.len(), row);
+                self.charge(1, html.len())?;
+                self.emit(out, &html)?;
             }
-            let html = table.finish();
-            self.charge(printed, html.len())?;
-            out.push_str(&html);
+            self.charge(0, TableBuilder::FOOTER_HTML.len())?;
+            self.emit(out, TableBuilder::FOOTER_HTML)?;
             return Ok(());
         };
 
@@ -426,9 +468,11 @@ impl<'r> Engine<'r> {
         env.push_frame(header_vars);
 
         {
-            let mut ev = self.evaluator(env);
-            let header = ev.substitute(&report.header)?;
-            out.push_str(&header);
+            let header = {
+                let mut ev = self.evaluator(env);
+                ev.substitute(&report.header)?
+            };
+            self.emit(out, &header)?;
         }
 
         if let Some(row_template) = &report.row {
@@ -449,7 +493,7 @@ impl<'r> Engine<'r> {
                 };
                 env.pop_frame();
                 self.charge(1, rendered.len())?;
-                out.push_str(&rendered);
+                self.emit(out, &rendered)?;
             }
         }
 
@@ -458,9 +502,11 @@ impl<'r> Engine<'r> {
         // all rows were printed" (§3.2.1).
         env.set_system("ROW_NUM", rows.rows.len().to_string());
         {
-            let mut ev = self.evaluator(env);
-            let footer = ev.substitute(&report.footer)?;
-            out.push_str(&footer);
+            let footer = {
+                let mut ev = self.evaluator(env);
+                ev.substitute(&report.footer)?
+            };
+            self.emit(out, &footer)?;
         }
         env.pop_frame();
         Ok(())

@@ -57,6 +57,7 @@ pub mod lint;
 pub mod nls;
 pub mod parser;
 pub mod security;
+pub mod sink;
 pub mod subst;
 
 pub use ast::{MacroFile, Section};
@@ -69,4 +70,5 @@ pub use include::{expand_includes, parse_macro_with_includes, IncludeResolver, M
 pub use lint::{lint, Finding};
 pub use nls::Language;
 pub use parser::parse_macro;
+pub use sink::PageSink;
 pub use subst::Evaluator;

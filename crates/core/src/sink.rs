@@ -1,0 +1,44 @@
+//! Where rendered page text goes.
+//!
+//! The engine historically accumulated every page into one `String` and the
+//! gateway shipped it whole; a 100k-row report therefore paid O(full render)
+//! before the first byte left the process. `PageSink` abstracts the output so
+//! the same render code can either collect into a `String` (library use,
+//! CGI, cached/ETagged responses) or flush incrementally into an HTTP
+//! chunked-transfer writer (the evented server's streaming path).
+//!
+//! A sink push is *fallible*: a streaming sink whose client hung up reports a
+//! [`CancelReason`], which the engine surfaces as SQLCODE −952 cancellation —
+//! the same cooperative-cancellation path deadlines and budgets use — so a
+//! disconnected browser stops the executor instead of rendering into the
+//! void.
+
+use dbgw_obs::CancelReason;
+
+/// A destination for rendered page text.
+pub trait PageSink {
+    /// Append a piece of the page. Errors mean the output is dead (client
+    /// disconnected mid-stream) and rendering should stop.
+    fn push(&mut self, text: &str) -> Result<(), CancelReason>;
+}
+
+/// The buffered sink: plain accumulation, never fails.
+impl PageSink for String {
+    fn push(&mut self, text: &str) -> Result<(), CancelReason> {
+        self.push_str(text);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_sink_accumulates() {
+        let mut s = String::new();
+        PageSink::push(&mut s, "a").unwrap();
+        PageSink::push(&mut s, "b").unwrap();
+        assert_eq!(s, "ab");
+    }
+}

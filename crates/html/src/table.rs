@@ -25,8 +25,16 @@ pub struct TableBuilder {
 }
 
 impl TableBuilder {
-    /// Begin a table with the given header row (column names are escaped).
-    pub fn new<S: AsRef<str>>(columns: &[S]) -> Self {
+    /// The closing fragment of a default table; pairs with [`header_html`]
+    /// and [`row_html`] for streaming emission.
+    ///
+    /// [`header_html`]: TableBuilder::header_html
+    /// [`row_html`]: TableBuilder::row_html
+    pub const FOOTER_HTML: &'static str = "</TABLE>\n";
+
+    /// The opening `<TABLE>` tag and header row, standalone — for renderers
+    /// that flush the table piecewise instead of accumulating it.
+    pub fn header_html<S: AsRef<str>>(columns: &[S]) -> String {
         let mut out = String::with_capacity(128 + columns.len() * 16);
         out.push_str("<TABLE BORDER=1>\n<TR>");
         for c in columns {
@@ -35,25 +43,40 @@ impl TableBuilder {
             out.push_str("</TH>");
         }
         out.push_str("</TR>\n");
+        out
+    }
+
+    /// One data row, standalone. Missing trailing cells render as empty;
+    /// extra cells are still rendered (the 90s engine trusted the DBMS row
+    /// width).
+    pub fn row_html<S: AsRef<str>>(columns: usize, cells: &[S]) -> String {
+        let mut out = String::with_capacity(16 + cells.len() * 16);
+        out.push_str("<TR>");
+        for i in 0..columns.max(cells.len()) {
+            out.push_str("<TD>");
+            if let Some(cell) = cells.get(i) {
+                out.push_str(&escape_text(cell.as_ref()));
+            }
+            out.push_str("</TD>");
+        }
+        out.push_str("</TR>\n");
+        out
+    }
+
+    /// Begin a table with the given header row (column names are escaped).
+    pub fn new<S: AsRef<str>>(columns: &[S]) -> Self {
         TableBuilder {
-            out,
+            out: Self::header_html(columns),
             columns: columns.len(),
             rows: 0,
         }
     }
 
-    /// Append a data row. Missing trailing cells render as empty; extra cells
-    /// are still rendered (the 90s engine trusted the DBMS row width).
+    /// Append a data row (see [`row_html`](TableBuilder::row_html) for the
+    /// padding rules).
     pub fn push_row<S: AsRef<str>>(&mut self, cells: &[S]) {
-        self.out.push_str("<TR>");
-        for i in 0..self.columns.max(cells.len()) {
-            self.out.push_str("<TD>");
-            if let Some(cell) = cells.get(i) {
-                self.out.push_str(&escape_text(cell.as_ref()));
-            }
-            self.out.push_str("</TD>");
-        }
-        self.out.push_str("</TR>\n");
+        let row = Self::row_html(self.columns, cells);
+        self.out.push_str(&row);
         self.rows += 1;
     }
 
@@ -64,7 +87,7 @@ impl TableBuilder {
 
     /// Close the table and return the HTML.
     pub fn finish(mut self) -> String {
-        self.out.push_str("</TABLE>\n");
+        self.out.push_str(Self::FOOTER_HTML);
         self.out
     }
 }
@@ -108,6 +131,22 @@ mod tests {
         t.push_row(&["1"]);
         t.push_row(&["2"]);
         assert!(check_balanced(&t.finish()).is_ok());
+    }
+
+    #[test]
+    fn piecewise_emission_matches_builder() {
+        let mut t = TableBuilder::new(&["A", "B"]);
+        t.push_row(&["1", "2"]);
+        t.push_row(&["only"]);
+        let whole = t.finish();
+        let pieces = format!(
+            "{}{}{}{}",
+            TableBuilder::header_html(&["A", "B"]),
+            TableBuilder::row_html(2, &["1", "2"]),
+            TableBuilder::row_html(2, &["only"]),
+            TableBuilder::FOOTER_HTML
+        );
+        assert_eq!(whole, pieces);
     }
 
     #[test]

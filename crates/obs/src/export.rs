@@ -134,7 +134,7 @@ impl std::fmt::Display for TraceTree<'_> {
 
 /// The gateway's counters, as `(exposition name, help text, field)` — the
 /// single vocabulary shared by [`render_prometheus`] and [`metrics_json`].
-fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 30] {
+fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 34] {
     [
         (
             "dbgw_requests_total",
@@ -286,11 +286,31 @@ fn counters(m: &Metrics) -> [(&'static str, &'static str, &Counter); 30] {
             "Checkpoints completed (log rewritten as a base snapshot).",
             &m.checkpoints,
         ),
+        (
+            "dbgw_keepalive_reuses_total",
+            "Requests served over an already-established keep-alive connection.",
+            &m.keepalive_reuses,
+        ),
+        (
+            "dbgw_pipelined_requests_total",
+            "Requests already buffered behind an earlier one on the same connection.",
+            &m.pipelined_requests,
+        ),
+        (
+            "dbgw_responses_streamed_total",
+            "Responses sent chunked because the body crossed the streaming watermark.",
+            &m.responses_streamed,
+        ),
+        (
+            "dbgw_client_disconnects_total",
+            "Requests aborted because the client vanished mid-response.",
+            &m.client_disconnects,
+        ),
     ]
 }
 
 /// The gauges, same shape as [`counters`].
-fn gauges(m: &Metrics) -> [(&'static str, &'static str, &Gauge); 6] {
+fn gauges(m: &Metrics) -> [(&'static str, &'static str, &Gauge); 8] {
     [
         (
             "dbgw_requests_in_flight",
@@ -321,6 +341,16 @@ fn gauges(m: &Metrics) -> [(&'static str, &'static str, &Gauge); 6] {
             "dbgw_checkpoint_last_bytes",
             "Size in bytes of the log the most recent checkpoint wrote.",
             &m.checkpoint_last_bytes,
+        ),
+        (
+            "dbgw_open_connections",
+            "TCP connections currently open on the evented HTTP edge.",
+            &m.open_connections,
+        ),
+        (
+            "dbgw_idle_connections",
+            "Open connections currently idle between requests.",
+            &m.idle_connections,
         ),
     ]
 }
@@ -408,6 +438,12 @@ pub fn render_prometheus(m: &Metrics) -> String {
         "dbgw_group_commit_wait_seconds",
         "Time committing writers spent waiting for the group-commit fsync.",
         &m.group_commit_wait_ns,
+    );
+    histogram_block(
+        &mut out,
+        "dbgw_ttfb_seconds",
+        "Time from accepting a request to the first response byte on the socket.",
+        &m.ttfb_ns,
     );
     out
 }
@@ -524,6 +560,7 @@ pub fn metrics_json(m: &Metrics) -> String {
         ("dbgw_sql_latency_seconds", &m.sql_latency_ns),
         ("dbgw_latch_wait_seconds", &m.latch_wait_ns),
         ("dbgw_group_commit_wait_seconds", &m.group_commit_wait_ns),
+        ("dbgw_ttfb_seconds", &m.ttfb_ns),
     ] {
         out.push_str(&format!(
             "\"{name}_count\":{},\"{name}_sum\":{},",

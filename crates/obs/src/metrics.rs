@@ -312,6 +312,18 @@ pub struct Metrics {
     pub wal_bytes: Counter,
     /// Checkpoints completed (log rewritten as a base snapshot).
     pub checkpoints: Counter,
+    /// Requests served over an already-established keep-alive connection
+    /// (every request on a connection after its first).
+    pub keepalive_reuses: Counter,
+    /// Requests that were already buffered behind an earlier request on the
+    /// same connection when the worker picked it up (HTTP/1.1 pipelining).
+    pub pipelined_requests: Counter,
+    /// Responses sent with `Transfer-Encoding: chunked` because the body
+    /// crossed the streaming watermark before rendering finished.
+    pub responses_streamed: Counter,
+    /// Requests aborted because the client vanished mid-response (write
+    /// error on the socket cancelled the executor).
+    pub client_disconnects: Counter,
     /// Requests currently being processed by pool workers.
     pub requests_in_flight: Gauge,
     /// Accepted connections waiting in the bounded queue for a worker.
@@ -329,6 +341,12 @@ pub struct Metrics {
     pub wal_size_bytes: Gauge,
     /// Size in bytes of the log the most recent checkpoint wrote.
     pub checkpoint_last_bytes: Gauge,
+    /// TCP connections currently open on the evented HTTP edge (parked in
+    /// the epoll set or owned by a worker).
+    pub open_connections: Gauge,
+    /// Open connections currently idle between requests (keep-alive sockets
+    /// parked in the epoll set with no bytes buffered).
+    pub idle_connections: Gauge,
     /// End-to-end gateway request latency.
     pub request_latency_ns: Histogram,
     /// Per-statement SQL latency.
@@ -342,6 +360,9 @@ pub struct Metrics {
     /// from enqueueing its record to the durable acknowledgment — the
     /// latency cost of durability, batch-amortized fsync included.
     pub group_commit_wait_ns: Histogram,
+    /// Time from accepting a request to the first response byte hitting the
+    /// socket — the streaming render path exists to shrink this.
+    pub ttfb_ns: Histogram,
     /// Error occurrences by SQLCODE.
     pub sqlcode_errors: CodeCounters,
 }
@@ -380,6 +401,10 @@ impl Metrics {
             wal_fsyncs: Counter::new(),
             wal_bytes: Counter::new(),
             checkpoints: Counter::new(),
+            keepalive_reuses: Counter::new(),
+            pipelined_requests: Counter::new(),
+            responses_streamed: Counter::new(),
+            client_disconnects: Counter::new(),
             requests_in_flight: Gauge::new(),
             queue_depth: Gauge::new(),
             cache_bytes: Gauge::new(),
@@ -387,10 +412,13 @@ impl Metrics {
             snapshot_publish_ms: Gauge::new(),
             wal_size_bytes: Gauge::new(),
             checkpoint_last_bytes: Gauge::new(),
+            open_connections: Gauge::new(),
+            idle_connections: Gauge::new(),
             request_latency_ns: Histogram::new(),
             sql_latency_ns: Histogram::new(),
             latch_wait_ns: Histogram::new(),
             group_commit_wait_ns: Histogram::new(),
+            ttfb_ns: Histogram::new(),
             sqlcode_errors: CodeCounters::new(),
         }
     }

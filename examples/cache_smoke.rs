@@ -65,7 +65,7 @@ fn main() {
             "GET /cgi-bin/db2www/urls.d2w/report HTTP/1.0\r\nIf-None-Match: {etag}\r\n\r\n"
         ))
         .unwrap();
-    assert!(raw.starts_with("HTTP/1.0 304"), "{raw}");
+    assert!(raw.starts_with("HTTP/1.1 304"), "{raw}");
     let (head, body) = raw.split_once("\r\n\r\n").unwrap();
     assert!(body.is_empty(), "304 must not carry a body: {body:?}");
     assert!(head.contains(&etag), "304 must echo the ETag: {head}");

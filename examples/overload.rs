@@ -49,11 +49,11 @@ fn main() {
 
     let ok = responses
         .iter()
-        .filter(|r| r.starts_with("HTTP/1.0 200"))
+        .filter(|r| r.starts_with("HTTP/1.1 200"))
         .count();
     let shed: Vec<&String> = responses
         .iter()
-        .filter(|r| r.starts_with("HTTP/1.0 503"))
+        .filter(|r| r.starts_with("HTTP/1.1 503"))
         .collect();
     assert_eq!(
         ok + shed.len(),

@@ -117,6 +117,17 @@ cat "$OBS_TMP/bench_planner.log"
 grep -q 'planner_reorder_speedup' "$OBS_TMP/bench_planner.json"
 grep -q 'JOIN ORDER: c -> b -> a' "$OBS_TMP/bench_planner.log"
 
+echo "== HTTP edge bench (quick run, asserted keep-alive + TTFB floors) =="
+# E16: hundreds of idle keep-alive connections parked in the epoll loop
+# (10k in the full run), /stats p99 asserted with the fleet open, and
+# streamed-vs-buffered TTFB on a large %ROW-template report. The bench
+# asserts the p99 ceiling and the TTFB floor itself (>=3x quick, >=10x
+# full); an edge that buffers whole reports before the first byte fails CI
+# here. The committed BENCH_http.json is regenerated from a full run.
+BENCH_QUICK=1 BENCH_JSON="$OBS_TMP/bench_http.json" \
+    cargo bench --offline -p dbgw-bench --bench http_edge
+grep -q 'http_ttfb_speedup' "$OBS_TMP/bench_http.json"
+
 echo "== crash-recovery smoke (kill -9 mid-commit-stream) =="
 # Durability's acceptance test, end to end on the release binary: run the
 # transfer workload against a durable data dir, kill -9 once commits are

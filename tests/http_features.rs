@@ -46,7 +46,7 @@ fn protected_path_gets_401_with_challenge() {
     let raw = client
         .raw("GET /cgi-bin/db2www/admin.d2w/input HTTP/1.0\r\n\r\n")
         .unwrap();
-    assert!(raw.starts_with("HTTP/1.0 401"), "{raw}");
+    assert!(raw.starts_with("HTTP/1.1 401"), "{raw}");
     assert!(raw.contains("WWW-Authenticate: Basic realm=\"DB2WWW admin\""));
     server.shutdown();
 }
@@ -61,7 +61,7 @@ fn valid_credentials_pass_and_are_logged() {
             "GET /cgi-bin/db2www/admin.d2w/input HTTP/1.0\r\nAuthorization: {header}\r\n\r\n"
         ))
         .unwrap();
-    assert!(raw.starts_with("HTTP/1.0 200"), "{raw}");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
     assert!(raw.contains("admin form"));
     let entries = server.access_log().entries();
     let entry = entries
@@ -83,7 +83,7 @@ fn wrong_password_rejected() {
             "GET /cgi-bin/db2www/admin.d2w/report HTTP/1.0\r\nAuthorization: {header}\r\n\r\n"
         ))
         .unwrap();
-    assert!(raw.starts_with("HTTP/1.0 401"), "{raw}");
+    assert!(raw.starts_with("HTTP/1.1 401"), "{raw}");
     // The protected DELETE must not have run.
     let check = client.get("/cgi-bin/db2www/q.d2w/report").unwrap();
     assert!(check.body.contains("ibm.com"));
@@ -99,8 +99,8 @@ fn access_log_records_every_request_in_common_format() {
     let log = server.access_log();
     assert_eq!(log.len(), 2);
     let lines: Vec<String> = log.entries().iter().map(|e| e.to_common_log()).collect();
-    assert!(lines[0].contains("\"GET /cgi-bin/db2www/q.d2w/input HTTP/1.0\" 200"));
-    assert!(lines[1].contains("\"GET /nowhere HTTP/1.0\" 404"));
+    assert!(lines[0].contains("\"GET /cgi-bin/db2www/q.d2w/input HTTP/1.1\" 200"));
+    assert!(lines[1].contains("\"GET /nowhere HTTP/1.1\" 404"));
     server.shutdown();
 }
 
